@@ -1,0 +1,70 @@
+// Long-horizon autonomy: the paper's "wear-and-forget" claim. Simulates 30
+// consecutive days of the worst-case indoor scenario with day-to-day light
+// variation, at the paper's sustainable detection rate, and checks the
+// battery never runs empty. Also sweeps the battery capacity to show the
+// headroom the 120 mAh cell provides, and the no-harvest survival time.
+#include <cstdio>
+
+#include "../bench/report.hpp"
+#include "common/rng.hpp"
+#include "harvest/harvester.hpp"
+#include "platform/device.hpp"
+
+int main() {
+  const iw::hv::DualSourceHarvester harvester =
+      iw::hv::DualSourceHarvester::calibrated();
+
+  iw::platform::DeviceConfig config;
+  config.detection = iw::platform::make_detection_cost({});
+  config.detection_period_s = 60.0 / 12.0;  // 12 detections/minute (half the max)
+  config.initial_soc = 0.5;
+
+  iw::bench::print_header("Wear-and-forget: 30-day autonomy simulation");
+  iw::Rng rng(2020);
+  const iw::platform::MultiDayResult month = iw::platform::simulate_days(
+      config, harvester, iw::hv::paper_worst_case_day(), 30, rng, 0.4);
+  std::printf("rate 12 det/min, day-to-day light factor exp(N(0, 0.4)):\n");
+  std::printf("  detections: %llu completed, %llu skipped\n",
+              static_cast<unsigned long long>(month.total_detections),
+              static_cast<unsigned long long>(month.total_skipped));
+  std::printf("  SoC: start 50.0%%, minimum %.1f%%, final %.1f%%\n",
+              100.0 * month.min_soc, 100.0 * month.final_soc);
+  std::printf("  battery never empty: %s\n\n", month.min_soc > 0.02 ? "yes" : "NO");
+
+  std::printf("battery capacity sweep (same month):\n");
+  std::printf("%14s %12s %12s %10s\n", "capacity mAh", "min SoC %", "final SoC %",
+              "skipped");
+  for (double mah : {30.0, 60.0, 120.0, 240.0}) {
+    iw::platform::DeviceConfig c = config;
+    c.battery.capacity_mah = mah;
+    iw::Rng sweep_rng(2020);
+    const auto r = iw::platform::simulate_days(
+        c, harvester, iw::hv::paper_worst_case_day(), 30, sweep_rng, 0.4);
+    std::printf("%14.0f %12.1f %12.1f %10llu\n", mah, 100.0 * r.min_soc,
+                100.0 * r.final_soc, static_cast<unsigned long long>(r.total_skipped));
+  }
+
+  std::printf("\nno-harvest survival (full 120 mAh battery, dark, not worn):\n");
+  iw::hv::Environment dead;
+  dead.lux = 0.0;
+  dead.worn = false;
+  const iw::hv::DayProfile dark{{86400.0, dead}};
+  for (double rate : {1.0, 12.0, 24.0}) {
+    iw::platform::DeviceConfig c = config;
+    c.detection_period_s = 60.0 / rate;
+    c.initial_soc = 1.0;
+    double days = 0.0;
+    iw::Rng survival_rng(1);
+    iw::platform::MultiDayResult r =
+        iw::platform::simulate_days(c, harvester, dark, 60, survival_rng, 0.0);
+    for (const auto& day : r.days) {
+      if (day.detections_skipped > 0) break;
+      days += 1.0;
+    }
+    std::printf("  %4.0f det/min: ~%.0f days on the battery alone\n", rate, days);
+  }
+  iw::bench::print_note("");
+  iw::bench::print_note("the 120 mAh cell is a multi-week buffer at the paper's duty");
+  iw::bench::print_note("cycle; harvesting makes the horizon indefinite.");
+  return 0;
+}

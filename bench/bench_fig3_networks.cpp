@@ -1,0 +1,44 @@
+// Reproduces Fig. 3 / Section III: the network architectures and their
+// neuron/weight/memory accounting (Network A: 108 neurons, 3003 weights,
+// ~14 kB; Network B: 1356 neurons, 81032 weights, ~353 kB).
+#include <cstdio>
+
+#include "../bench/report.hpp"
+#include "common/rng.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+
+namespace {
+
+void describe(const char* name, const iw::nn::Network& net,
+              const iw::nn::PaperNetworkCounts& paper) {
+  iw::bench::print_header(std::string("Fig. 3 / Section III - ") + name);
+  iw::bench::print_row_header("quantity");
+  iw::bench::print_row("neurons", static_cast<double>(paper.neurons),
+                       static_cast<double>(net.num_neurons()), "%14.0f");
+  iw::bench::print_row("weights", static_cast<double>(paper.weights),
+                       static_cast<double>(net.num_weights()), "%14.0f");
+  iw::bench::print_row("memory footprint [kB]", paper.memory_kb,
+                       static_cast<double>(net.memory_footprint_bytes()) / 1024.0,
+                       "%14.1f");
+  std::printf("  topology: %zu", net.num_inputs());
+  for (const auto& layer : net.layers()) std::printf("-%zu", layer.n_out);
+  std::printf(" (tanh activations)\n");
+
+  const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
+  std::printf("  fixed-point export: Q%d (%d fractional bits), tanh LUT %zu samples\n",
+              qn.format().frac_bits, qn.format().frac_bits,
+              qn.tanh_table().samples().size());
+}
+
+}  // namespace
+
+int main() {
+  iw::Rng rng_a(1), rng_b(2);
+  const iw::nn::Network net_a = iw::nn::make_network_a(rng_a);
+  const iw::nn::Network net_b = iw::nn::make_network_b(rng_b);
+  describe("Network A (stress classifier)", net_a, iw::nn::paper_counts_network_a());
+  describe("Network B (scaling study)", net_b, iw::nn::paper_counts_network_b());
+  iw::bench::print_note("FANN accounting: 16 B/neuron + 4 B/weight + 8 B/layer record.");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces the Section IV float-vs-fixed result: Network A on the
+// Cortex-M4F runs in 38478 cycles with the FPU and 30210 cycles in fixed
+// point, i.e. the fixed implementation is ~1.3x faster (and the paper
+// therefore deploys fixed point).
+#include <cstdio>
+#include <vector>
+
+#include "../bench/report.hpp"
+#include "common/rng.hpp"
+#include "core/comparison.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+
+int main() {
+  iw::Rng rng(1);
+  const iw::nn::Network net = iw::nn::make_network_a(rng);
+  const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
+  std::vector<float> input(5);
+  for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const iw::core::FloatFixedComparison cmp =
+      iw::core::compare_float_fixed_m4(net, qn, input);
+
+  iw::bench::print_header("Section IV - float (FPU) vs fixed point, Network A on M4F");
+  iw::bench::print_row_header("implementation [cycles]");
+  iw::bench::print_row("float (FPU, exp-based tanhf)", 38478,
+                       static_cast<double>(cmp.float_cycles), "%14.0f");
+  iw::bench::print_row("fixed point (Q-format + tanh LUT)", 30210,
+                       static_cast<double>(cmp.fixed_cycles), "%14.0f");
+  std::printf("  fixed-point speedup: %.2fx (paper: 1.27x)\n", cmp.speedup());
+
+  // Accuracy side of the trade-off: fixed tracks float closely.
+  const auto float_out = net.infer(input);
+  const auto fixed_out = qn.infer(input);
+  std::printf("  outputs (float vs fixed):");
+  for (std::size_t i = 0; i < float_out.size(); ++i) {
+    std::printf("  %.4f/%.4f", float_out[i], fixed_out[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Host-side micro-benchmarks (google-benchmark): throughput of the
+// simulation stack itself — ISS instruction rate, assembler speed, host MLP
+// inference, and the biosignal feature pipeline. These bound how large an
+// experiment the reproduction can run in reasonable wall-clock time.
+#include <benchmark/benchmark.h>
+
+#include "asmx/assembler.hpp"
+#include "bio/dataset.hpp"
+#include "bio/features.hpp"
+#include "bio/rpeak.hpp"
+#include "common/rng.hpp"
+#include "kernels/runner.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+#include "rvsim/machine.hpp"
+
+namespace {
+
+void BM_IssInstructionRate(benchmark::State& state) {
+  // Tight arithmetic loop; reports simulated instructions per second.
+  const iw::asmx::Program program = iw::asmx::assemble(R"(
+      li t0, 100000
+  loop:
+      addi t1, t1, 3
+      xor t2, t1, t0
+      add t3, t2, t1
+      addi t0, t0, -1
+      bnez t0, loop
+      ecall
+  )");
+  for (auto _ : state) {
+    iw::rv::Machine machine(iw::rv::ri5cy(), 1 << 16);
+    machine.load_program(program.words);
+    const iw::rv::RunResult run = machine.run(0);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(run.instructions));
+  }
+}
+BENCHMARK(BM_IssInstructionRate)->Unit(benchmark::kMillisecond);
+
+void BM_AssemblerThroughput(benchmark::State& state) {
+  std::string source;
+  for (int i = 0; i < 1000; ++i) source += "  addi a0, a0, 1\n  xor a1, a0, a2\n";
+  source += "  ecall\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iw::asmx::assemble(source));
+    state.SetItemsProcessed(state.items_processed() + 2001);
+  }
+}
+BENCHMARK(BM_AssemblerThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_HostFloatInferenceNetA(benchmark::State& state) {
+  iw::Rng rng(1);
+  const iw::nn::Network net = iw::nn::make_network_a(rng);
+  const std::vector<float> input{0.1f, -0.2f, 0.3f, -0.4f, 0.5f};
+  for (auto _ : state) benchmark::DoNotOptimize(net.infer(input));
+}
+BENCHMARK(BM_HostFloatInferenceNetA);
+
+void BM_HostFixedInferenceNetA(benchmark::State& state) {
+  iw::Rng rng(1);
+  const iw::nn::Network net = iw::nn::make_network_a(rng);
+  const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
+  const auto input = qn.quantize_input(std::vector<float>{0.1f, -0.2f, 0.3f, -0.4f, 0.5f});
+  for (auto _ : state) benchmark::DoNotOptimize(qn.infer_fixed(input));
+}
+BENCHMARK(BM_HostFixedInferenceNetA);
+
+void BM_IssNetAInference(benchmark::State& state) {
+  // Full kernel run on the simulated 8-core cluster per iteration.
+  iw::Rng rng(1);
+  const iw::nn::Network net = iw::nn::make_network_a(rng);
+  const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
+  const auto input = qn.quantize_input(std::vector<float>{0.1f, -0.2f, 0.3f, -0.4f, 0.5f});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        iw::kernels::run_fixed_mlp(qn, input, iw::kernels::Target::kRi5cyMulti));
+  }
+}
+BENCHMARK(BM_IssNetAInference)->Unit(benchmark::kMillisecond);
+
+void BM_RPeakDetection(benchmark::State& state) {
+  iw::Rng rng(1);
+  const auto rr = iw::bio::generate_rr_intervals(
+      iw::bio::rr_params_for(iw::bio::StressLevel::kMedium), 60.0, rng);
+  const iw::bio::EcgSignal signal = iw::bio::synthesize_ecg(rr, {}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(iw::bio::detect_r_peaks(signal));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(signal.samples.size()));
+}
+BENCHMARK(BM_RPeakDetection)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureWindowExtraction(benchmark::State& state) {
+  iw::Rng rng(2);
+  const auto rr = iw::bio::generate_rr_intervals(
+      iw::bio::rr_params_for(iw::bio::StressLevel::kNone), 300.0, rng);
+  const iw::bio::EcgSignal ecg = iw::bio::synthesize_ecg(rr, {}, rng);
+  const iw::bio::GsrSignal gsr = iw::bio::synthesize_gsr(
+      iw::bio::gsr_params_for(iw::bio::StressLevel::kNone), 300.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iw::bio::extract_windows(ecg, gsr, {}));
+  }
+}
+BENCHMARK(BM_FeatureWindowExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Ablation: ECG sampling rate. The MAX30001-class AFE runs the paper's ECG
+// at a modest rate; this bench quantifies what sampling rate the R-peak
+// detector and HRV features actually need, by synthesizing the same
+// physiological RR series at several rates and comparing the recovered
+// features against ground truth.
+#include <cmath>
+#include <cstdio>
+
+#include "../bench/report.hpp"
+#include "bio/ecg.hpp"
+#include "bio/hrv.hpp"
+#include "bio/rpeak.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  iw::bench::print_header("Ablation - ECG sampling rate vs feature fidelity");
+
+  // Ground-truth physiology, shared across rates.
+  iw::Rng rr_rng(42);
+  const auto rr_truth = iw::bio::generate_rr_intervals(
+      iw::bio::rr_params_for(iw::bio::StressLevel::kMedium), 300.0, rr_rng);
+  const double rmssd_truth = iw::bio::rmssd(rr_truth) * 1000.0;
+  const int nn50_truth = iw::bio::nn50(rr_truth);
+
+  std::printf("ground truth: %zu beats, RMSSD %.1f ms, NN50 %d\n\n",
+              rr_truth.size(), rmssd_truth, nn50_truth);
+  std::printf("%10s %10s %14s %12s %10s %16s\n", "fs [Hz]", "beats", "missed",
+              "RMSSD ms", "NN50", "data rate B/s");
+  for (double fs : {64.0, 128.0, 256.0, 512.0}) {
+    iw::Rng noise_rng(7);
+    iw::bio::EcgSynthParams params;
+    params.fs_hz = fs;
+    const iw::bio::EcgSignal signal =
+        iw::bio::synthesize_ecg(rr_truth, params, noise_rng);
+    const auto peaks = iw::bio::detect_r_peaks(signal);
+    const auto rr = iw::bio::rr_from_peaks(peaks);
+    const int missed = static_cast<int>(rr_truth.size()) - static_cast<int>(peaks.size());
+    std::printf("%10.0f %10zu %14d %12.1f %10d %16.0f\n", fs, peaks.size(),
+                missed, iw::bio::rmssd(rr) * 1000.0, iw::bio::nn50(rr), fs * 3.0);
+  }
+  iw::bench::print_note("");
+  iw::bench::print_note("beat counts are stable from 64 Hz up, but NN50 needs beat");
+  iw::bench::print_note("timing finer than its 50 ms threshold: 64 Hz (15.6 ms bins)");
+  iw::bench::print_note("miscounts it, while 256 Hz recovers every feature at a");
+  iw::bench::print_note("moderate 768 B/s sensor data rate.");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Table I: solar power generation under different lighting
+// conditions (0.9 mW @ 700 lx indoor, 24.711 mW @ 30 klx outdoor), plus an
+// illuminance sweep showing the calibrated chain's behaviour between and
+// beyond the paper's two operating points.
+#include <cstdio>
+
+#include "../bench/report.hpp"
+#include "common/units.hpp"
+#include "harvest/solar.hpp"
+
+int main() {
+  using iw::units::to_mw;
+  const iw::hv::SolarHarvester solar = iw::hv::SolarHarvester::calibrated();
+
+  iw::bench::print_header("Table I - Solar power generation");
+  iw::bench::print_row_header("condition [net intake, mW]");
+  iw::bench::print_row("Indoor, 700 lx", 0.9, to_mw(solar.net_intake_w(700.0)), "%14.3f");
+  iw::bench::print_row("Outdoor (sun), 30 klx", 24.711,
+                       to_mw(solar.net_intake_w(30000.0)), "%14.3f");
+
+  std::printf("\n  Illuminance sweep (model interpolation/extrapolation):\n");
+  std::printf("  %10s %14s %14s\n", "lux", "panel mW", "intake mW");
+  for (double lux : {50.0, 200.0, 700.0, 2000.0, 5000.0, 10000.0, 30000.0, 60000.0}) {
+    std::printf("  %10.0f %14.3f %14.3f\n", lux, to_mw(solar.panel_power_w(lux)),
+                to_mw(solar.net_intake_w(lux)));
+  }
+  std::printf("  Calibrated panel: reference efficiency %.2f%% @ 700 lx, "
+              "saturation exponent %.3f\n",
+              100.0 * solar.panel().reference_efficiency,
+              solar.panel().saturation_exponent);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table III: runtime in cycles for Networks A and B on the four
+// execution targets (ARM Cortex-M4, Mr. Wolf IBEX, single RI5CY, 8x RI5CY).
+//
+// The workload is fixed-point MLP inference; cycle counts come from the
+// instruction-set simulator running the per-target kernels in src/kernels.
+#include <cstdio>
+#include <vector>
+
+#include "../bench/report.hpp"
+#include "common/rng.hpp"
+#include "kernels/runner.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+
+namespace {
+
+using iw::kernels::KernelRunResult;
+using iw::kernels::Target;
+
+struct PaperRow {
+  double m4, ibex, single_ri5cy, multi_ri5cy;
+};
+
+void run_network(const char* name, const iw::nn::Network& net,
+                 const PaperRow& paper) {
+  const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
+  iw::Rng rng(2020);
+  std::vector<float> input(net.num_inputs());
+  for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto fixed_input = qn.quantize_input(input);
+
+  const auto m4 = iw::kernels::run_fixed_mlp(qn, fixed_input, Target::kCortexM4);
+  const auto ibex = iw::kernels::run_fixed_mlp(qn, fixed_input, Target::kIbex);
+  const auto single = iw::kernels::run_fixed_mlp(qn, fixed_input, Target::kRi5cySingle);
+  const auto multi = iw::kernels::run_fixed_mlp(qn, fixed_input, Target::kRi5cyMulti);
+
+  iw::bench::print_header(std::string("Table III - Runtime in cycles, ") + name);
+  iw::bench::print_row_header("target");
+  iw::bench::print_row("ARM Cortex-M4", paper.m4, static_cast<double>(m4.cycles), "%14.0f");
+  iw::bench::print_row("PULP IBEX (SoC domain)", paper.ibex,
+                       static_cast<double>(ibex.cycles), "%14.0f");
+  iw::bench::print_row("PULP single RI5CY", paper.single_ri5cy,
+                       static_cast<double>(single.cycles), "%14.0f");
+  iw::bench::print_row("PULP multi RI5CY (8 cores)", paper.multi_ri5cy,
+                       static_cast<double>(multi.cycles), "%14.0f");
+
+  const double paper_speed_single = paper.m4 / paper.single_ri5cy;
+  const double paper_speed_multi = paper.m4 / paper.multi_ri5cy;
+  const double got_speed_single =
+      static_cast<double>(m4.cycles) / static_cast<double>(single.cycles);
+  const double got_speed_multi =
+      static_cast<double>(m4.cycles) / static_cast<double>(multi.cycles);
+  std::printf("  speedup vs M4: single RI5CY %.2fx (paper %.2fx), "
+              "8x RI5CY %.2fx (paper %.2fx)\n",
+              got_speed_single, paper_speed_single, got_speed_multi,
+              paper_speed_multi);
+  std::printf("  8-core diagnostics: bank-conflict stalls %llu, "
+              "barrier wait cycles %llu\n",
+              static_cast<unsigned long long>(multi.bank_conflict_stalls),
+              static_cast<unsigned long long>(multi.barrier_wait_cycles));
+}
+
+}  // namespace
+
+int main() {
+  iw::Rng rng_a(1), rng_b(2);
+  const iw::nn::Network net_a = iw::nn::make_network_a(rng_a);
+  const iw::nn::Network net_b = iw::nn::make_network_b(rng_b);
+
+  run_network("Network A (5-50-50-3)", net_a, {30210, 40661, 22772, 6126});
+  run_network("Network B (100..8, 24 hidden)", net_b, {902763, 955588, 519354, 108316});
+  return 0;
+}

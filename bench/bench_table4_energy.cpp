@@ -1,0 +1,52 @@
+// Reproduces Table IV: energy consumption per classification [uJ] for
+// Networks A and B on the four execution targets. Energy = simulated cycles
+// / frequency * calibrated active power (see power/processor_power.hpp).
+#include <cstdio>
+#include <vector>
+
+#include "../bench/report.hpp"
+#include "common/rng.hpp"
+#include "core/comparison.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+
+namespace {
+
+struct PaperRow {
+  double m4, ibex, single_ri5cy, multi_ri5cy;
+};
+
+void run_network(const char* name, const iw::nn::Network& net, const PaperRow& paper) {
+  const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
+  iw::Rng rng(4);
+  std::vector<float> input(net.num_inputs());
+  for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const iw::core::NetworkComparison cmp =
+      iw::core::compare_targets(name, qn, qn.quantize_input(input));
+
+  iw::bench::print_header(std::string("Table IV - Energy per classification [uJ], ") +
+                          name);
+  iw::bench::print_row_header("target");
+  const double paper_vals[4] = {paper.m4, paper.ibex, paper.single_ri5cy,
+                                paper.multi_ri5cy};
+  for (std::size_t i = 0; i < cmp.rows.size(); ++i) {
+    iw::bench::print_row(cmp.rows[i].name, paper_vals[i],
+                         cmp.rows[i].energy_j * 1e6, "%14.2f");
+  }
+  std::printf("  runtimes: ");
+  for (const auto& row : cmp.rows) std::printf("%.0f us  ", row.time_s * 1e6);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  iw::Rng rng_a(1), rng_b(2);
+  const iw::nn::Network net_a = iw::nn::make_network_a(rng_a);
+  const iw::nn::Network net_b = iw::nn::make_network_b(rng_b);
+  run_network("Network A", net_a, {5.1, 1.3, 2.9, 1.2});
+  run_network("Network B", net_b, {153.8, 31.5, 65.6, 21.6});
+  iw::bench::print_note("Power calibration: 10.8 mW (Nordic active), 3.2 mW (IBEX),");
+  iw::bench::print_note("12.7 mW (1x RI5CY), 19.6 mW (8x RI5CY, paper's ~20 mW).");
+  return 0;
+}

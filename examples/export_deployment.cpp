@@ -1,0 +1,65 @@
+// Deployment export: produces the firmware artifacts for a trained stress
+// classifier, in the spirit of the FANNCORTEXM toolkit the paper builds on:
+//
+//   deploy/stress_net.c      -- self-contained C inference source
+//   deploy/stress_net.iwq    -- quantized network (lossless, reloadable)
+//   deploy/stress_norm.iwn   -- feature-normalizer constants
+//
+// A device build compiles stress_net.c and feeds it features normalized
+// with the stress_norm constants; this simulation stack reloads the same
+// artifacts and verifies bit-exactness on its instruction-set simulator.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/app.hpp"
+#include "nn/export.hpp"
+
+int main() {
+  std::printf("training the stress classifier...\n");
+  iw::core::AppConfig config;
+  config.dataset.subjects = 3;
+  config.dataset.minutes_per_level = 5.0;
+  const iw::core::StressDetectionApp app = iw::core::StressDetectionApp::build(config);
+  std::printf("  float %.1f%% / fixed %.1f%% test accuracy, Q%d export\n\n",
+              100.0 * app.float_test_accuracy(), 100.0 * app.fixed_test_accuracy(),
+              app.quantized().format().frac_bits);
+
+  std::filesystem::create_directories("deploy");
+
+  {
+    std::ofstream out("deploy/stress_net.c");
+    iw::nn::ExportOptions options;
+    options.symbol_prefix = "stress_net";
+    iw::nn::export_c_source(app.quantized(), options, out);
+  }
+  {
+    std::ofstream out("deploy/stress_net.iwq");
+    app.quantized().save(out);
+  }
+  {
+    std::ofstream out("deploy/stress_norm.iwn");
+    app.normalizer().save(out);
+  }
+  std::printf("wrote deploy/stress_net.c, deploy/stress_net.iwq, "
+              "deploy/stress_norm.iwn\n");
+
+  // Round-trip check: reload the artifacts and compare a classification.
+  std::ifstream net_in("deploy/stress_net.iwq");
+  const iw::nn::QuantizedNetwork reloaded = iw::nn::QuantizedNetwork::load(net_in);
+  std::ifstream norm_in("deploy/stress_norm.iwn");
+  const iw::bio::FeatureNormalizer norm = iw::bio::FeatureNormalizer::load(norm_in);
+
+  iw::bio::RawFeatures window{};
+  window[iw::bio::kFeatRmssd] = 0.03;
+  window[iw::bio::kFeatSdsd] = 0.025;
+  window[iw::bio::kFeatNn50] = 4.0;
+  window[iw::bio::kFeatGsrl] = 1.0;
+  window[iw::bio::kFeatGsrh] = 0.3;
+  const auto features = norm.apply(window);
+  const auto a = app.quantized().infer_fixed(app.quantized().quantize_input(features));
+  const auto b = reloaded.infer_fixed(reloaded.quantize_input(features));
+  std::printf("reloaded artifacts reproduce the original outputs: %s\n",
+              a == b ? "yes (bit-exact)" : "NO");
+  return a == b ? 0 : 1;
+}

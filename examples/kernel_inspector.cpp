@@ -1,0 +1,67 @@
+// Developer tool: shows the generated MLP kernels.
+//
+// Prints the assembly source the kernel generator emits for each execution
+// target (for a small 4-6-2 network), the assembled size, and the measured
+// cycle counts side by side — useful when modifying the kernels or the
+// timing model.
+#include <cstdio>
+#include <vector>
+
+#include "asmx/assembler.hpp"
+#include "common/rng.hpp"
+#include "kernels/kernel_source.hpp"
+#include "kernels/runner.hpp"
+#include "nn/quantize.hpp"
+
+int main(int argc, char** argv) {
+  const bool full_source = argc > 1 && std::string(argv[1]) == "--full";
+
+  iw::Rng rng(5);
+  const iw::nn::Network net = iw::nn::Network::create({4, 6, 2}, rng);
+  const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
+  std::vector<float> input{0.3f, -0.2f, 0.8f, -0.5f};
+  const auto fixed = qn.quantize_input(input);
+
+  std::printf("kernel inspector: 4-6-2 tanh network, Q%d fixed point\n\n",
+              qn.format().frac_bits);
+  std::printf("%-34s %10s %12s %10s\n", "target", "words", "instructions",
+              "cycles");
+  for (iw::kernels::Target target :
+       {iw::kernels::Target::kCortexM4, iw::kernels::Target::kIbex,
+        iw::kernels::Target::kRi5cySingle, iw::kernels::Target::kRi5cyMulti}) {
+    const auto run = iw::kernels::run_fixed_mlp(qn, fixed, target);
+    std::printf("%-34s %10s %12llu %10llu\n",
+                iw::kernels::target_name(target).c_str(), "-",
+                static_cast<unsigned long long>(run.instructions),
+                static_cast<unsigned long long>(run.cycles));
+  }
+
+  // Show the RI5CY kernel source (the interesting one: hardware loops,
+  // post-increment addressing, p.clip).
+  iw::kernels::FixedKernelParams params;
+  params.frac_bits = qn.format().frac_bits;
+  params.range_fixed = qn.tanh_table().range_fixed();
+  params.step_mask = qn.tanh_table().step_fixed() - 1;
+  params.step_shift = 0;
+  while ((1 << params.step_shift) < qn.tanh_table().step_fixed()) ++params.step_shift;
+  params.n_layers = 2;
+  const std::string table =
+      "    .word 4, 6, 0x21000, 0xC0000, 0xC2000\n"
+      "    .word 6, 2, 0x21078, 0xC2000, 0xC0000\n";
+  const std::string source =
+      iw::kernels::fixed_kernel_source(iw::kernels::Flavor::kRi5cy, params, table);
+  const iw::asmx::Program program = iw::asmx::assemble(source);
+  std::printf("\nRI5CY kernel: %zu words of code+data, entry at 0x%x\n",
+              program.words.size(), program.symbol("main"));
+  if (full_source) {
+    std::printf("\n--- generated source ---------------------------------\n%s\n",
+                source.c_str());
+    std::printf("--- disassembly of the encoded image -----------------\n%s",
+                iw::asmx::disassemble_listing(program.words, program.base,
+                                              program.symbols)
+                    .c_str());
+  } else {
+    std::printf("(run with --full to dump the generated assembly source)\n");
+  }
+  return 0;
+}

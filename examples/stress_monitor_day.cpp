@@ -1,0 +1,95 @@
+// A day in the life of the bracelet: simulates InfiniWolf through a
+// realistic 24 h profile (commute daylight, office light, evening, night on
+// the nightstand) with the firmware duty cycle running stress detections,
+// and prints the battery/harvest timeline.
+#include <cstdio>
+#include <string>
+
+#include "common/units.hpp"
+#include "core/sustainability.hpp"
+#include "harvest/harvester.hpp"
+#include "platform/device.hpp"
+
+namespace {
+
+iw::hv::DayProfile realistic_day() {
+  using iw::hv::Environment;
+  using iw::hv::EnvironmentSegment;
+  using iw::units::hours_to_s;
+
+  Environment night;        // asleep, watch on the nightstand
+  night.lux = 0.0;
+  night.worn = false;
+
+  Environment morning;      // getting ready, artificial light
+  morning.lux = 300.0;
+
+  Environment commute;      // outside, cloudy daylight, some airflow
+  commute.lux = 8000.0;
+  commute.ambient_c = 15.0;
+  commute.skin_c = 30.0;
+  commute.wind_mps = 3.0;
+
+  Environment office;       // desk work
+  office.lux = 500.0;
+
+  Environment evening;      // dim living room
+  evening.lux = 150.0;
+
+  return iw::hv::DayProfile{
+      {hours_to_s(7.0), night},    // 00:00 - 07:00
+      {hours_to_s(1.0), morning},  // 07:00 - 08:00
+      {hours_to_s(0.5), commute},  // 08:00 - 08:30
+      {hours_to_s(9.0), office},   // 08:30 - 17:30
+      {hours_to_s(0.5), commute},  // 17:30 - 18:00
+      {hours_to_s(5.0), evening},  // 18:00 - 23:00
+      {hours_to_s(1.0), night},    // 23:00 - 24:00
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("InfiniWolf stress monitor - 24 h simulation\n");
+  std::printf("===========================================\n\n");
+
+  const iw::hv::DualSourceHarvester harvester =
+      iw::hv::DualSourceHarvester::calibrated();
+  const iw::hv::DayProfile day = realistic_day();
+
+  iw::platform::DeviceConfig config;
+  config.detection = iw::platform::make_detection_cost({});
+  config.detection_period_s = 60.0;  // one stress reading per minute
+  config.initial_soc = 0.40;
+
+  const iw::platform::DaySimulationResult result =
+      iw::platform::simulate_day(config, harvester, day);
+
+  std::printf("detections: %llu completed, %llu skipped (battery)\n",
+              static_cast<unsigned long long>(result.detections_completed),
+              static_cast<unsigned long long>(result.detections_skipped));
+  std::printf("energy: harvested %.2f J, consumed %.2f J\n", result.harvested_j,
+              result.consumed_j);
+  std::printf("battery: SoC %.1f%% -> %.1f%% (%s)\n\n", 100.0 * result.initial_soc,
+              100.0 * result.final_soc,
+              result.final_soc >= result.initial_soc ? "net gain" : "net loss");
+
+  // Hourly timeline from the trace.
+  const iw::sim::TraceChannel& soc = result.trace.channel("soc");
+  const iw::sim::TraceChannel& intake = result.trace.channel("intake_w");
+  std::printf("%6s %10s %14s   battery\n", "hour", "SoC %%", "intake uW");
+  for (int hour = 0; hour < 24; ++hour) {
+    const std::size_t index =
+        std::min(soc.times.size() - 1, static_cast<std::size_t>(hour) * 60 + 59);
+    const double soc_pct = 100.0 * soc.values[index];
+    const double intake_uw = intake.values[index] * 1e6;
+    std::string bar(static_cast<std::size_t>(soc_pct / 2.0), '#');
+    std::printf("%5d: %9.2f %14.1f   |%s\n", hour, soc_pct, intake_uw, bar.c_str());
+  }
+
+  std::printf("\nconclusion: at 1 detection/min the bracelet runs energy-%s over\n"
+              "this day profile; the paper's indoor-only worst case supports up\n"
+              "to ~24 detections/min.\n",
+              result.final_soc >= result.initial_soc ? "positive" : "negative");
+  return 0;
+}

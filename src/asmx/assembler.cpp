@@ -1,0 +1,695 @@
+#include "asmx/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "rvsim/encoding.hpp"
+#include "rvsim/isa.hpp"
+
+namespace iw::asmx {
+
+namespace {
+
+using rv::Decoded;
+using rv::Op;
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string strip_comment(const std::string& line) {
+  std::size_t end = line.size();
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '#' || c == ';') { end = i; break; }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') { end = i; break; }
+  }
+  return line.substr(0, end);
+}
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string last = trim(current);
+  if (!last.empty()) parts.push_back(last);
+  return parts;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+/// One assembly item occupying a single 32-bit word in the output image.
+struct Item {
+  enum class Kind { kInstr, kWord } kind = Kind::kInstr;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  std::string data_expr;  // for .word
+  std::uint32_t addr = 0;
+  int line = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(const std::string& source, std::uint32_t base) : base_(base) {
+    std::istringstream stream(source);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+      ++line_no;
+      try {
+        parse_line(strip_comment(line), line_no);
+      } catch (const Error& e) {
+        fail("asm line " + std::to_string(line_no) + ": " + e.what());
+      }
+    }
+    encode_all();
+  }
+
+  Program take() {
+    Program p;
+    p.base = base_;
+    p.words = std::move(words_);
+    p.symbols = std::move(symbols_);
+    return p;
+  }
+
+ private:
+  // ---- expression evaluation -------------------------------------------
+  std::int64_t eval(const std::string& expr, bool allow_labels) const {
+    std::size_t pos = 0;
+    const std::int64_t v = eval_sum(expr, pos, allow_labels);
+    skip_ws(expr, pos);
+    ensure(pos == expr.size(), "trailing characters in expression '" + expr + "'");
+    return v;
+  }
+
+  static void skip_ws(const std::string& s, std::size_t& pos) {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+  }
+
+  std::int64_t eval_sum(const std::string& s, std::size_t& pos, bool labels) const {
+    std::int64_t value = eval_product(s, pos, labels);
+    for (;;) {
+      skip_ws(s, pos);
+      if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) {
+        const char op = s[pos++];
+        const std::int64_t rhs = eval_product(s, pos, labels);
+        value = (op == '+') ? value + rhs : value - rhs;
+      } else {
+        return value;
+      }
+    }
+  }
+
+  std::int64_t eval_product(const std::string& s, std::size_t& pos, bool labels) const {
+    std::int64_t value = eval_term(s, pos, labels);
+    for (;;) {
+      skip_ws(s, pos);
+      if (pos < s.size() && s[pos] == '*') {
+        ++pos;
+        value *= eval_term(s, pos, labels);
+      } else {
+        return value;
+      }
+    }
+  }
+
+  std::int64_t eval_term(const std::string& s, std::size_t& pos, bool labels) const {
+    skip_ws(s, pos);
+    ensure(pos < s.size(), "empty expression");
+    if (s[pos] == '-') {
+      ++pos;
+      return -eval_term(s, pos, labels);
+    }
+    if (std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      std::size_t used = 0;
+      const std::int64_t v = std::stoll(s.substr(pos), &used, 0);
+      pos += used;
+      return v;
+    }
+    if (is_ident_start(s[pos])) {
+      std::size_t end = pos;
+      while (end < s.size() && is_ident_char(s[end])) ++end;
+      const std::string name = s.substr(pos, end - pos);
+      pos = end;
+      const auto it = symbols_.find(name);
+      if (it != symbols_.end()) return it->second;
+      ensure(labels, "undefined symbol '" + name + "' (labels not allowed here)");
+      fail("undefined symbol '" + name + "'");
+    }
+    fail("cannot parse expression at '" + s.substr(pos) + "'");
+  }
+
+  // ---- pass 1: parsing & layout ----------------------------------------
+  std::uint32_t pc() const {
+    return base_ + static_cast<std::uint32_t>(4 * items_.size());
+  }
+
+  void parse_line(std::string text, int line_no) {
+    text = trim(text);
+    // Labels (possibly several) at the start of the line.
+    for (;;) {
+      const std::size_t colon = text.find(':');
+      if (colon == std::string::npos) break;
+      const std::string head = trim(text.substr(0, colon));
+      bool is_label = !head.empty() && is_ident_start(head[0]);
+      for (char c : head) {
+        if (!is_ident_char(c)) { is_label = false; break; }
+      }
+      if (!is_label) break;
+      define_symbol(head, pc());
+      text = trim(text.substr(colon + 1));
+    }
+    if (text.empty()) return;
+
+    // Mnemonic / directive and its operand string.
+    std::size_t sp = 0;
+    while (sp < text.size() && !std::isspace(static_cast<unsigned char>(text[sp]))) ++sp;
+    std::string mnemonic = text.substr(0, sp);
+    std::transform(mnemonic.begin(), mnemonic.end(), mnemonic.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    const std::vector<std::string> ops = split_operands(trim(text.substr(sp)));
+
+    if (mnemonic == ".equ") {
+      ensure(ops.size() == 2, ".equ needs name, value");
+      define_symbol(ops[0], static_cast<std::uint32_t>(eval(ops[1], false)));
+      return;
+    }
+    if (mnemonic == ".word") {
+      ensure(!ops.empty(), ".word needs at least one value");
+      for (const std::string& op : ops) emit_word_expr(op, line_no);
+      return;
+    }
+    if (mnemonic == ".space") {
+      ensure(ops.size() == 1, ".space needs a byte count");
+      const std::int64_t bytes = eval(ops[0], false);
+      ensure(bytes >= 0 && bytes % 4 == 0, ".space must be a non-negative multiple of 4");
+      for (std::int64_t i = 0; i < bytes / 4; ++i) emit_word_expr("0", line_no);
+      return;
+    }
+    if (mnemonic == ".align") {
+      ensure(ops.size() == 1, ".align needs a byte alignment");
+      const std::int64_t align = eval(ops[0], false);
+      ensure(align > 0 && (align & (align - 1)) == 0 && align % 4 == 0,
+             ".align must be a power-of-two multiple of 4");
+      while (pc() % static_cast<std::uint32_t>(align) != 0) emit_word_expr("0", line_no);
+      return;
+    }
+    ensure(mnemonic[0] != '.', "unknown directive " + mnemonic);
+
+    expand_instruction(mnemonic, ops, line_no);
+  }
+
+  void define_symbol(const std::string& name, std::uint32_t value) {
+    ensure(!name.empty() && is_ident_start(name[0]), "bad symbol name '" + name + "'");
+    ensure(!symbols_.contains(name), "symbol redefined: " + name);
+    ensure(rv::parse_reg(name) < 0, "symbol shadows register name: " + name);
+    symbols_[name] = value;
+  }
+
+  void emit_word_expr(const std::string& expr, int line_no) {
+    Item item;
+    item.kind = Item::Kind::kWord;
+    item.data_expr = expr;
+    item.addr = pc();
+    item.line = line_no;
+    items_.push_back(std::move(item));
+  }
+
+  void emit(const std::string& mnemonic, std::vector<std::string> ops, int line_no) {
+    Item item;
+    item.mnemonic = mnemonic;
+    item.operands = std::move(ops);
+    item.addr = pc();
+    item.line = line_no;
+    items_.push_back(std::move(item));
+  }
+
+  void expand_instruction(const std::string& m, const std::vector<std::string>& ops,
+                          int line_no) {
+    const auto need = [&](std::size_t n) {
+      ensure(ops.size() == n, m + " expects " + std::to_string(n) + " operands");
+    };
+    if (m == "nop") { need(0); emit("addi", {"zero", "zero", "0"}, line_no); return; }
+    if (m == "mv") { need(2); emit("addi", {ops[0], ops[1], "0"}, line_no); return; }
+    if (m == "not") { need(2); emit("xori", {ops[0], ops[1], "-1"}, line_no); return; }
+    if (m == "neg") { need(2); emit("sub", {ops[0], "zero", ops[1]}, line_no); return; }
+    if (m == "j") { need(1); emit("jal", {"zero", ops[0]}, line_no); return; }
+    if (m == "jr") { need(1); emit("jalr", {"zero", ops[0], "0"}, line_no); return; }
+    if (m == "ret") { need(0); emit("jalr", {"zero", "ra", "0"}, line_no); return; }
+    if (m == "call") { need(1); emit("jal", {"ra", ops[0]}, line_no); return; }
+    if (m == "beqz") { need(2); emit("beq", {ops[0], "zero", ops[1]}, line_no); return; }
+    if (m == "bnez") { need(2); emit("bne", {ops[0], "zero", ops[1]}, line_no); return; }
+    if (m == "bltz") { need(2); emit("blt", {ops[0], "zero", ops[1]}, line_no); return; }
+    if (m == "bgez") { need(2); emit("bge", {ops[0], "zero", ops[1]}, line_no); return; }
+    if (m == "bgtz") { need(2); emit("blt", {"zero", ops[0], ops[1]}, line_no); return; }
+    if (m == "blez") { need(2); emit("bge", {"zero", ops[0], ops[1]}, line_no); return; }
+    if (m == "bgt") { need(3); emit("blt", {ops[1], ops[0], ops[2]}, line_no); return; }
+    if (m == "ble") { need(3); emit("bge", {ops[1], ops[0], ops[2]}, line_no); return; }
+    if (m == "bgtu") { need(3); emit("bltu", {ops[1], ops[0], ops[2]}, line_no); return; }
+    if (m == "bleu") { need(3); emit("bgeu", {ops[1], ops[0], ops[2]}, line_no); return; }
+    if (m == "fmv.s") { need(2); emit("fsgnj.s", {ops[0], ops[1], ops[1]}, line_no); return; }
+    if (m == "fneg.s") { need(2); emit("fsgnjn.s", {ops[0], ops[1], ops[1]}, line_no); return; }
+    if (m == "csrr") { need(2); emit("csrrs", {ops[0], ops[1], "zero"}, line_no); return; }
+    if (m == "li") {
+      need(2);
+      // The immediate must be resolvable in pass 1 (literal or .equ), which
+      // keeps item sizes fixed before labels are final.
+      const std::int64_t v = eval(ops[1], false);
+      ensure(v >= std::numeric_limits<std::int32_t>::min() &&
+                 v <= std::numeric_limits<std::int64_t>::max() &&
+                 v <= 0xFFFFFFFFll,
+             "li immediate out of 32-bit range");
+      const std::int32_t value = static_cast<std::int32_t>(v);
+      if (value >= -2048 && value <= 2047) {
+        emit("addi", {ops[0], "zero", std::to_string(value)}, line_no);
+      } else {
+        const std::int32_t hi = (value + 0x800) >> 12;
+        const std::int32_t lo = value - (hi << 12);
+        emit("lui", {ops[0], std::to_string(hi & 0xFFFFF)}, line_no);
+        if (lo != 0) emit("addi", {ops[0], ops[0], std::to_string(lo)}, line_no);
+        else emit("addi", {ops[0], ops[0], "0"}, line_no);
+      }
+      return;
+    }
+    if (m == "la") {
+      need(2);
+      emit("_la_hi", {ops[0], ops[1]}, line_no);
+      emit("_la_lo", {ops[0], ops[1]}, line_no);
+      return;
+    }
+    emit(m, ops, line_no);
+  }
+
+  // ---- pass 2: encoding --------------------------------------------------
+  void encode_all() {
+    words_.reserve(items_.size());
+    for (const Item& item : items_) {
+      try {
+        if (item.kind == Item::Kind::kWord) {
+          words_.push_back(static_cast<std::uint32_t>(eval(item.data_expr, true)));
+        } else {
+          words_.push_back(rv::encode(encode_item(item)));
+        }
+      } catch (const Error& e) {
+        fail("asm line " + std::to_string(item.line) + ": " + e.what());
+      }
+    }
+  }
+
+  static std::uint8_t int_reg(const std::string& token) {
+    const int r = rv::parse_reg(token);
+    ensure(r >= 0 && r < 32, "expected integer register, got '" + token + "'");
+    return static_cast<std::uint8_t>(r);
+  }
+
+  static std::uint8_t fp_reg(const std::string& token) {
+    const int r = rv::parse_reg(token);
+    ensure(r >= 32, "expected float register, got '" + token + "'");
+    return static_cast<std::uint8_t>(r - 32);
+  }
+
+  /// Parses "imm(reg)" or "imm(reg!)"; returns {reg, imm, postinc}.
+  struct MemOperand {
+    std::uint8_t reg;
+    std::int32_t imm;
+    bool postinc;
+  };
+  MemOperand mem_operand(const std::string& token) const {
+    const std::size_t open = token.find('(');
+    const std::size_t close = token.rfind(')');
+    ensure(open != std::string::npos && close != std::string::npos && close > open,
+           "expected mem operand imm(reg), got '" + token + "'");
+    std::string inner = trim(token.substr(open + 1, close - open - 1));
+    bool postinc = false;
+    if (!inner.empty() && inner.back() == '!') {
+      postinc = true;
+      inner = trim(inner.substr(0, inner.size() - 1));
+    }
+    const std::string imm_text = trim(token.substr(0, open));
+    MemOperand out;
+    out.reg = int_reg(inner);
+    out.imm = imm_text.empty() ? 0 : static_cast<std::int32_t>(eval(imm_text, true));
+    out.postinc = postinc;
+    return out;
+  }
+
+  std::int32_t imm_of(const std::string& token) const {
+    return static_cast<std::int32_t>(eval(token, true));
+  }
+
+  std::uint32_t csr_of(const std::string& token) const {
+    if (token == "mhartid") return rv::kCsrMhartid;
+    if (token == "mcycle") return rv::kCsrMcycle;
+    return static_cast<std::uint32_t>(eval(token, false));
+  }
+
+  Decoded encode_item(const Item& item) const {
+    const std::string& m = item.mnemonic;
+    const std::vector<std::string>& ops = item.operands;
+    const auto need = [&](std::size_t n) {
+      ensure(ops.size() == n, m + " expects " + std::to_string(n) + " operands");
+    };
+    Decoded d;
+
+    // Internal la halves.
+    if (m == "_la_hi" || m == "_la_lo") {
+      need(2);
+      const std::int32_t target = static_cast<std::int32_t>(eval(ops[1], true));
+      const std::int32_t hi = (target + 0x800) >> 12;
+      if (m == "_la_hi") {
+        d.op = Op::kLui;
+        d.rd = int_reg(ops[0]);
+        d.imm = hi & 0xFFFFF;
+      } else {
+        d.op = Op::kAddi;
+        d.rd = d.rs1 = int_reg(ops[0]);
+        d.imm = target - (hi << 12);
+      }
+      return d;
+    }
+
+    struct RSpec { const char* name; Op op; };
+    static constexpr RSpec kRTypes[] = {
+        {"add", Op::kAdd}, {"sub", Op::kSub}, {"sll", Op::kSll}, {"slt", Op::kSlt},
+        {"sltu", Op::kSltu}, {"xor", Op::kXor}, {"srl", Op::kSrl}, {"sra", Op::kSra},
+        {"or", Op::kOr}, {"and", Op::kAnd}, {"mul", Op::kMul}, {"mulh", Op::kMulh},
+        {"mulhsu", Op::kMulhsu}, {"mulhu", Op::kMulhu}, {"div", Op::kDiv},
+        {"divu", Op::kDivu}, {"rem", Op::kRem}, {"remu", Op::kRemu},
+        {"p.mac", Op::kPMac}, {"pv.dotsp.h", Op::kPvDotspH},
+        {"pv.sdotsp.h", Op::kPvSdotspH}, {"p.min", Op::kPMin},
+        {"p.max", Op::kPMax}};
+    for (const RSpec& spec : kRTypes) {
+      if (m == spec.name) {
+        need(3);
+        d.op = spec.op;
+        d.rd = int_reg(ops[0]);
+        d.rs1 = int_reg(ops[1]);
+        d.rs2 = int_reg(ops[2]);
+        return d;
+      }
+    }
+
+    // Unary Xpulp ALU ops: rd, rs1.
+    static constexpr RSpec kUnary[] = {
+        {"p.abs", Op::kPAbs}, {"p.exths", Op::kPExths}, {"p.extbs", Op::kPExtbs}};
+    for (const RSpec& spec : kUnary) {
+      if (m == spec.name) {
+        need(2);
+        d.op = spec.op;
+        d.rd = int_reg(ops[0]);
+        d.rs1 = int_reg(ops[1]);
+        return d;
+      }
+    }
+
+    static constexpr RSpec kITypes[] = {
+        {"addi", Op::kAddi}, {"slti", Op::kSlti}, {"sltiu", Op::kSltiu},
+        {"xori", Op::kXori}, {"ori", Op::kOri}, {"andi", Op::kAndi},
+        {"slli", Op::kSlli}, {"srli", Op::kSrli}, {"srai", Op::kSrai},
+        {"p.clip", Op::kPClip}};
+    for (const RSpec& spec : kITypes) {
+      if (m == spec.name) {
+        need(3);
+        d.op = spec.op;
+        d.rd = int_reg(ops[0]);
+        d.rs1 = int_reg(ops[1]);
+        d.imm = imm_of(ops[2]);
+        return d;
+      }
+    }
+
+    static constexpr RSpec kLoads[] = {
+        {"lb", Op::kLb}, {"lh", Op::kLh}, {"lw", Op::kLw},
+        {"lbu", Op::kLbu}, {"lhu", Op::kLhu}};
+    for (const RSpec& spec : kLoads) {
+      if (m == spec.name) {
+        need(2);
+        const MemOperand mem = mem_operand(ops[1]);
+        ensure(!mem.postinc, m + " does not allow post-increment; use p." + m);
+        d.op = spec.op;
+        d.rd = int_reg(ops[0]);
+        d.rs1 = mem.reg;
+        d.imm = mem.imm;
+        return d;
+      }
+    }
+    static constexpr RSpec kPostLoads[] = {
+        {"p.lb", Op::kPLbPost}, {"p.lh", Op::kPLhPost}, {"p.lw", Op::kPLwPost}};
+    for (const RSpec& spec : kPostLoads) {
+      if (m == spec.name) {
+        need(2);
+        const MemOperand mem = mem_operand(ops[1]);
+        ensure(mem.postinc, m + " requires post-increment syntax imm(reg!)");
+        d.op = spec.op;
+        d.rd = int_reg(ops[0]);
+        d.rs1 = mem.reg;
+        d.imm = mem.imm;
+        return d;
+      }
+    }
+    static constexpr RSpec kStores[] = {{"sb", Op::kSb}, {"sh", Op::kSh}, {"sw", Op::kSw}};
+    for (const RSpec& spec : kStores) {
+      if (m == spec.name) {
+        need(2);
+        const MemOperand mem = mem_operand(ops[1]);
+        ensure(!mem.postinc, m + " does not allow post-increment; use p." + m);
+        d.op = spec.op;
+        d.rs2 = int_reg(ops[0]);
+        d.rs1 = mem.reg;
+        d.imm = mem.imm;
+        return d;
+      }
+    }
+    static constexpr RSpec kPostStores[] = {
+        {"p.sb", Op::kPSbPost}, {"p.sh", Op::kPShPost}, {"p.sw", Op::kPSwPost}};
+    for (const RSpec& spec : kPostStores) {
+      if (m == spec.name) {
+        need(2);
+        const MemOperand mem = mem_operand(ops[1]);
+        ensure(mem.postinc, m + " requires post-increment syntax imm(reg!)");
+        d.op = spec.op;
+        d.rs2 = int_reg(ops[0]);
+        d.rs1 = mem.reg;
+        d.imm = mem.imm;
+        return d;
+      }
+    }
+
+    static constexpr RSpec kBranches[] = {
+        {"beq", Op::kBeq}, {"bne", Op::kBne}, {"blt", Op::kBlt},
+        {"bge", Op::kBge}, {"bltu", Op::kBltu}, {"bgeu", Op::kBgeu}};
+    for (const RSpec& spec : kBranches) {
+      if (m == spec.name) {
+        need(3);
+        d.op = spec.op;
+        d.rs1 = int_reg(ops[0]);
+        d.rs2 = int_reg(ops[1]);
+        d.imm = imm_of(ops[2]) - static_cast<std::int32_t>(item.addr);
+        return d;
+      }
+    }
+
+    if (m == "lui" || m == "auipc") {
+      need(2);
+      d.op = (m == "lui") ? Op::kLui : Op::kAuipc;
+      d.rd = int_reg(ops[0]);
+      d.imm = imm_of(ops[1]);
+      return d;
+    }
+    if (m == "jal") {
+      ensure(ops.size() == 1 || ops.size() == 2, "jal expects [rd,] target");
+      d.op = Op::kJal;
+      d.rd = (ops.size() == 2) ? int_reg(ops[0]) : 1;
+      d.imm = imm_of(ops.back()) - static_cast<std::int32_t>(item.addr);
+      return d;
+    }
+    if (m == "jalr") {
+      need(3);
+      d.op = Op::kJalr;
+      d.rd = int_reg(ops[0]);
+      d.rs1 = int_reg(ops[1]);
+      d.imm = imm_of(ops[2]);
+      return d;
+    }
+    if (m == "ecall") {
+      need(0);
+      d.op = Op::kEcall;
+      return d;
+    }
+    if (m == "csrrw" || m == "csrrs") {
+      need(3);
+      d.op = (m == "csrrw") ? Op::kCsrrw : Op::kCsrrs;
+      d.rd = int_reg(ops[0]);
+      d.extra = csr_of(ops[1]);
+      d.rs1 = int_reg(ops[2]);
+      return d;
+    }
+    if (m == "lp.setup" || m == "lp.setupi") {
+      need(3);
+      const std::int64_t loop = eval(ops[0], false);
+      ensure(loop == 0 || loop == 1, "hardware loop index must be 0 or 1");
+      const std::int32_t end = imm_of(ops[2]);
+      const std::int32_t off = end - static_cast<std::int32_t>(item.addr);
+      ensure(off > 0 && off % 4 == 0, "hardware loop end must follow the setup");
+      d.extra = static_cast<std::uint32_t>(loop);
+      d.imm2 = off / 4;
+      if (m == "lp.setup") {
+        d.op = Op::kLpSetup;
+        d.rs1 = int_reg(ops[1]);
+      } else {
+        d.op = Op::kLpSetupi;
+        d.imm = imm_of(ops[1]);
+      }
+      return d;
+    }
+
+    // Floating point.
+    static constexpr RSpec kFp3[] = {
+        {"fadd.s", Op::kFaddS}, {"fsub.s", Op::kFsubS}, {"fmul.s", Op::kFmulS},
+        {"fdiv.s", Op::kFdivS}, {"fsgnj.s", Op::kFsgnjS}, {"fsgnjn.s", Op::kFsgnjnS}};
+    for (const RSpec& spec : kFp3) {
+      if (m == spec.name) {
+        need(3);
+        d.op = spec.op;
+        d.rd = fp_reg(ops[0]);
+        d.rs1 = fp_reg(ops[1]);
+        d.rs2 = fp_reg(ops[2]);
+        return d;
+      }
+    }
+    static constexpr RSpec kFpCmp[] = {
+        {"feq.s", Op::kFeqS}, {"flt.s", Op::kFltS}, {"fle.s", Op::kFleS}};
+    for (const RSpec& spec : kFpCmp) {
+      if (m == spec.name) {
+        need(3);
+        d.op = spec.op;
+        d.rd = int_reg(ops[0]);
+        d.rs1 = fp_reg(ops[1]);
+        d.rs2 = fp_reg(ops[2]);
+        return d;
+      }
+    }
+    if (m == "fmadd.s") {
+      need(4);
+      d.op = Op::kFmaddS;
+      d.rd = fp_reg(ops[0]);
+      d.rs1 = fp_reg(ops[1]);
+      d.rs2 = fp_reg(ops[2]);
+      d.rs3 = fp_reg(ops[3]);
+      return d;
+    }
+    if (m == "flw" || m == "fsw") {
+      need(2);
+      const MemOperand mem = mem_operand(ops[1]);
+      ensure(!mem.postinc, m + " does not allow post-increment");
+      if (m == "flw") {
+        d.op = Op::kFlw;
+        d.rd = fp_reg(ops[0]);
+      } else {
+        d.op = Op::kFsw;
+        d.rs2 = fp_reg(ops[0]);
+      }
+      d.rs1 = mem.reg;
+      d.imm = mem.imm;
+      return d;
+    }
+    if (m == "fcvt.s.w") {
+      need(2);
+      d.op = Op::kFcvtSW;
+      d.rd = fp_reg(ops[0]);
+      d.rs1 = int_reg(ops[1]);
+      return d;
+    }
+    if (m == "fcvt.w.s") {
+      need(2);
+      d.op = Op::kFcvtWS;
+      d.rd = int_reg(ops[0]);
+      d.rs1 = fp_reg(ops[1]);
+      return d;
+    }
+    if (m == "fmv.x.w") {
+      need(2);
+      d.op = Op::kFmvXW;
+      d.rd = int_reg(ops[0]);
+      d.rs1 = fp_reg(ops[1]);
+      return d;
+    }
+    if (m == "fmv.w.x") {
+      need(2);
+      d.op = Op::kFmvWX;
+      d.rd = fp_reg(ops[0]);
+      d.rs1 = int_reg(ops[1]);
+      return d;
+    }
+
+    fail("unknown mnemonic '" + m + "'");
+  }
+
+  std::uint32_t base_;
+  std::vector<Item> items_;
+  std::vector<std::uint32_t> words_;
+  std::map<std::string, std::uint32_t> symbols_;
+};
+
+}  // namespace
+
+std::uint32_t Program::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  ensure(it != symbols.end(), "Program: unknown symbol " + name);
+  return it->second;
+}
+
+Program assemble(const std::string& source, std::uint32_t base) {
+  Assembler assembler(source, base);
+  return assembler.take();
+}
+
+std::string disassemble_listing(std::span<const std::uint32_t> words,
+                                std::uint32_t base,
+                                const std::map<std::string, std::uint32_t>& symbols) {
+  // Invert the symbol table for label annotation.
+  std::map<std::uint32_t, std::string> labels;
+  for (const auto& [name, addr] : symbols) labels[addr] = name;
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t addr = base + static_cast<std::uint32_t>(4 * i);
+    const auto label = labels.find(addr);
+    if (label != labels.end()) os << label->second << ":\n";
+    os << "  " << std::hex << std::setw(8) << std::setfill('0') << addr << "  "
+       << std::setw(8) << words[i] << std::dec << std::setfill(' ') << "  ";
+    try {
+      os << rv::to_string(rv::decode(words[i]));
+    } catch (const Error&) {
+      os << ".word " << words[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace iw::asmx

@@ -1,0 +1,52 @@
+// Two-pass assembler for the simulated ISA.
+//
+// Syntax follows GNU-as conventions for RISC-V:
+//
+//   label:                     # define a label
+//       addi  a0, a1, 42       # '#', '//' and ';' start comments
+//       lw    t0, 8(sp)
+//       p.lw  t0, 4(a1!)       # post-increment addressing
+//       beq   a0, zero, done
+//       lp.setupi 0, 16, loop_end   # hw loop 0, 16 iterations, body ends at label
+//       .word 1, 2, 0x30       # data directives: .word, .space, .align
+//       .equ  BUF, 0x1000      # compile-time constants
+//
+// Pseudo-instructions: nop, li, la, mv, not, neg, j, jr, ret, call,
+// beqz/bnez/blez/bgez/bltz/bgtz, bgt/ble/bgtu/bleu, fmv.s, fneg.s.
+//
+// Immediate operands accept simple expressions: `sym`, `123`, `0x7f`,
+// `sym+4`, `sym-8`, `4*25` (constant folding, left to right).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iw::asmx {
+
+/// Result of assembling one source: encoded words plus the symbol table.
+struct Program {
+  std::uint32_t base = 0;
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint32_t> symbols;
+
+  std::uint32_t symbol(const std::string& name) const;
+  std::uint32_t end_address() const {
+    return base + static_cast<std::uint32_t>(4 * words.size());
+  }
+};
+
+/// Assembles `source` with the first instruction placed at `base`.
+/// Throws iw::Error with a line-numbered message on any syntax error.
+Program assemble(const std::string& source, std::uint32_t base = 0);
+
+/// Disassembly listing of encoded words: one line per word with address,
+/// raw encoding, and the decoded instruction (or `.word` for data that does
+/// not decode). Known symbol addresses are annotated as labels.
+std::string disassemble_listing(std::span<const std::uint32_t> words,
+                                std::uint32_t base = 0,
+                                const std::map<std::string, std::uint32_t>& symbols = {});
+
+}  // namespace iw::asmx

@@ -1,0 +1,108 @@
+#include "bio/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::bio {
+
+namespace {
+
+/// Applies +/-variability scaling to a subject's physiological parameters.
+RrProcessParams personalize(RrProcessParams p, double variability, Rng& rng) {
+  const auto jitter = [&](double v) { return v * (1.0 + rng.uniform(-variability, variability)); };
+  p.mean_rr_s = jitter(p.mean_rr_s);
+  p.rsa_amplitude_s = jitter(p.rsa_amplitude_s);
+  p.resp_rate_hz = jitter(p.resp_rate_hz);
+  p.jitter_s = jitter(p.jitter_s);
+  p.drift_s = jitter(p.drift_s);
+  return p;
+}
+
+GsrSynthParams personalize(GsrSynthParams p, double variability, Rng& rng) {
+  const auto jitter = [&](double v) { return v * (1.0 + rng.uniform(-variability, variability)); };
+  p.tonic_level_us = jitter(p.tonic_level_us);
+  p.scr_rate_hz = jitter(p.scr_rate_hz);
+  p.scr_amplitude_us = jitter(p.scr_amplitude_us);
+  p.scr_rise_s = jitter(p.scr_rise_s);
+  p.scr_decay_s = jitter(p.scr_decay_s);
+  return p;
+}
+
+double blend(double value, double reference, double separation) {
+  return reference + separation * (value - reference);
+}
+
+/// Pulls a level's parameters toward the medium-stress preset to shrink the
+/// class separation (level_separation < 1 makes the task harder).
+RrProcessParams separate(RrProcessParams p, double separation) {
+  const RrProcessParams mid = rr_params_for(StressLevel::kMedium);
+  p.mean_rr_s = blend(p.mean_rr_s, mid.mean_rr_s, separation);
+  p.rsa_amplitude_s = blend(p.rsa_amplitude_s, mid.rsa_amplitude_s, separation);
+  p.resp_rate_hz = blend(p.resp_rate_hz, mid.resp_rate_hz, separation);
+  p.jitter_s = blend(p.jitter_s, mid.jitter_s, separation);
+  p.drift_s = blend(p.drift_s, mid.drift_s, separation);
+  return p;
+}
+
+GsrSynthParams separate(GsrSynthParams p, double separation) {
+  const GsrSynthParams mid = gsr_params_for(StressLevel::kMedium);
+  p.tonic_level_us = blend(p.tonic_level_us, mid.tonic_level_us, separation);
+  p.scr_rate_hz = blend(p.scr_rate_hz, mid.scr_rate_hz, separation);
+  p.scr_amplitude_us = blend(p.scr_amplitude_us, mid.scr_amplitude_us, separation);
+  p.scr_rise_s = blend(p.scr_rise_s, mid.scr_rise_s, separation);
+  return p;
+}
+
+}  // namespace
+
+StressDataset build_stress_dataset(const StressDatasetConfig& config) {
+  ensure(config.subjects >= 1, "build_stress_dataset: need at least one subject");
+  ensure(config.minutes_per_level >= 2.0,
+         "build_stress_dataset: need at least 2 minutes per level");
+  ensure(config.level_separation > 0.0 && config.level_separation <= 1.0,
+         "build_stress_dataset: level_separation must be in (0, 1]");
+
+  StressDataset out;
+  const double duration_s = config.minutes_per_level * 60.0;
+
+  for (int subject = 0; subject < config.subjects; ++subject) {
+    for (StressLevel level :
+         {StressLevel::kNone, StressLevel::kMedium, StressLevel::kHigh}) {
+      // Deterministic per-(subject, level) stream.
+      Rng rng(config.seed * 1000003ULL +
+              static_cast<std::uint64_t>(subject) * 131ULL +
+              static_cast<std::uint64_t>(level));
+      const RrProcessParams rr_params = personalize(
+          separate(rr_params_for(level), config.level_separation),
+          config.subject_variability, rng);
+      const GsrSynthParams gsr_params = personalize(
+          separate(gsr_params_for(level), config.level_separation),
+          config.subject_variability, rng);
+
+      const std::vector<double> rr = generate_rr_intervals(rr_params, duration_s, rng);
+      const EcgSignal ecg = synthesize_ecg(rr, EcgSynthParams{}, rng);
+      const GsrSignal gsr = synthesize_gsr(gsr_params, duration_s, rng);
+
+      for (const RawFeatures& raw : extract_windows(ecg, gsr, config.window)) {
+        LabeledWindow window;
+        window.raw = raw;
+        window.level = level;
+        window.subject = subject;
+        out.windows.push_back(window);
+      }
+    }
+  }
+  ensure(!out.windows.empty(), "build_stress_dataset: no windows extracted");
+
+  std::vector<RawFeatures> all;
+  all.reserve(out.windows.size());
+  for (const LabeledWindow& w : out.windows) all.push_back(w.raw);
+  out.normalizer = FeatureNormalizer::fit(all);
+
+  for (const LabeledWindow& w : out.windows) {
+    out.data.add(out.normalizer.apply(w.raw),
+                 nn::Dataset::one_hot(static_cast<std::size_t>(w.level), 3));
+  }
+  return out;
+}
+
+}  // namespace iw::bio

@@ -1,0 +1,51 @@
+// Labeled stress dataset builder (the drivedb substitute).
+//
+// PhysioNet's drivedb recordings (the paper's data source) are gated behind a
+// download we cannot assume; instead we synthesize multi-subject ECG + GSR
+// recordings whose HRV/EDA statistics separate by stress level, then run the
+// *identical* pipeline the paper describes: split into equal-stress segments,
+// overlapping windows, 5 features per window, 3-class labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/ecg.hpp"
+#include "bio/features.hpp"
+#include "nn/train.hpp"
+
+namespace iw::bio {
+
+struct StressDatasetConfig {
+  int subjects = 6;
+  double minutes_per_level = 10.0;
+  WindowConfig window;
+  std::uint64_t seed = 2020;
+  /// Relative inter-subject variability applied to the physiological
+  /// parameters (0.1 = +/-10%).
+  double subject_variability = 0.10;
+  /// Scales how far the stress levels' physiological parameters sit apart
+  /// (1.0 = the presets; smaller values blend every level toward the medium
+  /// preset, making the classification task harder).
+  double level_separation = 1.0;
+};
+
+struct LabeledWindow {
+  RawFeatures raw{};
+  StressLevel level = StressLevel::kNone;
+  int subject = 0;
+};
+
+struct StressDataset {
+  std::vector<LabeledWindow> windows;
+  FeatureNormalizer normalizer;
+  /// Normalized features + one-hot targets, ready for nn::train_rprop.
+  nn::Dataset data;
+};
+
+/// Generates the dataset: for every subject and stress level, synthesize a
+/// recording, extract windowed features, and label them. The normalizer is
+/// fitted on the full feature set and applied to produce `data`.
+StressDataset build_stress_dataset(const StressDatasetConfig& config = {});
+
+}  // namespace iw::bio

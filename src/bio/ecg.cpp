@@ -1,0 +1,118 @@
+#include "bio/ecg.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace iw::bio {
+
+const char* to_string(StressLevel level) {
+  switch (level) {
+    case StressLevel::kNone: return "no stress";
+    case StressLevel::kMedium: return "medium stress";
+    case StressLevel::kHigh: return "stress";
+  }
+  return "?";
+}
+
+RrProcessParams rr_params_for(StressLevel level) {
+  // Stress raises heart rate and suppresses vagally mediated short-term
+  // variability (RSA and beat-to-beat jitter), the classic HRV signature.
+  switch (level) {
+    case StressLevel::kNone:
+      return RrProcessParams{0.90, 0.055, 0.22, 0.034, 0.025};
+    case StressLevel::kMedium:
+      return RrProcessParams{0.78, 0.035, 0.28, 0.020, 0.018};
+    case StressLevel::kHigh:
+      return RrProcessParams{0.66, 0.018, 0.33, 0.010, 0.012};
+  }
+  fail("rr_params_for: bad level");
+}
+
+std::vector<double> generate_rr_intervals(const RrProcessParams& params,
+                                          double duration_s, Rng& rng) {
+  ensure(duration_s > 0.0, "generate_rr_intervals: duration must be positive");
+  ensure(params.mean_rr_s > 0.2 && params.mean_rr_s < 2.0,
+         "generate_rr_intervals: implausible mean RR");
+  std::vector<double> intervals;
+  double t = 0.0;
+  double drift = 0.0;
+  // AR(1) coefficient for the slow drift component.
+  const double alpha = 0.95;
+  while (t < duration_s) {
+    drift = alpha * drift +
+            std::sqrt(1.0 - alpha * alpha) * rng.normal(0.0, params.drift_s);
+    const double rsa = params.rsa_amplitude_s *
+                       std::sin(2.0 * std::numbers::pi * params.resp_rate_hz * t);
+    const double jitter = rng.normal(0.0, params.jitter_s);
+    double rr = params.mean_rr_s + rsa + drift + jitter;
+    rr = std::max(0.3, std::min(rr, 2.0));  // physiological clamp
+    intervals.push_back(rr);
+    t += rr;
+  }
+  return intervals;
+}
+
+namespace {
+
+/// Gaussian bump helper for waveform components.
+double bump(double t, double center, double width, double amplitude) {
+  const double z = (t - center) / width;
+  return amplitude * std::exp(-0.5 * z * z);
+}
+
+/// One P-QRS-T complex evaluated at time offset `t` after the R peak.
+double pqrst(double t, double qrs_amplitude) {
+  double v = 0.0;
+  v += bump(t, -0.20, 0.025, 0.15 * qrs_amplitude);  // P wave
+  v += bump(t, -0.025, 0.010, -0.12 * qrs_amplitude); // Q dip
+  v += bump(t, 0.0, 0.012, qrs_amplitude);            // R spike
+  v += bump(t, 0.030, 0.012, -0.20 * qrs_amplitude);  // S dip
+  v += bump(t, 0.25, 0.060, 0.30 * qrs_amplitude);    // T wave
+  return v;
+}
+
+}  // namespace
+
+EcgSignal synthesize_ecg(const std::vector<double>& rr_intervals,
+                         const EcgSynthParams& params, Rng& rng) {
+  ensure(!rr_intervals.empty(), "synthesize_ecg: empty RR series");
+  ensure(params.fs_hz >= 64.0, "synthesize_ecg: sample rate too low");
+
+  EcgSignal signal;
+  signal.fs_hz = params.fs_hz;
+  double t = 0.5;  // first beat offset
+  for (double rr : rr_intervals) {
+    signal.beat_times_s.push_back(t);
+    t += rr;
+  }
+  const double duration = t + 0.5;
+  const std::size_t n = static_cast<std::size_t>(duration * params.fs_hz);
+  signal.samples.resize(n);
+
+  std::size_t beat_lo = 0;
+  const double wander_rate = 0.3;
+  double wander_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ts = static_cast<double>(i) / params.fs_hz;
+    // Only beats within +/-0.5 s contribute.
+    while (beat_lo + 1 < signal.beat_times_s.size() &&
+           signal.beat_times_s[beat_lo] < ts - 0.5) {
+      ++beat_lo;
+    }
+    double v = 0.0;
+    for (std::size_t b = beat_lo; b < signal.beat_times_s.size(); ++b) {
+      const double dt = ts - signal.beat_times_s[b];
+      if (dt < -0.5) break;
+      v += pqrst(dt, params.qrs_amplitude_mv);
+    }
+    v += params.baseline_wander_mv *
+         std::sin(2.0 * std::numbers::pi * wander_rate * ts + wander_phase);
+    v += rng.normal(0.0, params.noise_mv);
+    signal.samples[i] = static_cast<float>(v);
+  }
+  return signal;
+}
+
+}  // namespace iw::bio

@@ -1,0 +1,57 @@
+// Synthetic ECG generation with stress-dependent heart-rate variability.
+//
+// The paper extracts its ECG features from the PhysioNet drivedb recordings.
+// As a stand-in we synthesize ECG with a physiologically structured model:
+// an RR-interval process (mean heart rate + respiratory sinus arrhythmia +
+// beat-to-beat jitter, all modulated by the stress level) that drives a
+// waveform synthesizer placing P-QRS-T complexes at each beat. Higher stress
+// raises heart rate and suppresses short-term variability (lower RMSSD/SDSD/
+// NN50), which is the separation the paper's features rely on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iw::bio {
+
+/// Discrete stress level, following the paper's 3-class scheme.
+enum class StressLevel { kNone = 0, kMedium = 1, kHigh = 2 };
+
+const char* to_string(StressLevel level);
+
+/// RR-interval process parameters for one stress level.
+struct RrProcessParams {
+  double mean_rr_s = 0.85;        // mean beat interval
+  double rsa_amplitude_s = 0.05;  // respiratory sinus arrhythmia amplitude
+  double resp_rate_hz = 0.25;     // breathing rate
+  double jitter_s = 0.03;         // white beat-to-beat jitter (drives RMSSD)
+  double drift_s = 0.02;          // slow AR(1) drift amplitude
+};
+
+/// Physiologically plausible parameter presets per stress level.
+RrProcessParams rr_params_for(StressLevel level);
+
+/// Generates RR intervals (seconds) covering at least `duration_s`.
+std::vector<double> generate_rr_intervals(const RrProcessParams& params,
+                                          double duration_s, Rng& rng);
+
+struct EcgSignal {
+  double fs_hz = 256.0;
+  std::vector<float> samples;        // millivolts
+  std::vector<double> beat_times_s;  // ground-truth R-peak times
+};
+
+struct EcgSynthParams {
+  double fs_hz = 256.0;
+  double qrs_amplitude_mv = 1.2;
+  double noise_mv = 0.02;           // measurement noise
+  double baseline_wander_mv = 0.05; // slow baseline drift
+};
+
+/// Renders a sampled ECG waveform from an RR-interval series.
+EcgSignal synthesize_ecg(const std::vector<double>& rr_intervals,
+                         const EcgSynthParams& params, Rng& rng);
+
+}  // namespace iw::bio

@@ -1,0 +1,104 @@
+#include "bio/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "bio/hrv.hpp"
+#include "bio/rpeak.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace iw::bio {
+
+RawFeatures compute_features(std::span<const double> rr_intervals_s,
+                             const std::vector<GsrSlope>& slopes) {
+  RawFeatures f{};
+  f[kFeatRmssd] = rmssd(rr_intervals_s);
+  f[kFeatSdsd] = sdsd(rr_intervals_s);
+  f[kFeatNn50] = static_cast<double>(nn50(rr_intervals_s));
+  const GsrFeatures g = gsr_features(slopes);
+  f[kFeatGsrl] = g.mean_length_s;
+  f[kFeatGsrh] = g.mean_height_us;
+  return f;
+}
+
+std::vector<RawFeatures> extract_windows(const EcgSignal& ecg, const GsrSignal& gsr,
+                                         const WindowConfig& config) {
+  ensure(config.window_s > 1.0, "extract_windows: window too short");
+  ensure(config.overlap_fraction >= 0.0 && config.overlap_fraction < 1.0,
+         "extract_windows: bad overlap");
+
+  const std::vector<double> peaks = detect_r_peaks(ecg);
+  const std::vector<GsrSlope> slopes = detect_gsr_slopes(gsr);
+
+  const double duration = std::min(
+      static_cast<double>(ecg.samples.size()) / ecg.fs_hz,
+      static_cast<double>(gsr.samples.size()) / gsr.fs_hz);
+  const double stride = config.window_s * (1.0 - config.overlap_fraction);
+
+  std::vector<RawFeatures> out;
+  for (double t0 = 0.0; t0 + config.window_s <= duration; t0 += stride) {
+    const double t1 = t0 + config.window_s;
+    // RR intervals whose *ending* peak falls inside the window.
+    std::vector<double> rr;
+    for (std::size_t i = 1; i < peaks.size(); ++i) {
+      if (peaks[i] >= t0 && peaks[i] < t1) rr.push_back(peaks[i] - peaks[i - 1]);
+    }
+    if (rr.size() < 4) continue;  // not enough beats for stable HRV features
+    std::vector<GsrSlope> window_slopes;
+    for (const GsrSlope& s : slopes) {
+      if (s.onset_s >= t0 && s.onset_s < t1) window_slopes.push_back(s);
+    }
+    out.push_back(compute_features(rr, window_slopes));
+  }
+  return out;
+}
+
+FeatureNormalizer FeatureNormalizer::fit(std::span<const RawFeatures> samples) {
+  ensure(!samples.empty(), "FeatureNormalizer::fit: no samples");
+  FeatureNormalizer norm;
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    std::vector<double> values;
+    values.reserve(samples.size());
+    for (const RawFeatures& s : samples) values.push_back(s[f]);
+    norm.lo_[f] = percentile(values, 2.0);
+    norm.hi_[f] = percentile(values, 98.0);
+    if (norm.hi_[f] - norm.lo_[f] < 1e-12) norm.hi_[f] = norm.lo_[f] + 1.0;
+  }
+  return norm;
+}
+
+void FeatureNormalizer::save(std::ostream& os) const {
+  os << "IWNORM1\n";
+  os.precision(17);
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    os << lo_[f] << ' ' << hi_[f] << '\n';
+  }
+}
+
+FeatureNormalizer FeatureNormalizer::load(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  ensure(magic == "IWNORM1", "FeatureNormalizer::load: bad magic");
+  FeatureNormalizer norm;
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    is >> norm.lo_[f] >> norm.hi_[f];
+    ensure(is.good() || is.eof(), "FeatureNormalizer::load: truncated");
+    ensure(norm.hi_[f] > norm.lo_[f], "FeatureNormalizer::load: inverted range");
+  }
+  return norm;
+}
+
+std::vector<float> FeatureNormalizer::apply(const RawFeatures& raw) const {
+  std::vector<float> out(kNumFeatures);
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    const double unit = (raw[f] - lo_[f]) / (hi_[f] - lo_[f]);  // 0..1
+    out[f] = static_cast<float>(std::clamp(2.0 * unit - 1.0, -1.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace iw::bio

@@ -1,0 +1,66 @@
+// Windowed feature extraction: the paper's 5 features per analysis window
+// (RMSSD, SDSD, NN50 from ECG; GSRL, GSRH from GSR), plus the normalizer
+// that maps raw features into the [-1, 1] range the fixed-point network
+// expects at its inputs.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "bio/ecg.hpp"
+#include "bio/gsr.hpp"
+
+namespace iw::bio {
+
+inline constexpr std::size_t kNumFeatures = 5;
+
+/// Feature order matches Fig. 3 of the paper.
+enum FeatureIndex : std::size_t {
+  kFeatRmssd = 0,
+  kFeatSdsd = 1,
+  kFeatNn50 = 2,
+  kFeatGsrl = 3,
+  kFeatGsrh = 4,
+};
+
+using RawFeatures = std::array<double, kNumFeatures>;
+
+struct WindowConfig {
+  double window_s = 60.0;
+  double overlap_fraction = 0.5;  // 50% overlapping windows, as in the paper
+};
+
+/// Extracts one feature vector per overlapping window from a synchronized
+/// ECG + GSR recording. Windows with fewer than 4 detected beats are skipped.
+std::vector<RawFeatures> extract_windows(const EcgSignal& ecg, const GsrSignal& gsr,
+                                         const WindowConfig& config = {});
+
+/// Extracts the paper's 5 features from pre-windowed primitives.
+RawFeatures compute_features(std::span<const double> rr_intervals_s,
+                             const std::vector<GsrSlope>& slopes);
+
+/// Linear per-feature normalization into [-1, 1], fitted on training data
+/// (robust to outliers via 2nd/98th percentiles) and then frozen for
+/// deployment — on the device the same constants live in firmware.
+class FeatureNormalizer {
+ public:
+  static FeatureNormalizer fit(std::span<const RawFeatures> samples);
+
+  /// Maps raw features into [-1, 1] (clamped).
+  std::vector<float> apply(const RawFeatures& raw) const;
+
+  double lo(std::size_t feature) const { return lo_[feature]; }
+  double hi(std::size_t feature) const { return hi_[feature]; }
+
+  /// Text serialization: the constants ship with the deployed firmware.
+  void save(std::ostream& os) const;
+  static FeatureNormalizer load(std::istream& is);
+
+ private:
+  std::array<double, kNumFeatures> lo_{};
+  std::array<double, kNumFeatures> hi_{};
+};
+
+}  // namespace iw::bio

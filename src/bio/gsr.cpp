@@ -1,0 +1,130 @@
+#include "bio/gsr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace iw::bio {
+
+GsrSynthParams gsr_params_for(StressLevel level) {
+  GsrSynthParams p;
+  switch (level) {
+    case StressLevel::kNone:
+      p.scr_rate_hz = 0.03;
+      p.scr_amplitude_us = 0.18;
+      p.scr_rise_s = 1.6;
+      p.tonic_level_us = 1.8;
+      break;
+    case StressLevel::kMedium:
+      p.scr_rate_hz = 0.08;
+      p.scr_amplitude_us = 0.35;
+      p.scr_rise_s = 1.2;
+      p.tonic_level_us = 2.4;
+      break;
+    case StressLevel::kHigh:
+      p.scr_rate_hz = 0.16;
+      p.scr_amplitude_us = 0.60;
+      p.scr_rise_s = 0.9;
+      p.tonic_level_us = 3.2;
+      break;
+  }
+  return p;
+}
+
+GsrSignal synthesize_gsr(const GsrSynthParams& params, double duration_s, Rng& rng) {
+  ensure(duration_s > 0.0, "synthesize_gsr: duration must be positive");
+  ensure(params.fs_hz >= 4.0, "synthesize_gsr: sample rate too low");
+
+  // Draw SCR event times from a Poisson process.
+  std::vector<double> events;
+  std::vector<double> amplitudes;
+  double t = rng.exponential(std::max(params.scr_rate_hz, 1e-6));
+  while (t < duration_s) {
+    events.push_back(t);
+    amplitudes.push_back(std::max(0.02, rng.normal(params.scr_amplitude_us,
+                                                   0.3 * params.scr_amplitude_us)));
+    t += rng.exponential(std::max(params.scr_rate_hz, 1e-6));
+  }
+
+  GsrSignal signal;
+  signal.fs_hz = params.fs_hz;
+  const std::size_t n = static_cast<std::size_t>(duration_s * params.fs_hz);
+  signal.samples.resize(n);
+  double drift = 0.0;
+  const double alpha = 0.999;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ts = static_cast<double>(i) / params.fs_hz;
+    drift = alpha * drift + (1.0 - alpha) * rng.normal(0.0, params.tonic_drift_us * 20.0);
+    double v = params.tonic_level_us + drift;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const double dt = ts - events[e];
+      if (dt < 0.0) break;  // events sorted; later ones have not started
+      // Smooth rise (sigmoid-like via 1-exp) followed by exponential decay.
+      const double rise = 1.0 - std::exp(-dt / (params.scr_rise_s / 3.0));
+      const double decay = std::exp(-std::max(0.0, dt - params.scr_rise_s) /
+                                    params.scr_decay_s);
+      v += amplitudes[e] * rise * decay;
+    }
+    v += rng.normal(0.0, params.noise_us);
+    signal.samples[i] = static_cast<float>(v);
+  }
+  return signal;
+}
+
+std::vector<GsrSlope> detect_gsr_slopes(const GsrSignal& signal,
+                                        const GsrSlopeDetectorConfig& config) {
+  std::vector<GsrSlope> slopes;
+  const std::size_t n = signal.samples.size();
+  if (n < 4) return slopes;
+
+  // Light smoothing to de-noise the derivative.
+  const std::size_t win = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.smooth_s * signal.fs_hz));
+  std::vector<double> smooth(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += signal.samples[i];
+    if (i >= win) acc -= signal.samples[i - win];
+    smooth[i] = acc / static_cast<double>(std::min(i + 1, win));
+  }
+
+  // Walk rising segments: a rise continues while the per-sample derivative
+  // stays above a small threshold (so plateaus terminate the slope).
+  const double eps = config.min_height_us * 0.05;
+  const auto rising = [&](std::size_t i) { return smooth[i] - smooth[i - 1] > eps; };
+  std::size_t i = 1;
+  while (i < n) {
+    while (i < n && !rising(i)) ++i;
+    if (i >= n) break;
+    const std::size_t start = i - 1;
+    while (i < n && rising(i)) ++i;
+    const std::size_t end = i - 1;
+    const double height = smooth[end] - smooth[start];
+    if (height >= config.min_height_us) {
+      GsrSlope slope;
+      slope.onset_s = static_cast<double>(start) / signal.fs_hz;
+      slope.length_s = static_cast<double>(end - start) / signal.fs_hz;
+      slope.height_us = height;
+      slopes.push_back(slope);
+    }
+  }
+  return slopes;
+}
+
+GsrFeatures gsr_features(const std::vector<GsrSlope>& slopes) {
+  GsrFeatures f;
+  f.slope_count = static_cast<int>(slopes.size());
+  if (slopes.empty()) return f;
+  double h = 0.0, l = 0.0;
+  for (const GsrSlope& s : slopes) {
+    h += s.height_us;
+    l += s.length_s;
+  }
+  f.mean_height_us = h / static_cast<double>(slopes.size());
+  f.mean_length_s = l / static_cast<double>(slopes.size());
+  return f;
+}
+
+}  // namespace iw::bio

@@ -1,0 +1,67 @@
+// Synthetic galvanic skin response and the paper's GSR slope features.
+//
+// GSR (electrodermal activity) consists of a slowly varying tonic level plus
+// phasic skin-conductance responses (SCRs): sharp rises followed by slow
+// exponential recovery. Arousal/stress raises both the SCR event rate and
+// amplitude. Following Bakker et al. (the paper's reference [18]), the
+// features are computed from detected rising edges: GSRH is the height and
+// GSRL the length (duration) of each rising slope.
+#pragma once
+
+#include <vector>
+
+#include "bio/ecg.hpp"  // StressLevel
+#include "common/rng.hpp"
+
+namespace iw::bio {
+
+struct GsrSignal {
+  double fs_hz = 32.0;
+  std::vector<float> samples;  // microsiemens
+};
+
+struct GsrSynthParams {
+  double fs_hz = 32.0;
+  double tonic_level_us = 2.0;
+  double tonic_drift_us = 0.1;
+  double scr_rate_hz = 0.05;        // SCR events per second
+  double scr_amplitude_us = 0.35;   // mean SCR amplitude
+  double scr_rise_s = 1.2;          // rise time
+  double scr_decay_s = 4.0;         // recovery time constant
+  double noise_us = 0.01;
+};
+
+/// Parameter presets per stress level: stress raises SCR rate and amplitude.
+GsrSynthParams gsr_params_for(StressLevel level);
+
+/// Generates a sampled GSR trace of the given duration.
+GsrSignal synthesize_gsr(const GsrSynthParams& params, double duration_s, Rng& rng);
+
+/// One detected rising slope of the GSR signal.
+struct GsrSlope {
+  double onset_s = 0.0;
+  double length_s = 0.0;  // GSRL: duration of the rise
+  double height_us = 0.0; // GSRH: amplitude of the rise
+};
+
+struct GsrSlopeDetectorConfig {
+  /// Minimum rise (microsiemens) for a slope to count as an SCR.
+  double min_height_us = 0.05;
+  /// Smoothing window for the derivative (seconds).
+  double smooth_s = 0.25;
+};
+
+/// Detects rising edges following Bakker et al.'s slope-based scheme.
+std::vector<GsrSlope> detect_gsr_slopes(const GsrSignal& signal,
+                                        const GsrSlopeDetectorConfig& config = {});
+
+/// Aggregate slope features over a window: mean height and mean length.
+/// Returns {0, 0} when no slopes were detected.
+struct GsrFeatures {
+  double mean_height_us = 0.0;  // GSRH
+  double mean_length_s = 0.0;   // GSRL
+  int slope_count = 0;
+};
+GsrFeatures gsr_features(const std::vector<GsrSlope>& slopes);
+
+}  // namespace iw::bio

@@ -1,0 +1,95 @@
+#include "bio/hrv.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace iw::bio {
+
+namespace {
+std::vector<double> successive_differences(std::span<const double> rr_s) {
+  std::vector<double> diffs;
+  if (rr_s.size() < 2) return diffs;
+  diffs.reserve(rr_s.size() - 1);
+  for (std::size_t i = 1; i < rr_s.size(); ++i) diffs.push_back(rr_s[i] - rr_s[i - 1]);
+  return diffs;
+}
+}  // namespace
+
+double rmssd(std::span<const double> rr_s) {
+  const std::vector<double> diffs = successive_differences(rr_s);
+  if (diffs.empty()) return 0.0;
+  return rms(diffs);
+}
+
+double sdsd(std::span<const double> rr_s) {
+  const std::vector<double> diffs = successive_differences(rr_s);
+  if (diffs.size() < 2) return 0.0;
+  return stddev(diffs);
+}
+
+int nn50(std::span<const double> rr_s) {
+  const std::vector<double> diffs = successive_differences(rr_s);
+  int count = 0;
+  for (double d : diffs) {
+    if (std::abs(d) > 0.050) ++count;
+  }
+  return count;
+}
+
+double pnn50(std::span<const double> rr_s) {
+  const std::vector<double> diffs = successive_differences(rr_s);
+  if (diffs.empty()) return 0.0;
+  return static_cast<double>(nn50(rr_s)) / static_cast<double>(diffs.size());
+}
+
+double mean_heart_rate_bpm(std::span<const double> rr_s) {
+  ensure(!rr_s.empty(), "mean_heart_rate_bpm: empty RR series");
+  return 60.0 / mean(rr_s);
+}
+
+double sdnn(std::span<const double> rr_s) {
+  if (rr_s.size() < 2) return 0.0;
+  return stddev(rr_s);
+}
+
+double pnn20(std::span<const double> rr_s) {
+  const std::vector<double> diffs = successive_differences(rr_s);
+  if (diffs.empty()) return 0.0;
+  int count = 0;
+  for (double d : diffs) {
+    if (std::abs(d) > 0.020) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(diffs.size());
+}
+
+PoincareDescriptors poincare(std::span<const double> rr_s) {
+  PoincareDescriptors out;
+  const std::vector<double> diffs = successive_differences(rr_s);
+  if (diffs.size() < 2) return out;
+  // SD1^2 = var(diffs)/2 ; SD2^2 = 2*SDNN^2 - SD1^2 (standard identities).
+  const double sd1_sq = variance(diffs) / 2.0;
+  const double sdnn_sq = variance(rr_s);
+  out.sd1_s = std::sqrt(std::max(0.0, sd1_sq));
+  out.sd2_s = std::sqrt(std::max(0.0, 2.0 * sdnn_sq - sd1_sq));
+  out.ratio = out.sd1_s > 0.0 ? out.sd2_s / out.sd1_s : 0.0;
+  return out;
+}
+
+double triangular_index(std::span<const double> rr_s) {
+  if (rr_s.size() < 2) return 0.0;
+  // Histogram with the task-force bin width of 1/128 s.
+  constexpr double kBin = 1.0 / 128.0;
+  std::vector<int> bins;
+  int peak = 0;
+  for (double rr : rr_s) {
+    const std::size_t index = static_cast<std::size_t>(rr / kBin);
+    if (index >= bins.size()) bins.resize(index + 1, 0);
+    peak = std::max(peak, ++bins[index]);
+  }
+  return static_cast<double>(rr_s.size()) / static_cast<double>(peak);
+}
+
+}  // namespace iw::bio

@@ -1,0 +1,48 @@
+// Heart-rate-variability features used by the paper (Section III):
+// RMSSD, SDSD and NN50 over the successive differences of RR intervals.
+#pragma once
+
+#include <span>
+
+namespace iw::bio {
+
+/// Root mean square of successive RR differences (seconds). Requires at
+/// least two intervals; returns 0 otherwise.
+double rmssd(std::span<const double> rr_s);
+
+/// Standard deviation of successive RR differences (seconds).
+double sdsd(std::span<const double> rr_s);
+
+/// Number of adjacent RR pairs differing by more than 50 ms.
+int nn50(std::span<const double> rr_s);
+
+/// NN50 normalized by the number of difference pairs (pNN50 in [0,1]).
+double pnn50(std::span<const double> rr_s);
+
+/// Mean heart rate in beats per minute.
+double mean_heart_rate_bpm(std::span<const double> rr_s);
+
+// --- extended HRV metrics (library completeness beyond the paper's five
+// features; useful for richer classifiers on the same pipeline) -----------
+
+/// Standard deviation of the RR intervals themselves (seconds).
+double sdnn(std::span<const double> rr_s);
+
+/// Fraction of adjacent pairs differing by more than 20 ms (pNN20, [0,1]).
+double pnn20(std::span<const double> rr_s);
+
+/// Poincare-plot descriptors: SD1 (short-term) and SD2 (long-term)
+/// dispersion along the perpendicular/parallel of the identity line.
+struct PoincareDescriptors {
+  double sd1_s = 0.0;
+  double sd2_s = 0.0;
+  /// SD2/SD1 ratio; 0 when SD1 is 0.
+  double ratio = 0.0;
+};
+PoincareDescriptors poincare(std::span<const double> rr_s);
+
+/// HRV triangular index: count / max histogram bin over 1/128 s bins
+/// (standard task-force definition). Returns 0 for fewer than 2 intervals.
+double triangular_index(std::span<const double> rr_s);
+
+}  // namespace iw::bio

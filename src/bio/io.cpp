@@ -1,0 +1,86 @@
+#include "bio/io.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iw::bio {
+
+void write_signal_csv(std::ostream& os, double fs_hz,
+                      const std::vector<float>& samples,
+                      const std::string& value_name) {
+  ensure(fs_hz > 0.0, "write_signal_csv: bad sample rate");
+  os << "time_s," << value_name << "\n";
+  // Enough digits that the uniform time base survives the text round trip
+  // even for long recordings.
+  os << std::setprecision(12);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    os << static_cast<double>(i) / fs_hz << ',' << samples[i] << '\n';
+  }
+}
+
+CsvSignal read_signal_csv(std::istream& is) {
+  std::string line;
+  ensure(static_cast<bool>(std::getline(is, line)), "read_signal_csv: empty input");
+  ensure(line.find(',') != std::string::npos, "read_signal_csv: missing header");
+
+  CsvSignal signal;
+  std::vector<double> times;
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t comma = line.find(',');
+    ensure(comma != std::string::npos,
+           "read_signal_csv: malformed row at line " + std::to_string(line_no));
+    try {
+      times.push_back(std::stod(line.substr(0, comma)));
+      signal.samples.push_back(std::stof(line.substr(comma + 1)));
+    } catch (const std::exception&) {
+      fail("read_signal_csv: unparsable number at line " + std::to_string(line_no));
+    }
+  }
+  ensure(times.size() >= 2, "read_signal_csv: need at least two samples");
+
+  const double dt = (times.back() - times.front()) /
+                    static_cast<double>(times.size() - 1);
+  ensure(dt > 0.0, "read_signal_csv: non-increasing time base");
+  // Tolerate text-format rounding but reject grossly non-uniform bases.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double step = times[i] - times[i - 1];
+    ensure(std::abs(step - dt) <= 0.2 * dt,
+           "read_signal_csv: non-uniform time base at row " + std::to_string(i));
+  }
+  signal.fs_hz = 1.0 / dt;
+  return signal;
+}
+
+void save_ecg_csv(std::ostream& os, const EcgSignal& signal) {
+  write_signal_csv(os, signal.fs_hz, signal.samples, "ecg_mv");
+}
+
+EcgSignal load_ecg_csv(std::istream& is) {
+  const CsvSignal csv = read_signal_csv(is);
+  EcgSignal signal;
+  signal.fs_hz = csv.fs_hz;
+  signal.samples = csv.samples;
+  return signal;
+}
+
+void save_gsr_csv(std::ostream& os, const GsrSignal& signal) {
+  write_signal_csv(os, signal.fs_hz, signal.samples, "gsr_us");
+}
+
+GsrSignal load_gsr_csv(std::istream& is) {
+  const CsvSignal csv = read_signal_csv(is);
+  GsrSignal signal;
+  signal.fs_hz = csv.fs_hz;
+  signal.samples = csv.samples;
+  return signal;
+}
+
+}  // namespace iw::bio

@@ -1,0 +1,38 @@
+// CSV import/export for biosignal recordings.
+//
+// Lets users run the InfiniWolf pipeline on their own data (e.g. actual
+// drivedb exports converted to CSV) and persist synthetic recordings.
+// Format: a two-column CSV "time_s,value" with a header line; the sample
+// rate is recovered from the time column (must be uniform).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bio/ecg.hpp"
+#include "bio/gsr.hpp"
+
+namespace iw::bio {
+
+/// Writes samples as "time_s,value" rows with the given header name.
+void write_signal_csv(std::ostream& os, double fs_hz,
+                      const std::vector<float>& samples,
+                      const std::string& value_name);
+
+/// Parsed generic signal.
+struct CsvSignal {
+  double fs_hz = 0.0;
+  std::vector<float> samples;
+};
+
+/// Reads a two-column CSV written by write_signal_csv (or compatible).
+/// Throws on malformed rows or a non-uniform time base (0.1% tolerance).
+CsvSignal read_signal_csv(std::istream& is);
+
+/// Convenience wrappers for the two signal types.
+void save_ecg_csv(std::ostream& os, const EcgSignal& signal);
+EcgSignal load_ecg_csv(std::istream& is);
+void save_gsr_csv(std::ostream& os, const GsrSignal& signal);
+GsrSignal load_gsr_csv(std::istream& is);
+
+}  // namespace iw::bio

@@ -1,0 +1,87 @@
+#include "bio/rpeak.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::bio {
+
+std::vector<double> detect_r_peaks(const EcgSignal& signal,
+                                   const RPeakDetectorConfig& config) {
+  ensure(!signal.samples.empty(), "detect_r_peaks: empty signal");
+  const std::size_t n = signal.samples.size();
+  const double fs = signal.fs_hz;
+
+  // 1. Low-pass smoothing so the derivative's noise floor does not scale
+  // with the sampling rate (Pan-Tompkins uses a bandpass here).
+  const std::size_t lp =
+      std::max<std::size_t>(1, static_cast<std::size_t>(config.lowpass_s * fs));
+  std::vector<double> smooth(n, 0.0);
+  double lp_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    lp_acc += signal.samples[i];
+    if (i >= lp) lp_acc -= signal.samples[i - lp];
+    smooth[i] = lp_acc / static_cast<double>(std::min(i + 1, lp));
+  }
+
+  // 2. Derivative (suppresses baseline wander and P/T waves), then square.
+  std::vector<double> energy(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double d = (smooth[i] - smooth[i - 1]) * fs;
+    energy[i] = d * d;
+  }
+
+  // 3. Moving-window integration.
+  const std::size_t win = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.integration_window_s * fs));
+  std::vector<double> integrated(n, 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += energy[i];
+    if (i >= win) acc -= energy[i - win];
+    integrated[i] = acc / static_cast<double>(win);
+  }
+
+  // 4. Adaptive threshold with refractory period.
+  const std::size_t refractory =
+      static_cast<std::size_t>(config.refractory_s * fs);
+  const double global_peak = *std::max_element(integrated.begin(), integrated.end());
+  double running_peak = global_peak;
+  std::vector<double> peaks;
+  std::size_t last_peak = 0;
+  bool have_peak = false;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (have_peak && i - last_peak < refractory) continue;
+    const double threshold = config.threshold_fraction * running_peak;
+    if (integrated[i] > threshold && integrated[i] >= integrated[i - 1] &&
+        integrated[i] >= integrated[i + 1]) {
+      // Refine: local maximum of the raw signal around the integrator peak.
+      const std::size_t lo = i >= win ? i - win : 0;
+      const std::size_t hi = std::min(n - 1, i + win / 2);
+      std::size_t best = lo;
+      for (std::size_t j = lo; j <= hi; ++j) {
+        if (signal.samples[j] > signal.samples[best]) best = j;
+      }
+      peaks.push_back(static_cast<double>(best) / fs);
+      last_peak = i;
+      have_peak = true;
+      running_peak = 0.875 * running_peak + 0.125 * integrated[i];
+    }
+  }
+  // De-duplicate refined peaks that collapsed onto the same sample.
+  peaks.erase(std::unique(peaks.begin(), peaks.end()), peaks.end());
+  return peaks;
+}
+
+std::vector<double> rr_from_peaks(const std::vector<double>& peak_times_s) {
+  std::vector<double> rr;
+  if (peak_times_s.size() < 2) return rr;
+  rr.reserve(peak_times_s.size() - 1);
+  for (std::size_t i = 1; i < peak_times_s.size(); ++i) {
+    rr.push_back(peak_times_s[i] - peak_times_s[i - 1]);
+  }
+  return rr;
+}
+
+}  // namespace iw::bio

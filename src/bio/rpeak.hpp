@@ -1,0 +1,29 @@
+// R-peak detection (Pan-Tompkins style) and RR-interval extraction.
+#pragma once
+
+#include <vector>
+
+#include "bio/ecg.hpp"
+
+namespace iw::bio {
+
+struct RPeakDetectorConfig {
+  /// Low-pass (boxcar) window applied before differentiation; without it the
+  /// derivative's noise power grows with the sampling rate squared.
+  double lowpass_s = 0.025;
+  /// Moving-integration window (seconds) over the squared derivative.
+  double integration_window_s = 0.12;
+  /// Refractory period after a detection (seconds).
+  double refractory_s = 0.25;
+  /// Threshold as a fraction of the running signal peak estimate.
+  double threshold_fraction = 0.35;
+};
+
+/// Detects R-peak times (seconds) in a sampled ECG.
+std::vector<double> detect_r_peaks(const EcgSignal& signal,
+                                   const RPeakDetectorConfig& config = {});
+
+/// Converts peak times into RR intervals (seconds).
+std::vector<double> rr_from_peaks(const std::vector<double>& peak_times_s);
+
+}  // namespace iw::bio

@@ -1,0 +1,42 @@
+#include "ble/ble.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::ble {
+
+BleLink::BleLink(BleRadioParams params) : params_(params) {
+  ensure(params_.supply_v > 0.0 && params_.phy_rate_bps > 0.0 &&
+             params_.connection_interval_s > 0.0 && params_.max_payload_bytes > 0.0,
+         "BleLink: invalid parameters");
+}
+
+double BleLink::event_energy_j(double payload_bytes) const {
+  ensure(payload_bytes >= 0.0, "BleLink: negative payload");
+  const double pdus = std::max(1.0, std::ceil(payload_bytes / params_.max_payload_bytes));
+  const double on_air_bytes =
+      payload_bytes + pdus * params_.protocol_overhead_bytes;
+  const double airtime_s = on_air_bytes * 8.0 / params_.phy_rate_bps;
+  // TX the data, RX the acknowledgements (symmetric current to first order).
+  const double active_s = params_.event_overhead_s + 2.0 * airtime_s;
+  const double active_power =
+      0.5 * (params_.tx_current_a + params_.rx_current_a) * params_.supply_v;
+  return active_s * active_power;
+}
+
+double BleLink::streaming_power_w(double bytes_per_s) const {
+  ensure(bytes_per_s >= 0.0, "BleLink: negative stream rate");
+  const double bytes_per_event = bytes_per_s * params_.connection_interval_s;
+  const double events_per_s = 1.0 / params_.connection_interval_s;
+  return event_energy_j(bytes_per_event) * events_per_s +
+         params_.idle_current_a * params_.supply_v;
+}
+
+double BleLink::notification_energy_j(double bytes) const {
+  return event_energy_j(bytes);
+}
+
+double BleLink::idle_connection_power_w() const { return streaming_power_w(0.0); }
+
+}  // namespace iw::ble

@@ -1,0 +1,52 @@
+// BLE 5 radio energy model for the nRF52832.
+//
+// Section II motivates the dual-processor architecture with local end-to-end
+// processing being cheaper (and more robust) than streaming raw sensor data
+// over BLE. This model quantifies the radio side: a connection event costs a
+// fixed overhead (crystal + radio startup + protocol exchange) plus airtime
+// for the payload; sustained streaming energy follows from the event rate
+// needed to carry the data.
+#pragma once
+
+namespace iw::ble {
+
+struct BleRadioParams {
+  double supply_v = 3.0;
+  double tx_current_a = 5.3e-3;   // 0 dBm, DC/DC enabled (nRF52832 datasheet)
+  double rx_current_a = 5.4e-3;
+  double idle_current_a = 1.5e-6; // sleep with RTC for the connection timer
+  /// Radio + HFXO startup and protocol turnaround per connection event.
+  double event_overhead_s = 300e-6;
+  double phy_rate_bps = 1e6;      // BLE 1M PHY
+  double max_payload_bytes = 244.0;  // BLE 5 data length extension
+  double protocol_overhead_bytes = 14.0;  // header + MIC + CRC per PDU
+  double connection_interval_s = 0.030;
+};
+
+class BleLink {
+ public:
+  explicit BleLink(BleRadioParams params = {});
+
+  /// Energy of one connection event carrying `payload_bytes` of application
+  /// data (possibly split into multiple PDUs).
+  double event_energy_j(double payload_bytes) const;
+
+  /// Energy of an empty (keep-alive) connection event.
+  double keepalive_event_energy_j() const { return event_energy_j(0.0); }
+
+  /// Average radio power to sustain a raw stream of `bytes_per_s`.
+  double streaming_power_w(double bytes_per_s) const;
+
+  /// Energy to ship a single notification of `bytes` (one event).
+  double notification_energy_j(double bytes) const;
+
+  /// Average power when connected but idle (keep-alive events only).
+  double idle_connection_power_w() const;
+
+  const BleRadioParams& params() const { return params_; }
+
+ private:
+  BleRadioParams params_;
+};
+
+}  // namespace iw::ble

@@ -1,0 +1,27 @@
+// Error-handling primitives shared by every InfiniWolf module.
+//
+// The library follows the C++ Core Guidelines' error model: recoverable
+// errors throw exceptions derived from std::runtime_error; programming
+// errors (broken preconditions) also throw so that tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace iw {
+
+/// Base class for all errors raised by the InfiniWolf libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws iw::Error with the given message. Marked noreturn so callers can
+/// use it in value-returning control flow.
+[[noreturn]] void fail(std::string_view message);
+
+/// Precondition/invariant check: throws iw::Error when `condition` is false.
+void ensure(bool condition, std::string_view message);
+
+}  // namespace iw

@@ -1,0 +1,55 @@
+#include "common/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iw::fx {
+
+namespace {
+constexpr std::int64_t kMin32 = std::numeric_limits<std::int32_t>::min();
+constexpr std::int64_t kMax32 = std::numeric_limits<std::int32_t>::max();
+}  // namespace
+
+std::int32_t sat32(std::int64_t v) {
+  return static_cast<std::int32_t>(std::clamp(v, kMin32, kMax32));
+}
+
+std::int32_t to_fixed(double value, QFormat q) {
+  const double scaled = std::nearbyint(value * q.scale());
+  if (scaled >= static_cast<double>(kMax32)) return static_cast<std::int32_t>(kMax32);
+  if (scaled <= static_cast<double>(kMin32)) return static_cast<std::int32_t>(kMin32);
+  return static_cast<std::int32_t>(scaled);
+}
+
+double to_double(std::int32_t value, QFormat q) {
+  return static_cast<double>(value) / q.scale();
+}
+
+std::int32_t sat_add(std::int32_t a, std::int32_t b) {
+  return sat32(static_cast<std::int64_t>(a) + b);
+}
+
+std::int32_t sat_sub(std::int32_t a, std::int32_t b) {
+  return sat32(static_cast<std::int64_t>(a) - b);
+}
+
+std::int32_t mul(std::int32_t a, std::int32_t b, QFormat q) {
+  const std::int64_t p = static_cast<std::int64_t>(a) * b;
+  return sat32(p >> q.frac_bits);
+}
+
+std::int64_t mac(std::int64_t acc, std::int32_t a, std::int32_t b) {
+  return acc + static_cast<std::int64_t>(a) * b;
+}
+
+std::int32_t reduce_acc(std::int64_t acc, QFormat q) {
+  // Round-to-nearest before the arithmetic shift.
+  const std::int64_t rounding = std::int64_t{1} << (q.frac_bits - 1);
+  return sat32((acc + rounding) >> q.frac_bits);
+}
+
+std::int32_t clip(std::int32_t v, std::int32_t bound) {
+  return std::clamp(v, -bound, bound);
+}
+
+}  // namespace iw::fx

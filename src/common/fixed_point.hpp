@@ -1,0 +1,58 @@
+// Fixed-point arithmetic in the FANN style.
+//
+// FANN's fixed-point export represents every activation and weight of a
+// network as a 32-bit integer with a single network-wide "decimal point"
+// (number of fractional bits). The kernels running on the simulated cores
+// (src/kernels) and the host-side reference implementation (src/nn) both use
+// the operations defined here so their results match bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace iw::fx {
+
+/// A Q-format descriptor: value = integer / 2^frac_bits.
+struct QFormat {
+  int frac_bits = 13;
+
+  constexpr double scale() const { return static_cast<double>(1u << frac_bits); }
+  /// One unit in the last place, expressed as a real value.
+  constexpr double ulp() const { return 1.0 / scale(); }
+  /// Largest representable real value.
+  constexpr double max_value() const {
+    return static_cast<double>(std::numeric_limits<std::int32_t>::max()) / scale();
+  }
+};
+
+/// Saturating conversion from double to fixed point (round to nearest).
+std::int32_t to_fixed(double value, QFormat q);
+
+/// Conversion from fixed point back to double.
+double to_double(std::int32_t value, QFormat q);
+
+/// Saturating 32-bit addition.
+std::int32_t sat_add(std::int32_t a, std::int32_t b);
+
+/// Saturating 32-bit subtraction.
+std::int32_t sat_sub(std::int32_t a, std::int32_t b);
+
+/// Fixed-point multiply: (a * b) >> frac_bits with a 64-bit intermediate and
+/// saturation of the final result.
+std::int32_t mul(std::int32_t a, std::int32_t b, QFormat q);
+
+/// Multiply-accumulate with a 64-bit accumulator: acc + a * b (no shift).
+/// The caller shifts once per dot product, which is what the kernels do.
+std::int64_t mac(std::int64_t acc, std::int32_t a, std::int32_t b);
+
+/// Reduce a 64-bit accumulator of frac_bits*2 weighted products back to
+/// Q(frac_bits), with rounding and saturation.
+std::int32_t reduce_acc(std::int64_t acc, QFormat q);
+
+/// Saturate a 64-bit value into int32 range.
+std::int32_t sat32(std::int64_t v);
+
+/// Clip to a symmetric range [-bound, bound].
+std::int32_t clip(std::int32_t v, std::int32_t bound);
+
+}  // namespace iw::fx

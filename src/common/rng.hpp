@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic parts of the simulation stack (synthetic biosignals, noise
+// injection, weight initialization) draw from this xoshiro256** generator so
+// that experiments are reproducible bit-for-bit across runs given a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iw {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies UniformRandomBitGenerator so it can also drive <random>
+/// distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1f2e3d4c5b6a7988ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential with the given rate (events per unit time). Requires rate > 0.
+  double exponential(double rate);
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace iw

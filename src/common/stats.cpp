@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw {
+
+double mean(std::span<const double> values) {
+  ensure(!values.empty(), "mean of empty range");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double rms(std::span<const double> values) {
+  ensure(!values.empty(), "rms of empty range");
+  double sum = 0.0;
+  for (double v : values) sum += v * v;
+  return std::sqrt(sum / static_cast<double>(values.size()));
+}
+
+double min_value(std::span<const double> values) {
+  ensure(!values.empty(), "min of empty range");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  ensure(!values.empty(), "max of empty range");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::vector<double> values, double p) {
+  ensure(!values.empty(), "percentile of empty range");
+  ensure(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace iw

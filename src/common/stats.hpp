@@ -1,0 +1,41 @@
+// Small statistics helpers used by the feature extractors, the benchmark
+// harnesses and the tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iw {
+
+double mean(std::span<const double> values);
+/// Sample variance (divides by n - 1); returns 0 for fewer than two samples.
+double variance(std::span<const double> values);
+double stddev(std::span<const double> values);
+double rms(std::span<const double> values);
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Linear-interpolation percentile, p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace iw

@@ -1,0 +1,52 @@
+#include "common/tanh_lut.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::fx {
+
+namespace {
+bool is_power_of_two(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+TanhTable::TanhTable(QFormat q, int log2_size, double range)
+    : q_(q), log2_size_(log2_size), range_(range) {
+  ensure(log2_size >= 4 && log2_size <= 16, "TanhTable: log2_size out of range");
+  range_fixed_ = to_fixed(range, q);
+  ensure(is_power_of_two(range_fixed_),
+         "TanhTable: range must map to a power-of-two fixed value so the "
+         "kernels can index with shifts");
+  const std::int64_t span = 2 * static_cast<std::int64_t>(range_fixed_);
+  const std::int64_t step = span >> log2_size;
+  ensure(step >= 1, "TanhTable: table too fine for this Q format");
+  step_fixed_ = static_cast<std::int32_t>(step);
+  step_shift_ = 0;
+  while ((std::int64_t{1} << step_shift_) < step) ++step_shift_;
+  ensure((std::int64_t{1} << step_shift_) == step, "TanhTable: step not a power of two");
+
+  const std::size_t size = std::size_t{1} << log2_size;
+  samples_.resize(size + 1);
+  for (std::size_t i = 0; i <= size; ++i) {
+    const double x = -range + static_cast<double>(i) * (2.0 * range / static_cast<double>(size));
+    samples_[i] = to_fixed(std::tanh(x), q);
+  }
+}
+
+std::int32_t TanhTable::eval(std::int32_t x) const {
+  if (x <= -range_fixed_) return samples_.front();
+  if (x >= range_fixed_) return samples_.back();
+  const std::int64_t offset = static_cast<std::int64_t>(x) + range_fixed_;
+  const std::size_t index = static_cast<std::size_t>(offset >> step_shift_);
+  const std::int32_t frac = static_cast<std::int32_t>(offset & (step_fixed_ - 1));
+  const std::int32_t y0 = samples_[index];
+  const std::int32_t y1 = samples_[index + 1];
+  const std::int64_t delta = (static_cast<std::int64_t>(y1 - y0) * frac) >> step_shift_;
+  return static_cast<std::int32_t>(y0 + delta);
+}
+
+double TanhTable::eval_real(double x) const {
+  return to_double(eval(to_fixed(x, q_)), q_);
+}
+
+}  // namespace iw::fx

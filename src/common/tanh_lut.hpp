@@ -1,0 +1,51 @@
+// Fixed-point tanh activation via lookup table with linear interpolation.
+//
+// FANN approximates sigmoidal activations with a piecewise-linear function in
+// fixed-point mode. We use a uniformly sampled tanh table over [-range, range]
+// with linear interpolation between samples; inputs outside the range saturate
+// to +/-1. The table layout is chosen so the assembly kernels (src/kernels)
+// can evaluate it with shifts, one load pair and one multiply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+
+namespace iw::fx {
+
+/// Precomputed tanh table in a given Q format.
+class TanhTable {
+ public:
+  /// Builds a table of `size + 1` samples (size must be a power of two)
+  /// covering [-range, range].
+  TanhTable(QFormat q, int log2_size = 9, double range = 4.0);
+
+  /// Evaluates tanh(x) for a fixed-point x in the table's Q format.
+  std::int32_t eval(std::int32_t x) const;
+
+  /// Reference double-precision evaluation of the same approximation (used by
+  /// property tests to bound the approximation error).
+  double eval_real(double x) const;
+
+  QFormat format() const { return q_; }
+  int log2_size() const { return log2_size_; }
+  double range() const { return range_; }
+  const std::vector<std::int32_t>& samples() const { return samples_; }
+
+  /// Fixed-point value of `range` (the saturation threshold).
+  std::int32_t range_fixed() const { return range_fixed_; }
+  /// Number of input ulps covered by one table step.
+  std::int32_t step_fixed() const { return step_fixed_; }
+
+ private:
+  QFormat q_;
+  int log2_size_;
+  double range_;
+  std::int32_t range_fixed_;
+  std::int32_t step_fixed_;
+  int step_shift_;
+  std::vector<std::int32_t> samples_;
+};
+
+}  // namespace iw::fx

@@ -1,0 +1,44 @@
+// Unit conventions and conversion helpers.
+//
+// The simulation stack carries physical quantities as doubles in SI units and
+// encodes the unit in the variable name suffix: `_s` seconds, `_w` watts,
+// `_j` joules, `_a` amperes, `_v` volts, `_hz` hertz, `_c` degrees Celsius,
+// `_lx` lux. These helpers keep scale conversions readable at call sites.
+#pragma once
+
+namespace iw::units {
+
+constexpr double from_mw(double mw) { return mw * 1e-3; }
+constexpr double from_uw(double uw) { return uw * 1e-6; }
+constexpr double to_mw(double w) { return w * 1e3; }
+constexpr double to_uw(double w) { return w * 1e6; }
+
+constexpr double from_mj(double mj) { return mj * 1e-3; }
+constexpr double from_uj(double uj) { return uj * 1e-6; }
+constexpr double to_mj(double j) { return j * 1e3; }
+constexpr double to_uj(double j) { return j * 1e6; }
+
+constexpr double from_ma(double ma) { return ma * 1e-3; }
+constexpr double from_ua(double ua) { return ua * 1e-6; }
+constexpr double to_ma(double a) { return a * 1e3; }
+constexpr double to_ua(double a) { return a * 1e6; }
+
+constexpr double from_mhz(double mhz) { return mhz * 1e6; }
+constexpr double from_khz(double khz) { return khz * 1e3; }
+
+constexpr double from_ms(double ms) { return ms * 1e-3; }
+constexpr double from_us(double us) { return us * 1e-6; }
+constexpr double to_ms(double s) { return s * 1e3; }
+constexpr double to_us(double s) { return s * 1e6; }
+
+constexpr double hours_to_s(double h) { return h * 3600.0; }
+constexpr double s_to_hours(double s) { return s / 3600.0; }
+
+/// Energy of a constant power draw over a duration.
+constexpr double energy_j(double power_w, double duration_s) { return power_w * duration_s; }
+
+/// mAh of charge at a given current in amps over seconds.
+constexpr double coulombs_to_mah(double c) { return c / 3.6; }
+constexpr double mah_to_coulombs(double mah) { return mah * 3.6; }
+
+}  // namespace iw::units

@@ -1,0 +1,80 @@
+#include "core/app.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/comparison.hpp"
+#include "nn/presets.hpp"
+
+namespace iw::core {
+
+namespace {
+
+std::size_t argmax(std::span<const float> v) {
+  return static_cast<std::size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+double fixed_accuracy(const nn::QuantizedNetwork& qn, const nn::Dataset& data) {
+  ensure(data.size() > 0, "fixed_accuracy: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::size_t want = argmax(data.targets[i]);
+    if (qn.classify(data.inputs[i]) == want) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+StressDetectionApp StressDetectionApp::build(const AppConfig& config) {
+  StressDetectionApp app;
+  app.dataset_ = bio::build_stress_dataset(config.dataset);
+
+  Rng rng(config.seed);
+  auto [train, test] = nn::split(app.dataset_.data, config.test_fraction, rng);
+  app.train_ = std::move(train);
+  app.test_ = std::move(test);
+  ensure(app.train_.size() > 0 && app.test_.size() > 0,
+         "StressDetectionApp: dataset too small to split");
+
+  // Network A exactly as in the paper: 5-50-50-3, tanh.
+  app.network_ = std::make_unique<nn::Network>(nn::make_network_a(rng));
+  nn::train_rprop(*app.network_, app.train_, config.training);
+  app.quantized_ = std::make_unique<nn::QuantizedNetwork>(
+      nn::QuantizedNetwork::from(*app.network_, config.max_frac_bits));
+
+  app.float_accuracy_ = nn::evaluate_accuracy(*app.network_, app.test_);
+  app.fixed_accuracy_ = fixed_accuracy(*app.quantized_, app.test_);
+  return app;
+}
+
+bio::StressLevel StressDetectionApp::classify_host(const bio::RawFeatures& raw) const {
+  const std::vector<float> features = normalizer().apply(raw);
+  return static_cast<bio::StressLevel>(network_->classify(features));
+}
+
+bio::StressLevel StressDetectionApp::classify_fixed(const bio::RawFeatures& raw) const {
+  const std::vector<float> features = normalizer().apply(raw);
+  return static_cast<bio::StressLevel>(quantized_->classify(features));
+}
+
+StressDetectionApp::TargetClassification StressDetectionApp::classify_on_target(
+    const bio::RawFeatures& raw, kernels::Target target) const {
+  const std::vector<float> features = normalizer().apply(raw);
+  const auto input = quantized_->quantize_input(features);
+  const kernels::KernelRunResult run = kernels::run_fixed_mlp(*quantized_, input, target);
+
+  TargetClassification result;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < run.outputs_fixed.size(); ++i) {
+    if (run.outputs_fixed[i] > run.outputs_fixed[best]) best = i;
+  }
+  result.level = static_cast<bio::StressLevel>(best);
+  result.cycles = run.cycles;
+  const pwr::ProcessorPowerModel power = power_model_for(target);
+  result.time_s = power.time_s(run.cycles);
+  result.energy_j = power.energy_j(run.cycles);
+  return result;
+}
+
+}  // namespace iw::core

@@ -1,0 +1,51 @@
+#include "core/comparison.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::core {
+
+pwr::ProcessorPowerModel power_model_for(kernels::Target target) {
+  switch (target) {
+    case kernels::Target::kCortexM4: return pwr::nordic_m4();
+    case kernels::Target::kIbex: return pwr::mr_wolf_ibex();
+    case kernels::Target::kRi5cySingle: return pwr::mr_wolf_cluster_single();
+    case kernels::Target::kRi5cyMulti: return pwr::mr_wolf_cluster_multi8();
+  }
+  fail("power_model_for: bad target");
+}
+
+NetworkComparison compare_targets(const std::string& network_name,
+                                  const nn::QuantizedNetwork& qn,
+                                  std::span<const std::int32_t> input) {
+  NetworkComparison comparison;
+  comparison.network_name = network_name;
+  for (kernels::Target target :
+       {kernels::Target::kCortexM4, kernels::Target::kIbex,
+        kernels::Target::kRi5cySingle, kernels::Target::kRi5cyMulti}) {
+    const kernels::KernelRunResult run = kernels::run_fixed_mlp(qn, input, target);
+    const pwr::ProcessorPowerModel power = power_model_for(target);
+    TargetResult row;
+    row.target = target;
+    row.name = kernels::target_name(target);
+    row.cycles = run.cycles;
+    row.time_s = power.time_s(run.cycles);
+    row.energy_j = power.energy_j(run.cycles);
+    row.bank_conflict_stalls = run.bank_conflict_stalls;
+    row.barrier_wait_cycles = run.barrier_wait_cycles;
+    comparison.rows.push_back(row);
+  }
+  return comparison;
+}
+
+FloatFixedComparison compare_float_fixed_m4(const nn::Network& net,
+                                            const nn::QuantizedNetwork& qn,
+                                            std::span<const float> input) {
+  FloatFixedComparison result;
+  result.float_cycles = kernels::run_float_mlp(net, input).cycles;
+  result.fixed_cycles =
+      kernels::run_fixed_mlp(qn, qn.quantize_input(input), kernels::Target::kCortexM4)
+          .cycles;
+  return result;
+}
+
+}  // namespace iw::core

@@ -1,0 +1,51 @@
+// Processor comparison harness: regenerates the rows of Tables III and IV.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernels/runner.hpp"
+#include "nn/quantize.hpp"
+#include "power/processor_power.hpp"
+
+namespace iw::core {
+
+/// Power model matching an execution target (calibration in power/).
+pwr::ProcessorPowerModel power_model_for(kernels::Target target);
+
+struct TargetResult {
+  kernels::Target target;
+  std::string name;
+  std::uint64_t cycles = 0;
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  std::uint64_t bank_conflict_stalls = 0;
+  std::uint64_t barrier_wait_cycles = 0;
+};
+
+struct NetworkComparison {
+  std::string network_name;
+  std::vector<TargetResult> rows;  // M4, IBEX, 1x RI5CY, 8x RI5CY
+};
+
+/// Runs fixed-point inference of `qn` on all four targets and derives
+/// time/energy from the calibrated power models.
+NetworkComparison compare_targets(const std::string& network_name,
+                                  const nn::QuantizedNetwork& qn,
+                                  std::span<const std::int32_t> input);
+
+/// Float-vs-fixed comparison on the Cortex-M4F (Section IV's first result).
+struct FloatFixedComparison {
+  std::uint64_t float_cycles = 0;
+  std::uint64_t fixed_cycles = 0;
+  double speedup() const {
+    return static_cast<double>(float_cycles) / static_cast<double>(fixed_cycles);
+  }
+};
+FloatFixedComparison compare_float_fixed_m4(const nn::Network& net,
+                                            const nn::QuantizedNetwork& qn,
+                                            std::span<const float> input);
+
+}  // namespace iw::core

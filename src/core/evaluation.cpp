@@ -1,0 +1,65 @@
+#include "core/evaluation.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace iw::core {
+
+LosoResult leave_one_subject_out(const bio::StressDataset& dataset,
+                                 const nn::TrainConfig& training,
+                                 std::uint64_t seed, std::size_t hidden_units) {
+  ensure(!dataset.windows.empty(), "leave_one_subject_out: empty dataset");
+  ensure(hidden_units >= 1, "leave_one_subject_out: need hidden units");
+
+  std::set<int> subjects;
+  for (const bio::LabeledWindow& w : dataset.windows) subjects.insert(w.subject);
+  ensure(subjects.size() >= 2, "leave_one_subject_out: need at least two subjects");
+
+  LosoResult result;
+  double accuracy_sum = 0.0;
+  for (int held_out : subjects) {
+    // Split raw windows by subject.
+    std::vector<bio::RawFeatures> train_raw;
+    std::vector<const bio::LabeledWindow*> train_windows, test_windows;
+    for (const bio::LabeledWindow& w : dataset.windows) {
+      if (w.subject == held_out) {
+        test_windows.push_back(&w);
+      } else {
+        train_windows.push_back(&w);
+        train_raw.push_back(w.raw);
+      }
+    }
+    ensure(!train_windows.empty() && !test_windows.empty(),
+           "leave_one_subject_out: degenerate fold");
+
+    // Normalizer fitted on training subjects only (no leakage).
+    const bio::FeatureNormalizer norm = bio::FeatureNormalizer::fit(train_raw);
+    nn::Dataset train, test;
+    for (const bio::LabeledWindow* w : train_windows) {
+      train.add(norm.apply(w->raw),
+                nn::Dataset::one_hot(static_cast<std::size_t>(w->level), 3));
+    }
+    for (const bio::LabeledWindow* w : test_windows) {
+      test.add(norm.apply(w->raw),
+               nn::Dataset::one_hot(static_cast<std::size_t>(w->level), 3));
+    }
+
+    Rng rng(seed * 7919 + static_cast<std::uint64_t>(held_out));
+    nn::Network net =
+        nn::Network::create({bio::kNumFeatures, hidden_units, 3}, rng);
+    nn::train_rprop(net, train, training);
+
+    LosoFoldResult fold;
+    fold.held_out_subject = held_out;
+    fold.accuracy = nn::evaluate_accuracy(net, test);
+    fold.test_windows = test.size();
+    accuracy_sum += fold.accuracy;
+    result.worst_accuracy = std::min(result.worst_accuracy, fold.accuracy);
+    result.folds.push_back(fold);
+  }
+  result.mean_accuracy = accuracy_sum / static_cast<double>(result.folds.size());
+  return result;
+}
+
+}  // namespace iw::core

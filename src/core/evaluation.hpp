@@ -1,0 +1,37 @@
+// Subject-independent evaluation of the stress classifier.
+//
+// The paper's dataset (drivedb) is multi-subject; the honest generalization
+// measure for a wearable is leave-one-subject-out (LOSO) cross-validation:
+// train on all subjects but one, test on the held-out subject, with the
+// feature normalizer fitted on the training subjects only (no leakage).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/dataset.hpp"
+#include "nn/train.hpp"
+
+namespace iw::core {
+
+struct LosoFoldResult {
+  int held_out_subject = 0;
+  double accuracy = 0.0;
+  std::size_t test_windows = 0;
+};
+
+struct LosoResult {
+  std::vector<LosoFoldResult> folds;
+  double mean_accuracy = 0.0;
+  double worst_accuracy = 1.0;
+};
+
+/// Runs LOSO cross-validation over the subjects in `dataset` with a fresh
+/// network per fold (topology given as layer sizes, input/output widths
+/// fixed by the task: 5 features, 3 classes).
+LosoResult leave_one_subject_out(const bio::StressDataset& dataset,
+                                 const nn::TrainConfig& training,
+                                 std::uint64_t seed = 1,
+                                 std::size_t hidden_units = 16);
+
+}  // namespace iw::core

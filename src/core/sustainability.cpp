@@ -1,0 +1,41 @@
+#include "core/sustainability.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::core {
+
+SustainabilityReport analyze_sustainability(const hv::DualSourceHarvester& harvester,
+                                            const hv::DayProfile& profile,
+                                            const platform::DetectionCost& cost) {
+  ensure(cost.total_j() > 0.0, "analyze_sustainability: zero detection cost");
+  const double duration = hv::profile_duration_s(profile);
+  ensure(duration > 0.0, "analyze_sustainability: empty profile");
+
+  SustainabilityReport report;
+  for (const hv::EnvironmentSegment& seg : profile) {
+    report.solar_j_per_day += harvester.solar_intake_w(seg.env) * seg.duration_s;
+    report.teg_j_per_day += harvester.teg_intake_w(seg.env) * seg.duration_s;
+  }
+  // Normalize to one day when the profile is not exactly 24 h.
+  const double day_scale = 86400.0 / duration;
+  report.solar_j_per_day *= day_scale;
+  report.teg_j_per_day *= day_scale;
+  report.harvested_j_per_day = report.solar_j_per_day + report.teg_j_per_day;
+
+  report.energy_per_detection_j = cost.total_j();
+  report.detections_per_day = report.harvested_j_per_day / cost.total_j();
+  report.detections_per_minute = report.detections_per_day / (24.0 * 60.0);
+  return report;
+}
+
+SustainabilityReport paper_sustainability_scenario() {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  const hv::DayProfile day = hv::paper_worst_case_day();
+  // Paper's best case: classification on the 8-core cluster, Table IV cycle
+  // count, no BLE notification.
+  platform::DetectionCostParams params;
+  const platform::DetectionCost cost = platform::make_detection_cost(params);
+  return analyze_sustainability(harvester, day, cost);
+}
+
+}  // namespace iw::core

@@ -1,0 +1,75 @@
+#include "harvest/converters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::hv {
+
+EfficiencyCurve::EfficiencyCurve(std::vector<Point> points) : points_(std::move(points)) {
+  ensure(points_.size() >= 2, "EfficiencyCurve: need at least two points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    ensure(points_[i].input_w > points_[i - 1].input_w,
+           "EfficiencyCurve: points must be strictly increasing in power");
+  }
+  for (const Point& p : points_) {
+    ensure(p.input_w > 0.0 && p.efficiency > 0.0 && p.efficiency <= 1.0,
+           "EfficiencyCurve: invalid point");
+  }
+}
+
+double EfficiencyCurve::at(double input_w) const {
+  ensure(input_w >= 0.0, "EfficiencyCurve::at: negative power");
+  if (input_w <= points_.front().input_w) return points_.front().efficiency;
+  if (input_w >= points_.back().input_w) return points_.back().efficiency;
+  const double x = std::log10(input_w);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (input_w <= points_[i].input_w) {
+      const double x0 = std::log10(points_[i - 1].input_w);
+      const double x1 = std::log10(points_[i].input_w);
+      const double frac = (x - x0) / (x1 - x0);
+      return points_[i - 1].efficiency +
+             frac * (points_[i].efficiency - points_[i - 1].efficiency);
+    }
+  }
+  return points_.back().efficiency;
+}
+
+double ConverterModel::output_power_w(double input_w) const {
+  ensure(input_w >= 0.0, "ConverterModel: negative input power");
+  if (input_w < min_input_w) return 0.0;
+  const double out = efficiency.at(input_w) * input_w - quiescent_w;
+  return std::max(0.0, out);
+}
+
+ConverterModel bq25570() {
+  return ConverterModel{
+      "BQ25570",
+      EfficiencyCurve({{1e-6, 0.30},
+                       {10e-6, 0.55},
+                       {100e-6, 0.75},
+                       {1e-3, 0.85},
+                       {10e-3, 0.90},
+                       {100e-3, 0.88}}),
+      /*min_input_w=*/1e-6,
+      /*cold_start_min_w=*/15e-6,
+      /*quiescent_w=*/0.5e-6,
+  };
+}
+
+ConverterModel bq25505() {
+  return ConverterModel{
+      "BQ25505",
+      EfficiencyCurve({{1e-6, 0.40},
+                       {10e-6, 0.60},
+                       {100e-6, 0.72},
+                       {1e-3, 0.80},
+                       {10e-3, 0.82}}),
+      /*min_input_w=*/0.5e-6,
+      /*cold_start_min_w=*/10e-6,
+      /*quiescent_w=*/0.325e-6,
+  };
+}
+
+}  // namespace iw::hv

@@ -1,0 +1,51 @@
+// Energy-harvesting converter models (TI BQ25570 and BQ25505).
+//
+// Both parts are boost-converter harvesters with MPPT; for system-level
+// energy analysis the relevant behaviour is the input-power-dependent
+// conversion efficiency and the cold-start threshold. Efficiency is modeled
+// as a piecewise-linear curve over log10(input power), matching the shape of
+// the datasheet efficiency plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iw::hv {
+
+/// Piecewise-linear efficiency over log10(input watts).
+class EfficiencyCurve {
+ public:
+  struct Point {
+    double input_w;
+    double efficiency;
+  };
+
+  explicit EfficiencyCurve(std::vector<Point> points);
+
+  /// Interpolated efficiency at the given input power (clamped to the ends).
+  double at(double input_w) const;
+
+ private:
+  std::vector<Point> points_;  // sorted by input power
+};
+
+struct ConverterModel {
+  std::string name;
+  EfficiencyCurve efficiency;
+  /// Below this input power the converter cannot sustain operation.
+  double min_input_w = 1e-6;
+  /// Cold-start: minimum input to start from a depleted storage element.
+  double cold_start_min_w = 15e-6;
+  /// Controller quiescent drain charged against the output.
+  double quiescent_w = 0.5e-6;
+
+  /// Net output power into the battery for a given harvested input power.
+  double output_power_w(double input_w) const;
+};
+
+/// BQ25570 (solar path): higher-power optimized curve.
+ConverterModel bq25570();
+/// BQ25505 (TEG path): ultra-low-power optimized curve.
+ConverterModel bq25505();
+
+}  // namespace iw::hv

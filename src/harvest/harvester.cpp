@@ -1,0 +1,42 @@
+#include "harvest/harvester.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iw::hv {
+
+double profile_duration_s(const DayProfile& profile) {
+  double total = 0.0;
+  for (const EnvironmentSegment& seg : profile) {
+    ensure(seg.duration_s >= 0.0, "profile: negative segment duration");
+    total += seg.duration_s;
+  }
+  return total;
+}
+
+double harvested_energy_j(const DualSourceHarvester& harvester,
+                          const DayProfile& profile) {
+  double energy = 0.0;
+  for (const EnvironmentSegment& seg : profile) {
+    energy += harvester.intake_w(seg.env) * seg.duration_s;
+  }
+  return energy;
+}
+
+DayProfile paper_worst_case_day() {
+  Environment lit;
+  lit.lux = 700.0;
+  lit.skin_c = 32.0;
+  lit.ambient_c = 22.0;
+  lit.wind_mps = 0.0;
+
+  Environment dark = lit;
+  dark.lux = 0.0;
+
+  return DayProfile{
+      {units::hours_to_s(6.0), lit},
+      {units::hours_to_s(18.0), dark},
+  };
+}
+
+}  // namespace iw::hv

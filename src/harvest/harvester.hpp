@@ -1,0 +1,71 @@
+// Dual-source harvesting aggregate and day-profile integration.
+//
+// The self-sustainability analysis (Section IV-A) integrates the intake of
+// both harvesters over a day: 6 hours of challenging indoor light plus
+// worst-case body-heat harvesting around the clock, giving 21.44 J/day.
+#pragma once
+
+#include <vector>
+
+#include "harvest/solar.hpp"
+#include "harvest/teg.hpp"
+
+namespace iw::hv {
+
+/// Environmental conditions the watch sees at some moment.
+struct Environment {
+  double lux = 0.0;
+  double skin_c = 32.0;
+  double ambient_c = 22.0;
+  double wind_mps = 0.0;
+  bool worn = true;  // TEG only harvests while on the wrist
+};
+
+class DualSourceHarvester {
+ public:
+  DualSourceHarvester(SolarHarvester solar, TegHarvester teg)
+      : solar_(std::move(solar)), teg_(std::move(teg)) {}
+
+  static DualSourceHarvester calibrated() {
+    return DualSourceHarvester(SolarHarvester::calibrated(), TegHarvester::calibrated());
+  }
+
+  double solar_intake_w(const Environment& env) const {
+    return solar_.net_intake_w(env.lux);
+  }
+  double teg_intake_w(const Environment& env) const {
+    if (!env.worn) return 0.0;
+    return teg_.net_intake_w(env.skin_c, env.ambient_c, env.wind_mps);
+  }
+  double intake_w(const Environment& env) const {
+    return solar_intake_w(env) + teg_intake_w(env);
+  }
+
+  const SolarHarvester& solar() const { return solar_; }
+  const TegHarvester& teg() const { return teg_; }
+
+ private:
+  SolarHarvester solar_;
+  TegHarvester teg_;
+};
+
+/// A day is a sequence of constant-condition segments.
+struct EnvironmentSegment {
+  double duration_s = 0.0;
+  Environment env;
+};
+using DayProfile = std::vector<EnvironmentSegment>;
+
+/// Total duration of a profile.
+double profile_duration_s(const DayProfile& profile);
+
+/// Energy harvested over a profile.
+double harvested_energy_j(const DualSourceHarvester& harvester,
+                          const DayProfile& profile);
+
+/// The paper's self-sustainability scenario: 6 h of 700 lx indoor light,
+/// 18 h dark, and worst-case TEG conditions (32 C skin, 22 C room, no wind)
+/// around the clock.
+DayProfile paper_worst_case_day();
+
+}  // namespace iw::hv

@@ -1,0 +1,85 @@
+#include "harvest/solar.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::hv {
+
+namespace {
+// Table I of the paper.
+constexpr double kIndoorLux = 700.0;
+constexpr double kIndoorIntakeW = 0.9e-3;
+constexpr double kOutdoorLux = 30000.0;
+constexpr double kOutdoorIntakeW = 24.711e-3;
+}  // namespace
+
+SolarHarvester::SolarHarvester(PvPanelParams panel, ConverterModel converter)
+    : panel_(panel), converter_(std::move(converter)) {
+  ensure(panel_.area_m2 > 0.0 && panel_.lux_per_wm2 > 0.0 &&
+             panel_.reference_efficiency > 0.0 && panel_.reference_lux > 0.0,
+         "SolarHarvester: invalid panel parameters");
+}
+
+double SolarHarvester::irradiance_wm2(double lux) const {
+  ensure(lux >= 0.0, "SolarHarvester: negative illuminance");
+  return lux / panel_.lux_per_wm2;
+}
+
+double SolarHarvester::panel_power_w(double lux) const {
+  if (lux <= 0.0) return 0.0;
+  const double efficiency =
+      panel_.reference_efficiency *
+      std::pow(lux / panel_.reference_lux, panel_.saturation_exponent);
+  return irradiance_wm2(lux) * panel_.area_m2 * efficiency;
+}
+
+double SolarHarvester::net_intake_w(double lux) const {
+  return converter_.output_power_w(panel_power_w(lux));
+}
+
+SolarHarvester SolarHarvester::calibrated() {
+  const ConverterModel converter = bq25570();
+
+  // Two-unknown fit (reference efficiency, saturation exponent) against the
+  // two measured intake points. For a trial exponent, the reference
+  // efficiency is solved so the indoor point matches exactly (bisection on a
+  // monotone function); the exponent is then adjusted by a secant iteration
+  // until the outdoor point matches.
+  const auto chain_with = [&](double eff, double exponent, double lux) {
+    PvPanelParams p;
+    p.reference_efficiency = eff;
+    p.saturation_exponent = exponent;
+    const SolarHarvester h(p, converter);
+    return h.net_intake_w(lux);
+  };
+  const auto solve_eff = [&](double exponent) {
+    double lo = 1e-4, hi = 0.5;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (chain_with(mid, exponent, kIndoorLux) < kIndoorIntakeW) lo = mid;
+      else hi = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  double exponent = -0.1, prev_exponent = -0.3;
+  double prev_err = chain_with(solve_eff(prev_exponent), prev_exponent, kOutdoorLux) -
+                    kOutdoorIntakeW;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double eff = solve_eff(exponent);
+    const double err = chain_with(eff, exponent, kOutdoorLux) - kOutdoorIntakeW;
+    if (std::abs(err) < 1e-9 || exponent == prev_exponent) break;
+    const double slope = (err - prev_err) / (exponent - prev_exponent);
+    prev_exponent = exponent;
+    prev_err = err;
+    exponent -= err / slope;
+  }
+
+  PvPanelParams p;
+  p.saturation_exponent = exponent;
+  p.reference_efficiency = solve_eff(exponent);
+  return SolarHarvester(p, converter);
+}
+
+}  // namespace iw::hv

@@ -1,0 +1,96 @@
+#include "harvest/teg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::hv {
+
+namespace {
+// Table II of the paper.
+constexpr double kCalmSkinC = 32.0, kCalmAmbientC = 22.0, kCalmIntakeW = 24.0e-6;
+constexpr double kWindSkinC = 30.0, kWindAmbientC = 15.0;
+constexpr double kWindSpeedMps = 42.0 / 3.6;  // 42 km/h
+constexpr double kWindIntakeW = 155.4e-6;
+}  // namespace
+
+TegHarvester::TegHarvester(TegParams params, ConverterModel converter)
+    : params_(params), converter_(std::move(converter)) {
+  ensure(params_.r_contact_k_per_w > 0.0 && params_.r_teg_k_per_w > 0.0 &&
+             params_.sink_area_m2 > 0.0 && params_.h0_w_per_m2k > 0.0 &&
+             params_.seebeck_v_per_k > 0.0 && params_.r_internal_ohm > 0.0,
+         "TegHarvester: invalid parameters");
+}
+
+double TegHarvester::h_w_per_m2k(double wind_mps) const {
+  ensure(wind_mps >= 0.0, "TegHarvester: negative wind speed");
+  return params_.h0_w_per_m2k * (1.0 + params_.wind_coeff * std::sqrt(wind_mps));
+}
+
+double TegHarvester::delta_t_teg_k(double skin_c, double ambient_c,
+                                   double wind_mps) const {
+  const double dt_total = skin_c - ambient_c;
+  if (dt_total <= 0.0) return 0.0;  // no gradient, no harvest
+  const double r_sink = 1.0 / (h_w_per_m2k(wind_mps) * params_.sink_area_m2);
+  const double r_total = params_.r_contact_k_per_w + params_.r_teg_k_per_w + r_sink;
+  return dt_total * params_.r_teg_k_per_w / r_total;
+}
+
+double TegHarvester::raw_power_w(double skin_c, double ambient_c,
+                                 double wind_mps) const {
+  const double dt = delta_t_teg_k(skin_c, ambient_c, wind_mps);
+  const double v_open = params_.seebeck_v_per_k * dt;
+  return v_open * v_open / (4.0 * params_.r_internal_ohm);
+}
+
+double TegHarvester::net_intake_w(double skin_c, double ambient_c,
+                                  double wind_mps) const {
+  return converter_.output_power_w(raw_power_w(skin_c, ambient_c, wind_mps));
+}
+
+TegHarvester TegHarvester::calibrated() {
+  const ConverterModel converter = bq25505();
+
+  // Two-unknown fit: the Seebeck coefficient sets the calm-row power and the
+  // wind coefficient sets the windy row. Nested bisections (both responses
+  // are monotone in their parameter).
+  const auto intake = [&](double seebeck, double wind_coeff, double skin,
+                          double ambient, double wind) {
+    TegParams p;
+    p.seebeck_v_per_k = seebeck;
+    p.wind_coeff = wind_coeff;
+    const TegHarvester h(p, converter);
+    return h.net_intake_w(skin, ambient, wind);
+  };
+  const auto solve_seebeck = [&](double wind_coeff) {
+    double lo = 1e-3, hi = 1.0;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (intake(mid, wind_coeff, kCalmSkinC, kCalmAmbientC, 0.0) < kCalmIntakeW) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  double c_lo = 0.01, c_hi = 3.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (c_lo + c_hi);
+    const double s = solve_seebeck(mid);
+    if (intake(s, mid, kWindSkinC, kWindAmbientC, kWindSpeedMps) < kWindIntakeW) {
+      c_lo = mid;
+    } else {
+      c_hi = mid;
+    }
+  }
+  const double wind_coeff = 0.5 * (c_lo + c_hi);
+
+  TegParams p;
+  p.wind_coeff = wind_coeff;
+  p.seebeck_v_per_k = solve_seebeck(wind_coeff);
+  return TegHarvester(p, converter);
+}
+
+}  // namespace iw::hv

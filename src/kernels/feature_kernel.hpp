@@ -1,0 +1,78 @@
+// On-device HRV feature extraction kernel.
+//
+// The paper extracts the five features on the watch in 50 us (1 uJ at
+// 20 mW). This kernel implements the ECG-side features — RMSSD, SDSD, NN50
+// over integer-millisecond RR intervals — in assembly for the RI5CY core:
+// one hardware-loop pass over the successive differences (branch-free NN50
+// via slt) followed by integer square roots (bitwise restoring algorithm).
+//
+// RMSSD and SDSD are returned in Q4 milliseconds (value = ms * 16), computed
+// as isqrt(mean << 8). The host reference performs the identical integer
+// arithmetic so results are bit-exact; tests additionally bound the error
+// against the floating-point definitions in bio/hrv.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace iw::kernels {
+
+struct HrvFixedValues {
+  std::int32_t rmssd_q4_ms = 0;  // RMSSD in milliseconds, Q4
+  std::int32_t sdsd_q4_ms = 0;   // SDSD in milliseconds, Q4
+  std::int32_t nn50 = 0;
+};
+
+/// Host golden model: bit-exact integer arithmetic of the kernel.
+/// Requires at least two RR intervals.
+HrvFixedValues hrv_fixed_reference(std::span<const std::int32_t> rr_ms);
+
+struct HrvKernelResult {
+  HrvFixedValues values;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  /// Wall-clock at the cluster's 100 MHz operating point.
+  double time_s(double freq_hz = 100e6) const {
+    return static_cast<double>(cycles) / freq_hz;
+  }
+};
+
+/// Runs the assembly kernel on a single RI5CY core.
+HrvKernelResult run_hrv_kernel(std::span<const std::int32_t> rr_ms);
+
+// --- GSR slope features on-device ----------------------------------------
+//
+// The embedded GSR path: samples arrive as fixed-point microsiemens in Q8.
+// The kernel smooths with a 4-sample boxcar, walks rising runs where the
+// smoothed derivative exceeds `eps_q8`, and accumulates count / total height
+// / total length of the runs whose height reaches `min_height_q8`. GSRH and
+// GSRL are then height/count and length/(count*fs) on the host (or FC).
+// This is the integer re-formulation of bio::detect_gsr_slopes; real
+// firmware runs it incrementally during the 3 s acquisition window.
+
+struct GsrFixedValues {
+  std::int32_t slope_count = 0;
+  std::int32_t total_height_q8 = 0;   // microsiemens, Q8
+  std::int32_t total_length_samples = 0;
+};
+
+/// Host golden model, bit-exact with the kernel. Requires >= 5 samples.
+GsrFixedValues gsr_fixed_reference(std::span<const std::int32_t> samples_q8,
+                                   std::int32_t min_height_q8,
+                                   std::int32_t eps_q8);
+
+struct GsrKernelResult {
+  GsrFixedValues values;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  double time_s(double freq_hz = 100e6) const {
+    return static_cast<double>(cycles) / freq_hz;
+  }
+};
+
+/// Runs the assembly kernel on a single RI5CY core.
+GsrKernelResult run_gsr_kernel(std::span<const std::int32_t> samples_q8,
+                               std::int32_t min_height_q8 = 13,  // ~0.05 uS
+                               std::int32_t eps_q8 = 1);
+
+}  // namespace iw::kernels

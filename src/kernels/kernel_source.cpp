@@ -1,0 +1,449 @@
+#include "kernels/kernel_source.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iw::kernels {
+
+namespace {
+
+/// Common .equ header for the fixed-point kernels.
+void emit_fixed_header(std::ostream& os, const FixedKernelParams& p) {
+  ensure(p.n_layers >= 1, "kernel: need at least one layer");
+  ensure(p.range_fixed > 0 && p.step_shift > 0, "kernel: bad tanh parameters");
+  os << "    .equ FRAC, " << p.frac_bits << "\n"
+     << "    .equ RANGE, " << p.range_fixed << "\n"
+     << "    .equ STEP_SHIFT, " << p.step_shift << "\n"
+     << "    .equ STEP_MASK, " << p.step_mask << "\n"
+     << "    .equ NLAYERS, " << p.n_layers << "\n"
+     << "    .equ TANH, " << Layout::kTanhTable << "\n";
+}
+
+/// Emits the tanh lookup: clamps a0 to [-RANGE, RANGE-1], then interpolates.
+/// Uses t2, t3, t4, t6 as temporaries; s5 = TANH base, s6 = RANGE.
+/// On RI5CY the clamp is a single p.clip; elsewhere it is branchy (s7 = -RANGE
+/// precomputed in the prologue).
+void emit_tanh(std::ostream& os, Flavor flavor, int clip_bits, int label_id) {
+  if (flavor == Flavor::kRi5cy) {
+    os << "    p.clip a0, a0, " << clip_bits << "\n";
+  } else {
+    os << "    blt a0, s6, tanh_lo_ok_" << label_id << "\n"
+       << "    addi a0, s6, -1\n"
+       << "tanh_lo_ok_" << label_id << ":\n"
+       << "    bge a0, s7, tanh_hi_ok_" << label_id << "\n"
+       << "    mv a0, s7\n"
+       << "tanh_hi_ok_" << label_id << ":\n";
+  }
+  os << "    add t6, a0, s6\n"            // offset into the table
+     << "    srai t2, t6, STEP_SHIFT\n"   // sample index
+     << "    slli t2, t2, 2\n"
+     << "    add t2, t2, s5\n"
+     << "    lw t3, 0(t2)\n"              // y0
+     << "    lw t4, 4(t2)\n"              // y1
+     << "    sub t4, t4, t3\n"
+     << "    andi t6, t6, STEP_MASK\n"    // fractional position
+     << "    mul t4, t4, t6\n"
+     << "    srai t4, t4, STEP_SHIFT\n"
+     << "    add a0, t3, t4\n";
+}
+
+/// Emits the dot-product inner loop for one neuron: accumulates
+/// sum((w*x) >> FRAC) into a0, weight pointer s2, input pointer s3,
+/// input count t0.
+void emit_inner_loop(std::ostream& os, Flavor flavor) {
+  switch (flavor) {
+    case Flavor::kRi5cy:
+      os << "    lp.setup 0, t0, inner_end\n"
+         << "    p.lw t2, 4(s2!)\n"
+         << "    p.lw t3, 4(s3!)\n"
+         << "    mul t4, t2, t3\n"
+         << "    srai t4, t4, FRAC\n"
+         << "    add a0, a0, t4\n"
+         << "inner_end:\n";
+      break;
+    case Flavor::kM4:
+      os << "    mv t5, t0\n"
+         << "inner:\n"
+         << "    p.lw t2, 4(s2!)\n"
+         << "    p.lw t3, 4(s3!)\n"
+         << "    mul t4, t2, t3\n"
+         << "    srai t4, t4, FRAC\n"
+         << "    add a0, a0, t4\n"
+         << "    addi t5, t5, -1\n"
+         << "    bnez t5, inner\n";
+      break;
+    case Flavor::kGeneric:
+      os << "    mv t5, t0\n"
+         << "inner:\n"
+         << "    lw t2, 0(s2)\n"
+         << "    lw t3, 0(s3)\n"
+         << "    addi s2, s2, 4\n"
+         << "    addi s3, s3, 4\n"
+         << "    mul t4, t2, t3\n"
+         << "    srai t4, t4, FRAC\n"
+         << "    add a0, a0, t4\n"
+         << "    addi t5, t5, -1\n"
+         << "    bnez t5, inner\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string fixed_kernel_source(Flavor flavor, const FixedKernelParams& p,
+                                const std::string& layer_table) {
+  std::ostringstream os;
+  emit_fixed_header(os, p);
+  const int clip_bits = p.frac_bits + 3;  // RANGE = 4.0 = 2^(frac+2)
+  const bool postinc = flavor != Flavor::kGeneric;
+
+  os << "main:\n"
+     << "    la s0, layer_table\n"
+     << "    li s1, NLAYERS\n"
+     << "    li s5, TANH\n"
+     << "    li s6, RANGE\n";
+  if (flavor != Flavor::kRi5cy) os << "    neg s7, s6\n";
+
+  os << "layer_loop:\n"
+     << "    lw t0, 0(s0)\n"    // n_in
+     << "    lw t1, 4(s0)\n"    // n_out (neuron counter)
+     << "    lw s2, 8(s0)\n"    // weight pointer
+     << "    lw s4, 16(s0)\n"   // output pointer
+     << "neuron_loop:\n"
+     << "    lw s3, 12(s0)\n"   // input pointer, rewound per neuron
+     << "    li a0, 0\n";
+  emit_inner_loop(os, flavor);
+  // Bias weight (input fixed 1.0 -> contributes the raw weight).
+  if (postinc) {
+    os << "    p.lw t2, 4(s2!)\n";
+  } else {
+    os << "    lw t2, 0(s2)\n"
+       << "    addi s2, s2, 4\n";
+  }
+  os << "    add a0, a0, t2\n";
+  emit_tanh(os, flavor, clip_bits, 0);
+  if (postinc) {
+    os << "    p.sw a0, 4(s4!)\n";
+  } else {
+    os << "    sw a0, 0(s4)\n"
+       << "    addi s4, s4, 4\n";
+  }
+  os << "    addi t1, t1, -1\n"
+     << "    bnez t1, neuron_loop\n"
+     << "    addi s0, s0, 20\n"
+     << "    addi s1, s1, -1\n"
+     << "    bnez s1, layer_loop\n"
+     << "    ecall\n"
+     << "layer_table:\n"
+     << layer_table;
+  return os.str();
+}
+
+std::string parallel_kernel_source(const FixedKernelParams& p,
+                                   const std::string& layer_table) {
+  std::ostringstream os;
+  emit_fixed_header(os, p);
+  ensure(p.num_cores >= 1 && p.num_cores <= Layout::kClusterCores &&
+             (p.num_cores & (p.num_cores - 1)) == 0,
+         "parallel kernel: core count must be a power of two <= 8");
+  int log2_cores = 0;
+  while ((1 << log2_cores) < p.num_cores) ++log2_cores;
+  os << "    .equ BARRIER, " << Layout::kBarrier << "\n"
+     << "    .equ NCORES, " << p.num_cores << "\n"
+     << "    .equ FORK_SPINS, " << p.fork_spins << "\n";
+  const int clip_bits = p.frac_bits + 3;
+
+  os << "main:\n"
+     << "    csrr s8, mhartid\n"
+     << "    la s0, layer_table\n"
+     << "    li s1, NLAYERS\n"
+     << "    li s5, TANH\n"
+     << "    li s6, RANGE\n"
+     << "    li s11, BARRIER\n"
+     << "layer_loop:\n"
+     // Fork: the master core performs the runtime's per-region dispatch
+     // bookkeeping while the workers wait at the barrier, modeling the
+     // OpenMP-style offload overhead of PULP cluster deployments.
+     << "    bnez s8, fork_done\n"
+     << "    li t6, FORK_SPINS\n"
+     << "fork_spin:\n"
+     << "    addi t6, t6, -1\n"
+     << "    bnez t6, fork_spin\n"
+     << "fork_done:\n"
+     << "    sw zero, 0(s11)\n"
+     << "    lw t0, 0(s0)\n"      // n_in
+     << "    lw t1, 4(s0)\n"      // n_out
+     << "    lw s2, 8(s0)\n"      // weight base
+     << "    lw s4, 16(s0)\n"     // output base
+     // Offset this core's weight pointer to row `hartid` and its output
+     // pointer to slot `hartid`.
+     << "    addi t2, t0, 1\n"    // row length in words
+     << "    mul t3, t2, s8\n"
+     << "    slli t3, t3, 2\n"
+     << "    add s2, s2, t3\n"
+     << "    slli t3, s8, 2\n"
+     << "    add s4, s4, t3\n"
+     // Stride to skip the other cores' rows after consuming one row.
+     << "    slli t3, t2, 2\n"
+     << "    li t4, NCORES-1\n"
+     << "    mul s9, t3, t4\n"
+     // Number of rows this core owns: ceil((n_out - hartid) / NCORES).
+     << "    sub t3, t1, s8\n"
+     << "    addi t3, t3, NCORES-1\n"
+     << "    srai a2, t3, " << log2_cores << "\n"
+     << "    blez a2, layer_done\n"
+     << "neuron_loop:\n"
+     << "    lw s3, 12(s0)\n"
+     << "    li a0, 0\n";
+  emit_inner_loop(os, Flavor::kRi5cy);
+  os << "    p.lw t2, 4(s2!)\n"   // bias
+     << "    add a0, a0, t2\n"
+     << "    add s2, s2, s9\n";   // skip other cores' rows
+  emit_tanh(os, Flavor::kRi5cy, clip_bits, 0);
+  os << "    p.sw a0, NCORES*4(s4!)\n"
+     << "    addi a2, a2, -1\n"
+     << "    bnez a2, neuron_loop\n"
+     << "layer_done:\n"
+     << "    sw zero, 0(s11)\n"   // hardware barrier: wait for all cores
+     << "    addi s0, s0, 20\n"
+     << "    addi s1, s1, -1\n"
+     << "    bnez s1, layer_loop\n"
+     << "    ecall\n"
+     << "layer_table:\n"
+     << layer_table;
+  return os.str();
+}
+
+std::string simd_kernel_source(const FixedKernelParams& p,
+                               const std::string& layer_table) {
+  std::ostringstream os;
+  emit_fixed_header(os, p);
+  const int clip_bits = p.frac_bits + 3;
+  os << "main:\n"
+     << "    la s0, layer_table\n"
+     << "    li s1, NLAYERS\n"
+     << "    li s5, TANH\n"
+     << "    li s6, RANGE\n"
+     << "layer_loop:\n"
+     << "    lw t0, 0(s0)\n"    // row pair count
+     << "    lw t1, 4(s0)\n"    // n_out
+     << "    lw s2, 8(s0)\n"    // weight pointer
+     << "    lw s4, 16(s0)\n"   // output pointer (int16)
+     << "neuron_loop:\n"
+     << "    lw s3, 12(s0)\n"   // input pointer (packed int16 pairs)
+     << "    li a0, 0\n"
+     << "    lp.setup 0, t0, inner_end\n"
+     << "    p.lw t2, 4(s2!)\n"         // two weights
+     << "    p.lw t3, 4(s3!)\n"         // two activations
+     << "    pv.sdotsp.h a0, t2, t3\n"  // acc += w0*x0 + w1*x1
+     << "inner_end:\n"
+     << "    p.lw t2, 4(s2!)\n"  // bias, already in Q(2*frac)
+     << "    add a0, a0, t2\n"
+     << "    srai a0, a0, FRAC\n";
+  emit_tanh(os, Flavor::kRi5cy, clip_bits, 0);
+  os << "    p.sh a0, 2(s4!)\n"
+     << "    addi t1, t1, -1\n"
+     << "    bnez t1, neuron_loop\n"
+     // Zero the pad slot when n_out is odd so the next layer's last pair
+     // reads a clean value.
+     << "    lw t1, 4(s0)\n"
+     << "    andi t1, t1, 1\n"
+     << "    beqz t1, no_pad\n"
+     << "    p.sh zero, 2(s4!)\n"
+     << "no_pad:\n"
+     << "    addi s0, s0, 20\n"
+     << "    addi s1, s1, -1\n"
+     << "    bnez s1, layer_loop\n"
+     << "    ecall\n"
+     << "layer_table:\n"
+     << layer_table;
+  return os.str();
+}
+
+std::string parallel_simd_kernel_source(const FixedKernelParams& p,
+                                        const std::string& layer_table) {
+  ensure(p.num_cores >= 1 && p.num_cores <= Layout::kClusterCores &&
+             (p.num_cores & (p.num_cores - 1)) == 0,
+         "parallel simd kernel: core count must be a power of two <= 8");
+  int log2_cores = 0;
+  while ((1 << log2_cores) < p.num_cores) ++log2_cores;
+  std::ostringstream os;
+  emit_fixed_header(os, p);
+  os << "    .equ BARRIER, " << Layout::kBarrier << "\n"
+     << "    .equ NCORES, " << p.num_cores << "\n"
+     << "    .equ FORK_SPINS, " << p.fork_spins << "\n";
+  const int clip_bits = p.frac_bits + 3;
+
+  os << "main:\n"
+     << "    csrr s8, mhartid\n"
+     << "    la s0, layer_table\n"
+     << "    li s1, NLAYERS\n"
+     << "    li s5, TANH\n"
+     << "    li s6, RANGE\n"
+     << "    li s11, BARRIER\n"
+     << "layer_loop:\n"
+     << "    bnez s8, fork_done\n"
+     << "    li t6, FORK_SPINS\n"
+     << "fork_spin:\n"
+     << "    addi t6, t6, -1\n"
+     << "    bnez t6, fork_spin\n"
+     << "fork_done:\n"
+     << "    sw zero, 0(s11)\n"
+     << "    lw t0, 0(s0)\n"      // row pair count
+     << "    lw t1, 4(s0)\n"      // n_out
+     << "    lw s2, 8(s0)\n"      // weight base
+     << "    lw s4, 16(s0)\n"     // output base (int16)
+     // Row stride in bytes: pairs*4 + 4 (bias word).
+     << "    slli t2, t0, 2\n"
+     << "    addi t2, t2, 4\n"
+     << "    mul t3, t2, s8\n"    // this core's first-row offset
+     << "    add s2, s2, t3\n"
+     << "    slli t3, s8, 1\n"    // output slot offset (2 bytes each)
+     << "    add s4, s4, t3\n"
+     << "    li t4, NCORES-1\n"
+     << "    mul s9, t2, t4\n"    // skip stride after consuming one row
+     << "    sub t3, t1, s8\n"
+     << "    addi t3, t3, NCORES-1\n"
+     << "    srai a2, t3, " << log2_cores << "\n"
+     << "    blez a2, layer_done\n"
+     << "neuron_loop:\n"
+     << "    lw s3, 12(s0)\n"
+     << "    li a0, 0\n"
+     << "    lp.setup 0, t0, inner_end\n"
+     << "    p.lw t2, 4(s2!)\n"
+     << "    p.lw t3, 4(s3!)\n"
+     << "    pv.sdotsp.h a0, t2, t3\n"
+     << "inner_end:\n"
+     << "    p.lw t2, 4(s2!)\n"   // bias in Q(2*frac)
+     << "    add a0, a0, t2\n"
+     << "    add s2, s2, s9\n"    // skip the other cores' rows
+     << "    srai a0, a0, FRAC\n";
+  emit_tanh(os, Flavor::kRi5cy, clip_bits, 0);
+  os << "    p.sh a0, NCORES*2(s4!)\n"
+     << "    addi a2, a2, -1\n"
+     << "    bnez a2, neuron_loop\n"
+     << "layer_done:\n"
+     // Core 0 zeroes the pad slot of odd-width layers so the next layer's
+     // final pair reads a clean value.
+     << "    bnez s8, pad_done\n"
+     << "    lw t1, 4(s0)\n"
+     << "    andi t2, t1, 1\n"
+     << "    beqz t2, pad_done\n"
+     << "    lw t3, 16(s0)\n"
+     << "    slli t4, t1, 1\n"
+     << "    add t3, t3, t4\n"
+     << "    sh zero, 0(t3)\n"
+     << "pad_done:\n"
+     << "    sw zero, 0(s11)\n"   // join barrier
+     << "    addi s0, s0, 20\n"
+     << "    addi s1, s1, -1\n"
+     << "    bnez s1, layer_loop\n"
+     << "    ecall\n"
+     << "layer_table:\n"
+     << layer_table;
+  return os.str();
+}
+
+std::string float_kernel_source(int n_layers, const std::string& layer_table) {
+  ensure(n_layers >= 1, "kernel: need at least one layer");
+  std::ostringstream os;
+  os << "    .equ NLAYERS, " << n_layers << "\n";
+  // The float kernel mirrors FANN's float build: accumulate with FPU
+  // multiply/add, then call a libm-style tanhf per neuron:
+  //   tanh(x) = 1 - 2 / (exp(2x) + 1)
+  // with exp(z) = 2^k * P(r), k = trunc(z * log2e), r = z - k * ln2,
+  // P a degree-5 Taylor polynomial.
+  os << "main:\n"
+     << "    la s0, layer_table\n"
+     << "    li s1, NLAYERS\n"
+     << "    la t2, float_consts\n"
+     << "    flw f3, 0(t2)\n"     // 4.0 (saturation threshold)
+     << "    flw f4, 4(t2)\n"     // -4.0
+     << "    flw f5, 8(t2)\n"     // 1.0
+     << "    flw f6, 12(t2)\n"    // -1.0
+     << "    flw f8, 16(t2)\n"    // log2(e)
+     << "    flw f9, 20(t2)\n"    // ln(2)
+     << "    flw f10, 24(t2)\n"   // 1/2
+     << "    flw f15, 28(t2)\n"   // 1/6
+     << "    flw f16, 32(t2)\n"   // 1/24
+     << "    flw f17, 36(t2)\n"   // 1/120
+     << "layer_loop:\n"
+     << "    lw t0, 0(s0)\n"
+     << "    lw t1, 4(s0)\n"
+     << "    lw s2, 8(s0)\n"
+     << "    lw s4, 16(s0)\n"
+     << "neuron_loop:\n"
+     << "    lw s3, 12(s0)\n"
+     << "    fsub.s f0, f0, f0\n"   // acc = 0.0 (f0 - f0, always finite here)
+     << "    mv t5, t0\n"
+     << "inner:\n"
+     << "    flw f1, 0(s2)\n"
+     << "    flw f2, 0(s3)\n"
+     << "    addi s2, s2, 4\n"
+     << "    addi s3, s3, 4\n"
+     << "    fmul.s f7, f1, f2\n"
+     << "    fadd.s f0, f0, f7\n"
+     << "    addi t5, t5, -1\n"
+     << "    bnez t5, inner\n"
+     << "    flw f1, 0(s2)\n"      // bias
+     << "    addi s2, s2, 4\n"
+     << "    fadd.s f0, f0, f1\n"
+     // tanh(f0):
+     << "    flt.s t3, f3, f0\n"
+     << "    bnez t3, tanh_sat_hi\n"
+     << "    flt.s t3, f0, f4\n"
+     << "    bnez t3, tanh_sat_lo\n"
+     << "    fadd.s f7, f0, f0\n"      // z = 2x
+     << "    fmul.s f11, f7, f8\n"     // z * log2e
+     << "    fcvt.w.s t3, f11\n"       // k
+     << "    fcvt.s.w f12, t3\n"
+     << "    fmul.s f13, f12, f9\n"    // k * ln2
+     << "    fsub.s f13, f7, f13\n"    // r
+     // P(r) = 1 + r(1 + r(1/2 + r(1/6 + r(1/24 + r/120))))
+     << "    fmadd.s f14, f13, f17, f16\n"
+     << "    fmadd.s f14, f13, f14, f15\n"
+     << "    fmadd.s f14, f13, f14, f10\n"
+     << "    fmadd.s f14, f13, f14, f5\n"
+     << "    fmadd.s f14, f13, f14, f5\n"
+     // 2^k via exponent-field construction.
+     << "    addi t3, t3, 127\n"
+     << "    slli t3, t3, 23\n"
+     << "    fmv.w.x f12, t3\n"
+     << "    fmul.s f14, f14, f12\n"   // exp(z)
+     << "    fadd.s f14, f14, f5\n"    // exp(z) + 1
+     << "    fdiv.s f14, f5, f14\n"    // 1 / (exp(z)+1)
+     << "    fadd.s f14, f14, f14\n"   // 2 / (exp(z)+1)
+     << "    fsub.s f0, f5, f14\n"     // tanh
+     << "    j tanh_done\n"
+     << "tanh_sat_hi:\n"
+     << "    fmv.s f0, f5\n"
+     << "    j tanh_done\n"
+     << "tanh_sat_lo:\n"
+     << "    fmv.s f0, f6\n"
+     << "tanh_done:\n"
+     << "    fsw f0, 0(s4)\n"
+     << "    addi s4, s4, 4\n"
+     << "    addi t1, t1, -1\n"
+     << "    bnez t1, neuron_loop\n"
+     << "    addi s0, s0, 20\n"
+     << "    addi s1, s1, -1\n"
+     << "    bnez s1, layer_loop\n"
+     << "    ecall\n"
+     << "float_consts:\n"
+     << "    .word 0x40800000\n"   // 4.0f
+     << "    .word 0xC0800000\n"   // -4.0f
+     << "    .word 0x3F800000\n"   // 1.0f
+     << "    .word 0xBF800000\n"   // -1.0f
+     << "    .word 0x3FB8AA3B\n"   // log2(e)
+     << "    .word 0x3F317218\n"   // ln(2)
+     << "    .word 0x3F000000\n"   // 0.5f
+     << "    .word 0x3E2AAAAB\n"   // 1/6
+     << "    .word 0x3D2AAAAB\n"   // 1/24
+     << "    .word 0x3C088889\n"   // 1/120
+     << "layer_table:\n"
+     << layer_table;
+  return os.str();
+}
+
+}  // namespace iw::kernels

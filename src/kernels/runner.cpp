@@ -1,0 +1,381 @@
+#include "kernels/runner.hpp"
+
+#include <sstream>
+
+#include "asmx/assembler.hpp"
+#include "common/error.hpp"
+#include "kernels/kernel_source.hpp"
+#include "rvsim/cluster.hpp"
+#include "rvsim/machine.hpp"
+
+namespace iw::kernels {
+
+namespace {
+
+/// Per-layer placement of weights and ping-pong activation buffers.
+struct Placement {
+  std::string layer_table;  // .word lines for the kernel source
+  std::vector<std::uint32_t> weight_addrs;
+  std::uint32_t output_addr = 0;
+  std::size_t n_outputs = 0;
+};
+
+template <typename LayerRange>
+Placement place_layers(const LayerRange& layers) {
+  Placement p;
+  std::ostringstream table;
+  std::uint32_t w_addr = Layout::kWeights;
+  std::uint32_t in_addr = Layout::kAct0;
+  std::uint32_t out_addr = Layout::kAct1;
+  for (const auto& layer : layers) {
+    p.weight_addrs.push_back(w_addr);
+    table << "    .word " << layer.n_in << ", " << layer.n_out << ", " << w_addr
+          << ", " << in_addr << ", " << out_addr << "\n";
+    w_addr += static_cast<std::uint32_t>(4 * (layer.n_in + 1) * layer.n_out);
+    std::swap(in_addr, out_addr);
+    p.output_addr = in_addr;  // the buffer the layer just wrote
+    p.n_outputs = layer.n_out;
+  }
+  ensure(w_addr <= Layout::kAct0, "kernel runner: network weights do not fit the layout");
+  p.layer_table = table.str();
+  return p;
+}
+
+FixedKernelParams fixed_params(const nn::QuantizedNetwork& net) {
+  FixedKernelParams params;
+  params.frac_bits = net.format().frac_bits;
+  const fx::TanhTable& table = net.tanh_table();
+  params.range_fixed = table.range_fixed();
+  params.step_mask = table.step_fixed() - 1;
+  params.step_shift = 0;
+  while ((1 << params.step_shift) < table.step_fixed()) ++params.step_shift;
+  params.n_layers = static_cast<int>(net.layers().size());
+  return params;
+}
+
+void write_tanh_table(rv::Memory& mem, const fx::TanhTable& table) {
+  mem.write_words(Layout::kTanhTable, std::span<const std::int32_t>(table.samples()));
+}
+
+void write_fixed_network(rv::Memory& mem, const nn::QuantizedNetwork& net,
+                         const Placement& placement) {
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    mem.write_words(placement.weight_addrs[l],
+                    std::span<const std::int32_t>(net.layers()[l].weights));
+  }
+  write_tanh_table(mem, net.tanh_table());
+}
+
+Flavor flavor_for(Target target) {
+  switch (target) {
+    case Target::kCortexM4: return Flavor::kM4;
+    case Target::kIbex: return Flavor::kGeneric;
+    case Target::kRi5cySingle: return Flavor::kRi5cy;
+    case Target::kRi5cyMulti: return Flavor::kRi5cy;
+  }
+  fail("flavor_for: bad target");
+}
+
+rv::ClusterConfig cluster_config(int num_cores = Layout::kClusterCores) {
+  rv::ClusterConfig cfg;
+  cfg.num_cores = num_cores;
+  cfg.mem_bytes = Layout::kMemBytes;
+  cfg.tcdm_base = Layout::kTanhTable;
+  cfg.tcdm_size = static_cast<std::uint32_t>(Layout::kMemBytes) - Layout::kTanhTable;
+  cfg.num_banks = 8;  // Mr. Wolf-style word-interleaved shared L1
+  cfg.barrier_addr = Layout::kBarrier;
+  cfg.stack_bytes = 0x1000;  // kernels do not touch the stack
+  return cfg;
+}
+
+}  // namespace
+
+rv::TimingProfile profile_for(Target target) {
+  switch (target) {
+    case Target::kCortexM4: return rv::cortex_m4f();
+    case Target::kIbex: return rv::ibex();
+    case Target::kRi5cySingle: return rv::ri5cy();
+    case Target::kRi5cyMulti: return rv::ri5cy();
+  }
+  fail("profile_for: bad target");
+}
+
+std::string target_name(Target target) {
+  switch (target) {
+    case Target::kCortexM4: return "ARM Cortex-M4";
+    case Target::kIbex: return "Mr. Wolf IBEX";
+    case Target::kRi5cySingle: return "Mr. Wolf single RI5CY";
+    case Target::kRi5cyMulti: return "Mr. Wolf multi RI5CY (8 cores)";
+  }
+  fail("target_name: bad target");
+}
+
+KernelRunResult run_fixed_mlp(const nn::QuantizedNetwork& net,
+                              std::span<const std::int32_t> input, Target target) {
+  ensure(input.size() == net.num_inputs(), "run_fixed_mlp: input width mismatch");
+  const Placement placement = place_layers(net.layers());
+  const FixedKernelParams params = fixed_params(net);
+
+  const std::string source =
+      (target == Target::kRi5cyMulti)
+          ? parallel_kernel_source(params, placement.layer_table)
+          : fixed_kernel_source(flavor_for(target), params, placement.layer_table);
+  const asmx::Program program = asmx::assemble(source);
+  ensure(program.end_address() <= Layout::kTanhTable,
+         "run_fixed_mlp: program overflows layout");
+
+  KernelRunResult result;
+  if (target == Target::kRi5cyMulti) {
+    rv::Cluster cluster(profile_for(target), cluster_config());
+    cluster.load_program(program.words);
+    write_fixed_network(cluster.memory(), net, placement);
+    cluster.memory().write_words(Layout::kAct0,
+                                 std::span<const std::int32_t>(input.data(), input.size()));
+    for (int c = 0; c < Layout::kClusterCores; ++c) {
+      cluster.core(c).set_histogram(&result.histogram);
+    }
+    const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
+    result.cycles = run.cycles;
+    result.instructions = run.total_instructions;
+    result.bank_conflict_stalls = run.bank_conflict_stalls;
+    result.barrier_wait_cycles = run.barrier_wait_cycles;
+    result.outputs_fixed =
+        cluster.memory().read_words_i32(placement.output_addr, placement.n_outputs);
+  } else {
+    rv::Machine machine(profile_for(target), Layout::kMemBytes);
+    machine.load_program(program.words);
+    write_fixed_network(machine.memory(), net, placement);
+    machine.memory().write_words(Layout::kAct0,
+                                 std::span<const std::int32_t>(input.data(), input.size()));
+    machine.core().set_histogram(&result.histogram);
+    const rv::RunResult run = machine.run(program.symbol("main"));
+    result.cycles = run.cycles;
+    result.instructions = run.instructions;
+    result.outputs_fixed =
+        machine.memory().read_words_i32(placement.output_addr, placement.n_outputs);
+  }
+  return result;
+}
+
+KernelRunResult run_fixed_mlp_custom(const nn::QuantizedNetwork& net,
+                                     std::span<const std::int32_t> input,
+                                     Flavor flavor, const rv::TimingProfile& profile) {
+  ensure(input.size() == net.num_inputs(), "run_fixed_mlp_custom: input width mismatch");
+  const Placement placement = place_layers(net.layers());
+  const FixedKernelParams params = fixed_params(net);
+  const asmx::Program program =
+      asmx::assemble(fixed_kernel_source(flavor, params, placement.layer_table));
+  ensure(program.end_address() <= Layout::kTanhTable,
+         "run_fixed_mlp_custom: program overflows layout");
+
+  rv::Machine machine(profile, Layout::kMemBytes);
+  machine.load_program(program.words);
+  write_fixed_network(machine.memory(), net, placement);
+  machine.memory().write_words(Layout::kAct0,
+                               std::span<const std::int32_t>(input.data(), input.size()));
+  KernelRunResult result;
+  machine.core().set_histogram(&result.histogram);
+  const rv::RunResult run = machine.run(program.symbol("main"));
+
+  result.cycles = run.cycles;
+  result.instructions = run.instructions;
+  result.outputs_fixed =
+      machine.memory().read_words_i32(placement.output_addr, placement.n_outputs);
+  return result;
+}
+
+KernelRunResult run_fixed_mlp_parallel(const nn::QuantizedNetwork& net,
+                                       std::span<const std::int32_t> input,
+                                       int num_cores) {
+  ensure(input.size() == net.num_inputs(), "run_fixed_mlp_parallel: input width mismatch");
+  const Placement placement = place_layers(net.layers());
+  FixedKernelParams params = fixed_params(net);
+  params.num_cores = num_cores;
+  const asmx::Program program =
+      asmx::assemble(parallel_kernel_source(params, placement.layer_table));
+  ensure(program.end_address() <= Layout::kTanhTable,
+         "run_fixed_mlp_parallel: program overflows layout");
+
+  rv::Cluster cluster(rv::ri5cy(), cluster_config(num_cores));
+  cluster.load_program(program.words);
+  write_fixed_network(cluster.memory(), net, placement);
+  cluster.memory().write_words(Layout::kAct0,
+                               std::span<const std::int32_t>(input.data(), input.size()));
+  KernelRunResult result;
+  for (int c = 0; c < num_cores; ++c) cluster.core(c).set_histogram(&result.histogram);
+  const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
+
+  result.cycles = run.cycles;
+  result.instructions = run.total_instructions;
+  result.bank_conflict_stalls = run.bank_conflict_stalls;
+  result.barrier_wait_cycles = run.barrier_wait_cycles;
+  result.outputs_fixed =
+      cluster.memory().read_words_i32(placement.output_addr, placement.n_outputs);
+  return result;
+}
+
+namespace {
+
+/// Layout of a 16-bit network: per layer, n_out rows of (row_pairs packed
+/// int16 words + one int32 bias word); int16 ping-pong activation buffers.
+struct SimdPlacement {
+  std::string layer_table;
+  std::vector<std::uint32_t> weight_addrs;
+  std::uint32_t final_out = 0;
+};
+
+SimdPlacement place_simd_layers(const nn::QuantizedNetwork16& net) {
+  SimdPlacement p;
+  std::ostringstream table;
+  std::uint32_t w_addr = Layout::kWeights;
+  std::uint32_t in_addr = Layout::kAct0;
+  std::uint32_t out_addr = Layout::kAct1;
+  p.final_out = in_addr;
+  for (const nn::QuantizedLayer16& layer : net.layers()) {
+    p.weight_addrs.push_back(w_addr);
+    table << "    .word " << layer.row_pairs << ", " << layer.n_out << ", "
+          << w_addr << ", " << in_addr << ", " << out_addr << "\n";
+    w_addr += static_cast<std::uint32_t>((4 * layer.row_pairs + 4) * layer.n_out);
+    std::swap(in_addr, out_addr);
+    p.final_out = in_addr;
+  }
+  ensure(w_addr <= Layout::kAct0, "simd runner: network does not fit the layout");
+  p.layer_table = table.str();
+  return p;
+}
+
+FixedKernelParams simd_params(const nn::QuantizedNetwork16& net) {
+  FixedKernelParams params;
+  params.frac_bits = net.frac_bits();
+  const fx::TanhTable& tanh = net.tanh_table();
+  params.range_fixed = tanh.range_fixed();
+  params.step_mask = tanh.step_fixed() - 1;
+  params.step_shift = 0;
+  while ((1 << params.step_shift) < tanh.step_fixed()) ++params.step_shift;
+  params.n_layers = static_cast<int>(net.layers().size());
+  return params;
+}
+
+void write_simd_network(rv::Memory& mem, const nn::QuantizedNetwork16& net,
+                        const SimdPlacement& placement,
+                        std::span<const std::int16_t> input) {
+  write_tanh_table(mem, net.tanh_table());
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    const nn::QuantizedLayer16& layer = net.layers()[l];
+    std::uint32_t addr = placement.weight_addrs[l];
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      const std::int16_t* row = layer.weights.data() + o * 2 * layer.row_pairs;
+      for (std::size_t pair = 0; pair < layer.row_pairs; ++pair) {
+        mem.store16(addr, static_cast<std::uint16_t>(row[2 * pair]));
+        mem.store16(addr + 2, static_cast<std::uint16_t>(row[2 * pair + 1]));
+        addr += 4;
+      }
+      mem.store32(addr, static_cast<std::uint32_t>(layer.biases[o]));
+      addr += 4;
+    }
+  }
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    mem.store16(Layout::kAct0 + static_cast<std::uint32_t>(2 * i),
+                static_cast<std::uint16_t>(input[i]));
+  }
+  if (input.size() % 2 != 0) {
+    mem.store16(Layout::kAct0 + static_cast<std::uint32_t>(2 * input.size()), 0);
+  }
+}
+
+std::vector<std::int16_t> read_simd_outputs(const rv::Memory& mem,
+                                            const SimdPlacement& placement,
+                                            std::size_t n_outputs) {
+  std::vector<std::int16_t> out(n_outputs);
+  for (std::size_t i = 0; i < n_outputs; ++i) {
+    out[i] = static_cast<std::int16_t>(
+        mem.load16(placement.final_out + static_cast<std::uint32_t>(2 * i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+KernelRunResult run_simd_mlp(const nn::QuantizedNetwork16& net,
+                             std::span<const std::int16_t> input) {
+  ensure(input.size() == net.num_inputs(), "run_simd_mlp: input width mismatch");
+  const SimdPlacement placement = place_simd_layers(net);
+  const asmx::Program program = asmx::assemble(
+      simd_kernel_source(simd_params(net), placement.layer_table));
+  ensure(program.end_address() <= Layout::kTanhTable,
+         "run_simd_mlp: program overflows layout");
+
+  rv::Machine machine(rv::ri5cy(), Layout::kMemBytes);
+  machine.load_program(program.words);
+  write_simd_network(machine.memory(), net, placement, input);
+
+  KernelRunResult result;
+  machine.core().set_histogram(&result.histogram);
+  const rv::RunResult run = machine.run(program.symbol("main"));
+
+  result.cycles = run.cycles;
+  result.instructions = run.instructions;
+  result.outputs_fixed16 = read_simd_outputs(machine.memory(), placement,
+                                             net.num_outputs());
+  return result;
+}
+
+KernelRunResult run_simd_mlp_parallel(const nn::QuantizedNetwork16& net,
+                                      std::span<const std::int16_t> input,
+                                      int num_cores) {
+  ensure(input.size() == net.num_inputs(),
+         "run_simd_mlp_parallel: input width mismatch");
+  const SimdPlacement placement = place_simd_layers(net);
+  FixedKernelParams params = simd_params(net);
+  params.num_cores = num_cores;
+  const asmx::Program program = asmx::assemble(
+      parallel_simd_kernel_source(params, placement.layer_table));
+  ensure(program.end_address() <= Layout::kTanhTable,
+         "run_simd_mlp_parallel: program overflows layout");
+
+  rv::Cluster cluster(rv::ri5cy(), cluster_config(num_cores));
+  cluster.load_program(program.words);
+  write_simd_network(cluster.memory(), net, placement, input);
+
+  KernelRunResult result;
+  for (int c = 0; c < num_cores; ++c) cluster.core(c).set_histogram(&result.histogram);
+  const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
+
+  result.cycles = run.cycles;
+  result.instructions = run.total_instructions;
+  result.bank_conflict_stalls = run.bank_conflict_stalls;
+  result.barrier_wait_cycles = run.barrier_wait_cycles;
+  result.outputs_fixed16 = read_simd_outputs(cluster.memory(), placement,
+                                             net.num_outputs());
+  return result;
+}
+
+KernelRunResult run_float_mlp(const nn::Network& net, std::span<const float> input) {
+  ensure(input.size() == net.num_inputs(), "run_float_mlp: input width mismatch");
+  const Placement placement = place_layers(net.layers());
+  const std::string source = float_kernel_source(
+      static_cast<int>(net.num_layers()), placement.layer_table);
+  const asmx::Program program = asmx::assemble(source);
+  ensure(program.end_address() <= Layout::kTanhTable,
+         "run_float_mlp: program overflows layout");
+
+  rv::Machine machine(rv::cortex_m4f(), Layout::kMemBytes);
+  machine.load_program(program.words);
+  for (std::size_t l = 0; l < net.layers().size(); ++l) {
+    machine.memory().write_words_f32(placement.weight_addrs[l],
+                                     std::span<const float>(net.layers()[l].weights));
+  }
+  machine.memory().write_words_f32(Layout::kAct0,
+                                   std::span<const float>(input.data(), input.size()));
+  KernelRunResult result;
+  machine.core().set_histogram(&result.histogram);
+  const rv::RunResult run = machine.run(program.symbol("main"));
+
+  result.cycles = run.cycles;
+  result.instructions = run.instructions;
+  result.outputs_float =
+      machine.memory().read_words_f32(placement.output_addr, placement.n_outputs);
+  return result;
+}
+
+}  // namespace iw::kernels

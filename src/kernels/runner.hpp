@@ -1,0 +1,78 @@
+// Executes the MLP kernels on the simulated cores and reports cycle counts.
+//
+// This is the measurement harness behind Table III: it lays a (quantized)
+// network out in simulated memory, generates + assembles the right kernel for
+// the requested execution target, runs it to completion, and returns both the
+// network outputs (for bit-exactness checks against nn::QuantizedNetwork) and
+// the cycle/instruction counts (for the runtime and energy tables).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel_source.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/quantize16.hpp"
+#include "rvsim/profile_stats.hpp"
+#include "rvsim/timing.hpp"
+
+namespace iw::kernels {
+
+/// The four execution targets of Table III.
+enum class Target { kCortexM4, kIbex, kRi5cySingle, kRi5cyMulti };
+
+/// Timing profile used for a target.
+rv::TimingProfile profile_for(Target target);
+/// Human-readable target name as the paper prints it.
+std::string target_name(Target target);
+
+struct KernelRunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::vector<std::int32_t> outputs_fixed;
+  std::vector<std::int16_t> outputs_fixed16;
+  std::vector<float> outputs_float;
+  // Multi-core diagnostics (zero for single-core runs).
+  std::uint64_t bank_conflict_stalls = 0;
+  std::uint64_t barrier_wait_cycles = 0;
+  /// Retired-instruction mix (aggregated over all cores for cluster runs).
+  rv::InstructionHistogram histogram;
+};
+
+/// Runs fixed-point inference of `net` on `target`. `input` must already be
+/// in the network's Q format (see QuantizedNetwork::quantize_input).
+KernelRunResult run_fixed_mlp(const nn::QuantizedNetwork& net,
+                              std::span<const std::int32_t> input, Target target);
+
+/// Runs float inference on the Cortex-M4F (FPU) target.
+KernelRunResult run_float_mlp(const nn::Network& net, std::span<const float> input);
+
+/// Ablation harness: runs the single-core fixed kernel of `flavor` on an
+/// arbitrary timing profile (e.g. the generic RV32IM kernel on RI5CY timing
+/// to isolate the value of the Xpulp extensions). The profile must support
+/// every instruction the flavor emits.
+KernelRunResult run_fixed_mlp_custom(const nn::QuantizedNetwork& net,
+                                     std::span<const std::int32_t> input,
+                                     Flavor flavor, const rv::TimingProfile& profile);
+
+/// Ablation harness: parallel RI5CY kernel on a cluster of `num_cores`
+/// (1, 2, 4 or 8) for the scaling study.
+KernelRunResult run_fixed_mlp_parallel(const nn::QuantizedNetwork& net,
+                                       std::span<const std::int32_t> input,
+                                       int num_cores);
+
+/// Packed 16-bit SIMD inference on a single RI5CY core (pv.sdotsp.h path).
+/// `input` must come from QuantizedNetwork16::quantize_input.
+KernelRunResult run_simd_mlp(const nn::QuantizedNetwork16& net,
+                             std::span<const std::int16_t> input);
+
+/// Multi-core 16-bit SIMD inference: the cluster's peak configuration
+/// (num_cores cores, two MACs per core-cycle).
+KernelRunResult run_simd_mlp_parallel(const nn::QuantizedNetwork16& net,
+                                      std::span<const std::int16_t> input,
+                                      int num_cores = 8);
+
+}  // namespace iw::kernels

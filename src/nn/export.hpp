@@ -1,0 +1,30 @@
+// C-source deployment export, in the spirit of FANNCORTEXM (the paper's
+// reference [19]: "an open source toolkit for deployment of multi-layer
+// neural networks on ARM Cortex-M family microcontrollers").
+//
+// export_c_source() emits a single self-contained C file with the quantized
+// weights, the tanh lookup table, the layer descriptors, and a portable
+// fixed-point inference routine whose arithmetic matches the simulator
+// kernels (per-product shift, clip, interpolated LUT). The generated code
+// has no dependencies beyond <stdint.h> and can be compiled for any MCU.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "nn/quantize.hpp"
+
+namespace iw::nn {
+
+struct ExportOptions {
+  /// Prefix for all generated symbols (e.g. "net_a" -> net_a_infer()).
+  std::string symbol_prefix = "iwnet";
+  /// Emit a main() running one inference on zero input (for smoke tests).
+  bool emit_test_main = false;
+};
+
+/// Writes the complete C translation unit to `os`.
+void export_c_source(const QuantizedNetwork& net, const ExportOptions& options,
+                     std::ostream& os);
+
+}  // namespace iw::nn

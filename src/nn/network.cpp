@@ -1,0 +1,159 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace iw::nn {
+
+std::string to_string(Activation a) {
+  switch (a) {
+    case Activation::kTanh: return "tanh";
+    case Activation::kLinear: return "linear";
+  }
+  return "?";
+}
+
+double activate(Activation a, double x) {
+  switch (a) {
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kLinear: return x;
+  }
+  fail("activate: bad activation");
+}
+
+double activate_derivative_from_output(Activation a, double y) {
+  switch (a) {
+    case Activation::kTanh: return 1.0 - y * y;
+    case Activation::kLinear: return 1.0;
+  }
+  fail("activate_derivative_from_output: bad activation");
+}
+
+Network Network::create(const std::vector<std::size_t>& layer_sizes, Rng& rng,
+                        Activation hidden, Activation output, float init_range) {
+  ensure(layer_sizes.size() >= 2, "Network::create: need at least input and output");
+  ensure(init_range > 0.0f, "Network::create: init_range must be positive");
+  for (std::size_t s : layer_sizes) ensure(s > 0, "Network::create: empty layer");
+
+  std::vector<Layer> layers;
+  layers.reserve(layer_sizes.size() - 1);
+  for (std::size_t l = 1; l < layer_sizes.size(); ++l) {
+    Layer layer;
+    layer.n_in = layer_sizes[l - 1];
+    layer.n_out = layer_sizes[l];
+    layer.activation = (l + 1 == layer_sizes.size()) ? output : hidden;
+    layer.weights.resize((layer.n_in + 1) * layer.n_out);
+    for (float& w : layer.weights) {
+      w = static_cast<float>(rng.uniform(-init_range, init_range));
+    }
+    layers.push_back(std::move(layer));
+  }
+  return Network(std::move(layers));
+}
+
+std::size_t Network::num_neurons() const {
+  std::size_t n = num_inputs();
+  for (const Layer& layer : layers_) n += layer.n_out;
+  return n;
+}
+
+std::size_t Network::num_weights() const {
+  std::size_t n = 0;
+  for (const Layer& layer : layers_) n += layer.weights.size();
+  return n;
+}
+
+std::size_t Network::memory_footprint_bytes() const {
+  // FANN stores 4 ints per neuron, 4 bytes per weight and 2 ints per layer
+  // record; the input layer also counts as a layer record.
+  return 16 * num_neurons() + 4 * num_weights() + 8 * (layers_.size() + 1);
+}
+
+std::vector<float> Network::infer(std::span<const float> input) const {
+  ensure(input.size() == num_inputs(), "Network::infer: input size mismatch");
+  std::vector<float> current(input.begin(), input.end());
+  std::vector<float> next;
+  for (const Layer& layer : layers_) {
+    next.assign(layer.n_out, 0.0f);
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      double acc = layer.bias(o);
+      for (std::size_t i = 0; i < layer.n_in; ++i) {
+        acc += static_cast<double>(layer.weight(o, i)) * current[i];
+      }
+      next[o] = static_cast<float>(activate(layer.activation, acc));
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+std::size_t Network::classify(std::span<const float> input) const {
+  const std::vector<float> out = infer(input);
+  return static_cast<std::size_t>(
+      std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+float Network::max_abs_weight() const {
+  float best = 0.0f;
+  for (const Layer& layer : layers_) {
+    for (float w : layer.weights) best = std::max(best, std::abs(w));
+  }
+  return best;
+}
+
+float Network::max_row_abs_sum() const {
+  float best = 0.0f;
+  for (const Layer& layer : layers_) {
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      float sum = 0.0f;
+      for (std::size_t i = 0; i <= layer.n_in; ++i) {
+        sum += std::abs(layer.weights[o * (layer.n_in + 1) + i]);
+      }
+      best = std::max(best, sum);
+    }
+  }
+  return best;
+}
+
+void Network::save(std::ostream& os) const {
+  os << "IWNN1\n";
+  os << layers_.size() << '\n';
+  for (const Layer& layer : layers_) {
+    os << layer.n_in << ' ' << layer.n_out << ' ' << to_string(layer.activation)
+       << '\n';
+    for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+      os << layer.weights[i] << (i + 1 == layer.weights.size() ? '\n' : ' ');
+    }
+  }
+}
+
+Network Network::load(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  ensure(magic == "IWNN1", "Network::load: bad magic");
+  std::size_t n_layers = 0;
+  is >> n_layers;
+  ensure(is.good() && n_layers >= 1 && n_layers < 1000, "Network::load: bad layer count");
+  std::vector<Layer> layers(n_layers);
+  for (Layer& layer : layers) {
+    std::string act;
+    is >> layer.n_in >> layer.n_out >> act;
+    ensure(is.good() && layer.n_in > 0 && layer.n_out > 0, "Network::load: bad layer");
+    if (act == "tanh") layer.activation = Activation::kTanh;
+    else if (act == "linear") layer.activation = Activation::kLinear;
+    else fail("Network::load: bad activation " + act);
+    layer.weights.resize((layer.n_in + 1) * layer.n_out);
+    for (float& w : layer.weights) is >> w;
+    ensure(is.good() || is.eof(), "Network::load: truncated weights");
+  }
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    ensure(layers[l].n_in == layers[l - 1].n_out, "Network::load: layer size chain");
+  }
+  return Network(std::move(layers));
+}
+
+}  // namespace iw::nn

@@ -1,0 +1,91 @@
+// FANN-style multi-layer perceptron.
+//
+// The paper trains its stress-detection MLP with the FANN library and deploys
+// it in fixed point on the target cores. This module reimplements the
+// relevant subset: fully-connected layers with a bias input per layer,
+// tanh (symmetric sigmoid) activations, float inference, and the same
+// neuron/weight/memory accounting FANN reports (which the paper quotes:
+// Network A has 108 neurons, 3003 weights, ~14 kB).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iw::nn {
+
+enum class Activation { kTanh, kLinear };
+
+std::string to_string(Activation a);
+
+/// One fully-connected layer: `out = act(W * [in; 1])`.
+/// Weights are stored row-major per output neuron, the bias weight last in
+/// each row (FANN's layout), i.e. row stride = inputs() + 1.
+struct Layer {
+  std::size_t n_in = 0;
+  std::size_t n_out = 0;
+  Activation activation = Activation::kTanh;
+  std::vector<float> weights;  // (n_in + 1) * n_out
+
+  float weight(std::size_t out, std::size_t in) const {
+    return weights[out * (n_in + 1) + in];
+  }
+  float bias(std::size_t out) const { return weights[out * (n_in + 1) + n_in]; }
+};
+
+/// A feed-forward MLP in the FANN style.
+class Network {
+ public:
+  /// Builds a network with the given layer sizes (first entry = inputs) and
+  /// uniform random weights in [-w, w] (FANN's default init range is 0.1 but
+  /// the paper's nets train better from 0.5).
+  static Network create(const std::vector<std::size_t>& layer_sizes, Rng& rng,
+                        Activation hidden = Activation::kTanh,
+                        Activation output = Activation::kTanh,
+                        float init_range = 0.5f);
+
+  std::size_t num_inputs() const { return layers_.front().n_in; }
+  std::size_t num_outputs() const { return layers_.back().n_out; }
+  std::size_t num_layers() const { return layers_.size(); }
+
+  /// Neuron count as the paper reports it: inputs + all layer outputs
+  /// (bias units not counted). Network A: 5+50+50+3 = 108.
+  std::size_t num_neurons() const;
+  /// Connection count including bias weights. Network A: 3003.
+  std::size_t num_weights() const;
+  /// FANN-style estimated memory footprint in bytes: 16 B per neuron,
+  /// 4 B per weight, 8 B per layer record.
+  std::size_t memory_footprint_bytes() const;
+
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::vector<Layer>& layers() { return layers_; }
+
+  /// Float inference.
+  std::vector<float> infer(std::span<const float> input) const;
+  /// Index of the largest output (classification decision).
+  std::size_t classify(std::span<const float> input) const;
+
+  /// Largest |weight| over the whole network (drives the fixed-point format).
+  float max_abs_weight() const;
+  /// Largest per-neuron sum of |weights| (bounds the fixed accumulator).
+  float max_row_abs_sum() const;
+
+  /// Text serialization (FANN-like .net format, simplified).
+  void save(std::ostream& os) const;
+  static Network load(std::istream& is);
+
+ private:
+  explicit Network(std::vector<Layer> layers) : layers_(std::move(layers)) {}
+  std::vector<Layer> layers_;
+};
+
+/// Applies the activation function in double precision.
+double activate(Activation a, double x);
+/// Derivative of the activation with respect to its input, given the output y.
+double activate_derivative_from_output(Activation a, double y);
+
+}  // namespace iw::nn

@@ -1,0 +1,31 @@
+#include "nn/presets.hpp"
+
+namespace iw::nn {
+
+std::vector<std::size_t> topology_network_a() { return {5, 50, 50, 3}; }
+
+std::vector<std::size_t> topology_network_b() {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(100);
+  // 12 pairs of hidden layers: 8, 8, 16, 16, ..., 96, 96.
+  for (std::size_t width = 8; width <= 96; width += 8) {
+    sizes.push_back(width);
+    sizes.push_back(width);
+  }
+  sizes.push_back(8);
+  return sizes;
+}
+
+Network make_network_a(Rng& rng) {
+  return Network::create(topology_network_a(), rng);
+}
+
+Network make_network_b(Rng& rng) {
+  return Network::create(topology_network_b(), rng, Activation::kTanh,
+                         Activation::kTanh, 0.25f);
+}
+
+PaperNetworkCounts paper_counts_network_a() { return {108, 3003, 14.0}; }
+PaperNetworkCounts paper_counts_network_b() { return {1356, 81032, 353.0}; }
+
+}  // namespace iw::nn

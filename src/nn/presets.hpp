@@ -1,0 +1,43 @@
+// The two network architectures evaluated in the paper (Section III, Fig. 3).
+//
+// Network A: 5 inputs (RMSSD, SDSD, NN50, GSRL, GSRH), two hidden layers of
+// 50 tanh units, 3 outputs (stress / medium stress / no stress).
+// Paper counts: 108 neurons, 3003 weights, ~14 kB.
+//
+// Network B: 100 inputs, 24 hidden layers in pairs of increasing width
+// (8, 8, 16, 16, ..., 96, 96), 8 outputs. Paper counts: 1356 neurons,
+// 81032 weights, ~353 kB — all reproduced exactly by this topology.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+
+namespace iw::nn {
+
+/// Layer sizes for Network A: {5, 50, 50, 3}.
+std::vector<std::size_t> topology_network_a();
+
+/// Layer sizes for Network B: {100, 8, 8, 16, 16, ..., 96, 96, 8}.
+std::vector<std::size_t> topology_network_b();
+
+/// Builds Network A with random initial weights.
+Network make_network_a(Rng& rng);
+
+/// Builds Network B with random weights. The paper measures Network B's
+/// runtime/energy only (not task accuracy), so random weights suffice; they
+/// are drawn small so fixed-point conversion keeps a fine format.
+Network make_network_b(Rng& rng);
+
+/// Neuron/weight counts the paper quotes, used by tests and benches.
+struct PaperNetworkCounts {
+  std::size_t neurons;
+  std::size_t weights;
+  double memory_kb;
+};
+PaperNetworkCounts paper_counts_network_a();
+PaperNetworkCounts paper_counts_network_b();
+
+}  // namespace iw::nn

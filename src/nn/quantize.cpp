@@ -1,0 +1,154 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace iw::nn {
+
+int select_frac_bits(const Network& net, int max_frac_bits) {
+  ensure(max_frac_bits >= 4 && max_frac_bits <= 24, "select_frac_bits: bad cap");
+  const double wmax = std::max(1.0, static_cast<double>(net.max_abs_weight()));
+  const double row = std::max(1.0, static_cast<double>(net.max_row_abs_sum()));
+  for (int f = max_frac_bits; f >= 4; --f) {
+    const double scale = std::ldexp(1.0, f);
+    // Margin factor 2 keeps headroom for rounding and the +1 input bound.
+    const bool product_ok = wmax * scale * scale * 2.0 < 2147483648.0;
+    const bool sum_ok = row * scale * 2.0 < 2147483648.0;
+    if (product_ok && sum_ok) return f;
+  }
+  fail("select_frac_bits: weights too large for 32-bit fixed point");
+}
+
+QuantizedNetwork QuantizedNetwork::from(const Network& net, int max_frac_bits,
+                                        int tanh_log2_size) {
+  for (const Layer& layer : net.layers()) {
+    ensure(layer.activation == Activation::kTanh,
+           "QuantizedNetwork: only tanh activations are supported in fixed point");
+  }
+  const int frac = select_frac_bits(net, max_frac_bits);
+  QuantizedNetwork qn(fx::QFormat{frac}, tanh_log2_size);
+  qn.layers_.reserve(net.num_layers());
+  for (const Layer& layer : net.layers()) {
+    QuantizedLayer ql;
+    ql.n_in = layer.n_in;
+    ql.n_out = layer.n_out;
+    ql.weights.resize(layer.weights.size());
+    for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+      ql.weights[i] = fx::to_fixed(layer.weights[i], qn.q_);
+    }
+    qn.layers_.push_back(std::move(ql));
+  }
+  return qn;
+}
+
+std::size_t QuantizedNetwork::num_weights() const {
+  std::size_t n = 0;
+  for (const QuantizedLayer& layer : layers_) n += layer.weights.size();
+  return n;
+}
+
+std::vector<std::int32_t> QuantizedNetwork::quantize_input(
+    std::span<const float> input) const {
+  ensure(input.size() == num_inputs(), "quantize_input: width mismatch");
+  std::vector<std::int32_t> out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float clamped = std::clamp(input[i], -1.0f, 1.0f);
+    out[i] = fx::to_fixed(clamped, q_);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> QuantizedNetwork::infer_fixed(
+    std::span<const std::int32_t> input) const {
+  ensure(input.size() == num_inputs(), "infer_fixed: width mismatch");
+  std::vector<std::int32_t> current(input.begin(), input.end());
+  std::vector<std::int32_t> next;
+  const std::int32_t range = tanh_.range_fixed();
+  for (const QuantizedLayer& layer : layers_) {
+    next.assign(layer.n_out, 0);
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      const std::int32_t* row = layer.weights.data() + o * (layer.n_in + 1);
+      std::int64_t acc = 0;
+      for (std::size_t i = 0; i < layer.n_in; ++i) {
+        // Mirror the kernel exactly: 32-bit product, arithmetic shift.
+        const std::int64_t prod =
+            static_cast<std::int64_t>(row[i]) * static_cast<std::int64_t>(current[i]);
+        ensure(prod >= std::numeric_limits<std::int32_t>::min() &&
+                   prod <= std::numeric_limits<std::int32_t>::max(),
+               "infer_fixed: 32-bit product overflow (format selection bug)");
+        acc += prod >> q_.frac_bits;
+      }
+      acc += row[layer.n_in];  // bias weight times 1.0
+      ensure(acc >= std::numeric_limits<std::int32_t>::min() &&
+                 acc <= std::numeric_limits<std::int32_t>::max(),
+             "infer_fixed: accumulator overflow (format selection bug)");
+      // Kernel clamp: p.clip to [-range, range - 1], then table lookup.
+      const std::int32_t clamped = std::clamp(
+          static_cast<std::int32_t>(acc), -range, range - 1);
+      next[o] = tanh_.eval(clamped);
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+std::vector<float> QuantizedNetwork::infer(std::span<const float> input) const {
+  const std::vector<std::int32_t> fixed = infer_fixed(quantize_input(input));
+  std::vector<float> out(fixed.size());
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    out[i] = static_cast<float>(fx::to_double(fixed[i], q_));
+  }
+  return out;
+}
+
+std::size_t QuantizedNetwork::classify(std::span<const float> input) const {
+  const std::vector<float> out = infer(input);
+  return static_cast<std::size_t>(
+      std::max_element(out.begin(), out.end()) - out.begin());
+}
+
+void QuantizedNetwork::save(std::ostream& os) const {
+  os << "IWNNQ1\n";
+  os << q_.frac_bits << ' ' << tanh_.log2_size() << '\n';
+  os << layers_.size() << '\n';
+  for (const QuantizedLayer& layer : layers_) {
+    os << layer.n_in << ' ' << layer.n_out << '\n';
+    for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+      os << layer.weights[i] << ((i + 1 == layer.weights.size()) ? '\n' : ' ');
+    }
+  }
+}
+
+QuantizedNetwork QuantizedNetwork::load(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  ensure(magic == "IWNNQ1", "QuantizedNetwork::load: bad magic");
+  int frac = 0, log2_size = 0;
+  std::size_t n_layers = 0;
+  is >> frac >> log2_size >> n_layers;
+  ensure(is.good() && frac >= 4 && frac <= 24, "QuantizedNetwork::load: bad format");
+  ensure(n_layers >= 1 && n_layers < 1000, "QuantizedNetwork::load: bad layer count");
+  QuantizedNetwork qn(fx::QFormat{frac}, log2_size);
+  qn.layers_.resize(n_layers);
+  for (QuantizedLayer& layer : qn.layers_) {
+    is >> layer.n_in >> layer.n_out;
+    ensure(is.good() && layer.n_in > 0 && layer.n_out > 0,
+           "QuantizedNetwork::load: bad layer header");
+    layer.weights.resize((layer.n_in + 1) * layer.n_out);
+    for (std::int32_t& w : layer.weights) is >> w;
+    ensure(is.good() || is.eof(), "QuantizedNetwork::load: truncated weights");
+  }
+  for (std::size_t l = 1; l < qn.layers_.size(); ++l) {
+    ensure(qn.layers_[l].n_in == qn.layers_[l - 1].n_out,
+           "QuantizedNetwork::load: layer size chain");
+  }
+  return qn;
+}
+
+}  // namespace iw::nn

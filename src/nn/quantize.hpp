@@ -1,0 +1,82 @@
+// Fixed-point conversion of a trained network, FANN style.
+//
+// FANN's fixed-point export chooses one "decimal point" (fraction-bit count)
+// for the whole network such that the integer arithmetic cannot overflow,
+// then stores every weight as a 32-bit integer. The deployed kernel computes
+// each neuron as
+//
+//     acc = sum_i ((w_i * x_i) >> frac_bits) + w_bias;   y = tanh_lut(acc)
+//
+// with 32-bit registers, i.e. one arithmetic shift per product. This module
+// picks the fraction-bit count from the trained weights (bounded by both the
+// 32-bit product and the accumulation worst case), quantizes the weights, and
+// provides a host-side inference that is bit-exact with the assembly kernels
+// in src/kernels (verified by integration tests).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/tanh_lut.hpp"
+#include "nn/network.hpp"
+
+namespace iw::nn {
+
+struct QuantizedLayer {
+  std::size_t n_in = 0;
+  std::size_t n_out = 0;
+  /// Row-major per output neuron, bias last: (n_in + 1) * n_out entries.
+  std::vector<std::int32_t> weights;
+};
+
+class QuantizedNetwork {
+ public:
+  /// Quantizes a trained float network. All activations must be tanh (the
+  /// fixed-point pipeline relies on |activation| <= 1). Inputs are expected
+  /// in [-1, 1] and are clamped at quantization.
+  static QuantizedNetwork from(const Network& net, int max_frac_bits = 13,
+                               int tanh_log2_size = 9);
+
+  fx::QFormat format() const { return q_; }
+  const fx::TanhTable& tanh_table() const { return tanh_; }
+  const std::vector<QuantizedLayer>& layers() const { return layers_; }
+  std::size_t num_inputs() const { return layers_.front().n_in; }
+  std::size_t num_outputs() const { return layers_.back().n_out; }
+  std::size_t num_weights() const;
+
+  /// Clamps to [-1, 1] and converts to the network's Q format.
+  std::vector<std::int32_t> quantize_input(std::span<const float> input) const;
+
+  /// Fixed-point inference, bit-exact with the deployed kernels. Throws if
+  /// the accumulator would overflow 32 bits (the format selection makes this
+  /// impossible for inputs in [-1, 1]).
+  std::vector<std::int32_t> infer_fixed(std::span<const std::int32_t> input) const;
+
+  /// Convenience: quantize input, run fixed inference, convert back.
+  std::vector<float> infer(std::span<const float> input) const;
+  std::size_t classify(std::span<const float> input) const;
+
+  /// Text serialization of the deployment artifact (weights are integers, so
+  /// the round trip is lossless).
+  void save(std::ostream& os) const;
+  static QuantizedNetwork load(std::istream& is);
+
+ private:
+  QuantizedNetwork(fx::QFormat q, int tanh_log2_size)
+      : q_(q), tanh_(q, tanh_log2_size) {}
+
+  fx::QFormat q_;
+  fx::TanhTable tanh_;
+  std::vector<QuantizedLayer> layers_;
+};
+
+/// The fraction-bit count FANN-style export would pick for this network:
+/// the largest f <= max_frac_bits such that neither a single 32-bit product
+/// (|w| * 2^f) * 2^f nor a worst-case row accumulation sum|w| * 2^f can
+/// overflow int32.
+int select_frac_bits(const Network& net, int max_frac_bits = 13);
+
+}  // namespace iw::nn

@@ -1,0 +1,301 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace iw::nn {
+
+void Dataset::add(std::vector<float> in, std::vector<float> target) {
+  if (!inputs.empty()) {
+    ensure(in.size() == inputs.front().size(), "Dataset::add: input width mismatch");
+    ensure(target.size() == targets.front().size(), "Dataset::add: target width mismatch");
+  }
+  inputs.push_back(std::move(in));
+  targets.push_back(std::move(target));
+}
+
+std::vector<float> Dataset::one_hot(std::size_t label, std::size_t n_classes) {
+  ensure(label < n_classes, "Dataset::one_hot: label out of range");
+  std::vector<float> t(n_classes, -1.0f);
+  t[label] = 1.0f;
+  return t;
+}
+
+namespace {
+
+/// Per-layer forward activations for one sample.
+struct ForwardPass {
+  std::vector<std::vector<double>> activations;  // [0] = input, then per layer
+};
+
+ForwardPass forward(const Network& net, std::span<const float> input) {
+  ForwardPass fp;
+  fp.activations.emplace_back(input.begin(), input.end());
+  for (const Layer& layer : net.layers()) {
+    const std::vector<double>& in = fp.activations.back();
+    std::vector<double> out(layer.n_out);
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      double acc = layer.bias(o);
+      for (std::size_t i = 0; i < layer.n_in; ++i) acc += layer.weight(o, i) * in[i];
+      out[o] = activate(layer.activation, acc);
+    }
+    fp.activations.push_back(std::move(out));
+  }
+  return fp;
+}
+
+/// Accumulates batch gradients; layout mirrors Layer::weights.
+void backward(const Network& net, const ForwardPass& fp,
+              std::span<const float> target,
+              std::vector<std::vector<double>>& grads, double& mse_sum) {
+  const std::size_t n_layers = net.num_layers();
+  const std::vector<double>& output = fp.activations.back();
+  std::vector<double> delta(output.size());
+  for (std::size_t o = 0; o < output.size(); ++o) {
+    const double err = output[o] - target[o];
+    mse_sum += err * err;
+    delta[o] = err * activate_derivative_from_output(
+                         net.layers().back().activation, output[o]);
+  }
+  for (std::size_t l = n_layers; l-- > 0;) {
+    const Layer& layer = net.layers()[l];
+    const std::vector<double>& in = fp.activations[l];
+    std::vector<double>& g = grads[l];
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      const std::size_t row = o * (layer.n_in + 1);
+      for (std::size_t i = 0; i < layer.n_in; ++i) g[row + i] += delta[o] * in[i];
+      g[row + layer.n_in] += delta[o];  // bias
+    }
+    if (l == 0) break;
+    const Layer& prev = net.layers()[l - 1];
+    std::vector<double> prev_delta(layer.n_in, 0.0);
+    for (std::size_t i = 0; i < layer.n_in; ++i) {
+      double sum = 0.0;
+      for (std::size_t o = 0; o < layer.n_out; ++o) sum += layer.weight(o, i) * delta[o];
+      prev_delta[i] =
+          sum * activate_derivative_from_output(prev.activation, in[i]);
+    }
+    delta.swap(prev_delta);
+  }
+}
+
+double sign(double v) { return v > 0.0 ? 1.0 : (v < 0.0 ? -1.0 : 0.0); }
+
+void check_dimensions(const Network& net, const Dataset& data, const char* who) {
+  ensure(data.size() > 0, std::string(who) + ": empty dataset");
+  ensure(data.inputs.front().size() == net.num_inputs(),
+         std::string(who) + ": input width mismatch");
+  ensure(data.targets.front().size() == net.num_outputs(),
+         std::string(who) + ": target width mismatch");
+}
+
+/// Stateful iRPROP- stepper so early stopping can drive epochs one by one.
+class RpropState {
+ public:
+  RpropState(Network& net, const TrainConfig& config) : net_(net), config_(config) {
+    const std::size_t n_layers = net.num_layers();
+    grads_.resize(n_layers);
+    prev_grads_.resize(n_layers);
+    deltas_.resize(n_layers);
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      const std::size_t n = net.layers()[l].weights.size();
+      grads_[l].assign(n, 0.0);
+      prev_grads_[l].assign(n, 0.0);
+      deltas_[l].assign(n, config.delta_zero);
+    }
+  }
+
+  /// Computes the batch gradient and MSE without touching the weights.
+  double measure(const Dataset& data) {
+    for (auto& g : grads_) std::fill(g.begin(), g.end(), 0.0);
+    double mse_sum = 0.0;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+      const ForwardPass fp = forward(net_, data.inputs[s]);
+      backward(net_, fp, data.targets[s], grads_, mse_sum);
+    }
+    return mse_sum / (static_cast<double>(data.size()) *
+                      static_cast<double>(net_.num_outputs()));
+  }
+
+  /// Applies the iRPROP- update for the gradients of the last measure().
+  void apply() {
+    for (std::size_t l = 0; l < net_.num_layers(); ++l) {
+      Layer& layer = net_.layers()[l];
+      for (std::size_t w = 0; w < layer.weights.size(); ++w) {
+        const double g = grads_[l][w];
+        const double prod = prev_grads_[l][w] * g;
+        if (prod > 0.0) {
+          deltas_[l][w] = std::min(deltas_[l][w] * config_.eta_plus, config_.delta_max);
+        } else if (prod < 0.0) {
+          deltas_[l][w] = std::max(deltas_[l][w] * config_.eta_minus, config_.delta_min);
+          prev_grads_[l][w] = 0.0;
+          continue;  // iRPROP-: skip the update after a sign change
+        }
+        layer.weights[w] -= static_cast<float>(sign(g) * deltas_[l][w]);
+        prev_grads_[l][w] = g;
+      }
+    }
+  }
+
+ private:
+  Network& net_;
+  const TrainConfig& config_;
+  std::vector<std::vector<double>> grads_, prev_grads_, deltas_;
+};
+
+std::vector<std::vector<float>> snapshot_weights(const Network& net) {
+  std::vector<std::vector<float>> snap;
+  for (const Layer& layer : net.layers()) snap.push_back(layer.weights);
+  return snap;
+}
+
+void restore_weights(Network& net, const std::vector<std::vector<float>>& snap) {
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    net.layers()[l].weights = snap[l];
+  }
+}
+
+}  // namespace
+
+TrainResult train_rprop(Network& net, const Dataset& data, const TrainConfig& config) {
+  check_dimensions(net, data, "train_rprop");
+  RpropState state(net, config);
+  TrainResult result;
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    const double mse = state.measure(data);
+    result.mse_history.push_back(mse);
+    result.final_mse = mse;
+    result.epochs = epoch + 1;
+    if (config.verbose && epoch % 50 == 0) {
+      std::cerr << "epoch " << epoch << " mse " << mse << '\n';
+    }
+    if (mse <= config.target_mse) break;
+    state.apply();
+  }
+  return result;
+}
+
+TrainResult train_rprop_early_stopping(Network& net, const Dataset& train,
+                                       const Dataset& validation,
+                                       const TrainConfig& config,
+                                       std::size_t patience) {
+  check_dimensions(net, train, "train_rprop_early_stopping");
+  check_dimensions(net, validation, "train_rprop_early_stopping");
+  ensure(patience >= 1, "train_rprop_early_stopping: patience must be >= 1");
+
+  RpropState state(net, config);
+  TrainResult result;
+  double best_validation = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<float>> best_weights = snapshot_weights(net);
+  std::size_t since_best = 0;
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    state.measure(train);
+    state.apply();
+    const double val_mse = evaluate_mse(net, validation);
+    result.mse_history.push_back(val_mse);
+    result.epochs = epoch + 1;
+    if (val_mse < best_validation) {
+      best_validation = val_mse;
+      best_weights = snapshot_weights(net);
+      since_best = 0;
+    } else if (++since_best >= patience) {
+      break;
+    }
+    if (val_mse <= config.target_mse) break;
+  }
+  restore_weights(net, best_weights);
+  result.final_mse = best_validation;
+  return result;
+}
+
+TrainResult train_sgd(Network& net, const Dataset& data, const SgdConfig& config) {
+  check_dimensions(net, data, "train_sgd");
+  ensure(config.batch_size >= 1, "train_sgd: batch size must be >= 1");
+  ensure(config.learning_rate > 0.0, "train_sgd: learning rate must be positive");
+  ensure(config.momentum >= 0.0 && config.momentum < 1.0, "train_sgd: bad momentum");
+
+  const std::size_t n_layers = net.num_layers();
+  std::vector<std::vector<double>> grads(n_layers), velocity(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    grads[l].assign(net.layers()[l].weights.size(), 0.0);
+    velocity[l].assign(net.layers()[l].weights.size(), 0.0);
+  }
+
+  Rng rng(config.shuffle_seed);
+  TrainResult result;
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(data.size());
+    double mse_sum = 0.0;
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      for (auto& g : grads) std::fill(g.begin(), g.end(), 0.0);
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t s = order[k];
+        const ForwardPass fp = forward(net, data.inputs[s]);
+        backward(net, fp, data.targets[s], grads, mse_sum);
+      }
+      const double scale = config.learning_rate / static_cast<double>(end - start);
+      for (std::size_t l = 0; l < n_layers; ++l) {
+        Layer& layer = net.layers()[l];
+        for (std::size_t w = 0; w < layer.weights.size(); ++w) {
+          velocity[l][w] = config.momentum * velocity[l][w] - scale * grads[l][w];
+          layer.weights[w] += static_cast<float>(velocity[l][w]);
+        }
+      }
+    }
+    const double mse = mse_sum / (static_cast<double>(data.size()) *
+                                  static_cast<double>(net.num_outputs()));
+    result.mse_history.push_back(mse);
+    result.final_mse = mse;
+    result.epochs = epoch + 1;
+    if (mse <= config.target_mse) break;
+  }
+  return result;
+}
+
+double evaluate_mse(const Network& net, const Dataset& data) {
+  ensure(data.size() > 0, "evaluate_mse: empty dataset");
+  double sum = 0.0;
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const std::vector<float> out = net.infer(data.inputs[s]);
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      const double e = out[o] - data.targets[s][o];
+      sum += e * e;
+    }
+  }
+  return sum / (static_cast<double>(data.size()) *
+                static_cast<double>(net.num_outputs()));
+}
+
+double evaluate_accuracy(const Network& net, const Dataset& data) {
+  ensure(data.size() > 0, "evaluate_accuracy: empty dataset");
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const std::size_t got = net.classify(data.inputs[s]);
+    const auto& t = data.targets[s];
+    const std::size_t want = static_cast<std::size_t>(
+        std::max_element(t.begin(), t.end()) - t.begin());
+    correct += got == want ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& data, double test_fraction, Rng& rng) {
+  ensure(test_fraction >= 0.0 && test_fraction <= 1.0, "split: bad fraction");
+  const std::vector<std::size_t> perm = rng.permutation(data.size());
+  const std::size_t n_test = static_cast<std::size_t>(
+      test_fraction * static_cast<double>(data.size()));
+  Dataset train, test;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    Dataset& dst = (i < n_test) ? test : train;
+    dst.add(data.inputs[perm[i]], data.targets[perm[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace iw::nn

@@ -1,0 +1,83 @@
+// Training for the FANN-style MLP: batch backpropagation and iRPROP-.
+//
+// FANN's default training algorithm is RPROP; the paper's stress network is
+// trained with it. iRPROP- adapts a per-weight step size from the sign of the
+// batch gradient, which converges quickly on the small feature datasets used
+// here without a learning-rate search.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace iw::nn {
+
+/// Supervised dataset: one row of inputs and targets per sample.
+struct Dataset {
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::vector<float>> targets;
+
+  std::size_t size() const { return inputs.size(); }
+  void add(std::vector<float> in, std::vector<float> target);
+  /// Encodes a class label as a one-of-N target with +1 / -1 levels (tanh
+  /// output convention).
+  static std::vector<float> one_hot(std::size_t label, std::size_t n_classes);
+};
+
+struct TrainConfig {
+  std::size_t max_epochs = 500;
+  double target_mse = 1e-3;
+  // iRPROP- parameters (FANN defaults).
+  double delta_zero = 0.1;
+  double delta_min = 1e-6;
+  double delta_max = 50.0;
+  double eta_plus = 1.2;
+  double eta_minus = 0.5;
+  /// Report MSE every `report_every` epochs via stderr when verbose.
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::size_t epochs = 0;
+  double final_mse = 0.0;
+  std::vector<double> mse_history;
+};
+
+/// Trains `net` in place with iRPROP- on the full batch.
+TrainResult train_rprop(Network& net, const Dataset& data, const TrainConfig& config);
+
+/// Mini-batch stochastic gradient descent with classical momentum, as an
+/// alternative to RPROP (useful for larger, noisier datasets).
+struct SgdConfig {
+  std::size_t max_epochs = 200;
+  std::size_t batch_size = 16;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double target_mse = 1e-3;
+  std::uint64_t shuffle_seed = 1;
+};
+TrainResult train_sgd(Network& net, const Dataset& data, const SgdConfig& config);
+
+/// iRPROP- with early stopping: trains on `train`, monitors MSE on
+/// `validation` every epoch, stops after `patience` epochs without
+/// improvement and restores the best-validation weights. Returns the history
+/// of *validation* MSE.
+TrainResult train_rprop_early_stopping(Network& net, const Dataset& train,
+                                       const Dataset& validation,
+                                       const TrainConfig& config,
+                                       std::size_t patience = 25);
+
+/// Mean squared error of the network over a dataset.
+double evaluate_mse(const Network& net, const Dataset& data);
+
+/// Classification accuracy in [0,1]: argmax(output) vs argmax(target).
+double evaluate_accuracy(const Network& net, const Dataset& data);
+
+/// Splits a dataset into train/test with the given test fraction,
+/// deterministically shuffled.
+std::pair<Dataset, Dataset> split(const Dataset& data, double test_fraction, Rng& rng);
+
+}  // namespace iw::nn

@@ -1,0 +1,24 @@
+#include "platform/detection_cost.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::platform {
+
+DetectionCost make_detection_cost(const DetectionCostParams& params) {
+  ensure(params.feature_extraction_s >= 0.0 && params.notification_bytes >= 0.0,
+         "make_detection_cost: invalid parameters");
+  DetectionCost cost;
+  cost.acquisition_j = params.acquisition.energy_j();
+  cost.feature_extraction_j =
+      params.feature_extraction_s * params.feature_processor.active_power_w;
+  cost.classification_j =
+      params.classification_processor.energy_j(params.classification_cycles);
+  if (params.notification_bytes > 0.0) {
+    cost.notification_j = ble::BleLink().notification_energy_j(params.notification_bytes);
+  }
+  cost.duration_s = params.acquisition.duration_s + params.feature_extraction_s +
+                    params.classification_processor.time_s(params.classification_cycles);
+  return cost;
+}
+
+}  // namespace iw::platform

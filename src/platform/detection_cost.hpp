@@ -1,0 +1,43 @@
+// Energy cost of one stress detection (Section IV of the paper).
+//
+// One detection = 3 s of ECG + GSR acquisition (~600 uJ), 50 us of feature
+// extraction on the cluster (~1 uJ at 20 mW), one MLP classification
+// (1.2-5.1 uJ depending on the execution target), and optionally a BLE
+// notification of the result. The paper's best total is 602.2 uJ.
+#pragma once
+
+#include "ble/ble.hpp"
+#include "power/processor_power.hpp"
+#include "sensors/acquisition.hpp"
+
+namespace iw::platform {
+
+struct DetectionCost {
+  double acquisition_j = 0.0;
+  double feature_extraction_j = 0.0;
+  double classification_j = 0.0;
+  double notification_j = 0.0;
+
+  double total_j() const {
+    return acquisition_j + feature_extraction_j + classification_j + notification_j;
+  }
+  /// Active time of one detection (dominated by the acquisition window).
+  double duration_s = 3.0;
+};
+
+struct DetectionCostParams {
+  sensors::AcquisitionPlan acquisition = sensors::stress_detection_acquisition();
+  /// Feature extraction: 50 us on the parallel cluster (paper).
+  double feature_extraction_s = 50e-6;
+  pwr::ProcessorPowerModel feature_processor = pwr::mr_wolf_cluster_multi8();
+  /// Classification runtime in cycles on the chosen processor.
+  std::uint64_t classification_cycles = 6126;
+  pwr::ProcessorPowerModel classification_processor = pwr::mr_wolf_cluster_multi8();
+  /// Result notification over BLE (0 bytes = stay silent).
+  double notification_bytes = 0.0;
+};
+
+/// Assembles the per-detection energy breakdown.
+DetectionCost make_detection_cost(const DetectionCostParams& params);
+
+}  // namespace iw::platform

@@ -1,0 +1,153 @@
+#include "platform/device.hpp"
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "common/error.hpp"
+#include "platform/scheduler.hpp"
+
+namespace iw::platform {
+
+const hv::Environment& environment_at(const hv::DayProfile& profile, double t) {
+  ensure(!profile.empty(), "environment_at: empty profile");
+  const double total = hv::profile_duration_s(profile);
+  ensure(total > 0.0, "environment_at: zero-length profile");
+  double local = std::fmod(t, total);
+  for (const hv::EnvironmentSegment& seg : profile) {
+    if (local < seg.duration_s) return seg.env;
+    local -= seg.duration_s;
+  }
+  return profile.back().env;
+}
+
+namespace {
+
+DaySimulationResult run_simulation(const DeviceConfig& config,
+                                   const hv::DualSourceHarvester& harvester,
+                                   const hv::DayProfile& profile,
+                                   const DetectionPolicy* policy) {
+  ensure(config.detection_period_s > 0.0, "simulate_day: bad detection period");
+  ensure(config.harvest_tick_s > 0.0, "simulate_day: bad harvest tick");
+
+  const double horizon = hv::profile_duration_s(profile);
+  sim::Engine engine;
+  pwr::LipoBattery battery(config.battery, config.initial_soc);
+
+  DaySimulationResult result;
+  result.initial_soc = config.initial_soc;
+  double smoothed_intake_w = harvester.intake_w(environment_at(profile, 0.0));
+
+  // Continuous charging + sleep drain, integrated at the harvest tick.
+  engine.schedule_every(config.harvest_tick_s, [&] {
+    const double t = engine.now();
+    if (t > horizon) return false;
+    // Sample conditions at the middle of the elapsed tick.
+    const hv::Environment& env =
+        environment_at(profile, t - config.harvest_tick_s / 2.0);
+    const double intake_w = harvester.intake_w(env);
+    smoothed_intake_w = 0.9 * smoothed_intake_w + 0.1 * intake_w;
+    result.harvested_j += battery.charge(intake_w, config.harvest_tick_s);
+    if (config.sleep_power_w > 0.0) {
+      result.consumed_j += battery.discharge(config.sleep_power_w, config.harvest_tick_s);
+    }
+    result.trace.record("intake_w", t, intake_w);
+    result.trace.record("soc", t, battery.soc());
+    return t < horizon;
+  });
+
+  // One detection attempt; returns true when it completed.
+  const auto attempt_detection = [&] {
+    const double t = engine.now();
+    ++result.detections_attempted;
+    const double need_j = config.detection.total_j();
+    if (battery.stored_energy_j() >= need_j && !battery.empty()) {
+      const double power = need_j / config.detection.duration_s;
+      const double got = battery.discharge(power, config.detection.duration_s);
+      result.consumed_j += got;
+      if (got >= 0.95 * need_j) {
+        ++result.detections_completed;
+        result.trace.record("detection", t, 1.0);
+        return true;
+      }
+    }
+    ++result.detections_skipped;
+    result.trace.record("detection", t, 0.0);
+    return false;
+  };
+
+  if (policy == nullptr) {
+    engine.schedule_every(config.detection_period_s, [&] {
+      if (engine.now() > horizon) return false;
+      attempt_detection();
+      return engine.now() < horizon;
+    });
+  } else {
+    // Self-rescheduling task: the policy picks every next interval.
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&, tick] {
+      if (engine.now() > horizon) return;
+      attempt_detection();
+      SchedulerState state;
+      state.soc = battery.soc();
+      state.recent_intake_w = smoothed_intake_w;
+      state.detection_energy_j = config.detection.total_j();
+      const double interval = policy->next_interval_s(state);
+      ensure(interval > 0.0, "detection policy returned non-positive interval");
+      result.trace.record("interval_s", engine.now(), interval);
+      if (engine.now() + interval <= horizon) engine.schedule_in(interval, *tick);
+    };
+    engine.schedule_in(config.detection_period_s, *tick);
+  }
+
+  engine.run_until(horizon + 1.0);
+  result.final_soc = battery.soc();
+  return result;
+}
+
+}  // namespace
+
+DaySimulationResult simulate_day(const DeviceConfig& config,
+                                 const hv::DualSourceHarvester& harvester,
+                                 const hv::DayProfile& profile) {
+  return run_simulation(config, harvester, profile, nullptr);
+}
+
+DaySimulationResult simulate_day_with_policy(const DeviceConfig& config,
+                                             const hv::DualSourceHarvester& harvester,
+                                             const hv::DayProfile& profile,
+                                             const DetectionPolicy& policy) {
+  return run_simulation(config, harvester, profile, &policy);
+}
+
+hv::DayProfile scale_profile_lux(const hv::DayProfile& profile, double factor) {
+  ensure(factor >= 0.0, "scale_profile_lux: negative factor");
+  hv::DayProfile scaled = profile;
+  for (hv::EnvironmentSegment& seg : scaled) seg.env.lux *= factor;
+  return scaled;
+}
+
+MultiDayResult simulate_days(const DeviceConfig& config,
+                             const hv::DualSourceHarvester& harvester,
+                             const hv::DayProfile& base_profile, int days,
+                             Rng& rng, double lux_sigma) {
+  ensure(days >= 1, "simulate_days: need at least one day");
+  ensure(lux_sigma >= 0.0, "simulate_days: negative lux sigma");
+  MultiDayResult result;
+  DeviceConfig day_config = config;
+  for (int day = 0; day < days; ++day) {
+    const double factor = std::exp(rng.normal(0.0, lux_sigma));
+    const hv::DayProfile profile = scale_profile_lux(base_profile, factor);
+    DaySimulationResult r = simulate_day(day_config, harvester, profile);
+    result.min_soc = std::min({result.min_soc, r.final_soc,
+                               r.trace.summarize("soc").min()});
+    result.final_soc = r.final_soc;
+    result.total_detections += r.detections_completed;
+    result.total_skipped += r.detections_skipped;
+    day_config.initial_soc = r.final_soc;  // carry the battery over
+    result.days.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace iw::platform

@@ -1,0 +1,103 @@
+#include "platform/firmware.hpp"
+
+#include "ble/ble.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "power/processor_power.hpp"
+#include "sensors/acquisition.hpp"
+
+namespace iw::platform {
+
+const char* to_string(FirmwareMode mode) {
+  switch (mode) {
+    case FirmwareMode::kSleep: return "sleep";
+    case FirmwareMode::kDataAcquisition: return "data acquisition";
+    case FirmwareMode::kProcessing: return "processing";
+    case FirmwareMode::kRawStreaming: return "raw streaming";
+    case FirmwareMode::kTransmit: return "transmit";
+  }
+  return "?";
+}
+
+ModePowerTable ModePowerTable::infiniwolf_defaults() {
+  ModePowerTable table;
+  const sensors::AcquisitionPlan acq = sensors::stress_detection_acquisition();
+  const ble::BleLink ble;
+  // Sleep: Nordic system-off class + fuel gauge + AFE leakage.
+  table.power_w[static_cast<std::size_t>(FirmwareMode::kSleep)] = units::from_uw(6.0);
+  // Acquisition: AFEs on, MCU mostly idle waiting for samples.
+  table.power_w[static_cast<std::size_t>(FirmwareMode::kDataAcquisition)] =
+      acq.power_w() + units::from_uw(15.0);
+  // Processing: 8-core cluster active.
+  table.power_w[static_cast<std::size_t>(FirmwareMode::kProcessing)] =
+      pwr::mr_wolf_cluster_multi8().active_power_w;
+  // Raw streaming: AFEs + sustained BLE stream of the raw samples.
+  table.power_w[static_cast<std::size_t>(FirmwareMode::kRawStreaming)] =
+      acq.power_w() + ble.streaming_power_w(acq.bytes() / acq.duration_s);
+  // Transmit: radio burst for a notification.
+  table.power_w[static_cast<std::size_t>(FirmwareMode::kTransmit)] =
+      0.5 * (5.3e-3 + 5.4e-3) * 3.0;
+  return table;
+}
+
+FirmwareStateMachine::FirmwareStateMachine(ModePowerTable table, FirmwareMode initial)
+    : table_(table), mode_(initial) {
+  for (double p : table_.power_w) ensure(p >= 0.0, "ModePowerTable: negative power");
+}
+
+bool FirmwareStateMachine::transition_allowed(FirmwareMode from, FirmwareMode to) {
+  using M = FirmwareMode;
+  if (from == to) return true;
+  switch (from) {
+    case M::kSleep: return to == M::kDataAcquisition || to == M::kRawStreaming;
+    case M::kDataAcquisition: return to == M::kProcessing || to == M::kSleep;
+    case M::kProcessing: return to == M::kTransmit || to == M::kSleep;
+    case M::kRawStreaming: return to == M::kSleep;
+    case M::kTransmit: return to == M::kSleep;
+  }
+  return false;
+}
+
+void FirmwareStateMachine::run_for(double duration_s) {
+  ensure(duration_s >= 0.0, "FirmwareStateMachine::run_for: negative duration");
+  const std::size_t m = static_cast<std::size_t>(mode_);
+  energy_j_[m] += table_.power_w[m] * duration_s;
+  time_s_[m] += duration_s;
+  now_s_ += duration_s;
+}
+
+void FirmwareStateMachine::transition(FirmwareMode next) {
+  ensure(transition_allowed(mode_, next),
+         std::string("illegal firmware transition: ") + to_string(mode_) + " -> " +
+             to_string(next));
+  mode_ = next;
+}
+
+double FirmwareStateMachine::total_energy_j() const {
+  double total = 0.0;
+  for (double e : energy_j_) total += e;
+  return total;
+}
+
+double FirmwareStateMachine::mode_energy_j(FirmwareMode mode) const {
+  return energy_j_[static_cast<std::size_t>(mode)];
+}
+
+double FirmwareStateMachine::mode_time_s(FirmwareMode mode) const {
+  return time_s_[static_cast<std::size_t>(mode)];
+}
+
+double detection_cycle_energy_j(FirmwareStateMachine& fsm, double acquire_s,
+                                double process_s, double transmit_s) {
+  const double before = fsm.total_energy_j();
+  fsm.transition(FirmwareMode::kDataAcquisition);
+  fsm.run_for(acquire_s);
+  fsm.transition(FirmwareMode::kProcessing);
+  fsm.run_for(process_s);
+  fsm.transition(FirmwareMode::kTransmit);
+  fsm.run_for(transmit_s);
+  fsm.transition(FirmwareMode::kSleep);
+  return fsm.total_energy_j() - before;
+}
+
+}  // namespace iw::platform

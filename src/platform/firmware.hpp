@@ -1,0 +1,76 @@
+// Firmware operating modes and their power accounting.
+//
+// Section II: the Nordic SoC "performs power management various modes of
+// operation (sleep, raw data streaming, data acquisition, and processing)".
+// This state machine enforces the legal mode transitions, tracks dwell time
+// and energy per mode, and exposes the per-mode system power used by the
+// duty-cycle analyses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace iw::platform {
+
+enum class FirmwareMode : std::size_t {
+  kSleep = 0,
+  kDataAcquisition = 1,
+  kProcessing = 2,
+  kRawStreaming = 3,
+  kTransmit = 4,
+};
+inline constexpr std::size_t kNumFirmwareModes = 5;
+
+const char* to_string(FirmwareMode mode);
+
+/// System power in each mode (everything on the board that is awake).
+struct ModePowerTable {
+  std::array<double, kNumFirmwareModes> power_w{};
+
+  /// Default table assembled from the component models: sleep is the
+  /// quiescent system; acquisition adds the ECG+GSR front ends; processing
+  /// adds the cluster; streaming adds AFEs + radio; transmit is a short
+  /// radio burst.
+  static ModePowerTable infiniwolf_defaults();
+};
+
+class FirmwareStateMachine {
+ public:
+  explicit FirmwareStateMachine(ModePowerTable table,
+                                FirmwareMode initial = FirmwareMode::kSleep);
+
+  FirmwareMode mode() const { return mode_; }
+  double now_s() const { return now_s_; }
+
+  /// True when `from -> to` is a legal transition of the firmware.
+  static bool transition_allowed(FirmwareMode from, FirmwareMode to);
+
+  /// Advances time in the current mode, charging its power.
+  void run_for(double duration_s);
+
+  /// Switches mode at the current time. Throws on illegal transitions.
+  void transition(FirmwareMode next);
+
+  /// Total energy consumed so far.
+  double total_energy_j() const;
+  /// Energy consumed in one mode.
+  double mode_energy_j(FirmwareMode mode) const;
+  /// Dwell time accumulated in one mode.
+  double mode_time_s(FirmwareMode mode) const;
+
+ private:
+  ModePowerTable table_;
+  FirmwareMode mode_;
+  double now_s_ = 0.0;
+  std::array<double, kNumFirmwareModes> energy_j_{};
+  std::array<double, kNumFirmwareModes> time_s_{};
+};
+
+/// Convenience: runs one full detection cycle (sleep -> acquire -> process ->
+/// transmit -> sleep) with the paper's phase durations and returns the
+/// consumed energy.
+double detection_cycle_energy_j(FirmwareStateMachine& fsm, double acquire_s = 3.0,
+                                double process_s = 111e-6, double transmit_s = 400e-6);
+
+}  // namespace iw::platform

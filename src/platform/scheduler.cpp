@@ -1,0 +1,71 @@
+#include "platform/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iw::platform {
+
+FixedRatePolicy::FixedRatePolicy(double period_s) : period_s_(period_s) {
+  ensure(period_s_ > 0.0, "FixedRatePolicy: period must be positive");
+}
+
+double FixedRatePolicy::next_interval_s(const SchedulerState&) const {
+  return period_s_;
+}
+
+SocProportionalPolicy::SocProportionalPolicy(double min_per_min, double max_per_min,
+                                             double low_water_soc,
+                                             double high_water_soc)
+    : min_per_min_(min_per_min),
+      max_per_min_(max_per_min),
+      low_water_soc_(low_water_soc),
+      high_water_soc_(high_water_soc) {
+  ensure(min_per_min_ > 0.0 && max_per_min_ >= min_per_min_,
+         "SocProportionalPolicy: bad rate bounds");
+  ensure(low_water_soc_ >= 0.0 && high_water_soc_ > low_water_soc_ &&
+             high_water_soc_ <= 1.0,
+         "SocProportionalPolicy: bad SoC thresholds");
+}
+
+double SocProportionalPolicy::next_interval_s(const SchedulerState& state) const {
+  double rate_per_min;
+  if (state.soc <= low_water_soc_) {
+    // Survival mode: one tenth of the minimum rate.
+    rate_per_min = 0.1 * min_per_min_;
+  } else if (state.soc >= high_water_soc_) {
+    rate_per_min = max_per_min_;
+  } else {
+    const double frac =
+        (state.soc - low_water_soc_) / (high_water_soc_ - low_water_soc_);
+    rate_per_min = min_per_min_ + frac * (max_per_min_ - min_per_min_);
+  }
+  return 60.0 / rate_per_min;
+}
+
+EnergyNeutralPolicy::EnergyNeutralPolicy(double margin, double min_per_min,
+                                         double max_per_min, double target_soc)
+    : margin_(margin),
+      min_per_min_(min_per_min),
+      max_per_min_(max_per_min),
+      target_soc_(target_soc) {
+  ensure(margin_ > 0.0 && margin_ <= 1.0, "EnergyNeutralPolicy: bad margin");
+  ensure(min_per_min_ > 0.0 && max_per_min_ >= min_per_min_,
+         "EnergyNeutralPolicy: bad rate bounds");
+  ensure(target_soc_ > 0.0 && target_soc_ < 1.0, "EnergyNeutralPolicy: bad target SoC");
+}
+
+double EnergyNeutralPolicy::next_interval_s(const SchedulerState& state) const {
+  ensure(state.detection_energy_j > 0.0,
+         "EnergyNeutralPolicy: detection energy must be positive");
+  // Sustainable rate from the smoothed intake.
+  double rate_per_min =
+      margin_ * state.recent_intake_w / state.detection_energy_j * 60.0;
+  // SoC correction: up to +/-50% depending on distance from the target.
+  const double soc_error = state.soc - target_soc_;
+  rate_per_min *= std::clamp(1.0 + soc_error, 0.5, 1.5);
+  rate_per_min = std::clamp(rate_per_min, min_per_min_, max_per_min_);
+  return 60.0 / rate_per_min;
+}
+
+}  // namespace iw::platform

@@ -1,0 +1,72 @@
+// Energy-aware detection scheduling policies.
+//
+// Section II of the paper: "The wearable device ... periodically and
+// opportunistically acquires information from the sensors according to the
+// available energy", and power management must "opportunistically take
+// advantage of periods of overabundant energy and survive intervals when the
+// system is starving". These policies implement that behaviour: given the
+// battery state and the recent harvest intake they choose the next detection
+// interval.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace iw::platform {
+
+/// Inputs a policy may use when choosing the next detection interval.
+struct SchedulerState {
+  double soc = 0.5;                  // battery state of charge [0,1]
+  double recent_intake_w = 0.0;      // smoothed harvest intake
+  double detection_energy_j = 0.0;   // cost of one detection
+};
+
+/// Strategy interface: returns the time until the next detection attempt.
+class DetectionPolicy {
+ public:
+  virtual ~DetectionPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual double next_interval_s(const SchedulerState& state) const = 0;
+};
+
+/// Fixed-rate baseline: one detection every `period_s`, regardless of energy.
+class FixedRatePolicy final : public DetectionPolicy {
+ public:
+  explicit FixedRatePolicy(double period_s);
+  std::string name() const override { return "fixed-rate"; }
+  double next_interval_s(const SchedulerState& state) const override;
+
+ private:
+  double period_s_;
+};
+
+/// SoC-proportional: interpolates the rate between `min_per_min` (at the
+/// low-water SoC) and `max_per_min` (at the high-water SoC); below the
+/// low-water mark it throttles to a survival rate.
+class SocProportionalPolicy final : public DetectionPolicy {
+ public:
+  SocProportionalPolicy(double min_per_min, double max_per_min,
+                        double low_water_soc = 0.15, double high_water_soc = 0.80);
+  std::string name() const override { return "soc-proportional"; }
+  double next_interval_s(const SchedulerState& state) const override;
+
+ private:
+  double min_per_min_, max_per_min_, low_water_soc_, high_water_soc_;
+};
+
+/// Energy-neutral: spends what comes in. Rate = recent intake / detection
+/// cost, scaled by a margin < 1, clamped to [min, max] detections/minute;
+/// adds an SoC correction that spends surplus above the target SoC and
+/// saves below it.
+class EnergyNeutralPolicy final : public DetectionPolicy {
+ public:
+  EnergyNeutralPolicy(double margin = 0.9, double min_per_min = 0.2,
+                      double max_per_min = 60.0, double target_soc = 0.5);
+  std::string name() const override { return "energy-neutral"; }
+  double next_interval_s(const SchedulerState& state) const override;
+
+ private:
+  double margin_, min_per_min_, max_per_min_, target_soc_;
+};
+
+}  // namespace iw::platform

@@ -1,0 +1,54 @@
+// LiPo battery model with coulomb counting and an OCV curve.
+//
+// InfiniWolf buffers harvested energy in a 120 mAh LiPo cell. The model
+// tracks state of charge by coulomb counting, applies a charge efficiency,
+// and exposes an open-circuit-voltage curve so the fuel gauge has something
+// realistic to read.
+#pragma once
+
+namespace iw::pwr {
+
+class LipoBattery {
+ public:
+  struct Params {
+    double capacity_mah = 120.0;       // paper: 120 mAh LiPo
+    double charge_efficiency = 0.95;   // coulombic efficiency while charging
+    double self_discharge_per_day = 5e-4;  // fraction of capacity per day
+  };
+
+  explicit LipoBattery(double initial_soc = 0.5) : LipoBattery(Params{}, initial_soc) {}
+  LipoBattery(Params params, double initial_soc);
+
+  /// State of charge in [0, 1].
+  double soc() const { return soc_; }
+  /// Remaining charge in mAh.
+  double charge_mah() const { return soc_ * params_.capacity_mah; }
+  /// Open-circuit voltage from the SoC curve.
+  double voltage_v() const;
+  /// Stored energy estimate (integrates the OCV curve over charge).
+  double stored_energy_j() const;
+  /// Energy capacity when full.
+  double full_energy_j() const;
+
+  bool empty() const { return soc_ <= 0.0; }
+  bool full() const { return soc_ >= 1.0; }
+
+  /// Pushes charging power in for a duration; the charge efficiency is
+  /// applied and SoC clamps at 1. Returns the energy actually stored.
+  double charge(double power_w, double duration_s);
+
+  /// Draws load power for a duration. Returns the energy actually delivered
+  /// (less than requested if the battery runs empty).
+  double discharge(double power_w, double duration_s);
+
+  /// Applies self-discharge over a time span.
+  void age(double duration_s);
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  double soc_;
+};
+
+}  // namespace iw::pwr

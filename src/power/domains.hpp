@@ -1,0 +1,76 @@
+// Power-domain model for Mr. Wolf's two-domain architecture.
+//
+// Mr. Wolf has a SoC domain (IBEX fabric controller, always needed) and a
+// gated Cluster domain (8x RI5CY). Section IV of the paper: "the activation
+// of the cluster domain costs more energy" — which is why the IBEX row of
+// Table IV beats the single-RI5CY row despite needing more cycles. This
+// model makes that explicit: domains have off/idle/active states, and
+// powering a domain on costs transition energy and latency (voltage ramp,
+// clock ungating, TCDM wake).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iw::pwr {
+
+enum class DomainState { kOff, kIdle, kActive };
+
+/// One gated power domain with transition costs.
+class PowerDomain {
+ public:
+  struct Params {
+    std::string name;
+    double active_power_w = 0.0;
+    double idle_power_w = 0.0;
+    /// Energy to bring the domain from off to idle (rail ramp, resets).
+    double wake_energy_j = 0.0;
+    /// Latency of that transition.
+    double wake_latency_s = 0.0;
+  };
+
+  explicit PowerDomain(Params params);
+
+  const std::string& name() const { return params_.name; }
+  DomainState state() const { return state_; }
+  /// Total energy charged to this domain so far.
+  double consumed_j() const { return consumed_j_; }
+
+  /// Transitions to the requested state, charging wake energy when coming
+  /// out of off. Returns the transition latency.
+  double set_state(DomainState next);
+
+  /// Spends `duration_s` in the current state and charges the energy.
+  void run_for(double duration_s);
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  DomainState state_ = DomainState::kOff;
+  double consumed_j_ = 0.0;
+};
+
+/// Mr. Wolf SoC domain (IBEX + L2 + peripherals).
+PowerDomain::Params mr_wolf_soc_domain();
+/// Mr. Wolf cluster domain (8x RI5CY + TCDM); wake cost calibrated so that a
+/// cluster classification of Network A (cycles + wake) still beats the M4
+/// but exceeds the pure-IBEX energy, as Table IV shows.
+PowerDomain::Params mr_wolf_cluster_domain();
+
+/// Energy of one classification run including domain management: the SoC
+/// domain is always active; using the cluster additionally pays the cluster
+/// wake energy and the cluster's active power for the runtime.
+struct DomainAwareRun {
+  double soc_energy_j = 0.0;
+  double cluster_wake_j = 0.0;
+  double cluster_active_j = 0.0;
+  double total_j() const { return soc_energy_j + cluster_wake_j + cluster_active_j; }
+};
+
+/// Decomposes a run of `cycles` at `freq_hz` executed on the cluster
+/// (`use_cluster`) or on the fabric controller alone.
+DomainAwareRun domain_aware_energy(std::uint64_t cycles, double freq_hz,
+                                   bool use_cluster, double cluster_power_w);
+
+}  // namespace iw::pwr

@@ -1,0 +1,67 @@
+#include "power/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "power/processor_power.hpp"
+
+namespace iw::pwr {
+
+MrWolfDvfsModel::MrWolfDvfsModel(DvfsParams params) : params_(params) {
+  ensure(params_.v_floor > 0.0 && params_.v_max >= params_.v_floor,
+         "MrWolfDvfsModel: bad voltage range");
+  ensure(params_.f_knee_hz > 0.0 && params_.f_max_hz > params_.f_knee_hz,
+         "MrWolfDvfsModel: bad frequency range");
+  ensure(params_.dynamic_coeff > 0.0 && params_.leakage_floor_w >= 0.0,
+         "MrWolfDvfsModel: bad power coefficients");
+}
+
+MrWolfDvfsModel MrWolfDvfsModel::calibrated_cluster() {
+  DvfsParams p;
+  // Calibrate the dynamic coefficient so total power at the paper's
+  // operating point (100 MHz, voltage floor) matches the published ~19.6 mW.
+  const double target_w = mr_wolf_cluster_multi8().active_power_w;
+  const double dynamic_w = target_w - p.leakage_floor_w;
+  p.dynamic_coeff = dynamic_w / (p.f_knee_hz * p.v_floor * p.v_floor);
+  return MrWolfDvfsModel(p);
+}
+
+double MrWolfDvfsModel::voltage_v(double freq_hz) const {
+  ensure(freq_hz >= 0.0 && freq_hz <= params_.f_max_hz,
+         "MrWolfDvfsModel: frequency out of range");
+  if (freq_hz <= params_.f_knee_hz) return params_.v_floor;
+  const double frac =
+      (freq_hz - params_.f_knee_hz) / (params_.f_max_hz - params_.f_knee_hz);
+  return params_.v_floor + frac * (params_.v_max - params_.v_floor);
+}
+
+double MrWolfDvfsModel::power_w(double freq_hz) const {
+  const double v = voltage_v(freq_hz);
+  const double dynamic = params_.dynamic_coeff * freq_hz * v * v;
+  const double v_ratio = v / params_.v_floor;
+  const double leakage = params_.leakage_floor_w * v_ratio * v_ratio * v_ratio;
+  return dynamic + leakage;
+}
+
+double MrWolfDvfsModel::energy_per_cycle_j(double freq_hz) const {
+  ensure(freq_hz > 0.0, "MrWolfDvfsModel: frequency must be positive");
+  return power_w(freq_hz) / freq_hz;
+}
+
+double MrWolfDvfsModel::most_efficient_frequency_hz(double f_min_hz) const {
+  ensure(f_min_hz > 0.0 && f_min_hz < params_.f_max_hz,
+         "MrWolfDvfsModel: bad search range");
+  double best_f = f_min_hz;
+  double best_e = energy_per_cycle_j(f_min_hz);
+  for (double f = f_min_hz; f <= params_.f_max_hz; f += 1e6) {
+    const double e = energy_per_cycle_j(f);
+    if (e < best_e) {
+      best_e = e;
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+}  // namespace iw::pwr

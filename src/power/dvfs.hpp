@@ -1,0 +1,49 @@
+// Voltage/frequency scaling model for Mr. Wolf.
+//
+// The paper (citing Pullini et al., ESSCIRC'18) states Mr. Wolf "can run up
+// to 450 MHz, with the most energy-efficient point being at 100 MHz, which
+// has been used in this evaluation". This model reproduces that trade-off:
+// below the knee frequency the core runs at its near-threshold voltage floor
+// and leakage dominates energy per cycle (higher f amortizes it better);
+// above the knee the required voltage rises roughly linearly and dynamic
+// energy per cycle grows as V^2 — creating an energy-per-operation minimum
+// at the knee.
+#pragma once
+
+namespace iw::pwr {
+
+struct DvfsParams {
+  double v_floor = 0.8;          // near-threshold operating voltage
+  double v_max = 1.1;            // voltage at f_max
+  double f_knee_hz = 100e6;      // highest frequency at the voltage floor
+  double f_max_hz = 450e6;       // paper: up to 450 MHz
+  /// Dynamic power coefficient (W per Hz per V^2); calibrated so the cluster
+  /// draws its published ~19.6 mW at the 100 MHz / v_floor point.
+  double dynamic_coeff = 0.0;
+  /// Leakage power at the voltage floor; grows ~cubically with voltage.
+  double leakage_floor_w = 2.0e-3;
+};
+
+class MrWolfDvfsModel {
+ public:
+  /// Calibrated to the 8-core cluster's 19.6 mW @ 100 MHz operating point.
+  static MrWolfDvfsModel calibrated_cluster();
+
+  explicit MrWolfDvfsModel(DvfsParams params);
+
+  /// Required supply voltage at a frequency (clamped to [0, f_max]).
+  double voltage_v(double freq_hz) const;
+  /// Total power (dynamic + leakage) at a frequency.
+  double power_w(double freq_hz) const;
+  /// Energy per clock cycle at a frequency — the efficiency metric.
+  double energy_per_cycle_j(double freq_hz) const;
+  /// Frequency minimizing energy per cycle (grid search over [f_min, f_max]).
+  double most_efficient_frequency_hz(double f_min_hz = 20e6) const;
+
+  const DvfsParams& params() const { return params_; }
+
+ private:
+  DvfsParams params_;
+};
+
+}  // namespace iw::pwr

@@ -1,0 +1,35 @@
+#include "power/fuel_gauge.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::pwr {
+
+Bq27441FuelGauge::Bq27441FuelGauge(const LipoBattery& battery)
+    : battery_(battery), last_charge_mah_(battery.charge_mah()) {}
+
+int Bq27441FuelGauge::state_of_charge_pct() const {
+  return static_cast<int>(std::lround(battery_.soc() * 100.0));
+}
+
+int Bq27441FuelGauge::remaining_capacity_mah() const {
+  return static_cast<int>(std::floor(battery_.charge_mah()));
+}
+
+int Bq27441FuelGauge::voltage_mv() const {
+  return static_cast<int>(std::lround(battery_.voltage_v() * 1000.0));
+}
+
+double Bq27441FuelGauge::update_average_current_ma(double elapsed_s) {
+  ensure(elapsed_s > 0.0, "Bq27441FuelGauge: elapsed time must be positive");
+  const double now_mah = battery_.charge_mah();
+  const double delta_mah = now_mah - last_charge_mah_;
+  last_charge_mah_ = now_mah;
+  // mAh over hours -> mA; exponential smoothing like the gauge's filter.
+  const double instant_ma = delta_mah / (elapsed_s / 3600.0);
+  average_current_ma_ = 0.7 * average_current_ma_ + 0.3 * instant_ma;
+  return average_current_ma_;
+}
+
+}  // namespace iw::pwr

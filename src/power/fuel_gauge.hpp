@@ -1,0 +1,38 @@
+// BQ27441 fuel-gauge model.
+//
+// The nRF52832 reads the battery state over I2C from a BQ27441 (Fig. 1).
+// The gauge quantizes what the battery model knows (integer percent SoC,
+// 1 mAh capacity granularity), estimates average current from consecutive
+// readings, and itself draws a small quiescent current.
+#pragma once
+
+#include "power/battery.hpp"
+
+namespace iw::pwr {
+
+class Bq27441FuelGauge {
+ public:
+  explicit Bq27441FuelGauge(const LipoBattery& battery);
+
+  /// State of charge in integer percent, as the gauge register reports it.
+  int state_of_charge_pct() const;
+  /// Remaining capacity quantized to 1 mAh.
+  int remaining_capacity_mah() const;
+  /// Battery voltage quantized to 1 mV.
+  int voltage_mv() const;
+
+  /// Updates the average-current estimate; `elapsed_s` is the time since the
+  /// previous call. Returns the estimated average current in mA (negative
+  /// while discharging).
+  double update_average_current_ma(double elapsed_s);
+
+  /// Gauge supply draw.
+  double quiescent_power_w() const { return 9e-6 * 3.7; }  // ~9 uA at VBAT
+
+ private:
+  const LipoBattery& battery_;
+  double last_charge_mah_;
+  double average_current_ma_ = 0.0;
+};
+
+}  // namespace iw::pwr

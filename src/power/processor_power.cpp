@@ -1,0 +1,37 @@
+#include "power/processor_power.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iw::pwr {
+
+double ProcessorPowerModel::time_s(std::uint64_t cycles) const {
+  ensure(freq_hz > 0.0, "ProcessorPowerModel: no frequency set");
+  return static_cast<double>(cycles) / freq_hz;
+}
+
+double ProcessorPowerModel::energy_j(std::uint64_t cycles) const {
+  return time_s(cycles) * active_power_w;
+}
+
+ProcessorPowerModel nordic_m4() {
+  return {"nRF52832 Cortex-M4 @ 64 MHz", 64e6, units::from_mw(10.8),
+          units::from_uw(3.0)};
+}
+
+ProcessorPowerModel mr_wolf_ibex() {
+  return {"Mr. Wolf IBEX @ 100 MHz", 100e6, units::from_mw(3.2),
+          units::from_uw(8.0)};
+}
+
+ProcessorPowerModel mr_wolf_cluster_single() {
+  return {"Mr. Wolf 1x RI5CY @ 100 MHz", 100e6, units::from_mw(12.7),
+          units::from_uw(8.0)};
+}
+
+ProcessorPowerModel mr_wolf_cluster_multi8() {
+  return {"Mr. Wolf 8x RI5CY @ 100 MHz", 100e6, units::from_mw(19.6),
+          units::from_uw(8.0)};
+}
+
+}  // namespace iw::pwr

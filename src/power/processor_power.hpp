@@ -1,0 +1,42 @@
+// Calibrated processor power models (the basis of Table IV).
+//
+// The paper measures energy per classification with an SMU; we cannot
+// measure silicon, so each execution target gets an active-power constant
+// derived from the paper's own published numbers (energy / (cycles / f)):
+//
+//   Nordic nRF52832 (Cortex-M4 @ 64 MHz):  5.1 uJ / 472 us  = ~10.8 mW
+//   Mr. Wolf SoC domain (IBEX @ 100 MHz):  1.3 uJ / 407 us  = ~3.2 mW
+//   Mr. Wolf cluster, 1 RI5CY @ 100 MHz:   2.9 uJ / 228 us  = ~12.7 mW
+//   Mr. Wolf cluster, 8 RI5CY @ 100 MHz:   1.2 uJ / 61 us   = ~19.6 mW
+//
+// The 8-core figure matches the paper's "Mr. Wolf consuming 20 mW in
+// parallel execution". Energy for any kernel is then cycles / f * P.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iw::pwr {
+
+struct ProcessorPowerModel {
+  std::string name;
+  double freq_hz = 0.0;
+  double active_power_w = 0.0;
+  double sleep_power_w = 0.0;
+
+  /// Wall-clock time of a run.
+  double time_s(std::uint64_t cycles) const;
+  /// Active energy of a run.
+  double energy_j(std::uint64_t cycles) const;
+};
+
+/// Nordic nRF52832, ARM Cortex-M4F @ 64 MHz.
+ProcessorPowerModel nordic_m4();
+/// Mr. Wolf SoC domain (IBEX fabric controller) @ 100 MHz, cluster off.
+ProcessorPowerModel mr_wolf_ibex();
+/// Mr. Wolf cluster with one RI5CY core active @ 100 MHz.
+ProcessorPowerModel mr_wolf_cluster_single();
+/// Mr. Wolf cluster with all 8 RI5CY cores active @ 100 MHz.
+ProcessorPowerModel mr_wolf_cluster_multi8();
+
+}  // namespace iw::pwr

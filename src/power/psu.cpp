@@ -1,0 +1,43 @@
+#include "power/psu.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::pwr {
+
+double LdoModel::input_power_w(double load_w) const {
+  ensure(load_w >= 0.0, "LdoModel: negative load");
+  ensure(vout_v > 0.0 && vin_v >= vout_v, "LdoModel: invalid rail voltages");
+  // An LDO draws the load current at the input voltage plus quiescent.
+  const double load_current_a = load_w / vout_v;
+  return load_current_a * vin_v + quiescent_a * vin_v;
+}
+
+double LdoModel::efficiency(double load_w) const {
+  if (load_w <= 0.0) return 0.0;
+  return load_w / input_power_w(load_w);
+}
+
+void EnergyLedger::add(const std::string& component, double energy_j) {
+  ensure(energy_j >= 0.0, "EnergyLedger: negative energy");
+  entries_[component] += energy_j;
+}
+
+double EnergyLedger::total_j() const {
+  double total = 0.0;
+  for (const auto& [name, e] : entries_) total += e;
+  return total;
+}
+
+double EnergyLedger::component_j(const std::string& component) const {
+  const auto it = entries_.find(component);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+void EnergyLedger::write_report(std::ostream& os) const {
+  for (const auto& [name, e] : entries_) {
+    os << name << ": " << e * 1e6 << " uJ\n";
+  }
+  os << "total: " << total_j() * 1e6 << " uJ\n";
+}
+
+}  // namespace iw::pwr

@@ -1,0 +1,36 @@
+// Power-supply unit: LDO model and per-component energy accounting.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace iw::pwr {
+
+/// Linear regulator: efficiency = Vout/Vin plus a quiescent drain.
+struct LdoModel {
+  std::string name = "LDO 1.8V";
+  double vin_v = 3.7;
+  double vout_v = 1.8;
+  double quiescent_a = 1e-6;
+
+  /// Input power drawn from the battery to deliver `load_w` at the output.
+  double input_power_w(double load_w) const;
+  /// Conversion efficiency at the given load (0 when unloaded).
+  double efficiency(double load_w) const;
+};
+
+/// Tracks energy consumed/harvested per named component over a run.
+class EnergyLedger {
+ public:
+  void add(const std::string& component, double energy_j);
+  double total_j() const;
+  double component_j(const std::string& component) const;
+  const std::map<std::string, double>& entries() const { return entries_; }
+  void write_report(std::ostream& os) const;
+
+ private:
+  std::map<std::string, double> entries_;
+};
+
+}  // namespace iw::pwr

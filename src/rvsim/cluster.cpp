@@ -1,0 +1,162 @@
+#include "rvsim/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace iw::rv {
+
+Cluster::Cluster(TimingProfile profile, ClusterConfig config)
+    : config_(config), mem_(config.mem_bytes) {
+  ensure(config_.num_cores >= 1 && config_.num_cores <= 32, "Cluster: core count");
+  ensure(config_.num_banks >= 1, "Cluster: bank count");
+  ensure((config_.barrier_addr & 3) == 0, "Cluster: barrier address alignment");
+  cores_.reserve(static_cast<std::size_t>(config_.num_cores));
+  for (int i = 0; i < config_.num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(profile, mem_, static_cast<std::uint32_t>(i)));
+  }
+}
+
+Core& Cluster::core(int index) {
+  ensure(index >= 0 && index < config_.num_cores, "Cluster::core index");
+  return *cores_[static_cast<std::size_t>(index)];
+}
+
+void Cluster::load_program(std::span<const std::uint32_t> words, std::uint32_t base) {
+  mem_.write_words(base, words);
+}
+
+ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instructions) {
+  const int n = config_.num_cores;
+  std::vector<CoreState> state(static_cast<std::size_t>(n), CoreState::kRunning);
+  std::vector<std::uint64_t> time(static_cast<std::size_t>(n), 0);
+  // Per-bank time at which the bank becomes free again.
+  std::vector<std::uint64_t> bank_free(static_cast<std::size_t>(config_.num_banks), 0);
+
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t sp = static_cast<std::uint32_t>(mem_.size()) -
+                             static_cast<std::uint32_t>(i) * config_.stack_bytes;
+    cores_[static_cast<std::size_t>(i)]->reset(entry, sp & ~15u);
+  }
+
+  ClusterRunResult result;
+  std::uint64_t executed = 0;
+  std::uint64_t dma_done_at = 0;  // cycle at which the DMA queue drains
+
+  const auto all_halted = [&] {
+    return std::all_of(state.begin(), state.end(),
+                       [](CoreState s) { return s == CoreState::kHalted; });
+  };
+
+  while (!all_halted()) {
+    // Pick the running core with the smallest local time (ties: lowest id).
+    int pick = -1;
+    for (int i = 0; i < n; ++i) {
+      if (state[static_cast<std::size_t>(i)] != CoreState::kRunning) continue;
+      if (pick < 0 || time[static_cast<std::size_t>(i)] < time[static_cast<std::size_t>(pick)]) {
+        pick = i;
+      }
+    }
+    if (pick < 0) {
+      // No core can run but not all halted: every live core is parked at the
+      // barrier waiting for a halted core -> deadlock.
+      fail("Cluster::run: barrier deadlock (a core halted before the barrier)");
+    }
+
+    Core& core = *cores_[static_cast<std::size_t>(pick)];
+    const std::size_t p = static_cast<std::size_t>(pick);
+    ensure(++executed <= max_instructions,
+           "Cluster::run: instruction budget exhausted (runaway program?)");
+
+    const Core::StepResult step = core.step();
+    std::uint64_t cost = static_cast<std::uint64_t>(step.cycles);
+
+    if (step.access.valid && in_tcdm(step.access.addr)) {
+      const std::uint32_t word_index = (step.access.addr - config_.tcdm_base) >> 2;
+      const std::size_t bank = word_index % static_cast<std::uint32_t>(config_.num_banks);
+      const std::uint64_t request_at = time[p];
+      const std::uint64_t served_at = std::max(bank_free[bank], request_at);
+      const std::uint64_t stall = served_at - request_at;
+      bank_free[bank] = served_at + 1;
+      if (stall > 0) {
+        core.add_stall(stall);
+        result.bank_conflict_stalls += stall;
+        cost += stall;
+      }
+    }
+    time[p] += cost;
+
+    // DMA engine: trigger and wait are stores to the mapped registers.
+    if (step.access.valid && step.access.is_store &&
+        step.access.addr == config_.dma_base + 12) {
+      const std::uint32_t src = mem_.load32(config_.dma_base);
+      const std::uint32_t dst = mem_.load32(config_.dma_base + 4);
+      const std::uint32_t len = mem_.load32(config_.dma_base + 8);
+      ensure((src & 3) == 0 && (dst & 3) == 0, "Cluster DMA: misaligned transfer");
+      // Data moves now; the completion *time* is enforced by WAIT below.
+      for (std::uint32_t w = 0; w < len; ++w) {
+        mem_.store32(dst + 4 * w, mem_.load32(src + 4 * w));
+      }
+      const std::uint64_t busy =
+          static_cast<std::uint64_t>(config_.dma_startup_cycles) +
+          (len + static_cast<std::uint32_t>(config_.dma_words_per_cycle) - 1) /
+              static_cast<std::uint32_t>(config_.dma_words_per_cycle);
+      dma_done_at = std::max(dma_done_at, time[p]) + busy;
+      ++result.dma_transfers;
+      result.dma_words += len;
+    } else if (step.access.valid && step.access.is_store &&
+               step.access.addr == config_.dma_base + 16) {
+      if (time[p] < dma_done_at) {
+        const std::uint64_t wait = dma_done_at - time[p];
+        core.add_stall(wait);
+        result.dma_wait_cycles += wait;
+        time[p] = dma_done_at;
+      }
+    }
+
+    if (step.halted) {
+      state[p] = CoreState::kHalted;
+    } else if (step.access.valid && step.access.is_store &&
+               step.access.addr == config_.barrier_addr) {
+      state[p] = CoreState::kAtBarrier;
+      // Release when every non-halted core has arrived.
+      bool all_arrived = true;
+      for (int i = 0; i < n; ++i) {
+        if (state[static_cast<std::size_t>(i)] == CoreState::kRunning) {
+          all_arrived = false;
+          break;
+        }
+      }
+      if (all_arrived) {
+        std::uint64_t release_at = 0;
+        for (int i = 0; i < n; ++i) {
+          if (state[static_cast<std::size_t>(i)] == CoreState::kAtBarrier) {
+            release_at = std::max(release_at, time[static_cast<std::size_t>(i)]);
+          }
+        }
+        release_at += static_cast<std::uint64_t>(config_.barrier_wakeup_cycles);
+        for (int i = 0; i < n; ++i) {
+          const std::size_t q = static_cast<std::size_t>(i);
+          if (state[q] == CoreState::kAtBarrier) {
+            const std::uint64_t wait = release_at - time[q];
+            cores_[q]->add_stall(wait);
+            result.barrier_wait_cycles += wait;
+            time[q] = release_at;
+            state[q] = CoreState::kRunning;
+          }
+        }
+      }
+    }
+  }
+
+  result.per_core_cycles.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t q = static_cast<std::size_t>(i);
+    result.per_core_cycles[q] = cores_[q]->cycles();
+    result.cycles = std::max(result.cycles, cores_[q]->cycles());
+    result.total_instructions += cores_[q]->instructions();
+  }
+  return result;
+}
+
+}  // namespace iw::rv

@@ -1,0 +1,94 @@
+// Multi-core cluster model: N cores sharing a banked TCDM, with a hardware
+// barrier, in the style of the Mr. Wolf / PULP cluster.
+//
+// Scheduling is event-driven: at every step the core with the smallest local
+// time executes one instruction (ties broken by core index), which keeps the
+// interleaving deterministic and memory effects consistent with simulated
+// time. TCDM accesses are arbitrated per word-interleaved bank: a bank serves
+// one access per cycle and later requests stall until the bank is free.
+// A store to `barrier_addr` parks the core until all live cores arrive; all
+// are then released together after `barrier_wakeup_cycles`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rvsim/core.hpp"
+#include "rvsim/machine.hpp"
+#include "rvsim/memory.hpp"
+
+namespace iw::rv {
+
+struct ClusterConfig {
+  int num_cores = 8;
+  std::size_t mem_bytes = 1u << 20;
+  /// TCDM region subject to bank arbitration (word-interleaved).
+  std::uint32_t tcdm_base = 0x0008'0000;
+  std::uint32_t tcdm_size = 0x0008'0000;
+  int num_banks = 16;
+  /// Word address (inside memory) acting as the hardware barrier trigger.
+  std::uint32_t barrier_addr = 0x0000'FFFC;
+  int barrier_wakeup_cycles = 6;
+  /// Per-core stack size carved from the top of memory.
+  std::uint32_t stack_bytes = 0x4000;
+
+  // --- cluster DMA (L2 <-> TCDM streaming, Mr. Wolf style) ---------------
+  // Six memory-mapped words starting at dma_base:
+  //   +0  SRC   byte address (word aligned)
+  //   +4  DST   byte address (word aligned)
+  //   +8  LEN   length in words
+  //   +12 TRIGGER: a store starts the transfer with the current SRC/DST/LEN
+  //   +16 WAIT:    a store parks the core until the DMA queue drains
+  // Data movement is applied immediately at trigger time; the *timing* is
+  // enforced by WAIT: the engine finishes startup + len/words_per_cycle
+  // cycles after the trigger (transfers queue back to back).
+  std::uint32_t dma_base = 0x0000'FFD0;
+  int dma_startup_cycles = 20;
+  int dma_words_per_cycle = 2;  // 64-bit AXI-class transfer port
+};
+
+struct ClusterRunResult {
+  /// Wall-clock cycles of the parallel section (max over cores).
+  std::uint64_t cycles = 0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t bank_conflict_stalls = 0;
+  std::uint64_t barrier_wait_cycles = 0;
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t dma_words = 0;
+  std::uint64_t dma_wait_cycles = 0;
+  std::vector<std::uint64_t> per_core_cycles;
+};
+
+class Cluster {
+ public:
+  Cluster(TimingProfile profile, ClusterConfig config);
+
+  // Cores hold references to this cluster's memory: not movable.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Memory& memory() { return mem_; }
+  const ClusterConfig& config() const { return config_; }
+  Core& core(int index);
+
+  void load_program(std::span<const std::uint32_t> words, std::uint32_t base = 0);
+
+  /// Starts all cores at `entry` and runs until every core executed ecall.
+  /// Each core sees its hart id in CSR mhartid.
+  ClusterRunResult run(std::uint32_t entry, std::uint64_t max_instructions = 500'000'000);
+
+ private:
+  enum class CoreState { kRunning, kAtBarrier, kHalted };
+
+  bool in_tcdm(std::uint32_t addr) const {
+    return addr >= config_.tcdm_base && addr < config_.tcdm_base + config_.tcdm_size;
+  }
+
+  ClusterConfig config_;
+  Memory mem_;
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace iw::rv

@@ -1,0 +1,450 @@
+#include "rvsim/core.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "rvsim/encoding.hpp"
+
+namespace iw::rv {
+
+namespace {
+
+std::int32_t s(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+std::uint32_t u(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+float bits_float(std::uint32_t b) {
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+std::int32_t fcvt_w_s(float f) {
+  if (std::isnan(f)) return std::numeric_limits<std::int32_t>::max();
+  if (f >= 2147483648.0f) return std::numeric_limits<std::int32_t>::max();
+  if (f <= -2147483904.0f) return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(f);  // truncation toward zero
+}
+
+}  // namespace
+
+Core::Core(TimingProfile profile, Memory& memory, std::uint32_t hart_id)
+    : profile_(std::move(profile)), mem_(memory), hart_id_(hart_id) {}
+
+void Core::reset(std::uint32_t pc, std::uint32_t sp) {
+  for (auto& r : x_) r = 0;
+  for (auto& r : f_) r = 0.0f;
+  x_[2] = sp;
+  pc_ = pc;
+  loops_[0] = loops_[1] = HwLoop{};
+  halted_ = false;
+  cycles_ = 0;
+  instructions_ = 0;
+  pending_load_reg_ = -1;
+  prev_was_load_ = false;
+  taken_branches_ = 0;
+  load_use_stalls_ = 0;
+}
+
+std::uint32_t Core::reg(int index) const {
+  ensure(index >= 0 && index < 32, "Core::reg index");
+  return x_[index];
+}
+
+void Core::set_reg(int index, std::uint32_t value) {
+  ensure(index >= 0 && index < 32, "Core::set_reg index");
+  if (index != 0) x_[index] = value;
+}
+
+float Core::freg(int index) const {
+  ensure(index >= 0 && index < 32, "Core::freg index");
+  return f_[index];
+}
+
+void Core::set_freg(int index, float value) {
+  ensure(index >= 0 && index < 32, "Core::set_freg index");
+  f_[index] = value;
+}
+
+void Core::collect_reads(const Decoded& d, int out[3]) {
+  out[0] = out[1] = out[2] = -1;
+  switch (d.op) {
+    // I-type integer ops and loads: rs1 only.
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: case Op::kPClip: case Op::kJalr:
+    case Op::kPAbs: case Op::kPExths: case Op::kPExtbs:
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
+    case Op::kFlw: case Op::kCsrrw: case Op::kCsrrs:
+    case Op::kFcvtSW: case Op::kFmvWX:
+      out[0] = d.rs1;
+      break;
+    // Stores read the address register and the (int) data register.
+    case Op::kSb: case Op::kSh: case Op::kSw:
+    case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
+      out[0] = d.rs1;
+      out[1] = d.rs2;
+      break;
+    case Op::kFsw:
+      out[0] = d.rs1;
+      out[1] = 32 + d.rs2;
+      break;
+    // R-type integer ops, branches.
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt: case Op::kSltu:
+    case Op::kXor: case Op::kSrl: case Op::kSra: case Op::kOr: case Op::kAnd:
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+    case Op::kPvDotspH: case Op::kPMin: case Op::kPMax:
+      out[0] = d.rs1;
+      out[1] = d.rs2;
+      break;
+    case Op::kPMac: case Op::kPvSdotspH:
+      out[0] = d.rs1;
+      out[1] = d.rs2;
+      out[2] = d.rd;  // accumulator is read
+      break;
+    case Op::kFaddS: case Op::kFsubS: case Op::kFmulS: case Op::kFdivS:
+    case Op::kFsgnjS: case Op::kFsgnjnS:
+    case Op::kFeqS: case Op::kFltS: case Op::kFleS:
+      out[0] = 32 + d.rs1;
+      out[1] = 32 + d.rs2;
+      break;
+    case Op::kFmaddS:
+      out[0] = 32 + d.rs1;
+      out[1] = 32 + d.rs2;
+      out[2] = 32 + d.rs3;
+      break;
+    case Op::kFcvtWS: case Op::kFmvXW:
+      out[0] = 32 + d.rs1;
+      break;
+    case Op::kLpSetup:
+      out[0] = d.rs1;
+      break;
+    default:
+      break;
+  }
+}
+
+Core::StepResult Core::step() {
+  ensure(!halted_, "Core::step on halted core");
+  const std::uint32_t word = mem_.load32(pc_);
+  const Decoded d = decode(word);
+  ensure(profile_.supports(d.op),
+         "Core(" + profile_.name + "): unsupported instruction " + mnemonic(d.op));
+
+  const OpClass cls = op_class(d.op);
+  int cycles = profile_.base_cost(cls);
+
+  // Load-use stall: the previous instruction loaded a register this one reads.
+  if (pending_load_reg_ >= 0) {
+    int reads[3];
+    collect_reads(d, reads);
+    for (int r : reads) {
+      if (r == pending_load_reg_ && r != 0) {
+        cycles += profile_.load_use_stall;
+        ++load_use_stalls_;
+        break;
+      }
+    }
+  }
+  // Back-to-back memory-access pipelining (Cortex-M style).
+  if (cls == OpClass::kLoad && prev_was_load_) cycles += profile_.load_nonpipelined_extra;
+
+  std::uint32_t next_pc = pc_ + 4;
+  MemAccess access;
+  cycles += execute(d, word, next_pc, access);
+
+  // Hardware-loop handling: zero-overhead back edge. Inner loop (0) first.
+  for (auto& loop : loops_) {
+    if (loop.count > 0 && next_pc == loop.end) {
+      if (loop.count > 1) {
+        --loop.count;
+        next_pc = loop.start;
+      } else {
+        loop.count = 0;
+      }
+      break;
+    }
+  }
+
+  pending_load_reg_ = (cls == OpClass::kLoad && profile_.load_use_stall > 0)
+                          ? (is_fp(d.op) ? 32 + d.rd : d.rd)
+                          : -1;
+  prev_was_load_ = (cls == OpClass::kLoad);
+
+  pc_ = next_pc;
+  cycles_ += static_cast<std::uint64_t>(cycles);
+  ++instructions_;
+  if (histogram_ != nullptr) histogram_->record(d.op);
+
+  StepResult result;
+  result.cycles = cycles;
+  result.access = access;
+  result.halted = halted_;
+  return result;
+}
+
+int Core::execute(const Decoded& d, std::uint32_t word, std::uint32_t& next_pc,
+                  MemAccess& access) {
+  (void)word;
+  int extra = 0;
+  const auto rd_write = [this, &d](std::uint32_t v) { set_reg(d.rd, v); };
+  const std::uint32_t rs1 = x_[d.rs1];
+  const std::uint32_t rs2 = x_[d.rs2];
+
+  const auto mem_read = [&](std::uint32_t addr, bool /*store*/ = false) {
+    access.valid = true;
+    access.is_store = false;
+    access.addr = addr;
+  };
+  const auto mem_write = [&](std::uint32_t addr) {
+    access.valid = true;
+    access.is_store = true;
+    access.addr = addr;
+  };
+  const auto branch = [&](bool taken) {
+    if (taken) {
+      next_pc = pc_ + u(d.imm);
+      extra += profile_.branch_taken_extra;
+      ++taken_branches_;
+    }
+  };
+
+  switch (d.op) {
+    case Op::kLui: rd_write(u(d.imm) << 12); break;
+    case Op::kAuipc: rd_write(pc_ + (u(d.imm) << 12)); break;
+    case Op::kJal:
+      rd_write(pc_ + 4);
+      next_pc = pc_ + u(d.imm);
+      break;
+    case Op::kJalr:
+      rd_write(pc_ + 4);
+      next_pc = (rs1 + u(d.imm)) & ~1u;
+      break;
+    case Op::kBeq: branch(rs1 == rs2); break;
+    case Op::kBne: branch(rs1 != rs2); break;
+    case Op::kBlt: branch(s(rs1) < s(rs2)); break;
+    case Op::kBge: branch(s(rs1) >= s(rs2)); break;
+    case Op::kBltu: branch(rs1 < rs2); break;
+    case Op::kBgeu: branch(rs1 >= rs2); break;
+    case Op::kLb: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_read(a);
+      rd_write(u(static_cast<std::int8_t>(mem_.load8(a))));
+      break;
+    }
+    case Op::kLh: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_read(a);
+      rd_write(u(static_cast<std::int16_t>(mem_.load16(a))));
+      break;
+    }
+    case Op::kLw: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_read(a);
+      rd_write(mem_.load32(a));
+      break;
+    }
+    case Op::kLbu: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_read(a);
+      rd_write(mem_.load8(a));
+      break;
+    }
+    case Op::kLhu: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_read(a);
+      rd_write(mem_.load16(a));
+      break;
+    }
+    case Op::kSb: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_write(a);
+      mem_.store8(a, static_cast<std::uint8_t>(rs2));
+      break;
+    }
+    case Op::kSh: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_write(a);
+      mem_.store16(a, static_cast<std::uint16_t>(rs2));
+      break;
+    }
+    case Op::kSw: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_write(a);
+      mem_.store32(a, rs2);
+      break;
+    }
+    // Post-increment accesses use the *pre-increment* address and then bump
+    // the base register by the immediate.
+    case Op::kPLbPost: {
+      mem_read(rs1);
+      rd_write(u(static_cast<std::int8_t>(mem_.load8(rs1))));
+      set_reg(d.rs1, rs1 + u(d.imm));
+      break;
+    }
+    case Op::kPLhPost: {
+      mem_read(rs1);
+      rd_write(u(static_cast<std::int16_t>(mem_.load16(rs1))));
+      set_reg(d.rs1, rs1 + u(d.imm));
+      break;
+    }
+    case Op::kPLwPost: {
+      mem_read(rs1);
+      rd_write(mem_.load32(rs1));
+      set_reg(d.rs1, rs1 + u(d.imm));
+      break;
+    }
+    case Op::kPSbPost:
+      mem_write(rs1);
+      mem_.store8(rs1, static_cast<std::uint8_t>(rs2));
+      set_reg(d.rs1, rs1 + u(d.imm));
+      break;
+    case Op::kPShPost:
+      mem_write(rs1);
+      mem_.store16(rs1, static_cast<std::uint16_t>(rs2));
+      set_reg(d.rs1, rs1 + u(d.imm));
+      break;
+    case Op::kPSwPost:
+      mem_write(rs1);
+      mem_.store32(rs1, rs2);
+      set_reg(d.rs1, rs1 + u(d.imm));
+      break;
+    case Op::kAddi: rd_write(rs1 + u(d.imm)); break;
+    case Op::kSlti: rd_write(s(rs1) < d.imm ? 1 : 0); break;
+    case Op::kSltiu: rd_write(rs1 < u(d.imm) ? 1 : 0); break;
+    case Op::kXori: rd_write(rs1 ^ u(d.imm)); break;
+    case Op::kOri: rd_write(rs1 | u(d.imm)); break;
+    case Op::kAndi: rd_write(rs1 & u(d.imm)); break;
+    case Op::kSlli: rd_write(rs1 << (d.imm & 31)); break;
+    case Op::kSrli: rd_write(rs1 >> (d.imm & 31)); break;
+    case Op::kSrai: rd_write(u(s(rs1) >> (d.imm & 31))); break;
+    case Op::kAdd: rd_write(rs1 + rs2); break;
+    case Op::kSub: rd_write(rs1 - rs2); break;
+    case Op::kSll: rd_write(rs1 << (rs2 & 31)); break;
+    case Op::kSlt: rd_write(s(rs1) < s(rs2) ? 1 : 0); break;
+    case Op::kSltu: rd_write(rs1 < rs2 ? 1 : 0); break;
+    case Op::kXor: rd_write(rs1 ^ rs2); break;
+    case Op::kSrl: rd_write(rs1 >> (rs2 & 31)); break;
+    case Op::kSra: rd_write(u(s(rs1) >> (rs2 & 31))); break;
+    case Op::kOr: rd_write(rs1 | rs2); break;
+    case Op::kAnd: rd_write(rs1 & rs2); break;
+    case Op::kMul: rd_write(rs1 * rs2); break;
+    case Op::kMulh:
+      rd_write(static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(s(rs1)) * s(rs2)) >> 32));
+      break;
+    case Op::kMulhsu:
+      rd_write(static_cast<std::uint32_t>(
+          (static_cast<std::int64_t>(s(rs1)) * static_cast<std::uint64_t>(rs2)) >> 32));
+      break;
+    case Op::kMulhu:
+      rd_write(static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(rs1) * rs2) >> 32));
+      break;
+    case Op::kDiv:
+      if (rs2 == 0) rd_write(~0u);
+      else if (s(rs1) == std::numeric_limits<std::int32_t>::min() && s(rs2) == -1) rd_write(rs1);
+      else rd_write(u(s(rs1) / s(rs2)));
+      break;
+    case Op::kDivu: rd_write(rs2 == 0 ? ~0u : rs1 / rs2); break;
+    case Op::kRem:
+      if (rs2 == 0) rd_write(rs1);
+      else if (s(rs1) == std::numeric_limits<std::int32_t>::min() && s(rs2) == -1) rd_write(0);
+      else rd_write(u(s(rs1) % s(rs2)));
+      break;
+    case Op::kRemu: rd_write(rs2 == 0 ? rs1 : rs1 % rs2); break;
+    case Op::kEcall: halted_ = true; break;
+    case Op::kCsrrw: case Op::kCsrrs: {
+      std::uint32_t value = 0;
+      if (d.extra == kCsrMhartid) value = hart_id_;
+      else if (d.extra == kCsrMcycle) value = static_cast<std::uint32_t>(cycles_);
+      rd_write(value);
+      break;
+    }
+    case Op::kPMac:
+      rd_write(x_[d.rd] + rs1 * rs2);
+      break;
+    case Op::kPClip: {
+      const std::int32_t hi = (std::int32_t{1} << (d.imm - 1)) - 1;
+      const std::int32_t lo = -(std::int32_t{1} << (d.imm - 1));
+      const std::int32_t v = s(rs1);
+      rd_write(u(v < lo ? lo : (v > hi ? hi : v)));
+      break;
+    }
+    case Op::kPAbs: rd_write(s(rs1) < 0 ? static_cast<std::uint32_t>(0) - rs1 : rs1); break;
+    case Op::kPMin: rd_write(s(rs1) < s(rs2) ? rs1 : rs2); break;
+    case Op::kPMax: rd_write(s(rs1) > s(rs2) ? rs1 : rs2); break;
+    case Op::kPExths: rd_write(u(static_cast<std::int16_t>(rs1 & 0xFFFF))); break;
+    case Op::kPExtbs: rd_write(u(static_cast<std::int8_t>(rs1 & 0xFF))); break;
+    case Op::kPvDotspH: case Op::kPvSdotspH: {
+      const std::int32_t lo = static_cast<std::int16_t>(rs1 & 0xFFFF) *
+                              static_cast<std::int16_t>(rs2 & 0xFFFF);
+      const std::int32_t hi = static_cast<std::int16_t>(rs1 >> 16) *
+                              static_cast<std::int16_t>(rs2 >> 16);
+      const std::int32_t acc = (d.op == Op::kPvSdotspH) ? s(x_[d.rd]) : 0;
+      rd_write(u(acc + lo + hi));
+      break;
+    }
+    case Op::kLpSetup: {
+      HwLoop& loop = loops_[d.extra & 1];
+      loop.start = pc_ + 4;
+      loop.end = pc_ + 4 * static_cast<std::uint32_t>(d.imm2);
+      loop.count = rs1 == 0 ? 1 : rs1;
+      break;
+    }
+    case Op::kLpSetupi: {
+      HwLoop& loop = loops_[d.extra & 1];
+      loop.start = pc_ + 4;
+      loop.end = pc_ + 4 * static_cast<std::uint32_t>(d.imm2);
+      loop.count = static_cast<std::uint32_t>(d.imm);
+      break;
+    }
+    case Op::kFlw: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_read(a);
+      f_[d.rd] = bits_float(mem_.load32(a));
+      break;
+    }
+    case Op::kFsw: {
+      const std::uint32_t a = rs1 + u(d.imm);
+      mem_write(a);
+      mem_.store32(a, float_bits(f_[d.rs2]));
+      break;
+    }
+    case Op::kFaddS: f_[d.rd] = f_[d.rs1] + f_[d.rs2]; break;
+    case Op::kFsubS: f_[d.rd] = f_[d.rs1] - f_[d.rs2]; break;
+    case Op::kFmulS: f_[d.rd] = f_[d.rs1] * f_[d.rs2]; break;
+    case Op::kFdivS: f_[d.rd] = f_[d.rs1] / f_[d.rs2]; break;
+    case Op::kFmaddS: f_[d.rd] = f_[d.rs1] * f_[d.rs2] + f_[d.rs3]; break;
+    case Op::kFsgnjS:
+      f_[d.rd] = bits_float((float_bits(f_[d.rs1]) & 0x7FFFFFFF) |
+                            (float_bits(f_[d.rs2]) & 0x80000000));
+      break;
+    case Op::kFsgnjnS:
+      f_[d.rd] = bits_float((float_bits(f_[d.rs1]) & 0x7FFFFFFF) |
+                            (~float_bits(f_[d.rs2]) & 0x80000000));
+      break;
+    case Op::kFcvtSW: f_[d.rd] = static_cast<float>(s(rs1)); break;
+    case Op::kFcvtWS: rd_write(u(fcvt_w_s(f_[d.rs1]))); break;
+    case Op::kFmvXW: rd_write(float_bits(f_[d.rs1])); break;
+    case Op::kFmvWX: f_[d.rd] = bits_float(rs1); break;
+    case Op::kFeqS: rd_write(f_[d.rs1] == f_[d.rs2] ? 1 : 0); break;
+    case Op::kFltS: rd_write(f_[d.rs1] < f_[d.rs2] ? 1 : 0); break;
+    case Op::kFleS: rd_write(f_[d.rs1] <= f_[d.rs2] ? 1 : 0); break;
+    case Op::kIllegal: fail("Core::execute: illegal instruction");
+  }
+  return extra;
+}
+
+}  // namespace iw::rv

@@ -1,0 +1,94 @@
+// Single-hart executor with cycle-approximate timing.
+#pragma once
+
+#include <cstdint>
+
+#include "rvsim/isa.hpp"
+#include "rvsim/memory.hpp"
+#include "rvsim/profile_stats.hpp"
+#include "rvsim/timing.hpp"
+
+namespace iw::rv {
+
+/// Executes instructions against a Memory and accumulates a cycle count
+/// according to a TimingProfile. The cluster wraps several cores and adds
+/// inter-core penalties (bank conflicts, barrier waits) via add_stall().
+class Core {
+ public:
+  /// Description of the data-memory access performed by the last step, used
+  /// by the cluster for TCDM bank arbitration.
+  struct MemAccess {
+    bool valid = false;
+    bool is_store = false;
+    std::uint32_t addr = 0;
+  };
+
+  struct StepResult {
+    int cycles = 0;
+    MemAccess access;
+    bool halted = false;
+  };
+
+  Core(TimingProfile profile, Memory& memory, std::uint32_t hart_id = 0);
+
+  /// Resets architectural state and the cycle/instruction counters.
+  void reset(std::uint32_t pc, std::uint32_t sp);
+
+  /// Executes one instruction. Throws iw::Error on illegal instructions or
+  /// instructions the profile does not support.
+  StepResult step();
+
+  /// Folds externally computed stall cycles (bank conflicts, barriers) into
+  /// this core's cycle counter.
+  void add_stall(std::uint64_t cycles) { cycles_ += cycles; }
+
+  /// Attaches an instruction-mix histogram (nullptr detaches). Not owned.
+  void set_histogram(InstructionHistogram* histogram) { histogram_ = histogram; }
+
+  bool halted() const { return halted_; }
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instructions() const { return instructions_; }
+  /// Dynamic-penalty counters (help explain cycle totals).
+  std::uint64_t taken_branches() const { return taken_branches_; }
+  std::uint64_t load_use_stalls() const { return load_use_stalls_; }
+  std::uint32_t pc() const { return pc_; }
+  std::uint32_t hart_id() const { return hart_id_; }
+  const TimingProfile& profile() const { return profile_; }
+
+  std::uint32_t reg(int index) const;
+  void set_reg(int index, std::uint32_t value);
+  float freg(int index) const;
+  void set_freg(int index, float value);
+
+ private:
+  struct HwLoop {
+    std::uint32_t start = 0;
+    std::uint32_t end = 0;
+    std::uint32_t count = 0;
+  };
+
+  int execute(const Decoded& d, std::uint32_t word, std::uint32_t& next_pc,
+              MemAccess& access);
+  /// Returns the unified register id (x: 0..31, f: 32..63) read by the
+  /// instruction that could create a load-use dependency, or -1.
+  static void collect_reads(const Decoded& d, int out[3]);
+
+  TimingProfile profile_;
+  Memory& mem_;
+  std::uint32_t hart_id_;
+
+  std::uint32_t x_[32] = {};
+  float f_[32] = {};
+  std::uint32_t pc_ = 0;
+  HwLoop loops_[2];
+  bool halted_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  int pending_load_reg_ = -1;
+  bool prev_was_load_ = false;
+  std::uint64_t taken_branches_ = 0;
+  std::uint64_t load_use_stalls_ = 0;
+  InstructionHistogram* histogram_ = nullptr;
+};
+
+}  // namespace iw::rv

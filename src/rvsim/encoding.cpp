@@ -1,0 +1,406 @@
+#include "rvsim/encoding.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::rv {
+
+namespace {
+
+constexpr std::uint32_t kOpLoad = 0x03;
+constexpr std::uint32_t kOpLoadFp = 0x07;
+constexpr std::uint32_t kOpCustom0 = 0x0B;
+constexpr std::uint32_t kOpImm = 0x13;
+constexpr std::uint32_t kOpAuipc = 0x17;
+constexpr std::uint32_t kOpStore = 0x23;
+constexpr std::uint32_t kOpStoreFp = 0x27;
+constexpr std::uint32_t kOpCustom1 = 0x2B;
+constexpr std::uint32_t kOpOp = 0x33;
+constexpr std::uint32_t kOpLui = 0x37;
+constexpr std::uint32_t kOpMadd = 0x43;
+constexpr std::uint32_t kOpFp = 0x53;
+constexpr std::uint32_t kOpBranch = 0x63;
+constexpr std::uint32_t kOpJalr = 0x67;
+constexpr std::uint32_t kOpJal = 0x6F;
+constexpr std::uint32_t kOpSystem = 0x73;
+
+void check_range(std::int64_t v, std::int64_t lo, std::int64_t hi, const char* what) {
+  if (v < lo || v > hi) fail(std::string("encode: immediate out of range for ") + what);
+}
+
+std::uint32_t r_type(std::uint32_t f7, std::uint8_t rs2, std::uint8_t rs1,
+                     std::uint32_t f3, std::uint8_t rd, std::uint32_t opcode) {
+  return (f7 << 25) | (std::uint32_t{rs2} << 20) | (std::uint32_t{rs1} << 15) |
+         (f3 << 12) | (std::uint32_t{rd} << 7) | opcode;
+}
+
+std::uint32_t i_type(std::int32_t imm, std::uint8_t rs1, std::uint32_t f3,
+                     std::uint8_t rd, std::uint32_t opcode, const char* what) {
+  check_range(imm, -2048, 2047, what);
+  return ((static_cast<std::uint32_t>(imm) & 0xFFF) << 20) |
+         (std::uint32_t{rs1} << 15) | (f3 << 12) | (std::uint32_t{rd} << 7) | opcode;
+}
+
+std::uint32_t s_type(std::int32_t imm, std::uint8_t rs2, std::uint8_t rs1,
+                     std::uint32_t f3, std::uint32_t opcode, const char* what) {
+  check_range(imm, -2048, 2047, what);
+  const std::uint32_t u = static_cast<std::uint32_t>(imm) & 0xFFF;
+  return ((u >> 5) << 25) | (std::uint32_t{rs2} << 20) | (std::uint32_t{rs1} << 15) |
+         (f3 << 12) | ((u & 0x1F) << 7) | opcode;
+}
+
+std::uint32_t b_type(std::int32_t imm, std::uint8_t rs2, std::uint8_t rs1,
+                     std::uint32_t f3, const char* what) {
+  check_range(imm, -4096, 4094, what);
+  if (imm & 1) fail("encode: branch offset must be even");
+  const std::uint32_t u = static_cast<std::uint32_t>(imm);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3F) << 25) |
+         (std::uint32_t{rs2} << 20) | (std::uint32_t{rs1} << 15) | (f3 << 12) |
+         (((u >> 1) & 0xF) << 8) | (((u >> 11) & 1) << 7) | kOpBranch;
+}
+
+std::uint32_t u_type(std::int32_t imm, std::uint8_t rd, std::uint32_t opcode) {
+  // imm is the upper-20-bit payload (already shifted right by 12).
+  return (static_cast<std::uint32_t>(imm) << 12) | (std::uint32_t{rd} << 7) | opcode;
+}
+
+std::uint32_t j_type(std::int32_t imm, std::uint8_t rd) {
+  check_range(imm, -(1 << 20), (1 << 20) - 2, "jal");
+  if (imm & 1) fail("encode: jal offset must be even");
+  const std::uint32_t u = static_cast<std::uint32_t>(imm);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3FF) << 21) |
+         (((u >> 11) & 1) << 20) | (((u >> 12) & 0xFF) << 12) |
+         (std::uint32_t{rd} << 7) | kOpJal;
+}
+
+std::uint32_t fp_op(std::uint32_t f7, const Decoded& d, std::uint32_t f3 = 0) {
+  return r_type(f7, d.rs2, d.rs1, f3, d.rd, kOpFp);
+}
+
+}  // namespace
+
+std::uint32_t encode(const Decoded& d) {
+  switch (d.op) {
+    case Op::kLui: return u_type(d.imm, d.rd, kOpLui);
+    case Op::kAuipc: return u_type(d.imm, d.rd, kOpAuipc);
+    case Op::kJal: return j_type(d.imm, d.rd);
+    case Op::kJalr: return i_type(d.imm, d.rs1, 0, d.rd, kOpJalr, "jalr");
+    case Op::kBeq: return b_type(d.imm, d.rs2, d.rs1, 0, "beq");
+    case Op::kBne: return b_type(d.imm, d.rs2, d.rs1, 1, "bne");
+    case Op::kBlt: return b_type(d.imm, d.rs2, d.rs1, 4, "blt");
+    case Op::kBge: return b_type(d.imm, d.rs2, d.rs1, 5, "bge");
+    case Op::kBltu: return b_type(d.imm, d.rs2, d.rs1, 6, "bltu");
+    case Op::kBgeu: return b_type(d.imm, d.rs2, d.rs1, 7, "bgeu");
+    case Op::kLb: return i_type(d.imm, d.rs1, 0, d.rd, kOpLoad, "lb");
+    case Op::kLh: return i_type(d.imm, d.rs1, 1, d.rd, kOpLoad, "lh");
+    case Op::kLw: return i_type(d.imm, d.rs1, 2, d.rd, kOpLoad, "lw");
+    case Op::kLbu: return i_type(d.imm, d.rs1, 4, d.rd, kOpLoad, "lbu");
+    case Op::kLhu: return i_type(d.imm, d.rs1, 5, d.rd, kOpLoad, "lhu");
+    case Op::kSb: return s_type(d.imm, d.rs2, d.rs1, 0, kOpStore, "sb");
+    case Op::kSh: return s_type(d.imm, d.rs2, d.rs1, 1, kOpStore, "sh");
+    case Op::kSw: return s_type(d.imm, d.rs2, d.rs1, 2, kOpStore, "sw");
+    case Op::kAddi: return i_type(d.imm, d.rs1, 0, d.rd, kOpImm, "addi");
+    case Op::kSlti: return i_type(d.imm, d.rs1, 2, d.rd, kOpImm, "slti");
+    case Op::kSltiu: return i_type(d.imm, d.rs1, 3, d.rd, kOpImm, "sltiu");
+    case Op::kXori: return i_type(d.imm, d.rs1, 4, d.rd, kOpImm, "xori");
+    case Op::kOri: return i_type(d.imm, d.rs1, 6, d.rd, kOpImm, "ori");
+    case Op::kAndi: return i_type(d.imm, d.rs1, 7, d.rd, kOpImm, "andi");
+    case Op::kSlli:
+      check_range(d.imm, 0, 31, "slli");
+      return r_type(0x00, static_cast<std::uint8_t>(d.imm), d.rs1, 1, d.rd, kOpImm);
+    case Op::kSrli:
+      check_range(d.imm, 0, 31, "srli");
+      return r_type(0x00, static_cast<std::uint8_t>(d.imm), d.rs1, 5, d.rd, kOpImm);
+    case Op::kSrai:
+      check_range(d.imm, 0, 31, "srai");
+      return r_type(0x20, static_cast<std::uint8_t>(d.imm), d.rs1, 5, d.rd, kOpImm);
+    case Op::kAdd: return r_type(0x00, d.rs2, d.rs1, 0, d.rd, kOpOp);
+    case Op::kSub: return r_type(0x20, d.rs2, d.rs1, 0, d.rd, kOpOp);
+    case Op::kSll: return r_type(0x00, d.rs2, d.rs1, 1, d.rd, kOpOp);
+    case Op::kSlt: return r_type(0x00, d.rs2, d.rs1, 2, d.rd, kOpOp);
+    case Op::kSltu: return r_type(0x00, d.rs2, d.rs1, 3, d.rd, kOpOp);
+    case Op::kXor: return r_type(0x00, d.rs2, d.rs1, 4, d.rd, kOpOp);
+    case Op::kSrl: return r_type(0x00, d.rs2, d.rs1, 5, d.rd, kOpOp);
+    case Op::kSra: return r_type(0x20, d.rs2, d.rs1, 5, d.rd, kOpOp);
+    case Op::kOr: return r_type(0x00, d.rs2, d.rs1, 6, d.rd, kOpOp);
+    case Op::kAnd: return r_type(0x00, d.rs2, d.rs1, 7, d.rd, kOpOp);
+    case Op::kMul: return r_type(0x01, d.rs2, d.rs1, 0, d.rd, kOpOp);
+    case Op::kMulh: return r_type(0x01, d.rs2, d.rs1, 1, d.rd, kOpOp);
+    case Op::kMulhsu: return r_type(0x01, d.rs2, d.rs1, 2, d.rd, kOpOp);
+    case Op::kMulhu: return r_type(0x01, d.rs2, d.rs1, 3, d.rd, kOpOp);
+    case Op::kDiv: return r_type(0x01, d.rs2, d.rs1, 4, d.rd, kOpOp);
+    case Op::kDivu: return r_type(0x01, d.rs2, d.rs1, 5, d.rd, kOpOp);
+    case Op::kRem: return r_type(0x01, d.rs2, d.rs1, 6, d.rd, kOpOp);
+    case Op::kRemu: return r_type(0x01, d.rs2, d.rs1, 7, d.rd, kOpOp);
+    case Op::kEcall: return kOpSystem;
+    case Op::kCsrrw:
+      return ((d.extra & 0xFFF) << 20) | (std::uint32_t{d.rs1} << 15) | (1u << 12) |
+             (std::uint32_t{d.rd} << 7) | kOpSystem;
+    case Op::kCsrrs:
+      return ((d.extra & 0xFFF) << 20) | (std::uint32_t{d.rs1} << 15) | (2u << 12) |
+             (std::uint32_t{d.rd} << 7) | kOpSystem;
+    case Op::kFlw: return i_type(d.imm, d.rs1, 2, d.rd, kOpLoadFp, "flw");
+    case Op::kFsw: return s_type(d.imm, d.rs2, d.rs1, 2, kOpStoreFp, "fsw");
+    case Op::kFaddS: return fp_op(0x00, d);
+    case Op::kFsubS: return fp_op(0x04, d);
+    case Op::kFmulS: return fp_op(0x08, d);
+    case Op::kFdivS: return fp_op(0x0C, d);
+    case Op::kFsgnjS: return fp_op(0x10, d, 0);
+    case Op::kFsgnjnS: return fp_op(0x10, d, 1);
+    case Op::kFmaddS:
+      return (std::uint32_t{d.rs3} << 27) | (std::uint32_t{d.rs2} << 20) |
+             (std::uint32_t{d.rs1} << 15) | (std::uint32_t{d.rd} << 7) | kOpMadd;
+    case Op::kFcvtSW: return r_type(0x68, 0, d.rs1, 0, d.rd, kOpFp);
+    case Op::kFcvtWS: return r_type(0x60, 0, d.rs1, 0, d.rd, kOpFp);
+    case Op::kFmvXW: return r_type(0x70, 0, d.rs1, 0, d.rd, kOpFp);
+    case Op::kFmvWX: return r_type(0x78, 0, d.rs1, 0, d.rd, kOpFp);
+    case Op::kFeqS: return fp_op(0x50, d, 2);
+    case Op::kFltS: return fp_op(0x50, d, 1);
+    case Op::kFleS: return fp_op(0x50, d, 0);
+    case Op::kPLbPost: return i_type(d.imm, d.rs1, 0, d.rd, kOpCustom0, "p.lb");
+    case Op::kPLhPost: return i_type(d.imm, d.rs1, 1, d.rd, kOpCustom0, "p.lh");
+    case Op::kPLwPost: return i_type(d.imm, d.rs1, 2, d.rd, kOpCustom0, "p.lw");
+    case Op::kPClip:
+      check_range(d.imm, 1, 31, "p.clip");
+      return i_type(d.imm, d.rs1, 3, d.rd, kOpCustom0, "p.clip");
+    // Xpulp ALU ops share custom-0 funct3=100, discriminated by funct7.
+    case Op::kPAbs: return r_type(0x00, 0, d.rs1, 4, d.rd, kOpCustom0);
+    case Op::kPMin: return r_type(0x01, d.rs2, d.rs1, 4, d.rd, kOpCustom0);
+    case Op::kPMax: return r_type(0x02, d.rs2, d.rs1, 4, d.rd, kOpCustom0);
+    case Op::kPExths: return r_type(0x03, 0, d.rs1, 4, d.rd, kOpCustom0);
+    case Op::kPExtbs: return r_type(0x04, 0, d.rs1, 4, d.rd, kOpCustom0);
+    case Op::kPSbPost: return s_type(d.imm, d.rs2, d.rs1, 0, kOpCustom1, "p.sb");
+    case Op::kPShPost: return s_type(d.imm, d.rs2, d.rs1, 1, kOpCustom1, "p.sh");
+    case Op::kPSwPost: return s_type(d.imm, d.rs2, d.rs1, 2, kOpCustom1, "p.sw");
+    case Op::kPMac: return r_type(0x21, d.rs2, d.rs1, 0, d.rd, kOpOp);
+    case Op::kPvDotspH: return r_type(0x22, d.rs2, d.rs1, 0, d.rd, kOpOp);
+    case Op::kPvSdotspH: return r_type(0x22, d.rs2, d.rs1, 1, d.rd, kOpOp);
+    case Op::kLpSetup: {
+      check_range(d.imm2, 1, 4095, "lp.setup end offset");
+      const std::uint32_t loop = d.extra & 1;
+      return (static_cast<std::uint32_t>(d.imm2) << 20) | (std::uint32_t{d.rs1} << 15) |
+             (4u << 12) | (loop << 7) | kOpCustom1;
+    }
+    case Op::kLpSetupi: {
+      check_range(d.imm, 1, 4095, "lp.setupi count");
+      check_range(d.imm2, 1, 1023, "lp.setupi end offset");
+      const std::uint32_t f3 = (d.extra & 1) ? 6u : 5u;
+      const std::uint32_t off = static_cast<std::uint32_t>(d.imm2);
+      return (static_cast<std::uint32_t>(d.imm) << 20) | (((off >> 5) & 0x1F) << 15) |
+             (f3 << 12) | ((off & 0x1F) << 7) | kOpCustom1;
+    }
+    case Op::kIllegal: break;
+  }
+  fail("encode: illegal opcode");
+}
+
+namespace {
+
+std::int32_t sext(std::uint32_t value, int bits) {
+  const std::uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
+  std::uint32_t v = value & mask;
+  if (v & (1u << (bits - 1))) v |= ~mask;
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+Decoded decode(std::uint32_t w) {
+  Decoded d;
+  const std::uint32_t opcode = w & 0x7F;
+  d.rd = static_cast<std::uint8_t>((w >> 7) & 0x1F);
+  const std::uint32_t f3 = (w >> 12) & 0x7;
+  d.rs1 = static_cast<std::uint8_t>((w >> 15) & 0x1F);
+  d.rs2 = static_cast<std::uint8_t>((w >> 20) & 0x1F);
+  const std::uint32_t f7 = (w >> 25) & 0x7F;
+  const std::int32_t imm_i = sext(w >> 20, 12);
+  const std::int32_t imm_s = sext(((w >> 25) << 5) | ((w >> 7) & 0x1F), 12);
+
+  switch (opcode) {
+    case kOpLui: d.op = Op::kLui; d.imm = static_cast<std::int32_t>(w >> 12); return d;
+    case kOpAuipc: d.op = Op::kAuipc; d.imm = static_cast<std::int32_t>(w >> 12); return d;
+    case kOpJal: {
+      d.op = Op::kJal;
+      const std::uint32_t u = ((w >> 31) << 20) | (((w >> 12) & 0xFF) << 12) |
+                              (((w >> 20) & 1) << 11) | (((w >> 21) & 0x3FF) << 1);
+      d.imm = sext(u, 21);
+      return d;
+    }
+    case kOpJalr:
+      if (f3 != 0) break;
+      d.op = Op::kJalr; d.imm = imm_i; return d;
+    case kOpBranch: {
+      static constexpr Op kBranchOps[8] = {Op::kBeq, Op::kBne, Op::kIllegal, Op::kIllegal,
+                                           Op::kBlt, Op::kBge, Op::kBltu, Op::kBgeu};
+      d.op = kBranchOps[f3];
+      if (d.op == Op::kIllegal) break;
+      const std::uint32_t u = ((w >> 31) << 12) | (((w >> 7) & 1) << 11) |
+                              (((w >> 25) & 0x3F) << 5) | (((w >> 8) & 0xF) << 1);
+      d.imm = sext(u, 13);
+      return d;
+    }
+    case kOpLoad: {
+      static constexpr Op kLoadOps[8] = {Op::kLb, Op::kLh, Op::kLw, Op::kIllegal,
+                                         Op::kLbu, Op::kLhu, Op::kIllegal, Op::kIllegal};
+      d.op = kLoadOps[f3];
+      if (d.op == Op::kIllegal) break;
+      d.imm = imm_i;
+      return d;
+    }
+    case kOpStore: {
+      static constexpr Op kStoreOps[3] = {Op::kSb, Op::kSh, Op::kSw};
+      if (f3 > 2) break;
+      d.op = kStoreOps[f3];
+      d.imm = imm_s;
+      return d;
+    }
+    case kOpImm: {
+      switch (f3) {
+        case 0: d.op = Op::kAddi; d.imm = imm_i; return d;
+        case 1:
+          if (f7 != 0) break;
+          d.op = Op::kSlli; d.imm = static_cast<std::int32_t>(d.rs2); return d;
+        case 2: d.op = Op::kSlti; d.imm = imm_i; return d;
+        case 3: d.op = Op::kSltiu; d.imm = imm_i; return d;
+        case 4: d.op = Op::kXori; d.imm = imm_i; return d;
+        case 5:
+          if (f7 == 0x00) { d.op = Op::kSrli; d.imm = static_cast<std::int32_t>(d.rs2); return d; }
+          if (f7 == 0x20) { d.op = Op::kSrai; d.imm = static_cast<std::int32_t>(d.rs2); return d; }
+          break;
+        case 6: d.op = Op::kOri; d.imm = imm_i; return d;
+        case 7: d.op = Op::kAndi; d.imm = imm_i; return d;
+      }
+      break;
+    }
+    case kOpOp: {
+      if (f7 == 0x00 || f7 == 0x20) {
+        static constexpr Op kBase0[8] = {Op::kAdd, Op::kSll, Op::kSlt, Op::kSltu,
+                                         Op::kXor, Op::kSrl, Op::kOr, Op::kAnd};
+        if (f7 == 0x20) {
+          if (f3 == 0) { d.op = Op::kSub; return d; }
+          if (f3 == 5) { d.op = Op::kSra; return d; }
+          break;
+        }
+        d.op = kBase0[f3];
+        return d;
+      }
+      if (f7 == 0x01) {
+        static constexpr Op kMulOps[8] = {Op::kMul, Op::kMulh, Op::kMulhsu, Op::kMulhu,
+                                          Op::kDiv, Op::kDivu, Op::kRem, Op::kRemu};
+        d.op = kMulOps[f3];
+        return d;
+      }
+      if (f7 == 0x21 && f3 == 0) { d.op = Op::kPMac; return d; }
+      if (f7 == 0x22 && f3 == 0) { d.op = Op::kPvDotspH; return d; }
+      if (f7 == 0x22 && f3 == 1) { d.op = Op::kPvSdotspH; return d; }
+      break;
+    }
+    case kOpSystem: {
+      if (f3 == 0 && (w >> 7) == 0) { d.op = Op::kEcall; return d; }
+      if (f3 == 1) { d.op = Op::kCsrrw; d.extra = w >> 20; return d; }
+      if (f3 == 2) { d.op = Op::kCsrrs; d.extra = w >> 20; return d; }
+      break;
+    }
+    case kOpLoadFp:
+      if (f3 != 2) break;
+      d.op = Op::kFlw; d.imm = imm_i; return d;
+    case kOpStoreFp:
+      if (f3 != 2) break;
+      d.op = Op::kFsw; d.imm = imm_s; return d;
+    case kOpMadd:
+      if (((w >> 25) & 0x3) != 0) break;
+      d.op = Op::kFmaddS;
+      d.rs3 = static_cast<std::uint8_t>(w >> 27);
+      return d;
+    case kOpFp: {
+      switch (f7) {
+        case 0x00: d.op = Op::kFaddS; return d;
+        case 0x04: d.op = Op::kFsubS; return d;
+        case 0x08: d.op = Op::kFmulS; return d;
+        case 0x0C: d.op = Op::kFdivS; return d;
+        case 0x10:
+          if (f3 == 0) { d.op = Op::kFsgnjS; return d; }
+          if (f3 == 1) { d.op = Op::kFsgnjnS; return d; }
+          break;
+        case 0x50:
+          if (f3 == 2) { d.op = Op::kFeqS; return d; }
+          if (f3 == 1) { d.op = Op::kFltS; return d; }
+          if (f3 == 0) { d.op = Op::kFleS; return d; }
+          break;
+        // Unary FP ops: the rs2 field selects the variant; only variant 0
+        // (32-bit signed) is implemented, and rm must be the canonical 0.
+        case 0x60:
+          if (d.rs2 != 0 || f3 != 0) break;
+          d.op = Op::kFcvtWS; return d;
+        case 0x68:
+          if (d.rs2 != 0 || f3 != 0) break;
+          d.op = Op::kFcvtSW; return d;
+        case 0x70:
+          if (d.rs2 != 0 || f3 != 0) break;
+          d.op = Op::kFmvXW; return d;
+        case 0x78:
+          if (d.rs2 != 0 || f3 != 0) break;
+          d.op = Op::kFmvWX; return d;
+      }
+      break;
+    }
+    case kOpCustom0: {
+      if (f3 <= 3) {
+        static constexpr Op kC0Ops[4] = {Op::kPLbPost, Op::kPLhPost, Op::kPLwPost,
+                                         Op::kPClip};
+        d.op = kC0Ops[f3];
+        d.imm = imm_i;
+        // p.clip's immediate is a bit width; anything else is illegal (and
+        // would imply a negative shift in the executor).
+        if (d.op == Op::kPClip && (d.imm < 1 || d.imm > 31)) break;
+        return d;
+      }
+      if (f3 == 4) {
+        switch (f7) {
+          // Unary ops require the canonical zero rs2 field.
+          case 0x00:
+            if (d.rs2 != 0) break;
+            d.op = Op::kPAbs; return d;
+          case 0x01: d.op = Op::kPMin; return d;
+          case 0x02: d.op = Op::kPMax; return d;
+          case 0x03:
+            if (d.rs2 != 0) break;
+            d.op = Op::kPExths; return d;
+          case 0x04:
+            if (d.rs2 != 0) break;
+            d.op = Op::kPExtbs; return d;
+        }
+      }
+      break;
+    }
+    case kOpCustom1: {
+      if (f3 <= 2) {
+        static constexpr Op kC1Stores[3] = {Op::kPSbPost, Op::kPShPost, Op::kPSwPost};
+        d.op = kC1Stores[f3];
+        d.imm = imm_s;
+        return d;
+      }
+      if (f3 == 4) {
+        d.op = Op::kLpSetup;
+        d.extra = d.rd & 1;
+        d.imm2 = static_cast<std::int32_t>(w >> 20);
+        d.rd = 0;
+        return d;
+      }
+      if (f3 == 5 || f3 == 6) {
+        d.op = Op::kLpSetupi;
+        d.extra = (f3 == 6) ? 1 : 0;
+        d.imm = static_cast<std::int32_t>(w >> 20);
+        d.imm2 = static_cast<std::int32_t>((std::uint32_t{d.rs1} << 5) | d.rd);
+        d.rd = 0;
+        d.rs1 = 0;
+        return d;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  fail("decode: illegal instruction word");
+}
+
+}  // namespace iw::rv

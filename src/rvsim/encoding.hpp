@@ -1,0 +1,34 @@
+// Binary encoding and decoding of the simulated ISA.
+//
+// Base RV32IM/F instructions use the standard RISC-V formats (R/I/S/B/U/J and
+// R4 for fmadd). Extension encodings live in the custom opcode space:
+//
+//   custom-0 (0x0B), I-type:
+//     funct3 000/001/010 : p.lb / p.lh / p.lw rd, imm(rs1!)  (post-increment)
+//     funct3 011         : p.clip rd, rs1, imm               (imm = bit width)
+//   custom-1 (0x2B):
+//     funct3 000/001/010 : p.sb / p.sh / p.sw rs2, imm(rs1!) (S-type)
+//     funct3 100         : lp.setup  L, rs1, end   L = rd bit 0,
+//                          end offset in words = imm[11:0] at [31:20]
+//     funct3 101 / 110   : lp.setupi 0/1, count, end
+//                          count = [31:20], end offset words = {rs1, rd} (10 bits)
+//   OP (0x33):
+//     funct7 0x21 funct3 000 : p.mac rd, rs1, rs2
+//     funct7 0x22 funct3 000 : pv.dotsp.h
+//     funct7 0x22 funct3 001 : pv.sdotsp.h
+#pragma once
+
+#include <cstdint>
+
+#include "rvsim/isa.hpp"
+
+namespace iw::rv {
+
+/// Encodes a decoded instruction into a 32-bit word. Throws iw::Error on
+/// out-of-range immediates.
+std::uint32_t encode(const Decoded& d);
+
+/// Decodes a 32-bit word. Throws iw::Error on illegal instructions.
+Decoded decode(std::uint32_t word);
+
+}  // namespace iw::rv

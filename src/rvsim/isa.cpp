@@ -1,0 +1,243 @@
+#include "rvsim/isa.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iw::rv {
+
+OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kLui: case Op::kAuipc:
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli: case Op::kSrai:
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt: case Op::kSltu:
+    case Op::kXor: case Op::kSrl: case Op::kSra: case Op::kOr: case Op::kAnd:
+    case Op::kPClip:
+    case Op::kPAbs: case Op::kPMin: case Op::kPMax:
+    case Op::kPExths: case Op::kPExtbs:
+      return OpClass::kAlu;
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+      return OpClass::kMul;
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+      return OpClass::kDiv;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
+    case Op::kFlw:
+      return OpClass::kLoad;
+    case Op::kSb: case Op::kSh: case Op::kSw:
+    case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
+    case Op::kFsw:
+      return OpClass::kStore;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return OpClass::kBranch;
+    case Op::kJal: case Op::kJalr:
+      return OpClass::kJump;
+    case Op::kCsrrw: case Op::kCsrrs:
+      return OpClass::kCsr;
+    case Op::kEcall:
+      return OpClass::kSystem;
+    case Op::kFaddS: case Op::kFsubS:
+      return OpClass::kFpuAlu;
+    case Op::kFmulS:
+      return OpClass::kFpuMul;
+    case Op::kFmaddS:
+      return OpClass::kFpuMadd;
+    case Op::kFdivS:
+      return OpClass::kFpuDiv;
+    case Op::kFcvtSW: case Op::kFcvtWS:
+      return OpClass::kFpuCvt;
+    case Op::kFsgnjS: case Op::kFsgnjnS: case Op::kFmvXW: case Op::kFmvWX:
+      return OpClass::kFpuMove;
+    case Op::kFeqS: case Op::kFltS: case Op::kFleS:
+      return OpClass::kFpuCmp;
+    case Op::kLpSetup: case Op::kLpSetupi:
+      return OpClass::kHwloop;
+    case Op::kPvDotspH: case Op::kPvSdotspH:
+      return OpClass::kSimd;
+    case Op::kPMac:
+      return OpClass::kMac;
+    case Op::kIllegal:
+      break;
+  }
+  fail("op_class: illegal opcode");
+}
+
+bool is_xpulp(Op op) {
+  switch (op) {
+    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
+    case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
+    case Op::kPMac: case Op::kPClip:
+    case Op::kPAbs: case Op::kPMin: case Op::kPMax:
+    case Op::kPExths: case Op::kPExtbs:
+    case Op::kPvDotspH: case Op::kPvSdotspH:
+    case Op::kLpSetup: case Op::kLpSetupi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fp(Op op) {
+  switch (op) {
+    case Op::kFlw: case Op::kFsw:
+    case Op::kFaddS: case Op::kFsubS: case Op::kFmulS: case Op::kFdivS:
+    case Op::kFmaddS: case Op::kFsgnjS: case Op::kFsgnjnS:
+    case Op::kFcvtSW: case Op::kFcvtWS: case Op::kFmvXW: case Op::kFmvWX:
+    case Op::kFeqS: case Op::kFltS: case Op::kFleS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string mnemonic(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "illegal";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kEcall: return "ecall";
+    case Op::kCsrrw: return "csrrw";
+    case Op::kCsrrs: return "csrrs";
+    case Op::kMul: return "mul";
+    case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu";
+    case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div";
+    case Op::kDivu: return "divu";
+    case Op::kRem: return "rem";
+    case Op::kRemu: return "remu";
+    case Op::kFlw: return "flw";
+    case Op::kFsw: return "fsw";
+    case Op::kFaddS: return "fadd.s";
+    case Op::kFsubS: return "fsub.s";
+    case Op::kFmulS: return "fmul.s";
+    case Op::kFdivS: return "fdiv.s";
+    case Op::kFmaddS: return "fmadd.s";
+    case Op::kFsgnjS: return "fsgnj.s";
+    case Op::kFsgnjnS: return "fsgnjn.s";
+    case Op::kFcvtSW: return "fcvt.s.w";
+    case Op::kFcvtWS: return "fcvt.w.s";
+    case Op::kFmvXW: return "fmv.x.w";
+    case Op::kFmvWX: return "fmv.w.x";
+    case Op::kFeqS: return "feq.s";
+    case Op::kFltS: return "flt.s";
+    case Op::kFleS: return "fle.s";
+    case Op::kPLbPost: return "p.lb";
+    case Op::kPLhPost: return "p.lh";
+    case Op::kPLwPost: return "p.lw";
+    case Op::kPSbPost: return "p.sb";
+    case Op::kPShPost: return "p.sh";
+    case Op::kPSwPost: return "p.sw";
+    case Op::kPMac: return "p.mac";
+    case Op::kPClip: return "p.clip";
+    case Op::kPAbs: return "p.abs";
+    case Op::kPMin: return "p.min";
+    case Op::kPMax: return "p.max";
+    case Op::kPExths: return "p.exths";
+    case Op::kPExtbs: return "p.extbs";
+    case Op::kPvDotspH: return "pv.dotsp.h";
+    case Op::kPvSdotspH: return "pv.sdotsp.h";
+    case Op::kLpSetup: return "lp.setup";
+    case Op::kLpSetupi: return "lp.setupi";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::array<const char*, 32> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+}  // namespace
+
+std::string reg_name(std::uint8_t reg) {
+  if (reg < 32) return kAbiNames[reg];
+  return "f" + std::to_string(reg - 32);
+}
+
+int parse_reg(const std::string& token) {
+  if (token.size() < 2) return -1;
+  if (token[0] == 'x' || token[0] == 'f') {
+    bool numeric = true;
+    for (std::size_t i = 1; i < token.size(); ++i) {
+      if (token[i] < '0' || token[i] > '9') { numeric = false; break; }
+    }
+    if (numeric) {
+      const int idx = std::stoi(token.substr(1));
+      if (idx < 0 || idx > 31) return -1;
+      return token[0] == 'x' ? idx : idx + 32;
+    }
+  }
+  if (token == "fp") return 8;
+  for (int i = 0; i < 32; ++i) {
+    if (token == kAbiNames[i]) return i;
+  }
+  return -1;
+}
+
+std::string to_string(const Decoded& d) {
+  std::ostringstream os;
+  os << mnemonic(d.op);
+  switch (op_class(d.op)) {
+    case OpClass::kLoad:
+      os << ' ' << reg_name(is_fp(d.op) ? d.rd + 32 : d.rd) << ", " << d.imm << '('
+         << reg_name(d.rs1) << (is_xpulp(d.op) ? "!)" : ")");
+      break;
+    case OpClass::kStore:
+      os << ' ' << reg_name(is_fp(d.op) ? d.rs2 + 32 : d.rs2) << ", " << d.imm << '('
+         << reg_name(d.rs1) << (is_xpulp(d.op) ? "!)" : ")");
+      break;
+    case OpClass::kBranch:
+      os << ' ' << reg_name(d.rs1) << ", " << reg_name(d.rs2) << ", " << d.imm;
+      break;
+    case OpClass::kHwloop:
+      os << ' ' << d.extra << ", "
+         << (d.op == Op::kLpSetup ? reg_name(d.rs1) : std::to_string(d.imm)) << ", ...";
+      break;
+    default:
+      os << ' ' << reg_name(d.rd) << ", " << reg_name(d.rs1) << ", "
+         << reg_name(d.rs2) << " imm=" << d.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace iw::rv

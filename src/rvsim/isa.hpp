@@ -1,0 +1,105 @@
+// Instruction-set definition for the InfiniWolf core simulator.
+//
+// The simulated ISA is RV32IM plus a subset of the F extension and a set of
+// Xpulp-style DSP extensions modeled on the RI5CY core used in Mr. Wolf:
+//
+//  * hardware loops (two nesting levels, zero loop overhead),
+//  * post-increment loads and stores,
+//  * multiply-accumulate (p.mac),
+//  * fixed-point clip (p.clip),
+//  * packed 16-bit SIMD dot products (pv.dotsp.h / pv.sdotsp.h).
+//
+// Base RV32IM/F instructions use the standard RISC-V encodings. The
+// extensions are encoded in the RISC-V custom opcode space (custom-0 = 0x0B,
+// custom-1 = 0x2B) with project-defined field layouts documented next to the
+// encoder; they are not binary-compatible with real Xpulp silicon, but the
+// semantics and cost model mirror it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iw::rv {
+
+enum class Op : std::uint8_t {
+  kIllegal,
+  // RV32I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu, kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kEcall, kCsrrw, kCsrrs,
+  // RV32M
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // F subset
+  kFlw, kFsw,
+  kFaddS, kFsubS, kFmulS, kFdivS, kFmaddS,
+  kFsgnjS, kFsgnjnS,
+  kFcvtSW, kFcvtWS, kFmvXW, kFmvWX,
+  kFeqS, kFltS, kFleS,
+  // Xpulp-style extensions
+  kPLbPost, kPLhPost, kPLwPost,   // p.lb/p.lh/p.lw rd, imm(rs1!)
+  kPSbPost, kPShPost, kPSwPost,   // p.sb/p.sh/p.sw rs2, imm(rs1!)
+  kPMac,                          // p.mac rd, rs1, rs2 : rd += rs1*rs2
+  kPClip,                         // p.clip rd, rs1, imm : clamp to +/-(2^(imm-1)-1)
+  kPAbs,                          // p.abs rd, rs1 : absolute value
+  kPMin,                          // p.min rd, rs1, rs2 : signed minimum
+  kPMax,                          // p.max rd, rs1, rs2 : signed maximum
+  kPExths,                        // p.exths rd, rs1 : sign-extend halfword
+  kPExtbs,                        // p.extbs rd, rs1 : sign-extend byte
+  kPvDotspH,                      // pv.dotsp.h rd, rs1, rs2 : 2x16b dot product
+  kPvSdotspH,                     // pv.sdotsp.h rd, rs1, rs2 : rd += dot product
+  kLpSetup,                       // lp.setup  L, rs1, end : count from register
+  kLpSetupi,                      // lp.setupi L, imm, end : immediate count
+};
+
+/// Decoded instruction. `imm` carries the sign-extended immediate; `extra`
+/// carries the CSR number (CSR ops) or the hardware-loop index (lp.*);
+/// `imm2` carries the hardware-loop end offset in words (lp.* only: for
+/// lp.setup `imm` is unused and the count comes from rs1, for lp.setupi
+/// `imm` is the iteration count).
+struct Decoded {
+  Op op = Op::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;
+  std::int32_t imm = 0;
+  std::int32_t imm2 = 0;
+  std::uint32_t extra = 0;
+};
+
+/// Instruction classes used by the timing model.
+enum class OpClass : std::uint8_t {
+  kAlu, kMul, kDiv, kLoad, kStore, kBranch, kJump, kCsr, kSystem,
+  kFpuAlu, kFpuMul, kFpuMadd, kFpuDiv, kFpuCvt, kFpuMove, kFpuCmp,
+  kHwloop, kSimd, kMac,
+};
+
+/// Maps each opcode to its timing class.
+OpClass op_class(Op op);
+
+/// True for instructions that are part of the Xpulp-style extension set
+/// (illegal on cores whose timing profile does not enable them).
+bool is_xpulp(Op op);
+/// True for F-extension instructions.
+bool is_fp(Op op);
+
+/// Mnemonic for an opcode (e.g. "p.lw" for kPLwPost).
+std::string mnemonic(Op op);
+
+/// Human-readable disassembly of a decoded instruction.
+std::string to_string(const Decoded& d);
+
+/// Integer register ABI names: x0..x31 <-> zero, ra, sp, ...
+std::string reg_name(std::uint8_t reg);
+/// Parses a register name ("x5", "t0", "a2", "f3", ...). Returns -1 if not a
+/// register. For float registers adds 32 to the index.
+int parse_reg(const std::string& token);
+
+/// CSR numbers understood by the simulator.
+inline constexpr std::uint32_t kCsrMhartid = 0xF14;
+inline constexpr std::uint32_t kCsrMcycle = 0xB00;
+
+}  // namespace iw::rv

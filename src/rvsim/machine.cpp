@@ -1,0 +1,25 @@
+#include "rvsim/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::rv {
+
+Machine::Machine(TimingProfile profile, std::size_t mem_bytes)
+    : mem_(mem_bytes), core_(std::move(profile), mem_) {}
+
+void Machine::load_program(std::span<const std::uint32_t> words, std::uint32_t base) {
+  mem_.write_words(base, words);
+}
+
+RunResult Machine::run(std::uint32_t entry, std::uint64_t max_instructions) {
+  const std::uint32_t sp = static_cast<std::uint32_t>(mem_.size()) & ~15u;
+  core_.reset(entry, sp);
+  while (!core_.halted()) {
+    ensure(core_.instructions() < max_instructions,
+           "Machine::run: instruction budget exhausted (runaway program?)");
+    core_.step();
+  }
+  return RunResult{core_.cycles(), core_.instructions()};
+}
+
+}  // namespace iw::rv

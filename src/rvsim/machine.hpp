@@ -1,0 +1,43 @@
+// Single-core machine: memory + one core + run loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rvsim/core.hpp"
+#include "rvsim/memory.hpp"
+
+namespace iw::rv {
+
+struct RunResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+};
+
+/// Convenience wrapper used for the single-core execution targets
+/// (Cortex-M4-class, IBEX, single RI5CY).
+class Machine {
+ public:
+  explicit Machine(TimingProfile profile, std::size_t mem_bytes = 1u << 20);
+
+  // The core holds a reference to this machine's memory: not movable.
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+  Core& core() { return core_; }
+
+  /// Copies an encoded program into memory at `base`.
+  void load_program(std::span<const std::uint32_t> words, std::uint32_t base = 0);
+
+  /// Resets the core and runs from `entry` until ecall. Throws if the
+  /// instruction budget is exhausted (runaway program).
+  RunResult run(std::uint32_t entry, std::uint64_t max_instructions = 200'000'000);
+
+ private:
+  Memory mem_;
+  Core core_;
+};
+
+}  // namespace iw::rv

@@ -1,0 +1,96 @@
+#include "rvsim/memory.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace iw::rv {
+
+Memory::Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+void Memory::check(std::uint32_t addr, std::uint32_t size) const {
+  ensure(static_cast<std::uint64_t>(addr) + size <= bytes_.size(),
+         "Memory access out of bounds");
+  ensure(addr % size == 0, "Misaligned memory access");
+}
+
+std::uint8_t Memory::load8(std::uint32_t addr) const {
+  check(addr, 1);
+  return bytes_[addr];
+}
+
+std::uint16_t Memory::load16(std::uint32_t addr) const {
+  check(addr, 2);
+  std::uint16_t v;
+  std::memcpy(&v, bytes_.data() + addr, 2);
+  return v;
+}
+
+std::uint32_t Memory::load32(std::uint32_t addr) const {
+  check(addr, 4);
+  std::uint32_t v;
+  std::memcpy(&v, bytes_.data() + addr, 4);
+  return v;
+}
+
+void Memory::store8(std::uint32_t addr, std::uint8_t value) {
+  check(addr, 1);
+  bytes_[addr] = value;
+}
+
+void Memory::store16(std::uint32_t addr, std::uint16_t value) {
+  check(addr, 2);
+  std::memcpy(bytes_.data() + addr, &value, 2);
+}
+
+void Memory::store32(std::uint32_t addr, std::uint32_t value) {
+  check(addr, 4);
+  std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+void Memory::write_block(std::uint32_t addr, std::span<const std::uint8_t> data) {
+  ensure(static_cast<std::uint64_t>(addr) + data.size() <= bytes_.size(),
+         "Memory::write_block out of bounds");
+  std::memcpy(bytes_.data() + addr, data.data(), data.size());
+}
+
+void Memory::write_words(std::uint32_t addr, std::span<const std::uint32_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    store32(addr + static_cast<std::uint32_t>(4 * i), words[i]);
+  }
+}
+
+void Memory::write_words(std::uint32_t addr, std::span<const std::int32_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    store32(addr + static_cast<std::uint32_t>(4 * i), static_cast<std::uint32_t>(words[i]));
+  }
+}
+
+std::vector<std::int32_t> Memory::read_words_i32(std::uint32_t addr, std::size_t count) const {
+  std::vector<std::int32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::int32_t>(load32(addr + static_cast<std::uint32_t>(4 * i)));
+  }
+  return out;
+}
+
+std::vector<float> Memory::read_words_f32(std::uint32_t addr, std::size_t count) const {
+  std::vector<float> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t bits = load32(addr + static_cast<std::uint32_t>(4 * i));
+    float f;
+    std::memcpy(&f, &bits, 4);
+    out[i] = f;
+  }
+  return out;
+}
+
+void Memory::write_words_f32(std::uint32_t addr, std::span<const float> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &words[i], 4);
+    store32(addr + static_cast<std::uint32_t>(4 * i), bits);
+  }
+}
+
+}  // namespace iw::rv

@@ -1,0 +1,36 @@
+// Byte-addressable simulated memory with bounds checking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iw::rv {
+
+class Memory {
+ public:
+  explicit Memory(std::size_t size_bytes);
+
+  std::size_t size() const { return bytes_.size(); }
+
+  std::uint8_t load8(std::uint32_t addr) const;
+  std::uint16_t load16(std::uint32_t addr) const;
+  std::uint32_t load32(std::uint32_t addr) const;
+  void store8(std::uint32_t addr, std::uint8_t value);
+  void store16(std::uint32_t addr, std::uint16_t value);
+  void store32(std::uint32_t addr, std::uint32_t value);
+
+  /// Bulk copies used by loaders and kernel runners.
+  void write_block(std::uint32_t addr, std::span<const std::uint8_t> data);
+  void write_words(std::uint32_t addr, std::span<const std::uint32_t> words);
+  void write_words(std::uint32_t addr, std::span<const std::int32_t> words);
+  std::vector<std::int32_t> read_words_i32(std::uint32_t addr, std::size_t count) const;
+  std::vector<float> read_words_f32(std::uint32_t addr, std::size_t count) const;
+  void write_words_f32(std::uint32_t addr, std::span<const float> words);
+
+ private:
+  void check(std::uint32_t addr, std::uint32_t size) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace iw::rv

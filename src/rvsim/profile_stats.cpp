@@ -1,0 +1,49 @@
+#include "rvsim/profile_stats.hpp"
+
+#include <algorithm>
+
+namespace iw::rv {
+
+std::uint64_t InstructionHistogram::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+std::uint64_t InstructionHistogram::class_count(OpClass cls) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {  // skip kIllegal
+    if (counts_[i] != 0 && op_class(static_cast<Op>(i)) == cls) sum += counts_[i];
+  }
+  return sum;
+}
+
+double InstructionHistogram::class_fraction(OpClass cls) const {
+  const std::uint64_t all = total();
+  if (all == 0) return 0.0;
+  return static_cast<double>(class_count(cls)) / static_cast<double>(all);
+}
+
+std::vector<std::pair<Op, std::uint64_t>> InstructionHistogram::sorted() const {
+  std::vector<std::pair<Op, std::uint64_t>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) out.emplace_back(static_cast<Op>(i), counts_[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void InstructionHistogram::write_report(std::ostream& os, std::size_t max_rows) const {
+  const std::uint64_t all = total();
+  os << "retired instructions: " << all << "\n";
+  std::size_t row = 0;
+  for (const auto& [op, count] : sorted()) {
+    if (row++ >= max_rows) break;
+    os << "  " << mnemonic(op) << ": " << count << " ("
+       << (all ? 100.0 * static_cast<double>(count) / static_cast<double>(all) : 0.0)
+       << "%)\n";
+  }
+}
+
+}  // namespace iw::rv

@@ -1,0 +1,106 @@
+#include "rvsim/timing.hpp"
+
+namespace iw::rv {
+
+int TimingProfile::base_cost(OpClass cls) const {
+  switch (cls) {
+    case OpClass::kAlu: return alu;
+    case OpClass::kMul: return mul;
+    case OpClass::kDiv: return div;
+    case OpClass::kLoad: return load;
+    case OpClass::kStore: return store;
+    case OpClass::kBranch: return branch;
+    case OpClass::kJump: return jump;
+    case OpClass::kCsr: return csr;
+    case OpClass::kSystem: return system;
+    case OpClass::kFpuAlu: return fpu_alu;
+    case OpClass::kFpuMul: return fpu_mul;
+    case OpClass::kFpuMadd: return fpu_madd;
+    case OpClass::kFpuDiv: return fpu_div;
+    case OpClass::kFpuCvt: return fpu_cvt;
+    case OpClass::kFpuMove: return fpu_move;
+    case OpClass::kFpuCmp: return fpu_cmp;
+    case OpClass::kHwloop: return hwloop_setup;
+    case OpClass::kSimd: return simd;
+    case OpClass::kMac: return mac;
+  }
+  return 1;
+}
+
+bool TimingProfile::supports(Op op) const {
+  if (is_fp(op)) return has_fpu;
+  switch (op) {
+    case Op::kLpSetup: case Op::kLpSetupi:
+      return has_hwloop;
+    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
+    case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
+      return has_postinc;
+    case Op::kPMac:
+      return has_mac;
+    case Op::kPClip:
+    case Op::kPAbs: case Op::kPMin: case Op::kPMax:
+    case Op::kPExths: case Op::kPExtbs:
+      // Available wherever the DSP extension set is (RI5CY); approximated as
+      // tied to MAC support.
+      return has_mac;
+    case Op::kPvDotspH: case Op::kPvSdotspH:
+      return has_simd;
+    default:
+      return true;
+  }
+}
+
+TimingProfile cortex_m4f() {
+  TimingProfile p;
+  p.name = "cortex-m4f";
+  p.freq_hz = 64e6;
+  p.mul = 1;
+  p.div = 8;
+  p.load = 2;
+  p.load_nonpipelined_extra = -1;  // back-to-back loads pipeline: N loads cost N+1
+  p.store = 1;
+  p.branch_taken_extra = 2;
+  p.jump = 2;
+  p.fpu_alu = 1;
+  p.fpu_mul = 1;
+  p.fpu_madd = 3;
+  p.fpu_div = 14;
+  p.fpu_cvt = 1;
+  p.has_postinc = true;  // ARM post-indexed addressing
+  p.has_mac = true;      // MLA
+  p.has_fpu = true;
+  return p;
+}
+
+TimingProfile ibex() {
+  TimingProfile p;
+  p.name = "ibex";
+  p.freq_hz = 100e6;
+  p.mul = 2;  // small multi-cycle multiplier
+  p.div = 37;
+  p.load = 2;
+  p.store = 2;
+  p.branch_taken_extra = 1;  // 2-stage pipeline: taken branch costs 2 total
+  p.jump = 2;
+  return p;
+}
+
+TimingProfile ri5cy() {
+  TimingProfile p;
+  p.name = "ri5cy";
+  p.freq_hz = 100e6;
+  p.mul = 1;
+  p.div = 35;
+  p.load = 1;
+  p.load_use_stall = 1;
+  p.store = 1;
+  p.branch_taken_extra = 3;
+  p.jump = 3;
+  p.has_hwloop = true;
+  p.has_postinc = true;
+  p.has_mac = true;
+  p.has_simd = true;
+  return p;
+}
+
+}  // namespace iw::rv

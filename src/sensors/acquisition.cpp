@@ -1,0 +1,31 @@
+#include "sensors/acquisition.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::sensors {
+
+double AcquisitionPlan::power_w() const {
+  double p = 0.0;
+  for (const SensorDevice& s : sensors) p += s.active_power_w;
+  return p;
+}
+
+double AcquisitionPlan::energy_j() const {
+  ensure(duration_s >= 0.0, "AcquisitionPlan: negative duration");
+  return power_w() * duration_s;
+}
+
+double AcquisitionPlan::bytes() const {
+  double b = 0.0;
+  for (const SensorDevice& s : sensors) b += s.data_rate_bps() * duration_s;
+  return b;
+}
+
+AcquisitionPlan stress_detection_acquisition() {
+  AcquisitionPlan plan;
+  plan.sensors = {max30001_ecg(), gsr_frontend()};
+  plan.duration_s = 3.0;
+  return plan;
+}
+
+}  // namespace iw::sensors

@@ -1,0 +1,28 @@
+// Acquisition-phase model for the stress-detection application.
+//
+// Section IV of the paper: one detection acquires ECG + GSR for 3 seconds
+// (171 uW + 30 uW -> ~600 uJ), then extracts features in 50 us.
+#pragma once
+
+#include <vector>
+
+#include "sensors/afe.hpp"
+
+namespace iw::sensors {
+
+struct AcquisitionPlan {
+  std::vector<SensorDevice> sensors;
+  double duration_s = 3.0;
+
+  /// Total energy of the acquisition window.
+  double energy_j() const;
+  /// Combined active power.
+  double power_w() const;
+  /// Total bytes produced.
+  double bytes() const;
+};
+
+/// The paper's stress-detection acquisition: ECG + GSR for 3 s.
+AcquisitionPlan stress_detection_acquisition();
+
+}  // namespace iw::sensors

@@ -1,0 +1,76 @@
+#include "sensors/afe.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace iw::sensors {
+
+using units::from_ua;
+using units::from_uw;
+
+double SensorDevice::power_w(PowerState state) const {
+  switch (state) {
+    case PowerState::kOff: return 0.0;
+    case PowerState::kSleep: return sleep_power_w;
+    case PowerState::kActive: return active_power_w;
+  }
+  fail("SensorDevice::power_w: bad state");
+}
+
+double SensorDevice::acquisition_energy_j(double duration_s) const {
+  ensure(duration_s >= 0.0, "acquisition_energy_j: negative duration");
+  return active_power_w * duration_s;
+}
+
+SensorDevice max30001_ecg() {
+  SensorDevice d;
+  d.name = "MAX30001 ECG AFE";
+  d.active_power_w = from_uw(171.0);  // paper, Section IV
+  d.sleep_power_w = from_uw(1.0);
+  d.sample_rate_hz = 256.0;
+  d.bytes_per_sample = 3.0;  // 18-bit samples in 24-bit words
+  return d;
+}
+
+SensorDevice gsr_frontend() {
+  SensorDevice d;
+  d.name = "GSR front end";
+  d.active_power_w = from_uw(30.0);  // paper, Section IV
+  d.sleep_power_w = from_uw(0.3);
+  d.sample_rate_hz = 32.0;
+  d.bytes_per_sample = 2.0;
+  return d;
+}
+
+SensorDevice icm20948_imu() {
+  SensorDevice d;
+  d.name = "ICM-20948 9-axis IMU";
+  // 9-axis DMP-off mode at 1.8 V: ~3.1 mA accel+gyro+mag.
+  d.active_power_w = from_ua(3100.0) * 1.8;
+  d.sleep_power_w = from_ua(8.0) * 1.8;
+  d.sample_rate_hz = 100.0;
+  d.bytes_per_sample = 18.0;  // 9 axes x 16 bit
+  return d;
+}
+
+SensorDevice bmp280_pressure() {
+  SensorDevice d;
+  d.name = "BMP280 pressure";
+  d.active_power_w = from_ua(4.2) * 1.8;  // 1 Hz ultra-low-power mode
+  d.sleep_power_w = from_ua(0.1) * 1.8;
+  d.sample_rate_hz = 1.0;
+  d.bytes_per_sample = 6.0;
+  return d;
+}
+
+SensorDevice ics43434_microphone() {
+  SensorDevice d;
+  d.name = "ICS-43434 microphone";
+  d.active_power_w = from_ua(490.0) * 1.8;
+  d.sleep_power_w = from_ua(0.9) * 1.8;
+  d.sample_rate_hz = 16000.0;
+  d.bytes_per_sample = 3.0;  // 24-bit I2S
+  return d;
+}
+
+}  // namespace iw::sensors

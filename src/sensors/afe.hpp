@@ -1,0 +1,44 @@
+// Sensor / analog-front-end device models with power states.
+//
+// The smartwatch integrates the sensors listed in Fig. 1 of the paper. For
+// the energy analysis only their power draw and data rate matter; each model
+// carries active/sleep power (paper or datasheet values) and sampling
+// parameters. The two devices the stress-detection application uses are the
+// MAX30001 ECG AFE (171 uW active, from the paper) and the GSR front end
+// (30 uW active, from the paper).
+#pragma once
+
+#include <string>
+
+namespace iw::sensors {
+
+enum class PowerState { kOff, kSleep, kActive };
+
+/// A sensor device described by its power states and output data rate.
+struct SensorDevice {
+  std::string name;
+  double active_power_w = 0.0;
+  double sleep_power_w = 0.0;
+  double sample_rate_hz = 0.0;
+  double bytes_per_sample = 0.0;
+
+  /// Power draw in the given state.
+  double power_w(PowerState state) const;
+  /// Output data rate in bytes per second while active.
+  double data_rate_bps() const { return sample_rate_hz * bytes_per_sample; }
+  /// Energy to keep the sensor active for a duration.
+  double acquisition_energy_j(double duration_s) const;
+};
+
+/// MAX30001 ECG/bioimpedance AFE: 171 uW active (paper, Section IV).
+SensorDevice max30001_ecg();
+/// Low-power galvanic skin response front end: 30 uW active (paper).
+SensorDevice gsr_frontend();
+/// ICM-20948 9-axis motion sensor (datasheet-order values).
+SensorDevice icm20948_imu();
+/// BMP280 pressure sensor.
+SensorDevice bmp280_pressure();
+/// ICS-43434 digital MEMS microphone.
+SensorDevice ics43434_microphone();
+
+}  // namespace iw::sensors

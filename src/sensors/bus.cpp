@@ -1,0 +1,52 @@
+#include "sensors/bus.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::sensors {
+
+BusConfig spi_8mhz() {
+  BusConfig b;
+  b.name = "SPI @ 8 MHz";
+  b.clock_hz = 8e6;
+  b.bits_per_byte = 8.0;
+  b.transaction_overhead_s = 2e-6;
+  b.active_power_w = 180e-6;
+  return b;
+}
+
+BusConfig i2c_400khz() {
+  BusConfig b;
+  b.name = "I2C @ 400 kHz";
+  b.clock_hz = 400e3;
+  b.bits_per_byte = 9.0;  // 8 data + ack
+  b.transaction_overhead_s = 30e-6;  // start + address + stop
+  b.active_power_w = 120e-6;
+  return b;
+}
+
+BusConfig i2s_audio() {
+  BusConfig b;
+  b.name = "I2S audio";
+  b.clock_hz = 1.024e6;  // 16 kHz x 32 bit x 2 channels
+  b.bits_per_byte = 8.0;
+  b.transaction_overhead_s = 0.0;  // continuous stream
+  b.active_power_w = 200e-6;
+  return b;
+}
+
+double transaction_time_s(const BusConfig& bus, double bytes) {
+  ensure(bytes >= 0.0, "transaction_time_s: negative byte count");
+  ensure(bus.clock_hz > 0.0, "transaction_time_s: bad clock");
+  return bus.transaction_overhead_s + bytes * bus.bits_per_byte / bus.clock_hz;
+}
+
+double transaction_energy_j(const BusConfig& bus, double bytes) {
+  return transaction_time_s(bus, bytes) * bus.active_power_w;
+}
+
+double max_throughput_bps(const BusConfig& bus, double bytes) {
+  ensure(bytes > 0.0, "max_throughput_bps: need positive transaction size");
+  return bytes / transaction_time_s(bus, bytes);
+}
+
+}  // namespace iw::sensors

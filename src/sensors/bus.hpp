@@ -1,0 +1,39 @@
+// Serial-bus transaction cost models (SPI, I2C, I2S).
+//
+// The sensors connect to the MCUs over SPI/I2C/I2S (Fig. 1). For the system
+// energy analysis a transaction costs time = overhead + bits/clock and energy
+// = time * (master + slave interface power). These models let the platform
+// simulation charge realistic transfer costs for sensor readout.
+#pragma once
+
+#include <string>
+
+namespace iw::sensors {
+
+struct BusConfig {
+  std::string name;
+  double clock_hz = 1e6;
+  /// Protocol bits per payload byte (start/stop/ack framing).
+  double bits_per_byte = 8.0;
+  /// Fixed per-transaction overhead (addressing, CS setup), seconds.
+  double transaction_overhead_s = 5e-6;
+  /// Interface power while clocking (master + slave pads).
+  double active_power_w = 150e-6;
+};
+
+/// 8 MHz SPI (sensor readout on the nRF52832).
+BusConfig spi_8mhz();
+/// 400 kHz I2C (fuel gauge, pressure sensor).
+BusConfig i2c_400khz();
+/// I2S at audio rates (microphone).
+BusConfig i2s_audio();
+
+/// Time to move `bytes` in one transaction.
+double transaction_time_s(const BusConfig& bus, double bytes);
+/// Energy for one transaction of `bytes`.
+double transaction_energy_j(const BusConfig& bus, double bytes);
+/// Sustained throughput limit in bytes/second for back-to-back transactions
+/// of size `bytes`.
+double max_throughput_bps(const BusConfig& bus, double bytes);
+
+}  // namespace iw::sensors

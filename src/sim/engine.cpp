@@ -1,0 +1,75 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace iw::sim {
+
+EventHandle Engine::schedule_at(Time at, std::function<void()> action) {
+  ensure(at >= now_, "Engine::schedule_at: cannot schedule in the past");
+  ensure(static_cast<bool>(action), "Engine::schedule_at: empty action");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(action)});
+  return EventHandle(id);
+}
+
+EventHandle Engine::schedule_in(Time delay, std::function<void()> action) {
+  ensure(delay >= 0.0, "Engine::schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventHandle Engine::schedule_every(Time period, std::function<bool()> action) {
+  ensure(period > 0.0, "Engine::schedule_every: period must be positive");
+  ensure(static_cast<bool>(action), "Engine::schedule_every: empty action");
+  // The periodic wrapper reschedules itself under the same handle id so the
+  // caller can cancel the whole series with one handle.
+  const std::uint64_t id = next_id_++;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, id, period, action = std::move(action), tick]() {
+    if (!action()) return;
+    queue_.push(Event{now_ + period, next_seq_++, id, *tick});
+  };
+  queue_.push(Event{now_ + period, next_seq_++, id, *tick});
+  return EventHandle(id);
+}
+
+void Engine::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.push_back(handle.id_);
+  ++cancelled_pending_;
+}
+
+bool Engine::pop_and_execute() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) continue;  // skip cancelled events
+    now_ = ev.at;
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time until) {
+  ensure(until >= now_, "Engine::run_until: target time in the past");
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (!pop_and_execute()) break;
+  }
+  now_ = until;
+}
+
+void Engine::run() {
+  while (pop_and_execute()) {
+  }
+}
+
+std::size_t Engine::events_pending() const {
+  return queue_.size() >= cancelled_pending_ ? queue_.size() - cancelled_pending_ : 0;
+}
+
+}  // namespace iw::sim

@@ -1,0 +1,91 @@
+// Discrete-event simulation kernel.
+//
+// The full-device experiments (day-long harvesting scenarios, firmware duty
+// cycles) run on this engine: components schedule callbacks at absolute or
+// relative simulated times, and the engine executes them in time order.
+// Events scheduled at equal times run in scheduling order (FIFO), which keeps
+// runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace iw::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+class Engine;
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Event-driven simulation engine.
+class Engine {
+ public:
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(Time at, std::function<void()> action);
+
+  /// Schedules `action` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(Time delay, std::function<void()> action);
+
+  /// Schedules `action` every `period` seconds starting at now() + period,
+  /// until `action` returns false or the event is cancelled.
+  EventHandle schedule_every(Time period, std::function<bool()> action);
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid handle
+  /// is a no-op.
+  void cancel(EventHandle handle);
+
+  /// Runs events until the queue is empty or `until` is reached; time then
+  /// advances to `until` even if the queue drained earlier.
+  void run_until(Time until);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+  /// Number of events currently pending.
+  std::size_t events_pending() const;
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_execute();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_pending_ = 0;
+};
+
+}  // namespace iw::sim

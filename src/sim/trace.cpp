@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace iw::sim {
+
+double TraceChannel::integrate() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double dt = times[i] - times[i - 1];
+    total += 0.5 * (values[i] + values[i - 1]) * dt;
+  }
+  return total;
+}
+
+void TraceRecorder::record(const std::string& channel, Time t, double value) {
+  TraceChannel& ch = channels_[channel];
+  if (ch.name.empty()) ch.name = channel;
+  ensure(ch.times.empty() || t >= ch.times.back(),
+         "TraceRecorder::record: samples must be time-ordered");
+  ch.times.push_back(t);
+  ch.values.push_back(value);
+}
+
+bool TraceRecorder::has_channel(const std::string& channel) const {
+  return channels_.contains(channel);
+}
+
+const TraceChannel& TraceRecorder::channel(const std::string& name) const {
+  const auto it = channels_.find(name);
+  ensure(it != channels_.end(), "TraceRecorder: unknown channel " + name);
+  return it->second;
+}
+
+std::vector<std::string> TraceRecorder::channel_names() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, ch] : channels_) names.push_back(name);
+  return names;
+}
+
+RunningStats TraceRecorder::summarize(const std::string& channel_name) const {
+  RunningStats stats;
+  for (double v : channel(channel_name).values) stats.add(v);
+  return stats;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "channel,time_s,value\n";
+  for (const auto& [name, ch] : channels_) {
+    for (std::size_t i = 0; i < ch.times.size(); ++i) {
+      os << name << ',' << ch.times[i] << ',' << ch.values[i] << '\n';
+    }
+  }
+}
+
+}  // namespace iw::sim

@@ -1,0 +1,48 @@
+// Time-series recording for simulation runs.
+//
+// Components log named samples (power draw, state of charge, harvest intake)
+// into a TraceRecorder; benches and examples query summaries or dump CSV.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace iw::sim {
+
+/// A single named channel of (time, value) samples.
+struct TraceChannel {
+  std::string name;
+  std::vector<Time> times;
+  std::vector<double> values;
+
+  /// Trapezoidal integral of the channel over its recorded span (e.g. power
+  /// samples -> energy).
+  double integrate() const;
+};
+
+class TraceRecorder {
+ public:
+  /// Appends a sample to the named channel. Samples must be recorded in
+  /// non-decreasing time order per channel.
+  void record(const std::string& channel, Time t, double value);
+
+  bool has_channel(const std::string& channel) const;
+  const TraceChannel& channel(const std::string& name) const;
+  std::vector<std::string> channel_names() const;
+
+  /// Summary statistics over a channel's values.
+  RunningStats summarize(const std::string& channel) const;
+
+  /// Writes all channels as long-format CSV: channel,time_s,value.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::map<std::string, TraceChannel> channels_;
+};
+
+}  // namespace iw::sim

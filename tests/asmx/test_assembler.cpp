@@ -1,0 +1,252 @@
+#include "asmx/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rvsim/encoding.hpp"
+
+namespace iw::asmx {
+namespace {
+
+using rv::Op;
+
+TEST(Assembler, EncodesSimpleInstructions) {
+  const Program p = assemble(R"(
+      addi x1, x0, 5
+      add x3, x1, x2
+      ecall
+  )");
+  ASSERT_EQ(p.words.size(), 3u);
+  EXPECT_EQ(p.words[0], 0x00500093u);
+  EXPECT_EQ(p.words[1], 0x002081B3u);
+  EXPECT_EQ(p.words[2], 0x00000073u);
+}
+
+TEST(Assembler, AbiRegisterNames) {
+  const Program p = assemble("add a0, sp, t0\n");
+  const rv::Decoded d = rv::decode(p.words[0]);
+  EXPECT_EQ(d.rd, 10);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.rs2, 5);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches) {
+  const Program p = assemble(R"(
+  top:
+      beq a0, a1, done
+      j top
+  done:
+      ecall
+  )");
+  const rv::Decoded fwd = rv::decode(p.words[0]);
+  EXPECT_EQ(fwd.op, Op::kBeq);
+  EXPECT_EQ(fwd.imm, 8);
+  const rv::Decoded back = rv::decode(p.words[1]);
+  EXPECT_EQ(back.op, Op::kJal);
+  EXPECT_EQ(back.imm, -4);
+}
+
+TEST(Assembler, LiSmallUsesOneInstruction) {
+  const Program p = assemble("li a0, 100\necall\n");
+  EXPECT_EQ(p.words.size(), 2u);
+  EXPECT_EQ(rv::decode(p.words[0]).op, Op::kAddi);
+}
+
+TEST(Assembler, LiLargeUsesLuiAddi) {
+  const Program p = assemble("li a0, 0x12345678\necall\n");
+  ASSERT_EQ(p.words.size(), 3u);
+  EXPECT_EQ(rv::decode(p.words[0]).op, Op::kLui);
+  EXPECT_EQ(rv::decode(p.words[1]).op, Op::kAddi);
+}
+
+TEST(Assembler, LiNegativeLarge) {
+  const Program p = assemble("li a0, -100000\necall\n");
+  ASSERT_EQ(p.words.size(), 3u);
+  // lui + addi reconstruction must produce exactly -100000; verified in the
+  // core tests; here check both halves decode.
+  EXPECT_EQ(rv::decode(p.words[0]).op, Op::kLui);
+  EXPECT_EQ(rv::decode(p.words[1]).op, Op::kAddi);
+}
+
+TEST(Assembler, LaResolvesForwardLabel) {
+  const Program p = assemble(R"(
+      la a0, data
+      ecall
+  data:
+      .word 42
+  )");
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.symbol("data"), 12u);
+  EXPECT_EQ(p.words[3], 42u);
+}
+
+TEST(Assembler, EquConstantsAndExpressions) {
+  const Program p = assemble(R"(
+      .equ BASE, 0x400
+      .equ SLOT, 4
+      lw a0, BASE+SLOT*2(zero)
+  )");
+  EXPECT_EQ(rv::decode(p.words[0]).imm, 0x408);
+}
+
+TEST(Assembler, WordDirectiveWithExpressions) {
+  const Program p = assemble(R"(
+      .equ N, 3
+      .word 1, N*N, 0x10, -1
+  )");
+  ASSERT_EQ(p.words.size(), 4u);
+  EXPECT_EQ(p.words[1], 9u);
+  EXPECT_EQ(p.words[3], 0xFFFFFFFFu);
+}
+
+TEST(Assembler, SpaceAndAlign) {
+  const Program p = assemble(R"(
+      nop
+      .space 8
+      .align 16
+  data:
+      .word 7
+  )");
+  EXPECT_EQ(p.symbol("data"), 16u);
+  EXPECT_EQ(p.words[4], 7u);
+}
+
+TEST(Assembler, MultipleLabelsOnOneLine) {
+  const Program p = assemble("a: b: c: nop\n");
+  EXPECT_EQ(p.symbol("a"), 0u);
+  EXPECT_EQ(p.symbol("b"), 0u);
+  EXPECT_EQ(p.symbol("c"), 0u);
+}
+
+TEST(Assembler, CommentsIgnored) {
+  const Program p = assemble(R"(
+      nop        # hash comment
+      nop        // slash comment
+      nop        ; semicolon comment
+  )");
+  EXPECT_EQ(p.words.size(), 3u);
+}
+
+TEST(Assembler, BaseAddressOffsetsLabels) {
+  const Program p = assemble("start: nop\n", 0x1000);
+  EXPECT_EQ(p.symbol("start"), 0x1000u);
+  EXPECT_EQ(p.base, 0x1000u);
+  EXPECT_EQ(p.end_address(), 0x1004u);
+}
+
+TEST(Assembler, PostIncrementSyntaxEnforced) {
+  EXPECT_THROW(assemble("p.lw a0, 4(a1)\n"), Error);
+  EXPECT_THROW(assemble("lw a0, 4(a1!)\n"), Error);
+  EXPECT_NO_THROW(assemble("p.lw a0, 4(a1!)\n"));
+  EXPECT_NO_THROW(assemble("p.sw a0, 4(a1!)\n"));
+}
+
+TEST(Assembler, HardwareLoopOffsets) {
+  const Program p = assemble(R"(
+      lp.setupi 0, 10, end
+      nop
+      nop
+  end:
+      ecall
+  )");
+  const rv::Decoded d = rv::decode(p.words[0]);
+  EXPECT_EQ(d.op, Op::kLpSetupi);
+  EXPECT_EQ(d.imm, 10);
+  EXPECT_EQ(d.imm2, 3);
+}
+
+TEST(Assembler, HardwareLoopRejectsBackwardEnd) {
+  EXPECT_THROW(assemble(R"(
+  end:
+      nop
+      lp.setupi 0, 10, end
+  )"),
+               Error);
+}
+
+TEST(Assembler, FloatRegisterOperands) {
+  const Program p = assemble("fmadd.s f1, f2, f3, f4\n");
+  const rv::Decoded d = rv::decode(p.words[0]);
+  EXPECT_EQ(d.op, Op::kFmaddS);
+  EXPECT_EQ(d.rd, 1);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.rs2, 3);
+  EXPECT_EQ(d.rs3, 4);
+}
+
+TEST(Assembler, FloatIntRegisterDomainChecked) {
+  EXPECT_THROW(assemble("fadd.s f0, a0, f1\n"), Error);
+  EXPECT_THROW(assemble("add a0, f1, a2\n"), Error);
+  EXPECT_THROW(assemble("fcvt.w.s f0, f1\n"), Error);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nnop\nbogus a0, a1\n");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+  EXPECT_THROW(assemble("frobnicate a0\n"), Error);
+}
+
+TEST(Assembler, RejectsRedefinedSymbol) {
+  EXPECT_THROW(assemble("a: nop\na: nop\n"), Error);
+  EXPECT_THROW(assemble(".equ a, 1\n.equ a, 2\n"), Error);
+}
+
+TEST(Assembler, RejectsUndefinedSymbol) {
+  EXPECT_THROW(assemble("lw a0, missing(zero)\n"), Error);
+}
+
+TEST(Assembler, RejectsSymbolShadowingRegister) {
+  EXPECT_THROW(assemble("a0: nop\n"), Error);
+  EXPECT_THROW(assemble(".equ t0, 5\n"), Error);
+}
+
+TEST(Assembler, RejectsWrongOperandCount) {
+  EXPECT_THROW(assemble("add a0, a1\n"), Error);
+  EXPECT_THROW(assemble("lw a0\n"), Error);
+  EXPECT_THROW(assemble("ecall a0\n"), Error);
+}
+
+TEST(Assembler, PseudoInstructionsExpand) {
+  const Program p = assemble(R"(
+      nop
+      mv a0, a1
+      not a2, a3
+      neg a4, a5
+      beqz a0, 0x20
+      bnez a0, 0x20
+      bgt a0, a1, 0x20
+      ret
+  )");
+  EXPECT_EQ(rv::decode(p.words[0]).op, Op::kAddi);
+  EXPECT_EQ(rv::decode(p.words[1]).op, Op::kAddi);
+  EXPECT_EQ(rv::decode(p.words[2]).op, Op::kXori);
+  EXPECT_EQ(rv::decode(p.words[3]).op, Op::kSub);
+  EXPECT_EQ(rv::decode(p.words[4]).op, Op::kBeq);
+  EXPECT_EQ(rv::decode(p.words[5]).op, Op::kBne);
+  const rv::Decoded bgt = rv::decode(p.words[6]);
+  EXPECT_EQ(bgt.op, Op::kBlt);
+  EXPECT_EQ(bgt.rs1, 11);  // operands swapped
+  EXPECT_EQ(bgt.rs2, 10);
+  EXPECT_EQ(rv::decode(p.words[7]).op, Op::kJalr);
+}
+
+TEST(Assembler, CsrNamesRecognized) {
+  const Program p = assemble("csrr a0, mhartid\ncsrr a1, mcycle\n");
+  EXPECT_EQ(rv::decode(p.words[0]).extra, rv::kCsrMhartid);
+  EXPECT_EQ(rv::decode(p.words[1]).extra, rv::kCsrMcycle);
+}
+
+TEST(Assembler, SymbolLookupThrowsOnUnknown) {
+  const Program p = assemble("nop\n");
+  EXPECT_THROW(p.symbol("nope"), Error);
+}
+
+}  // namespace
+}  // namespace iw::asmx

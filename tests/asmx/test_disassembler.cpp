@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "asmx/assembler.hpp"
+
+namespace iw::asmx {
+namespace {
+
+TEST(Disassembler, ListsInstructionsWithAddresses) {
+  const Program p = assemble(R"(
+  main:
+      addi a0, zero, 5
+      add a1, a0, a0
+  done:
+      ecall
+  )");
+  const std::string listing = disassemble_listing(p.words, p.base, p.symbols);
+  EXPECT_NE(listing.find("main:"), std::string::npos);
+  EXPECT_NE(listing.find("done:"), std::string::npos);
+  EXPECT_NE(listing.find("addi"), std::string::npos);
+  EXPECT_NE(listing.find("ecall"), std::string::npos);
+  EXPECT_NE(listing.find("00000000"), std::string::npos);  // first address
+  EXPECT_NE(listing.find("00000008"), std::string::npos);  // ecall address
+}
+
+TEST(Disassembler, DataWordsFallBack) {
+  const Program p = assemble(".word 0, 4294967295\n");
+  const std::string listing = disassemble_listing(p.words);
+  // Both words are illegal encodings and must print as .word.
+  EXPECT_NE(listing.find(".word 0"), std::string::npos);
+  EXPECT_NE(listing.find(".word 4294967295"), std::string::npos);
+}
+
+TEST(Disassembler, RoundTripOnKernelStyleCode) {
+  const Program p = assemble(R"(
+      lp.setupi 0, 16, end
+      p.lw t0, 4(a0!)
+      mul t1, t0, t0
+      srai t1, t1, 13
+      add a1, a1, t1
+  end:
+      p.clip a1, a1, 16
+      ecall
+  )");
+  const std::string listing = disassemble_listing(p.words, p.base, p.symbols);
+  EXPECT_NE(listing.find("lp.setupi"), std::string::npos);
+  EXPECT_NE(listing.find("p.lw"), std::string::npos);
+  EXPECT_NE(listing.find("p.clip"), std::string::npos);
+  EXPECT_NE(listing.find("end:"), std::string::npos);
+}
+
+TEST(Disassembler, BaseAddressRespected) {
+  const Program p = assemble("nop\n", 0x1000);
+  const std::string listing = disassemble_listing(p.words, p.base, p.symbols);
+  EXPECT_NE(listing.find("00001000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iw::asmx

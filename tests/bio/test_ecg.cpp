@@ -1,0 +1,103 @@
+#include "bio/ecg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bio/hrv.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace iw::bio {
+namespace {
+
+TEST(Ecg, RrIntervalsCoverDuration) {
+  Rng rng(1);
+  const auto rr = generate_rr_intervals(rr_params_for(StressLevel::kNone), 120.0, rng);
+  double total = 0.0;
+  for (double v : rr) total += v;
+  EXPECT_GE(total, 120.0);
+  EXPECT_LT(total, 123.0);  // no more than one extra beat
+}
+
+TEST(Ecg, RrMeanTracksParameter) {
+  Rng rng(2);
+  RrProcessParams params;
+  params.mean_rr_s = 0.75;
+  const auto rr = generate_rr_intervals(params, 600.0, rng);
+  EXPECT_NEAR(mean(rr), 0.75, 0.02);
+}
+
+TEST(Ecg, RrPhysiologicalClamp) {
+  Rng rng(3);
+  RrProcessParams params;
+  params.mean_rr_s = 0.4;
+  params.jitter_s = 0.5;  // extreme jitter to force clamping
+  const auto rr = generate_rr_intervals(params, 120.0, rng);
+  for (double v : rr) {
+    EXPECT_GE(v, 0.3);
+    EXPECT_LE(v, 2.0);
+  }
+}
+
+TEST(Ecg, StressLowersRrVariability) {
+  Rng rng_a(4), rng_b(4);
+  const auto calm = generate_rr_intervals(rr_params_for(StressLevel::kNone), 300.0, rng_a);
+  const auto stressed =
+      generate_rr_intervals(rr_params_for(StressLevel::kHigh), 300.0, rng_b);
+  EXPECT_GT(rmssd(calm), rmssd(stressed));
+  EXPECT_GT(mean(calm), mean(stressed));  // stress raises heart rate
+}
+
+TEST(Ecg, StressLevelsAreOrderedInRmssd) {
+  const auto measure = [](StressLevel level) {
+    Rng rng(5);
+    const auto rr = generate_rr_intervals(rr_params_for(level), 300.0, rng);
+    return rmssd(rr);
+  };
+  const double none = measure(StressLevel::kNone);
+  const double medium = measure(StressLevel::kMedium);
+  const double high = measure(StressLevel::kHigh);
+  EXPECT_GT(none, medium);
+  EXPECT_GT(medium, high);
+}
+
+TEST(Ecg, SynthesizedWaveformShape) {
+  Rng rng(6);
+  const std::vector<double> rr{0.8, 0.8, 0.8, 0.8, 0.8};
+  const EcgSignal signal = synthesize_ecg(rr, EcgSynthParams{}, rng);
+  EXPECT_EQ(signal.beat_times_s.size(), rr.size());
+  EXPECT_NEAR(signal.beat_times_s[1] - signal.beat_times_s[0], 0.8, 1e-9);
+  // Peak amplitude near the QRS spike, well above noise.
+  float peak = 0.0f;
+  for (float v : signal.samples) peak = std::max(peak, v);
+  EXPECT_GT(peak, 0.8f);
+  EXPECT_LT(peak, 2.0f);
+}
+
+TEST(Ecg, SampleRateHonored) {
+  Rng rng(7);
+  const std::vector<double> rr{1.0, 1.0};
+  EcgSynthParams params;
+  params.fs_hz = 128.0;
+  const EcgSignal signal = synthesize_ecg(rr, params, rng);
+  // Duration = 0.5 lead-in + 2.0 beats + 0.5 tail = 3.0 s.
+  EXPECT_NEAR(static_cast<double>(signal.samples.size()) / 128.0, 3.0, 0.05);
+}
+
+TEST(Ecg, InputValidation) {
+  Rng rng(8);
+  EXPECT_THROW(generate_rr_intervals(RrProcessParams{}, -1.0, rng), Error);
+  RrProcessParams bad;
+  bad.mean_rr_s = 5.0;
+  EXPECT_THROW(generate_rr_intervals(bad, 10.0, rng), Error);
+  EXPECT_THROW(synthesize_ecg({}, EcgSynthParams{}, rng), Error);
+}
+
+TEST(Ecg, DeterministicForSeed) {
+  Rng a(9), b(9);
+  const auto rr_a = generate_rr_intervals(rr_params_for(StressLevel::kMedium), 60.0, a);
+  const auto rr_b = generate_rr_intervals(rr_params_for(StressLevel::kMedium), 60.0, b);
+  EXPECT_EQ(rr_a, rr_b);
+}
+
+}  // namespace
+}  // namespace iw::bio

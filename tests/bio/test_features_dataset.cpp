@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bio/dataset.hpp"
+#include "bio/features.hpp"
+#include "common/error.hpp"
+#include "nn/network.hpp"
+#include "nn/train.hpp"
+
+namespace iw::bio {
+namespace {
+
+TEST(Features, ComputeFeaturesOrderMatchesPaper) {
+  const std::vector<double> rr{0.80, 0.85, 0.80, 0.92};
+  std::vector<GsrSlope> slopes;
+  slopes.push_back({1.0, 2.0, 0.4});
+  const RawFeatures f = compute_features(rr, slopes);
+  EXPECT_GT(f[kFeatRmssd], 0.0);
+  EXPECT_GT(f[kFeatSdsd], 0.0);
+  EXPECT_DOUBLE_EQ(f[kFeatNn50], 1.0);
+  EXPECT_DOUBLE_EQ(f[kFeatGsrl], 2.0);
+  EXPECT_DOUBLE_EQ(f[kFeatGsrh], 0.4);
+}
+
+TEST(Features, WindowCountMatchesOverlap) {
+  Rng rng(1);
+  const double duration = 300.0;
+  const auto rr = generate_rr_intervals(rr_params_for(StressLevel::kNone), duration, rng);
+  const EcgSignal ecg = synthesize_ecg(rr, EcgSynthParams{}, rng);
+  const GsrSignal gsr = synthesize_gsr(gsr_params_for(StressLevel::kNone), duration, rng);
+  WindowConfig config;
+  config.window_s = 60.0;
+  config.overlap_fraction = 0.5;
+  const auto windows = extract_windows(ecg, gsr, config);
+  // 60 s windows at 30 s stride over ~300 s -> about 9 windows.
+  EXPECT_GE(windows.size(), 7u);
+  EXPECT_LE(windows.size(), 10u);
+}
+
+TEST(Features, NormalizerMapsIntoUnitRange) {
+  std::vector<RawFeatures> samples;
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    RawFeatures f{};
+    for (double& v : f) v = rng.uniform(5.0, 10.0);
+    samples.push_back(f);
+  }
+  const FeatureNormalizer norm = FeatureNormalizer::fit(samples);
+  for (const RawFeatures& f : samples) {
+    for (float v : norm.apply(f)) {
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(Features, NormalizerClampsOutliers) {
+  std::vector<RawFeatures> samples;
+  for (int i = 0; i < 100; ++i) {
+    RawFeatures f{};
+    for (double& v : f) v = static_cast<double>(i);
+    samples.push_back(f);
+  }
+  const FeatureNormalizer norm = FeatureNormalizer::fit(samples);
+  RawFeatures huge{};
+  for (double& v : huge) v = 1e9;
+  for (float v : norm.apply(huge)) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(Features, NormalizerHandlesConstantFeature) {
+  std::vector<RawFeatures> samples(10);
+  for (auto& f : samples) f.fill(3.0);
+  const FeatureNormalizer norm = FeatureNormalizer::fit(samples);
+  const auto mapped = norm.apply(samples[0]);
+  for (float v : mapped) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Features, FitRejectsEmpty) {
+  EXPECT_THROW(FeatureNormalizer::fit({}), Error);
+}
+
+TEST(Features, NormalizerSerializationRoundTrip) {
+  std::vector<RawFeatures> samples;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    RawFeatures f{};
+    for (double& v : f) v = rng.uniform(0.0, 10.0);
+    samples.push_back(f);
+  }
+  const FeatureNormalizer original = FeatureNormalizer::fit(samples);
+  std::stringstream ss;
+  original.save(ss);
+  const FeatureNormalizer loaded = FeatureNormalizer::load(ss);
+  for (const RawFeatures& f : samples) {
+    EXPECT_EQ(loaded.apply(f), original.apply(f));
+  }
+  std::stringstream bad("NOPE 1 2");
+  EXPECT_THROW(FeatureNormalizer::load(bad), Error);
+}
+
+TEST(Dataset, BuildsBalancedLabeledWindows) {
+  StressDatasetConfig config;
+  config.subjects = 2;
+  config.minutes_per_level = 4.0;
+  const StressDataset ds = build_stress_dataset(config);
+  ASSERT_GT(ds.windows.size(), 20u);
+  EXPECT_EQ(ds.data.size(), ds.windows.size());
+  int counts[3] = {0, 0, 0};
+  for (const LabeledWindow& w : ds.windows) ++counts[static_cast<int>(w.level)];
+  // Roughly balanced across the 3 levels.
+  for (int c : counts) EXPECT_GT(c, static_cast<int>(ds.windows.size()) / 5);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  StressDatasetConfig config;
+  config.subjects = 1;
+  config.minutes_per_level = 3.0;
+  const StressDataset a = build_stress_dataset(config);
+  const StressDataset b = build_stress_dataset(config);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  EXPECT_EQ(a.data.inputs, b.data.inputs);
+}
+
+TEST(Dataset, FeaturesSeparateStressLevels) {
+  // The core premise: a small MLP on the 5 features beats chance by a wide
+  // margin, like the paper's stress classifier.
+  StressDatasetConfig config;
+  config.subjects = 3;
+  config.minutes_per_level = 6.0;
+  const StressDataset ds = build_stress_dataset(config);
+
+  Rng rng(77);
+  auto [train, test] = nn::split(ds.data, 0.3, rng);
+  nn::Network net = nn::Network::create({5, 16, 3}, rng);
+  nn::TrainConfig tc;
+  tc.max_epochs = 400;
+  tc.target_mse = 5e-3;
+  nn::train_rprop(net, train, tc);
+  const double accuracy = nn::evaluate_accuracy(net, test);
+  EXPECT_GT(accuracy, 0.75) << "3-class chance is 0.33";
+}
+
+TEST(Dataset, ConfigValidation) {
+  StressDatasetConfig config;
+  config.subjects = 0;
+  EXPECT_THROW(build_stress_dataset(config), Error);
+  config.subjects = 1;
+  config.minutes_per_level = 0.5;
+  EXPECT_THROW(build_stress_dataset(config), Error);
+  config.minutes_per_level = 4.0;
+  config.level_separation = 0.0;
+  EXPECT_THROW(build_stress_dataset(config), Error);
+  config.level_separation = 1.5;
+  EXPECT_THROW(build_stress_dataset(config), Error);
+}
+
+TEST(Dataset, LevelSeparationShrinksFeatureGap) {
+  // With separation 1.0 the per-level RMSSD distributions sit far apart;
+  // blending toward the medium preset must shrink the gap.
+  const auto rmssd_gap = [](double separation) {
+    StressDatasetConfig config;
+    config.subjects = 2;
+    config.minutes_per_level = 4.0;
+    config.level_separation = separation;
+    const StressDataset ds = build_stress_dataset(config);
+    double calm = 0.0, stressed = 0.0;
+    int calm_n = 0, stress_n = 0;
+    for (const LabeledWindow& w : ds.windows) {
+      if (w.level == StressLevel::kNone) {
+        calm += w.raw[kFeatRmssd];
+        ++calm_n;
+      } else if (w.level == StressLevel::kHigh) {
+        stressed += w.raw[kFeatRmssd];
+        ++stress_n;
+      }
+    }
+    return calm / calm_n - stressed / stress_n;
+  };
+  const double wide = rmssd_gap(1.0);
+  const double narrow = rmssd_gap(0.3);
+  EXPECT_GT(wide, 0.0);
+  EXPECT_GT(narrow, 0.0);       // ordering preserved
+  EXPECT_LT(narrow, 0.6 * wide);  // but clearly compressed
+}
+
+}  // namespace
+}  // namespace iw::bio

@@ -1,0 +1,100 @@
+#include "bio/gsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iw::bio {
+namespace {
+
+TEST(Gsr, SynthesisBasics) {
+  Rng rng(1);
+  const GsrSignal signal = synthesize_gsr(gsr_params_for(StressLevel::kMedium), 60.0, rng);
+  EXPECT_EQ(signal.samples.size(), static_cast<std::size_t>(60.0 * signal.fs_hz));
+  for (float v : signal.samples) {
+    EXPECT_GT(v, 0.0f);   // conductance is positive
+    EXPECT_LT(v, 20.0f);  // and physiologically bounded
+  }
+}
+
+TEST(Gsr, SlopeDetectionOnSyntheticRamp) {
+  // Hand-built signal: flat 2.0, ramp to 2.5 over 2 s, flat decay-free.
+  GsrSignal signal;
+  signal.fs_hz = 32.0;
+  for (int i = 0; i < 320; ++i) {
+    double v = 2.0;
+    const double t = i / 32.0;
+    if (t >= 4.0 && t < 6.0) v = 2.0 + 0.25 * (t - 4.0);
+    if (t >= 6.0) v = 2.5;
+    signal.samples.push_back(static_cast<float>(v));
+  }
+  const auto slopes = detect_gsr_slopes(signal);
+  ASSERT_EQ(slopes.size(), 1u);
+  EXPECT_NEAR(slopes[0].onset_s, 4.0, 0.5);
+  EXPECT_NEAR(slopes[0].height_us, 0.5, 0.06);
+  EXPECT_NEAR(slopes[0].length_s, 2.0, 0.5);
+}
+
+TEST(Gsr, SmallRipplesIgnored) {
+  GsrSignal signal;
+  signal.fs_hz = 32.0;
+  for (int i = 0; i < 320; ++i) {
+    signal.samples.push_back(2.0f + 0.01f * static_cast<float>(i % 2));
+  }
+  EXPECT_TRUE(detect_gsr_slopes(signal).empty());
+}
+
+TEST(Gsr, StressIncreasesScrActivity) {
+  const auto measure = [](StressLevel level) {
+    Rng rng(7);
+    const GsrSignal signal = synthesize_gsr(gsr_params_for(level), 300.0, rng);
+    return detect_gsr_slopes(signal).size();
+  };
+  const auto none = measure(StressLevel::kNone);
+  const auto high = measure(StressLevel::kHigh);
+  EXPECT_GT(high, none);
+}
+
+TEST(Gsr, StressIncreasesSlopeHeight) {
+  const auto measure = [](StressLevel level) {
+    Rng rng(8);
+    const GsrSignal signal = synthesize_gsr(gsr_params_for(level), 300.0, rng);
+    return gsr_features(detect_gsr_slopes(signal)).mean_height_us;
+  };
+  EXPECT_GT(measure(StressLevel::kHigh), measure(StressLevel::kNone));
+}
+
+TEST(Gsr, FeaturesFromSlopes) {
+  std::vector<GsrSlope> slopes;
+  slopes.push_back({1.0, 2.0, 0.4});
+  slopes.push_back({5.0, 1.0, 0.2});
+  const GsrFeatures f = gsr_features(slopes);
+  EXPECT_EQ(f.slope_count, 2);
+  EXPECT_DOUBLE_EQ(f.mean_height_us, 0.3);
+  EXPECT_DOUBLE_EQ(f.mean_length_s, 1.5);
+}
+
+TEST(Gsr, FeaturesOfEmptySlopeList) {
+  const GsrFeatures f = gsr_features({});
+  EXPECT_EQ(f.slope_count, 0);
+  EXPECT_DOUBLE_EQ(f.mean_height_us, 0.0);
+  EXPECT_DOUBLE_EQ(f.mean_length_s, 0.0);
+}
+
+TEST(Gsr, InputValidation) {
+  Rng rng(9);
+  EXPECT_THROW(synthesize_gsr(GsrSynthParams{}, 0.0, rng), Error);
+  GsrSynthParams bad;
+  bad.fs_hz = 1.0;
+  EXPECT_THROW(synthesize_gsr(bad, 10.0, rng), Error);
+}
+
+TEST(Gsr, ShortSignalYieldsNoSlopes) {
+  GsrSignal signal;
+  signal.fs_hz = 32.0;
+  signal.samples = {2.0f, 2.1f};
+  EXPECT_TRUE(detect_gsr_slopes(signal).empty());
+}
+
+}  // namespace
+}  // namespace iw::bio

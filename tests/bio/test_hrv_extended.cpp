@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bio/ecg.hpp"
+#include "bio/hrv.hpp"
+#include "common/stats.hpp"
+
+namespace iw::bio {
+namespace {
+
+TEST(HrvExtended, SdnnMatchesStddev) {
+  const std::vector<double> rr{0.8, 0.85, 0.78, 0.9, 0.84};
+  EXPECT_NEAR(sdnn(rr), stddev(rr), 1e-12);
+  EXPECT_DOUBLE_EQ(sdnn(std::vector<double>{0.8}), 0.0);
+}
+
+TEST(HrvExtended, Pnn20KnownSeries) {
+  // diffs: +0.03, -0.01, +0.05 -> 2 of 3 exceed 20 ms.
+  const std::vector<double> rr{0.80, 0.83, 0.82, 0.87};
+  EXPECT_NEAR(pnn20(rr), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pnn20(std::vector<double>{0.8}), 0.0);
+}
+
+TEST(HrvExtended, Pnn20AtLeastPnn50) {
+  Rng rng(1);
+  const auto rr = generate_rr_intervals(rr_params_for(StressLevel::kMedium), 300.0, rng);
+  EXPECT_GE(pnn20(rr), pnn50(rr));
+}
+
+TEST(HrvExtended, PoincareIdentities) {
+  Rng rng(2);
+  const auto rr = generate_rr_intervals(rr_params_for(StressLevel::kNone), 300.0, rng);
+  const PoincareDescriptors p = poincare(rr);
+  EXPECT_GT(p.sd1_s, 0.0);
+  EXPECT_GT(p.sd2_s, 0.0);
+  // SD1 relates to RMSSD: SD1 ~ RMSSD / sqrt(2) (up to sample-variance
+  // normalization).
+  EXPECT_NEAR(p.sd1_s, rmssd(rr) / std::sqrt(2.0), 0.15 * p.sd1_s + 1e-4);
+  // RSA-dominated rest data has more long-term than short-term spread.
+  EXPECT_GT(p.ratio, 1.0);
+}
+
+TEST(HrvExtended, PoincareDegenerate) {
+  const PoincareDescriptors p = poincare(std::vector<double>{0.8, 0.8});
+  EXPECT_DOUBLE_EQ(p.sd1_s, 0.0);
+  EXPECT_DOUBLE_EQ(p.ratio, 0.0);
+}
+
+TEST(HrvExtended, TriangularIndexUniformVsConstant) {
+  // All intervals in one bin -> index == 1; spread intervals -> larger.
+  const std::vector<double> constant(64, 0.800);
+  EXPECT_DOUBLE_EQ(triangular_index(constant), 1.0);
+  std::vector<double> spread;
+  for (int i = 0; i < 64; ++i) spread.push_back(0.7 + 0.2 * (i / 64.0));
+  EXPECT_GT(triangular_index(spread), 5.0);
+  EXPECT_DOUBLE_EQ(triangular_index(std::vector<double>{0.8}), 0.0);
+}
+
+TEST(HrvExtended, StressReducesExtendedMetricsToo) {
+  const auto measure = [](StressLevel level) {
+    Rng rng(3);
+    return generate_rr_intervals(rr_params_for(level), 300.0, rng);
+  };
+  const auto calm = measure(StressLevel::kNone);
+  const auto stressed = measure(StressLevel::kHigh);
+  EXPECT_GT(sdnn(calm), sdnn(stressed));
+  EXPECT_GT(pnn20(calm), pnn20(stressed));
+  EXPECT_GT(poincare(calm).sd1_s, poincare(stressed).sd1_s);
+}
+
+}  // namespace
+}  // namespace iw::bio

@@ -1,0 +1,68 @@
+#include "bio/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iw::bio {
+namespace {
+
+TEST(BioIo, EcgRoundTrip) {
+  Rng rng(1);
+  const auto rr = generate_rr_intervals(rr_params_for(StressLevel::kNone), 10.0, rng);
+  const EcgSignal original = synthesize_ecg(rr, EcgSynthParams{}, rng);
+  std::stringstream ss;
+  save_ecg_csv(ss, original);
+  const EcgSignal loaded = load_ecg_csv(ss);
+  EXPECT_NEAR(loaded.fs_hz, original.fs_hz, 0.01);
+  ASSERT_EQ(loaded.samples.size(), original.samples.size());
+  for (std::size_t i = 0; i < loaded.samples.size(); i += 37) {
+    EXPECT_NEAR(loaded.samples[i], original.samples[i], 1e-4);
+  }
+}
+
+TEST(BioIo, GsrRoundTrip) {
+  Rng rng(2);
+  const GsrSignal original = synthesize_gsr(gsr_params_for(StressLevel::kHigh), 20.0, rng);
+  std::stringstream ss;
+  save_gsr_csv(ss, original);
+  const GsrSignal loaded = load_gsr_csv(ss);
+  EXPECT_NEAR(loaded.fs_hz, original.fs_hz, 0.01);
+  EXPECT_EQ(loaded.samples.size(), original.samples.size());
+}
+
+TEST(BioIo, HeaderAndFormat) {
+  std::ostringstream os;
+  write_signal_csv(os, 4.0, {1.0f, 2.0f}, "foo");
+  EXPECT_EQ(os.str(), "time_s,foo\n0,1\n0.25,2\n");
+}
+
+TEST(BioIo, RejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW(read_signal_csv(empty), Error);
+  std::istringstream no_header("0 1\n");
+  EXPECT_THROW(read_signal_csv(no_header), Error);
+  std::istringstream bad_row("time_s,v\n0,1\nnonsense\n");
+  EXPECT_THROW(read_signal_csv(bad_row), Error);
+  std::istringstream bad_number("time_s,v\n0,1\n0.5,abc\n");
+  EXPECT_THROW(read_signal_csv(bad_number), Error);
+  std::istringstream one_sample("time_s,v\n0,1\n");
+  EXPECT_THROW(read_signal_csv(one_sample), Error);
+}
+
+TEST(BioIo, RejectsNonUniformTimeBase) {
+  std::istringstream jitter("time_s,v\n0,1\n0.1,2\n0.6,3\n");
+  EXPECT_THROW(read_signal_csv(jitter), Error);
+}
+
+TEST(BioIo, RecoversSampleRate) {
+  std::istringstream csv("time_s,v\n0,1\n0.125,2\n0.25,3\n0.375,4\n");
+  const CsvSignal signal = read_signal_csv(csv);
+  EXPECT_NEAR(signal.fs_hz, 8.0, 1e-9);
+  EXPECT_EQ(signal.samples.size(), 4u);
+}
+
+}  // namespace
+}  // namespace iw::bio

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/ecg.hpp"
+#include "bio/hrv.hpp"
+#include "bio/rpeak.hpp"
+#include "common/error.hpp"
+
+namespace iw::bio {
+namespace {
+
+TEST(RPeak, DetectsCleanBeats) {
+  Rng rng(1);
+  const std::vector<double> rr(20, 0.8);
+  EcgSynthParams params;
+  params.noise_mv = 0.005;
+  const EcgSignal signal = synthesize_ecg(rr, params, rng);
+  const auto peaks = detect_r_peaks(signal);
+  ASSERT_EQ(peaks.size(), signal.beat_times_s.size());
+  for (std::size_t i = 0; i < peaks.size(); ++i) {
+    EXPECT_NEAR(peaks[i], signal.beat_times_s[i], 0.03) << "beat " << i;
+  }
+}
+
+TEST(RPeak, RobustToRealisticNoise) {
+  Rng rng(2);
+  const auto rr = generate_rr_intervals(rr_params_for(StressLevel::kMedium), 60.0, rng);
+  const EcgSignal signal = synthesize_ecg(rr, EcgSynthParams{}, rng);
+  const auto peaks = detect_r_peaks(signal);
+  // Allow a small miss/extra margin at the edges.
+  EXPECT_NEAR(static_cast<double>(peaks.size()),
+              static_cast<double>(signal.beat_times_s.size()), 2.0);
+}
+
+TEST(RPeak, RecoveredRrTracksGroundTruth) {
+  Rng rng(3);
+  const auto rr_truth =
+      generate_rr_intervals(rr_params_for(StressLevel::kNone), 120.0, rng);
+  const EcgSignal signal = synthesize_ecg(rr_truth, EcgSynthParams{}, rng);
+  const auto rr_detected = rr_from_peaks(detect_r_peaks(signal));
+  ASSERT_GT(rr_detected.size(), rr_truth.size() / 2);
+  // HRV features computed from detected beats approximate the ground truth.
+  EXPECT_NEAR(rmssd(rr_detected), rmssd(rr_truth), 0.02);
+  EXPECT_NEAR(mean_heart_rate_bpm(rr_detected), mean_heart_rate_bpm(rr_truth), 3.0);
+}
+
+TEST(RPeak, SamplingRateInvariance) {
+  // The detector must not fall apart when the sampling rate changes: white
+  // measurement noise differentiates to fs-dependent power, which the
+  // low-pass stage has to cancel. (Regression test for a real bug.)
+  Rng rr_rng(11);
+  const auto rr = generate_rr_intervals(rr_params_for(StressLevel::kMedium), 60.0, rr_rng);
+  for (double fs : {64.0, 128.0, 256.0, 512.0}) {
+    Rng noise_rng(7);
+    EcgSynthParams params;
+    params.fs_hz = fs;
+    const EcgSignal signal = synthesize_ecg(rr, params, noise_rng);
+    const auto peaks = detect_r_peaks(signal);
+    EXPECT_NEAR(static_cast<double>(peaks.size()), static_cast<double>(rr.size()),
+                2.0)
+        << "fs=" << fs;
+  }
+}
+
+TEST(RPeak, EmptyOrShortInputs) {
+  EXPECT_TRUE(rr_from_peaks({}).empty());
+  EXPECT_TRUE(rr_from_peaks({1.0}).empty());
+  EcgSignal empty;
+  EXPECT_THROW(detect_r_peaks(empty), Error);
+}
+
+TEST(Hrv, KnownSeriesValues) {
+  // diffs: +0.05, -0.05, +0.12
+  const std::vector<double> rr{0.80, 0.85, 0.80, 0.92};
+  const double expected_rmssd =
+      std::sqrt((0.05 * 0.05 + 0.05 * 0.05 + 0.12 * 0.12) / 3.0);
+  EXPECT_NEAR(rmssd(rr), expected_rmssd, 1e-12);
+  EXPECT_EQ(nn50(rr), 1);  // only the 0.12 difference exceeds 50 ms
+  EXPECT_NEAR(pnn50(rr), 1.0 / 3.0, 1e-12);
+  EXPECT_GT(sdsd(rr), 0.0);
+}
+
+TEST(Hrv, ConstantRrHasZeroVariability) {
+  const std::vector<double> rr{0.8, 0.8, 0.8, 0.8};
+  EXPECT_DOUBLE_EQ(rmssd(rr), 0.0);
+  EXPECT_DOUBLE_EQ(sdsd(rr), 0.0);
+  EXPECT_EQ(nn50(rr), 0);
+  EXPECT_DOUBLE_EQ(mean_heart_rate_bpm(rr), 75.0);
+}
+
+TEST(Hrv, ShiftInvariance) {
+  // Adding a constant to all intervals changes the mean HR but none of the
+  // successive-difference features.
+  const std::vector<double> base{0.8, 0.86, 0.79, 0.91, 0.84};
+  std::vector<double> shifted = base;
+  for (double& v : shifted) v += 0.1;
+  EXPECT_NEAR(rmssd(base), rmssd(shifted), 1e-12);
+  EXPECT_NEAR(sdsd(base), sdsd(shifted), 1e-12);
+  EXPECT_EQ(nn50(base), nn50(shifted));
+}
+
+TEST(Hrv, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(rmssd(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(rmssd(std::vector<double>{0.8}), 0.0);
+  EXPECT_DOUBLE_EQ(sdsd(std::vector<double>{0.8, 0.9}), 0.0);
+  EXPECT_EQ(nn50(std::vector<double>{}), 0);
+  EXPECT_THROW(mean_heart_rate_bpm(std::vector<double>{}), Error);
+}
+
+TEST(Hrv, SdsdRelatesToRmssdForZeroMeanDiffs) {
+  // When successive differences have (near) zero mean, SDSD ~ RMSSD.
+  const std::vector<double> rr{0.8, 0.85, 0.8, 0.85, 0.8, 0.85, 0.8};
+  EXPECT_NEAR(sdsd(rr), rmssd(rr), 0.01);
+}
+
+}  // namespace
+}  // namespace iw::bio

@@ -1,0 +1,71 @@
+#include "ble/ble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iw::ble {
+namespace {
+
+TEST(Ble, EventEnergyGrowsWithPayload) {
+  const BleLink link;
+  const double empty = link.keepalive_event_energy_j();
+  const double small = link.event_energy_j(20.0);
+  const double large = link.event_energy_j(1000.0);
+  EXPECT_GT(small, empty);
+  EXPECT_GT(large, small);
+}
+
+TEST(Ble, EventEnergyOrderOfMagnitude) {
+  // A keep-alive connection event on an nRF52 costs a handful of microjoules.
+  const BleLink link;
+  const double uj = link.keepalive_event_energy_j() * 1e6;
+  EXPECT_GT(uj, 1.0);
+  EXPECT_LT(uj, 30.0);
+}
+
+TEST(Ble, StreamingPowerGrowsWithRate) {
+  const BleLink link;
+  const double idle = link.idle_connection_power_w();
+  const double slow = link.streaming_power_w(100.0);
+  const double fast = link.streaming_power_w(10000.0);
+  EXPECT_GT(slow, idle);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(Ble, RawBiosignalStreamCostsHundredsOfMicrowatts) {
+  // The architecture argument: streaming the raw ECG + GSR (~832 B/s) costs
+  // far more than the 1.2 uJ per local classification.
+  const BleLink link;
+  const double stream_w = link.streaming_power_w(832.0);
+  EXPECT_GT(stream_w, 100e-6);
+  EXPECT_LT(stream_w, 2e-3);
+}
+
+TEST(Ble, NotificationCheaperThanStreamingWindow) {
+  const BleLink link;
+  // One 4-byte classification result vs 3 s of raw data (2496 B).
+  const double notify = link.notification_energy_j(4.0);
+  const double stream = link.streaming_power_w(832.0) * 3.0;
+  EXPECT_LT(notify, stream / 10.0);
+}
+
+TEST(Ble, LargePayloadSplitsIntoPdus) {
+  const BleLink link;
+  // 1000 bytes needs 5 PDUs of 244; energy must reflect the extra headers.
+  const double one_pdu = link.event_energy_j(244.0);
+  const double five_pdu = link.event_energy_j(1000.0);
+  EXPECT_GT(five_pdu, 4.0 * (one_pdu - link.keepalive_event_energy_j()));
+}
+
+TEST(Ble, Validation) {
+  const BleLink link;
+  EXPECT_THROW(link.event_energy_j(-1.0), Error);
+  EXPECT_THROW(link.streaming_power_w(-1.0), Error);
+  BleRadioParams bad;
+  bad.connection_interval_s = 0.0;
+  EXPECT_THROW(BleLink{bad}, Error);
+}
+
+}  // namespace
+}  // namespace iw::ble

@@ -1,0 +1,111 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace iw::fx {
+namespace {
+
+TEST(FixedPoint, RoundTripExactValues) {
+  const QFormat q{13};
+  EXPECT_EQ(to_fixed(1.0, q), 8192);
+  EXPECT_DOUBLE_EQ(to_double(8192, q), 1.0);
+  EXPECT_EQ(to_fixed(-0.5, q), -4096);
+  EXPECT_EQ(to_fixed(0.0, q), 0);
+}
+
+TEST(FixedPoint, ConversionSaturates) {
+  const QFormat q{13};
+  EXPECT_EQ(to_fixed(1e9, q), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(to_fixed(-1e9, q), std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(FixedPoint, SatAddClamps) {
+  const std::int32_t max = std::numeric_limits<std::int32_t>::max();
+  const std::int32_t min = std::numeric_limits<std::int32_t>::min();
+  EXPECT_EQ(sat_add(max, 1), max);
+  EXPECT_EQ(sat_add(min, -1), min);
+  EXPECT_EQ(sat_add(5, 7), 12);
+  EXPECT_EQ(sat_sub(min, 1), min);
+  EXPECT_EQ(sat_sub(max, -1), max);
+}
+
+TEST(FixedPoint, MulMatchesRealArithmetic) {
+  const QFormat q{13};
+  const std::int32_t a = to_fixed(1.5, q);
+  const std::int32_t b = to_fixed(-2.25, q);
+  EXPECT_NEAR(to_double(mul(a, b, q), q), -3.375, 2 * q.ulp());
+}
+
+TEST(FixedPoint, MacAccumulates64Bit) {
+  std::int64_t acc = 0;
+  const QFormat q{13};
+  const std::int32_t x = to_fixed(100.0, q);
+  for (int i = 0; i < 1000; ++i) acc = mac(acc, x, x);
+  // 1000 * 100 * 100 in Q26 exceeds int32 but must survive in the accumulator.
+  EXPECT_EQ(acc, 1000ll * x * x);
+}
+
+TEST(FixedPoint, ReduceAccRounds) {
+  const QFormat q{4};  // scale 16
+  // 3 * 5 = 15 in raw units => 15/16 = 0.9375, rounds to 1 raw unit.
+  EXPECT_EQ(reduce_acc(15, q), 1);
+  EXPECT_EQ(reduce_acc(7, q), 0);   // 7/16 rounds down
+  EXPECT_EQ(reduce_acc(8, q), 1);   // exactly half rounds up
+  EXPECT_EQ(reduce_acc(-15, q), -1);
+}
+
+TEST(FixedPoint, ClipSymmetric) {
+  EXPECT_EQ(clip(100, 50), 50);
+  EXPECT_EQ(clip(-100, 50), -50);
+  EXPECT_EQ(clip(30, 50), 30);
+}
+
+class FixedPointFormats : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedPointFormats, RoundTripErrorBoundedByHalfUlp) {
+  const QFormat q{GetParam()};
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    const double back = to_double(to_fixed(v, q), q);
+    EXPECT_NEAR(back, v, 0.5 * q.ulp() + 1e-12);
+  }
+}
+
+TEST_P(FixedPointFormats, MulErrorBounded) {
+  const QFormat q{GetParam()};
+  Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-4.0, 4.0);
+    const double b = rng.uniform(-4.0, 4.0);
+    const double got = to_double(mul(to_fixed(a, q), to_fixed(b, q), q), q);
+    // One truncation plus two conversion roundings.
+    EXPECT_NEAR(got, a * b, (2.0 + 8.0) * q.ulp());
+  }
+}
+
+TEST_P(FixedPointFormats, ReduceAccMatchesMulChain) {
+  const QFormat q{GetParam()};
+  Rng rng(103);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::int64_t acc = 0;
+    double real = 0.0;
+    for (int i = 0; i < 32; ++i) {
+      const double a = rng.uniform(-1.0, 1.0);
+      const double b = rng.uniform(-1.0, 1.0);
+      acc = mac(acc, to_fixed(a, q), to_fixed(b, q));
+      real += a * b;
+    }
+    EXPECT_NEAR(to_double(reduce_acc(acc, q), q), real, 40.0 * q.ulp());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FixedPointFormats, ::testing::Values(8, 10, 13, 16, 20));
+
+}  // namespace
+}  // namespace iw::fx

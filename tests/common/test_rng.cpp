@@ -1,0 +1,114 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_int(7), 7u);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(23);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(31);
+  auto perm = rng.permutation(100);
+  std::sort(perm.begin(), perm.end());
+  for (std::size_t i = 0; i < perm.size(); ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(37);
+  const auto perm = rng.permutation(100);
+  int displaced = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) displaced += perm[i] != i;
+  EXPECT_GT(displaced, 80);
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Stats, MeanOfConstants) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(Stats, MeanThrowsOnEmpty) {
+  const std::vector<double> v;
+  EXPECT_THROW(mean(v), Error);
+}
+
+TEST(Stats, VarianceKnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, VarianceOfSingleSampleIsZero) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Stats, RmsKnownValue) {
+  const std::vector<double> v{3.0, 4.0};
+  EXPECT_NEAR(rms(v), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{5.0, -2.0, 9.0, 1.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -2.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 9.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+}
+
+TEST(Stats, PercentileValidatesP) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), Error);
+  EXPECT_THROW(percentile(v, 101), Error);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (double x : v) stats.add(x);
+  EXPECT_EQ(stats.count(), v.size());
+  EXPECT_NEAR(stats.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(stats.variance(), variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace iw

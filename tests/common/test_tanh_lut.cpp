@@ -1,0 +1,77 @@
+#include "common/tanh_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace iw::fx {
+namespace {
+
+TEST(TanhTable, ExactAtZero) {
+  const TanhTable table(QFormat{13});
+  EXPECT_EQ(table.eval(0), 0);
+}
+
+TEST(TanhTable, SaturatesOutsideRange) {
+  const QFormat q{13};
+  const TanhTable table(q);
+  const std::int32_t far = to_fixed(100.0, q);
+  EXPECT_EQ(table.eval(far), table.eval(table.range_fixed()));
+  EXPECT_EQ(table.eval(-far), table.eval(-table.range_fixed()));
+  EXPECT_NEAR(to_double(table.eval(far), q), 1.0, 2e-3);
+  EXPECT_NEAR(to_double(table.eval(-far), q), -1.0, 2e-3);
+}
+
+TEST(TanhTable, RejectsBadSizes) {
+  EXPECT_THROW(TanhTable(QFormat{13}, 2), Error);
+  EXPECT_THROW(TanhTable(QFormat{13}, 20), Error);
+  // Non-power-of-two range cannot be indexed with shifts.
+  EXPECT_THROW(TanhTable(QFormat{13}, 9, 3.0), Error);
+}
+
+TEST(TanhTable, MonotonicNonDecreasing) {
+  const QFormat q{13};
+  const TanhTable table(q);
+  std::int32_t prev = table.eval(-table.range_fixed() - 10);
+  for (std::int32_t x = -table.range_fixed() - 5; x <= table.range_fixed() + 5;
+       x += 37) {
+    const std::int32_t y = table.eval(x);
+    EXPECT_GE(y, prev) << "at x=" << x;
+    prev = y;
+  }
+}
+
+class TanhTableFormats : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TanhTableFormats, ApproximationErrorBounded) {
+  const auto [frac_bits, log2_size] = GetParam();
+  const QFormat q{frac_bits};
+  const TanhTable table(q, log2_size);
+  // Max error of linear interpolation over step h is h^2/8 * max|f''| plus
+  // quantization; tanh'' is bounded by ~0.77. Beyond the table range the
+  // output saturates at tanh(4), adding a 1 - tanh(4) tail error.
+  const double h = 8.0 / static_cast<double>(1 << log2_size);
+  const double bound =
+      0.77 * h * h / 8.0 + 3.0 * q.ulp() + (1.0 - std::tanh(4.0));
+  for (double x = -6.0; x <= 6.0; x += 0.0137) {
+    EXPECT_NEAR(table.eval_real(x), std::tanh(x), bound) << "x=" << x;
+  }
+}
+
+TEST_P(TanhTableFormats, OddSymmetryApproximate) {
+  const auto [frac_bits, log2_size] = GetParam();
+  const QFormat q{frac_bits};
+  const TanhTable table(q, log2_size);
+  for (double x = 0.0; x <= 4.0; x += 0.1) {
+    EXPECT_NEAR(table.eval_real(x), -table.eval_real(-x), 4.0 * q.ulp()) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TanhTableFormats,
+    ::testing::Combine(::testing::Values(10, 13, 16), ::testing::Values(8, 9, 10)));
+
+}  // namespace
+}  // namespace iw::fx

@@ -1,0 +1,42 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::units {
+namespace {
+
+TEST(Units, PowerConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(from_mw(10.8), 0.0108);
+  EXPECT_DOUBLE_EQ(to_mw(from_mw(10.8)), 10.8);
+  EXPECT_DOUBLE_EQ(from_uw(171.0), 171e-6);
+  EXPECT_DOUBLE_EQ(to_uw(from_uw(171.0)), 171.0);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(from_uj(602.2), 602.2e-6);
+  EXPECT_DOUBLE_EQ(to_uj(from_uj(602.2)), 602.2);
+  EXPECT_DOUBLE_EQ(to_mj(from_mj(3.5)), 3.5);
+}
+
+TEST(Units, TimeAndFrequency) {
+  EXPECT_DOUBLE_EQ(from_mhz(100.0), 100e6);
+  EXPECT_DOUBLE_EQ(from_khz(400.0), 400e3);
+  EXPECT_DOUBLE_EQ(from_us(50.0), 50e-6);
+  EXPECT_DOUBLE_EQ(to_us(from_us(50.0)), 50.0);
+  EXPECT_DOUBLE_EQ(hours_to_s(6.0), 21600.0);
+  EXPECT_DOUBLE_EQ(s_to_hours(hours_to_s(6.0)), 6.0);
+}
+
+TEST(Units, EnergyOfConstantPower) {
+  // The paper's acquisition energy: 201 uW for 3 s = 603 uJ.
+  EXPECT_NEAR(to_uj(energy_j(from_uw(201.0), 3.0)), 603.0, 1e-9);
+}
+
+TEST(Units, ChargeConversions) {
+  // 120 mAh = 432 C.
+  EXPECT_DOUBLE_EQ(mah_to_coulombs(120.0), 432.0);
+  EXPECT_DOUBLE_EQ(coulombs_to_mah(mah_to_coulombs(120.0)), 120.0);
+}
+
+}  // namespace
+}  // namespace iw::units

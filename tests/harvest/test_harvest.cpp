@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "harvest/converters.hpp"
+#include "harvest/harvester.hpp"
+#include "harvest/solar.hpp"
+#include "harvest/teg.hpp"
+
+namespace iw::hv {
+namespace {
+
+// ---------------------------------------------------------------- converters
+
+TEST(Converters, EfficiencyCurveInterpolatesAndClamps) {
+  const EfficiencyCurve curve({{1e-6, 0.4}, {1e-3, 0.8}});
+  EXPECT_DOUBLE_EQ(curve.at(1e-7), 0.4);   // clamp below
+  EXPECT_DOUBLE_EQ(curve.at(1e-2), 0.8);   // clamp above
+  EXPECT_NEAR(curve.at(3.1623e-5), 0.6, 0.01);  // log-scale midpoint of 1e-6..1e-3
+}
+
+TEST(Converters, CurveValidation) {
+  EXPECT_THROW(EfficiencyCurve({{1e-6, 0.4}}), Error);
+  EXPECT_THROW(EfficiencyCurve({{1e-3, 0.4}, {1e-6, 0.8}}), Error);
+  EXPECT_THROW(EfficiencyCurve({{1e-6, 0.0}, {1e-3, 0.8}}), Error);
+}
+
+TEST(Converters, OutputBelowMinInputIsZero) {
+  const ConverterModel bq = bq25570();
+  EXPECT_DOUBLE_EQ(bq.output_power_w(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bq.output_power_w(bq.min_input_w / 2.0), 0.0);
+}
+
+TEST(Converters, OutputMonotoneAndLossy) {
+  const ConverterModel bq = bq25570();
+  double prev = 0.0;
+  for (double p = 1e-6; p < 0.1; p *= 2.0) {
+    const double out = bq.output_power_w(p);
+    EXPECT_LT(out, p);        // no free energy
+    EXPECT_GE(out, prev);     // monotone
+    prev = out;
+  }
+}
+
+TEST(Converters, Bq25505TunedForMicropower) {
+  // At very low input the TEG-path converter must beat the solar-path one.
+  EXPECT_GT(bq25505().output_power_w(20e-6), bq25570().output_power_w(20e-6));
+}
+
+// --------------------------------------------------------------------- solar
+
+TEST(Solar, ReproducesTableI) {
+  const SolarHarvester solar = SolarHarvester::calibrated();
+  // Paper Table I: 0.9 mW @ 700 lx, 24.711 mW @ 30 klx.
+  EXPECT_NEAR(units::to_mw(solar.net_intake_w(700.0)), 0.9, 0.01);
+  EXPECT_NEAR(units::to_mw(solar.net_intake_w(30000.0)), 24.711, 0.25);
+}
+
+TEST(Solar, MonotoneInIlluminance) {
+  const SolarHarvester solar = SolarHarvester::calibrated();
+  double prev = -1.0;
+  for (double lux = 0.0; lux <= 50000.0; lux += 500.0) {
+    const double p = solar.net_intake_w(lux);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Solar, DarknessYieldsNothing) {
+  const SolarHarvester solar = SolarHarvester::calibrated();
+  EXPECT_DOUBLE_EQ(solar.net_intake_w(0.0), 0.0);
+}
+
+TEST(Solar, PanelPowerExceedsNetIntake) {
+  const SolarHarvester solar = SolarHarvester::calibrated();
+  for (double lux : {200.0, 700.0, 5000.0, 30000.0}) {
+    EXPECT_GT(solar.panel_power_w(lux), solar.net_intake_w(lux)) << lux;
+  }
+}
+
+TEST(Solar, IrradianceConversion) {
+  const SolarHarvester solar = SolarHarvester::calibrated();
+  EXPECT_NEAR(solar.irradiance_wm2(1200.0), 10.0, 1e-9);
+  EXPECT_THROW(solar.irradiance_wm2(-1.0), Error);
+}
+
+TEST(Solar, InterpolatedOfficeLightPlausible) {
+  // Between the calibration points the model should give a few mW at
+  // bright-office/window illuminance.
+  const SolarHarvester solar = SolarHarvester::calibrated();
+  const double p_3klx = units::to_mw(solar.net_intake_w(3000.0));
+  EXPECT_GT(p_3klx, 1.5);
+  EXPECT_LT(p_3klx, 8.0);
+}
+
+// ----------------------------------------------------------------------- teg
+
+TEST(Teg, ReproducesTableIICalibrationRows) {
+  const TegHarvester teg = TegHarvester::calibrated();
+  // Row 1: 22 C room, 32 C skin, no wind -> 24.0 uW.
+  EXPECT_NEAR(units::to_uw(teg.net_intake_w(32.0, 22.0, 0.0)), 24.0, 0.5);
+  // Row 3: 15 C room, 30 C skin, 42 km/h wind -> 155.4 uW.
+  EXPECT_NEAR(units::to_uw(teg.net_intake_w(30.0, 15.0, 42.0 / 3.6)), 155.4, 3.0);
+}
+
+TEST(Teg, PredictsTableIIMiddleRow) {
+  // Row 2 (15 C room, 30 C skin, no wind -> 55.5 uW) is NOT used for
+  // calibration; the quadratic dT law must predict it.
+  const TegHarvester teg = TegHarvester::calibrated();
+  EXPECT_NEAR(units::to_uw(teg.net_intake_w(30.0, 15.0, 0.0)), 55.5, 6.0);
+}
+
+TEST(Teg, MonotoneInGradientAndWind) {
+  const TegHarvester teg = TegHarvester::calibrated();
+  EXPECT_GT(teg.net_intake_w(34.0, 22.0, 0.0), teg.net_intake_w(32.0, 22.0, 0.0));
+  EXPECT_GT(teg.net_intake_w(32.0, 18.0, 0.0), teg.net_intake_w(32.0, 22.0, 0.0));
+  EXPECT_GT(teg.net_intake_w(32.0, 22.0, 5.0), teg.net_intake_w(32.0, 22.0, 0.0));
+}
+
+TEST(Teg, NoGradientNoPower) {
+  const TegHarvester teg = TegHarvester::calibrated();
+  EXPECT_DOUBLE_EQ(teg.net_intake_w(22.0, 22.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(teg.net_intake_w(20.0, 25.0, 0.0), 0.0);  // inverted gradient
+}
+
+TEST(Teg, DeltaTAcrossModuleIsSmallFraction) {
+  // Most of the skin-air gradient drops across contact + convection, which
+  // is why wrist TEGs only harvest tens of microwatts.
+  const TegHarvester teg = TegHarvester::calibrated();
+  const double dt = teg.delta_t_teg_k(32.0, 22.0, 0.0);
+  EXPECT_GT(dt, 0.05);
+  EXPECT_LT(dt, 1.5);
+}
+
+TEST(Teg, WindIncreasesConvection) {
+  const TegHarvester teg = TegHarvester::calibrated();
+  EXPECT_GT(teg.h_w_per_m2k(11.67), teg.h_w_per_m2k(0.0));
+  EXPECT_THROW(teg.h_w_per_m2k(-1.0), Error);
+}
+
+// ----------------------------------------------------------- dual source/day
+
+TEST(Harvester, DualSourceAddsBothPaths) {
+  const DualSourceHarvester dual = DualSourceHarvester::calibrated();
+  Environment env;
+  env.lux = 700.0;
+  env.skin_c = 32.0;
+  env.ambient_c = 22.0;
+  EXPECT_NEAR(dual.intake_w(env),
+              dual.solar_intake_w(env) + dual.teg_intake_w(env), 1e-12);
+  EXPECT_GT(dual.teg_intake_w(env), 0.0);
+}
+
+TEST(Harvester, TegOnlyWhileWorn) {
+  const DualSourceHarvester dual = DualSourceHarvester::calibrated();
+  Environment env;
+  env.worn = false;
+  env.skin_c = 32.0;
+  EXPECT_DOUBLE_EQ(dual.teg_intake_w(env), 0.0);
+}
+
+TEST(Harvester, PaperDayYields21J) {
+  // Section IV-A: 6 h indoor light + worst-case TEG -> 21.44 J/day.
+  const DualSourceHarvester dual = DualSourceHarvester::calibrated();
+  const DayProfile day = paper_worst_case_day();
+  EXPECT_NEAR(profile_duration_s(day), 86400.0, 1e-6);
+  const double energy = harvested_energy_j(dual, day);
+  EXPECT_NEAR(energy, 21.44, 0.6);
+}
+
+TEST(Harvester, ProfileValidation) {
+  const DualSourceHarvester dual = DualSourceHarvester::calibrated();
+  DayProfile bad{{-5.0, Environment{}}};
+  EXPECT_THROW(profile_duration_s(bad), Error);
+}
+
+}  // namespace
+}  // namespace iw::hv

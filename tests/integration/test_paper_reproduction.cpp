@@ -1,0 +1,113 @@
+// The headline integration test: every quantitative claim of the paper in
+// one place, asserted end to end against the full simulation stack. If this
+// suite is green, the reproduction stands.
+#include <gtest/gtest.h>
+
+#include "core/app.hpp"
+#include "core/comparison.hpp"
+#include "core/sustainability.hpp"
+#include "nn/presets.hpp"
+#include "platform/device.hpp"
+
+namespace iw {
+namespace {
+
+TEST(PaperReproduction, SectionIII_NetworkArchitectures) {
+  Rng rng_a(1), rng_b(2);
+  const nn::Network a = nn::make_network_a(rng_a);
+  EXPECT_EQ(a.num_neurons(), 108u);
+  EXPECT_EQ(a.num_weights(), 3003u);
+  const nn::Network b = nn::make_network_b(rng_b);
+  EXPECT_EQ(b.num_neurons(), 1356u);
+  EXPECT_EQ(b.num_weights(), 81032u);
+}
+
+TEST(PaperReproduction, TableIII_And_TableIV) {
+  Rng rng(1);
+  const nn::Network net = nn::make_network_a(rng);
+  const nn::QuantizedNetwork qn = nn::QuantizedNetwork::from(net);
+  Rng in_rng(2020);
+  std::vector<float> input(5);
+  for (float& v : input) v = static_cast<float>(in_rng.uniform(-1.0, 1.0));
+  const core::NetworkComparison cmp =
+      core::compare_targets("Network A", qn, qn.quantize_input(input));
+
+  // Ordering of Table III.
+  EXPECT_GT(cmp.rows[1].cycles, cmp.rows[0].cycles);  // IBEX > M4
+  EXPECT_GT(cmp.rows[0].cycles, cmp.rows[2].cycles);  // M4 > 1x RI5CY
+  EXPECT_GT(cmp.rows[2].cycles, cmp.rows[3].cycles);  // 1x > 8x RI5CY
+  // Magnitudes of Table IV within 25% of the paper.
+  EXPECT_NEAR(cmp.rows[0].energy_j * 1e6, 5.1, 5.1 * 0.25);
+  EXPECT_NEAR(cmp.rows[1].energy_j * 1e6, 1.3, 1.3 * 0.25);
+  EXPECT_NEAR(cmp.rows[2].energy_j * 1e6, 2.9, 2.9 * 0.25);
+  EXPECT_NEAR(cmp.rows[3].energy_j * 1e6, 1.2, 1.2 * 0.25);
+  // Speedups: 4.93x (8 cores vs M4) and 1.33x (1 core vs M4) in the paper.
+  const double multi_speedup = static_cast<double>(cmp.rows[0].cycles) /
+                               static_cast<double>(cmp.rows[3].cycles);
+  EXPECT_GT(multi_speedup, 3.9);
+  EXPECT_LT(multi_speedup, 6.2);
+}
+
+TEST(PaperReproduction, SectionIV_FloatVsFixed) {
+  Rng rng(1);
+  const nn::Network net = nn::make_network_a(rng);
+  const nn::QuantizedNetwork qn = nn::QuantizedNetwork::from(net);
+  std::vector<float> input(5, 0.25f);
+  const core::FloatFixedComparison cmp = core::compare_float_fixed_m4(net, qn, input);
+  // Paper: 38478 float vs 30210 fixed cycles (1.27x).
+  EXPECT_NEAR(static_cast<double>(cmp.float_cycles), 38478.0, 38478.0 * 0.15);
+  EXPECT_GT(cmp.speedup(), 1.05);
+  EXPECT_LT(cmp.speedup(), 1.6);
+}
+
+TEST(PaperReproduction, TablesI_II_Harvesting) {
+  const hv::DualSourceHarvester dual = hv::DualSourceHarvester::calibrated();
+  EXPECT_NEAR(dual.solar().net_intake_w(700.0) * 1e3, 0.9, 0.01);
+  EXPECT_NEAR(dual.solar().net_intake_w(30000.0) * 1e3, 24.711, 0.25);
+  EXPECT_NEAR(dual.teg().net_intake_w(32.0, 22.0, 0.0) * 1e6, 24.0, 0.5);
+  EXPECT_NEAR(dual.teg().net_intake_w(30.0, 15.0, 0.0) * 1e6, 55.5, 6.0);
+  EXPECT_NEAR(dual.teg().net_intake_w(30.0, 15.0, 42.0 / 3.6) * 1e6, 155.4, 3.0);
+}
+
+TEST(PaperReproduction, SectionIVA_SelfSustainability) {
+  const core::SustainabilityReport report = core::paper_sustainability_scenario();
+  EXPECT_NEAR(report.harvested_j_per_day, 21.44, 0.8);
+  EXPECT_NEAR(report.energy_per_detection_j * 1e6, 602.2, 5.0);
+  EXPECT_NEAR(report.detections_per_minute, 24.0, 1.5);
+
+  // Closed loop: the battery must be energy-neutral at that rate.
+  platform::DeviceConfig config;
+  config.detection = platform::make_detection_cost({});
+  config.detection_period_s = 60.0 / 24.0;
+  config.initial_soc = 0.5;
+  const platform::DaySimulationResult day = platform::simulate_day(
+      config, hv::DualSourceHarvester::calibrated(), hv::paper_worst_case_day());
+  EXPECT_EQ(day.detections_skipped, 0u);
+  EXPECT_GE(day.final_soc, day.initial_soc - 1e-3);
+}
+
+TEST(PaperReproduction, EndToEndPipelineBitExactOnEveryTarget) {
+  core::AppConfig config;
+  config.dataset.subjects = 2;
+  config.dataset.minutes_per_level = 4.0;
+  config.training.max_epochs = 200;
+  const core::StressDetectionApp app = core::StressDetectionApp::build(config);
+  EXPECT_GT(app.float_test_accuracy(), 0.7);
+
+  bio::RawFeatures window{};
+  window[bio::kFeatRmssd] = 0.03;
+  window[bio::kFeatSdsd] = 0.02;
+  window[bio::kFeatNn50] = 3.0;
+  window[bio::kFeatGsrl] = 1.2;
+  window[bio::kFeatGsrh] = 0.3;
+  const bio::StressLevel reference = app.classify_fixed(window);
+  for (kernels::Target target :
+       {kernels::Target::kCortexM4, kernels::Target::kIbex,
+        kernels::Target::kRi5cySingle, kernels::Target::kRi5cyMulti}) {
+    EXPECT_EQ(app.classify_on_target(window, target).level, reference)
+        << kernels::target_name(target);
+  }
+}
+
+}  // namespace
+}  // namespace iw

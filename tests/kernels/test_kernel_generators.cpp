@@ -1,0 +1,125 @@
+// Properties of the kernel source generators: every flavor assembles, fits
+// the memory layout, respects its target's instruction budget, and the
+// cluster runs are deterministic.
+#include <gtest/gtest.h>
+
+#include "asmx/assembler.hpp"
+#include "rvsim/encoding.hpp"
+#include "common/error.hpp"
+#include "kernels/kernel_source.hpp"
+#include "kernels/runner.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+#include "nn/quantize16.hpp"
+
+namespace iw::kernels {
+namespace {
+
+FixedKernelParams tiny_params() {
+  FixedKernelParams p;
+  p.frac_bits = 13;
+  p.range_fixed = 4 << 13;
+  p.step_shift = 7;
+  p.step_mask = 127;
+  p.n_layers = 2;
+  return p;
+}
+
+const std::string kTable =
+    "    .word 4, 6, 0x21000, 0xC0000, 0xC2000\n"
+    "    .word 6, 2, 0x21078, 0xC2000, 0xC0000\n";
+
+TEST(KernelGenerators, AllFlavorsAssemble) {
+  for (Flavor flavor : {Flavor::kGeneric, Flavor::kM4, Flavor::kRi5cy}) {
+    const std::string source = fixed_kernel_source(flavor, tiny_params(), kTable);
+    const asmx::Program program = asmx::assemble(source);
+    EXPECT_GT(program.words.size(), 10u);
+    EXPECT_LT(program.words.size(), 200u);  // kernels stay small
+    EXPECT_NO_THROW(program.symbol("main"));
+    EXPECT_NO_THROW(program.symbol("layer_table"));
+  }
+  EXPECT_NO_THROW(asmx::assemble(parallel_kernel_source(tiny_params(), kTable)));
+  EXPECT_NO_THROW(asmx::assemble(simd_kernel_source(tiny_params(), kTable)));
+  EXPECT_NO_THROW(asmx::assemble(parallel_simd_kernel_source(tiny_params(), kTable)));
+  EXPECT_NO_THROW(asmx::assemble(float_kernel_source(2, kTable)));
+}
+
+TEST(KernelGenerators, FlavorsUseOnlySupportedInstructions) {
+  // The generic kernel must run on IBEX; the M4 kernel must NOT require
+  // hardware loops; the RI5CY kernel needs the full extension set.
+  const auto decode_all = [](const std::string& source) {
+    const asmx::Program program = asmx::assemble(source);
+    std::vector<rv::Decoded> out;
+    for (std::uint32_t w : program.words) {
+      try {
+        out.push_back(rv::decode(w));
+      } catch (const Error&) {
+        // data words
+      }
+    }
+    return out;
+  };
+  const rv::TimingProfile ibex = rv::ibex();
+  for (const rv::Decoded& d :
+       decode_all(fixed_kernel_source(Flavor::kGeneric, tiny_params(), kTable))) {
+    EXPECT_TRUE(ibex.supports(d.op)) << rv::mnemonic(d.op);
+  }
+  const rv::TimingProfile m4 = rv::cortex_m4f();
+  for (const rv::Decoded& d :
+       decode_all(fixed_kernel_source(Flavor::kM4, tiny_params(), kTable))) {
+    EXPECT_TRUE(m4.supports(d.op)) << rv::mnemonic(d.op);
+  }
+}
+
+TEST(KernelGenerators, ParallelRejectsBadCoreCounts) {
+  FixedKernelParams p = tiny_params();
+  p.num_cores = 3;
+  EXPECT_THROW(parallel_kernel_source(p, kTable), Error);
+  EXPECT_THROW(parallel_simd_kernel_source(p, kTable), Error);
+  p.num_cores = 16;
+  EXPECT_THROW(parallel_kernel_source(p, kTable), Error);
+}
+
+TEST(KernelGenerators, HeaderValidation) {
+  FixedKernelParams bad = tiny_params();
+  bad.n_layers = 0;
+  EXPECT_THROW(fixed_kernel_source(Flavor::kRi5cy, bad, kTable), Error);
+  bad = tiny_params();
+  bad.range_fixed = 0;
+  EXPECT_THROW(fixed_kernel_source(Flavor::kRi5cy, bad, kTable), Error);
+  EXPECT_THROW(float_kernel_source(0, kTable), Error);
+}
+
+TEST(KernelGenerators, ClusterRunsAreDeterministic) {
+  iw::Rng rng(5);
+  const nn::Network net = nn::Network::create({5, 9, 3}, rng);
+  const nn::QuantizedNetwork qn = nn::QuantizedNetwork::from(net);
+  std::vector<float> input(5, 0.4f);
+  const auto fixed = qn.quantize_input(input);
+  const auto a = run_fixed_mlp(qn, fixed, Target::kRi5cyMulti);
+  const auto b = run_fixed_mlp(qn, fixed, Target::kRi5cyMulti);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.bank_conflict_stalls, b.bank_conflict_stalls);
+  EXPECT_EQ(a.barrier_wait_cycles, b.barrier_wait_cycles);
+  EXPECT_EQ(a.outputs_fixed, b.outputs_fixed);
+
+  const nn::QuantizedNetwork16 qn16 = nn::QuantizedNetwork16::from(net);
+  const auto s16 = qn16.quantize_input(input);
+  EXPECT_EQ(run_simd_mlp_parallel(qn16, s16, 8).cycles,
+            run_simd_mlp_parallel(qn16, s16, 8).cycles);
+}
+
+TEST(KernelGenerators, HistogramAccountsForAllInstructions) {
+  iw::Rng rng(6);
+  const nn::Network net = nn::Network::create({4, 6, 2}, rng);
+  const nn::QuantizedNetwork qn = nn::QuantizedNetwork::from(net);
+  const auto input = qn.quantize_input(std::vector<float>{0.1f, 0.2f, 0.3f, 0.4f});
+  for (Target t : {Target::kCortexM4, Target::kIbex, Target::kRi5cySingle,
+                   Target::kRi5cyMulti}) {
+    const auto run = run_fixed_mlp(qn, input, t);
+    EXPECT_EQ(run.histogram.total(), run.instructions) << target_name(t);
+  }
+}
+
+}  // namespace
+}  // namespace iw::kernels

@@ -1,0 +1,81 @@
+#include "nn/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/presets.hpp"
+
+namespace iw::nn {
+namespace {
+
+TEST(Export, GeneratedSourceContainsExpectedSymbols) {
+  Rng rng(1);
+  const Network net = Network::create({3, 4, 2}, rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  std::ostringstream os;
+  ExportOptions options;
+  options.symbol_prefix = "stress";
+  export_c_source(qn, options, os);
+  const std::string code = os.str();
+  EXPECT_NE(code.find("#define stress_FRAC_BITS"), std::string::npos);
+  EXPECT_NE(code.find("stress_tanh_lut"), std::string::npos);
+  EXPECT_NE(code.find("stress_w0"), std::string::npos);
+  EXPECT_NE(code.find("stress_w1"), std::string::npos);
+  EXPECT_NE(code.find("void stress_infer"), std::string::npos);
+  EXPECT_EQ(code.find("stress_w2"), std::string::npos);  // only 2 layers
+  EXPECT_EQ(code.find("int main"), std::string::npos);   // no test main by default
+}
+
+TEST(Export, RejectsEmptyPrefix) {
+  Rng rng(2);
+  const Network net = Network::create({2, 1}, rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  std::ostringstream os;
+  ExportOptions options;
+  options.symbol_prefix = "";
+  EXPECT_THROW(export_c_source(qn, options, os), Error);
+}
+
+TEST(Export, GeneratedCodeCompilesAndMatchesHostReference) {
+  // End-to-end: emit C, compile it with the system compiler, run it, and
+  // compare the printed outputs against the bit-exact host reference.
+  Rng rng(3);
+  const Network net = Network::create({4, 8, 3}, rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string c_path = dir + "/iw_export_test.c";
+  const std::string bin_path = dir + "/iw_export_test.bin";
+  {
+    std::ofstream out(c_path);
+    ASSERT_TRUE(out.good());
+    ExportOptions options;
+    options.emit_test_main = true;
+    export_c_source(qn, options, out);
+  }
+  const std::string compile = "cc -std=c11 -O1 -o " + bin_path + " " + c_path;
+  if (std::system(compile.c_str()) != 0) {
+    GTEST_SKIP() << "no C compiler available for the export round-trip";
+  }
+  // Run and capture the output lines.
+  const std::string out_path = dir + "/iw_export_test.out";
+  ASSERT_EQ(std::system((bin_path + " > " + out_path).c_str()), 0);
+  std::ifstream result(out_path);
+  std::vector<std::int32_t> got;
+  std::int32_t v;
+  while (result >> v) got.push_back(v);
+
+  const std::vector<std::int32_t> zero_input(qn.num_inputs(), 0);
+  EXPECT_EQ(got, qn.infer_fixed(zero_input));
+  std::remove(c_path.c_str());
+  std::remove(bin_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+}  // namespace
+}  // namespace iw::nn

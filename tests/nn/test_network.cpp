@@ -1,0 +1,129 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/presets.hpp"
+
+namespace iw::nn {
+namespace {
+
+TEST(Network, NetworkACountsMatchPaper) {
+  Rng rng(1);
+  const Network net = make_network_a(rng);
+  EXPECT_EQ(net.num_inputs(), 5u);
+  EXPECT_EQ(net.num_outputs(), 3u);
+  EXPECT_EQ(net.num_neurons(), 108u);   // paper: 108 neurons
+  EXPECT_EQ(net.num_weights(), 3003u);  // paper: 3003 weights
+  // Paper: estimated memory footprint 14 kB.
+  EXPECT_NEAR(static_cast<double>(net.memory_footprint_bytes()) / 1024.0, 14.0, 0.8);
+}
+
+TEST(Network, NetworkBCountsMatchPaper) {
+  Rng rng(2);
+  const Network net = make_network_b(rng);
+  EXPECT_EQ(net.num_inputs(), 100u);
+  EXPECT_EQ(net.num_outputs(), 8u);
+  EXPECT_EQ(net.num_layers(), 25u);      // 24 hidden + output
+  EXPECT_EQ(net.num_neurons(), 1356u);   // paper: 1356 neurons
+  EXPECT_EQ(net.num_weights(), 81032u);  // paper: 81032 weights
+  EXPECT_NEAR(static_cast<double>(net.memory_footprint_bytes()) / 1024.0, 353.0, 20.0);
+}
+
+TEST(Network, TopologyBLayerWidths) {
+  const auto sizes = topology_network_b();
+  ASSERT_EQ(sizes.size(), 26u);
+  EXPECT_EQ(sizes[1], 8u);
+  EXPECT_EQ(sizes[2], 8u);
+  EXPECT_EQ(sizes[3], 16u);
+  EXPECT_EQ(sizes[23], 96u);
+  EXPECT_EQ(sizes[24], 96u);
+  EXPECT_EQ(sizes[25], 8u);
+}
+
+TEST(Network, InferMatchesHandComputation) {
+  // 2-2-1 net with known weights: out = tanh(w*[h1,h2] + b).
+  Rng rng(3);
+  Network net = Network::create({2, 2, 1}, rng);
+  // Hidden: h0 = tanh(0.5x0 - 0.25x1 + 0.1), h1 = tanh(x0 + x1).
+  net.layers()[0].weights = {0.5f, -0.25f, 0.1f, 1.0f, 1.0f, 0.0f};
+  // Output: y = tanh(2 h0 - h1 + 0.05).
+  net.layers()[1].weights = {2.0f, -1.0f, 0.05f};
+  const std::vector<float> input{0.3f, -0.6f};
+  const double h0 = std::tanh(0.5 * 0.3 - 0.25 * -0.6 + 0.1);
+  const double h1 = std::tanh(0.3 - 0.6);
+  const double y = std::tanh(2 * h0 - h1 + 0.05);
+  const std::vector<float> out = net.infer(input);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], y, 1e-6);
+}
+
+TEST(Network, LinearOutputActivation) {
+  Rng rng(4);
+  Network net = Network::create({1, 1}, rng, Activation::kTanh, Activation::kLinear);
+  net.layers()[0].weights = {3.0f, -1.0f};
+  EXPECT_NEAR(net.infer(std::vector<float>{2.0f})[0], 5.0f, 1e-6);
+}
+
+TEST(Network, ClassifyPicksArgmax) {
+  Rng rng(5);
+  Network net = Network::create({1, 3}, rng, Activation::kTanh, Activation::kLinear);
+  net.layers()[0].weights = {0.0f, -1.0f,   // out0 = -1
+                             0.0f, 2.0f,    // out1 = 2
+                             0.0f, 0.5f};   // out2 = 0.5
+  EXPECT_EQ(net.classify(std::vector<float>{0.0f}), 1u);
+}
+
+TEST(Network, InferRejectsWrongWidth) {
+  Rng rng(6);
+  const Network net = make_network_a(rng);
+  EXPECT_THROW(net.infer(std::vector<float>{1.0f}), Error);
+}
+
+TEST(Network, CreateValidation) {
+  Rng rng(7);
+  EXPECT_THROW(Network::create({5}, rng), Error);
+  EXPECT_THROW(Network::create({5, 0, 3}, rng), Error);
+  EXPECT_THROW(Network::create({5, 3}, rng, Activation::kTanh, Activation::kTanh, 0.0f),
+               Error);
+}
+
+TEST(Network, WeightStatistics) {
+  Rng rng(8);
+  Network net = Network::create({2, 2}, rng);
+  net.layers()[0].weights = {1.0f, -3.0f, 0.5f, 2.0f, 0.25f, -0.5f};
+  EXPECT_FLOAT_EQ(net.max_abs_weight(), 3.0f);
+  EXPECT_FLOAT_EQ(net.max_row_abs_sum(), 4.5f);  // |1| + |-3| + |0.5|
+}
+
+TEST(Network, SaveLoadRoundTrip) {
+  Rng rng(9);
+  const Network net = Network::create({3, 4, 2}, rng);
+  std::stringstream ss;
+  net.save(ss);
+  const Network loaded = Network::load(ss);
+  ASSERT_EQ(loaded.num_layers(), net.num_layers());
+  const std::vector<float> input{0.1f, -0.2f, 0.3f};
+  const std::vector<float> a = net.infer(input);
+  const std::vector<float> b = loaded.infer(input);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-5);
+}
+
+TEST(Network, LoadRejectsGarbage) {
+  std::stringstream ss("NOTMAGIC 3");
+  EXPECT_THROW(Network::load(ss), Error);
+}
+
+TEST(Network, DeterministicCreationFromSeed) {
+  Rng rng_a(42), rng_b(42);
+  const Network a = make_network_a(rng_a);
+  const Network b = make_network_a(rng_b);
+  EXPECT_EQ(a.layers()[0].weights, b.layers()[0].weights);
+}
+
+}  // namespace
+}  // namespace iw::nn

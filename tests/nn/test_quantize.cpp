@@ -1,0 +1,120 @@
+#include "nn/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/presets.hpp"
+
+namespace iw::nn {
+namespace {
+
+TEST(Quantize, FracBitsRespectsCap) {
+  Rng rng(1);
+  const Network net = make_network_a(rng);
+  EXPECT_LE(select_frac_bits(net, 13), 13);
+  EXPECT_LE(select_frac_bits(net, 10), 10);
+}
+
+TEST(Quantize, LargerWeightsForceCoarserFormat) {
+  Rng rng(2);
+  Network small = Network::create({4, 4}, rng, Activation::kTanh,
+                                  Activation::kTanh, 0.1f);
+  Network large = Network::create({4, 4}, rng, Activation::kTanh,
+                                  Activation::kTanh, 0.1f);
+  for (float& w : large.layers()[0].weights) w *= 200.0f;
+  EXPECT_LT(select_frac_bits(large, 20), select_frac_bits(small, 20));
+}
+
+TEST(Quantize, RejectsNonTanhNetworks) {
+  Rng rng(3);
+  const Network net =
+      Network::create({2, 2, 1}, rng, Activation::kTanh, Activation::kLinear);
+  EXPECT_THROW(QuantizedNetwork::from(net), Error);
+}
+
+TEST(Quantize, InputClampedToUnitRange) {
+  Rng rng(4);
+  const Network net = make_network_a(rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  const std::vector<float> big{10.0f, -10.0f, 0.5f, 0.0f, 1.0f};
+  const auto fixed = qn.quantize_input(big);
+  const std::int32_t one = fx::to_fixed(1.0, qn.format());
+  EXPECT_EQ(fixed[0], one);
+  EXPECT_EQ(fixed[1], -one);
+  EXPECT_EQ(fixed[4], one);
+}
+
+TEST(Quantize, WeightCountPreserved) {
+  Rng rng(5);
+  const Network net = make_network_a(rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  EXPECT_EQ(qn.num_weights(), net.num_weights());
+  EXPECT_EQ(qn.num_inputs(), net.num_inputs());
+  EXPECT_EQ(qn.num_outputs(), net.num_outputs());
+}
+
+class QuantizeAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantizeAgreement, FixedTracksFloatWithinQuantizationError) {
+  Rng rng(GetParam());
+  Network net = Network::create({5, 20, 20, 3}, rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  const double tol = 64.0 * qn.format().ulp() + 2e-3;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> input(5);
+    for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const std::vector<float> fref = net.infer(input);
+    const std::vector<float> fxd = qn.infer(input);
+    ASSERT_EQ(fref.size(), fxd.size());
+    for (std::size_t i = 0; i < fref.size(); ++i) {
+      EXPECT_NEAR(fxd[i], fref[i], tol) << "seed " << GetParam() << " trial "
+                                        << trial << " output " << i;
+    }
+  }
+}
+
+TEST_P(QuantizeAgreement, ClassificationUsuallyAgrees) {
+  Rng rng(GetParam() + 1000);
+  Network net = Network::create({5, 20, 20, 3}, rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  int agree = 0;
+  const int trials = 100;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<float> input(5);
+    for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    agree += net.classify(input) == qn.classify(input) ? 1 : 0;
+  }
+  // Quantization can flip near-tie outputs, but not often.
+  EXPECT_GE(agree, 95) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizeAgreement,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(Quantize, NetworkAFixedInferenceRunsCleanly) {
+  Rng rng(6);
+  const Network net = make_network_a(rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  const std::vector<float> input{0.1f, -0.3f, 0.8f, -0.9f, 0.2f};
+  const auto out = qn.infer_fixed(qn.quantize_input(input));
+  ASSERT_EQ(out.size(), 3u);
+  const std::int32_t one = fx::to_fixed(1.0, qn.format());
+  for (std::int32_t v : out) {
+    EXPECT_LE(std::abs(v), one);  // tanh outputs bounded
+  }
+}
+
+TEST(Quantize, NetworkBFixedInferenceRunsCleanly) {
+  Rng rng(7);
+  const Network net = make_network_b(rng);
+  const QuantizedNetwork qn = QuantizedNetwork::from(net);
+  std::vector<float> input(100);
+  for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto out = qn.infer_fixed(qn.quantize_input(input));
+  EXPECT_EQ(out.size(), 8u);
+}
+
+}  // namespace
+}  // namespace iw::nn

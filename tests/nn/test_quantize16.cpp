@@ -1,0 +1,97 @@
+#include "nn/quantize16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/presets.hpp"
+
+namespace iw::nn {
+namespace {
+
+TEST(Quantize16, FormatSelectionRespectsInt16) {
+  Rng rng(1);
+  Network net = Network::create({4, 4}, rng, Activation::kTanh, Activation::kTanh, 0.1f);
+  net.layers()[0].weights[0] = 14.0f;  // needs |w| * 2^f < 32768 -> f <= 11
+  EXPECT_LE(select_frac_bits16(net, 14), 11);
+}
+
+TEST(Quantize16, RowPaddingIsZero) {
+  Rng rng(2);
+  const Network net = Network::create({3, 2}, rng);  // odd n_in -> pad
+  const QuantizedNetwork16 qn = QuantizedNetwork16::from(net);
+  const QuantizedLayer16& layer = qn.layers()[0];
+  EXPECT_EQ(layer.row_pairs, 2u);
+  for (std::size_t o = 0; o < layer.n_out; ++o) {
+    EXPECT_EQ(layer.weights[o * 4 + 3], 0);  // pad entry of each row
+  }
+}
+
+TEST(Quantize16, RejectsNonTanh) {
+  Rng rng(3);
+  const Network net =
+      Network::create({2, 1}, rng, Activation::kTanh, Activation::kLinear);
+  EXPECT_THROW(QuantizedNetwork16::from(net), Error);
+}
+
+class Quantize16Agreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Quantize16Agreement, TracksFloatNetwork) {
+  Rng rng(GetParam());
+  const Network net = Network::create({5, 20, 20, 3}, rng);
+  const QuantizedNetwork16 qn = QuantizedNetwork16::from(net);
+  const double tol = 128.0 * qn.format().ulp() + 5e-3;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<float> input(5);
+    for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto fref = net.infer(input);
+    const auto fxd = qn.infer(input);
+    ASSERT_EQ(fxd.size(), fref.size());
+    for (std::size_t i = 0; i < fref.size(); ++i) {
+      EXPECT_NEAR(fxd[i], fref[i], tol) << "seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(Quantize16Agreement, MatchesWideQuantizationArgmax) {
+  // 16-bit and 32-bit exports should almost always agree on the decision.
+  Rng rng(GetParam() + 500);
+  const Network net = Network::create({5, 16, 3}, rng);
+  const QuantizedNetwork16 q16 = QuantizedNetwork16::from(net);
+  int agree = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<float> input(5);
+    for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const auto a = q16.infer(input);
+    const std::size_t pick16 = static_cast<std::size_t>(
+        std::max_element(a.begin(), a.end()) - a.begin());
+    agree += pick16 == net.classify(input) ? 1 : 0;
+  }
+  EXPECT_GE(agree, 90);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Quantize16Agreement, ::testing::Values(7u, 77u, 777u));
+
+TEST(Quantize16, NetworkAInference) {
+  Rng rng(4);
+  const Network net = make_network_a(rng);
+  const QuantizedNetwork16 qn = QuantizedNetwork16::from(net);
+  std::vector<float> input{0.2f, -0.4f, 0.6f, -0.8f, 0.1f};
+  const auto out = qn.infer_fixed(qn.quantize_input(input));
+  ASSERT_EQ(out.size(), 3u);
+  const std::int16_t one = static_cast<std::int16_t>(1 << qn.frac_bits());
+  for (std::int16_t v : out) EXPECT_LE(std::abs(v), one);
+}
+
+TEST(Quantize16, InputClamped) {
+  Rng rng(5);
+  const Network net = Network::create({2, 1}, rng);
+  const QuantizedNetwork16 qn = QuantizedNetwork16::from(net);
+  const auto fixed = qn.quantize_input(std::vector<float>{5.0f, -5.0f});
+  EXPECT_EQ(fixed[0], static_cast<std::int16_t>(1 << qn.frac_bits()));
+  EXPECT_EQ(fixed[1], static_cast<std::int16_t>(-(1 << qn.frac_bits())));
+}
+
+}  // namespace
+}  // namespace iw::nn

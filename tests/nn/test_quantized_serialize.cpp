@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+
+namespace iw::nn {
+namespace {
+
+TEST(QuantizedSerialize, LosslessRoundTrip) {
+  Rng rng(1);
+  const Network net = make_network_a(rng);
+  const QuantizedNetwork original = QuantizedNetwork::from(net);
+  std::stringstream ss;
+  original.save(ss);
+  const QuantizedNetwork loaded = QuantizedNetwork::load(ss);
+
+  EXPECT_EQ(loaded.format().frac_bits, original.format().frac_bits);
+  ASSERT_EQ(loaded.layers().size(), original.layers().size());
+  for (std::size_t l = 0; l < loaded.layers().size(); ++l) {
+    EXPECT_EQ(loaded.layers()[l].weights, original.layers()[l].weights);
+  }
+  // Integer weights: inference is bit-identical after the round trip.
+  const std::vector<float> input{0.1f, -0.7f, 0.3f, 0.9f, -0.2f};
+  EXPECT_EQ(loaded.infer_fixed(loaded.quantize_input(input)),
+            original.infer_fixed(original.quantize_input(input)));
+}
+
+TEST(QuantizedSerialize, RejectsGarbage) {
+  std::stringstream bad_magic("WRONG 13 9 1");
+  EXPECT_THROW(QuantizedNetwork::load(bad_magic), Error);
+  std::stringstream bad_frac("IWNNQ1\n99 9\n1\n2 1\n0 0 0\n");
+  EXPECT_THROW(QuantizedNetwork::load(bad_frac), Error);
+  std::stringstream bad_chain("IWNNQ1\n13 9\n2\n2 3\n0 0 0 0 0 0 0 0 0\n5 1\n0 0 0 0 0 0\n");
+  EXPECT_THROW(QuantizedNetwork::load(bad_chain), Error);
+}
+
+}  // namespace
+}  // namespace iw::nn

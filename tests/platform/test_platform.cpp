@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "harvest/harvester.hpp"
+#include "platform/detection_cost.hpp"
+#include "platform/device.hpp"
+
+#include <algorithm>
+
+namespace iw::platform {
+namespace {
+
+TEST(DetectionCost, PaperBreakdown) {
+  // Section IV: acquisition ~600 uJ, features 1 uJ, best classification
+  // 1.2 uJ -> total 602.2 uJ.
+  DetectionCostParams params;
+  const DetectionCost cost = make_detection_cost(params);
+  EXPECT_NEAR(cost.acquisition_j * 1e6, 603.0, 1.0);
+  EXPECT_NEAR(cost.feature_extraction_j * 1e6, 1.0, 0.05);
+  EXPECT_NEAR(cost.classification_j * 1e6, 1.2, 0.05);
+  EXPECT_NEAR(cost.total_j() * 1e6, 602.2, 4.0);
+  EXPECT_NEAR(cost.duration_s, 3.0, 0.01);
+}
+
+TEST(DetectionCost, M4ClassificationCostsMore) {
+  DetectionCostParams m4;
+  m4.classification_cycles = 30210;  // paper Table III, Network A on M4
+  m4.classification_processor = pwr::nordic_m4();
+  DetectionCostParams multi;
+  const double m4_j = make_detection_cost(m4).classification_j;
+  const double multi_j = make_detection_cost(multi).classification_j;
+  EXPECT_NEAR(m4_j * 1e6, 5.1, 0.2);  // paper Table IV
+  EXPECT_GT(m4_j, multi_j);
+}
+
+TEST(DetectionCost, NotificationAddsBleEnergy) {
+  DetectionCostParams params;
+  params.notification_bytes = 4.0;
+  const DetectionCost with = make_detection_cost(params);
+  params.notification_bytes = 0.0;
+  const DetectionCost without = make_detection_cost(params);
+  EXPECT_GT(with.notification_j, 0.0);
+  EXPECT_DOUBLE_EQ(without.notification_j, 0.0);
+  EXPECT_GT(with.total_j(), without.total_j());
+}
+
+TEST(Device, EnvironmentLookupWalksSegments) {
+  hv::DayProfile profile;
+  hv::Environment a, b;
+  a.lux = 100.0;
+  b.lux = 900.0;
+  profile.push_back({10.0, a});
+  profile.push_back({20.0, b});
+  EXPECT_DOUBLE_EQ(environment_at(profile, 5.0).lux, 100.0);
+  EXPECT_DOUBLE_EQ(environment_at(profile, 15.0).lux, 900.0);
+  EXPECT_DOUBLE_EQ(environment_at(profile, 35.0).lux, 100.0);  // wraps
+  EXPECT_THROW(environment_at({}, 0.0), Error);
+}
+
+TEST(Device, DayAtPaperRateIsSustainable) {
+  // One detection per minute costs ~0.87 J/day, far below the ~21 J/day
+  // harvest: SoC must not decrease.
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  config.detection_period_s = 60.0;
+  config.initial_soc = 0.5;
+  const DaySimulationResult result =
+      simulate_day(config, harvester, hv::paper_worst_case_day());
+  EXPECT_EQ(result.detections_skipped, 0u);
+  EXPECT_NEAR(static_cast<double>(result.detections_completed), 1440.0, 2.0);
+  EXPECT_GE(result.final_soc, result.initial_soc);
+  EXPECT_NEAR(result.harvested_j, 21.44, 1.2);
+}
+
+TEST(Device, OverAggressiveRateDrainsBattery) {
+  // 40 detections/minute (~35 J/day) exceeds the ~21 J/day harvest: the
+  // battery must end the day lower than it started.
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  config.detection_period_s = 1.5;
+  config.initial_soc = 0.5;
+  const DaySimulationResult result =
+      simulate_day(config, harvester, hv::paper_worst_case_day());
+  EXPECT_LT(result.final_soc, result.initial_soc);
+  EXPECT_GT(result.consumed_j, result.harvested_j);
+}
+
+TEST(Device, EmptyBatterySkipsDetections) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  config.detection_period_s = 60.0;
+  config.initial_soc = 0.0;
+  // Pitch black, not worn: no intake at all.
+  hv::Environment dead;
+  dead.lux = 0.0;
+  dead.worn = false;
+  const hv::DayProfile profile{{3600.0, dead}};
+  const DaySimulationResult result = simulate_day(config, harvester, profile);
+  EXPECT_EQ(result.detections_completed, 0u);
+  EXPECT_GT(result.detections_skipped, 0u);
+}
+
+TEST(Device, TraceChannelsRecorded) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  const hv::DayProfile profile{{1800.0, hv::Environment{}}};
+  const DaySimulationResult result = simulate_day(config, harvester, profile);
+  EXPECT_TRUE(result.trace.has_channel("soc"));
+  EXPECT_TRUE(result.trace.has_channel("intake_w"));
+  EXPECT_TRUE(result.trace.has_channel("detection"));
+}
+
+TEST(Device, ScaleProfileLux) {
+  hv::DayProfile profile = hv::paper_worst_case_day();
+  const hv::DayProfile doubled = scale_profile_lux(profile, 2.0);
+  EXPECT_DOUBLE_EQ(doubled[0].env.lux, 2.0 * profile[0].env.lux);
+  EXPECT_DOUBLE_EQ(doubled[1].env.lux, 0.0);  // dark stays dark
+  EXPECT_THROW(scale_profile_lux(profile, -1.0), Error);
+}
+
+TEST(Device, MultiDayCarriesBatteryState) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  config.detection_period_s = 60.0;
+  config.initial_soc = 0.4;
+  Rng rng(1);
+  const MultiDayResult result =
+      simulate_days(config, harvester, hv::paper_worst_case_day(), 3, rng, 0.0);
+  ASSERT_EQ(result.days.size(), 3u);
+  // Day n starts where day n-1 ended.
+  EXPECT_DOUBLE_EQ(result.days[1].initial_soc, result.days[0].final_soc);
+  EXPECT_DOUBLE_EQ(result.days[2].initial_soc, result.days[1].final_soc);
+  EXPECT_DOUBLE_EQ(result.final_soc, result.days[2].final_soc);
+  EXPECT_EQ(result.total_detections, result.days[0].detections_completed +
+                                         result.days[1].detections_completed +
+                                         result.days[2].detections_completed);
+  EXPECT_LE(result.min_soc, result.final_soc);
+}
+
+TEST(Device, MultiDayLuxVariationChangesHarvest) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  Rng rng(2);
+  const MultiDayResult varied =
+      simulate_days(config, harvester, hv::paper_worst_case_day(), 5, rng, 0.8);
+  double min_harvest = 1e9, max_harvest = 0.0;
+  for (const auto& day : varied.days) {
+    min_harvest = std::min(min_harvest, day.harvested_j);
+    max_harvest = std::max(max_harvest, day.harvested_j);
+  }
+  EXPECT_GT(max_harvest, 1.3 * min_harvest);  // weather actually varies
+  EXPECT_THROW(simulate_days(config, harvester, hv::paper_worst_case_day(), 0, rng),
+               Error);
+}
+
+TEST(Device, ConfigValidation) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection_period_s = 0.0;
+  EXPECT_THROW(simulate_day(config, harvester, hv::paper_worst_case_day()), Error);
+}
+
+}  // namespace
+}  // namespace iw::platform

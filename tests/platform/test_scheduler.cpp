@@ -1,0 +1,160 @@
+#include "platform/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "harvest/harvester.hpp"
+#include "platform/device.hpp"
+
+namespace iw::platform {
+namespace {
+
+SchedulerState state_with(double soc, double intake_w = 100e-6) {
+  SchedulerState s;
+  s.soc = soc;
+  s.recent_intake_w = intake_w;
+  s.detection_energy_j = 602e-6;
+  return s;
+}
+
+TEST(FixedRatePolicy, ConstantInterval) {
+  const FixedRatePolicy policy(30.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval_s(state_with(0.1)), 30.0);
+  EXPECT_DOUBLE_EQ(policy.next_interval_s(state_with(0.9)), 30.0);
+  EXPECT_THROW(FixedRatePolicy(0.0), Error);
+}
+
+TEST(SocProportionalPolicy, RateGrowsWithSoc) {
+  const SocProportionalPolicy policy(1.0, 24.0);
+  const double low = policy.next_interval_s(state_with(0.3));
+  const double high = policy.next_interval_s(state_with(0.7));
+  EXPECT_GT(low, high);  // higher SoC -> shorter interval
+}
+
+TEST(SocProportionalPolicy, SurvivalModeBelowLowWater) {
+  const SocProportionalPolicy policy(1.0, 24.0, 0.15, 0.80);
+  // Below the low-water mark: one tenth of the minimum rate.
+  EXPECT_NEAR(policy.next_interval_s(state_with(0.10)), 600.0, 1e-9);
+}
+
+TEST(SocProportionalPolicy, SaturatesAtHighWater) {
+  const SocProportionalPolicy policy(1.0, 24.0, 0.15, 0.80);
+  EXPECT_NEAR(policy.next_interval_s(state_with(0.85)), 60.0 / 24.0, 1e-9);
+  EXPECT_NEAR(policy.next_interval_s(state_with(1.0)), 60.0 / 24.0, 1e-9);
+}
+
+TEST(SocProportionalPolicy, Validation) {
+  EXPECT_THROW(SocProportionalPolicy(0.0, 24.0), Error);
+  EXPECT_THROW(SocProportionalPolicy(10.0, 5.0), Error);
+  EXPECT_THROW(SocProportionalPolicy(1.0, 24.0, 0.8, 0.2), Error);
+}
+
+TEST(EnergyNeutralPolicy, RateTracksIntake) {
+  const EnergyNeutralPolicy policy(1.0, 0.1, 120.0, 0.5);
+  // 602 uJ per detection, 602 uW intake -> 1 detection/s = 60/min at SoC 0.5.
+  const double interval = policy.next_interval_s(state_with(0.5, 602e-6));
+  EXPECT_NEAR(interval, 1.0, 0.05);
+  // A tenth of the intake -> a tenth of the rate.
+  const double slow = policy.next_interval_s(state_with(0.5, 60.2e-6));
+  EXPECT_NEAR(slow, 10.0, 0.5);
+}
+
+TEST(EnergyNeutralPolicy, SocCorrectionSpendsSurplus) {
+  const EnergyNeutralPolicy policy(1.0, 0.1, 120.0, 0.5);
+  const double above = policy.next_interval_s(state_with(0.8, 100e-6));
+  const double below = policy.next_interval_s(state_with(0.2, 100e-6));
+  EXPECT_LT(above, below);  // surplus -> detect more often
+}
+
+TEST(EnergyNeutralPolicy, ClampsToRateBounds) {
+  const EnergyNeutralPolicy policy(0.9, 1.0, 24.0, 0.5);
+  // Zero intake: clamped to the minimum rate (60 s / 1 per min).
+  EXPECT_NEAR(policy.next_interval_s(state_with(0.5, 0.0)), 60.0, 1e-9);
+  // Huge intake: clamped to the maximum rate.
+  EXPECT_NEAR(policy.next_interval_s(state_with(0.5, 1.0)), 60.0 / 24.0, 1e-9);
+}
+
+TEST(EnergyNeutralPolicy, Validation) {
+  EXPECT_THROW(EnergyNeutralPolicy(0.0), Error);
+  EXPECT_THROW(EnergyNeutralPolicy(1.5), Error);
+  const EnergyNeutralPolicy policy;
+  SchedulerState bad = state_with(0.5);
+  bad.detection_energy_j = 0.0;
+  EXPECT_THROW(policy.next_interval_s(bad), Error);
+}
+
+// ---------------------------------------------------------- closed-loop runs
+
+DeviceConfig harsh_config() {
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  config.detection_period_s = 5.0;
+  config.initial_soc = 0.001;  // nearly empty battery
+  return config;
+}
+
+hv::DayProfile dark_day() {
+  hv::Environment env;  // no light, body heat only
+  env.lux = 0.0;
+  env.skin_c = 32.0;
+  env.ambient_c = 22.0;
+  return hv::DayProfile{{6.0 * 3600.0, env}};
+}
+
+TEST(AdaptiveScheduling, EnergyNeutralSurvivesWhereFixedRateStarves) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  const DeviceConfig config = harsh_config();
+
+  // Aggressive fixed rate on a near-empty battery in the dark: detections
+  // outpace the ~24 uW TEG intake and most attempts are skipped.
+  const DaySimulationResult fixed = simulate_day(config, harvester, dark_day());
+  EXPECT_GT(fixed.detections_skipped, 1000u);  // starves once the buffer is gone
+
+  const EnergyNeutralPolicy policy(0.9, 0.1, 24.0, 0.3);
+  const DaySimulationResult adaptive =
+      simulate_day_with_policy(config, harvester, dark_day(), policy);
+  // The adaptive schedule throttles to what the TEG provides: a far larger
+  // fraction of its attempts succeed.
+  const double fixed_yield = static_cast<double>(fixed.detections_completed) /
+                             static_cast<double>(fixed.detections_attempted);
+  const double adaptive_yield =
+      static_cast<double>(adaptive.detections_completed) /
+      static_cast<double>(adaptive.detections_attempted);
+  EXPECT_GT(adaptive_yield, fixed_yield + 0.3);
+  EXPECT_GE(adaptive.final_soc, 0.0);
+}
+
+TEST(AdaptiveScheduling, ExploitsAbundantEnergy) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  config.detection_period_s = 60.0;
+  config.initial_soc = 0.8;
+  hv::Environment sunny;
+  sunny.lux = 30000.0;
+  const hv::DayProfile day{{2.0 * 3600.0, sunny}};
+
+  const EnergyNeutralPolicy policy(0.9, 0.5, 60.0, 0.5);
+  const DaySimulationResult adaptive =
+      simulate_day_with_policy(config, harvester, day, policy);
+  const DaySimulationResult fixed = simulate_day(config, harvester, day);
+  // In full sun the adaptive policy detects far more often than 1/min.
+  EXPECT_GT(adaptive.detections_completed, 3 * fixed.detections_completed);
+  EXPECT_TRUE(adaptive.trace.has_channel("interval_s"));
+}
+
+TEST(AdaptiveScheduling, PolicyIntervalValidated) {
+  struct BadPolicy final : DetectionPolicy {
+    std::string name() const override { return "bad"; }
+    double next_interval_s(const SchedulerState&) const override { return -1.0; }
+  };
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  DeviceConfig config;
+  config.detection = make_detection_cost(DetectionCostParams{});
+  EXPECT_THROW(
+      simulate_day_with_policy(config, harvester, dark_day(), BadPolicy{}),
+      Error);
+}
+
+}  // namespace
+}  // namespace iw::platform

@@ -1,0 +1,80 @@
+#include "power/domains.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "power/processor_power.hpp"
+
+namespace iw::pwr {
+namespace {
+
+TEST(PowerDomain, StartsOffAndWakeCostsEnergy) {
+  PowerDomain domain(mr_wolf_cluster_domain());
+  EXPECT_EQ(domain.state(), DomainState::kOff);
+  EXPECT_DOUBLE_EQ(domain.consumed_j(), 0.0);
+  const double latency = domain.set_state(DomainState::kActive);
+  EXPECT_GT(latency, 0.0);
+  EXPECT_GT(domain.consumed_j(), 0.0);
+}
+
+TEST(PowerDomain, NoWakeCostBetweenOnStates) {
+  PowerDomain domain(mr_wolf_cluster_domain());
+  domain.set_state(DomainState::kIdle);
+  const double after_wake = domain.consumed_j();
+  EXPECT_DOUBLE_EQ(domain.set_state(DomainState::kActive), 0.0);
+  EXPECT_DOUBLE_EQ(domain.consumed_j(), after_wake);
+}
+
+TEST(PowerDomain, RunForChargesByState) {
+  PowerDomain domain(mr_wolf_soc_domain());
+  domain.run_for(1.0);  // off: free
+  EXPECT_DOUBLE_EQ(domain.consumed_j(), 0.0);
+  domain.set_state(DomainState::kIdle);
+  const double wake = domain.consumed_j();
+  domain.run_for(1.0);
+  const double idle_j = domain.consumed_j() - wake;
+  EXPECT_NEAR(idle_j, domain.params().idle_power_w, 1e-12);
+  domain.set_state(DomainState::kActive);
+  domain.run_for(1.0);
+  EXPECT_NEAR(domain.consumed_j() - wake - idle_j, domain.params().active_power_w,
+              1e-12);
+}
+
+TEST(PowerDomain, ParamsValidation) {
+  PowerDomain::Params bad;
+  bad.active_power_w = 1.0;
+  bad.idle_power_w = 2.0;  // idle above active
+  EXPECT_THROW(PowerDomain{bad}, Error);
+}
+
+TEST(DomainAwareEnergy, ReproducesTableIvInversion) {
+  // Paper Table IV, Network A: IBEX alone (1.3 uJ) beats one cluster core
+  // (2.9 uJ) even though IBEX needs almost twice the cycles, because the
+  // cluster domain costs wake energy plus higher power.
+  const DomainAwareRun ibex = domain_aware_energy(40661, 100e6, false, 0.0);
+  const DomainAwareRun cluster = domain_aware_energy(
+      22772, 100e6, true, mr_wolf_cluster_single().active_power_w);
+  EXPECT_LT(ibex.total_j(), cluster.total_j());
+  EXPECT_NEAR(ibex.total_j() * 1e6, 1.3, 0.1);
+  EXPECT_NEAR(cluster.total_j() * 1e6, 2.9 + 0.4, 0.3);  // + modeled wake cost
+  EXPECT_GT(cluster.cluster_wake_j, 0.0);
+  EXPECT_DOUBLE_EQ(ibex.cluster_wake_j, 0.0);
+}
+
+TEST(DomainAwareEnergy, LongRunsAmortizeTheWakeCost) {
+  // For Network B the cluster advantage survives the wake cost easily.
+  const DomainAwareRun ibex = domain_aware_energy(955588, 100e6, false, 0.0);
+  const DomainAwareRun multi = domain_aware_energy(
+      108316, 100e6, true, mr_wolf_cluster_multi8().active_power_w);
+  EXPECT_LT(multi.total_j(), ibex.total_j());
+  const double wake_share = multi.cluster_wake_j / multi.total_j();
+  EXPECT_LT(wake_share, 0.05);
+}
+
+TEST(DomainAwareEnergy, Validation) {
+  EXPECT_THROW(domain_aware_energy(100, 0.0, false, 0.0), Error);
+  EXPECT_THROW(domain_aware_energy(100, 100e6, true, 1e-6), Error);
+}
+
+}  // namespace
+}  // namespace iw::pwr

@@ -1,0 +1,64 @@
+#include "power/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "power/processor_power.hpp"
+
+namespace iw::pwr {
+namespace {
+
+TEST(Dvfs, CalibratedPowerAtPaperOperatingPoint) {
+  const MrWolfDvfsModel model = MrWolfDvfsModel::calibrated_cluster();
+  // 19.6 mW at 100 MHz (Table IV calibration / the paper's "20 mW").
+  EXPECT_NEAR(model.power_w(100e6) * 1e3,
+              mr_wolf_cluster_multi8().active_power_w * 1e3, 0.1);
+}
+
+TEST(Dvfs, VoltageFlatThenRising) {
+  const MrWolfDvfsModel model = MrWolfDvfsModel::calibrated_cluster();
+  EXPECT_DOUBLE_EQ(model.voltage_v(50e6), model.voltage_v(100e6));
+  EXPECT_GT(model.voltage_v(200e6), model.voltage_v(100e6));
+  EXPECT_NEAR(model.voltage_v(450e6), 1.1, 1e-9);
+  EXPECT_THROW(model.voltage_v(500e6), Error);
+}
+
+TEST(Dvfs, MostEfficientPointNearHundredMegahertz) {
+  // The paper: "the most energy-efficient point being at 100 MHz".
+  const MrWolfDvfsModel model = MrWolfDvfsModel::calibrated_cluster();
+  const double f_opt = model.most_efficient_frequency_hz();
+  EXPECT_GE(f_opt, 80e6);
+  EXPECT_LE(f_opt, 130e6);
+}
+
+TEST(Dvfs, EnergyPerCycleShape) {
+  const MrWolfDvfsModel model = MrWolfDvfsModel::calibrated_cluster();
+  const double at_opt = model.energy_per_cycle_j(100e6);
+  // Low frequency: leakage dominates -> worse than the knee.
+  EXPECT_GT(model.energy_per_cycle_j(25e6), at_opt);
+  // Max frequency: V^2 penalty -> clearly worse than the knee.
+  EXPECT_GT(model.energy_per_cycle_j(450e6), 1.3 * at_opt);
+}
+
+TEST(Dvfs, PowerMonotoneInFrequency) {
+  const MrWolfDvfsModel model = MrWolfDvfsModel::calibrated_cluster();
+  double prev = 0.0;
+  for (double f = 20e6; f <= 450e6; f += 10e6) {
+    const double p = model.power_w(f);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Dvfs, ParamValidation) {
+  DvfsParams bad;
+  bad.dynamic_coeff = 0.0;
+  EXPECT_THROW(MrWolfDvfsModel{bad}, Error);
+  bad = DvfsParams{};
+  bad.dynamic_coeff = 1e-12;
+  bad.v_max = 0.5;  // below the floor
+  EXPECT_THROW(MrWolfDvfsModel{bad}, Error);
+}
+
+}  // namespace
+}  // namespace iw::pwr

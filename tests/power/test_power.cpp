@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "power/battery.hpp"
+#include "power/fuel_gauge.hpp"
+#include "power/processor_power.hpp"
+#include "power/psu.hpp"
+
+namespace iw::pwr {
+namespace {
+
+// ------------------------------------------------------------------- battery
+
+TEST(Battery, InitialState) {
+  const LipoBattery battery({}, 0.5);
+  EXPECT_DOUBLE_EQ(battery.soc(), 0.5);
+  EXPECT_DOUBLE_EQ(battery.charge_mah(), 60.0);
+  EXPECT_NEAR(battery.voltage_v(), 3.7, 0.01);
+}
+
+TEST(Battery, ChargeIncreasesAndClamps) {
+  LipoBattery battery({}, 0.99);
+  battery.charge(1.0, 3600.0);  // way more than capacity
+  EXPECT_TRUE(battery.full());
+  EXPECT_DOUBLE_EQ(battery.soc(), 1.0);
+}
+
+TEST(Battery, DischargeDecreasesAndClamps) {
+  LipoBattery battery({}, 0.01);
+  const double delivered = battery.discharge(1.0, 3600.0);
+  EXPECT_TRUE(battery.empty());
+  // Only ~1% of 120 mAh could be delivered.
+  EXPECT_LT(delivered, 0.02 * 120.0 * 3.6 * 4.2);
+  EXPECT_GT(delivered, 0.0);
+}
+
+TEST(Battery, CoulombConservationRoundTrip) {
+  LipoBattery::Params params;
+  params.charge_efficiency = 1.0;  // ideal cell for the conservation check
+  LipoBattery battery(params, 0.5);
+  const double before = battery.charge_mah();
+  battery.charge(0.01, 600.0);
+  battery.discharge(0.01, 600.0);
+  // OCV differs slightly between charge and discharge points, so allow a
+  // small residual.
+  EXPECT_NEAR(battery.charge_mah(), before, 0.02);
+}
+
+TEST(Battery, ChargeEfficiencyAppliesOnlyToCharging) {
+  LipoBattery::Params params;
+  params.charge_efficiency = 0.5;
+  LipoBattery battery(params, 0.5);
+  const double before = battery.charge_mah();
+  battery.charge(0.0037, 3600.0);  // 1 mA-equivalent for 1 h at ~3.7 V
+  EXPECT_NEAR(battery.charge_mah() - before, 0.5, 0.05);
+}
+
+TEST(Battery, VoltageMonotoneInSoc) {
+  double prev = 0.0;
+  for (double soc = 0.0; soc <= 1.0; soc += 0.05) {
+    const LipoBattery battery({}, soc);
+    EXPECT_GE(battery.voltage_v(), prev);
+    prev = battery.voltage_v();
+  }
+}
+
+TEST(Battery, StoredEnergyScalesWithSoc) {
+  const LipoBattery half({}, 0.5);
+  const LipoBattery full({}, 1.0);
+  EXPECT_GT(full.stored_energy_j(), half.stored_energy_j());
+  // 120 mAh at ~3.7 V is about 1600 J; full estimate must be in range.
+  EXPECT_NEAR(full.full_energy_j(), 120.0 * 3.6 * 3.8, 150.0);
+}
+
+TEST(Battery, SelfDischarge) {
+  LipoBattery battery({}, 0.5);
+  battery.age(86400.0 * 10);  // 10 days
+  EXPECT_LT(battery.soc(), 0.5);
+  EXPECT_GT(battery.soc(), 0.49);
+}
+
+TEST(Battery, Validation) {
+  EXPECT_THROW(LipoBattery({}, 1.5), Error);
+  LipoBattery::Params bad;
+  bad.capacity_mah = -1.0;
+  EXPECT_THROW(LipoBattery(bad, 0.5), Error);
+  LipoBattery battery({}, 0.5);
+  EXPECT_THROW(battery.charge(-1.0, 1.0), Error);
+  EXPECT_THROW(battery.discharge(1.0, -1.0), Error);
+}
+
+// ---------------------------------------------------------------- fuel gauge
+
+TEST(FuelGauge, QuantizedReadings) {
+  LipoBattery battery({}, 0.753);
+  const Bq27441FuelGauge gauge(battery);
+  EXPECT_EQ(gauge.state_of_charge_pct(), 75);
+  EXPECT_EQ(gauge.remaining_capacity_mah(), 90);  // floor(0.753 * 120)
+  EXPECT_GT(gauge.voltage_mv(), 3000);
+  EXPECT_LT(gauge.voltage_mv(), 4300);
+}
+
+TEST(FuelGauge, AverageCurrentTracksDischarge) {
+  LipoBattery battery({}, 0.8);
+  Bq27441FuelGauge gauge(battery);
+  battery.discharge(0.0037, 3600.0);  // ~1 mA for an hour
+  double ma = 0.0;
+  for (int i = 0; i < 20; ++i) ma = gauge.update_average_current_ma(3600.0);
+  // Negative (discharging) on the first sample, decaying toward zero after.
+  EXPECT_LT(ma, 0.5);
+  EXPECT_THROW(gauge.update_average_current_ma(0.0), Error);
+}
+
+TEST(FuelGauge, QuiescentDrawSmall) {
+  LipoBattery battery({}, 0.5);
+  const Bq27441FuelGauge gauge(battery);
+  EXPECT_LT(gauge.quiescent_power_w(), 50e-6);
+  EXPECT_GT(gauge.quiescent_power_w(), 0.0);
+}
+
+// ----------------------------------------------------------- processor power
+
+TEST(ProcessorPower, CalibratedAgainstPaperTableIV) {
+  // Energy for the paper's own cycle counts must land on Table IV's values.
+  EXPECT_NEAR(nordic_m4().energy_j(30210) * 1e6, 5.1, 0.2);
+  EXPECT_NEAR(mr_wolf_ibex().energy_j(40661) * 1e6, 1.3, 0.1);
+  EXPECT_NEAR(mr_wolf_cluster_single().energy_j(22772) * 1e6, 2.9, 0.15);
+  EXPECT_NEAR(mr_wolf_cluster_multi8().energy_j(6126) * 1e6, 1.2, 0.05);
+}
+
+TEST(ProcessorPower, ParallelPowerNearPaperTwentyMilliwatt) {
+  // Paper: "assuming Mr. Wolf consuming 20 mW in parallel execution".
+  EXPECT_NEAR(mr_wolf_cluster_multi8().active_power_w * 1e3, 20.0, 1.0);
+}
+
+TEST(ProcessorPower, TimeFollowsFrequency) {
+  EXPECT_NEAR(nordic_m4().time_s(64000000), 1.0, 1e-9);
+  EXPECT_NEAR(mr_wolf_ibex().time_s(100000000), 1.0, 1e-9);
+}
+
+TEST(ProcessorPower, IbexIsTheLowPowerPoint) {
+  EXPECT_LT(mr_wolf_ibex().active_power_w, nordic_m4().active_power_w);
+  EXPECT_LT(mr_wolf_cluster_single().active_power_w,
+            mr_wolf_cluster_multi8().active_power_w);
+}
+
+// ----------------------------------------------------------------------- psu
+
+TEST(Ldo, EfficiencyIsVoltageRatioAtHighLoad) {
+  LdoModel ldo;
+  // At high load the quiescent term vanishes: eff -> vout/vin.
+  EXPECT_NEAR(ldo.efficiency(0.1), 1.8 / 3.7, 0.01);
+  EXPECT_DOUBLE_EQ(ldo.efficiency(0.0), 0.0);
+}
+
+TEST(Ldo, InputPowerIncludesQuiescent) {
+  LdoModel ldo;
+  EXPECT_GT(ldo.input_power_w(0.0), 0.0);
+  EXPECT_GT(ldo.input_power_w(0.001), 0.001);
+  EXPECT_THROW(ldo.input_power_w(-1.0), Error);
+}
+
+TEST(Ledger, AccumulatesPerComponent) {
+  EnergyLedger ledger;
+  ledger.add("ecg", 1e-6);
+  ledger.add("ecg", 2e-6);
+  ledger.add("mcu", 5e-6);
+  EXPECT_NEAR(ledger.component_j("ecg"), 3e-6, 1e-12);
+  EXPECT_NEAR(ledger.total_j(), 8e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(ledger.component_j("missing"), 0.0);
+  EXPECT_THROW(ledger.add("x", -1.0), Error);
+}
+
+TEST(Ledger, ReportFormat) {
+  EnergyLedger ledger;
+  ledger.add("radio", 2e-6);
+  std::ostringstream os;
+  ledger.write_report(os);
+  EXPECT_NE(os.str().find("radio"), std::string::npos);
+  EXPECT_NE(os.str().find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iw::pwr

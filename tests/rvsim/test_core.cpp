@@ -1,0 +1,466 @@
+#include "rvsim/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "asmx/assembler.hpp"
+#include "common/error.hpp"
+#include "rvsim/machine.hpp"
+
+namespace iw::rv {
+namespace {
+
+/// Assembles and runs a program on the given profile; returns the machine for
+/// register/memory inspection.
+std::unique_ptr<Machine> run_program(const std::string& source,
+                                     TimingProfile profile = ri5cy()) {
+  auto machine = std::make_unique<Machine>(std::move(profile));
+  const asmx::Program program = asmx::assemble(source);
+  machine->load_program(program.words);
+  machine->run(0);
+  return machine;
+}
+
+std::int32_t a0(const std::unique_ptr<Machine>& m) {
+  return static_cast<std::int32_t>(m->core().reg(10));
+}
+
+TEST(Core, BasicArithmetic) {
+  const auto m = run_program(R"(
+      li a0, 20
+      li a1, 22
+      add a0, a0, a1
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 42);
+}
+
+TEST(Core, BranchLoopSumsOneToTen) {
+  const auto m = run_program(R"(
+      li a0, 0
+      li t0, 1
+      li t1, 11
+  loop:
+      add a0, a0, t0
+      addi t0, t0, 1
+      bne t0, t1, loop
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 55);
+}
+
+TEST(Core, LoadStoreRoundTrip) {
+  const auto m = run_program(R"(
+      .equ BUF, 0x400
+      li t0, BUF
+      li t1, -123
+      sw t1, 0(t0)
+      lw a0, 0(t0)
+      sh t1, 8(t0)
+      lh a1, 8(t0)
+      lhu a2, 8(t0)
+      sb t1, 12(t0)
+      lb a3, 12(t0)
+      lbu a4, 12(t0)
+      ecall
+  )");
+  auto& core = m->core();
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(10)), -123);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(11)), -123);
+  EXPECT_EQ(core.reg(12), 0xFF85u);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(13)), -123);
+  EXPECT_EQ(core.reg(14), 0x85u);
+}
+
+TEST(Core, ShiftAndCompare) {
+  const auto m = run_program(R"(
+      li t0, -16
+      srai t1, t0, 2      # -4
+      srli t2, t0, 28     # 0xF
+      slt a0, t0, zero    # 1
+      sltu a1, t0, zero   # 0 (unsigned -16 is huge)
+      add a0, a0, t1
+      add a0, a0, t2
+      add a0, a0, a1
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 1 - 4 + 15 + 0);
+}
+
+TEST(Core, MulDivSemantics) {
+  const auto m = run_program(R"(
+      li t0, -7
+      li t1, 3
+      mul a0, t0, t1        # -21
+      div a1, t0, t1        # -2 (toward zero)
+      rem a2, t0, t1        # -1
+      li t2, 0
+      div a3, t0, t2        # div by zero -> -1
+      rem a4, t0, t2        # rem by zero -> rs1
+      ecall
+  )");
+  auto& core = m->core();
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(10)), -21);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(11)), -2);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(12)), -1);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(13)), -1);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(14)), -7);
+}
+
+TEST(Core, MulhVariants) {
+  const auto m = run_program(R"(
+      li t0, 0x40000000
+      li t1, 8
+      mulh a0, t0, t1       # (2^30 * 8) >> 32 = 2
+      li t2, -1
+      mulhu a1, t2, t2      # (2^32-1)^2 >> 32 = 0xFFFFFFFE
+      ecall
+  )");
+  auto& core = m->core();
+  EXPECT_EQ(core.reg(10), 2u);
+  EXPECT_EQ(core.reg(11), 0xFFFFFFFEu);
+}
+
+TEST(Core, X0AlwaysZero) {
+  const auto m = run_program(R"(
+      li t0, 99
+      add zero, t0, t0
+      mv a0, zero
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 0);
+}
+
+TEST(Core, JalLinksReturnAddress) {
+  const auto m = run_program(R"(
+      li a0, 0
+      call func
+      addi a0, a0, 1
+      ecall
+  func:
+      addi a0, a0, 10
+      ret
+  )");
+  EXPECT_EQ(a0(m), 11);
+}
+
+TEST(Core, HardwareLoopRepeats) {
+  const auto m = run_program(R"(
+      li a0, 0
+      lp.setupi 0, 25, loop_end
+      addi a0, a0, 2
+  loop_end:
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 50);
+}
+
+TEST(Core, HardwareLoopFromRegister) {
+  const auto m = run_program(R"(
+      li a0, 0
+      li t0, 7
+      lp.setup 0, t0, loop_end
+      addi a0, a0, 3
+      addi a0, a0, 1
+  loop_end:
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 28);
+}
+
+TEST(Core, NestedHardwareLoops) {
+  const auto m = run_program(R"(
+      li a0, 0
+      lp.setupi 1, 5, outer_end
+      lp.setupi 0, 4, inner_end
+      addi a0, a0, 1
+  inner_end:
+      addi a0, a0, 100
+  outer_end:
+      ecall
+  )");
+  // 5 outer iterations, each: 4 inner increments + 100.
+  EXPECT_EQ(a0(m), 5 * (4 + 100));
+}
+
+TEST(Core, HardwareLoopZeroOverheadTiming) {
+  // Same loop body executed via hwloop vs branch; hwloop must cost exactly
+  // body_cycles * n after setup, the branch version pays the taken penalty.
+  const std::string hw = R"(
+      lp.setupi 0, 100, end
+      addi a0, a0, 1
+  end:
+      ecall
+  )";
+  const std::string br = R"(
+      li t0, 100
+  loop:
+      addi a0, a0, 1
+      addi t0, t0, -1
+      bnez t0, loop
+      ecall
+  )";
+  Machine mh(ri5cy());
+  const asmx::Program ph = asmx::assemble(hw);
+  mh.load_program(ph.words);
+  const RunResult rh = mh.run(0);
+  Machine mb(ri5cy());
+  const asmx::Program pb = asmx::assemble(br);
+  mb.load_program(pb.words);
+  const RunResult rb = mb.run(0);
+  EXPECT_LT(rh.cycles, rb.cycles);
+  // hwloop: setup(1) + 100*addi(1) + ecall(1) = 102.
+  EXPECT_EQ(rh.cycles, 102u);
+}
+
+TEST(Core, PostIncrementLoadWalksArray) {
+  const auto m = run_program(R"(
+      .equ BUF, 0x400
+      li t0, BUF
+      li t1, 11
+      sw t1, 0(t0)
+      li t1, 22
+      sw t1, 4(t0)
+      li t1, 33
+      sw t1, 8(t0)
+      li a1, BUF
+      li a0, 0
+      p.lw t2, 4(a1!)
+      add a0, a0, t2
+      p.lw t2, 4(a1!)
+      add a0, a0, t2
+      p.lw t2, 4(a1!)
+      add a0, a0, t2
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 66);
+  // Base register advanced three words past BUF.
+  EXPECT_EQ(m->core().reg(11), 0x400u + 12u);
+}
+
+TEST(Core, PostIncrementStore) {
+  const auto m = run_program(R"(
+      .equ BUF, 0x400
+      li a1, BUF
+      li t0, 7
+      p.sw t0, 4(a1!)
+      li t0, 9
+      p.sw t0, 4(a1!)
+      lw a0, BUF(zero)
+      lw t1, BUF+4(zero)
+      add a0, a0, t1
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 16);
+}
+
+TEST(Core, MacAccumulates) {
+  const auto m = run_program(R"(
+      li a0, 100
+      li t0, 6
+      li t1, 7
+      p.mac a0, t0, t1
+      p.mac a0, t0, t1
+      ecall
+  )");
+  EXPECT_EQ(a0(m), 100 + 2 * 42);
+}
+
+TEST(Core, ClipSaturates) {
+  const auto m = run_program(R"(
+      li t0, 300
+      p.clip a0, t0, 8      # clamp to [-128, 127]
+      li t0, -300
+      p.clip a1, t0, 8
+      li t0, 50
+      p.clip a2, t0, 8
+      ecall
+  )");
+  auto& core = m->core();
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(10)), 127);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(11)), -128);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(12)), 50);
+}
+
+TEST(Core, SimdDotProduct) {
+  // Pack (3, -2) and (10, 5): dot = 3*10 + (-2)*5 = 20.
+  const auto m = run_program(R"(
+      li t0, 0xFFFE0003      # hi=-2, lo=3
+      li t1, 0x0005000A      # hi=5, lo=10
+      li a0, 0
+      pv.sdotsp.h a0, t0, t1
+      pv.dotsp.h a1, t0, t1
+      pv.sdotsp.h a0, t0, t1
+      ecall
+  )");
+  auto& core = m->core();
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(10)), 40);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(11)), 20);
+}
+
+TEST(Core, CsrHartIdAndCycle) {
+  const auto m = run_program(R"(
+      csrr a0, mhartid
+      nop
+      nop
+      csrr a1, mcycle
+      ecall
+  )");
+  auto& core = m->core();
+  EXPECT_EQ(core.reg(10), 0u);  // single-core machine is hart 0
+  EXPECT_GE(core.reg(11), 3u);  // cycles at csrr time
+}
+
+TEST(Core, FloatArithmetic) {
+  const auto m = run_program(R"(
+      .equ BUF, 0x400
+      li t0, BUF
+      li t1, 0x3FC00000      # 1.5f
+      sw t1, 0(t0)
+      li t1, 0x40000000      # 2.0f
+      sw t1, 4(t0)
+      flw f0, 0(t0)
+      flw f1, 4(t0)
+      fmul.s f2, f0, f1      # 3.0
+      fadd.s f2, f2, f1      # 5.0
+      fmadd.s f3, f0, f1, f2 # 1.5*2 + 5 = 8.0
+      fcvt.w.s a0, f3
+      ecall
+  )",
+                                cortex_m4f());
+  EXPECT_EQ(a0(m), 8);
+}
+
+TEST(Core, FloatCompareAndConvert) {
+  const auto m = run_program(R"(
+      li t0, 5
+      fcvt.s.w f0, t0
+      li t1, -3
+      fcvt.s.w f1, t1
+      flt.s a0, f1, f0       # 1
+      fle.s a1, f0, f1       # 0
+      feq.s a2, f0, f0       # 1
+      fneg.s f2, f0
+      fcvt.w.s a3, f2        # -5
+      ecall
+  )",
+                                cortex_m4f());
+  auto& core = m->core();
+  EXPECT_EQ(core.reg(10), 1u);
+  EXPECT_EQ(core.reg(11), 0u);
+  EXPECT_EQ(core.reg(12), 1u);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(13)), -5);
+}
+
+TEST(Core, UnsupportedInstructionThrowsOnIbex) {
+  Machine machine(ibex());
+  const asmx::Program program = asmx::assemble(R"(
+      li t0, 1
+      li t1, 1
+      p.mac a0, t0, t1
+      ecall
+  )");
+  machine.load_program(program.words);
+  EXPECT_THROW(machine.run(0), Error);
+}
+
+TEST(Core, LoadUseStallChargedOnRi5cy) {
+  // Dependent use right after the load pays the stall; inserting an
+  // independent instruction hides it.
+  const std::string dependent = R"(
+      lw t0, 0x100(zero)
+      add a0, t0, t0
+      ecall
+  )";
+  const std::string hidden = R"(
+      lw t0, 0x100(zero)
+      addi t1, zero, 0
+      add a0, t0, t0
+      ecall
+  )";
+  Machine md(ri5cy());
+  md.load_program(asmx::assemble(dependent).words);
+  const RunResult rd = md.run(0);
+  Machine mh(ri5cy());
+  mh.load_program(asmx::assemble(hidden).words);
+  const RunResult rh = mh.run(0);
+  // dependent: lw(1) + add(1+1 stall) + ecall(1) = 4
+  // hidden:    lw(1) + addi(1) + add(1) + ecall(1) = 4
+  EXPECT_EQ(rd.cycles, 4u);
+  EXPECT_EQ(rh.cycles, 4u);
+  EXPECT_EQ(rd.instructions + 1, rh.instructions);
+}
+
+TEST(Core, TakenBranchCostsMore) {
+  const std::string taken = R"(
+      li t0, 1
+      bnez t0, skip
+      nop
+  skip:
+      ecall
+  )";
+  const std::string not_taken = R"(
+      li t0, 0
+      bnez t0, skip
+      nop
+  skip:
+      ecall
+  )";
+  Machine mt(ri5cy());
+  mt.load_program(asmx::assemble(taken).words);
+  const RunResult rt = mt.run(0);
+  Machine mn(ri5cy());
+  mn.load_program(asmx::assemble(not_taken).words);
+  const RunResult rn = mn.run(0);
+  // Taken skips the nop but pays the redirect penalty.
+  EXPECT_EQ(rt.instructions + 1, rn.instructions);
+  EXPECT_EQ(rt.cycles, rn.cycles - 1 + static_cast<std::uint64_t>(ri5cy().branch_taken_extra));
+}
+
+TEST(Core, BackToBackLoadsPipelineOnM4) {
+  // Three consecutive loads on the M4 profile: 2 + 1 + 1 cycles.
+  const std::string three_loads = R"(
+      lw t0, 0x100(zero)
+      lw t1, 0x104(zero)
+      lw t2, 0x108(zero)
+      ecall
+  )";
+  Machine m(cortex_m4f());
+  m.load_program(asmx::assemble(three_loads).words);
+  const RunResult r = m.run(0);
+  EXPECT_EQ(r.cycles, 2u + 1u + 1u + 1u);  // + ecall
+}
+
+TEST(Core, StallCountersTrackPenalties) {
+  // 10-iteration counted loop: 9 taken back-edges; one load-use pair.
+  const auto m = run_program(R"(
+      li t0, 10
+  loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      lw t1, 0x400(zero)
+      add a0, t1, t1
+      ecall
+  )");
+  EXPECT_EQ(m->core().taken_branches(), 9u);
+  EXPECT_EQ(m->core().load_use_stalls(), 1u);
+}
+
+TEST(Core, HaltedCoreRefusesToStep) {
+  Machine m(ri5cy());
+  m.load_program(asmx::assemble("ecall\n").words);
+  m.run(0);
+  EXPECT_TRUE(m.core().halted());
+  EXPECT_THROW(m.core().step(), Error);
+}
+
+TEST(Core, RunawayProgramHitsBudget) {
+  Machine m(ri5cy());
+  m.load_program(asmx::assemble("loop: j loop\n").words);
+  EXPECT_THROW(m.run(0, 10000), Error);
+}
+
+}  // namespace
+}  // namespace iw::rv

@@ -1,0 +1,60 @@
+// Decoder fuzzing: for random 32-bit words, decode() either rejects the word
+// or produces a Decoded whose re-encoding decodes to the same thing
+// (idempotence after one canonicalization step). Also checks that every
+// legal decode produces a printable disassembly.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "rvsim/encoding.hpp"
+
+namespace iw::rv {
+namespace {
+
+bool equal(const Decoded& a, const Decoded& b) {
+  return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2 &&
+         a.rs3 == b.rs3 && a.imm == b.imm && a.imm2 == b.imm2 && a.extra == b.extra;
+}
+
+TEST(DecodeFuzz, DecodeEncodeIdempotent) {
+  iw::Rng rng(0xF00D);
+  int decoded_count = 0;
+  for (int trial = 0; trial < 200000; ++trial) {
+    const std::uint32_t word = static_cast<std::uint32_t>(rng.next());
+    Decoded d;
+    try {
+      d = decode(word);
+    } catch (const Error&) {
+      continue;  // illegal word: fine
+    }
+    ++decoded_count;
+    std::uint32_t canonical = 0;
+    try {
+      canonical = encode(d);
+    } catch (const Error& e) {
+      FAIL() << "decoded word 0x" << std::hex << word
+             << " cannot be re-encoded: " << e.what();
+    }
+    const Decoded d2 = decode(canonical);
+    EXPECT_TRUE(equal(d, d2)) << "word 0x" << std::hex << word << " canonical 0x"
+                              << canonical;
+  }
+  // A healthy fraction of random words hits legal encodings.
+  EXPECT_GT(decoded_count, 1000);
+}
+
+TEST(DecodeFuzz, LegalDecodesDisassemble) {
+  iw::Rng rng(0xBEEF);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint32_t word = static_cast<std::uint32_t>(rng.next());
+    try {
+      const Decoded d = decode(word);
+      EXPECT_FALSE(to_string(d).empty());
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iw::rv

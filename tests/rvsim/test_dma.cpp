@@ -1,0 +1,226 @@
+// Cluster DMA engine: data correctness, wait semantics, transfer queueing,
+// and the double-buffering overlap it exists for.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asmx/assembler.hpp"
+#include "common/error.hpp"
+#include "rvsim/cluster.hpp"
+
+namespace iw::rv {
+namespace {
+
+ClusterConfig one_core_config() {
+  ClusterConfig cfg;
+  cfg.num_cores = 1;
+  cfg.mem_bytes = 1u << 20;
+  return cfg;
+}
+
+// Common .equ prologue for the DMA register block.
+const char* kDmaEqus = R"(
+    .equ DMA_SRC, 0xFFD0
+    .equ DMA_DST, 0xFFD4
+    .equ DMA_LEN, 0xFFD8
+    .equ DMA_TRIG, 0xFFDC
+    .equ DMA_WAIT, 0xFFE0
+)";
+
+TEST(ClusterDma, CopiesDataL2ToTcdm) {
+  Cluster cluster(ri5cy(), one_core_config());
+  const asmx::Program program = asmx::assemble(std::string(kDmaEqus) + R"(
+    li t0, DMA_SRC
+    li t1, 0x4000          # source in L2
+    sw t1, 0(t0)
+    li t1, 0x80000         # destination in TCDM
+    sw t1, 4(t0)           # DMA_DST
+    li t1, 16
+    sw t1, 8(t0)           # DMA_LEN (words)
+    sw zero, 12(t0)        # trigger
+    sw zero, 16(t0)        # wait for completion
+    ecall
+  )");
+  cluster.load_program(program.words);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    cluster.memory().store32(0x4000 + 4 * i, 0xA0000000u + i);
+  }
+  const ClusterRunResult result = cluster.run(0);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(cluster.memory().load32(0x80000 + 4 * i), 0xA0000000u + i) << i;
+  }
+  EXPECT_EQ(result.dma_transfers, 1u);
+  EXPECT_EQ(result.dma_words, 16u);
+  EXPECT_GT(result.dma_wait_cycles, 0u);
+}
+
+TEST(ClusterDma, WaitCostMatchesTransferModel) {
+  // A long transfer's wait time is startup + len / words_per_cycle minus the
+  // few cycles the core spends between trigger and wait.
+  Cluster cluster(ri5cy(), one_core_config());
+  const asmx::Program program = asmx::assemble(std::string(kDmaEqus) + R"(
+    li t0, DMA_SRC
+    li t1, 0x4000
+    sw t1, 0(t0)
+    li t1, 0x80000
+    sw t1, 4(t0)
+    li t1, 1000
+    sw t1, 8(t0)
+    sw zero, 12(t0)
+    sw zero, 16(t0)
+    ecall
+  )");
+  cluster.load_program(program.words);
+  const ClusterRunResult result = cluster.run(0);
+  const std::uint64_t model =
+      20 + 1000 / 2;  // dma_startup_cycles + len / words_per_cycle
+  EXPECT_NEAR(static_cast<double>(result.dma_wait_cycles),
+              static_cast<double>(model), 4.0);
+}
+
+TEST(ClusterDma, TransfersQueueBackToBack) {
+  // Two triggers before the wait: completion time accumulates.
+  Cluster cluster(ri5cy(), one_core_config());
+  const asmx::Program program = asmx::assemble(std::string(kDmaEqus) + R"(
+    li t0, DMA_SRC
+    li t1, 0x4000
+    sw t1, 0(t0)
+    li t1, 0x80000
+    sw t1, 4(t0)
+    li t1, 600
+    sw t1, 8(t0)
+    sw zero, 12(t0)        # transfer 1
+    li t1, 0x5000
+    sw t1, 0(t0)
+    li t1, 0x81000
+    sw t1, 4(t0)
+    sw zero, 12(t0)        # transfer 2 (same length)
+    sw zero, 16(t0)
+    ecall
+  )");
+  cluster.load_program(program.words);
+  const ClusterRunResult result = cluster.run(0);
+  EXPECT_EQ(result.dma_transfers, 2u);
+  // Both transfers must be paid for: 2 * (20 + 300), minus the cycles the
+  // core spent issuing the second descriptor.
+  EXPECT_GT(result.dma_wait_cycles, 2u * 300u);
+}
+
+TEST(ClusterDma, DoubleBufferingOverlapsComputeWithTransfer) {
+  // Process 4 tiles of 512 words. Blocking: wait for each tile before
+  // processing it. Double-buffered: prefetch tile t+1 while summing tile t.
+  const std::string blocking = std::string(kDmaEqus) + R"(
+    .equ L2, 0x4000
+    .equ TILE0, 0x80000
+    li s0, 0               # tile index
+    li s1, 4
+    li a0, 0               # checksum
+  tile_loop:
+    li t0, DMA_SRC
+    slli t1, s0, 11        # tile offset: 512 words = 2048 bytes
+    li t2, L2
+    add t2, t2, t1
+    sw t2, 0(t0)
+    li t2, TILE0
+    sw t2, 4(t0)
+    li t2, 512
+    sw t2, 8(t0)
+    sw zero, 12(t0)        # trigger
+    sw zero, 16(t0)        # wait (blocking)
+    li t3, TILE0
+    lp.setupi 0, 512, sum_end
+    p.lw t4, 4(t3!)
+    add a0, a0, t4
+  sum_end:
+    addi s0, s0, 1
+    bne s0, s1, tile_loop
+    ecall
+  )";
+  const std::string overlapped = std::string(kDmaEqus) + R"(
+    .equ L2, 0x4000
+    .equ TILE0, 0x80000
+    .equ TILE1, 0x81000
+    # prefetch tile 0 into buffer 0
+    li t0, DMA_SRC
+    li t2, L2
+    sw t2, 0(t0)
+    li t2, TILE0
+    sw t2, 4(t0)
+    li t2, 512
+    sw t2, 8(t0)
+    sw zero, 12(t0)
+    li s0, 0
+    li s1, 4
+    li a0, 0
+    li s2, TILE0           # current buffer
+    li s3, TILE1           # next buffer
+  tile_loop:
+    sw zero, 16(t0)        # wait for current tile
+    # prefetch the next tile into the other buffer (if any)
+    addi t1, s0, 1
+    beq t1, s1, no_prefetch
+    slli t1, t1, 11
+    li t2, L2
+    add t2, t2, t1
+    sw t2, 0(t0)
+    sw s3, 4(t0)
+    li t2, 512
+    sw t2, 8(t0)
+    sw zero, 12(t0)
+  no_prefetch:
+    mv t3, s2
+    lp.setupi 0, 512, sum_end
+    p.lw t4, 4(t3!)
+    add a0, a0, t4
+  sum_end:
+    mv t4, s2              # swap buffers
+    mv s2, s3
+    mv s3, t4
+    addi s0, s0, 1
+    bne s0, s1, tile_loop
+    ecall
+  )";
+
+  Cluster block(ri5cy(), one_core_config());
+  block.load_program(asmx::assemble(blocking).words);
+  for (std::uint32_t i = 0; i < 4 * 512; ++i) {
+    block.memory().store32(0x4000 + 4 * i, i * 3 + 1);
+  }
+  const ClusterRunResult rb = block.run(0);
+
+  Cluster overlap(ri5cy(), one_core_config());
+  overlap.load_program(asmx::assemble(overlapped).words);
+  for (std::uint32_t i = 0; i < 4 * 512; ++i) {
+    overlap.memory().store32(0x4000 + 4 * i, i * 3 + 1);
+  }
+  const ClusterRunResult ro = overlap.run(0);
+
+  // Same checksum on both schedules.
+  EXPECT_EQ(block.core(0).reg(10), overlap.core(0).reg(10));
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 0; i < 4 * 512; ++i) expected += i * 3 + 1;
+  EXPECT_EQ(block.core(0).reg(10), expected);
+  // Overlap hides most of the transfer latency behind compute.
+  EXPECT_LT(ro.cycles + 500, rb.cycles);
+  EXPECT_LT(ro.dma_wait_cycles, rb.dma_wait_cycles / 2);
+}
+
+TEST(ClusterDma, MisalignedTransferRejected) {
+  Cluster cluster(ri5cy(), one_core_config());
+  const asmx::Program program = asmx::assemble(std::string(kDmaEqus) + R"(
+    li t0, DMA_SRC
+    li t1, 0x4002          # misaligned source
+    sw t1, 0(t0)
+    li t1, 0x80000
+    sw t1, 4(t0)
+    li t1, 4
+    sw t1, 8(t0)
+    sw zero, 12(t0)
+    ecall
+  )");
+  cluster.load_program(program.words);
+  EXPECT_THROW(cluster.run(0), Error);
+}
+
+}  // namespace
+}  // namespace iw::rv

@@ -1,0 +1,60 @@
+#include "rvsim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iw::rv {
+namespace {
+
+TEST(Memory, ReadBackWrites) {
+  Memory mem(1024);
+  mem.store32(0, 0xDEADBEEFu);
+  EXPECT_EQ(mem.load32(0), 0xDEADBEEFu);
+  mem.store16(8, 0x1234);
+  EXPECT_EQ(mem.load16(8), 0x1234);
+  mem.store8(3, 0xAB);
+  EXPECT_EQ(mem.load8(3), 0xAB);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  Memory mem(16);
+  mem.store32(0, 0x04030201u);
+  EXPECT_EQ(mem.load8(0), 0x01);
+  EXPECT_EQ(mem.load8(3), 0x04);
+  EXPECT_EQ(mem.load16(2), 0x0403);
+}
+
+TEST(Memory, BoundsChecked) {
+  Memory mem(64);
+  EXPECT_THROW(mem.load32(64), Error);
+  EXPECT_THROW(mem.store32(61, 0), Error);
+  EXPECT_THROW(mem.load8(64), Error);
+  EXPECT_NO_THROW(mem.load32(60));
+}
+
+TEST(Memory, AlignmentChecked) {
+  Memory mem(64);
+  EXPECT_THROW(mem.load32(2), Error);
+  EXPECT_THROW(mem.load16(1), Error);
+  EXPECT_THROW(mem.store32(5, 0), Error);
+}
+
+TEST(Memory, WordHelpersRoundTrip) {
+  Memory mem(256);
+  const std::vector<std::int32_t> values{-1, 0, 42, -100000};
+  mem.write_words(16, values);
+  EXPECT_EQ(mem.read_words_i32(16, 4), values);
+
+  const std::vector<float> floats{1.5f, -2.25f, 0.0f};
+  mem.write_words_f32(64, floats);
+  EXPECT_EQ(mem.read_words_f32(64, 3), floats);
+}
+
+TEST(Memory, ZeroInitialized) {
+  const Memory mem(128);
+  for (std::uint32_t a = 0; a < 128; a += 4) EXPECT_EQ(mem.load32(a), 0u);
+}
+
+}  // namespace
+}  // namespace iw::rv

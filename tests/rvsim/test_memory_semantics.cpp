@@ -1,0 +1,117 @@
+// Property tests for load/store semantics: sign/zero extension, width
+// truncation, and alignment behaviour, against host golden models.
+#include <gtest/gtest.h>
+
+#include "asmx/assembler.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "rvsim/machine.hpp"
+
+namespace iw::rv {
+namespace {
+
+/// Stores `value` with `store_op`, reloads it with `load_op`, returns a0.
+std::uint32_t store_load(const std::string& store_op, const std::string& load_op,
+                         std::uint32_t value) {
+  const asmx::Program program = asmx::assemble(
+      "lw t0, 0x400(zero)\n" +
+      store_op + " t0, 0x500(zero)\n" +
+      load_op + " a0, 0x500(zero)\n"
+      "ecall\n");
+  Machine machine(ri5cy(), 1 << 16);
+  machine.load_program(program.words);
+  machine.memory().store32(0x400, value);
+  machine.run(0);
+  return machine.core().reg(10);
+}
+
+TEST(MemorySemantics, ByteSignAndZeroExtension) {
+  iw::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t byte = v & 0xFF;
+    EXPECT_EQ(store_load("sb", "lbu", v), byte);
+    EXPECT_EQ(store_load("sb", "lb", v),
+              static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                  static_cast<std::int8_t>(byte))));
+  }
+}
+
+TEST(MemorySemantics, HalfwordSignAndZeroExtension) {
+  iw::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t half = v & 0xFFFF;
+    EXPECT_EQ(store_load("sh", "lhu", v), half);
+    EXPECT_EQ(store_load("sh", "lh", v),
+              static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                  static_cast<std::int16_t>(half))));
+  }
+}
+
+TEST(MemorySemantics, WordRoundTrip) {
+  iw::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    EXPECT_EQ(store_load("sw", "lw", v), v);
+  }
+}
+
+TEST(MemorySemantics, NarrowStoreLeavesNeighboursIntact) {
+  const asmx::Program program = asmx::assemble(R"(
+      li t0, 0x11223344
+      sw t0, 0x500(zero)
+      li t1, 0xAA
+      sb t1, 0x501(zero)       # overwrite byte 1 only
+      lw a0, 0x500(zero)
+      ecall
+  )");
+  Machine machine(ri5cy(), 1 << 16);
+  machine.load_program(program.words);
+  machine.run(0);
+  EXPECT_EQ(machine.core().reg(10), 0x1122AA44u);
+}
+
+TEST(MemorySemantics, MisalignedAccessFaults) {
+  for (const char* op : {"lw a0, 0x501(zero)\n", "lh a0, 0x501(zero)\n",
+                         "sw a0, 0x502(zero)\n"}) {
+    Machine machine(ri5cy(), 1 << 16);
+    machine.load_program(asmx::assemble(std::string(op) + "ecall\n").words);
+    EXPECT_THROW(machine.run(0), Error) << op;
+  }
+}
+
+TEST(MemorySemantics, OutOfBoundsFaults) {
+  Machine machine(ri5cy(), 1 << 12);  // 4 kB memory
+  machine.load_program(asmx::assemble(R"(
+      li t0, 0x2000
+      lw a0, 0(t0)
+      ecall
+  )").words);
+  EXPECT_THROW(machine.run(0), Error);
+}
+
+TEST(MemorySemantics, PostIncrementUsesPreIncrementAddress) {
+  // p.lw reads at the base address and bumps it afterwards; a second p.lw
+  // must read the next word, and p.sh must honour the same convention.
+  const asmx::Program program = asmx::assemble(R"(
+      li t0, 0x500
+      li t1, 7
+      sw t1, 0x500(zero)
+      li t1, 9
+      sw t1, 0x504(zero)
+      p.lw a0, 4(t0!)
+      p.lw a1, 4(t0!)
+      mv a2, t0
+      ecall
+  )");
+  Machine machine(ri5cy(), 1 << 16);
+  machine.load_program(program.words);
+  machine.run(0);
+  EXPECT_EQ(machine.core().reg(10), 7u);
+  EXPECT_EQ(machine.core().reg(11), 9u);
+  EXPECT_EQ(machine.core().reg(12), 0x508u);
+}
+
+}  // namespace
+}  // namespace iw::rv

@@ -1,0 +1,69 @@
+#include "rvsim/profile_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asmx/assembler.hpp"
+#include "rvsim/machine.hpp"
+
+namespace iw::rv {
+namespace {
+
+TEST(InstructionHistogram, CountsAndClasses) {
+  InstructionHistogram h;
+  h.record(Op::kAdd);
+  h.record(Op::kAdd);
+  h.record(Op::kLw);
+  h.record(Op::kMul);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(Op::kAdd), 2u);
+  EXPECT_EQ(h.class_count(OpClass::kAlu), 2u);
+  EXPECT_EQ(h.class_count(OpClass::kLoad), 1u);
+  EXPECT_DOUBLE_EQ(h.class_fraction(OpClass::kMul), 0.25);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.class_fraction(OpClass::kAlu), 0.0);
+}
+
+TEST(InstructionHistogram, SortedByCount) {
+  InstructionHistogram h;
+  for (int i = 0; i < 5; ++i) h.record(Op::kLw);
+  for (int i = 0; i < 3; ++i) h.record(Op::kAdd);
+  h.record(Op::kMul);
+  const auto sorted = h.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, Op::kLw);
+  EXPECT_EQ(sorted[1].first, Op::kAdd);
+  EXPECT_EQ(sorted[2].first, Op::kMul);
+}
+
+TEST(InstructionHistogram, AttachedToCoreSeesEveryInstruction) {
+  Machine machine(ri5cy(), 1 << 16);
+  machine.load_program(asmx::assemble(R"(
+      li t0, 10
+  loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      ecall
+  )").words);
+  InstructionHistogram h;
+  machine.core().set_histogram(&h);
+  const RunResult run = machine.run(0);
+  EXPECT_EQ(h.total(), run.instructions);
+  EXPECT_EQ(h.count(Op::kAddi), 11u);  // li + 10 decrements
+  EXPECT_EQ(h.count(Op::kBne), 10u);
+  EXPECT_EQ(h.count(Op::kEcall), 1u);
+}
+
+TEST(InstructionHistogram, ReportMentionsTopOpcodes) {
+  InstructionHistogram h;
+  for (int i = 0; i < 7; ++i) h.record(Op::kMul);
+  std::ostringstream os;
+  h.write_report(os);
+  EXPECT_NE(os.str().find("mul"), std::string::npos);
+  EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iw::rv

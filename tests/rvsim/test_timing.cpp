@@ -1,0 +1,66 @@
+#include "rvsim/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iw::rv {
+namespace {
+
+TEST(Timing, ProfileNamesAndFrequencies) {
+  EXPECT_EQ(cortex_m4f().name, "cortex-m4f");
+  EXPECT_DOUBLE_EQ(cortex_m4f().freq_hz, 64e6);
+  EXPECT_EQ(ibex().name, "ibex");
+  EXPECT_DOUBLE_EQ(ibex().freq_hz, 100e6);
+  EXPECT_EQ(ri5cy().name, "ri5cy");
+  EXPECT_DOUBLE_EQ(ri5cy().freq_hz, 100e6);
+}
+
+TEST(Timing, IbexLacksAllExtensions) {
+  const TimingProfile p = ibex();
+  EXPECT_FALSE(p.supports(Op::kPMac));
+  EXPECT_FALSE(p.supports(Op::kPAbs));
+  EXPECT_FALSE(p.supports(Op::kPMin));
+  EXPECT_FALSE(p.supports(Op::kPExths));
+  EXPECT_FALSE(p.supports(Op::kPLwPost));
+  EXPECT_FALSE(p.supports(Op::kLpSetupi));
+  EXPECT_FALSE(p.supports(Op::kPvDotspH));
+  EXPECT_FALSE(p.supports(Op::kFaddS));
+  EXPECT_TRUE(p.supports(Op::kMul));
+  EXPECT_TRUE(p.supports(Op::kLw));
+}
+
+TEST(Timing, CortexM4HasMacPostincFpuButNoHwloop) {
+  const TimingProfile p = cortex_m4f();
+  EXPECT_TRUE(p.supports(Op::kPMac));
+  EXPECT_TRUE(p.supports(Op::kPLwPost));
+  EXPECT_TRUE(p.supports(Op::kFmaddS));
+  EXPECT_FALSE(p.supports(Op::kLpSetup));
+  EXPECT_FALSE(p.supports(Op::kPvDotspH));
+}
+
+TEST(Timing, Ri5cySupportsFullExtensionSet) {
+  const TimingProfile p = ri5cy();
+  EXPECT_TRUE(p.supports(Op::kPMac));
+  EXPECT_TRUE(p.supports(Op::kPLwPost));
+  EXPECT_TRUE(p.supports(Op::kLpSetup));
+  EXPECT_TRUE(p.supports(Op::kPvSdotspH));
+  EXPECT_TRUE(p.supports(Op::kPClip));
+  EXPECT_FALSE(p.supports(Op::kFaddS));  // Mr. Wolf cluster fixed-point focus
+}
+
+TEST(Timing, BaseCostUsesClassFields) {
+  TimingProfile p;
+  p.mul = 3;
+  p.load = 2;
+  p.div = 37;
+  EXPECT_EQ(p.base_cost(op_class(Op::kMul)), 3);
+  EXPECT_EQ(p.base_cost(op_class(Op::kLw)), 2);
+  EXPECT_EQ(p.base_cost(op_class(Op::kDivu)), 37);
+  EXPECT_EQ(p.base_cost(op_class(Op::kAdd)), 1);
+}
+
+TEST(Timing, IbexMultiplierSlowerThanRi5cy) {
+  EXPECT_GT(ibex().mul, ri5cy().mul);
+}
+
+}  // namespace
+}  // namespace iw::rv

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sensors/acquisition.hpp"
+#include "sensors/afe.hpp"
+#include "sensors/bus.hpp"
+
+namespace iw::sensors {
+namespace {
+
+TEST(Afe, PaperPowerNumbers) {
+  EXPECT_NEAR(max30001_ecg().active_power_w, 171e-6, 1e-9);  // paper: 171 uW
+  EXPECT_NEAR(gsr_frontend().active_power_w, 30e-6, 1e-9);   // paper: 30 uW
+}
+
+TEST(Afe, PowerStates) {
+  const SensorDevice ecg = max30001_ecg();
+  EXPECT_DOUBLE_EQ(ecg.power_w(PowerState::kOff), 0.0);
+  EXPECT_GT(ecg.power_w(PowerState::kActive), ecg.power_w(PowerState::kSleep));
+}
+
+TEST(Afe, AcquisitionEnergyScalesWithTime) {
+  const SensorDevice ecg = max30001_ecg();
+  EXPECT_NEAR(ecg.acquisition_energy_j(3.0), 3.0 * 171e-6, 1e-12);
+  EXPECT_THROW(ecg.acquisition_energy_j(-1.0), Error);
+}
+
+TEST(Afe, DataRates) {
+  EXPECT_DOUBLE_EQ(max30001_ecg().data_rate_bps(), 256.0 * 3.0);
+  EXPECT_DOUBLE_EQ(gsr_frontend().data_rate_bps(), 32.0 * 2.0);
+  EXPECT_GT(ics43434_microphone().data_rate_bps(), 40000.0);
+}
+
+TEST(Afe, RelativePowerOrdering) {
+  // The biosignal front ends are the low-power path; IMU and mic cost more.
+  EXPECT_LT(gsr_frontend().active_power_w, max30001_ecg().active_power_w);
+  EXPECT_LT(max30001_ecg().active_power_w, icm20948_imu().active_power_w);
+  EXPECT_LT(max30001_ecg().active_power_w, ics43434_microphone().active_power_w);
+}
+
+TEST(Acquisition, StressDetectionMatchesPaper) {
+  const AcquisitionPlan plan = stress_detection_acquisition();
+  // Paper: ECG 171 uW + GSR 30 uW over 3 s -> ~600 uJ ("needing 600 uJ").
+  EXPECT_NEAR(plan.power_w(), 201e-6, 1e-9);
+  EXPECT_NEAR(plan.energy_j() * 1e6, 603.0, 1.0);
+  EXPECT_NEAR(plan.energy_j() * 1e6, 600.0, 5.0);  // paper's rounded value
+}
+
+TEST(Acquisition, BytesProduced) {
+  const AcquisitionPlan plan = stress_detection_acquisition();
+  // 3 s of ECG @ 256 Hz x 3 B + GSR @ 32 Hz x 2 B.
+  EXPECT_NEAR(plan.bytes(), 3.0 * (256.0 * 3.0 + 32.0 * 2.0), 1e-9);
+}
+
+TEST(Bus, TransactionTimeComposition) {
+  const BusConfig spi = spi_8mhz();
+  const double t = transaction_time_s(spi, 16.0);
+  EXPECT_NEAR(t, 2e-6 + 16.0 * 8.0 / 8e6, 1e-12);
+  EXPECT_GT(transaction_time_s(i2c_400khz(), 16.0), t);  // I2C slower
+}
+
+TEST(Bus, EnergyProportionalToTime) {
+  const BusConfig spi = spi_8mhz();
+  EXPECT_NEAR(transaction_energy_j(spi, 16.0),
+              transaction_time_s(spi, 16.0) * spi.active_power_w, 1e-15);
+}
+
+TEST(Bus, ThroughputBelowWireRate) {
+  const BusConfig spi = spi_8mhz();
+  EXPECT_LT(max_throughput_bps(spi, 32.0), 1e6);  // 8 Mbit = 1 MB/s ceiling
+  EXPECT_GT(max_throughput_bps(spi, 1024.0), max_throughput_bps(spi, 8.0));
+}
+
+TEST(Bus, Validation) {
+  EXPECT_THROW(transaction_time_s(spi_8mhz(), -1.0), Error);
+  EXPECT_THROW(max_throughput_bps(spi_8mhz(), 0.0), Error);
+}
+
+}  // namespace
+}  // namespace iw::sensors

@@ -1,0 +1,161 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace iw::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesRunFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleInUsesRelativeTime) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_in(2.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine engine;
+  engine.schedule_at(10.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5.0, [] {}), Error);
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), Error);
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesTime) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(9.0, [&] { ++fired; });
+  engine.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PeriodicRunsUntilFalse) {
+  Engine engine;
+  int ticks = 0;
+  engine.schedule_every(1.0, [&] { return ++ticks < 4; });
+  engine.run();
+  EXPECT_EQ(ticks, 4);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  int fired = 0;
+  const EventHandle handle = engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.cancel(handle);
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, CancelPeriodicStopsSeries) {
+  Engine engine;
+  int ticks = 0;
+  const EventHandle handle = engine.schedule_every(1.0, [&] {
+    ++ticks;
+    return true;
+  });
+  engine.schedule_at(3.5, [&] { engine.cancel(handle); });
+  engine.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Engine, CancelInvalidHandleIsNoop) {
+  Engine engine;
+  engine.cancel(EventHandle{});
+  engine.run();
+  SUCCEED();
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_at(static_cast<double>(i), [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_executed(), 7u);
+}
+
+TEST(Engine, StressTenThousandRandomEvents) {
+  // Property: regardless of insertion order, events execute in time order
+  // and none is lost.
+  iw::Rng rng(4242);
+  Engine engine;
+  std::vector<double> fired;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double at = rng.uniform(0.0, 1000.0);
+    engine.schedule_at(at, [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]) << i;
+  }
+  EXPECT_EQ(engine.events_executed(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Engine, InterleavedPeriodicTasksKeepRelativeOrder) {
+  // Two periodic tasks with the same period fire FIFO within a tick.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_every(1.0, [&] {
+    order.push_back(1);
+    return order.size() < 10;
+  });
+  engine.schedule_every(1.0, [&] {
+    order.push_back(2);
+    return order.size() < 10;
+  });
+  engine.run_until(4.0);
+  ASSERT_GE(order.size(), 6u);
+  for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+    EXPECT_EQ(order[i], 1);
+    EXPECT_EQ(order[i + 1], 2);
+  }
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) engine.schedule_in(1.0, recurse);
+  };
+  engine.schedule_in(1.0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+}  // namespace
+}  // namespace iw::sim

@@ -1,0 +1,70 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace iw::sim {
+namespace {
+
+TEST(Trace, RecordsAndSummarizes) {
+  TraceRecorder trace;
+  trace.record("power_w", 0.0, 1.0);
+  trace.record("power_w", 1.0, 3.0);
+  trace.record("power_w", 2.0, 2.0);
+  const RunningStats stats = trace.summarize("power_w");
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+}
+
+TEST(Trace, IntegrateTrapezoidal) {
+  TraceRecorder trace;
+  // Constant 2 W over 10 s -> 20 J.
+  trace.record("p", 0.0, 2.0);
+  trace.record("p", 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(trace.channel("p").integrate(), 20.0);
+  // Ramp 0..4 over 2 s -> 4 J.
+  TraceRecorder ramp;
+  ramp.record("p", 0.0, 0.0);
+  ramp.record("p", 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(ramp.channel("p").integrate(), 4.0);
+}
+
+TEST(Trace, IntegrateEmptyAndSingleAreZero) {
+  TraceRecorder trace;
+  trace.record("p", 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(trace.channel("p").integrate(), 0.0);
+}
+
+TEST(Trace, RejectsOutOfOrderSamples) {
+  TraceRecorder trace;
+  trace.record("p", 5.0, 1.0);
+  EXPECT_THROW(trace.record("p", 4.0, 1.0), Error);
+}
+
+TEST(Trace, UnknownChannelThrows) {
+  const TraceRecorder trace;
+  EXPECT_THROW(trace.channel("missing"), Error);
+  EXPECT_FALSE(trace.has_channel("missing"));
+}
+
+TEST(Trace, ChannelNamesSorted) {
+  TraceRecorder trace;
+  trace.record("b", 0.0, 0.0);
+  trace.record("a", 0.0, 0.0);
+  EXPECT_EQ(trace.channel_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Trace, CsvOutputWellFormed) {
+  TraceRecorder trace;
+  trace.record("soc", 0.0, 0.5);
+  trace.record("soc", 1.0, 0.6);
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_EQ(os.str(), "channel,time_s,value\nsoc,0,0.5\nsoc,1,0.6\n");
+}
+
+}  // namespace
+}  // namespace iw::sim
