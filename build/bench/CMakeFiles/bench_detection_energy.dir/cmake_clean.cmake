@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detection_energy.dir/bench_detection_energy.cpp.o"
+  "CMakeFiles/bench_detection_energy.dir/bench_detection_energy.cpp.o.d"
+  "bench_detection_energy"
+  "bench_detection_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dvfs_sweep.dir/bench_dvfs_sweep.cpp.o"
+  "CMakeFiles/bench_dvfs_sweep.dir/bench_dvfs_sweep.cpp.o.d"
+  "bench_dvfs_sweep"
+  "bench_dvfs_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dvfs_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

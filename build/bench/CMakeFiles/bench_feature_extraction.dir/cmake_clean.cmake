@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_extraction.dir/bench_feature_extraction.cpp.o"
+  "CMakeFiles/bench_feature_extraction.dir/bench_feature_extraction.cpp.o.d"
+  "bench_feature_extraction"
+  "bench_feature_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_ablation.dir/bench_sampling_ablation.cpp.o"
+  "CMakeFiles/bench_sampling_ablation.dir/bench_sampling_ablation.cpp.o.d"
+  "bench_sampling_ablation"
+  "bench_sampling_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sustainability.dir/bench_sustainability.cpp.o"
+  "CMakeFiles/bench_sustainability.dir/bench_sustainability.cpp.o.d"
+  "bench_sustainability"
+  "bench_sustainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sustainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_solar.dir/bench_table1_solar.cpp.o"
+  "CMakeFiles/bench_table1_solar.dir/bench_table1_solar.cpp.o.d"
+  "bench_table1_solar"
+  "bench_table1_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

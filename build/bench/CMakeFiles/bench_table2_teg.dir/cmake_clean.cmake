@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_teg.dir/bench_table2_teg.cpp.o"
+  "CMakeFiles/bench_table2_teg.dir/bench_table2_teg.cpp.o.d"
+  "bench_table2_teg"
+  "bench_table2_teg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_teg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

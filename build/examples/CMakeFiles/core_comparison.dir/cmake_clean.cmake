@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_comparison.dir/core_comparison.cpp.o"
+  "CMakeFiles/core_comparison.dir/core_comparison.cpp.o.d"
+  "core_comparison"
+  "core_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_deployment.dir/export_deployment.cpp.o"
+  "CMakeFiles/export_deployment.dir/export_deployment.cpp.o.d"
+  "export_deployment"
+  "export_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvester_sizing.dir/harvester_sizing.cpp.o"
+  "CMakeFiles/harvester_sizing.dir/harvester_sizing.cpp.o.d"
+  "harvester_sizing"
+  "harvester_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvester_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

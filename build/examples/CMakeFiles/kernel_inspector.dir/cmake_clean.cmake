@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_inspector.dir/kernel_inspector.cpp.o"
+  "CMakeFiles/kernel_inspector.dir/kernel_inspector.cpp.o.d"
+  "kernel_inspector"
+  "kernel_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/iw_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/iw_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvsim/CMakeFiles/iw_rvsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/iw_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/iw_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/iw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/iw_harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/iw_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/ble/CMakeFiles/iw_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_monitor_day.dir/stress_monitor_day.cpp.o"
+  "CMakeFiles/stress_monitor_day.dir/stress_monitor_day.cpp.o.d"
+  "stress_monitor_day"
+  "stress_monitor_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_monitor_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

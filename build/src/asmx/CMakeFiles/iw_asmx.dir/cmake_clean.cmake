@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_asmx.dir/assembler.cpp.o"
+  "CMakeFiles/iw_asmx.dir/assembler.cpp.o.d"
+  "libiw_asmx.a"
+  "libiw_asmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_asmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

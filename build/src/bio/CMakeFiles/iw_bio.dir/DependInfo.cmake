@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/dataset.cpp" "src/bio/CMakeFiles/iw_bio.dir/dataset.cpp.o" "gcc" "src/bio/CMakeFiles/iw_bio.dir/dataset.cpp.o.d"
+  "/root/repo/src/bio/ecg.cpp" "src/bio/CMakeFiles/iw_bio.dir/ecg.cpp.o" "gcc" "src/bio/CMakeFiles/iw_bio.dir/ecg.cpp.o.d"
+  "/root/repo/src/bio/features.cpp" "src/bio/CMakeFiles/iw_bio.dir/features.cpp.o" "gcc" "src/bio/CMakeFiles/iw_bio.dir/features.cpp.o.d"
+  "/root/repo/src/bio/gsr.cpp" "src/bio/CMakeFiles/iw_bio.dir/gsr.cpp.o" "gcc" "src/bio/CMakeFiles/iw_bio.dir/gsr.cpp.o.d"
+  "/root/repo/src/bio/hrv.cpp" "src/bio/CMakeFiles/iw_bio.dir/hrv.cpp.o" "gcc" "src/bio/CMakeFiles/iw_bio.dir/hrv.cpp.o.d"
+  "/root/repo/src/bio/io.cpp" "src/bio/CMakeFiles/iw_bio.dir/io.cpp.o" "gcc" "src/bio/CMakeFiles/iw_bio.dir/io.cpp.o.d"
+  "/root/repo/src/bio/rpeak.cpp" "src/bio/CMakeFiles/iw_bio.dir/rpeak.cpp.o" "gcc" "src/bio/CMakeFiles/iw_bio.dir/rpeak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iw_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

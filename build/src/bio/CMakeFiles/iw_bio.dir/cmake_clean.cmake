@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_bio.dir/dataset.cpp.o"
+  "CMakeFiles/iw_bio.dir/dataset.cpp.o.d"
+  "CMakeFiles/iw_bio.dir/ecg.cpp.o"
+  "CMakeFiles/iw_bio.dir/ecg.cpp.o.d"
+  "CMakeFiles/iw_bio.dir/features.cpp.o"
+  "CMakeFiles/iw_bio.dir/features.cpp.o.d"
+  "CMakeFiles/iw_bio.dir/gsr.cpp.o"
+  "CMakeFiles/iw_bio.dir/gsr.cpp.o.d"
+  "CMakeFiles/iw_bio.dir/hrv.cpp.o"
+  "CMakeFiles/iw_bio.dir/hrv.cpp.o.d"
+  "CMakeFiles/iw_bio.dir/io.cpp.o"
+  "CMakeFiles/iw_bio.dir/io.cpp.o.d"
+  "CMakeFiles/iw_bio.dir/rpeak.cpp.o"
+  "CMakeFiles/iw_bio.dir/rpeak.cpp.o.d"
+  "libiw_bio.a"
+  "libiw_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iw_bio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_ble.dir/ble.cpp.o"
+  "CMakeFiles/iw_ble.dir/ble.cpp.o.d"
+  "libiw_ble.a"
+  "libiw_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_common.dir/error.cpp.o"
+  "CMakeFiles/iw_common.dir/error.cpp.o.d"
+  "CMakeFiles/iw_common.dir/fixed_point.cpp.o"
+  "CMakeFiles/iw_common.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/iw_common.dir/rng.cpp.o"
+  "CMakeFiles/iw_common.dir/rng.cpp.o.d"
+  "CMakeFiles/iw_common.dir/stats.cpp.o"
+  "CMakeFiles/iw_common.dir/stats.cpp.o.d"
+  "CMakeFiles/iw_common.dir/tanh_lut.cpp.o"
+  "CMakeFiles/iw_common.dir/tanh_lut.cpp.o.d"
+  "libiw_common.a"
+  "libiw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_core.dir/app.cpp.o"
+  "CMakeFiles/iw_core.dir/app.cpp.o.d"
+  "CMakeFiles/iw_core.dir/comparison.cpp.o"
+  "CMakeFiles/iw_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/iw_core.dir/evaluation.cpp.o"
+  "CMakeFiles/iw_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/iw_core.dir/sustainability.cpp.o"
+  "CMakeFiles/iw_core.dir/sustainability.cpp.o.d"
+  "libiw_core.a"
+  "libiw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

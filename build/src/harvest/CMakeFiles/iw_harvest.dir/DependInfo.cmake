@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harvest/converters.cpp" "src/harvest/CMakeFiles/iw_harvest.dir/converters.cpp.o" "gcc" "src/harvest/CMakeFiles/iw_harvest.dir/converters.cpp.o.d"
+  "/root/repo/src/harvest/harvester.cpp" "src/harvest/CMakeFiles/iw_harvest.dir/harvester.cpp.o" "gcc" "src/harvest/CMakeFiles/iw_harvest.dir/harvester.cpp.o.d"
+  "/root/repo/src/harvest/solar.cpp" "src/harvest/CMakeFiles/iw_harvest.dir/solar.cpp.o" "gcc" "src/harvest/CMakeFiles/iw_harvest.dir/solar.cpp.o.d"
+  "/root/repo/src/harvest/teg.cpp" "src/harvest/CMakeFiles/iw_harvest.dir/teg.cpp.o" "gcc" "src/harvest/CMakeFiles/iw_harvest.dir/teg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

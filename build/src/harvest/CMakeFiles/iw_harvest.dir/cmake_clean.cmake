@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_harvest.dir/converters.cpp.o"
+  "CMakeFiles/iw_harvest.dir/converters.cpp.o.d"
+  "CMakeFiles/iw_harvest.dir/harvester.cpp.o"
+  "CMakeFiles/iw_harvest.dir/harvester.cpp.o.d"
+  "CMakeFiles/iw_harvest.dir/solar.cpp.o"
+  "CMakeFiles/iw_harvest.dir/solar.cpp.o.d"
+  "CMakeFiles/iw_harvest.dir/teg.cpp.o"
+  "CMakeFiles/iw_harvest.dir/teg.cpp.o.d"
+  "libiw_harvest.a"
+  "libiw_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

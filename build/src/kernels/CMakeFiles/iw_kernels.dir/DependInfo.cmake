@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/feature_kernel.cpp" "src/kernels/CMakeFiles/iw_kernels.dir/feature_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/iw_kernels.dir/feature_kernel.cpp.o.d"
+  "/root/repo/src/kernels/kernel_source.cpp" "src/kernels/CMakeFiles/iw_kernels.dir/kernel_source.cpp.o" "gcc" "src/kernels/CMakeFiles/iw_kernels.dir/kernel_source.cpp.o.d"
+  "/root/repo/src/kernels/runner.cpp" "src/kernels/CMakeFiles/iw_kernels.dir/runner.cpp.o" "gcc" "src/kernels/CMakeFiles/iw_kernels.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvsim/CMakeFiles/iw_rvsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/iw_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iw_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

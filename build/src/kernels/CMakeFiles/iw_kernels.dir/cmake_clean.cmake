@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_kernels.dir/feature_kernel.cpp.o"
+  "CMakeFiles/iw_kernels.dir/feature_kernel.cpp.o.d"
+  "CMakeFiles/iw_kernels.dir/kernel_source.cpp.o"
+  "CMakeFiles/iw_kernels.dir/kernel_source.cpp.o.d"
+  "CMakeFiles/iw_kernels.dir/runner.cpp.o"
+  "CMakeFiles/iw_kernels.dir/runner.cpp.o.d"
+  "libiw_kernels.a"
+  "libiw_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

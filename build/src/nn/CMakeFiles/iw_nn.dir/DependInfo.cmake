@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/export.cpp" "src/nn/CMakeFiles/iw_nn.dir/export.cpp.o" "gcc" "src/nn/CMakeFiles/iw_nn.dir/export.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/iw_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/iw_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/presets.cpp" "src/nn/CMakeFiles/iw_nn.dir/presets.cpp.o" "gcc" "src/nn/CMakeFiles/iw_nn.dir/presets.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/iw_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/iw_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/quantize16.cpp" "src/nn/CMakeFiles/iw_nn.dir/quantize16.cpp.o" "gcc" "src/nn/CMakeFiles/iw_nn.dir/quantize16.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/iw_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/iw_nn.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_nn.dir/export.cpp.o"
+  "CMakeFiles/iw_nn.dir/export.cpp.o.d"
+  "CMakeFiles/iw_nn.dir/network.cpp.o"
+  "CMakeFiles/iw_nn.dir/network.cpp.o.d"
+  "CMakeFiles/iw_nn.dir/presets.cpp.o"
+  "CMakeFiles/iw_nn.dir/presets.cpp.o.d"
+  "CMakeFiles/iw_nn.dir/quantize.cpp.o"
+  "CMakeFiles/iw_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/iw_nn.dir/quantize16.cpp.o"
+  "CMakeFiles/iw_nn.dir/quantize16.cpp.o.d"
+  "CMakeFiles/iw_nn.dir/train.cpp.o"
+  "CMakeFiles/iw_nn.dir/train.cpp.o.d"
+  "libiw_nn.a"
+  "libiw_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

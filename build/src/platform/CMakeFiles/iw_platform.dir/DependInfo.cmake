@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/detection_cost.cpp" "src/platform/CMakeFiles/iw_platform.dir/detection_cost.cpp.o" "gcc" "src/platform/CMakeFiles/iw_platform.dir/detection_cost.cpp.o.d"
+  "/root/repo/src/platform/device.cpp" "src/platform/CMakeFiles/iw_platform.dir/device.cpp.o" "gcc" "src/platform/CMakeFiles/iw_platform.dir/device.cpp.o.d"
+  "/root/repo/src/platform/firmware.cpp" "src/platform/CMakeFiles/iw_platform.dir/firmware.cpp.o" "gcc" "src/platform/CMakeFiles/iw_platform.dir/firmware.cpp.o.d"
+  "/root/repo/src/platform/scheduler.cpp" "src/platform/CMakeFiles/iw_platform.dir/scheduler.cpp.o" "gcc" "src/platform/CMakeFiles/iw_platform.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/iw_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/iw_harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/iw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ble/CMakeFiles/iw_ble.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

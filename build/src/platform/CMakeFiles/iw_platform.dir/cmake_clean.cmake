@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_platform.dir/detection_cost.cpp.o"
+  "CMakeFiles/iw_platform.dir/detection_cost.cpp.o.d"
+  "CMakeFiles/iw_platform.dir/device.cpp.o"
+  "CMakeFiles/iw_platform.dir/device.cpp.o.d"
+  "CMakeFiles/iw_platform.dir/firmware.cpp.o"
+  "CMakeFiles/iw_platform.dir/firmware.cpp.o.d"
+  "CMakeFiles/iw_platform.dir/scheduler.cpp.o"
+  "CMakeFiles/iw_platform.dir/scheduler.cpp.o.d"
+  "libiw_platform.a"
+  "libiw_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

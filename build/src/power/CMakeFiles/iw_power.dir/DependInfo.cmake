@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/iw_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/iw_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/domains.cpp" "src/power/CMakeFiles/iw_power.dir/domains.cpp.o" "gcc" "src/power/CMakeFiles/iw_power.dir/domains.cpp.o.d"
+  "/root/repo/src/power/dvfs.cpp" "src/power/CMakeFiles/iw_power.dir/dvfs.cpp.o" "gcc" "src/power/CMakeFiles/iw_power.dir/dvfs.cpp.o.d"
+  "/root/repo/src/power/fuel_gauge.cpp" "src/power/CMakeFiles/iw_power.dir/fuel_gauge.cpp.o" "gcc" "src/power/CMakeFiles/iw_power.dir/fuel_gauge.cpp.o.d"
+  "/root/repo/src/power/processor_power.cpp" "src/power/CMakeFiles/iw_power.dir/processor_power.cpp.o" "gcc" "src/power/CMakeFiles/iw_power.dir/processor_power.cpp.o.d"
+  "/root/repo/src/power/psu.cpp" "src/power/CMakeFiles/iw_power.dir/psu.cpp.o" "gcc" "src/power/CMakeFiles/iw_power.dir/psu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

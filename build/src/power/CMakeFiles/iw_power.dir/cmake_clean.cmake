@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_power.dir/battery.cpp.o"
+  "CMakeFiles/iw_power.dir/battery.cpp.o.d"
+  "CMakeFiles/iw_power.dir/domains.cpp.o"
+  "CMakeFiles/iw_power.dir/domains.cpp.o.d"
+  "CMakeFiles/iw_power.dir/dvfs.cpp.o"
+  "CMakeFiles/iw_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/iw_power.dir/fuel_gauge.cpp.o"
+  "CMakeFiles/iw_power.dir/fuel_gauge.cpp.o.d"
+  "CMakeFiles/iw_power.dir/processor_power.cpp.o"
+  "CMakeFiles/iw_power.dir/processor_power.cpp.o.d"
+  "CMakeFiles/iw_power.dir/psu.cpp.o"
+  "CMakeFiles/iw_power.dir/psu.cpp.o.d"
+  "libiw_power.a"
+  "libiw_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

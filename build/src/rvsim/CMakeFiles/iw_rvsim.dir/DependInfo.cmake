@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rvsim/cluster.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/cluster.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/cluster.cpp.o.d"
+  "/root/repo/src/rvsim/core.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/core.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/core.cpp.o.d"
+  "/root/repo/src/rvsim/encoding.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/encoding.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/encoding.cpp.o.d"
+  "/root/repo/src/rvsim/isa.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/isa.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/isa.cpp.o.d"
+  "/root/repo/src/rvsim/machine.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/machine.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/machine.cpp.o.d"
+  "/root/repo/src/rvsim/memory.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/memory.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/memory.cpp.o.d"
+  "/root/repo/src/rvsim/profile_stats.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/profile_stats.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/profile_stats.cpp.o.d"
+  "/root/repo/src/rvsim/timing.cpp" "src/rvsim/CMakeFiles/iw_rvsim.dir/timing.cpp.o" "gcc" "src/rvsim/CMakeFiles/iw_rvsim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_rvsim.dir/cluster.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/cluster.cpp.o.d"
+  "CMakeFiles/iw_rvsim.dir/core.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/core.cpp.o.d"
+  "CMakeFiles/iw_rvsim.dir/encoding.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/encoding.cpp.o.d"
+  "CMakeFiles/iw_rvsim.dir/isa.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/isa.cpp.o.d"
+  "CMakeFiles/iw_rvsim.dir/machine.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/machine.cpp.o.d"
+  "CMakeFiles/iw_rvsim.dir/memory.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/memory.cpp.o.d"
+  "CMakeFiles/iw_rvsim.dir/profile_stats.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/profile_stats.cpp.o.d"
+  "CMakeFiles/iw_rvsim.dir/timing.cpp.o"
+  "CMakeFiles/iw_rvsim.dir/timing.cpp.o.d"
+  "libiw_rvsim.a"
+  "libiw_rvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_rvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

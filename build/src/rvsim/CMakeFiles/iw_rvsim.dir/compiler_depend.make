@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for iw_rvsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/acquisition.cpp" "src/sensors/CMakeFiles/iw_sensors.dir/acquisition.cpp.o" "gcc" "src/sensors/CMakeFiles/iw_sensors.dir/acquisition.cpp.o.d"
+  "/root/repo/src/sensors/afe.cpp" "src/sensors/CMakeFiles/iw_sensors.dir/afe.cpp.o" "gcc" "src/sensors/CMakeFiles/iw_sensors.dir/afe.cpp.o.d"
+  "/root/repo/src/sensors/bus.cpp" "src/sensors/CMakeFiles/iw_sensors.dir/bus.cpp.o" "gcc" "src/sensors/CMakeFiles/iw_sensors.dir/bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

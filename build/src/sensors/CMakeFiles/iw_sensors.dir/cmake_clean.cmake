@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_sensors.dir/acquisition.cpp.o"
+  "CMakeFiles/iw_sensors.dir/acquisition.cpp.o.d"
+  "CMakeFiles/iw_sensors.dir/afe.cpp.o"
+  "CMakeFiles/iw_sensors.dir/afe.cpp.o.d"
+  "CMakeFiles/iw_sensors.dir/bus.cpp.o"
+  "CMakeFiles/iw_sensors.dir/bus.cpp.o.d"
+  "libiw_sensors.a"
+  "libiw_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_sim.dir/engine.cpp.o"
+  "CMakeFiles/iw_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/iw_sim.dir/trace.cpp.o"
+  "CMakeFiles/iw_sim.dir/trace.cpp.o.d"
+  "libiw_sim.a"
+  "libiw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

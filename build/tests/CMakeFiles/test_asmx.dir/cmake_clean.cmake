@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asmx.dir/asmx/test_assembler.cpp.o"
+  "CMakeFiles/test_asmx.dir/asmx/test_assembler.cpp.o.d"
+  "CMakeFiles/test_asmx.dir/asmx/test_disassembler.cpp.o"
+  "CMakeFiles/test_asmx.dir/asmx/test_disassembler.cpp.o.d"
+  "test_asmx"
+  "test_asmx.pdb"
+  "test_asmx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

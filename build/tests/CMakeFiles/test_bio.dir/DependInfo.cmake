@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bio/test_ecg.cpp" "tests/CMakeFiles/test_bio.dir/bio/test_ecg.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_ecg.cpp.o.d"
+  "/root/repo/tests/bio/test_features_dataset.cpp" "tests/CMakeFiles/test_bio.dir/bio/test_features_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_features_dataset.cpp.o.d"
+  "/root/repo/tests/bio/test_gsr.cpp" "tests/CMakeFiles/test_bio.dir/bio/test_gsr.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_gsr.cpp.o.d"
+  "/root/repo/tests/bio/test_hrv_extended.cpp" "tests/CMakeFiles/test_bio.dir/bio/test_hrv_extended.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_hrv_extended.cpp.o.d"
+  "/root/repo/tests/bio/test_io.cpp" "tests/CMakeFiles/test_bio.dir/bio/test_io.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_io.cpp.o.d"
+  "/root/repo/tests/bio/test_rpeak_hrv.cpp" "tests/CMakeFiles/test_bio.dir/bio/test_rpeak_hrv.cpp.o" "gcc" "tests/CMakeFiles/test_bio.dir/bio/test_rpeak_hrv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/iw_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

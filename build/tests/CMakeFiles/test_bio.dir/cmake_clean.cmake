@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bio.dir/bio/test_ecg.cpp.o"
+  "CMakeFiles/test_bio.dir/bio/test_ecg.cpp.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_features_dataset.cpp.o"
+  "CMakeFiles/test_bio.dir/bio/test_features_dataset.cpp.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_gsr.cpp.o"
+  "CMakeFiles/test_bio.dir/bio/test_gsr.cpp.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_hrv_extended.cpp.o"
+  "CMakeFiles/test_bio.dir/bio/test_hrv_extended.cpp.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_io.cpp.o"
+  "CMakeFiles/test_bio.dir/bio/test_io.cpp.o.d"
+  "CMakeFiles/test_bio.dir/bio/test_rpeak_hrv.cpp.o"
+  "CMakeFiles/test_bio.dir/bio/test_rpeak_hrv.cpp.o.d"
+  "test_bio"
+  "test_bio.pdb"
+  "test_bio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ble.dir/ble/test_ble.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/test_ble.cpp.o.d"
+  "test_ble"
+  "test_ble.pdb"
+  "test_ble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harvest.dir/harvest/test_harvest.cpp.o"
+  "CMakeFiles/test_harvest.dir/harvest/test_harvest.cpp.o.d"
+  "test_harvest"
+  "test_harvest.pdb"
+  "test_harvest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/test_feature_kernel.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_feature_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_feature_kernel.cpp.o.d"
+  "/root/repo/tests/kernels/test_gsr_kernel.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_gsr_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_gsr_kernel.cpp.o.d"
+  "/root/repo/tests/kernels/test_kernel_generators.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernel_generators.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernel_generators.cpp.o.d"
+  "/root/repo/tests/kernels/test_kernels.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_kernels.cpp.o.d"
+  "/root/repo/tests/kernels/test_parallel_simd.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_parallel_simd.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_parallel_simd.cpp.o.d"
+  "/root/repo/tests/kernels/test_simd_kernel.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_simd_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_simd_kernel.cpp.o.d"
+  "/root/repo/tests/kernels/test_table3_regression.cpp" "tests/CMakeFiles/test_kernels.dir/kernels/test_table3_regression.cpp.o" "gcc" "tests/CMakeFiles/test_kernels.dir/kernels/test_table3_regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/iw_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/iw_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/iw_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvsim/CMakeFiles/iw_rvsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/kernels/test_feature_kernel.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_feature_kernel.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_gsr_kernel.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_gsr_kernel.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernel_generators.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernel_generators.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernels.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_kernels.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_parallel_simd.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_parallel_simd.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_simd_kernel.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_simd_kernel.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_table3_regression.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_table3_regression.cpp.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_export.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_export.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_export.cpp.o.d"
+  "/root/repo/tests/nn/test_network.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_network.cpp.o.d"
+  "/root/repo/tests/nn/test_quantize.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o.d"
+  "/root/repo/tests/nn/test_quantize16.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_quantize16.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_quantize16.cpp.o.d"
+  "/root/repo/tests/nn/test_quantized_serialize.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_quantized_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_quantized_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_train.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_train.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_train.cpp.o.d"
+  "/root/repo/tests/nn/test_train_variants.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_train_variants.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_train_variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/iw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

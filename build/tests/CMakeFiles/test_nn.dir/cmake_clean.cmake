@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_export.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_export.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_network.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_quantize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_quantize16.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_quantize16.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_quantized_serialize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_quantized_serialize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_train.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_train.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_train_variants.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_train_variants.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

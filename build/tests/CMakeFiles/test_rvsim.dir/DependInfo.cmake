@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rvsim/test_cluster.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_cluster.cpp.o.d"
+  "/root/repo/tests/rvsim/test_core.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_core.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_core.cpp.o.d"
+  "/root/repo/tests/rvsim/test_decode_fuzz.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_decode_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_decode_fuzz.cpp.o.d"
+  "/root/repo/tests/rvsim/test_dma.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_dma.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_dma.cpp.o.d"
+  "/root/repo/tests/rvsim/test_encoding.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_encoding.cpp.o.d"
+  "/root/repo/tests/rvsim/test_fp_semantics.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_fp_semantics.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_fp_semantics.cpp.o.d"
+  "/root/repo/tests/rvsim/test_memory.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_memory.cpp.o.d"
+  "/root/repo/tests/rvsim/test_memory_semantics.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_memory_semantics.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_memory_semantics.cpp.o.d"
+  "/root/repo/tests/rvsim/test_profile_stats.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_profile_stats.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_profile_stats.cpp.o.d"
+  "/root/repo/tests/rvsim/test_semantics.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_semantics.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_semantics.cpp.o.d"
+  "/root/repo/tests/rvsim/test_timing.cpp" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_timing.cpp.o" "gcc" "tests/CMakeFiles/test_rvsim.dir/rvsim/test_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rvsim/CMakeFiles/iw_rvsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmx/CMakeFiles/iw_asmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

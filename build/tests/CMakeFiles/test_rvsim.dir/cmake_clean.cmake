@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rvsim.dir/rvsim/test_cluster.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_cluster.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_core.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_core.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_decode_fuzz.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_decode_fuzz.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_dma.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_dma.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_encoding.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_encoding.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_fp_semantics.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_fp_semantics.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_memory.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_memory.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_memory_semantics.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_memory_semantics.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_profile_stats.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_profile_stats.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_semantics.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_semantics.cpp.o.d"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_timing.cpp.o"
+  "CMakeFiles/test_rvsim.dir/rvsim/test_timing.cpp.o.d"
+  "test_rvsim"
+  "test_rvsim.pdb"
+  "test_rvsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
