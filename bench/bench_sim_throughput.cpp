@@ -1,0 +1,110 @@
+// Host-side interpreter throughput: simulated MIPS (millions of simulated
+// instructions per wall-clock second) for the Table III kernels on all four
+// execution targets. This tracks how fast the rvsim interpreter itself runs
+// on the host — the ceiling on sweeps, ablations, and day-long traces — so
+// interpreter changes show up in the bench trajectory (BENCH_sim_throughput.json).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../bench/report.hpp"
+#include "common/rng.hpp"
+#include "kernels/runner.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+
+namespace {
+
+using iw::kernels::Target;
+
+struct Workload {
+  std::string name;
+  iw::nn::QuantizedNetwork net;
+  std::vector<std::int32_t> input;
+
+  Workload(const char* workload_name, const iw::nn::Network& network)
+      : name(workload_name), net(iw::nn::QuantizedNetwork::from(network)) {
+    std::vector<float> raw(network.num_inputs());
+    iw::Rng in_rng(2020);
+    for (float& v : raw) v = static_cast<float>(in_rng.uniform(-1.0, 1.0));
+    input = net.quantize_input(raw);
+  }
+};
+
+struct Measurement {
+  double mips = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t cycles = 0;        // per-inference simulated cycles
+  std::uint64_t instructions = 0;  // per-inference simulated instructions
+  int reps = 0;
+};
+
+/// Repeats the kernel until enough wall time accumulates to trust the rate.
+Measurement measure(const Workload& w, Target target) {
+  using clock = std::chrono::steady_clock;
+  constexpr double kMinWallS = 0.25;
+  constexpr int kMaxReps = 400;
+
+  Measurement m;
+  // Warm-up run, also the source of the per-inference simulated counts.
+  const auto first = iw::kernels::run_fixed_mlp(w.net, w.input, target);
+  m.cycles = first.cycles;
+  m.instructions = first.instructions;
+
+  std::uint64_t simulated = 0;
+  const auto start = clock::now();
+  do {
+    const auto result = iw::kernels::run_fixed_mlp(w.net, w.input, target);
+    simulated += result.instructions;
+    ++m.reps;
+    m.wall_s = std::chrono::duration<double>(clock::now() - start).count();
+  } while (m.wall_s < kMinWallS && m.reps < kMaxReps);
+  m.mips = static_cast<double>(simulated) / m.wall_s / 1e6;
+  return m;
+}
+
+std::string target_key(Target target) {
+  switch (target) {
+    case Target::kCortexM4: return "cortex_m4";
+    case Target::kIbex: return "ibex";
+    case Target::kRi5cySingle: return "ri5cy_single";
+    case Target::kRi5cyMulti: return "ri5cy_multi8";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  iw::bench::print_header("Interpreter host throughput (simulated MIPS)");
+  std::printf("%-34s %-10s %12s %14s %14s %6s\n", "target", "network",
+              "host MIPS", "cycles/inf", "instrs/inf", "reps");
+
+  iw::Rng rng_a(1);
+  iw::Rng rng_b(2);
+  const Workload workloads[] = {
+      Workload("network_a", iw::nn::make_network_a(rng_a)),
+      Workload("network_b", iw::nn::make_network_b(rng_b)),
+  };
+  const Target targets[] = {Target::kCortexM4, Target::kIbex,
+                            Target::kRi5cySingle, Target::kRi5cyMulti};
+
+  iw::bench::JsonReport json("BENCH_sim_throughput.json");
+  for (const Target target : targets) {
+    for (const Workload& w : workloads) {
+      const Measurement m = measure(w, target);
+      std::printf("%-34s %-10s %12.2f %14llu %14llu %6d\n",
+                  iw::kernels::target_name(target).c_str(), w.name.c_str(),
+                  m.mips, static_cast<unsigned long long>(m.cycles),
+                  static_cast<unsigned long long>(m.instructions), m.reps);
+      const std::string key = target_key(target) + "." + w.name;
+      json.add(key + ".mips", m.mips);
+      json.add(key + ".cycles", static_cast<double>(m.cycles));
+      json.add(key + ".instructions", static_cast<double>(m.instructions));
+    }
+  }
+  json.write();
+  return 0;
+}

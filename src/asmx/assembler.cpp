@@ -102,7 +102,9 @@ class Assembler {
     std::size_t pos = 0;
     const std::int64_t v = eval_sum(expr, pos, allow_labels);
     skip_ws(expr, pos);
-    ensure(pos == expr.size(), "trailing characters in expression '" + expr + "'");
+    if (pos != expr.size()) {
+      fail("trailing characters in expression '" + expr + "'");
+    }
     return v;
   }
 
@@ -157,7 +159,7 @@ class Assembler {
       pos = end;
       const auto it = symbols_.find(name);
       if (it != symbols_.end()) return it->second;
-      ensure(labels, "undefined symbol '" + name + "' (labels not allowed here)");
+      if (!labels) fail("undefined symbol '" + name + "' (labels not allowed here)");
       fail("undefined symbol '" + name + "'");
     }
     fail("cannot parse expression at '" + s.substr(pos) + "'");
@@ -251,7 +253,8 @@ class Assembler {
   void expand_instruction(const std::string& m, const std::vector<std::string>& ops,
                           int line_no) {
     const auto need = [&](std::size_t n) {
-      ensure(ops.size() == n, m + " expects " + std::to_string(n) + " operands");
+      // check-then-fail: no message allocation when the arity is right.
+      if (ops.size() != n) fail(m + " expects " + std::to_string(n) + " operands");
     };
     if (m == "nop") { need(0); emit("addi", {"zero", "zero", "0"}, line_no); return; }
     if (m == "mv") { need(2); emit("addi", {ops[0], ops[1], "0"}, line_no); return; }
@@ -371,7 +374,8 @@ class Assembler {
     const std::string& m = item.mnemonic;
     const std::vector<std::string>& ops = item.operands;
     const auto need = [&](std::size_t n) {
-      ensure(ops.size() == n, m + " expects " + std::to_string(n) + " operands");
+      // check-then-fail: no message allocation when the arity is right.
+      if (ops.size() != n) fail(m + " expects " + std::to_string(n) + " operands");
     };
     Decoded d;
 

@@ -1,10 +1,47 @@
 #include "rvsim/cluster.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace iw::rv {
+
+namespace {
+
+/// Min-heap of (local time, core index) over the runnable cores. top() is the
+/// core with the smallest local time, ties broken toward the lowest index —
+/// the same deterministic order the previous O(num_cores) scan produced, at
+/// O(log n) per schedule step. Every kRunning core is in the heap exactly
+/// once; halted and barrier-parked cores are simply absent.
+class ReadyHeap {
+ public:
+  explicit ReadyHeap(int capacity) { slots_.reserve(static_cast<std::size_t>(capacity)); }
+
+  bool empty() const { return slots_.empty(); }
+
+  void push(std::uint64_t time, int core) {
+    slots_.emplace_back(time, core);
+    std::push_heap(slots_.begin(), slots_.end(), kLater);
+  }
+
+  std::pair<std::uint64_t, int> pop() {
+    std::pop_heap(slots_.begin(), slots_.end(), kLater);
+    const std::pair<std::uint64_t, int> top = slots_.back();
+    slots_.pop_back();
+    return top;
+  }
+
+ private:
+  // std::push_heap keeps the *largest* element on top, so order by "later".
+  static constexpr auto kLater = [](const std::pair<std::uint64_t, int>& a,
+                                    const std::pair<std::uint64_t, int>& b) {
+    return a > b;
+  };
+  std::vector<std::pair<std::uint64_t, int>> slots_;
+};
+
+}  // namespace
 
 Cluster::Cluster(TimingProfile profile, ClusterConfig config)
     : config_(config), mem_(config.mem_bytes) {
@@ -33,40 +70,33 @@ ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instruction
   // Per-bank time at which the bank becomes free again.
   std::vector<std::uint64_t> bank_free(static_cast<std::size_t>(config_.num_banks), 0);
 
+  ReadyHeap ready(n);
   for (int i = 0; i < n; ++i) {
     const std::uint32_t sp = static_cast<std::uint32_t>(mem_.size()) -
                              static_cast<std::uint32_t>(i) * config_.stack_bytes;
     cores_[static_cast<std::size_t>(i)]->reset(entry, sp & ~15u);
+    ready.push(0, i);
   }
 
   ClusterRunResult result;
   std::uint64_t executed = 0;
   std::uint64_t dma_done_at = 0;  // cycle at which the DMA queue drains
+  int halted_cores = 0;
+  int parked_cores = 0;  // cores waiting at the barrier
 
-  const auto all_halted = [&] {
-    return std::all_of(state.begin(), state.end(),
-                       [](CoreState s) { return s == CoreState::kHalted; });
-  };
-
-  while (!all_halted()) {
-    // Pick the running core with the smallest local time (ties: lowest id).
-    int pick = -1;
-    for (int i = 0; i < n; ++i) {
-      if (state[static_cast<std::size_t>(i)] != CoreState::kRunning) continue;
-      if (pick < 0 || time[static_cast<std::size_t>(i)] < time[static_cast<std::size_t>(pick)]) {
-        pick = i;
-      }
-    }
-    if (pick < 0) {
+  while (halted_cores < n) {
+    if (ready.empty()) {
       // No core can run but not all halted: every live core is parked at the
       // barrier waiting for a halted core -> deadlock.
       fail("Cluster::run: barrier deadlock (a core halted before the barrier)");
     }
+    const int pick = ready.pop().second;
 
     Core& core = *cores_[static_cast<std::size_t>(pick)];
     const std::size_t p = static_cast<std::size_t>(pick);
-    ensure(++executed <= max_instructions,
-           "Cluster::run: instruction budget exhausted (runaway program?)");
+    if (++executed > max_instructions) {
+      fail("Cluster::run: instruction budget exhausted (runaway program?)");
+    }
 
     const Core::StepResult step = core.step();
     std::uint64_t cost = static_cast<std::uint64_t>(step.cycles);
@@ -116,18 +146,13 @@ ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instruction
 
     if (step.halted) {
       state[p] = CoreState::kHalted;
+      ++halted_cores;
     } else if (step.access.valid && step.access.is_store &&
                step.access.addr == config_.barrier_addr) {
       state[p] = CoreState::kAtBarrier;
+      ++parked_cores;
       // Release when every non-halted core has arrived.
-      bool all_arrived = true;
-      for (int i = 0; i < n; ++i) {
-        if (state[static_cast<std::size_t>(i)] == CoreState::kRunning) {
-          all_arrived = false;
-          break;
-        }
-      }
-      if (all_arrived) {
+      if (parked_cores + halted_cores == n) {
         std::uint64_t release_at = 0;
         for (int i = 0; i < n; ++i) {
           if (state[static_cast<std::size_t>(i)] == CoreState::kAtBarrier) {
@@ -143,9 +168,13 @@ ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instruction
             result.barrier_wait_cycles += wait;
             time[q] = release_at;
             state[q] = CoreState::kRunning;
+            ready.push(release_at, i);
           }
         }
+        parked_cores = 0;
       }
+    } else {
+      ready.push(time[p], pick);
     }
   }
 

@@ -4,7 +4,9 @@
 // Scheduling is event-driven: at every step the core with the smallest local
 // time executes one instruction (ties broken by core index), which keeps the
 // interleaving deterministic and memory effects consistent with simulated
-// time. TCDM accesses are arbitrated per word-interleaved bank: a bank serves
+// time. The runnable set is kept in a (time, index) min-heap with incremental
+// halt/barrier counters, so each schedule step costs O(log n) instead of two
+// O(n) scans. TCDM accesses are arbitrated per word-interleaved bank: a bank serves
 // one access per cycle and later requests stall until the bank is free.
 // A store to `barrier_addr` parks the core until all live cores arrive; all
 // are then released together after `barrier_wakeup_cycles`.

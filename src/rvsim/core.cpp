@@ -36,7 +36,10 @@ std::int32_t fcvt_w_s(float f) {
 }  // namespace
 
 Core::Core(TimingProfile profile, Memory& memory, std::uint32_t hart_id)
-    : profile_(std::move(profile)), mem_(memory), hart_id_(hart_id) {}
+    : profile_(std::move(profile)),
+      mem_(memory),
+      hart_id_(hart_id),
+      cache_(profile_, memory) {}
 
 void Core::reset(std::uint32_t pc, std::uint32_t sp) {
   for (auto& r : x_) r = 0;
@@ -73,96 +76,30 @@ void Core::set_freg(int index, float value) {
   f_[index] = value;
 }
 
-void Core::collect_reads(const Decoded& d, int out[3]) {
-  out[0] = out[1] = out[2] = -1;
-  switch (d.op) {
-    // I-type integer ops and loads: rs1 only.
-    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
-    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
-    case Op::kSrai: case Op::kPClip: case Op::kJalr:
-    case Op::kPAbs: case Op::kPExths: case Op::kPExtbs:
-    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
-    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
-    case Op::kFlw: case Op::kCsrrw: case Op::kCsrrs:
-    case Op::kFcvtSW: case Op::kFmvWX:
-      out[0] = d.rs1;
-      break;
-    // Stores read the address register and the (int) data register.
-    case Op::kSb: case Op::kSh: case Op::kSw:
-    case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
-      out[0] = d.rs1;
-      out[1] = d.rs2;
-      break;
-    case Op::kFsw:
-      out[0] = d.rs1;
-      out[1] = 32 + d.rs2;
-      break;
-    // R-type integer ops, branches.
-    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt: case Op::kSltu:
-    case Op::kXor: case Op::kSrl: case Op::kSra: case Op::kOr: case Op::kAnd:
-    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
-    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
-    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
-    case Op::kBltu: case Op::kBgeu:
-    case Op::kPvDotspH: case Op::kPMin: case Op::kPMax:
-      out[0] = d.rs1;
-      out[1] = d.rs2;
-      break;
-    case Op::kPMac: case Op::kPvSdotspH:
-      out[0] = d.rs1;
-      out[1] = d.rs2;
-      out[2] = d.rd;  // accumulator is read
-      break;
-    case Op::kFaddS: case Op::kFsubS: case Op::kFmulS: case Op::kFdivS:
-    case Op::kFsgnjS: case Op::kFsgnjnS:
-    case Op::kFeqS: case Op::kFltS: case Op::kFleS:
-      out[0] = 32 + d.rs1;
-      out[1] = 32 + d.rs2;
-      break;
-    case Op::kFmaddS:
-      out[0] = 32 + d.rs1;
-      out[1] = 32 + d.rs2;
-      out[2] = 32 + d.rs3;
-      break;
-    case Op::kFcvtWS: case Op::kFmvXW:
-      out[0] = 32 + d.rs1;
-      break;
-    case Op::kLpSetup:
-      out[0] = d.rs1;
-      break;
-    default:
-      break;
-  }
-}
-
 Core::StepResult Core::step() {
-  ensure(!halted_, "Core::step on halted core");
-  const std::uint32_t word = mem_.load32(pc_);
-  const Decoded d = decode(word);
-  ensure(profile_.supports(d.op),
-         "Core(" + profile_.name + "): unsupported instruction " + mnemonic(d.op));
+  if (halted_) fail("Core::step on halted core");
+  const DecodedEx& e = cache_.entry(pc_);
+  if (e.status != DecodeCache::kOk) cache_.raise_unsupported(e);
 
-  const OpClass cls = op_class(d.op);
-  int cycles = profile_.base_cost(cls);
+  int cycles = e.base_cost;
 
   // Load-use stall: the previous instruction loaded a register this one reads.
   if (pending_load_reg_ >= 0) {
-    int reads[3];
-    collect_reads(d, reads);
-    for (int r : reads) {
-      if (r == pending_load_reg_ && r != 0) {
+    for (const std::int16_t r : e.reads) {
+      if (r == pending_load_reg_) {
         cycles += profile_.load_use_stall;
         ++load_use_stalls_;
         break;
       }
     }
   }
-  // Back-to-back memory-access pipelining (Cortex-M style).
-  if (cls == OpClass::kLoad && prev_was_load_) cycles += profile_.load_nonpipelined_extra;
+  // Back-to-back memory-access pipelining (Cortex-M style): load_seq_extra is
+  // nonzero only for loads.
+  if (prev_was_load_) cycles += e.load_seq_extra;
 
   std::uint32_t next_pc = pc_ + 4;
   MemAccess access;
-  cycles += execute(d, word, next_pc, access);
+  cycles += execute(e.d, next_pc, access);
 
   // Hardware-loop handling: zero-overhead back edge. Inner loop (0) first.
   for (auto& loop : loops_) {
@@ -177,15 +114,13 @@ Core::StepResult Core::step() {
     }
   }
 
-  pending_load_reg_ = (cls == OpClass::kLoad && profile_.load_use_stall > 0)
-                          ? (is_fp(d.op) ? 32 + d.rd : d.rd)
-                          : -1;
-  prev_was_load_ = (cls == OpClass::kLoad);
+  pending_load_reg_ = e.load_dest;
+  prev_was_load_ = e.is_load;
 
   pc_ = next_pc;
   cycles_ += static_cast<std::uint64_t>(cycles);
   ++instructions_;
-  if (histogram_ != nullptr) histogram_->record(d.op);
+  if (histogram_ != nullptr) histogram_->record(e.d.op);
 
   StepResult result;
   result.cycles = cycles;
@@ -194,15 +129,13 @@ Core::StepResult Core::step() {
   return result;
 }
 
-int Core::execute(const Decoded& d, std::uint32_t word, std::uint32_t& next_pc,
-                  MemAccess& access) {
-  (void)word;
+int Core::execute(const Decoded& d, std::uint32_t& next_pc, MemAccess& access) {
   int extra = 0;
-  const auto rd_write = [this, &d](std::uint32_t v) { set_reg(d.rd, v); };
+  const auto rd_write = [this, &d](std::uint32_t v) { write_x(d.rd, v); };
   const std::uint32_t rs1 = x_[d.rs1];
   const std::uint32_t rs2 = x_[d.rs2];
 
-  const auto mem_read = [&](std::uint32_t addr, bool /*store*/ = false) {
+  const auto mem_read = [&](std::uint32_t addr) {
     access.valid = true;
     access.is_store = false;
     access.addr = addr;
@@ -290,35 +223,35 @@ int Core::execute(const Decoded& d, std::uint32_t word, std::uint32_t& next_pc,
     case Op::kPLbPost: {
       mem_read(rs1);
       rd_write(u(static_cast<std::int8_t>(mem_.load8(rs1))));
-      set_reg(d.rs1, rs1 + u(d.imm));
+      write_x(d.rs1, rs1 + u(d.imm));
       break;
     }
     case Op::kPLhPost: {
       mem_read(rs1);
       rd_write(u(static_cast<std::int16_t>(mem_.load16(rs1))));
-      set_reg(d.rs1, rs1 + u(d.imm));
+      write_x(d.rs1, rs1 + u(d.imm));
       break;
     }
     case Op::kPLwPost: {
       mem_read(rs1);
       rd_write(mem_.load32(rs1));
-      set_reg(d.rs1, rs1 + u(d.imm));
+      write_x(d.rs1, rs1 + u(d.imm));
       break;
     }
     case Op::kPSbPost:
       mem_write(rs1);
       mem_.store8(rs1, static_cast<std::uint8_t>(rs2));
-      set_reg(d.rs1, rs1 + u(d.imm));
+      write_x(d.rs1, rs1 + u(d.imm));
       break;
     case Op::kPShPost:
       mem_write(rs1);
       mem_.store16(rs1, static_cast<std::uint16_t>(rs2));
-      set_reg(d.rs1, rs1 + u(d.imm));
+      write_x(d.rs1, rs1 + u(d.imm));
       break;
     case Op::kPSwPost:
       mem_write(rs1);
       mem_.store32(rs1, rs2);
-      set_reg(d.rs1, rs1 + u(d.imm));
+      write_x(d.rs1, rs1 + u(d.imm));
       break;
     case Op::kAddi: rd_write(rs1 + u(d.imm)); break;
     case Op::kSlti: rd_write(s(rs1) < d.imm ? 1 : 0); break;

@@ -5,6 +5,7 @@
 
 #include "rvsim/isa.hpp"
 #include "rvsim/memory.hpp"
+#include "rvsim/predecode.hpp"
 #include "rvsim/profile_stats.hpp"
 #include "rvsim/timing.hpp"
 
@@ -13,6 +14,11 @@ namespace iw::rv {
 /// Executes instructions against a Memory and accumulates a cycle count
 /// according to a TimingProfile. The cluster wraps several cores and adds
 /// inter-core penalties (bank conflicts, barrier waits) via add_stall().
+///
+/// Each core owns a DecodeCache: instructions are decoded (and their timing
+/// data resolved against the profile) once per code word, so step() is an
+/// array-indexed dispatch. The cache observes memory writes, which keeps it
+/// coherent across program reloads and self-modifying stores.
 class Core {
  public:
   /// Description of the data-memory access performed by the last step, used
@@ -30,6 +36,10 @@ class Core {
   };
 
   Core(TimingProfile profile, Memory& memory, std::uint32_t hart_id = 0);
+
+  // The decode cache registers itself with the memory: not copyable.
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
 
   /// Resets architectural state and the cycle/instruction counters.
   void reset(std::uint32_t pc, std::uint32_t sp);
@@ -54,6 +64,7 @@ class Core {
   std::uint32_t pc() const { return pc_; }
   std::uint32_t hart_id() const { return hart_id_; }
   const TimingProfile& profile() const { return profile_; }
+  DecodeCache& decode_cache() { return cache_; }
 
   std::uint32_t reg(int index) const;
   void set_reg(int index, std::uint32_t value);
@@ -67,15 +78,18 @@ class Core {
     std::uint32_t count = 0;
   };
 
-  int execute(const Decoded& d, std::uint32_t word, std::uint32_t& next_pc,
-              MemAccess& access);
-  /// Returns the unified register id (x: 0..31, f: 32..63) read by the
-  /// instruction that could create a load-use dependency, or -1.
-  static void collect_reads(const Decoded& d, int out[3]);
+  int execute(const Decoded& d, std::uint32_t& next_pc, MemAccess& access);
+
+  /// Register write on the execute path: decode() guarantees rd < 32, so
+  /// only the x0 sink needs handling.
+  void write_x(std::uint8_t reg, std::uint32_t value) {
+    if (reg != 0) x_[reg] = value;
+  }
 
   TimingProfile profile_;
   Memory& mem_;
   std::uint32_t hart_id_;
+  DecodeCache cache_;
 
   std::uint32_t x_[32] = {};
   float f_[32] = {};

@@ -16,6 +16,7 @@
 // semantics and cost model mirror it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -53,6 +54,10 @@ enum class Op : std::uint8_t {
   kLpSetup,                       // lp.setup  L, rs1, end : count from register
   kLpSetupi,                      // lp.setupi L, imm, end : immediate count
 };
+
+/// Number of opcodes (kLpSetupi is the last enumerator). Sizes the Op-indexed
+/// tables used by the predecoder and the instruction histogram.
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kLpSetupi) + 1;
 
 /// Decoded instruction. `imm` carries the sign-extended immediate; `extra`
 /// carries the CSR number (CSR ops) or the hardware-loop index (lp.*);

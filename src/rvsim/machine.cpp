@@ -14,10 +14,14 @@ void Machine::load_program(std::span<const std::uint32_t> words, std::uint32_t b
 RunResult Machine::run(std::uint32_t entry, std::uint64_t max_instructions) {
   const std::uint32_t sp = static_cast<std::uint32_t>(mem_.size()) & ~15u;
   core_.reset(entry, sp);
-  while (!core_.halted()) {
-    ensure(core_.instructions() < max_instructions,
-           "Machine::run: instruction budget exhausted (runaway program?)");
-    core_.step();
+  std::uint64_t budget = max_instructions;
+  bool halted = false;
+  while (!halted) {
+    if (budget == 0) {
+      fail("Machine::run: instruction budget exhausted (runaway program?)");
+    }
+    --budget;
+    halted = core_.step().halted;
   }
   return RunResult{core_.cycles(), core_.instructions()};
 }

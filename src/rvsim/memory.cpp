@@ -1,5 +1,6 @@
 #include "rvsim/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -8,88 +9,77 @@ namespace iw::rv {
 
 Memory::Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
 
-void Memory::check(std::uint32_t addr, std::uint32_t size) const {
-  ensure(static_cast<std::uint64_t>(addr) + size <= bytes_.size(),
-         "Memory access out of bounds");
-  ensure(addr % size == 0, "Misaligned memory access");
-}
-
-std::uint8_t Memory::load8(std::uint32_t addr) const {
-  check(addr, 1);
-  return bytes_[addr];
-}
-
-std::uint16_t Memory::load16(std::uint32_t addr) const {
-  check(addr, 2);
-  std::uint16_t v;
-  std::memcpy(&v, bytes_.data() + addr, 2);
-  return v;
-}
-
-std::uint32_t Memory::load32(std::uint32_t addr) const {
-  check(addr, 4);
-  std::uint32_t v;
-  std::memcpy(&v, bytes_.data() + addr, 4);
-  return v;
-}
-
-void Memory::store8(std::uint32_t addr, std::uint8_t value) {
-  check(addr, 1);
-  bytes_[addr] = value;
-}
-
-void Memory::store16(std::uint32_t addr, std::uint16_t value) {
-  check(addr, 2);
-  std::memcpy(bytes_.data() + addr, &value, 2);
-}
-
-void Memory::store32(std::uint32_t addr, std::uint32_t value) {
-  check(addr, 4);
-  std::memcpy(bytes_.data() + addr, &value, 4);
-}
-
 void Memory::write_block(std::uint32_t addr, std::span<const std::uint8_t> data) {
   ensure(static_cast<std::uint64_t>(addr) + data.size() <= bytes_.size(),
          "Memory::write_block out of bounds");
+  if (data.empty()) return;
   std::memcpy(bytes_.data() + addr, data.data(), data.size());
+  notify_write(addr, static_cast<std::uint32_t>(data.size()));
 }
 
 void Memory::write_words(std::uint32_t addr, std::span<const std::uint32_t> words) {
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    store32(addr + static_cast<std::uint32_t>(4 * i), words[i]);
-  }
+  check_words(addr, words.size());
+  if (words.empty()) return;
+  std::memcpy(bytes_.data() + addr, words.data(), 4 * words.size());
+  notify_write(addr, static_cast<std::uint32_t>(4 * words.size()));
 }
 
 void Memory::write_words(std::uint32_t addr, std::span<const std::int32_t> words) {
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    store32(addr + static_cast<std::uint32_t>(4 * i), static_cast<std::uint32_t>(words[i]));
-  }
+  check_words(addr, words.size());
+  if (words.empty()) return;
+  std::memcpy(bytes_.data() + addr, words.data(), 4 * words.size());
+  notify_write(addr, static_cast<std::uint32_t>(4 * words.size()));
 }
 
 std::vector<std::int32_t> Memory::read_words_i32(std::uint32_t addr, std::size_t count) const {
+  check_words(addr, count);
   std::vector<std::int32_t> out(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out[i] = static_cast<std::int32_t>(load32(addr + static_cast<std::uint32_t>(4 * i)));
-  }
+  if (count > 0) std::memcpy(out.data(), bytes_.data() + addr, 4 * count);
   return out;
 }
 
 std::vector<float> Memory::read_words_f32(std::uint32_t addr, std::size_t count) const {
+  check_words(addr, count);
   std::vector<float> out(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::uint32_t bits = load32(addr + static_cast<std::uint32_t>(4 * i));
-    float f;
-    std::memcpy(&f, &bits, 4);
-    out[i] = f;
-  }
+  if (count > 0) std::memcpy(out.data(), bytes_.data() + addr, 4 * count);
   return out;
 }
 
 void Memory::write_words_f32(std::uint32_t addr, std::span<const float> words) {
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    std::uint32_t bits;
-    std::memcpy(&bits, &words[i], 4);
-    store32(addr + static_cast<std::uint32_t>(4 * i), bits);
+  check_words(addr, words.size());
+  if (words.empty()) return;
+  std::memcpy(bytes_.data() + addr, words.data(), 4 * words.size());
+  notify_write(addr, static_cast<std::uint32_t>(4 * words.size()));
+}
+
+void Memory::add_write_observer(WriteObserver* observer, std::uint32_t lo,
+                                std::uint32_t hi) {
+  ensure(observer != nullptr, "Memory::add_write_observer: null observer");
+  watches_.push_back(Watch{observer, lo, hi});
+  watch_hi_ = std::max(watch_hi_, hi);
+}
+
+void Memory::remove_write_observer(WriteObserver* observer) {
+  std::erase_if(watches_, [observer](const Watch& w) { return w.observer == observer; });
+  watch_hi_ = 0;
+  for (const Watch& w : watches_) watch_hi_ = std::max(watch_hi_, w.hi);
+}
+
+void Memory::set_observed_range(WriteObserver* observer, std::uint32_t lo,
+                                std::uint32_t hi) {
+  watch_hi_ = 0;
+  for (Watch& w : watches_) {
+    if (w.observer == observer) {
+      w.lo = lo;
+      w.hi = hi;
+    }
+    watch_hi_ = std::max(watch_hi_, w.hi);
+  }
+}
+
+void Memory::dispatch_write(std::uint32_t addr, std::uint32_t len) {
+  for (const Watch& w : watches_) {
+    if (addr < w.hi && addr + len > w.lo) w.observer->on_write(addr, len);
   }
 }
 

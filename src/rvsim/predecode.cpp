@@ -1,0 +1,147 @@
+#include "rvsim/predecode.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "rvsim/encoding.hpp"
+
+namespace iw::rv {
+
+namespace {
+
+/// Unified register ids (x: 0..31, f: 32..63) the instruction reads that can
+/// participate in a load-use hazard; -1 marks unused slots. Reads of x0 are
+/// recorded as -1 outright: a load into x0 never creates a hazard, so the
+/// step loop needs no `!= 0` exclusion.
+void collect_reads(const Decoded& d, std::int16_t out[3]) {
+  std::int16_t r[3] = {-1, -1, -1};
+  switch (d.op) {
+    // I-type integer ops and loads: rs1 only.
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: case Op::kPClip: case Op::kJalr:
+    case Op::kPAbs: case Op::kPExths: case Op::kPExtbs:
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
+    case Op::kFlw: case Op::kCsrrw: case Op::kCsrrs:
+    case Op::kFcvtSW: case Op::kFmvWX:
+      r[0] = d.rs1;
+      break;
+    // Stores read the address register and the (int) data register.
+    case Op::kSb: case Op::kSh: case Op::kSw:
+    case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
+      r[0] = d.rs1;
+      r[1] = d.rs2;
+      break;
+    case Op::kFsw:
+      r[0] = d.rs1;
+      r[1] = static_cast<std::int16_t>(32 + d.rs2);
+      break;
+    // R-type integer ops, branches.
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt: case Op::kSltu:
+    case Op::kXor: case Op::kSrl: case Op::kSra: case Op::kOr: case Op::kAnd:
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+    case Op::kPvDotspH: case Op::kPMin: case Op::kPMax:
+      r[0] = d.rs1;
+      r[1] = d.rs2;
+      break;
+    case Op::kPMac: case Op::kPvSdotspH:
+      r[0] = d.rs1;
+      r[1] = d.rs2;
+      r[2] = d.rd;  // accumulator is read
+      break;
+    case Op::kFaddS: case Op::kFsubS: case Op::kFmulS: case Op::kFdivS:
+    case Op::kFsgnjS: case Op::kFsgnjnS:
+    case Op::kFeqS: case Op::kFltS: case Op::kFleS:
+      r[0] = static_cast<std::int16_t>(32 + d.rs1);
+      r[1] = static_cast<std::int16_t>(32 + d.rs2);
+      break;
+    case Op::kFmaddS:
+      r[0] = static_cast<std::int16_t>(32 + d.rs1);
+      r[1] = static_cast<std::int16_t>(32 + d.rs2);
+      r[2] = static_cast<std::int16_t>(32 + d.rs3);
+      break;
+    case Op::kFcvtWS: case Op::kFmvXW:
+      r[0] = static_cast<std::int16_t>(32 + d.rs1);
+      break;
+    case Op::kLpSetup:
+      r[0] = d.rs1;
+      break;
+    default:
+      break;
+  }
+  for (int k = 0; k < 3; ++k) out[k] = r[k] == 0 ? std::int16_t{-1} : r[k];
+}
+
+}  // namespace
+
+DecodeCache::DecodeCache(const TimingProfile& profile, Memory& memory)
+    : profile_(profile),
+      mem_(memory),
+      costs_(resolve(profile)),
+      max_words_(static_cast<std::uint32_t>(memory.size() / 4)) {
+  mem_.add_write_observer(this, 0, 0);
+}
+
+DecodeCache::~DecodeCache() { mem_.remove_write_observer(this); }
+
+void DecodeCache::raise_unsupported(const DecodedEx& e) const {
+  fail("Core(" + profile_.name + "): unsupported instruction " + mnemonic(e.d.op));
+}
+
+void DecodeCache::invalidate_all() {
+  for (DecodedEx& e : entries_) e.status = kEmpty;
+}
+
+void DecodeCache::on_write(std::uint32_t addr, std::uint32_t len) {
+  const std::uint64_t first = addr >> 2;
+  const std::uint64_t last = (static_cast<std::uint64_t>(addr) + len + 3) >> 2;
+  const std::uint64_t end = std::min<std::uint64_t>(last, entries_.size());
+  for (std::uint64_t i = first; i < end; ++i) {
+    entries_[static_cast<std::size_t>(i)].status = kEmpty;
+  }
+}
+
+void DecodeCache::fetch_fault(std::uint32_t pc) const {
+  // Reproduce the exact fetch error (bounds checked before alignment).
+  mem_.load32(pc);
+  fail("DecodeCache: unreachable fetch fault");
+}
+
+void DecodeCache::grow(std::uint32_t idx) {
+  const std::size_t want = static_cast<std::size_t>(idx) + 1;
+  std::size_t target = std::max({want, entries_.size() * 2, std::size_t{256}});
+  target = std::min(target, static_cast<std::size_t>(max_words_));
+  entries_.resize(target);
+  mem_.set_observed_range(this, 0, static_cast<std::uint32_t>(4 * entries_.size()));
+}
+
+void DecodeCache::fill(DecodedEx& e, std::uint32_t pc) {
+  const Decoded d = decode(mem_.load32(pc));  // throws on illegal words
+  const std::size_t op = static_cast<std::size_t>(d.op);
+  e.d = d;
+  if (!costs_.supported[op]) {
+    e.status = kUnsupported;
+    return;
+  }
+  e.cls = op_class(d.op);
+  e.base_cost = costs_.base_cost[op];
+  e.is_load = e.cls == OpClass::kLoad;
+  e.load_seq_extra =
+      e.is_load ? static_cast<std::int16_t>(profile_.load_nonpipelined_extra) : std::int16_t{0};
+  if (e.is_load && profile_.load_use_stall > 0) {
+    const std::int16_t dest = is_fp(d.op) ? static_cast<std::int16_t>(32 + d.rd)
+                                          : static_cast<std::int16_t>(d.rd);
+    // A load into x0 never stalls a successor.
+    e.load_dest = dest == 0 ? std::int16_t{-1} : dest;
+  } else {
+    e.load_dest = -1;
+  }
+  collect_reads(d, e.reads);
+  e.status = kOk;
+}
+
+}  // namespace iw::rv

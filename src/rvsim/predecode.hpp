@@ -1,0 +1,93 @@
+// Pre-decoded instruction cache for the rvsim interpreter.
+//
+// Decoding a code word and deriving its timing data (op class, per-profile
+// base cost, support flag, load-use read set) is pure per (word, profile), so
+// it is done once per code word and memoized in a DecodedEx record. Core::step
+// then becomes an array-indexed dispatch: fetch pc -> cached record ->
+// execute, with no decode(), no op_class()/base_cost()/supports() switches,
+// and no string construction on the success path.
+//
+// Coherence: the cache registers itself as a Memory write observer over the
+// byte range it has decoded so far. Any store that overlaps that range —
+// scalar stores from simulated code, load_program/write_words/write_block
+// from the host side, DMA copies — invalidates exactly the overlapped
+// records, so reloaded or self-modifying programs re-decode on next fetch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rvsim/isa.hpp"
+#include "rvsim/memory.hpp"
+#include "rvsim/timing.hpp"
+
+namespace iw::rv {
+
+/// One pre-decoded instruction: the Decoded fields fused with everything the
+/// per-step hot path would otherwise recompute.
+struct DecodedEx {
+  Decoded d;
+  OpClass cls = OpClass::kAlu;
+  /// DecodeCache::kEmpty / kOk / kUnsupported.
+  std::uint8_t status = 0;
+  bool is_load = false;
+  std::int16_t base_cost = 0;
+  /// load_nonpipelined_extra when is_load, else 0 (applied when the previous
+  /// instruction was also a load).
+  std::int16_t load_seq_extra = 0;
+  /// Unified dest register id (x: 0..31, f: 32..63) a dependent successor
+  /// would stall on, or -1 when this instruction cannot create a load-use
+  /// hazard under the cache's profile.
+  std::int16_t load_dest = -1;
+  /// Unified register ids read by the instruction (-1 = unused slot).
+  std::int16_t reads[3] = {-1, -1, -1};
+};
+
+class DecodeCache final : public Memory::WriteObserver {
+ public:
+  enum Status : std::uint8_t { kEmpty = 0, kOk = 1, kUnsupported = 2 };
+
+  /// `profile` and `memory` must outlive the cache (Core guarantees this by
+  /// owning the cache next to its profile).
+  DecodeCache(const TimingProfile& profile, Memory& memory);
+  ~DecodeCache() override;
+
+  DecodeCache(const DecodeCache&) = delete;
+  DecodeCache& operator=(const DecodeCache&) = delete;
+
+  /// Returns the record for the instruction at `pc`, decoding it on first
+  /// fetch. Raises the same errors a fetch + decode() would (out-of-bounds or
+  /// misaligned pc, illegal instruction). kUnsupported records are returned
+  /// to the caller, which raises via raise_unsupported() so the success path
+  /// never builds an error message.
+  const DecodedEx& entry(std::uint32_t pc) {
+    const std::uint32_t idx = pc >> 2;
+    if ((pc & 3u) != 0 || idx >= max_words_) fetch_fault(pc);
+    if (idx >= entries_.size()) grow(idx);
+    DecodedEx& e = entries_[idx];
+    if (e.status == kEmpty) fill(e, pc);
+    return e;
+  }
+
+  /// Throws the profile's unsupported-instruction error for `e`.
+  [[noreturn]] void raise_unsupported(const DecodedEx& e) const;
+
+  /// Drops every cached record (they re-decode lazily).
+  void invalidate_all();
+
+  /// Memory::WriteObserver: invalidates the records overlapping the store.
+  void on_write(std::uint32_t addr, std::uint32_t len) override;
+
+ private:
+  [[noreturn]] void fetch_fault(std::uint32_t pc) const;
+  void grow(std::uint32_t idx);
+  void fill(DecodedEx& e, std::uint32_t pc);
+
+  const TimingProfile& profile_;
+  Memory& mem_;
+  ResolvedProfile costs_;
+  std::uint32_t max_words_;
+  std::vector<DecodedEx> entries_;
+};
+
+}  // namespace iw::rv

@@ -36,8 +36,7 @@ class InstructionHistogram {
   void clear() { counts_.fill(0); }
 
  private:
-  // Indexed by Op; kLpSetupi is the last enumerator.
-  std::array<std::uint64_t, static_cast<std::size_t>(Op::kLpSetupi) + 1> counts_{};
+  std::array<std::uint64_t, kOpCount> counts_{};  // indexed by Op
 };
 
 }  // namespace iw::rv

@@ -50,6 +50,18 @@ bool TimingProfile::supports(Op op) const {
   }
 }
 
+ResolvedProfile resolve(const TimingProfile& profile) {
+  ResolvedProfile r;
+  // Op::kIllegal (index 0) stays unsupported with cost 0; decode() never
+  // produces it.
+  for (std::size_t i = 1; i < kOpCount; ++i) {
+    const Op op = static_cast<Op>(i);
+    r.base_cost[i] = static_cast<std::int16_t>(profile.base_cost(op_class(op)));
+    r.supported[i] = profile.supports(op);
+  }
+  return r;
+}
+
 TimingProfile cortex_m4f() {
   TimingProfile p;
   p.name = "cortex-m4f";

@@ -8,6 +8,7 @@
 // records the residual error.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -57,6 +58,15 @@ struct TimingProfile {
   /// True when the profile can legally execute the opcode.
   bool supports(Op op) const;
 };
+
+/// Per-opcode cost and support tables resolved from a profile. Built once per
+/// decode cache so the per-instruction hot path never re-derives
+/// op_class() -> base_cost() -> supports() per step.
+struct ResolvedProfile {
+  std::array<std::int16_t, kOpCount> base_cost{};
+  std::array<bool, kOpCount> supported{};
+};
+ResolvedProfile resolve(const TimingProfile& profile);
 
 /// ARM Cortex-M4F-class profile (Nordic nRF52832 @ 64 MHz). Scalar core with
 /// single-cycle MAC (MLA), post-indexed addressing, pipelined back-to-back

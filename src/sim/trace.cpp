@@ -28,7 +28,7 @@ bool TraceRecorder::has_channel(const std::string& channel) const {
 
 const TraceChannel& TraceRecorder::channel(const std::string& name) const {
   const auto it = channels_.find(name);
-  ensure(it != channels_.end(), "TraceRecorder: unknown channel " + name);
+  if (it == channels_.end()) fail("TraceRecorder: unknown channel " + name);
   return it->second;
 }
 

@@ -1,0 +1,209 @@
+// Decode-cache coherence: the pre-decoded instruction cache must observe
+// every path that can rewrite code words (load_program, write_words,
+// store32/write_block, simulated stores) and never serve a stale decode.
+#include "rvsim/predecode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "asmx/assembler.hpp"
+#include "rvsim/cluster.hpp"
+#include "rvsim/machine.hpp"
+
+namespace iw::rv {
+namespace {
+
+constexpr std::uint32_t kOut = 0x1000;
+
+asmx::Program store_const_program(int value) {
+  return asmx::assemble("    li t0, " + std::to_string(value) +
+                        "\n    li t1, " + std::to_string(kOut) +
+                        "\n    sw t0, 0(t1)\n    ecall\n");
+}
+
+/// Index of the single word where the two variants differ.
+std::size_t differing_word(const asmx::Program& a, const asmx::Program& b) {
+  EXPECT_EQ(a.words.size(), b.words.size());
+  std::size_t index = a.words.size();
+  for (std::size_t i = 0; i < a.words.size(); ++i) {
+    if (a.words[i] != b.words[i]) {
+      EXPECT_EQ(index, a.words.size()) << "programs differ in more than one word";
+      index = i;
+    }
+  }
+  EXPECT_LT(index, a.words.size());
+  return index;
+}
+
+TEST(Predecode, MachineReloadExecutesNewProgram) {
+  Machine machine(ri5cy());
+  machine.load_program(store_const_program(111).words);
+  machine.run(0);
+  ASSERT_EQ(machine.memory().load32(kOut), 111u);
+
+  // Reloading over the already-decoded region must drop the cached decodes.
+  machine.load_program(store_const_program(222).words);
+  machine.run(0);
+  EXPECT_EQ(machine.memory().load32(kOut), 222u);
+}
+
+TEST(Predecode, MachineWriteWordsPatchesOneInstruction) {
+  const asmx::Program before = store_const_program(7);
+  const asmx::Program after = store_const_program(19);
+  const std::size_t patch = differing_word(before, after);
+
+  Machine machine(ri5cy());
+  machine.load_program(before.words);
+  machine.run(0);
+  ASSERT_EQ(machine.memory().load32(kOut), 7u);
+
+  const std::uint32_t word = after.words[patch];
+  machine.memory().write_words(static_cast<std::uint32_t>(4 * patch), {&word, 1});
+  machine.run(0);
+  EXPECT_EQ(machine.memory().load32(kOut), 19u);
+}
+
+TEST(Predecode, MachineStore32PatchesOneInstruction) {
+  const asmx::Program before = store_const_program(3);
+  const asmx::Program after = store_const_program(250);
+  const std::size_t patch = differing_word(before, after);
+
+  Machine machine(cortex_m4f());
+  machine.load_program(before.words);
+  machine.run(0);
+  ASSERT_EQ(machine.memory().load32(kOut), 3u);
+
+  machine.memory().store32(static_cast<std::uint32_t>(4 * patch), after.words[patch]);
+  machine.run(0);
+  EXPECT_EQ(machine.memory().load32(kOut), 250u);
+}
+
+TEST(Predecode, MachineWriteBlockPatchesProgram) {
+  const asmx::Program before = store_const_program(8);
+  const asmx::Program after = store_const_program(4097);
+
+  Machine machine(ibex());
+  machine.load_program(before.words);
+  machine.run(0);
+  ASSERT_EQ(machine.memory().load32(kOut), 8u);
+
+  machine.memory().write_block(
+      0, {reinterpret_cast<const std::uint8_t*>(after.words.data()), 4 * after.words.size()});
+  machine.run(0);
+  EXPECT_EQ(machine.memory().load32(kOut), 4097u);
+}
+
+TEST(Predecode, SelfModifyingStoreInvalidatesCachedDecode) {
+  // Pass 1 executes `addi s0, s0, 1` at `patch` (which caches its decode),
+  // then overwrites that word with `addi s0, s0, 100`. Pass 2 must execute
+  // the rewritten instruction: s0 = 1 + 100. A stale cache would yield 2.
+  const asmx::Program program = asmx::assemble(R"(
+      .equ OUT, 0x1000
+      li   s0, 0
+      li   s1, 2            # two passes
+      la   s2, patch
+      la   s3, repl
+      lw   s3, 0(s3)        # replacement instruction word
+  loop:
+  patch:
+      addi s0, s0, 1
+      sw   s3, 0(s2)        # rewrite `patch` for the next pass
+      addi s1, s1, -1
+      bne  s1, zero, loop
+      li   t0, OUT
+      sw   s0, 0(t0)
+      ecall
+  repl:
+      addi s0, s0, 100      # data: never reached as code from here
+  )");
+
+  for (const TimingProfile& profile : {cortex_m4f(), ibex(), ri5cy()}) {
+    Machine machine(profile);
+    machine.load_program(program.words);
+    machine.run(0);
+    EXPECT_EQ(machine.memory().load32(0x1000), 101u) << profile.name;
+  }
+}
+
+TEST(Predecode, ClusterReloadExecutesNewProgram) {
+  ClusterConfig config;
+  config.num_cores = 4;
+  Cluster cluster(ri5cy(), config);
+
+  // Every core writes `value` into its own TCDM slot.
+  const auto per_hart_program = [](int value) {
+    return asmx::assemble(R"(
+        .equ OUT, 0x80000
+        csrr t0, mhartid
+        slli t1, t0, 2
+        li   t2, OUT
+        add  t1, t1, t2
+        li   t3, )" + std::to_string(value) + R"(
+        sw   t3, 0(t1)
+        ecall
+    )");
+  };
+
+  cluster.load_program(per_hart_program(33).words);
+  cluster.run(0);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(cluster.memory().load32(0x80000 + 4 * i), 33u);
+  }
+
+  // Every core's private decode cache must see the reload.
+  cluster.load_program(per_hart_program(44).words);
+  cluster.run(0);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.memory().load32(0x80000 + 4 * i), 44u);
+  }
+}
+
+TEST(Predecode, ClusterWriteWordsPatchesOneInstruction) {
+  const asmx::Program before = store_const_program(5);
+  const asmx::Program after = store_const_program(77);
+  const std::size_t patch = differing_word(before, after);
+
+  ClusterConfig config;
+  config.num_cores = 2;
+  Cluster cluster(ri5cy(), config);
+  cluster.load_program(before.words);
+  cluster.run(0);
+  ASSERT_EQ(cluster.memory().load32(kOut), 5u);
+
+  const std::uint32_t word = after.words[patch];
+  cluster.memory().write_words(static_cast<std::uint32_t>(4 * patch), {&word, 1});
+  cluster.run(0);
+  EXPECT_EQ(cluster.memory().load32(kOut), 77u);
+}
+
+TEST(Predecode, StoresAboveTheDecodedRegionDoNotInvalidate) {
+  // Behavioural guard for the observer fast path: data stores far above the
+  // code must leave cached decodes usable (the program still runs, and the
+  // cache entry for pc=0 stays decoded).
+  Machine machine(ri5cy());
+  const asmx::Program program = store_const_program(9);
+  machine.load_program(program.words);
+  machine.run(0);
+  ASSERT_EQ(machine.memory().load32(kOut), 9u);
+
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    machine.memory().store32(0x40000 + 4 * i, 0xdeadbeefu);
+  }
+  const RunResult again = machine.run(0);
+  EXPECT_EQ(machine.memory().load32(kOut), 9u);
+  EXPECT_GT(again.instructions, 0u);
+}
+
+TEST(Predecode, InvalidateAllForcesRedecode) {
+  Machine machine(ri5cy());
+  machine.load_program(store_const_program(12).words);
+  machine.run(0);
+  machine.core().decode_cache().invalidate_all();
+  machine.run(0);
+  EXPECT_EQ(machine.memory().load32(kOut), 12u);
+}
+
+}  // namespace
+}  // namespace iw::rv

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "asmx/assembler.hpp"
+#include "rvsim/cluster.hpp"
+#include "rvsim/machine.hpp"
+
 namespace iw::rv {
 namespace {
 
@@ -60,6 +64,74 @@ TEST(Timing, BaseCostUsesClassFields) {
 
 TEST(Timing, IbexMultiplierSlowerThanRi5cy) {
   EXPECT_GT(ibex().mul, ri5cy().mul);
+}
+
+// --- Golden cycle counts ---------------------------------------------------
+// Exact counts for a deterministic RV32IM micro-program, captured from the
+// straight-line interpreter before the pre-decoded instruction cache landed.
+// The decode cache is a host-speed optimisation only: any drift in these
+// numbers means the simulated timing model changed, which is a bug.
+//
+// The program exercises mul, div, taken/fall-through branches, a load-use
+// dependency (stalls on RI5CY), back-to-back loads (pipelined on the M4),
+// and — on the cluster — TCDM slots strided so pairs of harts share a bank.
+constexpr const char* kGoldenProgram = R"(
+    .equ BUF, 0x80100
+    csrr t6, mhartid
+    slli t6, t6, 4
+    li   t0, 0            # accumulator
+    li   t1, 40           # iterations
+    li   t2, BUF
+    add  t2, t2, t6       # per-hart slot, 4-word stride
+    li   t3, 3
+loop:
+    mul  t4, t1, t3
+    sw   t4, 0(t2)
+    lw   t5, 0(t2)
+    add  t0, t0, t5       # load-use dependency
+    lw   a1, 0(t2)
+    lw   a2, 0(t2)        # back-to-back loads
+    add  a3, a1, a2
+    addi t1, t1, -1
+    bne  t1, zero, loop
+    divu a0, t0, t3
+    ecall
+)";
+
+struct GoldenCounts {
+  TimingProfile profile;
+  std::uint64_t cycles;
+  std::uint64_t instructions;
+  std::uint64_t load_use_stalls;
+};
+
+TEST(Timing, GoldenCountsSingleCore) {
+  const asmx::Program program = asmx::assemble(kGoldenProgram);
+  const GoldenCounts expected[] = {
+      {cortex_m4f(), 535, 370, 0},
+      {ibex(), 645, 370, 0},
+      {ri5cy(), 601, 370, 80},
+  };
+  for (const GoldenCounts& e : expected) {
+    Machine machine(e.profile);
+    machine.load_program(program.words);
+    const RunResult r = machine.run(0);
+    EXPECT_EQ(r.cycles, e.cycles) << e.profile.name;
+    EXPECT_EQ(r.instructions, e.instructions) << e.profile.name;
+    EXPECT_EQ(machine.core().load_use_stalls(), e.load_use_stalls) << e.profile.name;
+    EXPECT_EQ(machine.core().taken_branches(), 39u) << e.profile.name;
+  }
+}
+
+TEST(Timing, GoldenCountsRi5cyCluster8) {
+  const asmx::Program program = asmx::assemble(kGoldenProgram);
+  Cluster cluster(ri5cy(), ClusterConfig{});
+  cluster.load_program(program.words);
+  const ClusterRunResult r = cluster.run(0);
+  EXPECT_EQ(r.cycles, 604u);
+  EXPECT_EQ(r.total_instructions, 2960u);
+  EXPECT_EQ(r.bank_conflict_stalls, 16u);
+  EXPECT_EQ(r.barrier_wait_cycles, 0u);
 }
 
 }  // namespace
