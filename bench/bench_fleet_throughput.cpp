@@ -1,0 +1,73 @@
+// Fleet engine throughput: devices/sec and thread-scaling efficiency.
+//
+// Simulates a 1000-device fleet for one day at 1/2/4/8 worker threads,
+// reports devices/sec, speedup and efficiency vs the single-thread run, and
+// cross-checks the determinism invariant (the aggregate FleetStats must be
+// byte-identical at every thread count). Results land in
+// BENCH_fleet_throughput.json.
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "fleet/fleet_engine.hpp"
+#include "report.hpp"
+
+int main() {
+  iw::bench::print_header("Fleet throughput (1000 devices x 1 day)");
+
+  iw::fleet::FleetConfig config;
+  config.num_devices = 1000;
+  config.fleet_seed = 2020;
+  config.days = 1;
+  config.chunk_size = 16;
+
+  iw::bench::JsonReport json("BENCH_fleet_throughput.json");
+  json.add("devices", static_cast<double>(config.num_devices));
+  json.add("days", config.days);
+  json.add("hardware_concurrency",
+           static_cast<double>(std::thread::hardware_concurrency()));
+
+  std::printf("%8s %14s %10s %12s\n", "threads", "devices/sec", "speedup",
+              "efficiency");
+
+  double base_dps = 0.0;
+  std::string reference;
+  bool deterministic = true;
+  iw::fleet::FleetStats::Summary summary;
+  for (int threads : {1, 2, 4, 8}) {
+    config.threads = threads;
+    const iw::fleet::FleetResult result = iw::fleet::FleetEngine(config).run();
+    const std::string serialized = result.stats.serialize();
+    if (threads == 1) {
+      base_dps = result.devices_per_sec;
+      reference = serialized;
+      summary = result.stats.summarize();
+    } else if (serialized != reference) {
+      deterministic = false;
+    }
+    const double speedup = base_dps > 0.0 ? result.devices_per_sec / base_dps : 0.0;
+    const double efficiency = speedup / threads;
+    std::printf("%8d %14.1f %9.2fx %11.1f%%\n", threads, result.devices_per_sec,
+                speedup, 100.0 * efficiency);
+
+    const std::string prefix = "t" + std::to_string(threads);
+    json.add(prefix + "_devices_per_sec", result.devices_per_sec);
+    json.add(prefix + "_wall_s", result.wall_s);
+    json.add(prefix + "_speedup", speedup);
+    json.add(prefix + "_efficiency", efficiency);
+  }
+  json.add("deterministic_across_threads", deterministic ? 1.0 : 0.0);
+  json.add("fleet_completed_detections",
+           static_cast<double>(summary.detections_completed));
+  json.add("fleet_fraction_self_sustaining", summary.fraction_self_sustaining);
+  json.add("fleet_final_soc_p50", summary.final_soc.p50);
+
+  iw::bench::print_note(deterministic
+                            ? "aggregate FleetStats byte-identical across thread counts"
+                            : "DETERMINISM VIOLATION: stats differ across thread counts");
+  iw::bench::print_note("speedup is bounded by the host's available cores (" +
+                        std::to_string(std::thread::hardware_concurrency()) +
+                        " here)");
+  json.write();
+  return deterministic ? 0 : 1;
+}

@@ -20,10 +20,21 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   for (auto& s : state_) s = splitmix64(seed);
   // Avoid the (astronomically unlikely) all-zero state.
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng Rng::substream(std::uint64_t stream_id) const {
+  // Hash (construction seed, stream id) into a child seed with two splitmix64
+  // steps. Deliberately ignores the current draw position so that
+  // substream(k) is stable no matter how the parent has been used.
+  std::uint64_t x = seed_;
+  std::uint64_t child = splitmix64(x);
+  x += stream_id ^ 0x94d049bb133111ebULL;
+  child ^= splitmix64(x);
+  return Rng(child);
 }
 
 std::uint64_t Rng::next() {

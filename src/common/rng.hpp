@@ -23,6 +23,16 @@ class Rng {
   static constexpr result_type max() { return ~0ULL; }
   result_type operator()() { return next(); }
 
+  /// The seed this generator was constructed from.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Child generator for an independent stream. The child seed is derived
+  /// (via splitmix64) from the *construction* seed and `stream_id` only, so
+  /// substreams do not depend on how many values were drawn from the parent,
+  /// and distinct stream ids give decorrelated sequences. This is what makes
+  /// per-device RNG in the fleet engine independent of worker scheduling.
+  Rng substream(std::uint64_t stream_id) const;
+
   /// Raw 64 random bits.
   std::uint64_t next();
 
@@ -46,6 +56,7 @@ class Rng {
 
  private:
   std::uint64_t state_[4];
+  std::uint64_t seed_ = 0;
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };

@@ -1,0 +1,134 @@
+#include "fleet/device_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "platform/detection_cost.hpp"
+#include "platform/scheduler.hpp"
+
+namespace iw::fleet {
+namespace {
+
+/// Cap on app classifications per device-day: enough to estimate the wearer's
+/// predicted-stress distribution without making fleet throughput scale with
+/// the duty cycle.
+constexpr std::uint64_t kMaxClassifiedPerDay = 8;
+
+std::size_t argmax3(const std::vector<float>& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp* app)
+    : scenario_(scenario),
+      app_(app),
+      rng_(scenario.rng_seed),
+      harvester_(hv::DualSourceHarvester::calibrated()),
+      base_profile_(build_day_profile(scenario)),
+      soc_(scenario.initial_soc) {
+  ensure(scenario_.days >= 1, "DeviceInstance: scenario needs at least one day");
+
+  config_.detection = platform::make_detection_cost({});
+  config_.detection_period_s = scenario_.detection_period_s;
+  config_.initial_soc = scenario_.initial_soc;
+  if (scenario_.policy != PolicyKind::kFixedRate) policy_ = make_policy(scenario_);
+
+  outcome_.device_id = scenario_.device_id;
+  outcome_.profile = scenario_.profile;
+  outcome_.policy = scenario_.policy;
+  outcome_.initial_soc = scenario_.initial_soc;
+  outcome_.final_soc = scenario_.initial_soc;
+
+  if (app_ != nullptr) {
+    // Bucket the shared app's test windows by true label once; detection
+    // windows are drawn from the wearer's stress mix out of these buckets.
+    const nn::Dataset& test = app_->test_set();
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const std::size_t label = argmax3(test.targets[i]);
+      if (label < windows_by_level_.size()) windows_by_level_[label].push_back(i);
+    }
+  }
+}
+
+bool DeviceInstance::step_day() {
+  if (done()) return false;
+
+  // Day-to-day weather/behaviour variation, from this device's own stream.
+  const double lux_factor = std::exp(rng_.normal(0.0, scenario_.lux_sigma_day));
+  const hv::DayProfile profile = platform::scale_profile_lux(base_profile_, lux_factor);
+
+  config_.initial_soc = soc_;
+  const platform::DaySimulationResult day =
+      policy_ != nullptr
+          ? platform::simulate_day_with_policy(config_, harvester_, profile, *policy_)
+          : platform::simulate_day(config_, harvester_, profile);
+
+  ++day_;
+  soc_ = day.final_soc;
+
+  outcome_.days_run = day_;
+  outcome_.detections_attempted += day.detections_attempted;
+  outcome_.detections_completed += day.detections_completed;
+  outcome_.detections_skipped += day.detections_skipped;
+  outcome_.harvested_j += day.harvested_j;
+  outcome_.consumed_j += day.consumed_j;
+  outcome_.final_soc = day.final_soc;
+  outcome_.min_soc = std::min({outcome_.min_soc, day.final_soc,
+                               day.trace.summarize("soc").min()});
+
+  const double minutes = day_ * 24.0 * 60.0;
+  outcome_.detections_per_min =
+      static_cast<double>(outcome_.detections_completed) / minutes;
+  outcome_.mean_intake_w = outcome_.harvested_j / (minutes * 60.0);
+  // "Wear and forget": never dipped near empty, and the harvest covered the
+  // workload (no skips, battery no worse than it started).
+  outcome_.self_sustaining = outcome_.min_soc > 0.05 &&
+                             outcome_.final_soc >= outcome_.initial_soc - 0.01 &&
+                             outcome_.detections_skipped == 0;
+
+  classify_windows(day.detections_completed);
+  return !done();
+}
+
+void DeviceInstance::run() {
+  while (step_day()) {
+  }
+}
+
+void DeviceInstance::classify_windows(std::uint64_t completed_today) {
+  if (app_ == nullptr) return;
+  const std::uint64_t n = std::min(completed_today, kMaxClassifiedPerDay);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Sample the wearer's true stress level for this window...
+    const double u = rng_.uniform();
+    std::size_t level = u < scenario_.stress_mix[0]                           ? 0
+                        : u < scenario_.stress_mix[0] + scenario_.stress_mix[1] ? 1
+                                                                                : 2;
+    // ...fall back to any non-empty bucket if the app's test split happens to
+    // lack that label entirely.
+    if (windows_by_level_[level].empty()) {
+      for (std::size_t l = 0; l < windows_by_level_.size(); ++l) {
+        if (!windows_by_level_[l].empty()) {
+          level = l;
+          break;
+        }
+      }
+      if (windows_by_level_[level].empty()) return;  // app has no test windows
+    }
+    const std::vector<std::size_t>& bucket = windows_by_level_[level];
+    const std::size_t pick = bucket[rng_.uniform_int(bucket.size())];
+    // Classify through the deployed fixed-point network, as the device would.
+    const std::size_t predicted =
+        app_->quantized().classify(app_->test_set().inputs[pick]);
+    ++outcome_.class_counts[std::min<std::size_t>(predicted, 2)];
+    ++outcome_.classified;
+  }
+}
+
+}  // namespace iw::fleet

@@ -1,0 +1,91 @@
+// One virtual InfiniWolf device in a fleet run.
+//
+// Bundles a wearer scenario's harvester conditions, battery, scheduling
+// policy, and (optionally) the shared stress-detection application behind a
+// step/run interface. All randomness comes from the scenario's RNG substream,
+// and the shared app is only read through const methods, so a device's
+// outcome depends on nothing but its Scenario — the property the fleet
+// engine's thread-count-independence rests on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/app.hpp"
+#include "fleet/scenario.hpp"
+#include "harvest/harvester.hpp"
+#include "platform/device.hpp"
+
+namespace iw::fleet {
+
+/// Everything the fleet aggregates about one finished device.
+struct DeviceOutcome {
+  std::uint64_t device_id = 0;
+  WearerProfile profile = WearerProfile::kOfficeWorker;
+  PolicyKind policy = PolicyKind::kFixedRate;
+  int days_run = 0;
+
+  std::uint64_t detections_attempted = 0;
+  std::uint64_t detections_completed = 0;
+  std::uint64_t detections_skipped = 0;  // battery too low
+
+  double harvested_j = 0.0;
+  double consumed_j = 0.0;
+  double initial_soc = 0.0;
+  double final_soc = 0.0;
+  double min_soc = 1.0;
+
+  /// Completed detections per simulated minute.
+  double detections_per_min = 0.0;
+  /// Average harvest intake over the run, in watts.
+  double mean_intake_w = 0.0;
+  /// Battery never ran low and ended no worse than it started.
+  bool self_sustaining = false;
+
+  /// Stress classifications (through the shared app) by predicted level.
+  std::array<std::uint64_t, 3> class_counts{};
+  std::uint64_t classified = 0;
+};
+
+class DeviceInstance {
+ public:
+  /// `app` may be null (energy/duty-cycle simulation only). When set it must
+  /// outlive the instance; it is shared read-only across the whole fleet.
+  explicit DeviceInstance(Scenario scenario,
+                          const core::StressDetectionApp* app = nullptr);
+
+  /// Simulates one more day (carrying the battery over). Returns false once
+  /// the scenario's day count has been reached.
+  bool step_day();
+
+  /// Runs all remaining days.
+  void run();
+
+  const Scenario& scenario() const { return scenario_; }
+  int days_run() const { return day_; }
+  bool done() const { return day_ >= scenario_.days; }
+
+  /// Aggregated outcome so far (fully populated once done()).
+  const DeviceOutcome& outcome() const { return outcome_; }
+
+ private:
+  void classify_windows(std::uint64_t completed_today);
+
+  Scenario scenario_;
+  const core::StressDetectionApp* app_;
+  Rng rng_;
+  hv::DualSourceHarvester harvester_;
+  hv::DayProfile base_profile_;
+  platform::DeviceConfig config_;
+  std::unique_ptr<platform::DetectionPolicy> policy_;
+  /// Test-set window indices of the shared app, bucketed by true label.
+  std::array<std::vector<std::size_t>, 3> windows_by_level_;
+  double soc_ = 0.5;
+  int day_ = 0;
+  DeviceOutcome outcome_;
+};
+
+}  // namespace iw::fleet

@@ -1,0 +1,61 @@
+// Concurrent multi-device fleet simulation.
+//
+// Shards a fleet of virtual devices across a worker-thread pool via a chunked
+// work queue (an atomic chunk cursor; each worker claims the next chunk of
+// device ids when it runs dry). Hard invariant: for a fixed FleetConfig the
+// result is bit-identical regardless of thread count —
+//   * every device's randomness is an RNG substream of (fleet seed, device
+//     id), so it cannot observe scheduling;
+//   * devices share no mutable state (the optional StressDetectionApp is
+//     read-only);
+//   * per-chunk FleetStats shards are merged in chunk-index order after the
+//     pool joins, so the reduction order is fixed too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/app.hpp"
+#include "fleet/fleet_stats.hpp"
+#include "fleet/scenario.hpp"
+
+namespace iw::fleet {
+
+struct FleetConfig {
+  std::size_t num_devices = 256;
+  std::uint64_t fleet_seed = 0x1f2e2020ULL;
+  /// Worker threads; 1 runs inline on the calling thread.
+  int threads = 1;
+  /// Simulated days per device.
+  int days = 1;
+  /// Devices per work-queue chunk (load-balancing granularity).
+  std::size_t chunk_size = 16;
+  /// Optional shared stress-detection app (const access only). When set,
+  /// completed detections are classified through its deployed fixed-point
+  /// network. Must outlive the run.
+  const core::StressDetectionApp* app = nullptr;
+};
+
+struct FleetResult {
+  FleetStats stats;
+  std::size_t devices = 0;
+  int threads_used = 1;
+  double wall_s = 0.0;
+  double devices_per_sec = 0.0;
+};
+
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetConfig config);
+
+  const FleetConfig& config() const { return config_; }
+
+  /// Simulates the whole fleet and reduces the shards. Thread-safe to call
+  /// from one thread at a time.
+  FleetResult run() const;
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace iw::fleet

@@ -1,0 +1,173 @@
+#include "fleet/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace iw::fleet {
+
+const char* to_string(WearerProfile profile) {
+  switch (profile) {
+    case WearerProfile::kOfficeWorker: return "office-worker";
+    case WearerProfile::kOutdoorWorker: return "outdoor-worker";
+    case WearerProfile::kAthlete: return "athlete";
+    case WearerProfile::kNightShift: return "night-shift";
+    case WearerProfile::kHomebody: return "homebody";
+  }
+  return "unknown";
+}
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedRate: return "fixed-rate";
+    case PolicyKind::kSocProportional: return "soc-proportional";
+    case PolicyKind::kEnergyNeutral: return "energy-neutral";
+  }
+  return "unknown";
+}
+
+Scenario sample_scenario(std::uint64_t fleet_seed, std::uint64_t device_id) {
+  // All draws come from the device's substream of the fleet seed; the draw
+  // sequence below is part of the fleet determinism contract (reordering it
+  // changes every fleet's population, like changing the seed would).
+  Rng rng = Rng(fleet_seed).substream(device_id);
+
+  Scenario s;
+  s.device_id = device_id;
+  s.profile = static_cast<WearerProfile>(rng.uniform_int(kNumWearerProfiles));
+  s.policy = static_cast<PolicyKind>(rng.uniform_int(kNumPolicyKinds));
+
+  // Venue brightness: log-normal around the archetype's base lux, clamped so
+  // no wearer lives in total darkness or under a stadium floodlight.
+  s.lux_scale = std::clamp(std::exp(rng.normal(0.0, 0.35)), 0.3, 3.5);
+
+  // Physiology and climate. Skin temperature varies little between people;
+  // indoor ambient varies more (ΔT = skin - ambient drives the TEG).
+  s.skin_c = rng.uniform(31.0, 33.5);
+  s.ambient_indoor_c = rng.uniform(19.0, 26.0);
+
+  // Duty cycle: most wearers check once a minute, some twice, some relaxed.
+  static constexpr double kPeriods[] = {30.0, 60.0, 60.0, 120.0, 300.0};
+  s.detection_period_s = kPeriods[rng.uniform_int(std::size(kPeriods))];
+
+  s.initial_soc = rng.uniform(0.25, 0.85);
+  s.lux_sigma_day = rng.uniform(0.15, 0.45);
+
+  // Stress propensity: Dirichlet-ish draw biased toward calm, renormalized.
+  double none = 0.45 + 0.4 * rng.uniform();
+  double medium = 0.10 + 0.35 * rng.uniform();
+  double high = 0.02 + 0.25 * rng.uniform();
+  const double total = none + medium + high;
+  s.stress_mix = {none / total, medium / total, high / total};
+
+  // The device's own stream for day-to-day variation and window sampling is
+  // a child of its scenario stream, so adding scenario fields later does not
+  // perturb simulated days.
+  s.rng_seed = rng.substream(0x5eedULL).seed();
+  return s;
+}
+
+hv::DayProfile build_day_profile(const Scenario& s) {
+  using iw::units::hours_to_s;
+  const double lx = s.lux_scale;
+
+  hv::Environment night;  // asleep, watch on the nightstand
+  night.lux = 0.0;
+  night.worn = false;
+  night.ambient_c = s.ambient_indoor_c;
+
+  hv::Environment indoor;  // generic indoor segment; lux set per profile
+  indoor.skin_c = s.skin_c;
+  indoor.ambient_c = s.ambient_indoor_c;
+
+  hv::Environment outdoor;  // daylight, airflow over the TEG
+  outdoor.lux = 8000.0 * lx;
+  outdoor.skin_c = s.skin_c - 1.5;  // wind-chilled wrist
+  outdoor.ambient_c = 15.0;
+  outdoor.wind_mps = 3.0;
+
+  hv::Environment exercise = outdoor;  // training block: warm skin, airflow
+  exercise.lux = 10000.0 * lx;
+  exercise.skin_c = s.skin_c + 1.8;
+  exercise.wind_mps = 4.0;
+
+  auto at = [&](double base_lux) {
+    hv::Environment env = indoor;
+    env.lux = base_lux * lx;
+    return env;
+  };
+
+  switch (s.profile) {
+    case WearerProfile::kOfficeWorker:
+      return hv::DayProfile{
+          {hours_to_s(7.0), night},         // 00:00 sleep
+          {hours_to_s(1.0), at(300.0)},     // morning routine
+          {hours_to_s(0.5), outdoor},       // commute out
+          {hours_to_s(9.0), at(500.0)},     // desk
+          {hours_to_s(0.5), outdoor},       // commute back
+          {hours_to_s(5.0), at(150.0)},     // evening
+          {hours_to_s(1.0), night},
+      };
+    case WearerProfile::kOutdoorWorker:
+      return hv::DayProfile{
+          {hours_to_s(7.0), night},
+          {hours_to_s(0.5), at(300.0)},
+          {hours_to_s(8.5), outdoor},       // site work in daylight
+          {hours_to_s(1.0), at(400.0)},     // breaks indoors
+          {hours_to_s(5.5), at(150.0)},
+          {hours_to_s(1.5), night},
+      };
+    case WearerProfile::kAthlete:
+      return hv::DayProfile{
+          {hours_to_s(7.0), night},
+          {hours_to_s(1.0), at(300.0)},
+          {hours_to_s(0.5), outdoor},
+          {hours_to_s(7.5), at(500.0)},
+          {hours_to_s(2.0), exercise},      // evening training
+          {hours_to_s(5.0), at(150.0)},
+          {hours_to_s(1.0), night},
+      };
+    case WearerProfile::kNightShift:
+      return hv::DayProfile{
+          {hours_to_s(2.0), at(600.0)},     // 00:00 on shift
+          {hours_to_s(4.0), at(600.0)},
+          {hours_to_s(0.5), at(2000.0)},    // dawn commute
+          {hours_to_s(1.0), at(150.0)},     // wind-down
+          {hours_to_s(7.0), night},         // daytime sleep
+          {hours_to_s(3.0), at(250.0)},     // afternoon at home
+          {hours_to_s(0.5), at(2000.0)},    // dusk commute
+          {hours_to_s(6.0), at(600.0)},     // back on shift
+      };
+    case WearerProfile::kHomebody:
+      return hv::DayProfile{
+          {hours_to_s(8.0), night},
+          {hours_to_s(7.0), at(250.0)},
+          {hours_to_s(0.5), outdoor},       // short errand
+          {hours_to_s(7.5), at(200.0)},
+          {hours_to_s(1.0), night},
+      };
+  }
+  ensure(false, "build_day_profile: unknown wearer profile");
+  return {};
+}
+
+std::unique_ptr<platform::DetectionPolicy> make_policy(const Scenario& s) {
+  const double per_min = 60.0 / s.detection_period_s;
+  switch (s.policy) {
+    case PolicyKind::kFixedRate:
+      return std::make_unique<platform::FixedRatePolicy>(s.detection_period_s);
+    case PolicyKind::kSocProportional:
+      return std::make_unique<platform::SocProportionalPolicy>(
+          std::min(0.2, per_min), std::max(1.0, 2.0 * per_min));
+    case PolicyKind::kEnergyNeutral:
+      return std::make_unique<platform::EnergyNeutralPolicy>(
+          0.9, std::min(0.2, per_min), std::max(1.0, 2.0 * per_min));
+  }
+  ensure(false, "make_policy: unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace iw::fleet

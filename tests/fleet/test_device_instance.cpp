@@ -1,0 +1,85 @@
+#include "fleet/device_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace iw::fleet {
+namespace {
+
+Scenario quiet_scenario(std::uint64_t id = 0) {
+  Scenario s = sample_scenario(7, id);
+  s.days = 1;
+  return s;
+}
+
+TEST(DeviceInstance, RunsOneDayAndReportsSaneOutcome) {
+  DeviceInstance device(quiet_scenario());
+  device.run();
+  EXPECT_TRUE(device.done());
+  const DeviceOutcome& out = device.outcome();
+  EXPECT_EQ(out.days_run, 1);
+  EXPECT_GT(out.detections_attempted, 0u);
+  EXPECT_EQ(out.detections_attempted,
+            out.detections_completed + out.detections_skipped);
+  EXPECT_GE(out.harvested_j, 0.0);
+  EXPECT_GT(out.consumed_j, 0.0);
+  EXPECT_GE(out.final_soc, 0.0);
+  EXPECT_LE(out.final_soc, 1.0);
+  EXPECT_LE(out.min_soc, out.final_soc + 1e-12);
+  EXPECT_GE(out.detections_per_min, 0.0);
+  EXPECT_EQ(out.classified, 0u);  // no app attached
+}
+
+TEST(DeviceInstance, StepInterfaceCarriesBatteryAcrossDays) {
+  Scenario s = quiet_scenario(3);
+  s.days = 3;
+  DeviceInstance device(s);
+  int steps = 0;
+  double prev_final = s.initial_soc;
+  while (true) {
+    const bool more = device.step_day();
+    ++steps;
+    // Each day starts where the previous one ended, so the cumulative min
+    // cannot exceed the previous final by more than one harvest tick's charge.
+    EXPECT_LE(device.outcome().min_soc, prev_final + 0.01);
+    prev_final = device.outcome().final_soc;
+    if (!more) break;
+  }
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(device.outcome().days_run, 3);
+  EXPECT_FALSE(device.step_day());  // further stepping is a no-op
+  EXPECT_EQ(device.outcome().days_run, 3);
+}
+
+TEST(DeviceInstance, SameScenarioReproducesExactly) {
+  Scenario s = quiet_scenario(11);
+  s.days = 2;
+  DeviceInstance a(s);
+  DeviceInstance b(s);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.outcome().detections_completed, b.outcome().detections_completed);
+  EXPECT_EQ(a.outcome().detections_skipped, b.outcome().detections_skipped);
+  EXPECT_EQ(a.outcome().final_soc, b.outcome().final_soc);  // bit-exact
+  EXPECT_EQ(a.outcome().min_soc, b.outcome().min_soc);
+  EXPECT_EQ(a.outcome().harvested_j, b.outcome().harvested_j);
+}
+
+TEST(DeviceInstance, DistinctDevicesDiverge) {
+  DeviceInstance a(quiet_scenario(1));
+  DeviceInstance b(quiet_scenario(2));
+  a.run();
+  b.run();
+  // Different wearers should not produce identical energy trajectories.
+  EXPECT_NE(a.outcome().harvested_j, b.outcome().harvested_j);
+}
+
+TEST(DeviceInstance, RejectsZeroDayScenario) {
+  Scenario s = quiet_scenario();
+  s.days = 0;
+  EXPECT_THROW(DeviceInstance{s}, Error);
+}
+
+}  // namespace
+}  // namespace iw::fleet

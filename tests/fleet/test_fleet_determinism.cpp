@@ -1,0 +1,97 @@
+// The fleet engine's hard invariant: for a fixed fleet seed, results are
+// bit-identical no matter how many worker threads simulate the fleet.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/fleet_engine.hpp"
+
+namespace iw::fleet {
+namespace {
+
+FleetConfig small_fleet(int threads) {
+  FleetConfig config;
+  config.num_devices = 48;
+  config.fleet_seed = 2020;
+  config.days = 2;
+  config.threads = threads;
+  config.chunk_size = 4;  // 12 chunks -> plenty of interleaving at 8 threads
+  return config;
+}
+
+TEST(FleetDeterminism, ByteIdenticalAcrossThreadCounts) {
+  const std::string at1 = FleetEngine(small_fleet(1)).run().stats.serialize();
+  const std::string at2 = FleetEngine(small_fleet(2)).run().stats.serialize();
+  const std::string at8 = FleetEngine(small_fleet(8)).run().stats.serialize();
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(FleetDeterminism, ChunkSizeDoesNotChangeResults) {
+  FleetConfig coarse = small_fleet(4);
+  coarse.chunk_size = 48;  // one chunk: zero parallel interleaving
+  FleetConfig fine = small_fleet(4);
+  fine.chunk_size = 1;  // maximal interleaving
+  EXPECT_EQ(FleetEngine(coarse).run().stats.serialize(),
+            FleetEngine(fine).run().stats.serialize());
+}
+
+TEST(FleetDeterminism, RerunIsBitIdentical) {
+  const FleetConfig config = small_fleet(3);
+  EXPECT_EQ(FleetEngine(config).run().stats.serialize(),
+            FleetEngine(config).run().stats.serialize());
+}
+
+TEST(FleetDeterminism, DifferentSeedsProduceDifferentFleets) {
+  FleetConfig a = small_fleet(2);
+  FleetConfig b = small_fleet(2);
+  b.fleet_seed = 2021;
+  EXPECT_NE(FleetEngine(a).run().stats.serialize(),
+            FleetEngine(b).run().stats.serialize());
+}
+
+TEST(FleetDeterminism, SharedAppClassificationIsThreadCountInvariant) {
+  // A deliberately tiny app: the point is shared const access from many
+  // workers, not model quality.
+  core::AppConfig app_config;
+  app_config.dataset.subjects = 2;
+  app_config.dataset.minutes_per_level = 2.0;
+  app_config.training.max_epochs = 40;
+  const core::StressDetectionApp app = core::StressDetectionApp::build(app_config);
+
+  FleetConfig config = small_fleet(1);
+  config.num_devices = 16;
+  config.days = 1;
+  config.app = &app;
+  const FleetResult serial = FleetEngine(config).run();
+  config.threads = 8;
+  const FleetResult threaded = FleetEngine(config).run();
+
+  EXPECT_EQ(serial.stats.serialize(), threaded.stats.serialize());
+  // The app actually classified windows.
+  EXPECT_GT(serial.stats.summarize().classified, 0u);
+}
+
+// Regression pin for one small fleet: catches accidental changes to scenario
+// sampling, the device simulation, or the stats reduction. If a PR changes
+// these numbers *intentionally* (new scenario fields, different draw order),
+// re-pin them and say so in the PR description.
+TEST(FleetRegression, PinnedSmallFleetAggregates) {
+  FleetConfig config;
+  config.num_devices = 16;
+  config.fleet_seed = 2020;
+  config.days = 1;
+  config.threads = 2;
+  const FleetStats::Summary s = FleetEngine(config).run().stats.summarize();
+
+  EXPECT_EQ(s.devices, 16u);
+  EXPECT_EQ(s.detections_attempted, 28810u);
+  EXPECT_EQ(s.detections_completed, 28810u);
+  EXPECT_EQ(s.detections_skipped, 0u);
+  EXPECT_NEAR(s.fraction_self_sustaining, 1.0, 1e-9);
+  EXPECT_NEAR(s.final_soc.p50, 0.64778712066371169, 1e-9);
+  EXPECT_NEAR(s.harvested_j, 1232.7915719894299, 1e-6);
+}
+
+}  // namespace
+}  // namespace iw::fleet

@@ -1,0 +1,124 @@
+#include "fleet/fleet_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iw::fleet {
+namespace {
+
+DeviceOutcome outcome(std::uint64_t id, double final_soc, bool sustaining,
+                      std::uint64_t completed = 100) {
+  DeviceOutcome d;
+  d.device_id = id;
+  d.profile = static_cast<WearerProfile>(id % kNumWearerProfiles);
+  d.policy = static_cast<PolicyKind>(id % kNumPolicyKinds);
+  d.days_run = 1;
+  d.detections_attempted = completed + 5;
+  d.detections_completed = completed;
+  d.detections_skipped = 5;
+  d.harvested_j = 20.0 + static_cast<double>(id);
+  d.consumed_j = 18.0;
+  d.initial_soc = 0.5;
+  d.final_soc = final_soc;
+  d.min_soc = final_soc / 2.0;
+  d.detections_per_min = static_cast<double>(completed) / 1440.0;
+  d.mean_intake_w = d.harvested_j / 86400.0;
+  d.self_sustaining = sustaining;
+  d.class_counts = {completed / 2, completed / 4, completed / 4};
+  d.classified = completed;
+  return d;
+}
+
+TEST(FleetStats, EmptySummaryIsZero) {
+  FleetStats stats;
+  const FleetStats::Summary s = stats.summarize();
+  EXPECT_EQ(s.devices, 0u);
+  EXPECT_EQ(s.detections_completed, 0u);
+  EXPECT_DOUBLE_EQ(s.fraction_self_sustaining, 0.0);
+  EXPECT_DOUBLE_EQ(s.final_soc.p50, 0.0);
+}
+
+TEST(FleetStats, AggregatesTotalsAndFractions) {
+  FleetStats stats;
+  stats.add(outcome(0, 0.8, true));
+  stats.add(outcome(1, 0.4, false));
+  stats.add(outcome(2, 0.6, true));
+  stats.add(outcome(3, 0.2, false));
+
+  const FleetStats::Summary s = stats.summarize();
+  EXPECT_EQ(s.devices, 4u);
+  EXPECT_EQ(s.detections_completed, 400u);
+  EXPECT_EQ(s.detections_skipped, 20u);
+  EXPECT_DOUBLE_EQ(s.fraction_self_sustaining, 0.5);
+  EXPECT_DOUBLE_EQ(s.final_soc.p50, 0.5);  // median of .2 .4 .6 .8
+  EXPECT_EQ(s.class_counts[0], 200u);
+  EXPECT_EQ(s.classified, 400u);
+  // Profile histogram covers ids 0..3.
+  EXPECT_EQ(s.per_profile[0], 1u);
+  EXPECT_EQ(s.per_profile[3], 1u);
+}
+
+TEST(FleetStats, MergeMatchesSequentialAdds) {
+  std::vector<DeviceOutcome> all;
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    all.push_back(outcome(id, 0.1 + 0.05 * static_cast<double>(id), id % 3 == 0));
+  }
+
+  FleetStats sequential;
+  for (const DeviceOutcome& d : all) sequential.add(d);
+
+  FleetStats shard_a, shard_b, shard_c;
+  for (std::uint64_t id = 0; id < 4; ++id) shard_a.add(all[id]);
+  for (std::uint64_t id = 4; id < 9; ++id) shard_b.add(all[id]);
+  for (std::uint64_t id = 9; id < 12; ++id) shard_c.add(all[id]);
+
+  FleetStats merged;
+  merged.merge(shard_a);
+  merged.merge(shard_b);
+  merged.merge(shard_c);
+
+  EXPECT_EQ(merged.device_count(), sequential.device_count());
+  EXPECT_EQ(merged.serialize(), sequential.serialize());
+}
+
+TEST(FleetStats, SerializeIsInsertionOrderInvariant) {
+  // Shards may receive devices in any order; the canonical form may not care.
+  FleetStats forward, backward;
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    forward.add(outcome(id, 0.3 + 0.05 * static_cast<double>(id), false));
+  }
+  for (std::uint64_t id = 8; id-- > 0;) {
+    backward.add(outcome(id, 0.3 + 0.05 * static_cast<double>(id), false));
+  }
+  EXPECT_EQ(forward.serialize(), backward.serialize());
+}
+
+TEST(FleetStats, OutcomeTableIsSortedByDeviceId) {
+  FleetStats stats;
+  stats.add(outcome(5, 0.5, false));
+  stats.add(outcome(1, 0.5, false));
+  stats.add(outcome(3, 0.5, false));
+  const std::vector<DeviceOutcome> table = stats.outcome_table();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].device_id, 1u);
+  EXPECT_EQ(table[1].device_id, 3u);
+  EXPECT_EQ(table[2].device_id, 5u);
+}
+
+TEST(FleetStats, PercentilesInterpolate) {
+  FleetStats stats;
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    stats.add(outcome(id, 0.1 * static_cast<double>(id + 1), false));
+  }
+  const FleetStats::Summary s = stats.summarize();
+  // Values .1 .2 .3 .4 .5: p50 = .3, p25 = .2, p75 = .4.
+  EXPECT_NEAR(s.final_soc.p50, 0.3, 1e-12);
+  EXPECT_NEAR(s.final_soc.p25, 0.2, 1e-12);
+  EXPECT_NEAR(s.final_soc.p75, 0.4, 1e-12);
+  EXPECT_NEAR(s.final_soc.p5, 0.12, 1e-12);
+  EXPECT_NEAR(s.final_soc.p95, 0.48, 1e-12);
+}
+
+}  // namespace
+}  // namespace iw::fleet

@@ -1,0 +1,111 @@
+#include "fleet/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/units.hpp"
+
+namespace iw::fleet {
+namespace {
+
+TEST(Scenario, SamplingIsDeterministic) {
+  const Scenario a = sample_scenario(2020, 17);
+  const Scenario b = sample_scenario(2020, 17);
+  EXPECT_EQ(a.device_id, b.device_id);
+  EXPECT_EQ(a.profile, b.profile);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.rng_seed, b.rng_seed);
+  EXPECT_DOUBLE_EQ(a.lux_scale, b.lux_scale);
+  EXPECT_DOUBLE_EQ(a.skin_c, b.skin_c);
+  EXPECT_DOUBLE_EQ(a.initial_soc, b.initial_soc);
+  EXPECT_DOUBLE_EQ(a.detection_period_s, b.detection_period_s);
+}
+
+TEST(Scenario, DistinctDevicesGetDistinctWorlds) {
+  std::set<std::uint64_t> seeds;
+  int profile_histogram[kNumWearerProfiles] = {};
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const Scenario s = sample_scenario(2020, id);
+    EXPECT_EQ(s.device_id, id);
+    seeds.insert(s.rng_seed);
+    ++profile_histogram[static_cast<int>(s.profile)];
+  }
+  EXPECT_EQ(seeds.size(), 200u);  // no RNG seed collisions
+  // Every archetype appears in a 200-device population.
+  for (int count : profile_histogram) EXPECT_GT(count, 0);
+}
+
+TEST(Scenario, DifferentFleetSeedsGiveDifferentPopulations) {
+  int differing = 0;
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    if (sample_scenario(1, id).rng_seed != sample_scenario(2, id).rng_seed) {
+      ++differing;
+    }
+  }
+  EXPECT_EQ(differing, 32);
+}
+
+TEST(Scenario, SampledValuesAreWithinBounds) {
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    const Scenario s = sample_scenario(99, id);
+    EXPECT_GE(s.lux_scale, 0.3);
+    EXPECT_LE(s.lux_scale, 3.5);
+    EXPECT_GE(s.skin_c, 31.0);
+    EXPECT_LE(s.skin_c, 33.5);
+    EXPECT_GE(s.initial_soc, 0.25);
+    EXPECT_LE(s.initial_soc, 0.85);
+    EXPECT_GT(s.detection_period_s, 0.0);
+    const double mix =
+        s.stress_mix[0] + s.stress_mix[1] + s.stress_mix[2];
+    EXPECT_NEAR(mix, 1.0, 1e-12);
+  }
+}
+
+TEST(Scenario, EveryProfileBuildsAFullDay) {
+  for (int p = 0; p < kNumWearerProfiles; ++p) {
+    Scenario s;
+    s.profile = static_cast<WearerProfile>(p);
+    const hv::DayProfile day = build_day_profile(s);
+    EXPECT_FALSE(day.empty());
+    EXPECT_NEAR(hv::profile_duration_s(day), units::hours_to_s(24.0), 1e-6)
+        << to_string(s.profile);
+  }
+}
+
+TEST(Scenario, LuxScaleScalesTheProfile) {
+  Scenario dim;
+  dim.lux_scale = 0.5;
+  Scenario bright = dim;
+  bright.lux_scale = 2.0;
+  const hv::DayProfile day_dim = build_day_profile(dim);
+  const hv::DayProfile day_bright = build_day_profile(bright);
+  ASSERT_EQ(day_dim.size(), day_bright.size());
+  for (std::size_t i = 0; i < day_dim.size(); ++i) {
+    EXPECT_NEAR(day_bright[i].env.lux, 4.0 * day_dim[i].env.lux, 1e-9);
+  }
+}
+
+TEST(Scenario, MakePolicyCoversEveryKind) {
+  for (int k = 0; k < kNumPolicyKinds; ++k) {
+    Scenario s;
+    s.policy = static_cast<PolicyKind>(k);
+    const auto policy = make_policy(s);
+    ASSERT_NE(policy, nullptr);
+    platform::SchedulerState state;
+    state.detection_energy_j = 600e-6;
+    EXPECT_GT(policy->next_interval_s(state), 0.0) << to_string(s.policy);
+  }
+}
+
+TEST(Scenario, ToStringNamesAreUnique) {
+  std::set<std::string> names;
+  for (int p = 0; p < kNumWearerProfiles; ++p) {
+    names.insert(to_string(static_cast<WearerProfile>(p)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumWearerProfiles));
+}
+
+}  // namespace
+}  // namespace iw::fleet
