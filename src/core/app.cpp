@@ -4,22 +4,26 @@
 
 #include "common/error.hpp"
 #include "core/comparison.hpp"
+#include "nn/batch.hpp"
 #include "nn/presets.hpp"
 
 namespace iw::core {
 
 namespace {
 
-std::size_t argmax(std::span<const float> v) {
-  return static_cast<std::size_t>(std::max_element(v.begin(), v.end()) - v.begin());
-}
-
 double fixed_accuracy(const nn::QuantizedNetwork& qn, const nn::Dataset& data) {
   ensure(data.size() > 0, "fixed_accuracy: empty dataset");
+  // The deployment test-set sweep runs through the batch engine: bit-exact
+  // with per-sample classify, one workspace for the whole sweep.
+  nn::FixedBatch batch(qn);
+  std::vector<const float*> rows(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) rows[i] = data.inputs[i].data();
+  std::vector<std::size_t> labels(data.size());
+  batch.classify(rows, labels);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const std::size_t want = argmax(data.targets[i]);
-    if (qn.classify(data.inputs[i]) == want) ++correct;
+    const std::size_t want = nn::argmax(std::span<const float>(data.targets[i]));
+    if (labels[i] == want) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }

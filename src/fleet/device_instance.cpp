@@ -25,12 +25,14 @@ std::size_t argmax3(const std::vector<float>& v) {
 
 }  // namespace
 
-DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp* app)
+DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp* app,
+                               nn::FixedBatch* batch)
     : scenario_(scenario),
       app_(app),
       rng_(scenario.rng_seed),
       harvester_(hv::DualSourceHarvester::calibrated()),
       base_profile_(build_day_profile(scenario)),
+      batch_(batch),
       soc_(scenario.initial_soc) {
   ensure(scenario_.days >= 1, "DeviceInstance: scenario needs at least one day");
 
@@ -53,6 +55,9 @@ DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp
       const std::size_t label = argmax3(test.targets[i]);
       if (label < windows_by_level_.size()) windows_by_level_[label].push_back(i);
     }
+    picks_.reserve(kMaxClassifiedPerDay);
+    rows_.reserve(kMaxClassifiedPerDay);
+    labels_.reserve(kMaxClassifiedPerDay);
   }
 }
 
@@ -104,6 +109,9 @@ void DeviceInstance::run() {
 void DeviceInstance::classify_windows(std::uint64_t completed_today) {
   if (app_ == nullptr) return;
   const std::uint64_t n = std::min(completed_today, kMaxClassifiedPerDay);
+  // Draw the day's windows first (the RNG sequence is part of the fleet
+  // determinism contract and must not depend on how they are classified)...
+  picks_.clear();
   for (std::uint64_t i = 0; i < n; ++i) {
     // Sample the wearer's true stress level for this window...
     const double u = rng_.uniform();
@@ -119,15 +127,35 @@ void DeviceInstance::classify_windows(std::uint64_t completed_today) {
           break;
         }
       }
-      if (windows_by_level_[level].empty()) return;  // app has no test windows
+      if (windows_by_level_[level].empty()) break;  // app has no test windows
     }
     const std::vector<std::size_t>& bucket = windows_by_level_[level];
-    const std::size_t pick = bucket[rng_.uniform_int(bucket.size())];
-    // Classify through the deployed fixed-point network, as the device would.
-    const std::size_t predicted =
-        app_->quantized().classify(app_->test_set().inputs[pick]);
-    ++outcome_.class_counts[std::min<std::size_t>(predicted, 2)];
-    ++outcome_.classified;
+    picks_.push_back(bucket[rng_.uniform_int(bucket.size())]);
+  }
+  if (picks_.empty()) return;
+
+  // ...then classify them through the deployed fixed-point network, as the
+  // device would. The batched path is bit-exact with per-sample classify.
+  const nn::Dataset& test = app_->test_set();
+  if (use_batching_) {
+    if (batch_ == nullptr) {
+      owned_batch_ = std::make_unique<nn::FixedBatch>(app_->quantized());
+      batch_ = owned_batch_.get();
+    }
+    rows_.clear();
+    for (const std::size_t pick : picks_) rows_.push_back(test.inputs[pick].data());
+    labels_.resize(picks_.size());
+    batch_->classify(rows_, labels_);
+    for (const std::size_t predicted : labels_) {
+      ++outcome_.class_counts[std::min<std::size_t>(predicted, 2)];
+      ++outcome_.classified;
+    }
+  } else {
+    for (const std::size_t pick : picks_) {
+      const std::size_t predicted = app_->quantized().classify(test.inputs[pick]);
+      ++outcome_.class_counts[std::min<std::size_t>(predicted, 2)];
+      ++outcome_.classified;
+    }
   }
 }
 

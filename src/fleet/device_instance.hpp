@@ -17,6 +17,7 @@
 #include "core/app.hpp"
 #include "fleet/scenario.hpp"
 #include "harvest/harvester.hpp"
+#include "nn/batch.hpp"
 #include "platform/device.hpp"
 
 namespace iw::fleet {
@@ -54,8 +55,20 @@ class DeviceInstance {
  public:
   /// `app` may be null (energy/duty-cycle simulation only). When set it must
   /// outlive the instance; it is shared read-only across the whole fleet.
+  /// `batch` optionally supplies a shared batch-inference workspace for the
+  /// app's deployed network (the fleet engine passes one per worker thread so
+  /// devices do not each build their own); it must outlive the instance and
+  /// must not be used concurrently. When null and an app is attached, the
+  /// device lazily builds its own workspace.
   explicit DeviceInstance(Scenario scenario,
-                          const core::StressDetectionApp* app = nullptr);
+                          const core::StressDetectionApp* app = nullptr,
+                          nn::FixedBatch* batch = nullptr);
+
+  /// Disables the batched classification path (per-sample classify instead).
+  /// The outcome is bit-identical either way — the batch engine is bit-exact
+  /// with per-sample inference — so this exists for regression tests and the
+  /// per-sample-vs-batched fleet benchmark. Call before the first step_day().
+  void set_batched_classification(bool enabled) { use_batching_ = enabled; }
 
   /// Simulates one more day (carrying the battery over). Returns false once
   /// the scenario's day count has been reached.
@@ -83,6 +96,16 @@ class DeviceInstance {
   std::unique_ptr<platform::DetectionPolicy> policy_;
   /// Test-set window indices of the shared app, bucketed by true label.
   std::array<std::vector<std::size_t>, 3> windows_by_level_;
+  /// Batch workspace for the day's window classifications: either the shared
+  /// per-worker one handed in at construction, or a lazily built own one.
+  nn::FixedBatch* batch_ = nullptr;
+  std::unique_ptr<nn::FixedBatch> owned_batch_;
+  bool use_batching_ = true;
+  /// Per-day classification staging, reused across days (no allocation after
+  /// the first day): sampled window indices, their input rows, their labels.
+  std::vector<std::size_t> picks_;
+  std::vector<const float*> rows_;
+  std::vector<std::size_t> labels_;
   double soc_ = 0.5;
   int day_ = 0;
   DeviceOutcome outcome_;

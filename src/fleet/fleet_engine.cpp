@@ -4,12 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "fleet/device_instance.hpp"
+#include "nn/batch.hpp"
 
 namespace iw::fleet {
 
@@ -35,6 +37,14 @@ FleetResult FleetEngine::run() const {
 
   const auto worker = [&] {
     try {
+      // One batch workspace per worker thread: every device this worker
+      // simulates classifies its windows through it. Workspaces are scratch
+      // only (results depend on nothing but the inputs), so sharing one
+      // across devices cannot break the thread-count-independence invariant.
+      std::unique_ptr<nn::FixedBatch> batch;
+      if (config_.app != nullptr && config_.batched_classification) {
+        batch = std::make_unique<nn::FixedBatch>(config_.app->quantized());
+      }
       while (true) {
         const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
@@ -43,7 +53,8 @@ FleetResult FleetEngine::run() const {
         for (std::size_t id = begin; id < end; ++id) {
           Scenario scenario = sample_scenario(config_.fleet_seed, id);
           scenario.days = config_.days;
-          DeviceInstance device(scenario, config_.app);
+          DeviceInstance device(scenario, config_.app, batch.get());
+          if (!config_.batched_classification) device.set_batched_classification(false);
           device.run();
           shards[c].add(device.outcome());
         }

@@ -34,6 +34,11 @@ struct FleetConfig {
   /// completed detections are classified through its deployed fixed-point
   /// network. Must outlive the run.
   const core::StressDetectionApp* app = nullptr;
+  /// Classify each device-day's windows through a per-worker batch workspace
+  /// (bit-exact with per-sample classification, so results do not change —
+  /// only throughput). Off = per-sample classify, kept for regression tests
+  /// and benchmarking the batching win.
+  bool batched_classification = true;
 };
 
 struct FleetResult {

@@ -1,0 +1,131 @@
+// Batched, allocation-free inference for all three arithmetic paths.
+//
+// The per-sample entry points (Network::infer, QuantizedNetwork::infer_fixed,
+// QuantizedNetwork16::infer_fixed) heap-allocate activation vectors on every
+// call and stream the full weight matrix from memory once per sample. At fleet
+// scale the classifier dominates, so this module provides one batch engine per
+// arithmetic path with workspaces preallocated at construction:
+//
+//   * Samples are processed in tiles of `tile` rows. Inside a tile the
+//     activations are stored column-major (feature-major: entry `i * tile + s`
+//     for sample s), so the innermost loop runs over contiguous samples and
+//     each weight row is streamed once per tile instead of once per sample —
+//     the cache-blocking scheme that makes large networks (Network B's 81k
+//     weights) batch-friendly.
+//   * Per sample, the arithmetic sequence is identical to the per-sample
+//     reference: accumulate in input order (one shift per product on the
+//     32-bit path, packed pairs on the 16-bit path), add bias, clip, LUT.
+//     The fixed-point engines are therefore bit-exact with infer_fixed,
+//     including the Q16 even-pair padding semantics; tests/nn/test_batch.cpp
+//     asserts this across shapes and batch sizes.
+//   * After construction, infer/classify perform no heap allocation.
+//
+// All engines keep a pointer to their network, which must outlive them and
+// must not be mutated while the engine is in use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/quantize16.hpp"
+
+namespace iw::nn {
+
+/// Samples per tile when the caller does not choose: 8 accumulators fit the
+/// host's vector registers on every path (8 doubles, 8 int64, 8 int32).
+inline constexpr std::size_t kDefaultBatchTile = 8;
+/// Hard cap on the tile size (accumulators live in a fixed on-stack array).
+inline constexpr std::size_t kMaxBatchTile = 16;
+/// Default tile for the 16-bit engine: 16 int16 lanes fill a whole vector
+/// register before widening, which measures fastest on the Q16 path.
+inline constexpr std::size_t kDefaultBatchTile16 = kMaxBatchTile;
+
+/// Float batch engine, bit-exact with Network::infer.
+class FloatBatch {
+ public:
+  explicit FloatBatch(const Network& net, std::size_t tile = kDefaultBatchTile);
+
+  const Network& network() const { return *net_; }
+  std::size_t tile() const { return tile_; }
+
+  /// `inputs` holds n input rows packed row-major (n * num_inputs() floats);
+  /// fills `outputs` (n * num_outputs() floats).
+  void infer(std::span<const float> inputs, std::span<float> outputs);
+  /// Scattered input rows, each pointing at num_inputs() floats.
+  void infer(std::span<const float* const> rows, std::span<float> outputs);
+  /// Argmax classification of scattered rows into `labels` (one per row).
+  void classify(std::span<const float* const> rows, std::span<std::size_t> labels);
+
+ private:
+  const float* run_tile(std::size_t t);
+
+  const Network* net_;
+  std::size_t tile_;
+  std::size_t stride_;  // widest layer, in activations
+  std::vector<float> in_, out_;  // ping-pong tiles, stride_ * tile_ each
+};
+
+/// 32-bit fixed-point batch engine, bit-exact with
+/// QuantizedNetwork::infer_fixed (same accumulate-shift order, bias add,
+/// clip and tanh-LUT evaluation per neuron).
+class FixedBatch {
+ public:
+  explicit FixedBatch(const QuantizedNetwork& net,
+                      std::size_t tile = kDefaultBatchTile);
+
+  const QuantizedNetwork& network() const { return *net_; }
+  std::size_t tile() const { return tile_; }
+
+  /// `inputs` holds n quantized rows packed row-major; fills `outputs`
+  /// (n * num_outputs() fixed values).
+  void infer_fixed(std::span<const std::int32_t> inputs,
+                   std::span<std::int32_t> outputs);
+  /// Quantizes each float row exactly like QuantizedNetwork::quantize_input
+  /// (clamp to [-1, 1], round to nearest), runs the fixed pipeline, and takes
+  /// the argmax on the fixed outputs — no dequantization anywhere.
+  void classify(std::span<const float* const> rows, std::span<std::size_t> labels);
+
+ private:
+  const std::int32_t* run_tile(std::size_t t);
+  void load_rows(std::span<const float* const> rows, std::size_t base,
+                 std::size_t t);
+
+  const QuantizedNetwork* net_;
+  std::size_t tile_;
+  std::size_t stride_;
+  std::vector<std::int32_t> in_, out_;
+};
+
+/// 16-bit packed-SIMD batch engine, bit-exact with
+/// QuantizedNetwork16::infer_fixed including the even-pair padding: rows are
+/// consumed as whole pairs, odd widths carry a zero pad activation.
+class Fixed16Batch {
+ public:
+  explicit Fixed16Batch(const QuantizedNetwork16& net,
+                        std::size_t tile = kDefaultBatchTile16);
+
+  const QuantizedNetwork16& network() const { return *net_; }
+  std::size_t tile() const { return tile_; }
+
+  /// `inputs` holds n quantized rows packed row-major (n * num_inputs(),
+  /// unpadded); fills `outputs` (n * num_outputs() values, unpadded).
+  void infer_fixed(std::span<const std::int16_t> inputs,
+                   std::span<std::int16_t> outputs);
+  /// Quantize + infer + argmax on the int16 outputs.
+  void classify(std::span<const float* const> rows, std::span<std::size_t> labels);
+
+ private:
+  const std::int16_t* run_tile(std::size_t t);
+  void load_rows(std::span<const float* const> rows, std::size_t base,
+                 std::size_t t);
+
+  const QuantizedNetwork16* net_;
+  std::size_t tile_;
+  std::size_t stride_;  // widest *padded* layer width
+  std::vector<std::int16_t> in_, out_;
+};
+
+}  // namespace iw::nn

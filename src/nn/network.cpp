@@ -93,8 +93,7 @@ std::vector<float> Network::infer(std::span<const float> input) const {
 
 std::size_t Network::classify(std::span<const float> input) const {
   const std::vector<float> out = infer(input);
-  return static_cast<std::size_t>(
-      std::max_element(out.begin(), out.end()) - out.begin());
+  return argmax(std::span<const float>(out));
 }
 
 float Network::max_abs_weight() const {

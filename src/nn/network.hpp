@@ -18,6 +18,21 @@
 
 namespace iw::nn {
 
+/// Index of the largest element, ties resolved to the lowest index (the
+/// std::max_element convention). Shared by every classification path — float,
+/// fixed point and the batch engines — so their decisions agree by
+/// construction. Works on any ordered element type; in particular the argmax
+/// of fixed-point outputs equals the argmax of their dequantized values
+/// because dequantization is strictly monotonic.
+template <typename T>
+std::size_t argmax(std::span<const T> values) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
 enum class Activation { kTanh, kLinear };
 
 std::string to_string(Activation a);

@@ -107,10 +107,14 @@ std::vector<float> QuantizedNetwork::infer(std::span<const float> input) const {
   return out;
 }
 
+std::size_t QuantizedNetwork::classify_fixed(
+    std::span<const std::int32_t> input) const {
+  const std::vector<std::int32_t> out = infer_fixed(input);
+  return argmax(std::span<const std::int32_t>(out));
+}
+
 std::size_t QuantizedNetwork::classify(std::span<const float> input) const {
-  const std::vector<float> out = infer(input);
-  return static_cast<std::size_t>(
-      std::max_element(out.begin(), out.end()) - out.begin());
+  return classify_fixed(quantize_input(input));
 }
 
 void QuantizedNetwork::save(std::ostream& os) const {

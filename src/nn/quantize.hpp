@@ -57,6 +57,13 @@ class QuantizedNetwork {
 
   /// Convenience: quantize input, run fixed inference, convert back.
   std::vector<float> infer(std::span<const float> input) const;
+
+  /// Argmax of the fixed-point outputs for an already-quantized input. No
+  /// dequantization: fixed-to-float conversion is strictly monotonic, so the
+  /// argmax is taken on the raw int32 outputs.
+  std::size_t classify_fixed(std::span<const std::int32_t> input) const;
+  /// Quantizes the input and classifies via classify_fixed (the float `infer`
+  /// detour — allocate, dequantize, argmax — is gone).
   std::size_t classify(std::span<const float> input) const;
 
   /// Text serialization of the deployment artifact (weights are integers, so

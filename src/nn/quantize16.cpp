@@ -22,15 +22,11 @@ int select_frac_bits16(const Network& net, int max_frac_bits) {
   fail("select_frac_bits16: weights too large for the 16-bit format");
 }
 
-namespace {
-
 std::int16_t to_fixed16(double value, int frac_bits) {
   const double scaled = std::nearbyint(value * std::ldexp(1.0, frac_bits));
   const double clamped = std::clamp(scaled, -32768.0, 32767.0);
   return static_cast<std::int16_t>(clamped);
 }
-
-}  // namespace
 
 QuantizedNetwork16 QuantizedNetwork16::from(const Network& net, int max_frac_bits,
                                             int tanh_log2_size) {
@@ -99,6 +95,11 @@ std::vector<std::int16_t> QuantizedNetwork16::infer_fixed(
   }
   current.resize(num_outputs());
   return current;
+}
+
+std::size_t QuantizedNetwork16::classify(std::span<const float> input) const {
+  const std::vector<std::int16_t> fixed = infer_fixed(quantize_input(input));
+  return argmax(std::span<const std::int16_t>(fixed));
 }
 
 std::vector<float> QuantizedNetwork16::infer(std::span<const float> input) const {

@@ -56,6 +56,11 @@ class QuantizedNetwork16 {
   /// Convenience float-in/float-out inference.
   std::vector<float> infer(std::span<const float> input) const;
 
+  /// Argmax classification: quantizes, runs the fixed pipeline, and takes the
+  /// argmax directly on the int16 outputs (dequantization is monotonic, so
+  /// converting back to float first could never change the decision).
+  std::size_t classify(std::span<const float> input) const;
+
  private:
   QuantizedNetwork16(fx::QFormat q, int tanh_log2_size) : q_(q), tanh_(q, tanh_log2_size) {}
 
@@ -67,5 +72,11 @@ class QuantizedNetwork16 {
 /// Largest f <= max_frac_bits such that (a) every weight fits int16 and
 /// (b) a full row accumulation plus bias stays within int32 with 2x margin.
 int select_frac_bits16(const Network& net, int max_frac_bits = 12);
+
+/// Round-to-nearest conversion to int16 in Q(frac_bits), saturating at the
+/// int16 limits. This is the quantizer used for both weights and activations
+/// on the 16-bit path; the batch engine reuses it so batched quantization is
+/// bit-identical to quantize_input.
+std::int16_t to_fixed16(double value, int frac_bits);
 
 }  // namespace iw::nn

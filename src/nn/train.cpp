@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "nn/batch.hpp"
 
 namespace iw::nn {
 
@@ -28,34 +29,51 @@ std::vector<float> Dataset::one_hot(std::size_t label, std::size_t n_classes) {
 
 namespace {
 
-/// Per-layer forward activations for one sample.
-struct ForwardPass {
+/// Reusable forward/backward buffers, sized once per network. The seed
+/// version built fresh activation and delta vectors for every sample of every
+/// epoch; with the workspace the per-sample training loop performs no heap
+/// allocation. The arithmetic (double accumulation in input order) is
+/// unchanged, so trained weights are bit-identical.
+struct TrainWorkspace {
+  explicit TrainWorkspace(const Network& net) {
+    activations.resize(net.num_layers() + 1);
+    activations[0].resize(net.num_inputs());
+    std::size_t max_width = net.num_inputs();
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      const std::size_t n_out = net.layers()[l].n_out;
+      activations[l + 1].resize(n_out);
+      max_width = std::max(max_width, n_out);
+    }
+    delta.resize(max_width);
+    delta_scratch.resize(max_width);
+  }
+
   std::vector<std::vector<double>> activations;  // [0] = input, then per layer
+  std::vector<double> delta, delta_scratch;
 };
 
-ForwardPass forward(const Network& net, std::span<const float> input) {
-  ForwardPass fp;
-  fp.activations.emplace_back(input.begin(), input.end());
-  for (const Layer& layer : net.layers()) {
-    const std::vector<double>& in = fp.activations.back();
-    std::vector<double> out(layer.n_out);
+void forward(const Network& net, std::span<const float> input, TrainWorkspace& ws) {
+  std::vector<double>& first = ws.activations[0];
+  for (std::size_t i = 0; i < input.size(); ++i) first[i] = input[i];
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const Layer& layer = net.layers()[l];
+    const std::vector<double>& in = ws.activations[l];
+    std::vector<double>& out = ws.activations[l + 1];
     for (std::size_t o = 0; o < layer.n_out; ++o) {
       double acc = layer.bias(o);
       for (std::size_t i = 0; i < layer.n_in; ++i) acc += layer.weight(o, i) * in[i];
       out[o] = activate(layer.activation, acc);
     }
-    fp.activations.push_back(std::move(out));
   }
-  return fp;
 }
 
 /// Accumulates batch gradients; layout mirrors Layer::weights.
-void backward(const Network& net, const ForwardPass& fp,
+void backward(const Network& net, TrainWorkspace& ws,
               std::span<const float> target,
               std::vector<std::vector<double>>& grads, double& mse_sum) {
   const std::size_t n_layers = net.num_layers();
-  const std::vector<double>& output = fp.activations.back();
-  std::vector<double> delta(output.size());
+  const std::vector<double>& output = ws.activations.back();
+  std::vector<double>& delta = ws.delta;
   for (std::size_t o = 0; o < output.size(); ++o) {
     const double err = output[o] - target[o];
     mse_sum += err * err;
@@ -64,7 +82,7 @@ void backward(const Network& net, const ForwardPass& fp,
   }
   for (std::size_t l = n_layers; l-- > 0;) {
     const Layer& layer = net.layers()[l];
-    const std::vector<double>& in = fp.activations[l];
+    const std::vector<double>& in = ws.activations[l];
     std::vector<double>& g = grads[l];
     for (std::size_t o = 0; o < layer.n_out; ++o) {
       const std::size_t row = o * (layer.n_in + 1);
@@ -73,7 +91,7 @@ void backward(const Network& net, const ForwardPass& fp,
     }
     if (l == 0) break;
     const Layer& prev = net.layers()[l - 1];
-    std::vector<double> prev_delta(layer.n_in, 0.0);
+    std::vector<double>& prev_delta = ws.delta_scratch;
     for (std::size_t i = 0; i < layer.n_in; ++i) {
       double sum = 0.0;
       for (std::size_t o = 0; o < layer.n_out; ++o) sum += layer.weight(o, i) * delta[o];
@@ -97,7 +115,8 @@ void check_dimensions(const Network& net, const Dataset& data, const char* who) 
 /// Stateful iRPROP- stepper so early stopping can drive epochs one by one.
 class RpropState {
  public:
-  RpropState(Network& net, const TrainConfig& config) : net_(net), config_(config) {
+  RpropState(Network& net, const TrainConfig& config)
+      : net_(net), config_(config), ws_(net) {
     const std::size_t n_layers = net.num_layers();
     grads_.resize(n_layers);
     prev_grads_.resize(n_layers);
@@ -115,8 +134,8 @@ class RpropState {
     for (auto& g : grads_) std::fill(g.begin(), g.end(), 0.0);
     double mse_sum = 0.0;
     for (std::size_t s = 0; s < data.size(); ++s) {
-      const ForwardPass fp = forward(net_, data.inputs[s]);
-      backward(net_, fp, data.targets[s], grads_, mse_sum);
+      forward(net_, data.inputs[s], ws_);
+      backward(net_, ws_, data.targets[s], grads_, mse_sum);
     }
     return mse_sum / (static_cast<double>(data.size()) *
                       static_cast<double>(net_.num_outputs()));
@@ -145,6 +164,7 @@ class RpropState {
  private:
   Network& net_;
   const TrainConfig& config_;
+  TrainWorkspace ws_;
   std::vector<std::vector<double>> grads_, prev_grads_, deltas_;
 };
 
@@ -227,6 +247,7 @@ TrainResult train_sgd(Network& net, const Dataset& data, const SgdConfig& config
   }
 
   Rng rng(config.shuffle_seed);
+  TrainWorkspace ws(net);
   TrainResult result;
   for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
     const std::vector<std::size_t> order = rng.permutation(data.size());
@@ -236,8 +257,8 @@ TrainResult train_sgd(Network& net, const Dataset& data, const SgdConfig& config
       for (auto& g : grads) std::fill(g.begin(), g.end(), 0.0);
       for (std::size_t k = start; k < end; ++k) {
         const std::size_t s = order[k];
-        const ForwardPass fp = forward(net, data.inputs[s]);
-        backward(net, fp, data.targets[s], grads, mse_sum);
+        forward(net, data.inputs[s], ws);
+        backward(net, ws, data.targets[s], grads, mse_sum);
       }
       const double scale = config.learning_rate / static_cast<double>(end - start);
       for (std::size_t l = 0; l < n_layers; ++l) {
@@ -258,12 +279,28 @@ TrainResult train_sgd(Network& net, const Dataset& data, const SgdConfig& config
   return result;
 }
 
+namespace {
+
+std::vector<const float*> row_pointers(const Dataset& data) {
+  std::vector<const float*> rows(data.size());
+  for (std::size_t s = 0; s < data.size(); ++s) rows[s] = data.inputs[s].data();
+  return rows;
+}
+
+}  // namespace
+
 double evaluate_mse(const Network& net, const Dataset& data) {
   ensure(data.size() > 0, "evaluate_mse: empty dataset");
+  // Batched sweep: bit-exact with per-sample Network::infer, so the reported
+  // MSE is unchanged — just without one heap-allocated output vector per row.
+  FloatBatch batch(net);
+  const std::vector<const float*> rows = row_pointers(data);
+  std::vector<float> outputs(data.size() * net.num_outputs());
+  batch.infer(rows, outputs);
   double sum = 0.0;
   for (std::size_t s = 0; s < data.size(); ++s) {
-    const std::vector<float> out = net.infer(data.inputs[s]);
-    for (std::size_t o = 0; o < out.size(); ++o) {
+    const float* out = outputs.data() + s * net.num_outputs();
+    for (std::size_t o = 0; o < net.num_outputs(); ++o) {
       const double e = out[o] - data.targets[s][o];
       sum += e * e;
     }
@@ -274,13 +311,15 @@ double evaluate_mse(const Network& net, const Dataset& data) {
 
 double evaluate_accuracy(const Network& net, const Dataset& data) {
   ensure(data.size() > 0, "evaluate_accuracy: empty dataset");
+  FloatBatch batch(net);
+  const std::vector<const float*> rows = row_pointers(data);
+  std::vector<std::size_t> labels(data.size());
+  batch.classify(rows, labels);
   std::size_t correct = 0;
   for (std::size_t s = 0; s < data.size(); ++s) {
-    const std::size_t got = net.classify(data.inputs[s]);
     const auto& t = data.targets[s];
-    const std::size_t want = static_cast<std::size_t>(
-        std::max_element(t.begin(), t.end()) - t.begin());
-    correct += got == want ? 1 : 0;
+    const std::size_t want = argmax(std::span<const float>(t));
+    correct += labels[s] == want ? 1 : 0;
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }

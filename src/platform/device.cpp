@@ -76,6 +76,15 @@ DaySimulationResult run_simulation(const DeviceConfig& config,
     return false;
   };
 
+  std::shared_ptr<std::function<void()>> tick;
+  // Breaks the policy tick's self-capture cycle on every exit path,
+  // including a policy throwing mid-run.
+  struct TickCycleBreaker {
+    std::shared_ptr<std::function<void()>>& tick;
+    ~TickCycleBreaker() {
+      if (tick) *tick = nullptr;
+    }
+  } tick_cycle_breaker{tick};
   if (policy == nullptr) {
     engine.schedule_every(config.detection_period_s, [&] {
       if (engine.now() > horizon) return false;
@@ -83,8 +92,11 @@ DaySimulationResult run_simulation(const DeviceConfig& config,
       return engine.now() < horizon;
     });
   } else {
-    // Self-rescheduling task: the policy picks every next interval.
-    auto tick = std::make_shared<std::function<void()>>();
+    // Self-rescheduling task: the policy picks every next interval. The
+    // closure captures its own handle (so the copies queued into the engine
+    // keep it alive), which is an ownership cycle — TickCycleBreaker above
+    // severs it on exit, or the function object would leak.
+    tick = std::make_shared<std::function<void()>>();
     *tick = [&, tick] {
       if (engine.now() > horizon) return;
       attempt_detection();

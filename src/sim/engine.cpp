@@ -24,14 +24,25 @@ EventHandle Engine::schedule_every(Time period, std::function<bool()> action) {
   ensure(period > 0.0, "Engine::schedule_every: period must be positive");
   ensure(static_cast<bool>(action), "Engine::schedule_every: empty action");
   // The periodic wrapper reschedules itself under the same handle id so the
-  // caller can cancel the whole series with one handle.
+  // caller can cancel the whole series with one handle. Each firing enqueues
+  // a fresh *copy* of the wrapper rather than a self-referencing closure — a
+  // closure holding its own shared_ptr is an ownership cycle that never
+  // frees. The user's action sits behind one shared_ptr so copies are cheap.
   const std::uint64_t id = next_id_++;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, id, period, action = std::move(action), tick]() {
-    if (!action()) return;
-    queue_.push(Event{now_ + period, next_seq_++, id, *tick});
+  struct Periodic {
+    Engine* engine;
+    std::uint64_t id;
+    Time period;
+    std::shared_ptr<std::function<bool()>> action;
+    void operator()() const {
+      if (!(*action)()) return;
+      engine->queue_.push(
+          Event{engine->now_ + period, engine->next_seq_++, id, *this});
+    }
   };
-  queue_.push(Event{now_ + period, next_seq_++, id, *tick});
+  const Periodic tick{this, id, period,
+                      std::make_shared<std::function<bool()>>(std::move(action))};
+  queue_.push(Event{now_ + period, next_seq_++, id, tick});
   return EventHandle(id);
 }
 

@@ -1,0 +1,85 @@
+// Batched classification in the fleet must be invisible in the results: the
+// batch engine is bit-exact with per-sample inference, so a fleet run with
+// batching on must serialize byte-identically to one with it off — at any
+// thread count, including with the per-worker shared workspace in play.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/device_instance.hpp"
+#include "fleet/fleet_engine.hpp"
+
+namespace iw::fleet {
+namespace {
+
+core::StressDetectionApp tiny_app() {
+  // Same deliberately tiny app as the determinism suite: the point is the
+  // classification plumbing, not model quality.
+  core::AppConfig app_config;
+  app_config.dataset.subjects = 2;
+  app_config.dataset.minutes_per_level = 2.0;
+  app_config.training.max_epochs = 40;
+  return core::StressDetectionApp::build(app_config);
+}
+
+FleetConfig app_fleet(const core::StressDetectionApp& app, int threads) {
+  FleetConfig config;
+  config.num_devices = 16;
+  config.fleet_seed = 2020;
+  config.days = 1;
+  config.threads = threads;
+  config.chunk_size = 4;
+  config.app = &app;
+  return config;
+}
+
+TEST(FleetBatch, BatchedMatchesPerSampleByteForByte) {
+  const core::StressDetectionApp app = tiny_app();
+
+  FleetConfig batched = app_fleet(app, 2);
+  FleetConfig per_sample = app_fleet(app, 2);
+  per_sample.batched_classification = false;
+
+  const FleetResult b = FleetEngine(batched).run();
+  const FleetResult p = FleetEngine(per_sample).run();
+  EXPECT_EQ(b.stats.serialize(), p.stats.serialize());
+  EXPECT_GT(b.stats.summarize().classified, 0u);
+}
+
+TEST(FleetBatch, ThreadCountInvariantWithSharedWorkspace) {
+  const core::StressDetectionApp app = tiny_app();
+  const std::string at1 = FleetEngine(app_fleet(app, 1)).run().stats.serialize();
+  const std::string at2 = FleetEngine(app_fleet(app, 2)).run().stats.serialize();
+  const std::string at8 = FleetEngine(app_fleet(app, 8)).run().stats.serialize();
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+}
+
+TEST(FleetBatch, DeviceWithOwnWorkspaceMatchesSharedAndPerSample) {
+  const core::StressDetectionApp app = tiny_app();
+  nn::FixedBatch shared(app.quantized());
+
+  Scenario scenario = sample_scenario(2020, 3);
+  scenario.days = 1;
+
+  DeviceInstance with_shared(scenario, &app, &shared);
+  with_shared.run();
+  DeviceInstance lazy_own(scenario, &app);  // builds its own workspace
+  lazy_own.run();
+  DeviceInstance per_sample(scenario, &app);
+  per_sample.set_batched_classification(false);
+  per_sample.run();
+
+  const DeviceOutcome& a = with_shared.outcome();
+  const DeviceOutcome& b = lazy_own.outcome();
+  const DeviceOutcome& c = per_sample.outcome();
+  EXPECT_EQ(a.classified, b.classified);
+  EXPECT_EQ(a.class_counts, b.class_counts);
+  EXPECT_EQ(a.classified, c.classified);
+  EXPECT_EQ(a.class_counts, c.class_counts);
+  EXPECT_EQ(a.final_soc, b.final_soc);
+  EXPECT_EQ(a.final_soc, c.final_soc);
+}
+
+}  // namespace
+}  // namespace iw::fleet
