@@ -1,10 +1,15 @@
-// Fleet engine throughput: devices/sec and thread-scaling efficiency.
+// Fleet engine throughput: device-days/sec, fast path vs engine path, and
+// thread-scaling efficiency.
 //
-// Simulates a 1000-device fleet for one day at 1/2/4/8 worker threads,
-// reports devices/sec, speedup and efficiency vs the single-thread run, and
-// cross-checks the determinism invariant (the aggregate FleetStats must be
-// byte-identical at every thread count). Results land in
-// BENCH_fleet_throughput.json.
+// Simulates a 1000-device fleet for one day, first with the discrete-event
+// engine per device-day (the oracle, replaying the pre-fast-path fleet loop
+// including its always-on trace recording), then with the allocation-free
+// fast-path segment integrator (the default), at 1/2/4/8 worker threads each.
+// Reports
+// device-days/sec, the fast-vs-engine speedup, and per-mode thread scaling;
+// cross-checks both determinism invariants (aggregate FleetStats byte-
+// identical at every thread count, and byte-identical between the two day
+// simulators). Results land in BENCH_fleet_throughput.json.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -27,44 +32,61 @@ int main() {
   json.add("hardware_concurrency",
            static_cast<double>(std::thread::hardware_concurrency()));
 
-  std::printf("%8s %14s %10s %12s\n", "threads", "devices/sec", "speedup",
-              "efficiency");
+  std::printf("%8s %8s %16s %10s %12s\n", "path", "threads", "dev-days/sec",
+              "speedup", "efficiency");
 
-  double base_dps = 0.0;
-  std::string reference;
   bool deterministic = true;
+  std::string reference;  // t1 engine-path serialization: the oracle
+  double engine_t1_ddps = 0.0;
+  double fast_t1_ddps = 0.0;
   iw::fleet::FleetStats::Summary summary;
-  for (int threads : {1, 2, 4, 8}) {
-    config.threads = threads;
-    const iw::fleet::FleetResult result = iw::fleet::FleetEngine(config).run();
-    const std::string serialized = result.stats.serialize();
-    if (threads == 1) {
-      base_dps = result.devices_per_sec;
-      reference = serialized;
-      summary = result.stats.summarize();
-    } else if (serialized != reference) {
-      deterministic = false;
-    }
-    const double speedup = base_dps > 0.0 ? result.devices_per_sec / base_dps : 0.0;
-    const double efficiency = speedup / threads;
-    std::printf("%8d %14.1f %9.2fx %11.1f%%\n", threads, result.devices_per_sec,
-                speedup, 100.0 * efficiency);
+  for (const bool fast_day : {false, true}) {
+    config.fast_day = fast_day;
+    const char* mode = fast_day ? "fast" : "engine";
+    double base_ddps = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      config.threads = threads;
+      const iw::fleet::FleetResult result = iw::fleet::FleetEngine(config).run();
+      const std::string serialized = result.stats.serialize();
+      if (reference.empty()) {
+        reference = serialized;
+        summary = result.stats.summarize();
+      } else if (serialized != reference) {
+        deterministic = false;
+      }
+      if (threads == 1) {
+        base_ddps = result.device_days_per_sec;
+        (fast_day ? fast_t1_ddps : engine_t1_ddps) = result.device_days_per_sec;
+      }
+      const double speedup =
+          base_ddps > 0.0 ? result.device_days_per_sec / base_ddps : 0.0;
+      const double efficiency = speedup / threads;
+      std::printf("%8s %8d %16.1f %9.2fx %11.1f%%\n", mode, threads,
+                  result.device_days_per_sec, speedup, 100.0 * efficiency);
 
-    const std::string prefix = "t" + std::to_string(threads);
-    json.add(prefix + "_devices_per_sec", result.devices_per_sec);
-    json.add(prefix + "_wall_s", result.wall_s);
-    json.add(prefix + "_speedup", speedup);
-    json.add(prefix + "_efficiency", efficiency);
+      const std::string prefix = std::string(mode) + "_t" + std::to_string(threads);
+      json.add(prefix + "_device_days_per_sec", result.device_days_per_sec);
+      json.add(prefix + "_wall_s", result.wall_s);
+      json.add(prefix + "_speedup", speedup);
+      json.add(prefix + "_efficiency", efficiency);
+    }
   }
-  json.add("deterministic_across_threads", deterministic ? 1.0 : 0.0);
+
+  const double fast_speedup =
+      engine_t1_ddps > 0.0 ? fast_t1_ddps / engine_t1_ddps : 0.0;
+  std::printf("\n  fast path vs engine path (1 thread): %.2fx\n", fast_speedup);
+  json.add("fast_vs_engine_speedup_t1", fast_speedup);
+  json.add("deterministic_across_threads_and_paths", deterministic ? 1.0 : 0.0);
   json.add("fleet_completed_detections",
            static_cast<double>(summary.detections_completed));
   json.add("fleet_fraction_self_sustaining", summary.fraction_self_sustaining);
   json.add("fleet_final_soc_p50", summary.final_soc.p50);
 
-  iw::bench::print_note(deterministic
-                            ? "aggregate FleetStats byte-identical across thread counts"
-                            : "DETERMINISM VIOLATION: stats differ across thread counts");
+  iw::bench::print_note(
+      deterministic
+          ? "aggregate FleetStats byte-identical across thread counts and both day "
+            "simulators"
+          : "DETERMINISM VIOLATION: stats differ across thread counts or paths");
   iw::bench::print_note("speedup is bounded by the host's available cores (" +
                         std::to_string(std::thread::hardware_concurrency()) +
                         " here)");

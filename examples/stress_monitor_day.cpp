@@ -61,6 +61,7 @@ int main() {
   config.detection = iw::platform::make_detection_cost({});
   config.detection_period_s = 60.0;  // one stress reading per minute
   config.initial_soc = 0.40;
+  config.record_trace = true;  // the hourly timeline below reads the trace
 
   const iw::platform::DaySimulationResult result =
       iw::platform::simulate_day(config, harvester, day);

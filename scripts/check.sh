@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Pre-PR gate: the tier-1 test suite plus an UndefinedBehaviorSanitizer pass
+# over the platform/fleet suites (the ones exercising the fast-path day
+# kernel and the per-worker scratch reuse, where a stale-pointer or
+# aliasing bug would live).
+#
+# Usage: scripts/check.sh            # from the repository root
+#
+# Build trees: ./build (plain, reused if present) and ./build-ubsan
+# (IW_SANITIZE=undefined). Both are incremental across runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 gate (plain build) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
+
+echo
+echo "== UBSan pass (platform + fleet suites) =="
+cmake -B build-ubsan -S . -DIW_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$(nproc)" \
+  --target test_platform test_fast_day test_fleet
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_platform
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_fast_day
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_fleet
+
+echo
+echo "check.sh: all green"

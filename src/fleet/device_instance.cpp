@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/error.hpp"
+#include "nn/network.hpp"
 #include "platform/detection_cost.hpp"
+#include "platform/fast_day.hpp"
 #include "platform/scheduler.hpp"
 
 namespace iw::fleet {
@@ -15,26 +18,23 @@ namespace {
 /// the duty cycle.
 constexpr std::uint64_t kMaxClassifiedPerDay = 8;
 
-std::size_t argmax3(const std::vector<float>& v) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < v.size(); ++i) {
-    if (v[i] > v[best]) best = i;
-  }
-  return best;
-}
-
 }  // namespace
 
 DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp* app,
-                               nn::FixedBatch* batch)
+                               nn::FixedBatch* batch, DeviceScratch* scratch)
     : scenario_(scenario),
       app_(app),
       rng_(scenario.rng_seed),
-      harvester_(hv::DualSourceHarvester::calibrated()),
-      base_profile_(build_day_profile(scenario)),
+      scratch_(scratch),
       batch_(batch),
       soc_(scenario.initial_soc) {
   ensure(scenario_.days >= 1, "DeviceInstance: scenario needs at least one day");
+  if (scratch_ == nullptr) {
+    // Standalone use: own the buffers and run the calibration fit locally.
+    own_scratch_ = std::make_unique<DeviceScratch>();
+    scratch_ = own_scratch_.get();
+  }
+  build_day_profile_into(scenario_, base_profile());
 
   config_.detection = platform::make_detection_cost({});
   config_.detection_period_s = scenario_.detection_period_s;
@@ -52,7 +52,7 @@ DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp
     // windows are drawn from the wearer's stress mix out of these buckets.
     const nn::Dataset& test = app_->test_set();
     for (std::size_t i = 0; i < test.size(); ++i) {
-      const std::size_t label = argmax3(test.targets[i]);
+      const std::size_t label = nn::argmax(std::span<const float>(test.targets[i]));
       if (label < windows_by_level_.size()) windows_by_level_[label].push_back(i);
     }
     picks_.reserve(kMaxClassifiedPerDay);
@@ -66,13 +66,21 @@ bool DeviceInstance::step_day() {
 
   // Day-to-day weather/behaviour variation, from this device's own stream.
   const double lux_factor = std::exp(rng_.normal(0.0, scenario_.lux_sigma_day));
-  const hv::DayProfile profile = platform::scale_profile_lux(base_profile_, lux_factor);
+  const hv::DayProfile& profile = scaled_profile();
+  platform::scale_profile_lux_into(base_profile(), lux_factor, scaled_profile());
 
   config_.initial_soc = soc_;
+  const hv::DualSourceHarvester& harvester = this->harvester();
   const platform::DaySimulationResult day =
-      policy_ != nullptr
-          ? platform::simulate_day_with_policy(config_, harvester_, profile, *policy_)
-          : platform::simulate_day(config_, harvester_, profile);
+      use_fast_day_
+          ? (policy_ != nullptr
+                 ? platform::simulate_day_fast_with_policy(config_, harvester,
+                                                           profile, *policy_)
+                 : platform::simulate_day_fast(config_, harvester, profile))
+          : (policy_ != nullptr
+                 ? platform::simulate_day_with_policy(config_, harvester, profile,
+                                                      *policy_)
+                 : platform::simulate_day(config_, harvester, profile));
 
   ++day_;
   soc_ = day.final_soc;
@@ -84,8 +92,7 @@ bool DeviceInstance::step_day() {
   outcome_.harvested_j += day.harvested_j;
   outcome_.consumed_j += day.consumed_j;
   outcome_.final_soc = day.final_soc;
-  outcome_.min_soc = std::min({outcome_.min_soc, day.final_soc,
-                               day.trace.summarize("soc").min()});
+  outcome_.min_soc = std::min({outcome_.min_soc, day.final_soc, day.min_soc});
 
   const double minutes = day_ * 24.0 * 60.0;
   outcome_.detections_per_min =

@@ -51,6 +51,21 @@ struct DeviceOutcome {
   std::uint64_t classified = 0;
 };
 
+/// Reusable per-worker state for sequentially simulated devices. The fleet
+/// engine keeps one per worker thread so that building and lux-scaling a
+/// device's profile stops allocating after the first device, and so the
+/// harvester calibration fit — a deterministic nested bisection costing more
+/// than an entire simulated device-day — runs once per worker instead of once
+/// per device. A scratch must only ever serve one live DeviceInstance at a
+/// time.
+struct DeviceScratch {
+  hv::DayProfile base_profile;
+  hv::DayProfile scaled_profile;
+  /// Every device uses the same calibrated physics, so sharing one instance
+  /// is bit-identical to each device fitting its own.
+  hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+};
+
 class DeviceInstance {
  public:
   /// `app` may be null (energy/duty-cycle simulation only). When set it must
@@ -59,16 +74,30 @@ class DeviceInstance {
   /// app's deployed network (the fleet engine passes one per worker thread so
   /// devices do not each build their own); it must outlive the instance and
   /// must not be used concurrently. When null and an app is attached, the
-  /// device lazily builds its own workspace.
+  /// device lazily builds its own workspace. `scratch` optionally supplies
+  /// per-worker day-profile buffers under the same lifetime/sharing rules;
+  /// when null the device owns its buffers.
   explicit DeviceInstance(Scenario scenario,
                           const core::StressDetectionApp* app = nullptr,
-                          nn::FixedBatch* batch = nullptr);
+                          nn::FixedBatch* batch = nullptr,
+                          DeviceScratch* scratch = nullptr);
 
   /// Disables the batched classification path (per-sample classify instead).
   /// The outcome is bit-identical either way — the batch engine is bit-exact
   /// with per-sample inference — so this exists for regression tests and the
   /// per-sample-vs-batched fleet benchmark. Call before the first step_day().
   void set_batched_classification(bool enabled) { use_batching_ = enabled; }
+
+  /// Switches day simulation back to the discrete-event engine path, replayed
+  /// exactly as the fleet ran it before the fast path existed — including the
+  /// always-on trace recording it used to pay for every day. The aggregate
+  /// outcome is bit-identical either way (traces never reach FleetStats);
+  /// this exists as the oracle for regression tests and as the baseline for
+  /// the fast-vs-engine fleet benchmark. Call before the first step_day().
+  void set_fast_day(bool enabled) {
+    use_fast_day_ = enabled;
+    config_.record_trace = !enabled;
+  }
 
   /// Simulates one more day (carrying the battery over). Returns false once
   /// the scenario's day count has been reached.
@@ -87,11 +116,20 @@ class DeviceInstance {
  private:
   void classify_windows(std::uint64_t completed_today);
 
+  /// The per-worker scratch (profile buffers + calibrated harvester): the
+  /// shared one handed in at construction, or an own lazily built bundle.
+  DeviceScratch& scratch() { return *scratch_; }
+
+  hv::DayProfile& base_profile() { return scratch().base_profile; }
+  hv::DayProfile& scaled_profile() { return scratch().scaled_profile; }
+  const hv::DualSourceHarvester& harvester() { return scratch().harvester; }
+
   Scenario scenario_;
   const core::StressDetectionApp* app_;
   Rng rng_;
-  hv::DualSourceHarvester harvester_;
-  hv::DayProfile base_profile_;
+  DeviceScratch* scratch_ = nullptr;
+  /// Set (and pointed to by scratch_) only when no shared scratch was given.
+  std::unique_ptr<DeviceScratch> own_scratch_;
   platform::DeviceConfig config_;
   std::unique_ptr<platform::DetectionPolicy> policy_;
   /// Test-set window indices of the shared app, bucketed by true label.
@@ -101,6 +139,7 @@ class DeviceInstance {
   nn::FixedBatch* batch_ = nullptr;
   std::unique_ptr<nn::FixedBatch> owned_batch_;
   bool use_batching_ = true;
+  bool use_fast_day_ = true;
   /// Per-day classification staging, reused across days (no allocation after
   /// the first day): sampled window indices, their input rows, their labels.
   std::vector<std::size_t> picks_;

@@ -45,6 +45,10 @@ FleetResult FleetEngine::run() const {
       if (config_.app != nullptr && config_.batched_classification) {
         batch = std::make_unique<nn::FixedBatch>(config_.app->quantized());
       }
+      // Per-worker day-profile buffers: devices run strictly one after
+      // another on a worker, so they can share the scratch, and profile
+      // building/scaling stops allocating after the first device.
+      DeviceScratch scratch;
       while (true) {
         const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
@@ -53,8 +57,9 @@ FleetResult FleetEngine::run() const {
         for (std::size_t id = begin; id < end; ++id) {
           Scenario scenario = sample_scenario(config_.fleet_seed, id);
           scenario.days = config_.days;
-          DeviceInstance device(scenario, config_.app, batch.get());
+          DeviceInstance device(scenario, config_.app, batch.get(), &scratch);
           if (!config_.batched_classification) device.set_batched_classification(false);
+          if (!config_.fast_day) device.set_fast_day(false);
           device.run();
           shards[c].add(device.outcome());
         }
@@ -88,6 +93,7 @@ FleetResult FleetEngine::run() const {
   result.wall_s = std::chrono::duration<double>(t1 - t0).count();
   result.devices_per_sec =
       result.wall_s > 0.0 ? static_cast<double>(n) / result.wall_s : 0.0;
+  result.device_days_per_sec = result.devices_per_sec * config_.days;
   return result;
 }
 

@@ -39,6 +39,13 @@ struct FleetConfig {
   /// only throughput). Off = per-sample classify, kept for regression tests
   /// and benchmarking the batching win.
   bool batched_classification = true;
+  /// Simulate each device-day with the allocation-free segment integrator
+  /// (platform/fast_day.hpp) instead of the discrete-event engine. Bit-exact
+  /// with the engine path, so results do not change — only throughput. Off
+  /// replays the pre-fast-path fleet loop exactly (engine driver plus its
+  /// always-on trace recording), kept as the oracle for regression tests and
+  /// as the baseline for the throughput benchmark.
+  bool fast_day = true;
 };
 
 struct FleetResult {
@@ -47,6 +54,9 @@ struct FleetResult {
   int threads_used = 1;
   double wall_s = 0.0;
   double devices_per_sec = 0.0;
+  /// devices * simulated days per wall-clock second — the fleet throughput
+  /// metric that is comparable across configs with different day counts.
+  double device_days_per_sec = 0.0;
 };
 
 class FleetEngine {

@@ -71,6 +71,12 @@ Scenario sample_scenario(std::uint64_t fleet_seed, std::uint64_t device_id) {
 }
 
 hv::DayProfile build_day_profile(const Scenario& s) {
+  hv::DayProfile profile;
+  build_day_profile_into(s, profile);
+  return profile;
+}
+
+void build_day_profile_into(const Scenario& s, hv::DayProfile& out) {
   using iw::units::hours_to_s;
   const double lx = s.lux_scale;
 
@@ -102,7 +108,7 @@ hv::DayProfile build_day_profile(const Scenario& s) {
 
   switch (s.profile) {
     case WearerProfile::kOfficeWorker:
-      return hv::DayProfile{
+      out.assign({
           {hours_to_s(7.0), night},         // 00:00 sleep
           {hours_to_s(1.0), at(300.0)},     // morning routine
           {hours_to_s(0.5), outdoor},       // commute out
@@ -110,18 +116,20 @@ hv::DayProfile build_day_profile(const Scenario& s) {
           {hours_to_s(0.5), outdoor},       // commute back
           {hours_to_s(5.0), at(150.0)},     // evening
           {hours_to_s(1.0), night},
-      };
+      });
+      return;
     case WearerProfile::kOutdoorWorker:
-      return hv::DayProfile{
+      out.assign({
           {hours_to_s(7.0), night},
           {hours_to_s(0.5), at(300.0)},
           {hours_to_s(8.5), outdoor},       // site work in daylight
           {hours_to_s(1.0), at(400.0)},     // breaks indoors
           {hours_to_s(5.5), at(150.0)},
           {hours_to_s(1.5), night},
-      };
+      });
+      return;
     case WearerProfile::kAthlete:
-      return hv::DayProfile{
+      out.assign({
           {hours_to_s(7.0), night},
           {hours_to_s(1.0), at(300.0)},
           {hours_to_s(0.5), outdoor},
@@ -129,9 +137,10 @@ hv::DayProfile build_day_profile(const Scenario& s) {
           {hours_to_s(2.0), exercise},      // evening training
           {hours_to_s(5.0), at(150.0)},
           {hours_to_s(1.0), night},
-      };
+      });
+      return;
     case WearerProfile::kNightShift:
-      return hv::DayProfile{
+      out.assign({
           {hours_to_s(2.0), at(600.0)},     // 00:00 on shift
           {hours_to_s(4.0), at(600.0)},
           {hours_to_s(0.5), at(2000.0)},    // dawn commute
@@ -140,18 +149,19 @@ hv::DayProfile build_day_profile(const Scenario& s) {
           {hours_to_s(3.0), at(250.0)},     // afternoon at home
           {hours_to_s(0.5), at(2000.0)},    // dusk commute
           {hours_to_s(6.0), at(600.0)},     // back on shift
-      };
+      });
+      return;
     case WearerProfile::kHomebody:
-      return hv::DayProfile{
+      out.assign({
           {hours_to_s(8.0), night},
           {hours_to_s(7.0), at(250.0)},
           {hours_to_s(0.5), outdoor},       // short errand
           {hours_to_s(7.5), at(200.0)},
           {hours_to_s(1.0), night},
-      };
+      });
+      return;
   }
   ensure(false, "build_day_profile: unknown wearer profile");
-  return {};
 }
 
 std::unique_ptr<platform::DetectionPolicy> make_policy(const Scenario& s) {

@@ -76,6 +76,10 @@ Scenario sample_scenario(std::uint64_t fleet_seed, std::uint64_t device_id);
 /// Expands a scenario into its wearer's 24 h environment profile.
 hv::DayProfile build_day_profile(const Scenario& scenario);
 
+/// Same expansion into a caller-owned buffer whose capacity is reused across
+/// devices (the fleet engine keeps one per worker thread).
+void build_day_profile_into(const Scenario& scenario, hv::DayProfile& out);
+
 /// Instantiates the scenario's scheduling policy.
 std::unique_ptr<platform::DetectionPolicy> make_policy(const Scenario& scenario);
 

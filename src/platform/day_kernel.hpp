@@ -1,0 +1,78 @@
+// Shared physics kernel for one simulated device-day.
+//
+// Two drivers produce `DaySimulationResult`s: the discrete-event engine path
+// in device.cpp (the oracle) and the allocation-free fast path in
+// fast_day.cpp. Their contract is bit-identical results, which requires every
+// floating-point operation to be the *same* operation in the *same* order.
+// To make that hold by construction, all state mutation lives here — one
+// struct, defined in one translation unit (device.cpp) — and the two drivers
+// only decide *when* each member function fires. A driver must call:
+//   * harvest_tick(t) at every harvest tick time the engine would pop,
+//   * attempt_detection(t) at every detection event time,
+//   * policy_interval(...) right after an attempt when a policy is active,
+//   * finish() once, after the last event,
+// in exactly the engine's event order (ties included; see fast_day.cpp).
+#pragma once
+
+#include "harvest/harvester.hpp"
+#include "platform/device.hpp"
+#include "power/battery.hpp"
+
+namespace iw::platform {
+
+class DetectionPolicy;  // scheduler.hpp
+
+namespace detail {
+
+struct DayState {
+  /// Validates the config, derives the horizon, charges the battery to the
+  /// initial SoC and seeds the intake smoother from the profile's t=0
+  /// environment — the exact setup sequence of the engine path.
+  DayState(const DeviceConfig& config, const hv::DualSourceHarvester& harvester,
+           const hv::DayProfile& profile, DaySimulationResult& result);
+
+  /// One charging-integration tick at absolute time `t`: samples the
+  /// environment at the middle of the elapsed tick, charges the battery,
+  /// applies the sleep drain, updates the intake smoother and the SoC
+  /// minimum, and (when enabled) records the trace samples.
+  void harvest_tick(double t);
+
+  /// One detection attempt at time `t`; returns true when it completed.
+  bool attempt_detection(double t);
+
+  /// Queries `policy` for the next interval from the current battery and
+  /// intake state (validating it), recording it when tracing.
+  double policy_interval(const DetectionPolicy& policy, double t);
+
+  /// Seals the result (final SoC).
+  void finish();
+
+  const DeviceConfig& config;
+  const hv::DualSourceHarvester& harvester;
+  const hv::DayProfile& profile;
+  double horizon = 0.0;
+  pwr::LipoBattery battery;
+  double smoothed_intake_w = 0.0;
+  DaySimulationResult& result;
+
+  /// Energy one detection attempt needs, hoisted out of the per-attempt path.
+  double detection_need_j = 0.0;
+  /// Windowed SoC threshold for the stored-energy gate. The attempt gate
+  /// `stored_energy_j() >= detection_need_j` is a comparison against a
+  /// monotone function of SoC, so outside a narrow window around the crossing
+  /// it is decided by comparing SoC alone: above `gate_hi_soc` the battery
+  /// provably clears the gate, below `gate_lo_soc` it provably does not, and
+  /// only inside the window is stored_energy_j() evaluated — turning ~10^2
+  /// OCV-curve integrations per attempt into one double compare. See the
+  /// constructor for the window derivation and the sentinel encodings.
+  double gate_lo_soc = -1.0;
+  double gate_hi_soc = 2.0;
+  /// Per-segment intake cache: environment_at returns a reference into the
+  /// (piecewise-constant) profile, so the harvester chain only needs
+  /// re-evaluating when the segment — the address — changes.
+  const hv::Environment* cached_env = nullptr;
+  double cached_intake_w = 0.0;
+};
+
+}  // namespace detail
+}  // namespace iw::platform

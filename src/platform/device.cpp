@@ -1,10 +1,12 @@
 #include "platform/device.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <memory>
 
 #include "common/error.hpp"
+#include "platform/day_kernel.hpp"
 #include "platform/scheduler.hpp"
 
 namespace iw::platform {
@@ -21,60 +23,136 @@ const hv::Environment& environment_at(const hv::DayProfile& profile, double t) {
   return profile.back().env;
 }
 
+namespace detail {
+
+DayState::DayState(const DeviceConfig& config_in,
+                   const hv::DualSourceHarvester& harvester_in,
+                   const hv::DayProfile& profile_in, DaySimulationResult& result_in)
+    : config(config_in),
+      harvester(harvester_in),
+      profile(profile_in),
+      battery(config_in.battery, config_in.initial_soc),
+      result(result_in) {
+  ensure(config.detection_period_s > 0.0, "simulate_day: bad detection period");
+  ensure(config.harvest_tick_s > 0.0, "simulate_day: bad harvest tick");
+  horizon = hv::profile_duration_s(profile);
+  result.initial_soc = config.initial_soc;
+  result.min_soc = config.initial_soc;
+  cached_env = &environment_at(profile, 0.0);
+  cached_intake_w = harvester.intake_w(*cached_env);
+  smoothed_intake_w = cached_intake_w;
+
+  // Detection-gate window. stored_energy_j() midpoint-integrates the OCV
+  // curve, i.e. computes soc * capacity_c * mean(ocv) — a function whose
+  // exact value is strictly increasing in SoC with slope >= 3 V * capacity_c,
+  // while its floating-point rounding error is bounded by ~10^2 ulps of the
+  // full-battery energy, many orders of magnitude below what a 1e-6 SoC step
+  // moves it by. So after bisecting the crossing of `need_j` to ~1e-8, every
+  // SoC more than 1e-6 above it provably clears the gate and every SoC more
+  // than 1e-6 below provably fails it; only the window in between needs the
+  // exact evaluation, keeping the gate bit-equivalent to evaluating
+  // stored_energy_j() at every attempt. Skipped (sentinels keep the exact
+  // evaluation) when the day schedules too few attempts to amortize the
+  // bisection's ~30 probe integrations.
+  detection_need_j = config.detection.total_j();
+  if (horizon / config.detection_period_s >= 64.0) {
+    const auto energy_at = [&](double soc) {
+      return pwr::LipoBattery(config.battery, soc).stored_energy_j();
+    };
+    if (energy_at(1.0) < detection_need_j) {
+      gate_lo_soc = gate_hi_soc = 2.0;  // soc < 2: never enough energy
+    } else if (energy_at(0.0) >= detection_need_j) {
+      gate_lo_soc = gate_hi_soc = -1.0;  // soc > -1: always enough
+    } else {
+      double lo = 0.0, hi = 1.0;
+      for (int i = 0; i < 27; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (energy_at(mid) >= detection_need_j ? hi : lo) = mid;
+      }
+      gate_lo_soc = lo - 1e-6;
+      gate_hi_soc = hi + 1e-6;
+    }
+  }
+}
+
+void DayState::harvest_tick(double t) {
+  // Sample conditions at the middle of the elapsed tick. Segments are
+  // constant, so the harvester chain is only re-run when the returned
+  // reference moves to a different segment of the profile.
+  const hv::Environment& env =
+      environment_at(profile, t - config.harvest_tick_s / 2.0);
+  if (&env != cached_env) {
+    cached_env = &env;
+    cached_intake_w = harvester.intake_w(env);
+  }
+  const double intake_w = cached_intake_w;
+  smoothed_intake_w = 0.9 * smoothed_intake_w + 0.1 * intake_w;
+  result.harvested_j += battery.charge(intake_w, config.harvest_tick_s);
+  if (config.sleep_power_w > 0.0) {
+    result.consumed_j += battery.discharge(config.sleep_power_w, config.harvest_tick_s);
+  }
+  result.min_soc = std::min(result.min_soc, battery.soc());
+  if (config.record_trace) {
+    result.trace.record("intake_w", t, intake_w);
+    result.trace.record("soc", t, battery.soc());
+  }
+}
+
+bool DayState::attempt_detection(double t) {
+  ++result.detections_attempted;
+  const double need_j = detection_need_j;
+  const double soc = battery.soc();
+  const bool has_energy = soc > gate_hi_soc   ? true
+                          : soc < gate_lo_soc ? false
+                                              : battery.stored_energy_j() >= need_j;
+  if (has_energy && !battery.empty()) {
+    const double power = need_j / config.detection.duration_s;
+    const double got = battery.discharge(power, config.detection.duration_s);
+    result.consumed_j += got;
+    if (got >= 0.95 * need_j) {
+      ++result.detections_completed;
+      if (config.record_trace) result.trace.record("detection", t, 1.0);
+      return true;
+    }
+  }
+  ++result.detections_skipped;
+  if (config.record_trace) result.trace.record("detection", t, 0.0);
+  return false;
+}
+
+double DayState::policy_interval(const DetectionPolicy& policy, double t) {
+  SchedulerState state;
+  state.soc = battery.soc();
+  state.recent_intake_w = smoothed_intake_w;
+  state.detection_energy_j = detection_need_j;
+  const double interval = policy.next_interval_s(state);
+  ensure(interval > 0.0, "detection policy returned non-positive interval");
+  if (config.record_trace) result.trace.record("interval_s", t, interval);
+  return interval;
+}
+
+void DayState::finish() { result.final_soc = battery.soc(); }
+
+}  // namespace detail
+
 namespace {
 
 DaySimulationResult run_simulation(const DeviceConfig& config,
                                    const hv::DualSourceHarvester& harvester,
                                    const hv::DayProfile& profile,
                                    const DetectionPolicy* policy) {
-  ensure(config.detection_period_s > 0.0, "simulate_day: bad detection period");
-  ensure(config.harvest_tick_s > 0.0, "simulate_day: bad harvest tick");
-
-  const double horizon = hv::profile_duration_s(profile);
-  sim::Engine engine;
-  pwr::LipoBattery battery(config.battery, config.initial_soc);
-
   DaySimulationResult result;
-  result.initial_soc = config.initial_soc;
-  double smoothed_intake_w = harvester.intake_w(environment_at(profile, 0.0));
+  detail::DayState day(config, harvester, profile, result);
+  const double horizon = day.horizon;
+  sim::Engine engine;
 
   // Continuous charging + sleep drain, integrated at the harvest tick.
   engine.schedule_every(config.harvest_tick_s, [&] {
     const double t = engine.now();
     if (t > horizon) return false;
-    // Sample conditions at the middle of the elapsed tick.
-    const hv::Environment& env =
-        environment_at(profile, t - config.harvest_tick_s / 2.0);
-    const double intake_w = harvester.intake_w(env);
-    smoothed_intake_w = 0.9 * smoothed_intake_w + 0.1 * intake_w;
-    result.harvested_j += battery.charge(intake_w, config.harvest_tick_s);
-    if (config.sleep_power_w > 0.0) {
-      result.consumed_j += battery.discharge(config.sleep_power_w, config.harvest_tick_s);
-    }
-    result.trace.record("intake_w", t, intake_w);
-    result.trace.record("soc", t, battery.soc());
+    day.harvest_tick(t);
     return t < horizon;
   });
-
-  // One detection attempt; returns true when it completed.
-  const auto attempt_detection = [&] {
-    const double t = engine.now();
-    ++result.detections_attempted;
-    const double need_j = config.detection.total_j();
-    if (battery.stored_energy_j() >= need_j && !battery.empty()) {
-      const double power = need_j / config.detection.duration_s;
-      const double got = battery.discharge(power, config.detection.duration_s);
-      result.consumed_j += got;
-      if (got >= 0.95 * need_j) {
-        ++result.detections_completed;
-        result.trace.record("detection", t, 1.0);
-        return true;
-      }
-    }
-    ++result.detections_skipped;
-    result.trace.record("detection", t, 0.0);
-    return false;
-  };
 
   std::shared_ptr<std::function<void()>> tick;
   // Breaks the policy tick's self-capture cycle on every exit path,
@@ -88,7 +166,7 @@ DaySimulationResult run_simulation(const DeviceConfig& config,
   if (policy == nullptr) {
     engine.schedule_every(config.detection_period_s, [&] {
       if (engine.now() > horizon) return false;
-      attempt_detection();
+      day.attempt_detection(engine.now());
       return engine.now() < horizon;
     });
   } else {
@@ -99,21 +177,15 @@ DaySimulationResult run_simulation(const DeviceConfig& config,
     tick = std::make_shared<std::function<void()>>();
     *tick = [&, tick] {
       if (engine.now() > horizon) return;
-      attempt_detection();
-      SchedulerState state;
-      state.soc = battery.soc();
-      state.recent_intake_w = smoothed_intake_w;
-      state.detection_energy_j = config.detection.total_j();
-      const double interval = policy->next_interval_s(state);
-      ensure(interval > 0.0, "detection policy returned non-positive interval");
-      result.trace.record("interval_s", engine.now(), interval);
+      day.attempt_detection(engine.now());
+      const double interval = day.policy_interval(*policy, engine.now());
       if (engine.now() + interval <= horizon) engine.schedule_in(interval, *tick);
     };
     engine.schedule_in(config.detection_period_s, *tick);
   }
 
   engine.run_until(horizon + 1.0);
-  result.final_soc = battery.soc();
+  day.finish();
   return result;
 }
 
@@ -132,10 +204,16 @@ DaySimulationResult simulate_day_with_policy(const DeviceConfig& config,
   return run_simulation(config, harvester, profile, &policy);
 }
 
-hv::DayProfile scale_profile_lux(const hv::DayProfile& profile, double factor) {
+void scale_profile_lux_into(const hv::DayProfile& profile, double factor,
+                            hv::DayProfile& out) {
   ensure(factor >= 0.0, "scale_profile_lux: negative factor");
-  hv::DayProfile scaled = profile;
-  for (hv::EnvironmentSegment& seg : scaled) seg.env.lux *= factor;
+  out.assign(profile.begin(), profile.end());
+  for (hv::EnvironmentSegment& seg : out) seg.env.lux *= factor;
+}
+
+hv::DayProfile scale_profile_lux(const hv::DayProfile& profile, double factor) {
+  hv::DayProfile scaled;
+  scale_profile_lux_into(profile, factor, scaled);
   return scaled;
 }
 
@@ -147,12 +225,12 @@ MultiDayResult simulate_days(const DeviceConfig& config,
   ensure(lux_sigma >= 0.0, "simulate_days: negative lux sigma");
   MultiDayResult result;
   DeviceConfig day_config = config;
+  hv::DayProfile profile;
   for (int day = 0; day < days; ++day) {
     const double factor = std::exp(rng.normal(0.0, lux_sigma));
-    const hv::DayProfile profile = scale_profile_lux(base_profile, factor);
+    scale_profile_lux_into(base_profile, factor, profile);
     DaySimulationResult r = simulate_day(day_config, harvester, profile);
-    result.min_soc = std::min({result.min_soc, r.final_soc,
-                               r.trace.summarize("soc").min()});
+    result.min_soc = std::min({result.min_soc, r.final_soc, r.min_soc});
     result.final_soc = r.final_soc;
     result.total_detections += r.detections_completed;
     result.total_skipped += r.detections_skipped;

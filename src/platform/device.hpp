@@ -34,6 +34,12 @@ struct DeviceConfig {
   double sleep_power_w = 0.0;
   /// Environment sampling step for charging integration.
   double harvest_tick_s = 60.0;
+  /// Record the soc / intake_w / detection / interval_s time series into
+  /// `DaySimulationResult::trace`. Off by default: the scalar outcome fields
+  /// cover most consumers (the fleet never reads the trace), and filling the
+  /// channels costs allocations on every day simulated. Timeline consumers
+  /// (plots, CSV dumps, trace-shape tests) opt in.
+  bool record_trace = false;
 };
 
 struct DaySimulationResult {
@@ -44,6 +50,10 @@ struct DaySimulationResult {
   double consumed_j = 0.0;
   double initial_soc = 0.0;
   double final_soc = 0.0;
+  /// Lowest SoC seen during the day: the initial SoC and every harvest-tick
+  /// sample (the same samples the "soc" trace channel records).
+  double min_soc = 1.0;
+  /// Empty unless `DeviceConfig::record_trace` is set.
   sim::TraceRecorder trace;  // channels: soc, intake_w, detection
 };
 
@@ -69,6 +79,11 @@ const hv::Environment& environment_at(const hv::DayProfile& profile, double t);
 /// Copy of a profile with every segment's illuminance scaled by `factor`
 /// (weather/behaviour variation between days).
 hv::DayProfile scale_profile_lux(const hv::DayProfile& profile, double factor);
+
+/// Same scaling, written into a caller-owned buffer whose capacity is reused
+/// across days (the fleet fast path calls this once per device-day).
+void scale_profile_lux_into(const hv::DayProfile& profile, double factor,
+                            hv::DayProfile& out);
 
 /// Long-horizon autonomy: runs `days` consecutive day simulations, carrying
 /// the battery state over and scaling each day's light by a log-normal-ish

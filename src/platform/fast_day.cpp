@@ -1,0 +1,91 @@
+#include "platform/fast_day.hpp"
+
+#include <cstdint>
+
+#include "platform/day_kernel.hpp"
+
+namespace iw::platform {
+namespace {
+
+// Replays the engine path's event schedule without the engine. The engine
+// orders events by (time, push sequence number) — FIFO at coincident times —
+// and each of the two streams (harvest tick, detection) has at most one
+// pending event, pushed either at setup or during the stream's previous
+// firing. So the whole priority queue reduces to two (next_time, push_seq)
+// pairs and a merge loop.
+//
+// Bit-exactness notes, all mirroring src/sim/engine.cpp + device.cpp:
+//  * Next-fire times accumulate exactly like the engine's `now_ + period`
+//    (`t += period` from an initial `0 + period`), never `k * period`, so the
+//    sampled environment phase matches to the last bit.
+//  * Ties compare push sequence numbers assigned in fire order, which is the
+//    engine's behaviour: e.g. with a 60 s tick and a 60 s detection period
+//    the harvest tick always fires first (it was scheduled first and
+//    re-pushes during its own firing, before the detection pops), while with
+//    a 90 s period the detection's event at t=180 was pushed at t=90, before
+//    the harvest's t=180 event was pushed at t=120 — detection first.
+//  * Sequence numbers are only compared between the two pending events, so
+//    consuming one on a firing that the engine would not re-push (t at the
+//    horizon, or a policy interval overshooting it) cannot reorder anything:
+//    that stream is never compared again.
+//  * Events the engine pops past the horizon are no-ops there (every action
+//    guards on `t > horizon`) and are simply not generated here.
+DaySimulationResult run_fast(const DeviceConfig& config,
+                             const hv::DualSourceHarvester& harvester,
+                             const hv::DayProfile& profile,
+                             const DetectionPolicy* policy) {
+  DaySimulationResult result;
+  detail::DayState day(config, harvester, profile, result);
+  const double horizon = day.horizon;
+
+  double harvest_t = config.harvest_tick_s;     // scheduled first at setup
+  double detect_t = config.detection_period_s;  // scheduled second
+  std::uint64_t harvest_seq = 0;
+  std::uint64_t detect_seq = 1;
+  std::uint64_t next_seq = 2;
+  bool detect_alive = true;  // a policy can retire its stream before the horizon
+
+  while (true) {
+    const bool harvest_due = harvest_t <= horizon;
+    const bool detect_due = detect_alive && detect_t <= horizon;
+    if (!harvest_due && !detect_due) break;
+    const bool harvest_first =
+        harvest_due && (!detect_due || harvest_t < detect_t ||
+                        (harvest_t == detect_t && harvest_seq < detect_seq));
+    if (harvest_first) {
+      day.harvest_tick(harvest_t);
+      harvest_seq = next_seq++;
+      harvest_t += config.harvest_tick_s;
+    } else {
+      day.attempt_detection(detect_t);
+      if (policy != nullptr) {
+        const double interval = day.policy_interval(*policy, detect_t);
+        if (detect_t + interval > horizon) detect_alive = false;
+        detect_seq = next_seq++;
+        detect_t += interval;
+      } else {
+        detect_seq = next_seq++;
+        detect_t += config.detection_period_s;
+      }
+    }
+  }
+
+  day.finish();
+  return result;
+}
+
+}  // namespace
+
+DaySimulationResult simulate_day_fast(const DeviceConfig& config,
+                                      const hv::DualSourceHarvester& harvester,
+                                      const hv::DayProfile& profile) {
+  return run_fast(config, harvester, profile, nullptr);
+}
+
+DaySimulationResult simulate_day_fast_with_policy(
+    const DeviceConfig& config, const hv::DualSourceHarvester& harvester,
+    const hv::DayProfile& profile, const DetectionPolicy& policy) {
+  return run_fast(config, harvester, profile, &policy);
+}
+
+}  // namespace iw::platform

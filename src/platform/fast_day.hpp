@@ -1,0 +1,38 @@
+// Allocation-free fast-path device-day simulation.
+//
+// `simulate_day` runs one day of the firmware duty cycle on the
+// discrete-event engine: ~2880 heap-scheduled std::function callbacks per
+// device-day, a priority queue, and a TraceRecorder — fixed cost that
+// dominates fleet-scale runs (wearer-years across thousands of devices)
+// where nobody reads the trace and the event structure is fully known up
+// front: one periodic harvest tick plus one (periodic or self-rescheduling)
+// detection stream.
+//
+// The fast path replays exactly that structure with a two-stream merge loop:
+// no engine, no heap, no std::function, and (with `DeviceConfig::record_trace`
+// off, the default) no allocation at all. It calls the same `detail::DayState`
+// kernel as the engine path — same tick phase, same event order including the
+// engine's FIFO tie-breaking at coincident times, same accumulation order —
+// so its `DaySimulationResult` is bit-identical to `simulate_day` /
+// `simulate_day_with_policy`. The engine path stays as the oracle; the
+// property suite in tests/platform/test_fast_day.cpp pins the equivalence.
+#pragma once
+
+#include "harvest/harvester.hpp"
+#include "platform/device.hpp"
+
+namespace iw::platform {
+
+class DetectionPolicy;  // scheduler.hpp
+
+/// Bit-identical drop-in for `simulate_day`, without the event engine.
+DaySimulationResult simulate_day_fast(const DeviceConfig& config,
+                                      const hv::DualSourceHarvester& harvester,
+                                      const hv::DayProfile& profile);
+
+/// Bit-identical drop-in for `simulate_day_with_policy`.
+DaySimulationResult simulate_day_fast_with_policy(
+    const DeviceConfig& config, const hv::DualSourceHarvester& harvester,
+    const hv::DayProfile& profile, const DetectionPolicy& policy);
+
+}  // namespace iw::platform

@@ -77,6 +77,20 @@ TEST(Network, ClassifyPicksArgmax) {
   EXPECT_EQ(net.classify(std::vector<float>{0.0f}), 1u);
 }
 
+TEST(Network, ArgmaxTieBreaksToLowestIndex) {
+  // Every classification path in the tree (float, fixed, batch, and the
+  // fleet's true-label bucketing) shares this helper, so its tie-breaking —
+  // first maximum wins, the std::max_element convention — is load-bearing.
+  const std::vector<float> all_equal{0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(argmax(std::span<const float>(all_equal)), 0u);
+  const std::vector<float> later_tie{0.1f, 0.7f, 0.7f};
+  EXPECT_EQ(argmax(std::span<const float>(later_tie)), 1u);
+  const std::vector<int> ints{2, 9, 9, 3};
+  EXPECT_EQ(argmax(std::span<const int>(ints)), 1u);
+  const std::vector<float> single{-1.0f};
+  EXPECT_EQ(argmax(std::span<const float>(single)), 0u);
+}
+
 TEST(Network, InferRejectsWrongWidth) {
   Rng rng(6);
   const Network net = make_network_a(rng);

@@ -1,0 +1,254 @@
+// The fast path's contract: simulate_day_fast[_with_policy] is bit-identical
+// to the discrete-event engine path — same tick phase, same event order
+// (including FIFO tie-breaking at coincident times), same accumulation order.
+// This suite sweeps all 5 wearer archetypes x all policies x 32 seeded lux
+// factors plus the structural edge cases, comparing every result field (and,
+// with tracing on, every trace sample) byte for byte.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fleet/scenario.hpp"
+#include "platform/detection_cost.hpp"
+#include "platform/device.hpp"
+#include "platform/fast_day.hpp"
+#include "platform/scheduler.hpp"
+
+namespace iw::platform {
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+void expect_bit_identical(const DaySimulationResult& engine,
+                          const DaySimulationResult& fast,
+                          const std::string& context) {
+  EXPECT_EQ(engine.detections_attempted, fast.detections_attempted) << context;
+  EXPECT_EQ(engine.detections_completed, fast.detections_completed) << context;
+  EXPECT_EQ(engine.detections_skipped, fast.detections_skipped) << context;
+  EXPECT_EQ(bits(engine.harvested_j), bits(fast.harvested_j)) << context;
+  EXPECT_EQ(bits(engine.consumed_j), bits(fast.consumed_j)) << context;
+  EXPECT_EQ(bits(engine.initial_soc), bits(fast.initial_soc)) << context;
+  EXPECT_EQ(bits(engine.final_soc), bits(fast.final_soc)) << context;
+  EXPECT_EQ(bits(engine.min_soc), bits(fast.min_soc)) << context;
+
+  const std::vector<std::string> channels = engine.trace.channel_names();
+  ASSERT_EQ(channels, fast.trace.channel_names()) << context;
+  for (const std::string& name : channels) {
+    const sim::TraceChannel& a = engine.trace.channel(name);
+    const sim::TraceChannel& b = fast.trace.channel(name);
+    ASSERT_EQ(a.times.size(), b.times.size()) << context << " channel " << name;
+    for (std::size_t i = 0; i < a.times.size(); ++i) {
+      ASSERT_EQ(bits(a.times[i]), bits(b.times[i]))
+          << context << " channel " << name << " sample " << i;
+      ASSERT_EQ(bits(a.values[i]), bits(b.values[i]))
+          << context << " channel " << name << " sample " << i;
+    }
+  }
+}
+
+/// Runs both paths on the same inputs and pins their equality.
+void check_day(const DeviceConfig& config, const hv::DayProfile& profile,
+               const DetectionPolicy* policy, const std::string& context) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  const DaySimulationResult engine =
+      policy != nullptr ? simulate_day_with_policy(config, harvester, profile, *policy)
+                        : simulate_day(config, harvester, profile);
+  const DaySimulationResult fast =
+      policy != nullptr
+          ? simulate_day_fast_with_policy(config, harvester, profile, *policy)
+          : simulate_day_fast(config, harvester, profile);
+  expect_bit_identical(engine, fast, context);
+}
+
+TEST(FastDay, AllArchetypesAllPoliciesManyLuxFactors) {
+  // The fleet's own worlds: every wearer archetype, under every scheduling
+  // mode (engine periodic stream, plus each DetectionPolicy implementation),
+  // across 32 seeded day-to-day lux factors. Tracing stays on so the event
+  // times and order are compared sample by sample, not just the aggregates.
+  Rng rng(0xfa57da1ULL);
+  for (int p = 0; p < fleet::kNumWearerProfiles; ++p) {
+    fleet::Scenario scenario = fleet::sample_scenario(2020, 100 + p);
+    scenario.profile = static_cast<fleet::WearerProfile>(p);
+    const hv::DayProfile base = fleet::build_day_profile(scenario);
+
+    DeviceConfig config;
+    config.detection = make_detection_cost({});
+    config.detection_period_s = scenario.detection_period_s;
+    config.initial_soc = scenario.initial_soc;
+    config.record_trace = true;
+
+    const FixedRatePolicy fixed(scenario.detection_period_s);
+    const SocProportionalPolicy soc_prop(0.5, 4.0);
+    const EnergyNeutralPolicy neutral;
+    const std::vector<const DetectionPolicy*> policies{nullptr, &fixed, &soc_prop,
+                                                       &neutral};
+
+    for (int f = 0; f < 32; ++f) {
+      const double lux_factor = std::exp(rng.normal(0.0, scenario.lux_sigma_day));
+      const hv::DayProfile profile = scale_profile_lux(base, lux_factor);
+      for (std::size_t i = 0; i < policies.size(); ++i) {
+        check_day(config, profile, policies[i],
+                  "archetype " + std::string(fleet::to_string(scenario.profile)) +
+                      " policy " + std::to_string(i) + " lux " + std::to_string(f));
+      }
+    }
+  }
+}
+
+TEST(FastDay, CoincidentEventTieBreaking) {
+  // Detection period == harvest tick: the engine pops the harvest tick first
+  // at every coincident time (it was scheduled first). Period 90 vs tick 60:
+  // at t=180 the detection event was pushed earlier (t=90) than the harvest
+  // event (t=120), so the detection fires first. Period 30: two detections
+  // per tick, one coincident. All three orderings must replay exactly.
+  hv::Environment lit;
+  lit.lux = 900.0;
+  const hv::DayProfile profile{{6.0 * 3600.0, lit}};
+  for (double period : {60.0, 90.0, 30.0, 45.0}) {
+    DeviceConfig config;
+    config.detection = make_detection_cost({});
+    config.detection_period_s = period;
+    config.record_trace = true;
+    check_day(config, profile, nullptr, "period " + std::to_string(period));
+  }
+}
+
+TEST(FastDay, DetectionPeriodNotDividingDay) {
+  hv::Environment dim;
+  dim.lux = 200.0;
+  const hv::DayProfile profile{{86400.0, dim}};
+  for (double period : {97.0, 61.0, 86399.0, 86400.0, 100000.0}) {
+    DeviceConfig config;
+    config.detection = make_detection_cost({});
+    config.detection_period_s = period;
+    config.record_trace = true;
+    check_day(config, profile, nullptr, "period " + std::to_string(period));
+  }
+}
+
+TEST(FastDay, ZeroLengthSegments) {
+  hv::Environment bright;
+  bright.lux = 5000.0;
+  hv::Environment dark;
+  const hv::DayProfile profile{
+      {0.0, bright}, {3600.0, dark}, {0.0, dark}, {1800.0, bright}, {0.0, bright}};
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.record_trace = true;
+  check_day(config, profile, nullptr, "zero-length segments");
+  const EnergyNeutralPolicy neutral;
+  check_day(config, profile, &neutral, "zero-length segments + policy");
+}
+
+TEST(FastDay, BatteryPinnedAtEmpty) {
+  hv::Environment dead;  // pitch black, not worn: zero intake
+  dead.worn = false;
+  const hv::DayProfile profile{{4.0 * 3600.0, dead}};
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.initial_soc = 0.0;
+  config.record_trace = true;
+  check_day(config, profile, nullptr, "empty battery");
+  const SocProportionalPolicy soc_prop(0.5, 4.0);
+  check_day(config, profile, &soc_prop, "empty battery + policy");
+}
+
+TEST(FastDay, BatteryPinnedAtFull) {
+  hv::Environment blazing;
+  blazing.lux = 60000.0;
+  const hv::DayProfile profile{{4.0 * 3600.0, blazing}};
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.initial_soc = 1.0;
+  config.detection_period_s = 300.0;
+  config.record_trace = true;
+  check_day(config, profile, nullptr, "full battery");
+  const EnergyNeutralPolicy neutral;
+  check_day(config, profile, &neutral, "full battery + policy");
+}
+
+TEST(FastDay, SleepDrainAndShortHorizons) {
+  hv::Environment dim;
+  dim.lux = 150.0;
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.sleep_power_w = 20e-6;
+  config.record_trace = true;
+  // Horizon shorter than the harvest tick (no tick ever fires), equal to one
+  // tick, and a non-multiple of the tick.
+  for (double seconds : {30.0, 60.0, 3601.0, 5430.5}) {
+    const hv::DayProfile profile{{seconds, dim}};
+    check_day(config, profile, nullptr, "horizon " + std::to_string(seconds));
+  }
+}
+
+TEST(FastDay, PolicyIntervalOvershootingHorizonStopsStream) {
+  // A policy that immediately pushes the next attempt past the horizon: the
+  // engine never re-schedules, the fast path must retire the stream too.
+  struct OneShotPolicy final : DetectionPolicy {
+    std::string name() const override { return "one-shot"; }
+    double next_interval_s(const SchedulerState&) const override { return 1e9; }
+  };
+  hv::Environment dim;
+  dim.lux = 400.0;
+  const hv::DayProfile profile{{7200.0, dim}};
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.record_trace = true;
+  const OneShotPolicy policy;
+  check_day(config, profile, &policy, "one-shot policy");
+}
+
+TEST(FastDay, TraceOffMatchesScalars) {
+  // With tracing off (the fleet configuration) the scalar fields must still
+  // agree bit for bit, and neither path should materialize any channel.
+  fleet::Scenario scenario = fleet::sample_scenario(7, 3);
+  const hv::DayProfile profile = fleet::build_day_profile(scenario);
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.detection_period_s = scenario.detection_period_s;
+  config.initial_soc = scenario.initial_soc;
+  check_day(config, profile, nullptr, "trace off");
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  EXPECT_TRUE(simulate_day_fast(config, harvester, profile).trace.channel_names().empty());
+}
+
+TEST(FastDay, RejectsBadConfigLikeEngine) {
+  const hv::DualSourceHarvester harvester = hv::DualSourceHarvester::calibrated();
+  const hv::DayProfile profile{{3600.0, hv::Environment{}}};
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.detection_period_s = 0.0;
+  EXPECT_THROW(simulate_day_fast(config, harvester, profile), Error);
+  config.detection_period_s = 60.0;
+  config.harvest_tick_s = -1.0;
+  EXPECT_THROW(simulate_day_fast(config, harvester, profile), Error);
+  config.harvest_tick_s = 60.0;
+  EXPECT_THROW(simulate_day_fast(config, harvester, hv::DayProfile{}), Error);
+}
+
+TEST(FastDay, ScaleProfileLuxIntoReusesBuffer) {
+  fleet::Scenario scenario = fleet::sample_scenario(7, 5);
+  const hv::DayProfile base = fleet::build_day_profile(scenario);
+  hv::DayProfile scaled;
+  scale_profile_lux_into(base, 2.0, scaled);
+  const hv::EnvironmentSegment* data = scaled.data();
+  ASSERT_EQ(scaled.size(), base.size());
+  EXPECT_EQ(bits(scaled[1].env.lux), bits(base[1].env.lux * 2.0));
+  // A second scaling of an equally long profile must not reallocate.
+  scale_profile_lux_into(base, 0.5, scaled);
+  EXPECT_EQ(scaled.data(), data);
+  EXPECT_THROW(scale_profile_lux_into(base, -1.0, scaled), Error);
+}
+
+}  // namespace
+}  // namespace iw::platform

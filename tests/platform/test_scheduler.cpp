@@ -130,6 +130,7 @@ TEST(AdaptiveScheduling, ExploitsAbundantEnergy) {
   config.detection = make_detection_cost(DetectionCostParams{});
   config.detection_period_s = 60.0;
   config.initial_soc = 0.8;
+  config.record_trace = true;  // the assertion below reads the interval trace
   hv::Environment sunny;
   sunny.lux = 30000.0;
   const hv::DayProfile day{{2.0 * 3600.0, sunny}};
