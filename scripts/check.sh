@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Pre-PR gate: the tier-1 test suite plus an UndefinedBehaviorSanitizer pass
+# Pre-PR gate: the tier-1 test suite, the iw_lint static-analysis matrix
+# over every assembled reference kernel, an UndefinedBehaviorSanitizer pass
 # over the platform/fleet suites (the ones exercising the fast-path day
 # kernel and the per-worker scratch reuse, where a stale-pointer or
-# aliasing bug would live).
+# aliasing bug would live), a ThreadSanitizer pass over the concurrent
+# fleet/platform layers, and clang-tidy when available.
 #
 # Usage: scripts/check.sh            # from the repository root
 #
-# Build trees: ./build (plain, reused if present) and ./build-ubsan
-# (IW_SANITIZE=undefined). Both are incremental across runs.
+# Build trees: ./build (plain, reused if present), ./build-ubsan
+# (IW_SANITIZE=undefined) and ./build-tsan (IW_SANITIZE=thread). All are
+# incremental across runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +18,14 @@ echo "== tier-1 gate (plain build) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
+
+echo
+echo "== iw_lint (static analysis of every reference kernel, all profiles) =="
+./build/tools/iw_lint --kernels
+
+echo
+echo "== clang-tidy (skipped automatically when not installed) =="
+scripts/tidy.sh
 
 echo
 echo "== UBSan pass (platform + fleet suites) =="
@@ -27,6 +38,17 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fast_day
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fleet
+echo
+echo "== TSan pass (fleet + platform suites) =="
+cmake -B build-tsan -S . -DIW_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" \
+  --target test_platform test_fast_day test_fleet
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_fleet
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_platform
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_fast_day
 
 echo
 echo "check.sh: all green"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# clang-tidy runner over the first-party sources (config in .clang-tidy).
+#
+# Usage: scripts/tidy.sh [extra clang-tidy args...]
+#
+# Uses the compile_commands.json from ./build (configured automatically when
+# missing). Gated on clang-tidy availability: containers that ship only the
+# gcc toolchain skip with a note instead of failing, so check.sh can call
+# this unconditionally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not installed; skipping (config kept in .clang-tidy)"
+  exit 0
+fi
+
+if [ ! -f build/compile_commands.json ]; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(find src tools -name '*.cpp' | sort)
+echo "tidy.sh: linting ${#sources[@]} files"
+clang-tidy -p build --quiet "$@" "${sources[@]}"
+echo "tidy.sh: clean"

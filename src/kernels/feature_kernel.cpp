@@ -5,6 +5,7 @@
 
 #include "asmx/assembler.hpp"
 #include "common/error.hpp"
+#include "rvsim/analysis/analysis.hpp"
 #include "rvsim/machine.hpp"
 
 namespace iw::kernels {
@@ -106,6 +107,8 @@ isqrt_done:
 
 }  // namespace
 
+std::string hrv_kernel_source() { return kKernelSource; }
+
 HrvFixedValues hrv_fixed_reference(std::span<const std::int32_t> rr_ms) {
   ensure(rr_ms.size() >= 2, "hrv_fixed_reference: need at least two intervals");
   const std::int32_t m = static_cast<std::int32_t>(rr_ms.size()) - 1;
@@ -142,6 +145,8 @@ HrvKernelResult run_hrv_kernel(std::span<const std::int32_t> rr_ms) {
   machine.memory().store32(kCountAddr, static_cast<std::uint32_t>(rr_ms.size()));
   machine.memory().write_words(kRrAddr,
                                std::span<const std::int32_t>(rr_ms.data(), rr_ms.size()));
+  rv::analysis::install_load_verifier();
+  machine.set_verify_on_load(true);
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   HrvKernelResult result;
@@ -240,6 +245,8 @@ store:
 
 }  // namespace
 
+std::string gsr_kernel_source() { return kGsrKernelSource; }
+
 GsrFixedValues gsr_fixed_reference(std::span<const std::int32_t> samples_q8,
                                    std::int32_t min_height_q8,
                                    std::int32_t eps_q8) {
@@ -297,6 +304,8 @@ GsrKernelResult run_gsr_kernel(std::span<const std::int32_t> samples_q8,
   machine.memory().store32(kGsrEpsAddr, static_cast<std::uint32_t>(eps_q8));
   machine.memory().write_words(
       kGsrDataAddr, std::span<const std::int32_t>(samples_q8.data(), samples_q8.size()));
+  rv::analysis::install_load_verifier();
+  machine.set_verify_on_load(true);
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   GsrKernelResult result;

@@ -14,8 +14,14 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 namespace iw::kernels {
+
+/// Assembly sources of the feature kernels, exposed so tools/iw_lint and the
+/// static-analysis tests can lint the exact programs the runners execute.
+std::string hrv_kernel_source();
+std::string gsr_kernel_source();
 
 struct HrvFixedValues {
   std::int32_t rmssd_q4_ms = 0;  // RMSSD in milliseconds, Q4

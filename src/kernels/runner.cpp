@@ -4,7 +4,10 @@
 
 #include "asmx/assembler.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/feature_kernel.hpp"
 #include "kernels/kernel_source.hpp"
+#include "rvsim/analysis/analysis.hpp"
 #include "rvsim/cluster.hpp"
 #include "rvsim/machine.hpp"
 
@@ -76,6 +79,18 @@ Flavor flavor_for(Target target) {
   fail("flavor_for: bad target");
 }
 
+/// Arms the Machine/Cluster load-time verification gate and returns the
+/// image's static cycle floor. The explicit analyze() call harvests
+/// min_cycles; run() then re-verifies through the verify_on_load hook so the
+/// gate itself stays exercised on every kernel run.
+std::uint64_t arm_verifier_and_floor(rv::Memory& mem, std::uint32_t entry,
+                                     const rv::TimingProfile& profile) {
+  rv::analysis::install_load_verifier();
+  const rv::analysis::AnalysisReport report = rv::analysis::analyze(mem, entry, profile);
+  ensure(report.ok(), "kernel runner: static analysis rejected the kernel image");
+  return report.min_cycles;
+}
+
 rv::ClusterConfig cluster_config(int num_cores = Layout::kClusterCores) {
   rv::ClusterConfig cfg;
   cfg.num_cores = num_cores;
@@ -134,6 +149,9 @@ KernelRunResult run_fixed_mlp(const nn::QuantizedNetwork& net,
     for (int c = 0; c < Layout::kClusterCores; ++c) {
       cluster.core(c).set_histogram(&result.histogram);
     }
+    cluster.set_verify_on_load(true);
+    result.static_min_cycles = arm_verifier_and_floor(
+        cluster.memory(), program.symbol("main"), cluster.core(0).profile());
     const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
     result.cycles = run.cycles;
     result.instructions = run.total_instructions;
@@ -148,6 +166,9 @@ KernelRunResult run_fixed_mlp(const nn::QuantizedNetwork& net,
     machine.memory().write_words(Layout::kAct0,
                                  std::span<const std::int32_t>(input.data(), input.size()));
     machine.core().set_histogram(&result.histogram);
+    machine.set_verify_on_load(true);
+    result.static_min_cycles = arm_verifier_and_floor(
+        machine.memory(), program.symbol("main"), machine.core().profile());
     const rv::RunResult run = machine.run(program.symbol("main"));
     result.cycles = run.cycles;
     result.instructions = run.instructions;
@@ -175,6 +196,9 @@ KernelRunResult run_fixed_mlp_custom(const nn::QuantizedNetwork& net,
                                std::span<const std::int32_t>(input.data(), input.size()));
   KernelRunResult result;
   machine.core().set_histogram(&result.histogram);
+  machine.set_verify_on_load(true);
+  result.static_min_cycles = arm_verifier_and_floor(
+      machine.memory(), program.symbol("main"), machine.core().profile());
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -203,6 +227,9 @@ KernelRunResult run_fixed_mlp_parallel(const nn::QuantizedNetwork& net,
                                std::span<const std::int32_t>(input.data(), input.size()));
   KernelRunResult result;
   for (int c = 0; c < num_cores; ++c) cluster.core(c).set_histogram(&result.histogram);
+  cluster.set_verify_on_load(true);
+  result.static_min_cycles = arm_verifier_and_floor(
+      cluster.memory(), program.symbol("main"), cluster.core(0).profile());
   const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -311,6 +338,9 @@ KernelRunResult run_simd_mlp(const nn::QuantizedNetwork16& net,
 
   KernelRunResult result;
   machine.core().set_histogram(&result.histogram);
+  machine.set_verify_on_load(true);
+  result.static_min_cycles = arm_verifier_and_floor(
+      machine.memory(), program.symbol("main"), machine.core().profile());
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -339,6 +369,9 @@ KernelRunResult run_simd_mlp_parallel(const nn::QuantizedNetwork16& net,
 
   KernelRunResult result;
   for (int c = 0; c < num_cores; ++c) cluster.core(c).set_histogram(&result.histogram);
+  cluster.set_verify_on_load(true);
+  result.static_min_cycles = arm_verifier_and_floor(
+      cluster.memory(), program.symbol("main"), cluster.core(0).profile());
   const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -369,6 +402,9 @@ KernelRunResult run_float_mlp(const nn::Network& net, std::span<const float> inp
                                    std::span<const float>(input.data(), input.size()));
   KernelRunResult result;
   machine.core().set_histogram(&result.histogram);
+  machine.set_verify_on_load(true);
+  result.static_min_cycles = arm_verifier_and_floor(
+      machine.memory(), program.symbol("main"), machine.core().profile());
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -376,6 +412,59 @@ KernelRunResult run_float_mlp(const nn::Network& net, std::span<const float> inp
   result.outputs_float =
       machine.memory().read_words_f32(placement.output_addr, placement.n_outputs);
   return result;
+}
+
+std::vector<KernelImage> reference_kernel_images() {
+  // A small representative network: lint verdicts depend on the generated
+  // code shape, not the layer sizes, and every generator is exercised.
+  Rng rng(5);
+  const nn::Network net = nn::Network::create({4, 6, 2}, rng);
+  const nn::QuantizedNetwork qn = nn::QuantizedNetwork::from(net);
+  const nn::QuantizedNetwork16 qn16 = nn::QuantizedNetwork16::from(net);
+
+  const Placement placement = place_layers(qn.layers());
+  const FixedKernelParams params = fixed_params(qn);
+  const SimdPlacement simd_placement = place_simd_layers(qn16);
+  const FixedKernelParams sparams = simd_params(qn16);
+
+  std::vector<KernelImage> images;
+  const auto add = [&images](std::string name, rv::TimingProfile profile,
+                             const std::string& source, std::size_t mem_bytes,
+                             bool xpulp) {
+    KernelImage image;
+    image.name = std::move(name);
+    image.profile = std::move(profile);
+    image.program = asmx::assemble(source);
+    image.entry = image.program.symbol("main");
+    image.mem_bytes = mem_bytes;
+    image.expect_reject_on_ibex = xpulp;
+    images.push_back(std::move(image));
+  };
+
+  add("mlp-fixed-generic", rv::ibex(),
+      fixed_kernel_source(Flavor::kGeneric, params, placement.layer_table),
+      Layout::kMemBytes, false);
+  add("mlp-fixed-m4", rv::cortex_m4f(),
+      fixed_kernel_source(Flavor::kM4, params, placement.layer_table),
+      Layout::kMemBytes, true);
+  add("mlp-fixed-ri5cy", rv::ri5cy(),
+      fixed_kernel_source(Flavor::kRi5cy, params, placement.layer_table),
+      Layout::kMemBytes, true);
+  add("mlp-fixed-parallel", rv::ri5cy(),
+      parallel_kernel_source(params, placement.layer_table), Layout::kMemBytes,
+      true);
+  add("mlp-float-m4f", rv::cortex_m4f(),
+      float_kernel_source(static_cast<int>(net.num_layers()), placement.layer_table),
+      Layout::kMemBytes, true);
+  add("mlp-simd-ri5cy", rv::ri5cy(),
+      simd_kernel_source(sparams, simd_placement.layer_table), Layout::kMemBytes,
+      true);
+  add("mlp-simd-parallel", rv::ri5cy(),
+      parallel_simd_kernel_source(sparams, simd_placement.layer_table),
+      Layout::kMemBytes, true);
+  add("hrv-ri5cy", rv::ri5cy(), hrv_kernel_source(), std::size_t{1} << 16, true);
+  add("gsr-ri5cy", rv::ri5cy(), gsr_kernel_source(), std::size_t{1} << 16, true);
+  return images;
 }
 
 }  // namespace iw::kernels

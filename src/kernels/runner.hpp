@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "asmx/assembler.hpp"
 #include "kernels/kernel_source.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
@@ -40,6 +41,9 @@ struct KernelRunResult {
   std::uint64_t barrier_wait_cycles = 0;
   /// Retired-instruction mix (aggregated over all cores for cluster runs).
   rv::InstructionHistogram histogram;
+  /// Whole-program static cycle lower bound from iw_rvsim_analysis, computed
+  /// on the loaded image before the run. Always <= cycles.
+  std::uint64_t static_min_cycles = 0;
 };
 
 /// Runs fixed-point inference of `net` on `target`. `input` must already be
@@ -74,5 +78,24 @@ KernelRunResult run_simd_mlp(const nn::QuantizedNetwork16& net,
 KernelRunResult run_simd_mlp_parallel(const nn::QuantizedNetwork16& net,
                                       std::span<const std::int16_t> input,
                                       int num_cores = 8);
+
+/// One assembled kernel image plus the timing profile it is meant to execute
+/// on — the unit `tools/iw_lint --kernels` and scripts/check.sh feed to the
+/// static analyzer.
+struct KernelImage {
+  std::string name;
+  rv::TimingProfile profile;
+  asmx::Program program;
+  std::uint32_t entry = 0;
+  std::size_t mem_bytes = Layout::kMemBytes;
+  /// Uses extensions the IBEX profile lacks; the analyzer must reject the
+  /// image there with an unsupported-instruction diagnostic.
+  bool expect_reject_on_ibex = false;
+};
+
+/// Assembles every kernel shipped in src/kernels — the Table-III MLP kernels
+/// (for a representative small network) plus the HRV/GSR feature-extraction
+/// kernels — paired with their intended profiles.
+std::vector<KernelImage> reference_kernel_images();
 
 }  // namespace iw::kernels

@@ -1,0 +1,796 @@
+#include "rvsim/analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "rvsim/predecode.hpp"
+#include "rvsim/verify_hook.hpp"
+
+namespace iw::rv::analysis {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+std::string hex32(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(8) << std::setfill('0') << v;
+  return os.str();
+}
+
+/// Per-instruction record kept for every reachable word. A thinned DecodedEx
+/// plus an explicit illegal state (DecodeCache throws instead of caching
+/// those, but the analyzer must keep going to report the rest of the image).
+struct Instr {
+  enum Status : std::uint8_t { kOk, kUnsupported, kIllegal };
+  Decoded d;
+  Status status = kOk;
+  std::int16_t base_cost = 0;
+  bool is_load = false;
+  std::int16_t load_seq_extra = 0;
+  std::int16_t load_dest = -1;
+  std::int16_t reads[3] = {-1, -1, -1};
+};
+
+bool is_cond_branch(Op op) {
+  switch (op) {
+    case Op::kBeq: case Op::kBne: case Op::kBlt:
+    case Op::kBge: case Op::kBltu: case Op::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_hwloop_setup(Op op) { return op == Op::kLpSetup || op == Op::kLpSetupi; }
+
+/// Static control-flow successors of one instruction, before hardware-loop
+/// back edges are layered on. `terminates` means the instruction ends its
+/// basic block even when the next word is not a leader.
+struct Flow {
+  std::uint32_t targets[2] = {0, 0};
+  int count = 0;
+  bool terminates = false;
+  bool halts = false;
+  bool indirect = false;
+};
+
+Flow flow_of(std::uint32_t pc, const Instr& in) {
+  Flow f;
+  if (in.status != Instr::kOk) {
+    f.terminates = true;  // execution faults here
+    return f;
+  }
+  if (is_cond_branch(in.d.op)) {
+    f.targets[f.count++] = pc + 4u;
+    f.targets[f.count++] = pc + static_cast<std::uint32_t>(in.d.imm);
+    f.terminates = true;
+  } else if (in.d.op == Op::kJal) {
+    f.targets[f.count++] = pc + static_cast<std::uint32_t>(in.d.imm);
+    f.terminates = true;
+  } else if (in.d.op == Op::kJalr) {
+    f.terminates = true;
+    f.indirect = true;
+  } else if (in.d.op == Op::kEcall) {
+    f.terminates = true;
+    f.halts = true;
+  } else {
+    f.targets[f.count++] = pc + 4u;
+  }
+  return f;
+}
+
+/// Memory footprint of one instruction when its address is statically known:
+/// access size in bytes (0 = no plain data access we check).
+std::uint32_t access_size(Op op) {
+  switch (op) {
+    case Op::kLw: case Op::kSw: case Op::kFlw: case Op::kFsw:
+    case Op::kPLwPost: case Op::kPSwPost:
+      return 4;
+    case Op::kLh: case Op::kLhu: case Op::kSh:
+    case Op::kPLhPost: case Op::kPShPost:
+      return 2;
+    case Op::kLb: case Op::kLbu: case Op::kSb:
+    case Op::kPLbPost: case Op::kPSbPost:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+bool is_postinc(Op op) {
+  switch (op) {
+    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
+    case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Block-local constant propagation state: which integer registers hold a
+/// statically known value. x0 is always known to be zero.
+struct ConstState {
+  std::uint32_t value[32] = {};
+  std::uint32_t known = 1;  // bit i -> x[i] known; bit 0 (x0) always set
+
+  bool is_known(std::uint8_t r) const { return (known >> r) & 1u; }
+  void set(std::uint8_t r, std::uint32_t v) {
+    if (r == 0) return;
+    value[r] = v;
+    known |= (1u << r);
+  }
+  void kill(std::uint8_t r) {
+    if (r == 0) return;
+    known &= ~(1u << r);
+  }
+};
+
+struct Analyzer {
+  Memory& mem;
+  const TimingProfile& profile;
+  const AnalyzeOptions& options;
+  AnalysisReport report;
+
+  std::map<std::uint32_t, Instr> instrs;  // reachable pc -> record
+  std::vector<HwLoopRegion> regions;
+
+  Analyzer(Memory& m, std::uint32_t entry, const TimingProfile& p,
+           const AnalyzeOptions& o)
+      : mem(m), profile(p), options(o) {
+    report.profile_name = profile.name;
+    report.entry = entry;
+  }
+
+  void diag(DiagKind kind, Severity sev, std::uint32_t pc, std::string message) {
+    report.diagnostics.push_back(Diagnostic{kind, sev, pc, std::move(message)});
+  }
+
+  bool target_ok(std::uint32_t from, std::uint32_t target, const char* what) {
+    if ((target & 3u) != 0) {
+      diag(DiagKind::kTargetMisaligned, Severity::kError, from,
+           "pc=" + hex32(from) + ": " + what + " target " + hex32(target) +
+               " is not word-aligned");
+      return false;
+    }
+    if (static_cast<std::uint64_t>(target) + 4 > mem.size()) {
+      diag(DiagKind::kTargetOutOfImage, Severity::kError, from,
+           "pc=" + hex32(from) + ": " + what + " target " + hex32(target) +
+               " is outside the " + std::to_string(mem.size()) + "-byte image");
+      return false;
+    }
+    return true;
+  }
+
+  // --- pass 1: reachability + per-instruction lint -----------------------
+
+  void scan(std::uint32_t entry) {
+    if (!target_ok(entry, entry, "entry")) return;
+
+    // A scratch DecodeCache gives us exactly the interpreter's view of every
+    // word (decode + per-profile support/cost tables) without re-deriving it.
+    DecodeCache cache(profile, mem);
+
+    std::deque<std::uint32_t> worklist{entry};
+    std::set<std::uint32_t> queued{entry};
+    while (!worklist.empty()) {
+      const std::uint32_t pc = worklist.front();
+      worklist.pop_front();
+      if (instrs.size() >= options.max_words) {
+        fail("analysis: reachable code exceeds max_words");
+      }
+
+      Instr in;
+      bool decoded = true;
+      try {
+        const DecodedEx& e = cache.entry(pc);
+        in.d = e.d;
+        if (e.status == DecodeCache::kUnsupported) {
+          in.status = Instr::kUnsupported;
+          diag(DiagKind::kUnsupportedInstruction, Severity::kError, pc,
+               unsupported_instruction_message(profile.name, pc, e.d));
+        } else {
+          in.base_cost = e.base_cost;
+          in.is_load = e.is_load;
+          in.load_seq_extra = e.load_seq_extra;
+          in.load_dest = e.load_dest;
+          for (int k = 0; k < 3; ++k) in.reads[k] = e.reads[k];
+        }
+      } catch (const Error& err) {
+        decoded = false;
+        in.status = Instr::kIllegal;
+        diag(DiagKind::kIllegalWord, Severity::kError, pc,
+             "pc=" + hex32(pc) + ": illegal instruction word " +
+                 hex32(mem.load32(pc)) + " (" + err.what() + ")");
+      }
+
+      if (decoded && in.status == Instr::kOk && is_hwloop_setup(in.d.op)) {
+        HwLoopRegion r;
+        r.setup_pc = pc;
+        r.start = pc + 4u;
+        r.end = pc + static_cast<std::uint32_t>(in.d.imm2) * 4u;
+        r.index = static_cast<int>(in.d.extra & 1u);
+        r.static_count =
+            (in.d.op == Op::kLpSetupi && in.d.imm > 1)
+                ? static_cast<std::uint32_t>(in.d.imm)
+                : 1u;  // lp.setup counts from a register: >= 1, else unknown
+        regions.push_back(r);
+      }
+
+      if (decoded && in.status == Instr::kOk && in.d.op == Op::kJalr) {
+        diag(DiagKind::kIndirectJump,
+             options.indirect_jump_is_error ? Severity::kError : Severity::kNote,
+             pc,
+             "pc=" + hex32(pc) + ": indirect jump (" + to_string(in.d) +
+                 "); control flow past this point is not analyzed");
+      }
+
+      const Flow f = flow_of(pc, in);
+      for (int k = 0; k < f.count; ++k) {
+        const std::uint32_t t = f.targets[k];
+        const char* what = f.terminates && !is_cond_branch(in.d.op) ? "jump"
+                           : (t == pc + 4u ? "fallthrough" : "branch");
+        if (!target_ok(pc, t, what)) continue;
+        if (queued.insert(t).second) worklist.push_back(t);
+      }
+
+      instrs.emplace(pc, in);
+    }
+    report.words_analyzed = instrs.size();
+  }
+
+  // --- pass 2: hardware-loop well-formedness ----------------------------
+
+  void check_hwloops() {
+    // Bounds first; everything else only applies to regions with sane bounds.
+    for (HwLoopRegion& r : regions) {
+      if (r.end <= r.start || static_cast<std::uint64_t>(r.end) > mem.size()) {
+        r.well_formed = false;
+        diag(DiagKind::kHwloopBadBounds, Severity::kError, r.setup_pc,
+             "pc=" + hex32(r.setup_pc) + ": hardware loop body [" +
+                 hex32(r.start) + ", " + hex32(r.end) +
+                 ") is empty, inverted, or outside the image");
+      }
+    }
+
+    // Pairwise structure: partial overlap, same-slot nesting, depth.
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      HwLoopRegion& a = regions[i];
+      if (!a.well_formed) continue;
+      int enclosing = 0;
+      for (std::size_t j = 0; j < regions.size(); ++j) {
+        if (i == j) continue;
+        const HwLoopRegion& b = regions[j];
+        if (!b.well_formed) continue;
+        const bool a_in_b = b.start <= a.start && a.end <= b.end;
+        const bool b_in_a = a.start <= b.start && b.end <= a.end;
+        const bool disjoint = a.end <= b.start || b.end <= a.start;
+        if (!a_in_b && !b_in_a && !disjoint && i < j) {
+          a.well_formed = false;
+          diag(DiagKind::kHwloopOverlap, Severity::kError, a.setup_pc,
+               "pc=" + hex32(a.setup_pc) + ": hardware loop body [" +
+                   hex32(a.start) + ", " + hex32(a.end) +
+                   ") partially overlaps the loop at pc=" + hex32(b.setup_pc));
+        }
+        if (a_in_b && !b_in_a && a.index == b.index) {
+          a.well_formed = false;
+          diag(DiagKind::kHwloopOverlap, Severity::kError, a.setup_pc,
+               "pc=" + hex32(a.setup_pc) + ": nested hardware loop re-arms slot " +
+                   std::to_string(a.index) + " already used by the loop at pc=" +
+                   hex32(b.setup_pc));
+        }
+        if (a_in_b && !b_in_a) ++enclosing;
+      }
+      if (enclosing >= 2) {
+        a.well_formed = false;
+        diag(DiagKind::kHwloopTooDeep, Severity::kError, a.setup_pc,
+             "pc=" + hex32(a.setup_pc) + ": hardware loop nested " +
+                 std::to_string(enclosing + 1) +
+                 " deep (the core has two loop slots)");
+      }
+    }
+
+    // Last body instruction must not be another lp.setup*.
+    for (HwLoopRegion& r : regions) {
+      if (!r.well_formed) continue;
+      const auto it = instrs.find(r.end - 4u);
+      if (it != instrs.end() && it->second.status == Instr::kOk &&
+          is_hwloop_setup(it->second.d.op)) {
+        r.well_formed = false;
+        diag(DiagKind::kHwloopBadLastInstruction, Severity::kError, r.end - 4u,
+             "pc=" + hex32(r.end - 4u) + ": " + mnemonic(it->second.d.op) +
+                 " is the last instruction of the hardware loop at pc=" +
+                 hex32(r.setup_pc));
+      }
+    }
+
+    // No branch into or out of a loop body. A branch to the body's end
+    // address from inside acts as a "continue" (the back edge fires there)
+    // and is allowed.
+    for (const auto& [pc, in] : instrs) {
+      if (in.status != Instr::kOk) continue;
+      if (!is_cond_branch(in.d.op) && in.d.op != Op::kJal) continue;
+      const std::uint32_t t = pc + static_cast<std::uint32_t>(in.d.imm);
+      for (HwLoopRegion& r : regions) {
+        if (r.end <= r.start) continue;  // bounds already diagnosed
+        const bool from_inside = pc >= r.start && pc < r.end;
+        const bool to_inside = t >= r.start && t < r.end;
+        if (from_inside && !to_inside && t != r.end) {
+          r.well_formed = false;
+          diag(DiagKind::kHwloopBranchOut, Severity::kError, pc,
+               "pc=" + hex32(pc) + ": " + mnemonic(in.d.op) + " to " + hex32(t) +
+                   " leaves the hardware loop body of pc=" + hex32(r.setup_pc));
+        } else if (!from_inside && to_inside) {
+          r.well_formed = false;
+          diag(DiagKind::kHwloopBranchIn, Severity::kError, pc,
+               "pc=" + hex32(pc) + ": " + mnemonic(in.d.op) + " to " + hex32(t) +
+                   " jumps into the hardware loop body of pc=" + hex32(r.setup_pc));
+        }
+      }
+    }
+
+    std::sort(regions.begin(), regions.end(),
+              [](const HwLoopRegion& a, const HwLoopRegion& b) {
+                return a.setup_pc < b.setup_pc;
+              });
+    report.loops = regions;
+  }
+
+  // --- pass 3: basic blocks ---------------------------------------------
+
+  /// Successors of the instruction at `pc` with hardware-loop back edges
+  /// layered on: any edge that lands on a loop's end address may instead take
+  /// the back edge to the loop start.
+  std::vector<std::uint32_t> successors_of(std::uint32_t pc, const Instr& in) const {
+    const Flow f = flow_of(pc, in);
+    std::vector<std::uint32_t> out;
+    for (int k = 0; k < f.count; ++k) {
+      const std::uint32_t t = f.targets[k];
+      if (instrs.count(t) == 0) continue;  // invalid target, already diagnosed
+      if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+      for (const HwLoopRegion& r : regions) {
+        if (t == r.end && instrs.count(r.start) != 0 &&
+            std::find(out.begin(), out.end(), r.start) == out.end()) {
+          out.push_back(r.start);
+        }
+      }
+    }
+    return out;
+  }
+
+  void build_blocks() {
+    if (instrs.empty()) return;
+    std::set<std::uint32_t> leaders;
+    leaders.insert(report.entry);
+    for (const auto& [pc, in] : instrs) {
+      const Flow f = flow_of(pc, in);
+      if (f.terminates) {
+        for (int k = 0; k < f.count; ++k) leaders.insert(f.targets[k]);
+        leaders.insert(pc + 4u);
+      }
+    }
+    for (const HwLoopRegion& r : regions) {
+      leaders.insert(r.start);
+      leaders.insert(r.end);
+    }
+
+    BasicBlock current;
+    bool open = false;
+    std::uint32_t prev_pc = 0;
+    const auto close = [&](std::uint32_t end_pc) {
+      current.end = end_pc + 4u;
+      const auto it = instrs.find(end_pc);
+      current.successors = successors_of(end_pc, it->second);
+      const Flow f = flow_of(end_pc, it->second);
+      current.halts = f.halts;
+      current.has_indirect = f.indirect;
+      report.blocks.push_back(current);
+      open = false;
+    };
+    for (const auto& [pc, in] : instrs) {
+      if (open && (pc != prev_pc + 4u || leaders.count(pc) != 0)) close(prev_pc);
+      if (!open) {
+        current = BasicBlock{};
+        current.start = pc;
+        open = true;
+      }
+      const Flow f = flow_of(pc, in);
+      prev_pc = pc;
+      if (f.terminates) close(pc);
+    }
+    if (open) close(prev_pc);
+  }
+
+  // --- pass 4: static data-access lint + per-block cycle floor ----------
+
+  void analyze_blocks() {
+    for (BasicBlock& block : report.blocks) {
+      ConstState consts;
+      std::int64_t total = 0;
+      std::int16_t prev_load_dest = -1;
+      bool prev_is_load = false;
+      for (std::uint32_t pc = block.start; pc < block.end; pc += 4u) {
+        const Instr& in = instrs.at(pc);
+        if (in.status != Instr::kOk) break;  // faults here; no further cost
+
+        // Guaranteed-cycle floor. Only penalties that *must* occur count:
+        // a load-use stall on a proven in-block dependency, and the
+        // back-to-back-load extra (for every load when it is a discount,
+        // only on proven consecutive loads when it is a penalty). Taken
+        // branches, bank conflicts and barrier waits are excluded.
+        std::int64_t c = in.base_cost;
+        if (prev_load_dest >= 0) {
+          for (const std::int16_t r : in.reads) {
+            if (r == prev_load_dest) {
+              c += profile.load_use_stall;
+              break;
+            }
+          }
+        }
+        if (in.is_load && in.load_seq_extra < 0) {
+          c += in.load_seq_extra;
+        } else if (prev_is_load && in.load_seq_extra > 0) {
+          c += in.load_seq_extra;
+        }
+        total += c < 0 ? 0 : c;
+        prev_load_dest = in.load_dest;
+        prev_is_load = in.is_load;
+
+        lint_access(pc, in, consts);
+        step_consts(pc, in, consts);
+      }
+      block.min_cycles = total < 0 ? 0u : static_cast<std::uint64_t>(total);
+    }
+  }
+
+  void lint_access(std::uint32_t pc, const Instr& in, const ConstState& consts) {
+    const std::uint32_t size = access_size(in.d.op);
+    if (size == 0 || !consts.is_known(in.d.rs1)) return;
+    const std::uint32_t addr =
+        is_postinc(in.d.op)
+            ? consts.value[in.d.rs1]
+            : consts.value[in.d.rs1] + static_cast<std::uint32_t>(in.d.imm);
+    if (static_cast<std::uint64_t>(addr) + size > mem.size()) {
+      diag(DiagKind::kStaticAccessOutOfImage, Severity::kError, pc,
+           "pc=" + hex32(pc) + ": " + to_string(in.d) + " accesses " +
+               hex32(addr) + ", outside the " + std::to_string(mem.size()) +
+               "-byte image");
+    } else if (addr % size != 0) {
+      diag(DiagKind::kStaticAccessMisaligned, Severity::kError, pc,
+           "pc=" + hex32(pc) + ": " + to_string(in.d) + " accesses " +
+               hex32(addr) + ", misaligned for a " + std::to_string(size) +
+               "-byte access");
+    }
+  }
+
+  /// Transfer function of the block-local constant propagation: tracks
+  /// lui/auipc/addi/add chains (the address-materialization idiom, incl.
+  /// the assembler's la/li expansions) and post-increment base updates;
+  /// every other integer destination becomes unknown.
+  void step_consts(std::uint32_t pc, const Instr& in, ConstState& consts) {
+    const Decoded& d = in.d;
+    switch (d.op) {
+      case Op::kLui:
+        consts.set(d.rd, static_cast<std::uint32_t>(d.imm) << 12);
+        break;
+      case Op::kAuipc:
+        consts.set(d.rd, pc + (static_cast<std::uint32_t>(d.imm) << 12));
+        break;
+      case Op::kAddi:
+        if (consts.is_known(d.rs1)) {
+          consts.set(d.rd, consts.value[d.rs1] + static_cast<std::uint32_t>(d.imm));
+        } else {
+          consts.kill(d.rd);
+        }
+        break;
+      case Op::kAdd:
+        if (consts.is_known(d.rs1) && consts.is_known(d.rs2)) {
+          consts.set(d.rd, consts.value[d.rs1] + consts.value[d.rs2]);
+        } else {
+          consts.kill(d.rd);
+        }
+        break;
+      case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost: {
+        consts.kill(d.rd);  // loaded value unknown
+        if (consts.is_known(d.rs1)) {
+          consts.set(d.rs1, consts.value[d.rs1] + static_cast<std::uint32_t>(d.imm));
+        }
+        break;
+      }
+      case Op::kPSbPost: case Op::kPShPost: case Op::kPSwPost:
+        if (consts.is_known(d.rs1)) {
+          consts.set(d.rs1, consts.value[d.rs1] + static_cast<std::uint32_t>(d.imm));
+        }
+        break;
+      // No integer destination: nothing to kill.
+      case Op::kSb: case Op::kSh: case Op::kSw: case Op::kFsw:
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu:
+      case Op::kEcall: case Op::kLpSetup: case Op::kLpSetupi:
+        break;
+      default:
+        // Conservative: kills x[rd] even for ops whose rd names an f-reg.
+        consts.kill(d.rd);
+        break;
+    }
+  }
+
+  // --- pass 5: whole-program static cycle lower bound -------------------
+
+  std::size_t block_index_of(std::uint32_t pc) const {
+    // Blocks are sorted by start; find the one containing pc.
+    std::size_t lo = 0, hi = report.blocks.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (report.blocks[mid].end <= pc) lo = mid + 1;
+      else hi = mid;
+    }
+    return lo;
+  }
+
+  /// Cheapest sum of block costs along any path from `from` to a block in
+  /// `accept` (inclusive of both endpoint blocks), restricted to blocks whose
+  /// start lies in [lo, hi) — kInf when unreachable. hi == 0 means no
+  /// restriction.
+  std::uint64_t cheapest(std::uint32_t from, const std::set<std::uint32_t>& accept,
+                         std::uint32_t lo, std::uint32_t hi) const {
+    std::map<std::uint32_t, std::uint64_t> dist;
+    using Item = std::pair<std::uint64_t, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    const std::size_t start_idx = block_index_of(from);
+    if (start_idx >= report.blocks.size() ||
+        report.blocks[start_idx].start != from) {
+      return kInf;
+    }
+    dist[from] = report.blocks[start_idx].min_cycles;
+    heap.emplace(dist[from], from);
+    std::uint64_t best = kInf;
+    while (!heap.empty()) {
+      const auto [d, at] = heap.top();
+      heap.pop();
+      if (d != dist.at(at)) continue;
+      if (accept.count(at) != 0) {
+        best = std::min(best, d);
+        continue;
+      }
+      const BasicBlock& b = report.blocks[block_index_of(at)];
+      for (const std::uint32_t succ : b.successors) {
+        if (hi != 0 && (succ < lo || succ >= hi)) continue;
+        const std::size_t si = block_index_of(succ);
+        if (si >= report.blocks.size() || report.blocks[si].start != succ) continue;
+        const std::uint64_t nd = d + report.blocks[si].min_cycles;
+        const auto it = dist.find(succ);
+        if (it == dist.end() || nd < it->second) {
+          dist[succ] = nd;
+          heap.emplace(nd, succ);
+        }
+      }
+    }
+    return best;
+  }
+
+  void compute_bound() {
+    if (report.blocks.empty()) return;
+
+    // Hardware-loop surcharge, innermost first: a well-formed loop whose
+    // iteration count is a static immediate is guaranteed to run its body
+    // `count` times, so charge (count - 1) extra copies of the cheapest
+    // single iteration onto the block holding the setup instruction. Inner
+    // surcharges land before outer iteration costs are measured, so nested
+    // static counts multiply as they do dynamically.
+    std::vector<std::size_t> order(regions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return regions[a].end - regions[a].start < regions[b].end - regions[b].start;
+    });
+    for (const std::size_t i : order) {
+      const HwLoopRegion& r = regions[i];
+      if (!r.well_formed || r.static_count <= 1) continue;
+      if (!body_is_clean(r)) continue;
+      // One iteration: from the body's first block to any block that can take
+      // the back edge (its successor set includes the loop start).
+      std::set<std::uint32_t> accept;
+      for (const BasicBlock& b : report.blocks) {
+        if (b.start < r.start || b.start >= r.end) continue;
+        if (std::find(b.successors.begin(), b.successors.end(), r.start) !=
+            b.successors.end()) {
+          accept.insert(b.start);
+        }
+      }
+      if (accept.empty()) continue;
+      const std::uint64_t iter = cheapest(r.start, accept, r.start, r.end);
+      if (iter == kInf) continue;
+      const std::size_t setup_idx = block_index_of(r.setup_pc);
+      report.blocks[setup_idx].min_cycles +=
+          static_cast<std::uint64_t>(r.static_count - 1u) * iter;
+    }
+
+    // Whole program: cheapest path from the entry block to any sink (a halt,
+    // an indirect jump, or a fault). A program with no reachable sink never
+    // halts; any finite bound is then vacuously sound, so keep the cheapest
+    // path to anywhere.
+    std::set<std::uint32_t> sinks;
+    std::uint64_t floor_any = kInf;
+    for (const BasicBlock& b : report.blocks) {
+      if (b.successors.empty()) sinks.insert(b.start);
+    }
+    if (!sinks.empty()) {
+      floor_any = cheapest(report.entry, sinks, 0, 0);
+    }
+    if (floor_any == kInf) {
+      // No sink reachable: the cheapest single path through the entry block
+      // is still a valid floor.
+      const std::size_t ei = block_index_of(report.entry);
+      floor_any = (ei < report.blocks.size() &&
+                   report.blocks[ei].start == report.entry)
+                      ? report.blocks[ei].min_cycles
+                      : 0;
+    }
+    report.min_cycles = floor_any == kInf ? 0 : floor_any;
+  }
+
+  bool body_is_clean(const HwLoopRegion& r) const {
+    for (std::uint32_t pc = r.start; pc < r.end; pc += 4u) {
+      const auto it = instrs.find(pc);
+      if (it == instrs.end()) continue;  // dead space inside the body
+      if (it->second.status != Instr::kOk) return false;
+      if (it->second.d.op == Op::kEcall || it->second.d.op == Op::kJalr) return false;
+    }
+    return true;
+  }
+
+  AnalysisReport run(std::uint32_t entry) {
+    scan(entry);
+    check_hwloops();
+    build_blocks();
+    analyze_blocks();
+    compute_bound();
+    std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.pc < b.pc;
+                     });
+    return std::move(report);
+  }
+};
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(ch) << std::dec;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* diag_kind_name(DiagKind kind) {
+  switch (kind) {
+    case DiagKind::kIllegalWord: return "illegal-word";
+    case DiagKind::kUnsupportedInstruction: return "unsupported-instruction";
+    case DiagKind::kTargetOutOfImage: return "target-out-of-image";
+    case DiagKind::kTargetMisaligned: return "target-misaligned";
+    case DiagKind::kHwloopBadBounds: return "hwloop-bad-bounds";
+    case DiagKind::kHwloopTooDeep: return "hwloop-too-deep";
+    case DiagKind::kHwloopOverlap: return "hwloop-overlap";
+    case DiagKind::kHwloopBranchIn: return "hwloop-branch-in";
+    case DiagKind::kHwloopBranchOut: return "hwloop-branch-out";
+    case DiagKind::kHwloopBadLastInstruction: return "hwloop-bad-last-instruction";
+    case DiagKind::kStaticAccessOutOfImage: return "static-access-out-of-image";
+    case DiagKind::kStaticAccessMisaligned: return "static-access-misaligned";
+    case DiagKind::kIndirectJump: return "indirect-jump";
+  }
+  return "unknown";
+}
+
+std::size_t AnalysisReport::error_count() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string AnalysisReport::to_text() const {
+  std::ostringstream os;
+  os << "iw_lint: profile=" << profile_name << " entry=" << hex32(entry)
+     << " words=" << words_analyzed << " blocks=" << blocks.size()
+     << " hwloops=" << loops.size() << " min_cycles=" << min_cycles << "\n";
+  for (const Diagnostic& d : diagnostics) {
+    os << (d.severity == Severity::kError ? "error" : "note") << " ["
+       << diag_kind_name(d.kind) << "] " << d.message << "\n";
+  }
+  const std::size_t errors = error_count();
+  if (errors == 0) {
+    os << "ok: no errors\n";
+  } else {
+    os << errors << " error(s)\n";
+  }
+  return os.str();
+}
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"profile\":\"";
+  json_escape(os, profile_name);
+  os << "\",\"entry\":" << entry << ",\"words_analyzed\":" << words_analyzed
+     << ",\"min_cycles\":" << min_cycles << ",\"ok\":" << (ok() ? "true" : "false")
+     << ",\"errors\":" << error_count() << ",\"blocks\":[";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const BasicBlock& b = blocks[i];
+    if (i != 0) os << ",";
+    os << "{\"start\":" << b.start << ",\"end\":" << b.end
+       << ",\"min_cycles\":" << b.min_cycles << ",\"halts\":"
+       << (b.halts ? "true" : "false") << ",\"indirect\":"
+       << (b.has_indirect ? "true" : "false") << ",\"successors\":[";
+    for (std::size_t k = 0; k < b.successors.size(); ++k) {
+      if (k != 0) os << ",";
+      os << b.successors[k];
+    }
+    os << "]}";
+  }
+  os << "],\"hwloops\":[";
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const HwLoopRegion& r = loops[i];
+    if (i != 0) os << ",";
+    os << "{\"setup_pc\":" << r.setup_pc << ",\"start\":" << r.start
+       << ",\"end\":" << r.end << ",\"index\":" << r.index
+       << ",\"static_count\":" << r.static_count << ",\"well_formed\":"
+       << (r.well_formed ? "true" : "false") << "}";
+  }
+  os << "],\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i != 0) os << ",";
+    os << "{\"kind\":\"" << diag_kind_name(d.kind) << "\",\"severity\":\""
+       << (d.severity == Severity::kError ? "error" : "note")
+       << "\",\"pc\":" << d.pc << ",\"message\":\"";
+    json_escape(os, d.message);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+AnalysisReport analyze(Memory& mem, std::uint32_t entry,
+                       const TimingProfile& profile,
+                       const AnalyzeOptions& options) {
+  Analyzer analyzer(mem, entry, profile, options);
+  return analyzer.run(entry);
+}
+
+void verify_or_throw(Memory& mem, std::uint32_t entry,
+                     const TimingProfile& profile) {
+  const AnalysisReport report = analyze(mem, entry, profile);
+  if (report.ok()) return;
+  std::ostringstream os;
+  os << "verify_on_load[" << profile.name << "]: " << report.error_count()
+     << " static diagnostic(s):";
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    os << "\n  [" << diag_kind_name(d.kind) << "] " << d.message;
+  }
+  fail(os.str());
+}
+
+void install_load_verifier() { set_program_verifier(&verify_or_throw); }
+
+}  // namespace iw::rv::analysis

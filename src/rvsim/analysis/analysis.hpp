@@ -1,0 +1,150 @@
+// Static analysis of rvsim program images (`iw_lint`'s engine).
+//
+// Every ISA-legality, loop-nesting, and jump-target error in a kernel used to
+// surface only *dynamically*, when Core::step happened to execute the
+// offending word. This analyzer makes the same classes of error a load-time
+// diagnostic: it consumes a loaded Memory image plus an entry point through
+// the existing DecodeCache/predecode layer and produces a structured
+// AnalysisReport with
+//
+//  * the recovered control-flow graph (basic blocks; direct branches, jumps,
+//    hardware-loop back edges and fallthroughs; indirect jumps conservatively
+//    flagged and treated as CFG sinks),
+//  * per-profile ISA lint: every reachable word is checked against the
+//    TimingProfile's resolved support table, so e.g. an Xpulp op in an
+//    IBEX-profile image is reported with its address and disassembly using
+//    the exact message the dynamic path would throw,
+//  * hardware-loop well-formedness (<= 2 nesting levels, end > start, proper
+//    nesting, no branch into/out of a loop body, no lp.setup* as the last
+//    body instruction),
+//  * branch/jump target validity (in-image, word-aligned),
+//  * out-of-image or misaligned memory accesses whose address is statically
+//    known (block-local constant propagation over lui/auipc/addi/add chains),
+//  * per-basic-block guaranteed cycle costs and a whole-program static cycle
+//    lower bound (see below), asserted <= the dynamic count in tests.
+//
+// Cycle-bound semantics: a block's `min_cycles` sums the per-profile base
+// costs plus only those dynamic penalties that are *guaranteed* to occur
+// (intra-block load-use stalls on a proven dependency; back-to-back-load
+// extras when positive and proven, pessimistically applied to every load when
+// negative, as on the Cortex-M4F where pipelined loads get a discount). Taken
+// -branch refill penalties, bank conflicts and barrier waits are excluded —
+// they only ever add cycles. The whole-program bound is the cheapest
+// entry-to-halt path through the CFG, with well-formed hardware loops whose
+// iteration count is a static immediate (lp.setupi) charged
+// (count - 1) * (cheapest body iteration) on their setup block, innermost
+// first. Every component is a lower bound on what any execution pays, so the
+// total is too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rvsim/isa.hpp"
+#include "rvsim/memory.hpp"
+#include "rvsim/timing.hpp"
+
+namespace iw::rv::analysis {
+
+/// Diagnostic catalogue. Every kind is an error except kIndirectJump, which
+/// is a note by default (the analyzer cannot follow the jump, so downstream
+/// code is simply not analyzed) and upgradable via AnalyzeOptions.
+enum class DiagKind : std::uint8_t {
+  kIllegalWord,            // reachable word does not decode
+  kUnsupportedInstruction, // decodes, but the profile cannot execute it
+  kTargetOutOfImage,       // branch/jump/fallthrough leaves the image
+  kTargetMisaligned,       // branch/jump target not word-aligned
+  kHwloopBadBounds,        // end <= start, or body extends past the image
+  kHwloopTooDeep,          // more than two nesting levels
+  kHwloopOverlap,          // partial overlap / same loop index re-armed / shared end
+  kHwloopBranchIn,         // branch from outside into a loop body
+  kHwloopBranchOut,        // branch from a loop body to outside
+  kHwloopBadLastInstruction, // lp.setup* as the last body instruction
+  kStaticAccessOutOfImage, // statically-known data address out of image
+  kStaticAccessMisaligned, // statically-known data address misaligned
+  kIndirectJump,           // jalr: target unknown, CFG truncated here
+};
+
+enum class Severity : std::uint8_t { kError, kNote };
+
+/// Stable lower-case identifier for a diagnostic kind ("illegal-word", ...).
+const char* diag_kind_name(DiagKind kind);
+
+struct Diagnostic {
+  DiagKind kind = DiagKind::kIllegalWord;
+  Severity severity = Severity::kError;
+  std::uint32_t pc = 0;
+  std::string message;  // includes the pc and disassembly where available
+};
+
+struct BasicBlock {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;  // exclusive
+  /// Successor block start addresses (fallthrough, branch targets, hwloop
+  /// back edges). Empty for halting / indirect / dead-end blocks.
+  std::vector<std::uint32_t> successors;
+  /// Guaranteed cycles for one execution of the block (plus any hardware-loop
+  /// surcharge attached to a contained lp.setupi, see file comment).
+  std::uint64_t min_cycles = 0;
+  bool halts = false;         // contains ecall
+  bool has_indirect = false;  // ends in jalr
+};
+
+struct HwLoopRegion {
+  std::uint32_t setup_pc = 0;
+  std::uint32_t start = 0;  // first body instruction (setup_pc + 4)
+  std::uint32_t end = 0;    // exclusive body end (the hwloop back-edge pc)
+  int index = 0;            // hardware loop slot (0 or 1)
+  /// Guaranteed iteration count: the lp.setupi immediate (clamped to >= 1,
+  /// matching Core), or 1 for lp.setup (register count, >= 1 at runtime).
+  std::uint32_t static_count = 1;
+  bool well_formed = true;
+};
+
+struct AnalysisReport {
+  std::string profile_name;
+  std::uint32_t entry = 0;
+  std::size_t words_analyzed = 0;  // reachable instruction words
+  std::vector<BasicBlock> blocks;  // sorted by start address
+  std::vector<HwLoopRegion> loops; // sorted by setup pc
+  std::vector<Diagnostic> diagnostics;
+  /// Whole-program static cycle lower bound from entry to the cheapest halt
+  /// (or CFG sink). Always <= the dynamic cycle count of any core run from
+  /// `entry` on a diagnostic-free image.
+  std::uint64_t min_cycles = 0;
+
+  std::size_t error_count() const;
+  /// True when no error-severity diagnostics were produced.
+  bool ok() const { return error_count() == 0; }
+
+  /// Human-readable report (diagnostics, CFG summary, cycle bound).
+  std::string to_text() const;
+  /// Machine-readable report (stable keys; one object, no trailing newline).
+  std::string to_json() const;
+};
+
+struct AnalyzeOptions {
+  /// Report jalr as an error instead of a note.
+  bool indirect_jump_is_error = false;
+  /// Safety cap on reachable instruction words.
+  std::size_t max_words = 1u << 20;
+};
+
+/// Statically analyzes the program in `mem` reachable from `entry` under
+/// `profile`. `mem` is taken non-const because the decode cache registers a
+/// (removed-on-exit) write observer; the image itself is not modified.
+AnalysisReport analyze(Memory& mem, std::uint32_t entry,
+                       const TimingProfile& profile,
+                       const AnalyzeOptions& options = {});
+
+/// Runs analyze() and throws iw::Error summarizing every error diagnostic if
+/// the report is not ok(). The Machine/Cluster verify_on_load gate.
+void verify_or_throw(Memory& mem, std::uint32_t entry,
+                     const TimingProfile& profile);
+
+/// Installs verify_or_throw as the global rv::Machine / rv::Cluster
+/// verify_on_load hook (idempotent).
+void install_load_verifier();
+
+}  // namespace iw::rv::analysis

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "rvsim/verify_hook.hpp"
 
 namespace iw::rv {
 
@@ -64,6 +65,9 @@ void Cluster::load_program(std::span<const std::uint32_t> words, std::uint32_t b
 }
 
 ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instructions) {
+  if (verify_on_load_) {
+    run_program_verifier(mem_, entry, cores_.front()->profile());
+  }
   const int n = config_.num_cores;
   std::vector<CoreState> state(static_cast<std::size_t>(n), CoreState::kRunning);
   std::vector<std::uint64_t> time(static_cast<std::size_t>(n), 0);

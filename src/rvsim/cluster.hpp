@@ -77,6 +77,12 @@ class Cluster {
 
   void load_program(std::span<const std::uint32_t> words, std::uint32_t base = 0);
 
+  /// Opt-in static verification gate (see Machine::set_verify_on_load): run()
+  /// analyzes the image from the entry point under the cluster's timing
+  /// profile before any core steps, and throws on any diagnostic.
+  void set_verify_on_load(bool enabled) { verify_on_load_ = enabled; }
+  bool verify_on_load() const { return verify_on_load_; }
+
   /// Starts all cores at `entry` and runs until every core executed ecall.
   /// Each core sees its hart id in CSR mhartid.
   ClusterRunResult run(std::uint32_t entry, std::uint64_t max_instructions = 500'000'000);
@@ -91,6 +97,7 @@ class Cluster {
   ClusterConfig config_;
   Memory mem_;
   std::vector<std::unique_ptr<Core>> cores_;
+  bool verify_on_load_ = false;
 };
 
 }  // namespace iw::rv

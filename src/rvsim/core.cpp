@@ -79,7 +79,7 @@ void Core::set_freg(int index, float value) {
 Core::StepResult Core::step() {
   if (halted_) fail("Core::step on halted core");
   const DecodedEx& e = cache_.entry(pc_);
-  if (e.status != DecodeCache::kOk) cache_.raise_unsupported(e);
+  if (e.status != DecodeCache::kOk) cache_.raise_unsupported(e, pc_);
 
   int cycles = e.base_cost;
 

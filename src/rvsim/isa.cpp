@@ -1,6 +1,7 @@
 #include "rvsim/isa.hpp"
 
 #include <array>
+#include <iomanip>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -190,7 +191,11 @@ constexpr std::array<const char*, 32> kAbiNames = {
 
 std::string reg_name(std::uint8_t reg) {
   if (reg < 32) return kAbiNames[reg];
-  return "f" + std::to_string(reg - 32);
+  // Built with += (not operator+) to sidestep GCC 12's spurious -Wrestrict
+  // on "literal" + std::to_string(...) under -O2 (GCC PR105651).
+  std::string name = "f";
+  name += std::to_string(reg - 32);
+  return name;
 }
 
 int parse_reg(const std::string& token) {
@@ -211,6 +216,13 @@ int parse_reg(const std::string& token) {
     if (token == kAbiNames[i]) return i;
   }
   return -1;
+}
+
+std::string describe_instruction(std::uint32_t pc, const Decoded& d) {
+  std::ostringstream os;
+  os << "pc=0x" << std::hex << std::setw(8) << std::setfill('0') << pc << ": "
+     << to_string(d);
+  return os.str();
 }
 
 std::string to_string(const Decoded& d) {

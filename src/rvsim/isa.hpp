@@ -97,6 +97,11 @@ std::string mnemonic(Op op);
 /// Human-readable disassembly of a decoded instruction.
 std::string to_string(const Decoded& d);
 
+/// "pc=0x00000040: p.lw t0, 4(a1!)" — the address + disassembly fragment
+/// shared by the dynamic (DecodeCache) and static (analysis) diagnostics so
+/// both paths report a faulting instruction identically.
+std::string describe_instruction(std::uint32_t pc, const Decoded& d);
+
 /// Integer register ABI names: x0..x31 <-> zero, ra, sp, ...
 std::string reg_name(std::uint8_t reg);
 /// Parses a register name ("x5", "t0", "a2", "f3", ...). Returns -1 if not a

@@ -1,6 +1,7 @@
 #include "rvsim/machine.hpp"
 
 #include "common/error.hpp"
+#include "rvsim/verify_hook.hpp"
 
 namespace iw::rv {
 
@@ -12,6 +13,7 @@ void Machine::load_program(std::span<const std::uint32_t> words, std::uint32_t b
 }
 
 RunResult Machine::run(std::uint32_t entry, std::uint64_t max_instructions) {
+  if (verify_on_load_) run_program_verifier(mem_, entry, core_.profile());
   const std::uint32_t sp = static_cast<std::uint32_t>(mem_.size()) & ~15u;
   core_.reset(entry, sp);
   std::uint64_t budget = max_instructions;

@@ -31,6 +31,14 @@ class Machine {
   /// Copies an encoded program into memory at `base`.
   void load_program(std::span<const std::uint32_t> words, std::uint32_t base = 0);
 
+  /// Opt-in static verification gate: when enabled, run() statically analyzes
+  /// the loaded image from the entry point before executing anything and
+  /// throws iw::Error on any diagnostic (unsupported instructions, malformed
+  /// hardware loops, bad jump targets, ...). Requires the iw_rvsim_analysis
+  /// verifier to be installed (see rvsim/verify_hook.hpp).
+  void set_verify_on_load(bool enabled) { verify_on_load_ = enabled; }
+  bool verify_on_load() const { return verify_on_load_; }
+
   /// Resets the core and runs from `entry` until ecall. Throws if the
   /// instruction budget is exhausted (runaway program).
   RunResult run(std::uint32_t entry, std::uint64_t max_instructions = 200'000'000);
@@ -38,6 +46,7 @@ class Machine {
  private:
   Memory mem_;
   Core core_;
+  bool verify_on_load_ = false;
 };
 
 }  // namespace iw::rv

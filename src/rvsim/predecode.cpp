@@ -78,6 +78,11 @@ void collect_reads(const Decoded& d, std::int16_t out[3]) {
 
 }  // namespace
 
+std::string unsupported_instruction_message(const std::string& profile_name,
+                                            std::uint32_t pc, const Decoded& d) {
+  return profile_name + ": unsupported instruction at " + describe_instruction(pc, d);
+}
+
 DecodeCache::DecodeCache(const TimingProfile& profile, Memory& memory)
     : profile_(profile),
       mem_(memory),
@@ -88,8 +93,8 @@ DecodeCache::DecodeCache(const TimingProfile& profile, Memory& memory)
 
 DecodeCache::~DecodeCache() { mem_.remove_write_observer(this); }
 
-void DecodeCache::raise_unsupported(const DecodedEx& e) const {
-  fail("Core(" + profile_.name + "): unsupported instruction " + mnemonic(e.d.op));
+void DecodeCache::raise_unsupported(const DecodedEx& e, std::uint32_t pc) const {
+  fail(unsupported_instruction_message(profile_.name, pc, e.d));
 }
 
 void DecodeCache::invalidate_all() {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "rvsim/isa.hpp"
@@ -22,6 +23,13 @@
 #include "rvsim/timing.hpp"
 
 namespace iw::rv {
+
+/// The unsupported-instruction error text, e.g.
+/// "ibex: unsupported instruction at pc=0x00000040: p.lw t0, 4(a1!)".
+/// Shared by the dynamic path (DecodeCache::raise_unsupported) and the static
+/// analyzer so both report a faulting word identically.
+std::string unsupported_instruction_message(const std::string& profile_name,
+                                            std::uint32_t pc, const Decoded& d);
 
 /// One pre-decoded instruction: the Decoded fields fused with everything the
 /// per-step hot path would otherwise recompute.
@@ -69,8 +77,9 @@ class DecodeCache final : public Memory::WriteObserver {
     return e;
   }
 
-  /// Throws the profile's unsupported-instruction error for `e`.
-  [[noreturn]] void raise_unsupported(const DecodedEx& e) const;
+  /// Throws the profile's unsupported-instruction error for `e`, naming the
+  /// faulting pc and disassembled instruction.
+  [[noreturn]] void raise_unsupported(const DecodedEx& e, std::uint32_t pc) const;
 
   /// Drops every cached record (they re-decode lazily).
   void invalidate_all();

@@ -1,0 +1,31 @@
+#include "rvsim/verify_hook.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace iw::rv {
+
+namespace {
+std::atomic<ProgramVerifier> g_verifier{nullptr};
+}  // namespace
+
+void set_program_verifier(ProgramVerifier verifier) {
+  g_verifier.store(verifier, std::memory_order_release);
+}
+
+ProgramVerifier program_verifier() {
+  return g_verifier.load(std::memory_order_acquire);
+}
+
+void run_program_verifier(Memory& mem, std::uint32_t entry,
+                          const TimingProfile& profile) {
+  const ProgramVerifier verifier = program_verifier();
+  if (verifier == nullptr) {
+    fail("verify_on_load: no program verifier installed (link iw_rvsim_analysis "
+         "and call analysis::install_load_verifier())");
+  }
+  verifier(mem, entry, profile);
+}
+
+}  // namespace iw::rv

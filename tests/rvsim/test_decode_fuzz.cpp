@@ -1,12 +1,20 @@
 // Decoder fuzzing: for random 32-bit words, decode() either rejects the word
 // or produces a Decoded whose re-encoding decodes to the same thing
 // (idempotence after one canonicalization step). Also checks that every
-// legal decode produces a printable disassembly.
+// legal decode produces a printable disassembly, and that the static
+// analyzer's ISA verdict for a word agrees with what Core::step actually
+// raises when executing it.
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "rvsim/analysis/analysis.hpp"
+#include "rvsim/core.hpp"
 #include "rvsim/encoding.hpp"
+#include "rvsim/memory.hpp"
+#include "rvsim/timing.hpp"
 
 namespace iw::rv {
 namespace {
@@ -53,6 +61,74 @@ TEST(DecodeFuzz, LegalDecodesDisassemble) {
     } catch (const Error&) {
       // rejected: fine
     }
+  }
+}
+
+// Analyzer/simulator agreement: for random words placed at the entry point,
+// the analyzer's static ISA verdict (illegal-word or unsupported-instruction
+// diagnostic at pc 0) must match whether Core::step throws the profile's
+// decode/unsupported error when executing that word. Other diagnostic kinds
+// (wild branch targets, statically-known bad accesses, hwloop shape) are
+// excluded on both sides: a single step never reaches them, and runtime
+// memory faults are not ISA verdicts.
+TEST(DecodeFuzz, AnalyzerAgreesWithCoreOnIsaSupport) {
+  Decoded halt{};
+  halt.op = Op::kEcall;
+  const std::uint32_t ecall_word = encode(halt);
+  constexpr std::size_t kMem = 4096;
+
+  iw::Rng rng(0xA11A);
+  for (const TimingProfile& profile : {cortex_m4f(), ibex(), ri5cy()}) {
+    Memory analyzer_mem(kMem);
+    Memory core_mem(kMem);
+    Core core(profile, core_mem);
+    int isa_rejected = 0;
+    int accepted = 0;
+    for (int trial = 0; trial < 12000; ++trial) {
+      const std::uint32_t word = static_cast<std::uint32_t>(rng.next());
+
+      // Dynamic side: execute the word once with every register pointing at
+      // a safe, aligned mid-image address so legal loads/stores succeed and
+      // any throw is attributable to the fetch/decode path.
+      core_mem.store32(0, word);
+      core_mem.store32(4, ecall_word);
+      core.reset(0, kMem / 2);
+      for (int r = 1; r < 32; ++r) core.set_reg(r, kMem / 2);
+      bool dynamic_reject = false;
+      try {
+        core.step();
+      } catch (const Error& e) {
+        const std::string msg = e.what();
+        dynamic_reject =
+            msg.find("unsupported instruction") != std::string::npos ||
+            msg.find("decode: illegal instruction word") != std::string::npos;
+      }
+
+      // Static side: only ISA-kind error diagnostics for the word itself.
+      analyzer_mem.store32(0, word);
+      analyzer_mem.store32(4, ecall_word);
+      const analysis::AnalysisReport report =
+          analysis::analyze(analyzer_mem, 0, profile);
+      bool static_reject = false;
+      for (const analysis::Diagnostic& d : report.diagnostics) {
+        if (d.pc != 0 || d.severity != analysis::Severity::kError) continue;
+        if (d.kind == analysis::DiagKind::kIllegalWord ||
+            d.kind == analysis::DiagKind::kUnsupportedInstruction) {
+          static_reject = true;
+        }
+      }
+
+      EXPECT_EQ(static_reject, dynamic_reject)
+          << profile.name << " word 0x" << std::hex << word;
+      if (dynamic_reject) {
+        ++isa_rejected;
+      } else {
+        ++accepted;
+      }
+    }
+    // The random stream must exercise both sides of the verdict.
+    EXPECT_GT(isa_rejected, 100) << profile.name;
+    EXPECT_GT(accepted, 100) << profile.name;
   }
 }
 
