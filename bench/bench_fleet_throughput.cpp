@@ -1,29 +1,55 @@
-// Fleet engine throughput: device-days/sec, fast path vs engine path, and
-// thread-scaling efficiency.
+// Fleet engine throughput: device-days/sec across the three day simulators,
+// and thread-scaling efficiency.
 //
-// Simulates a 1000-device fleet for one day, first with the discrete-event
-// engine per device-day (the oracle, replaying the pre-fast-path fleet loop
-// including its always-on trace recording), then with the allocation-free
-// fast-path segment integrator (the default), at 1/2/4/8 worker threads each.
-// Reports
-// device-days/sec, the fast-vs-engine speedup, and per-mode thread scaling;
-// cross-checks both determinism invariants (aggregate FleetStats byte-
-// identical at every thread count, and byte-identical between the two day
-// simulators). Results land in BENCH_fleet_throughput.json.
+// Simulates a 1000-device fleet for one day (override with `--devices N
+// --days N`), once per mode at 1/2/4/8 worker threads each:
+//   engine  discrete-event engine per device-day (the oracle, replaying the
+//           pre-fast-path fleet loop including its always-on trace recording)
+//   fast    allocation-free fast-path segment integrator, one device at a time
+//   cohort  structure-of-arrays cohort kernel (the default): each chunk of
+//           devices advances in lockstep, sharing segment tables, the
+//           detection-gate window and policy objects across the cohort
+// Reports device-days/sec, the fast-vs-engine and cohort-vs-fast speedups,
+// and per-mode thread scaling; cross-checks both determinism invariants
+// (aggregate FleetStats byte-identical at every thread count, and
+// byte-identical across all three day simulators). Results land in
+// BENCH_fleet_throughput.json.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 
 #include "fleet/fleet_engine.hpp"
 #include "report.hpp"
 
-int main() {
-  iw::bench::print_header("Fleet throughput (1000 devices x 1 day)");
+int main(int argc, char** argv) {
+  std::size_t devices = 1000;
+  int days = 1;
+  for (int i = 1; i < argc; ++i) {
+    const bool more = i + 1 < argc;
+    if (std::strcmp(argv[i], "--devices") == 0 && more) {
+      devices = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--days") == 0 && more) {
+      days = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--devices N] [--days N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (devices == 0 || days <= 0) {
+    std::fprintf(stderr, "need --devices >= 1 and --days >= 1\n");
+    return 2;
+  }
+
+  iw::bench::print_header("Fleet throughput (" + std::to_string(devices) +
+                          " devices x " + std::to_string(days) + " day" +
+                          (days == 1 ? "" : "s") + ")");
 
   iw::fleet::FleetConfig config;
-  config.num_devices = 1000;
+  config.num_devices = devices;
   config.fleet_seed = 2020;
-  config.days = 1;
+  config.days = days;
   config.chunk_size = 16;
 
   iw::bench::JsonReport json("BENCH_fleet_throughput.json");
@@ -35,14 +61,26 @@ int main() {
   std::printf("%8s %8s %16s %10s %12s\n", "path", "threads", "dev-days/sec",
               "speedup", "efficiency");
 
+  struct Mode {
+    const char* name;
+    bool fast_day;
+    bool cohort_day;
+  };
+  // `fast` pins cohort_day off to isolate the per-device scalar baseline;
+  // `cohort` is the shipping default (both flags on).
+  constexpr Mode kModes[] = {{"engine", false, false},
+                             {"fast", true, false},
+                             {"cohort", true, true}};
+
   bool deterministic = true;
   std::string reference;  // t1 engine-path serialization: the oracle
   double engine_t1_ddps = 0.0;
   double fast_t1_ddps = 0.0;
+  double cohort_t1_ddps = 0.0;
   iw::fleet::FleetStats::Summary summary;
-  for (const bool fast_day : {false, true}) {
-    config.fast_day = fast_day;
-    const char* mode = fast_day ? "fast" : "engine";
+  for (const Mode& mode : kModes) {
+    config.fast_day = mode.fast_day;
+    config.cohort_day = mode.cohort_day;
     double base_ddps = 0.0;
     for (int threads : {1, 2, 4, 8}) {
       config.threads = threads;
@@ -56,15 +94,22 @@ int main() {
       }
       if (threads == 1) {
         base_ddps = result.device_days_per_sec;
-        (fast_day ? fast_t1_ddps : engine_t1_ddps) = result.device_days_per_sec;
+        if (mode.cohort_day) {
+          cohort_t1_ddps = result.device_days_per_sec;
+        } else if (mode.fast_day) {
+          fast_t1_ddps = result.device_days_per_sec;
+        } else {
+          engine_t1_ddps = result.device_days_per_sec;
+        }
       }
       const double speedup =
           base_ddps > 0.0 ? result.device_days_per_sec / base_ddps : 0.0;
       const double efficiency = speedup / threads;
-      std::printf("%8s %8d %16.1f %9.2fx %11.1f%%\n", mode, threads,
+      std::printf("%8s %8d %16.1f %9.2fx %11.1f%%\n", mode.name, threads,
                   result.device_days_per_sec, speedup, 100.0 * efficiency);
 
-      const std::string prefix = std::string(mode) + "_t" + std::to_string(threads);
+      const std::string prefix =
+          std::string(mode.name) + "_t" + std::to_string(threads);
       json.add(prefix + "_device_days_per_sec", result.device_days_per_sec);
       json.add(prefix + "_wall_s", result.wall_s);
       json.add(prefix + "_speedup", speedup);
@@ -74,8 +119,13 @@ int main() {
 
   const double fast_speedup =
       engine_t1_ddps > 0.0 ? fast_t1_ddps / engine_t1_ddps : 0.0;
+  const double cohort_speedup =
+      fast_t1_ddps > 0.0 ? cohort_t1_ddps / fast_t1_ddps : 0.0;
   std::printf("\n  fast path vs engine path (1 thread): %.2fx\n", fast_speedup);
+  std::printf("  cohort kernel vs fast path (1 thread): %.2fx\n",
+              cohort_speedup);
   json.add("fast_vs_engine_speedup_t1", fast_speedup);
+  json.add("cohort_vs_fast_speedup_t1", cohort_speedup);
   json.add("deterministic_across_threads_and_paths", deterministic ? 1.0 : 0.0);
   json.add("fleet_completed_detections",
            static_cast<double>(summary.detections_completed));
@@ -84,8 +134,8 @@ int main() {
 
   iw::bench::print_note(
       deterministic
-          ? "aggregate FleetStats byte-identical across thread counts and both day "
-            "simulators"
+          ? "aggregate FleetStats byte-identical across thread counts and all "
+            "three day simulators"
           : "DETERMINISM VIOLATION: stats differ across thread counts or paths");
   iw::bench::print_note("speedup is bounded by the host's available cores (" +
                         std::to_string(std::thread::hardware_concurrency()) +

@@ -31,24 +31,32 @@ echo
 echo "== UBSan pass (platform + fleet suites) =="
 cmake -B build-ubsan -S . -DIW_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)" \
-  --target test_platform test_fast_day test_fleet
+  --target test_platform test_fast_day test_cohort_day test_fleet test_fleet_cohort
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_platform
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fast_day
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_cohort_day
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fleet
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_fleet_cohort
 echo
 echo "== TSan pass (fleet + platform suites) =="
 cmake -B build-tsan -S . -DIW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" \
-  --target test_platform test_fast_day test_fleet
+  --target test_platform test_fast_day test_cohort_day test_fleet test_fleet_cohort
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_fleet
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_fleet_cohort
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_platform
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_fast_day
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_cohort_day
 
 echo
 echo "check.sh: all green"

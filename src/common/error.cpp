@@ -4,8 +4,4 @@ namespace iw {
 
 void fail(std::string_view message) { throw Error(std::string(message)); }
 
-void ensure(bool condition, std::string_view message) {
-  if (!condition) fail(message);
-}
-
 }  // namespace iw

@@ -22,6 +22,11 @@ class Error : public std::runtime_error {
 [[noreturn]] void fail(std::string_view message);
 
 /// Precondition/invariant check: throws iw::Error when `condition` is false.
-void ensure(bool condition, std::string_view message);
+/// Inline so that hot loops (the battery ops and the day kernel run it tens of
+/// thousands of times per simulated device-day) pay one predicted branch, not
+/// an out-of-line call.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) [[unlikely]] fail(message);
+}
 
 }  // namespace iw

@@ -1,0 +1,102 @@
+// Fleet driver for the structure-of-arrays cohort day kernel.
+//
+// Where the per-device loop (DeviceInstance) simulates one device to
+// completion before touching the next, the cohort runner advances a whole
+// chunk of devices one day at a time through platform::CohortDayState — so
+// segment tables, the detection-gate window and the policy objects are
+// shared across the cohort, and every device's classification windows for a
+// day land in one cross-device FixedBatch::classify call.
+//
+// Bit-exactness contract: per device, identical bits to DeviceInstance on
+// the same scenario. The pieces that make that hold:
+//   * the cohort kernel is bit-identical to the scalar fast path per lane
+//     (tests/platform/test_cohort_day.cpp),
+//   * the outcome fold and the pick-drawing RNG consumption are the exact
+//     functions DeviceInstance uses (device_instance.cpp),
+//   * each device's RNG draw order is preserved — lux factor for day d, then
+//     that day's picks, then day d+1 — because days are staged in that order
+//     per lane, and lanes' streams are independent,
+//   * batch classification is bit-exact per row regardless of what else
+//     shares the batch, so pooling rows across devices changes nothing.
+//
+// One runner per worker thread (its buffers and caches are reused across
+// chunks and are not thread-safe).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/app.hpp"
+#include "fleet/device_instance.hpp"
+#include "fleet/fleet_stats.hpp"
+#include "fleet/scenario.hpp"
+#include "nn/batch.hpp"
+#include "platform/cohort_day.hpp"
+
+namespace iw::fleet {
+
+class CohortRunner {
+ public:
+  /// `app` may be null (energy/duty-cycle simulation only); when set it must
+  /// outlive the runner. `batch` optionally supplies the worker's shared
+  /// batch workspace (lazily built when null and batching is on).
+  explicit CohortRunner(const core::StressDetectionApp* app = nullptr,
+                        nn::FixedBatch* batch = nullptr,
+                        bool batched_classification = true);
+
+  /// Simulates every scenario for its full day count (all lanes advance in
+  /// lockstep, day by day) and adds each device's outcome to `stats` in
+  /// scenario order.
+  void run(std::span<const Scenario> scenarios, FleetStats& stats);
+
+ private:
+  const platform::DetectionPolicy* policy_for(const Scenario& scenario);
+  void classify_staged();
+
+  const core::StressDetectionApp* app_;
+  nn::FixedBatch* batch_ = nullptr;
+  std::unique_ptr<nn::FixedBatch> owned_batch_;
+  bool use_batching_ = true;
+
+  /// Every device uses the same calibrated physics, so sharing one instance
+  /// is bit-identical to each device fitting its own.
+  hv::DualSourceHarvester harvester_ = hv::DualSourceHarvester::calibrated();
+  platform::CohortDayState cohort_;
+
+  /// Scheduling policies, pooled by (kind, period): make_policy derives its
+  /// parameters from nothing else, and the policies are stateless const
+  /// objects, so lanes sharing one is bit-identical to each owning one.
+  struct PooledPolicy {
+    PolicyKind kind;
+    double period_s;
+    std::unique_ptr<platform::DetectionPolicy> policy;
+  };
+  std::vector<PooledPolicy> policies_;
+
+  std::array<std::vector<std::size_t>, 3> windows_by_level_;
+
+  // Per-lane state, parallel to the scenario span; buffers reused across runs.
+  std::vector<Rng> rngs_;
+  std::vector<hv::DayProfile> base_profiles_;
+  std::vector<hv::DayProfile> scaled_profiles_;
+  std::vector<platform::DeviceConfig> configs_;
+  std::vector<platform::DaySimulationResult> results_;
+  std::vector<const platform::DetectionPolicy*> lane_policy_;
+  std::vector<DeviceOutcome> outcomes_;
+  std::vector<double> socs_;
+  std::vector<platform::CohortMember> members_;
+  std::vector<std::size_t> active_;
+
+  // Cross-device per-day classification staging.
+  std::vector<std::size_t> lane_picks_;
+  std::vector<std::size_t> picks_;
+  std::vector<std::size_t> pick_lane_;
+  std::vector<const float*> rows_;
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace iw::fleet

@@ -20,6 +20,67 @@ constexpr std::uint64_t kMaxClassifiedPerDay = 8;
 
 }  // namespace
 
+void accumulate_day_outcome(DeviceOutcome& outcome,
+                            const platform::DaySimulationResult& day,
+                            int days_run) {
+  outcome.days_run = days_run;
+  outcome.detections_attempted += day.detections_attempted;
+  outcome.detections_completed += day.detections_completed;
+  outcome.detections_skipped += day.detections_skipped;
+  outcome.harvested_j += day.harvested_j;
+  outcome.consumed_j += day.consumed_j;
+  outcome.final_soc = day.final_soc;
+  outcome.min_soc = std::min({outcome.min_soc, day.final_soc, day.min_soc});
+
+  const double minutes = days_run * 24.0 * 60.0;
+  outcome.detections_per_min =
+      static_cast<double>(outcome.detections_completed) / minutes;
+  outcome.mean_intake_w = outcome.harvested_j / (minutes * 60.0);
+  // "Wear and forget": never dipped near empty, and the harvest covered the
+  // workload (no skips, battery no worse than it started).
+  outcome.self_sustaining = outcome.min_soc > 0.05 &&
+                            outcome.final_soc >= outcome.initial_soc - 0.01 &&
+                            outcome.detections_skipped == 0;
+}
+
+void build_windows_by_level(const core::StressDetectionApp& app,
+                            std::array<std::vector<std::size_t>, 3>& buckets) {
+  for (std::vector<std::size_t>& bucket : buckets) bucket.clear();
+  const nn::Dataset& test = app.test_set();
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const std::size_t label = nn::argmax(std::span<const float>(test.targets[i]));
+    if (label < buckets.size()) buckets[label].push_back(i);
+  }
+}
+
+void draw_day_picks(Rng& rng, const Scenario& scenario,
+                    const std::array<std::vector<std::size_t>, 3>& buckets,
+                    std::uint64_t completed_today,
+                    std::vector<std::size_t>& picks) {
+  picks.clear();
+  const std::uint64_t n = std::min(completed_today, kMaxClassifiedPerDay);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Sample the wearer's true stress level for this window...
+    const double u = rng.uniform();
+    std::size_t level = u < scenario.stress_mix[0]                           ? 0
+                        : u < scenario.stress_mix[0] + scenario.stress_mix[1] ? 1
+                                                                              : 2;
+    // ...fall back to any non-empty bucket if the app's test split happens to
+    // lack that label entirely.
+    if (buckets[level].empty()) {
+      for (std::size_t l = 0; l < buckets.size(); ++l) {
+        if (!buckets[l].empty()) {
+          level = l;
+          break;
+        }
+      }
+      if (buckets[level].empty()) break;  // app has no test windows
+    }
+    const std::vector<std::size_t>& bucket = buckets[level];
+    picks.push_back(bucket[rng.uniform_int(bucket.size())]);
+  }
+}
+
 DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp* app,
                                nn::FixedBatch* batch, DeviceScratch* scratch)
     : scenario_(scenario),
@@ -50,11 +111,7 @@ DeviceInstance::DeviceInstance(Scenario scenario, const core::StressDetectionApp
   if (app_ != nullptr) {
     // Bucket the shared app's test windows by true label once; detection
     // windows are drawn from the wearer's stress mix out of these buckets.
-    const nn::Dataset& test = app_->test_set();
-    for (std::size_t i = 0; i < test.size(); ++i) {
-      const std::size_t label = nn::argmax(std::span<const float>(test.targets[i]));
-      if (label < windows_by_level_.size()) windows_by_level_[label].push_back(i);
-    }
+    build_windows_by_level(*app_, windows_by_level_);
     picks_.reserve(kMaxClassifiedPerDay);
     rows_.reserve(kMaxClassifiedPerDay);
     labels_.reserve(kMaxClassifiedPerDay);
@@ -84,26 +141,7 @@ bool DeviceInstance::step_day() {
 
   ++day_;
   soc_ = day.final_soc;
-
-  outcome_.days_run = day_;
-  outcome_.detections_attempted += day.detections_attempted;
-  outcome_.detections_completed += day.detections_completed;
-  outcome_.detections_skipped += day.detections_skipped;
-  outcome_.harvested_j += day.harvested_j;
-  outcome_.consumed_j += day.consumed_j;
-  outcome_.final_soc = day.final_soc;
-  outcome_.min_soc = std::min({outcome_.min_soc, day.final_soc, day.min_soc});
-
-  const double minutes = day_ * 24.0 * 60.0;
-  outcome_.detections_per_min =
-      static_cast<double>(outcome_.detections_completed) / minutes;
-  outcome_.mean_intake_w = outcome_.harvested_j / (minutes * 60.0);
-  // "Wear and forget": never dipped near empty, and the harvest covered the
-  // workload (no skips, battery no worse than it started).
-  outcome_.self_sustaining = outcome_.min_soc > 0.05 &&
-                             outcome_.final_soc >= outcome_.initial_soc - 0.01 &&
-                             outcome_.detections_skipped == 0;
-
+  accumulate_day_outcome(outcome_, day, day_);
   classify_windows(day.detections_completed);
   return !done();
 }
@@ -115,30 +153,9 @@ void DeviceInstance::run() {
 
 void DeviceInstance::classify_windows(std::uint64_t completed_today) {
   if (app_ == nullptr) return;
-  const std::uint64_t n = std::min(completed_today, kMaxClassifiedPerDay);
   // Draw the day's windows first (the RNG sequence is part of the fleet
   // determinism contract and must not depend on how they are classified)...
-  picks_.clear();
-  for (std::uint64_t i = 0; i < n; ++i) {
-    // Sample the wearer's true stress level for this window...
-    const double u = rng_.uniform();
-    std::size_t level = u < scenario_.stress_mix[0]                           ? 0
-                        : u < scenario_.stress_mix[0] + scenario_.stress_mix[1] ? 1
-                                                                                : 2;
-    // ...fall back to any non-empty bucket if the app's test split happens to
-    // lack that label entirely.
-    if (windows_by_level_[level].empty()) {
-      for (std::size_t l = 0; l < windows_by_level_.size(); ++l) {
-        if (!windows_by_level_[l].empty()) {
-          level = l;
-          break;
-        }
-      }
-      if (windows_by_level_[level].empty()) break;  // app has no test windows
-    }
-    const std::vector<std::size_t>& bucket = windows_by_level_[level];
-    picks_.push_back(bucket[rng_.uniform_int(bucket.size())]);
-  }
+  draw_day_picks(rng_, scenario_, windows_by_level_, completed_today, picks_);
   if (picks_.empty()) return;
 
   // ...then classify them through the deployed fixed-point network, as the

@@ -51,6 +51,30 @@ struct DeviceOutcome {
   std::uint64_t classified = 0;
 };
 
+/// Folds one finished day into a device's running outcome: counters, energy
+/// totals, SoC extremes, and the derived per-minute rates / self-sustaining
+/// flag. Shared by the per-device loop (DeviceInstance) and the cohort runner
+/// so both paths perform the exact same floating-point fold in the same
+/// translation unit — part of the fleet's bit-exactness contract.
+void accumulate_day_outcome(DeviceOutcome& outcome,
+                            const platform::DaySimulationResult& day,
+                            int days_run);
+
+/// Buckets a shared app's test-set window indices by true label — the pool
+/// detection windows are drawn from. Pure function of the app's test split;
+/// the cohort runner computes it once per worker instead of once per device.
+void build_windows_by_level(const core::StressDetectionApp& app,
+                            std::array<std::vector<std::size_t>, 3>& buckets);
+
+/// Draws the day's classification window picks (capped) from the wearer's
+/// stress mix into `picks` (cleared first). This is the day's entire
+/// post-simulation RNG consumption, fixed here so the per-device stream stays
+/// identical no matter how (or whether) the picks are later classified.
+void draw_day_picks(Rng& rng, const Scenario& scenario,
+                    const std::array<std::vector<std::size_t>, 3>& buckets,
+                    std::uint64_t completed_today,
+                    std::vector<std::size_t>& picks);
+
 /// Reusable per-worker state for sequentially simulated devices. The fleet
 /// engine keeps one per worker thread so that building and lux-scaling a
 /// device's profile stops allocating after the first device, and so the

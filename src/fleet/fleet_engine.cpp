@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "fleet/cohort_runner.hpp"
 #include "fleet/device_instance.hpp"
 #include "nn/batch.hpp"
 
@@ -44,6 +45,30 @@ FleetResult FleetEngine::run() const {
       std::unique_ptr<nn::FixedBatch> batch;
       if (config_.app != nullptr && config_.batched_classification) {
         batch = std::make_unique<nn::FixedBatch>(config_.app->quantized());
+      }
+      if (config_.cohort_day && config_.fast_day) {
+        // Cohort mode: one chunk = one lockstep cohort. The runner's caches
+        // and buffers are per-worker scratch (results depend on nothing but
+        // the scenarios), so reuse across chunks keeps thread-count
+        // independence intact.
+        CohortRunner runner(config_.app, batch.get(),
+                            config_.batched_classification);
+        std::vector<Scenario> scenarios;
+        scenarios.reserve(chunk);
+        while (true) {
+          const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+          if (c >= num_chunks || failed.load(std::memory_order_relaxed)) break;
+          const std::size_t begin = c * chunk;
+          const std::size_t end = std::min(begin + chunk, n);
+          scenarios.clear();
+          for (std::size_t id = begin; id < end; ++id) {
+            Scenario scenario = sample_scenario(config_.fleet_seed, id);
+            scenario.days = config_.days;
+            scenarios.push_back(scenario);
+          }
+          runner.run(scenarios, shards[c]);
+        }
+        return;
       }
       // Per-worker day-profile buffers: devices run strictly one after
       // another on a worker, so they can share the scratch, and profile

@@ -46,6 +46,16 @@ struct FleetConfig {
   /// always-on trace recording), kept as the oracle for regression tests and
   /// as the baseline for the throughput benchmark.
   bool fast_day = true;
+  /// Advance each chunk of devices as one lockstep cohort through the
+  /// structure-of-arrays day kernel (platform/cohort_day.hpp): segment
+  /// tables, the detection-gate window and policy objects are shared across
+  /// the cohort, and each cohort-day's window classifications go through one
+  /// cross-device batch. Bit-exact with the per-device loop, so results do
+  /// not change — only throughput. Only applies when `fast_day` is on
+  /// (turning fast_day off selects the engine oracle regardless); off falls
+  /// back to the per-device scalar fast path, kept for regression tests and
+  /// as the baseline for the cohort throughput benchmark.
+  bool cohort_day = true;
 };
 
 struct FleetResult {

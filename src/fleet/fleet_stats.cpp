@@ -8,10 +8,12 @@
 namespace iw::fleet {
 namespace {
 
-FleetStats::Percentiles percentiles_of(std::vector<double> values) {
+// Sorts in place: callers hand over scratch vectors they no longer need, so
+// computing five percentiles costs one sort and zero copies (the generic
+// stats::percentile() would copy + sort per call).
+FleetStats::Percentiles percentiles_of(std::vector<double>& values) {
   FleetStats::Percentiles p;
   if (values.empty()) return p;
-  // percentile() copies + sorts internally; sort once here instead and reuse.
   std::sort(values.begin(), values.end());
   const auto at = [&](double q) {
     const double pos = q / 100.0 * static_cast<double>(values.size() - 1);
@@ -56,6 +58,10 @@ void append_percentiles(std::string& out, const char* key,
 void FleetStats::add(const DeviceOutcome& outcome) { outcomes_.push_back(outcome); }
 
 void FleetStats::merge(const FleetStats& other) {
+  // Reserve up front: the engine folds hundreds of shards into one aggregate,
+  // and growing geometrically through that reduction re-copies the accumulated
+  // table log-many times.
+  outcomes_.reserve(outcomes_.size() + other.outcomes_.size());
   outcomes_.insert(outcomes_.end(), other.outcomes_.begin(), other.outcomes_.end());
 }
 
@@ -68,9 +74,10 @@ std::vector<DeviceOutcome> FleetStats::outcome_table() const {
   return table;
 }
 
-FleetStats::Summary FleetStats::summarize() const {
-  Summary s;
-  const std::vector<DeviceOutcome> table = outcome_table();
+namespace {
+
+FleetStats::Summary summarize_table(const std::vector<DeviceOutcome>& table) {
+  FleetStats::Summary s;
   s.devices = table.size();
 
   std::vector<double> final_soc, min_soc, dpm, intake_uw;
@@ -105,15 +112,24 @@ FleetStats::Summary FleetStats::summarize() const {
     s.fraction_self_sustaining =
         static_cast<double>(self_sustaining) / static_cast<double>(table.size());
   }
-  s.final_soc = percentiles_of(std::move(final_soc));
-  s.min_soc = percentiles_of(std::move(min_soc));
-  s.detections_per_min = percentiles_of(std::move(dpm));
-  s.intake_uw = percentiles_of(std::move(intake_uw));
+  s.final_soc = percentiles_of(final_soc);
+  s.min_soc = percentiles_of(min_soc);
+  s.detections_per_min = percentiles_of(dpm);
+  s.intake_uw = percentiles_of(intake_uw);
   return s;
 }
 
+}  // namespace
+
+FleetStats::Summary FleetStats::summarize() const {
+  return summarize_table(outcome_table());
+}
+
 std::string FleetStats::serialize() const {
-  const Summary s = summarize();
+  // One sorted table pass serves both the summary and the per-device rows
+  // (summarize() + the row loop used to each sort their own copy).
+  const std::vector<DeviceOutcome> table = outcome_table();
+  const Summary s = summarize_table(table);
   std::string out = "fleet";
   append_u(out, "devices", s.devices);
   append_u(out, "attempted", s.detections_attempted);
@@ -132,7 +148,7 @@ std::string FleetStats::serialize() const {
   append_percentiles(out, "intake_uw", s.intake_uw);
   out += '\n';
 
-  for (const DeviceOutcome& d : outcome_table()) {
+  for (const DeviceOutcome& d : table) {
     char buf[512];
     std::snprintf(
         buf, sizeof buf,

@@ -12,66 +12,104 @@
 namespace iw::platform {
 
 const hv::Environment& environment_at(const hv::DayProfile& profile, double t) {
-  ensure(!profile.empty(), "environment_at: empty profile");
-  const double total = hv::profile_duration_s(profile);
-  ensure(total > 0.0, "environment_at: zero-length profile");
-  double local = std::fmod(t, total);
-  for (const hv::EnvironmentSegment& seg : profile) {
-    if (local < seg.duration_s) return seg.env;
-    local -= seg.duration_s;
-  }
-  return profile.back().env;
+  return profile[detail::segment_index_at(profile, t)].env;
 }
 
 namespace detail {
 
-DayState::DayState(const DeviceConfig& config_in,
-                   const hv::DualSourceHarvester& harvester_in,
-                   const hv::DayProfile& profile_in, DaySimulationResult& result_in)
-    : config(config_in),
-      harvester(harvester_in),
-      profile(profile_in),
-      battery(config_in.battery, config_in.initial_soc),
-      result(result_in) {
-  ensure(config.detection_period_s > 0.0, "simulate_day: bad detection period");
-  ensure(config.harvest_tick_s > 0.0, "simulate_day: bad harvest tick");
-  horizon = hv::profile_duration_s(profile);
-  result.initial_soc = config.initial_soc;
-  result.min_soc = config.initial_soc;
-  cached_env = &environment_at(profile, 0.0);
-  cached_intake_w = harvester.intake_w(*cached_env);
-  smoothed_intake_w = cached_intake_w;
+std::size_t segment_index_at(const hv::DayProfile& profile, double t) {
+  ensure(!profile.empty(), "environment_at: empty profile");
+  const double total = hv::profile_duration_s(profile);
+  ensure(total > 0.0, "environment_at: zero-length profile");
+  double local = std::fmod(t, total);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (local < profile[i].duration_s) return i;
+    local -= profile[i].duration_s;
+  }
+  return profile.size() - 1;
+}
 
-  // Detection-gate window. stored_energy_j() midpoint-integrates the OCV
-  // curve, i.e. computes soc * capacity_c * mean(ocv) — a function whose
-  // exact value is strictly increasing in SoC with slope >= 3 V * capacity_c,
-  // while its floating-point rounding error is bounded by ~10^2 ulps of the
+DetectionGate compute_detection_gate(const pwr::LipoBattery::Params& battery,
+                                     double need_j) {
+  // stored_energy_j() midpoint-integrates the OCV curve, i.e. computes
+  // soc * capacity_c * mean(ocv) — a function whose exact value is strictly
+  // increasing in SoC with slope >= 3 V * capacity_c, while its
+  // floating-point rounding error is bounded by ~10^2 ulps of the
   // full-battery energy, many orders of magnitude below what a 1e-6 SoC step
   // moves it by. So after bisecting the crossing of `need_j` to ~1e-8, every
   // SoC more than 1e-6 above it provably clears the gate and every SoC more
   // than 1e-6 below provably fails it; only the window in between needs the
   // exact evaluation, keeping the gate bit-equivalent to evaluating
-  // stored_energy_j() at every attempt. Skipped (sentinels keep the exact
-  // evaluation) when the day schedules too few attempts to amortize the
-  // bisection's ~30 probe integrations.
-  detection_need_j = config.detection.total_j();
-  if (horizon / config.detection_period_s >= 64.0) {
-    const auto energy_at = [&](double soc) {
-      return pwr::LipoBattery(config.battery, soc).stored_energy_j();
-    };
-    if (energy_at(1.0) < detection_need_j) {
-      gate_lo_soc = gate_hi_soc = 2.0;  // soc < 2: never enough energy
-    } else if (energy_at(0.0) >= detection_need_j) {
-      gate_lo_soc = gate_hi_soc = -1.0;  // soc > -1: always enough
-    } else {
-      double lo = 0.0, hi = 1.0;
-      for (int i = 0; i < 27; ++i) {
-        const double mid = 0.5 * (lo + hi);
-        (energy_at(mid) >= detection_need_j ? hi : lo) = mid;
-      }
-      gate_lo_soc = lo - 1e-6;
-      gate_hi_soc = hi + 1e-6;
+  // stored_energy_j() at every attempt.
+  const auto energy_at = [&](double soc) {
+    return pwr::LipoBattery(battery, soc).stored_energy_j();
+  };
+  DetectionGate gate;
+  if (energy_at(1.0) < need_j) {
+    gate.lo_soc = gate.hi_soc = 2.0;  // soc < 2: never enough energy
+  } else if (energy_at(0.0) >= need_j) {
+    gate.lo_soc = gate.hi_soc = -1.0;  // soc > -1: always enough
+  } else {
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 27; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (energy_at(mid) >= need_j ? hi : lo) = mid;
     }
+    gate.lo_soc = lo - 1e-6;
+    gate.hi_soc = hi + 1e-6;
+  }
+  return gate;
+}
+
+const DetectionGate& DetectionGateCache::get(const pwr::LipoBattery::Params& battery,
+                                             double need_j) {
+  for (const Entry& e : entries_) {
+    if (e.capacity_mah == battery.capacity_mah &&
+        e.charge_efficiency == battery.charge_efficiency && e.need_j == need_j) {
+      return e.gate;
+    }
+  }
+  entries_.push_back(Entry{battery.capacity_mah, battery.charge_efficiency, need_j,
+                           compute_detection_gate(battery, need_j)});
+  return entries_.back().gate;
+}
+
+DayState::DayState(const DeviceConfig& config_in,
+                   const hv::DualSourceHarvester& harvester_in,
+                   const hv::DayProfile& profile_in, DaySimulationResult& result_in) {
+  init(config_in, harvester_in, profile_in, result_in);
+}
+
+void DayState::init(const DeviceConfig& config_in,
+                    const hv::DualSourceHarvester& harvester_in,
+                    const hv::DayProfile& profile_in, DaySimulationResult& result_in,
+                    DetectionGateCache* gate_cache) {
+  config = &config_in;
+  harvester = &harvester_in;
+  profile = &profile_in;
+  result = &result_in;
+  battery = pwr::LipoBattery(config_in.battery, config_in.initial_soc);
+  ensure(config->detection_period_s > 0.0, "simulate_day: bad detection period");
+  ensure(config->harvest_tick_s > 0.0, "simulate_day: bad harvest tick");
+  horizon = hv::profile_duration_s(*profile);
+  result->initial_soc = config->initial_soc;
+  result->min_soc = config->initial_soc;
+  cached_env = &environment_at(*profile, 0.0);
+  cached_intake_w = harvester->intake_w(*cached_env);
+  smoothed_intake_w = cached_intake_w;
+
+  // Detection-gate window: derived when the day schedules enough attempts to
+  // amortize the bisection's ~30 probe integrations, sentinels (exact
+  // evaluation per attempt) otherwise. With a cache the derivation itself is
+  // amortized across every day on the same battery spec and detection cost.
+  detection_need_j = config->detection.total_j();
+  detection_power_w = detection_need_j / config->detection.duration_s;
+  detection_complete_j = 0.95 * detection_need_j;
+  gate = DetectionGate{};
+  if (horizon / config->detection_period_s >= 64.0) {
+    gate = gate_cache != nullptr
+               ? gate_cache->get(config->battery, detection_need_j)
+               : compute_detection_gate(config->battery, detection_need_j);
   }
 }
 
@@ -79,44 +117,54 @@ void DayState::harvest_tick(double t) {
   // Sample conditions at the middle of the elapsed tick. Segments are
   // constant, so the harvester chain is only re-run when the returned
   // reference moves to a different segment of the profile.
-  const hv::Environment& env =
-      environment_at(profile, t - config.harvest_tick_s / 2.0);
+  harvest_tick_env(t, environment_at(*profile, t - config->harvest_tick_s / 2.0));
+}
+
+void DayState::harvest_tick_env(double t, const hv::Environment& env) {
   if (&env != cached_env) {
     cached_env = &env;
-    cached_intake_w = harvester.intake_w(env);
+    cached_intake_w = harvester->intake_w(env);
   }
   const double intake_w = cached_intake_w;
   smoothed_intake_w = 0.9 * smoothed_intake_w + 0.1 * intake_w;
-  result.harvested_j += battery.charge(intake_w, config.harvest_tick_s);
-  if (config.sleep_power_w > 0.0) {
-    result.consumed_j += battery.discharge(config.sleep_power_w, config.harvest_tick_s);
+  // charge() with zero power stores zero coulombs and returns +0.0, and
+  // harvested_j only ever accumulates non-negative values, so skipping the
+  // call on zero intake (night segments: a third of most days' ticks) leaves
+  // both the SoC and harvested_j bit-identical. A (invalid) negative intake
+  // still reaches charge() and throws exactly as before.
+  if (intake_w != 0.0) {
+    result->harvested_j += battery.charge(intake_w, config->harvest_tick_s);
   }
-  result.min_soc = std::min(result.min_soc, battery.soc());
-  if (config.record_trace) {
-    result.trace.record("intake_w", t, intake_w);
-    result.trace.record("soc", t, battery.soc());
+  if (config->sleep_power_w > 0.0) {
+    result->consumed_j +=
+        battery.discharge(config->sleep_power_w, config->harvest_tick_s);
+  }
+  result->min_soc = std::min(result->min_soc, battery.soc());
+  if (config->record_trace) {
+    result->trace.record("intake_w", t, intake_w);
+    result->trace.record("soc", t, battery.soc());
   }
 }
 
 bool DayState::attempt_detection(double t) {
-  ++result.detections_attempted;
+  ++result->detections_attempted;
   const double need_j = detection_need_j;
   const double soc = battery.soc();
-  const bool has_energy = soc > gate_hi_soc   ? true
-                          : soc < gate_lo_soc ? false
+  const bool has_energy = soc > gate.hi_soc   ? true
+                          : soc < gate.lo_soc ? false
                                               : battery.stored_energy_j() >= need_j;
   if (has_energy && !battery.empty()) {
-    const double power = need_j / config.detection.duration_s;
-    const double got = battery.discharge(power, config.detection.duration_s);
-    result.consumed_j += got;
-    if (got >= 0.95 * need_j) {
-      ++result.detections_completed;
-      if (config.record_trace) result.trace.record("detection", t, 1.0);
+    const double got =
+        battery.discharge(detection_power_w, config->detection.duration_s);
+    result->consumed_j += got;
+    if (got >= detection_complete_j) {
+      ++result->detections_completed;
+      if (config->record_trace) result->trace.record("detection", t, 1.0);
       return true;
     }
   }
-  ++result.detections_skipped;
-  if (config.record_trace) result.trace.record("detection", t, 0.0);
+  ++result->detections_skipped;
+  if (config->record_trace) result->trace.record("detection", t, 0.0);
   return false;
 }
 
@@ -127,11 +175,316 @@ double DayState::policy_interval(const DetectionPolicy& policy, double t) {
   state.detection_energy_j = detection_need_j;
   const double interval = policy.next_interval_s(state);
   ensure(interval > 0.0, "detection policy returned non-positive interval");
-  if (config.record_trace) result.trace.record("interval_s", t, interval);
+  if (config->record_trace) result->trace.record("interval_s", t, interval);
   return interval;
 }
 
-void DayState::finish() { result.final_soc = battery.soc(); }
+double DayState::policy_interval_fast(const PolicyEval& eval,
+                                      const DetectionPolicy& policy, double t) {
+  SchedulerState state;
+  state.soc = battery.soc();
+  state.recent_intake_w = smoothed_intake_w;
+  state.detection_energy_j = detection_need_j;
+  const double interval = policy_interval_s(eval, policy, state);
+  ensure(interval > 0.0, "detection policy returned non-positive interval");
+  if (config->record_trace) result->trace.record("interval_s", t, interval);
+  return interval;
+}
+
+void DayState::finish() { result->final_soc = battery.soc(); }
+
+namespace {
+
+/// Fires every detection of `lane` the engine would pop before a pending
+/// harvest event at (t, harvest_seq); with `harvest_pending` false (after the
+/// last tick) the stream just runs out to the horizon. Exactly the detection
+/// arm of fast_day.cpp's merge loop.
+inline void drain_detections(const CohortGroupRefs& refs, std::size_t lane,
+                             bool harvest_pending, double t) {
+  DayState& day = refs.lanes[lane];
+  const double horizon = day.horizon;
+  // Two-tier structure: the common case — nothing due before this tick —
+  // reads the lane's scheduling state and leaves without writing anything;
+  // only when at least one detection fires does the burst loop run, with the
+  // state held in registers until one writeback at the end (the hooks never
+  // touch these arrays).
+  if (refs.detect_alive[lane] == 0) return;
+  double detect_t = refs.detect_t[lane];
+  std::uint64_t detect_seq = refs.detect_seq[lane];
+  const std::uint64_t harvest_seq = refs.harvest_seq[lane];
+  if (!(detect_t <= horizon) ||
+      (harvest_pending && !(detect_t < t || (detect_t == t &&
+                                             detect_seq < harvest_seq)))) {
+    return;
+  }
+  std::uint64_t next_seq = refs.next_seq[lane];
+  std::uint8_t alive = 1;
+  do {
+    day.attempt_detection(detect_t);
+    if (refs.policies[lane] != nullptr) {
+      const double interval = day.policy_interval_fast(
+          refs.policy_evals[lane], *refs.policies[lane], detect_t);
+      if (detect_t + interval > horizon) alive = 0;
+      detect_seq = next_seq++;
+      detect_t += interval;
+    } else {
+      detect_seq = next_seq++;
+      detect_t += day.config->detection_period_s;
+    }
+  } while (alive != 0 && detect_t <= horizon &&
+           (!harvest_pending || detect_t < t ||
+            (detect_t == t && detect_seq < harvest_seq)));
+  refs.detect_t[lane] = detect_t;
+  refs.detect_seq[lane] = detect_seq;
+  refs.next_seq[lane] = next_seq;
+  refs.detect_alive[lane] = alive;
+}
+
+/// Register-resident whole-day loop for N lanes (the cohort kernel's hot
+/// path). All per-lane mutable state — SoC, the OCV at that SoC, the intake
+/// smoother, the result accumulators and the detection-stream clock — lives
+/// in locals for the entire day, so the serial dependence of each lane is a
+/// pure FP chain with no store-to-load round-trips, and the N lanes' chains
+/// (divides and OCV interpolations on SoC) overlap in the out-of-order core.
+///
+/// Bit-exactness: every arithmetic statement below is the same expression,
+/// in the same order, as the inline LipoBattery ops / DayState hooks it
+/// replaces — the hoisted per-lane constants are the exact values those ops
+/// recompute, and `v[i]` maintains the invariant v == lipo_ocv_at(soc)
+/// that the battery's voltage memo maintains. The two branches the scalar
+/// path takes that are *not* replicated are charge()'s zero-intake and
+/// pinned-full skips: both are proven no-op identities (see harvest loop
+/// comment), so running the arithmetic unconditionally produces the same
+/// bits. Lanes only qualify for this path when tracing is off and every
+/// possible charge/discharge input is non-negative (see cohort_day.cpp), so
+/// no ensure() the scalar ops would pass can fire differently here.
+template <int N>
+void run_cohort_reg_lanes(const CohortGroupRefs& refs, const std::size_t* ids) {
+  DayState* day[N];
+  const std::uint32_t* segs[N];
+  const double* intake[N];
+  const DetectionPolicy* pol[N];
+  PolicyEval pev[N];
+  // Hoisted constants — each the exact expression the per-op scalar code
+  // evaluates from the same operands.
+  double cap_c[N], eff[N], tick_s[N], sleep_w[N], det_pw[N], det_dur[N];
+  double need[N], complete[N], gate_lo[N], gate_hi[N], period[N];
+  bool has_sleep[N];
+  // Register-resident day state.
+  double soc[N], v[N], sm[N], min_soc[N], harvested[N], consumed[N];
+  double detect_t[N];
+  std::uint64_t attempted[N], completed[N], skipped[N];
+  std::uint64_t dseq[N], hseq[N], nseq[N];
+  std::uint8_t alive[N];
+
+  for (int i = 0; i < N; ++i) {
+    const std::size_t lane = ids[i];
+    day[i] = &refs.lanes[lane];
+    segs[i] = refs.seg_tables[lane];
+    intake[i] = refs.intake_tables[lane];
+    pol[i] = refs.policies[lane];
+    pev[i] = refs.policy_evals[lane];
+    const DeviceConfig& cfg = *day[i]->config;
+    cap_c[i] = units::mah_to_coulombs(cfg.battery.capacity_mah);
+    eff[i] = cfg.battery.charge_efficiency;
+    tick_s[i] = cfg.harvest_tick_s;
+    sleep_w[i] = cfg.sleep_power_w;
+    has_sleep[i] = cfg.sleep_power_w > 0.0;
+    det_pw[i] = day[i]->detection_power_w;
+    det_dur[i] = cfg.detection.duration_s;
+    need[i] = day[i]->detection_need_j;
+    complete[i] = day[i]->detection_complete_j;
+    gate_lo[i] = day[i]->gate.lo_soc;
+    gate_hi[i] = day[i]->gate.hi_soc;
+    period[i] = cfg.detection_period_s;
+    soc[i] = day[i]->battery.soc();
+    // The battery memo's first use would evaluate the OCV at exactly this
+    // SoC; evaluating it eagerly is the same pure function on the same input.
+    v[i] = pwr::detail::lipo_ocv_at(soc[i]);
+    sm[i] = day[i]->smoothed_intake_w;
+    const DaySimulationResult& r = *day[i]->result;
+    min_soc[i] = r.min_soc;
+    harvested[i] = r.harvested_j;
+    consumed[i] = r.consumed_j;
+    attempted[i] = r.detections_attempted;
+    completed[i] = r.detections_completed;
+    skipped[i] = r.detections_skipped;
+    detect_t[i] = refs.detect_t[lane];
+    dseq[i] = refs.detect_seq[lane];
+    hseq[i] = refs.harvest_seq[lane];
+    nseq[i] = refs.next_seq[lane];
+    alive[i] = refs.detect_alive[lane];
+  }
+  const double horizon = day[0]->horizon;  // group-shared by construction
+
+  // The detection arm of the merge loop on the register state — exactly
+  // drain_detections / DayState::attempt_detection with tracing known off.
+  const auto drain = [&](int i, bool pending, double t) {
+    if (alive[i] == 0) return;
+    if (!(detect_t[i] <= horizon) ||
+        (pending &&
+         !(detect_t[i] < t || (detect_t[i] == t && dseq[i] < hseq[i])))) {
+      return;
+    }
+    do {
+      ++attempted[i];
+      const double s = soc[i];
+      bool has_energy;
+      if (s > gate_hi[i]) {
+        has_energy = true;
+      } else if (s < gate_lo[i]) {
+        has_energy = false;
+      } else {
+        // Rare exact-gate window: push the register SoC into the lane's
+        // battery so stored_energy_j() stays the single shared definition.
+        day[i]->battery.restore_soc(s);
+        has_energy = day[i]->battery.stored_energy_j() >= need[i];
+      }
+      bool fired = false;
+      if (has_energy && !(s <= 0.0)) {
+        // battery.discharge(det_pw, det_dur) on registers.
+        const double current_a = det_pw[i] / v[i];
+        const double want_c = current_a * det_dur[i];
+        const double have_c = s * cap_c[i];
+        const double delta_c = std::min(want_c, have_c);
+        soc[i] = s - delta_c / cap_c[i];
+        v[i] = pwr::detail::lipo_ocv_at(soc[i]);
+        const double got = delta_c * v[i];
+        consumed[i] += got;
+        if (got >= complete[i]) {
+          ++completed[i];
+          fired = true;
+        }
+      }
+      if (!fired) ++skipped[i];
+      if (pol[i] != nullptr) {
+        SchedulerState state;
+        state.soc = soc[i];
+        state.recent_intake_w = sm[i];
+        state.detection_energy_j = need[i];
+        const double interval = policy_interval_s(pev[i], *pol[i], state);
+        ensure(interval > 0.0, "detection policy returned non-positive interval");
+        if (detect_t[i] + interval > horizon) alive[i] = 0;
+        dseq[i] = nseq[i]++;
+        detect_t[i] += interval;
+      } else {
+        dseq[i] = nseq[i]++;
+        detect_t[i] += period[i];
+      }
+    } while (alive[i] != 0 && detect_t[i] <= horizon &&
+             (!pending ||
+              detect_t[i] < t || (detect_t[i] == t && dseq[i] < hseq[i])));
+  };
+
+  for (std::size_t k = 0; k < refs.num_ticks; ++k) {
+    const double t = refs.times[k];
+    for (int i = 0; i < N; ++i) drain(i, /*pending=*/true, t);
+    for (int i = 0; i < N; ++i) {
+      // harvest_tick_env on registers; the intake comes from the shared
+      // per-segment table (the same pure evaluation as the scalar cache).
+      const double intake_w = intake[i][segs[i][k]];
+      sm[i] = 0.9 * sm[i] + 0.1 * intake_w;
+      // battery.charge(intake_w, tick) on registers, keeping the scalar
+      // path's two skips: zero intake (night segments — runs of hundreds of
+      // ticks, so the branch predicts) and the pinned-full fast path (bright
+      // days hold SoC at exactly 1.0 for hours). Both are also no-op
+      // identities of the arithmetic below, so this is purely a perf branch.
+      if (intake_w != 0.0 && soc[i] < 1.0) {
+        const double current_a = intake_w / v[i];
+        const double delta_c = current_a * tick_s[i] * eff[i];
+        const double s0 = soc[i];
+        const double new_soc = std::min(1.0, s0 + delta_c / cap_c[i]);
+        const double stored_c = (new_soc - s0) * cap_c[i];
+        soc[i] = new_soc;
+        v[i] = pwr::detail::lipo_ocv_at(new_soc);
+        harvested[i] += stored_c * v[i];
+      }
+      if (has_sleep[i]) {  // per-lane constant: predicted perfectly
+        // battery.discharge(sleep_w, tick) on registers.
+        const double cur = sleep_w[i] / v[i];
+        const double want_c = cur * tick_s[i];
+        const double have_c = soc[i] * cap_c[i];
+        const double delta = std::min(want_c, have_c);
+        soc[i] -= delta / cap_c[i];
+        v[i] = pwr::detail::lipo_ocv_at(soc[i]);
+        consumed[i] += delta * v[i];
+      }
+      min_soc[i] = std::min(min_soc[i], soc[i]);
+      hseq[i] = nseq[i]++;
+    }
+  }
+  for (int i = 0; i < N; ++i) drain(i, /*pending=*/false, 0.0);
+
+  for (int i = 0; i < N; ++i) {
+    const std::size_t lane = ids[i];
+    refs.detect_t[lane] = detect_t[i];
+    refs.detect_seq[lane] = dseq[i];
+    refs.harvest_seq[lane] = hseq[i];
+    refs.next_seq[lane] = nseq[i];
+    refs.detect_alive[lane] = alive[i];
+    day[i]->smoothed_intake_w = sm[i];
+    day[i]->battery.restore_soc(soc[i]);
+    DaySimulationResult& r = *day[i]->result;
+    r.harvested_j = harvested[i];
+    r.consumed_j = consumed[i];
+    r.min_soc = min_soc[i];
+    r.detections_attempted = attempted[i];
+    r.detections_completed = completed[i];
+    r.detections_skipped = skipped[i];
+    day[i]->finish();
+  }
+}
+
+}  // namespace
+
+void run_cohort_group(const CohortGroupRefs& refs) {
+  // Register-eligible prefix in pairs, each pair advancing a whole day: two
+  // lanes are enough to cover the FP latency chains (a wider block spills the
+  // register state back to the stack, forfeiting the point of the kernel).
+  std::size_t j = 0;
+  for (; j + 16 <= refs.num_reg_lanes; j += 16) {
+    run_cohort_reg_lanes<16>(refs, refs.lane_ids + j);
+  }
+  for (; j + 8 <= refs.num_reg_lanes; j += 8) {
+    run_cohort_reg_lanes<8>(refs, refs.lane_ids + j);
+  }
+  for (; j + 4 <= refs.num_reg_lanes; j += 4) {
+    run_cohort_reg_lanes<4>(refs, refs.lane_ids + j);
+  }
+  for (; j + 2 <= refs.num_reg_lanes; j += 2) {
+    run_cohort_reg_lanes<2>(refs, refs.lane_ids + j);
+  }
+  for (; j < refs.num_reg_lanes; ++j) {
+    run_cohort_reg_lanes<1>(refs, refs.lane_ids + j);
+  }
+  if (refs.num_reg_lanes == refs.num_lanes) return;
+
+  // General sweep for the rest (tracing lanes, invalid-sign inputs): the
+  // lockstep two-pass loop over the in-memory DayState hooks. Two passes per
+  // tick, not one fused loop: the drain pass is branchy (data-dependent loop
+  // trips, policy dispatch) while the tick pass is near-straight-line
+  // arithmetic, and separating them lets the out-of-order core overlap
+  // independent lanes' divide chains. Per lane the event order is untouched —
+  // all of a lane's due detections still fire before its tick at `t`.
+  const std::size_t n0 = refs.num_reg_lanes;
+  for (std::size_t k = 0; k < refs.num_ticks; ++k) {
+    const double t = refs.times[k];
+    for (std::size_t jj = n0; jj < refs.num_lanes; ++jj) {
+      drain_detections(refs, refs.lane_ids[jj], /*harvest_pending=*/true, t);
+    }
+    for (std::size_t jj = n0; jj < refs.num_lanes; ++jj) {
+      const std::size_t lane = refs.lane_ids[jj];
+      DayState& day = refs.lanes[lane];
+      day.harvest_tick_env(t, (*day.profile)[refs.seg_tables[lane][k]].env);
+      refs.harvest_seq[lane] = refs.next_seq[lane]++;
+    }
+  }
+  for (std::size_t jj = n0; jj < refs.num_lanes; ++jj) {
+    const std::size_t lane = refs.lane_ids[jj];
+    drain_detections(refs, lane, /*harvest_pending=*/false, 0.0);
+    refs.lanes[lane].finish();
+  }
+}
 
 }  // namespace detail
 

@@ -29,18 +29,11 @@ SocProportionalPolicy::SocProportionalPolicy(double min_per_min, double max_per_
 }
 
 double SocProportionalPolicy::next_interval_s(const SchedulerState& state) const {
-  double rate_per_min;
-  if (state.soc <= low_water_soc_) {
-    // Survival mode: one tenth of the minimum rate.
-    rate_per_min = 0.1 * min_per_min_;
-  } else if (state.soc >= high_water_soc_) {
-    rate_per_min = max_per_min_;
-  } else {
-    const double frac =
-        (state.soc - low_water_soc_) / (high_water_soc_ - low_water_soc_);
-    rate_per_min = min_per_min_ + frac * (max_per_min_ - min_per_min_);
-  }
-  return 60.0 / rate_per_min;
+  // Arithmetic lives in detail::soc_proportional_interval_s (scheduler.hpp)
+  // so the inline fast-dispatch path and this virtual path share one body.
+  return detail::soc_proportional_interval_s(min_per_min_, max_per_min_,
+                                             low_water_soc_, high_water_soc_,
+                                             state.soc);
 }
 
 EnergyNeutralPolicy::EnergyNeutralPolicy(double margin, double min_per_min,
@@ -56,16 +49,10 @@ EnergyNeutralPolicy::EnergyNeutralPolicy(double margin, double min_per_min,
 }
 
 double EnergyNeutralPolicy::next_interval_s(const SchedulerState& state) const {
-  ensure(state.detection_energy_j > 0.0,
-         "EnergyNeutralPolicy: detection energy must be positive");
-  // Sustainable rate from the smoothed intake.
-  double rate_per_min =
-      margin_ * state.recent_intake_w / state.detection_energy_j * 60.0;
-  // SoC correction: up to +/-50% depending on distance from the target.
-  const double soc_error = state.soc - target_soc_;
-  rate_per_min *= std::clamp(1.0 + soc_error, 0.5, 1.5);
-  rate_per_min = std::clamp(rate_per_min, min_per_min_, max_per_min_);
-  return 60.0 / rate_per_min;
+  // Arithmetic lives in detail::energy_neutral_interval_s (scheduler.hpp) so
+  // the inline fast-dispatch path and this virtual path share one body.
+  return detail::energy_neutral_interval_s(margin_, min_per_min_, max_per_min_,
+                                           target_soc_, state);
 }
 
 }  // namespace iw::platform

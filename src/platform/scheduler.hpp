@@ -9,8 +9,11 @@
 // interval.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
+
+#include "common/error.hpp"
 
 namespace iw::platform {
 
@@ -21,13 +24,92 @@ struct SchedulerState {
   double detection_energy_j = 0.0;   // cost of one detection
 };
 
+/// Closed-form snapshot of a built-in policy, for inline evaluation inside
+/// hot simulation loops (the cohort day kernel fires millions of detections;
+/// a virtual call per detection is measurable). `kOpaque` means "not a
+/// built-in — keep calling next_interval_s virtually"; custom policies never
+/// have to opt in, they just stay on the virtual path.
+struct PolicyEval {
+  enum class Kind { kOpaque, kFixedRate, kSocProportional, kEnergyNeutral };
+  Kind kind = Kind::kOpaque;
+  double a = 0.0, b = 0.0, c = 0.0, d = 0.0;  // meaning depends on kind
+};
+
+namespace detail {
+
+// The single definition of each built-in policy's arithmetic. Both the
+// virtual next_interval_s overrides (scheduler.cpp) and the inline fast
+// dispatch below call these, so the two paths cannot drift apart — they are
+// bit-identical by construction, not by discipline.
+
+inline double soc_proportional_interval_s(double min_per_min, double max_per_min,
+                                          double low_water_soc,
+                                          double high_water_soc, double soc) {
+  // Written as selects over unconditionally-computed arms (rather than an
+  // if/else chain) so the compiler can emit branchless code: which region a
+  // lane's SoC falls in is data-dependent, and in the cohort kernel's
+  // per-detection loop a mispredicted region branch flushes the independent
+  // work of neighbouring lanes. Every arm is pure, the thresholds guarantee
+  // low < high (no division hazard), and each select returns exactly the
+  // value the branching form computed in that region, so results are
+  // bit-identical.
+  const double frac = (soc - low_water_soc) / (high_water_soc - low_water_soc);
+  double rate_per_min = min_per_min + frac * (max_per_min - min_per_min);
+  // Survival mode below the low-water mark: one tenth of the minimum rate.
+  rate_per_min = soc <= low_water_soc ? 0.1 * min_per_min : rate_per_min;
+  rate_per_min = soc >= high_water_soc ? max_per_min : rate_per_min;
+  return 60.0 / rate_per_min;
+}
+
+inline double energy_neutral_interval_s(double margin, double min_per_min,
+                                        double max_per_min, double target_soc,
+                                        const SchedulerState& state) {
+  ensure(state.detection_energy_j > 0.0,
+         "EnergyNeutralPolicy: detection energy must be positive");
+  // Sustainable rate from the smoothed intake.
+  double rate_per_min =
+      margin * state.recent_intake_w / state.detection_energy_j * 60.0;
+  // SoC correction: up to +/-50% depending on distance from the target.
+  const double soc_error = state.soc - target_soc;
+  rate_per_min *= std::clamp(1.0 + soc_error, 0.5, 1.5);
+  rate_per_min = std::clamp(rate_per_min, min_per_min, max_per_min);
+  return 60.0 / rate_per_min;
+}
+
+}  // namespace detail
+
 /// Strategy interface: returns the time until the next detection attempt.
 class DetectionPolicy {
  public:
   virtual ~DetectionPolicy() = default;
   virtual std::string name() const = 0;
   virtual double next_interval_s(const SchedulerState& state) const = 0;
+  /// Built-in policies return their closed-form snapshot; the default keeps
+  /// custom policies on the virtual path (see PolicyEval).
+  virtual PolicyEval fast_eval() const { return PolicyEval{}; }
 };
+
+/// Evaluates a policy through its snapshot when it has one, falling back to
+/// the virtual call otherwise. Bit-identical to `policy.next_interval_s(state)`
+/// in every case: the snapshot arms run the same detail:: functions the
+/// virtual overrides run.
+inline double policy_interval_s(const PolicyEval& eval,
+                                const DetectionPolicy& policy,
+                                const SchedulerState& state) {
+  switch (eval.kind) {
+    case PolicyEval::Kind::kFixedRate:
+      return eval.a;
+    case PolicyEval::Kind::kSocProportional:
+      return detail::soc_proportional_interval_s(eval.a, eval.b, eval.c, eval.d,
+                                                 state.soc);
+    case PolicyEval::Kind::kEnergyNeutral:
+      return detail::energy_neutral_interval_s(eval.a, eval.b, eval.c, eval.d,
+                                               state);
+    case PolicyEval::Kind::kOpaque:
+      break;
+  }
+  return policy.next_interval_s(state);
+}
 
 /// Fixed-rate baseline: one detection every `period_s`, regardless of energy.
 class FixedRatePolicy final : public DetectionPolicy {
@@ -35,6 +117,9 @@ class FixedRatePolicy final : public DetectionPolicy {
   explicit FixedRatePolicy(double period_s);
   std::string name() const override { return "fixed-rate"; }
   double next_interval_s(const SchedulerState& state) const override;
+  PolicyEval fast_eval() const override {
+    return {PolicyEval::Kind::kFixedRate, period_s_, 0.0, 0.0, 0.0};
+  }
 
  private:
   double period_s_;
@@ -49,6 +134,10 @@ class SocProportionalPolicy final : public DetectionPolicy {
                         double low_water_soc = 0.15, double high_water_soc = 0.80);
   std::string name() const override { return "soc-proportional"; }
   double next_interval_s(const SchedulerState& state) const override;
+  PolicyEval fast_eval() const override {
+    return {PolicyEval::Kind::kSocProportional, min_per_min_, max_per_min_,
+            low_water_soc_, high_water_soc_};
+  }
 
  private:
   double min_per_min_, max_per_min_, low_water_soc_, high_water_soc_;
@@ -64,6 +153,10 @@ class EnergyNeutralPolicy final : public DetectionPolicy {
                       double max_per_min = 60.0, double target_soc = 0.5);
   std::string name() const override { return "energy-neutral"; }
   double next_interval_s(const SchedulerState& state) const override;
+  PolicyEval fast_eval() const override {
+    return {PolicyEval::Kind::kEnergyNeutral, margin_, min_per_min_,
+            max_per_min_, target_soc_};
+  }
 
  private:
   double margin_, min_per_min_, max_per_min_, target_soc_;

@@ -1,43 +1,9 @@
 #include "power/battery.hpp"
 
-#include <algorithm>
-#include <array>
-
 #include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace iw::pwr {
-
-namespace {
-
-struct OcvPoint {
-  double soc;
-  double voltage;
-};
-
-// Typical single-cell LiPo discharge curve.
-constexpr std::array<OcvPoint, 7> kOcvCurve{{{0.0, 3.00},
-                                             {0.10, 3.55},
-                                             {0.30, 3.65},
-                                             {0.50, 3.70},
-                                             {0.70, 3.80},
-                                             {0.90, 4.00},
-                                             {1.00, 4.20}}};
-
-double ocv_at(double soc) {
-  soc = std::clamp(soc, 0.0, 1.0);
-  for (std::size_t i = 1; i < kOcvCurve.size(); ++i) {
-    if (soc <= kOcvCurve[i].soc) {
-      const double frac =
-          (soc - kOcvCurve[i - 1].soc) / (kOcvCurve[i].soc - kOcvCurve[i - 1].soc);
-      return kOcvCurve[i - 1].voltage +
-             frac * (kOcvCurve[i].voltage - kOcvCurve[i - 1].voltage);
-    }
-  }
-  return kOcvCurve.back().voltage;
-}
-
-}  // namespace
 
 LipoBattery::LipoBattery(Params params, double initial_soc)
     : params_(params), soc_(initial_soc) {
@@ -47,16 +13,17 @@ LipoBattery::LipoBattery(Params params, double initial_soc)
   ensure(initial_soc >= 0.0 && initial_soc <= 1.0, "LipoBattery: bad initial SoC");
 }
 
-double LipoBattery::voltage_v() const { return ocv_at(soc_); }
-
 double LipoBattery::stored_energy_j() const {
-  // Integrate OCV over charge in small SoC steps.
+  // Integrate OCV over charge in small SoC steps. Stays out-of-line: its only
+  // hot callers are the detection-gate bisection (cached per battery spec)
+  // and attempts landing inside the gate window, so one instantiation keeps
+  // every caller — simulation drivers and tests alike — on identical code.
   const double capacity_c = units::mah_to_coulombs(params_.capacity_mah);
   double energy = 0.0;
   const int steps = 100;
   for (int i = 0; i < steps; ++i) {
     const double s = soc_ * (static_cast<double>(i) + 0.5) / steps;
-    energy += ocv_at(s) * capacity_c * soc_ / steps;
+    energy += detail::lipo_ocv_at(s) * capacity_c * soc_ / steps;
   }
   return energy;
 }
@@ -64,28 +31,6 @@ double LipoBattery::stored_energy_j() const {
 double LipoBattery::full_energy_j() const {
   LipoBattery full_copy(params_, 1.0);
   return full_copy.stored_energy_j();
-}
-
-double LipoBattery::charge(double power_w, double duration_s) {
-  ensure(power_w >= 0.0 && duration_s >= 0.0, "LipoBattery::charge: bad inputs");
-  const double capacity_c = units::mah_to_coulombs(params_.capacity_mah);
-  const double current_a = power_w / voltage_v();
-  const double delta_c = current_a * duration_s * params_.charge_efficiency;
-  const double new_soc = std::min(1.0, soc_ + delta_c / capacity_c);
-  const double stored_c = (new_soc - soc_) * capacity_c;
-  soc_ = new_soc;
-  return stored_c * voltage_v();
-}
-
-double LipoBattery::discharge(double power_w, double duration_s) {
-  ensure(power_w >= 0.0 && duration_s >= 0.0, "LipoBattery::discharge: bad inputs");
-  const double capacity_c = units::mah_to_coulombs(params_.capacity_mah);
-  const double current_a = power_w / voltage_v();
-  const double want_c = current_a * duration_s;
-  const double have_c = soc_ * capacity_c;
-  const double delta_c = std::min(want_c, have_c);
-  soc_ -= delta_c / capacity_c;
-  return delta_c * voltage_v();
 }
 
 void LipoBattery::age(double duration_s) {

@@ -4,9 +4,61 @@
 // tracks state of charge by coulomb counting, applies a charge efficiency,
 // and exposes an open-circuit-voltage curve so the fuel gauge has something
 // realistic to read.
+//
+// The per-operation hot path (voltage_v / charge / discharge) is defined
+// inline here so the day kernel's tick and detection sequences compile to
+// straight-line arithmetic. This does not weaken the simulator's single-
+// translation-unit bit-exactness policy: every simulation driver mutates
+// battery state exclusively through the DayState member functions in
+// device.cpp, so the inline bodies used by the simulation are instantiated
+// in that one TU — other TUs calling the battery directly (tests, examples)
+// get their own instantiations of the same single definition, which the
+// pinned bit-exactness suites hold to the same values.
 #pragma once
 
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
 namespace iw::pwr {
+
+namespace detail {
+
+struct OcvPoint {
+  double soc;
+  double voltage;
+};
+
+// Typical single-cell LiPo discharge curve.
+inline constexpr std::array<OcvPoint, 7> kOcvCurve{{{0.0, 3.00},
+                                                    {0.10, 3.55},
+                                                    {0.30, 3.65},
+                                                    {0.50, 3.70},
+                                                    {0.70, 3.80},
+                                                    {0.90, 4.00},
+                                                    {1.00, 4.20}}};
+
+inline double lipo_ocv_at(double soc) {
+  soc = std::clamp(soc, 0.0, 1.0);
+  // Branchless bracket selection: the index of the first curve point with
+  // soc <= point.soc is 1 + (number of interior points strictly below soc).
+  // Identical bracket — and therefore bit-identical interpolation — to the
+  // scan this replaces, without the data-dependent branches the day kernel's
+  // per-tick charge path kept mispredicting.
+  const std::size_t i = 1 + static_cast<std::size_t>(soc > kOcvCurve[1].soc) +
+                        static_cast<std::size_t>(soc > kOcvCurve[2].soc) +
+                        static_cast<std::size_t>(soc > kOcvCurve[3].soc) +
+                        static_cast<std::size_t>(soc > kOcvCurve[4].soc) +
+                        static_cast<std::size_t>(soc > kOcvCurve[5].soc);
+  const double frac =
+      (soc - kOcvCurve[i - 1].soc) / (kOcvCurve[i].soc - kOcvCurve[i - 1].soc);
+  return kOcvCurve[i - 1].voltage +
+         frac * (kOcvCurve[i].voltage - kOcvCurve[i - 1].voltage);
+}
+
+}  // namespace detail
 
 class LipoBattery {
  public:
@@ -23,8 +75,20 @@ class LipoBattery {
   double soc() const { return soc_; }
   /// Remaining charge in mAh.
   double charge_mah() const { return soc_ * params_.capacity_mah; }
+
   /// Open-circuit voltage from the SoC curve.
-  double voltage_v() const;
+  double voltage_v() const {
+    // charge()/discharge() evaluate the OCV at their entry SoC — exactly
+    // where the previous operation left the cell — so a one-entry memo halves
+    // the curve evaluations on the day kernel's tick/detection interleave.
+    // lipo_ocv_at is pure, so replaying the memoized value is bit-identical.
+    if (memo_valid_ && soc_ == memo_soc_) return memo_v_;
+    memo_soc_ = soc_;
+    memo_v_ = detail::lipo_ocv_at(soc_);
+    memo_valid_ = true;
+    return memo_v_;
+  }
+
   /// Stored energy estimate (integrates the OCV curve over charge).
   double stored_energy_j() const;
   /// Energy capacity when full.
@@ -35,11 +99,47 @@ class LipoBattery {
 
   /// Pushes charging power in for a duration; the charge efficiency is
   /// applied and SoC clamps at 1. Returns the energy actually stored.
-  double charge(double power_w, double duration_s);
+  double charge(double power_w, double duration_s) {
+    ensure(power_w >= 0.0 && duration_s >= 0.0, "LipoBattery::charge: bad inputs");
+    // Pinned-full fast path. With soc_ == 1 the general path computes
+    // new_soc = min(1, 1 + delta) = 1, stores (1 - 1) * capacity = 0 coulombs
+    // and returns 0 * voltage = +0.0 — the SoC and the return value are
+    // bit-identical to skipping the arithmetic, so skip it (bright days pin
+    // the cell at full for hours of ticks).
+    if (soc_ >= 1.0) return 0.0;
+    const double capacity_c = units::mah_to_coulombs(params_.capacity_mah);
+    const double current_a = power_w / voltage_v();
+    const double delta_c = current_a * duration_s * params_.charge_efficiency;
+    const double new_soc = std::min(1.0, soc_ + delta_c / capacity_c);
+    const double stored_c = (new_soc - soc_) * capacity_c;
+    soc_ = new_soc;
+    return stored_c * voltage_v();
+  }
 
   /// Draws load power for a duration. Returns the energy actually delivered
   /// (less than requested if the battery runs empty).
-  double discharge(double power_w, double duration_s);
+  double discharge(double power_w, double duration_s) {
+    ensure(power_w >= 0.0 && duration_s >= 0.0,
+           "LipoBattery::discharge: bad inputs");
+    const double capacity_c = units::mah_to_coulombs(params_.capacity_mah);
+    const double current_a = power_w / voltage_v();
+    const double want_c = current_a * duration_s;
+    const double have_c = soc_ * capacity_c;
+    const double delta_c = std::min(want_c, have_c);
+    soc_ -= delta_c / capacity_c;
+    return delta_c * voltage_v();
+  }
+
+  /// Rebinds the cell to an SoC produced by an external replay of the inline
+  /// charge()/discharge() arithmetic above (the cohort day kernel keeps SoC
+  /// in a register across a whole simulated day and writes it back here).
+  /// Deliberately unvalidated: a fully-draining discharge can leave the SoC a
+  /// rounding ulp below zero — exactly as discharge() itself can leave soc_ —
+  /// and the value must round-trip bit-exactly.
+  void restore_soc(double soc) {
+    soc_ = soc;
+    memo_valid_ = false;
+  }
 
   /// Applies self-discharge over a time span.
   void age(double duration_s);
@@ -49,6 +149,10 @@ class LipoBattery {
  private:
   Params params_;
   double soc_;
+  /// One-entry memo for voltage_v(); see voltage_v. Keyed on the exact SoC.
+  mutable double memo_soc_ = -1.0;
+  mutable double memo_v_ = 0.0;
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace iw::pwr

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
 #include <vector>
 
 namespace iw::fleet {
@@ -118,6 +122,82 @@ TEST(FleetStats, PercentilesInterpolate) {
   EXPECT_NEAR(s.final_soc.p75, 0.4, 1e-12);
   EXPECT_NEAR(s.final_soc.p5, 0.12, 1e-12);
   EXPECT_NEAR(s.final_soc.p95, 0.48, 1e-12);
+}
+
+void expect_finite(const FleetStats::Percentiles& p) {
+  EXPECT_TRUE(std::isfinite(p.p5));
+  EXPECT_TRUE(std::isfinite(p.p25));
+  EXPECT_TRUE(std::isfinite(p.p50));
+  EXPECT_TRUE(std::isfinite(p.p75));
+  EXPECT_TRUE(std::isfinite(p.p95));
+}
+
+TEST(FleetStats, EmptyFleetPercentilesAreNaNFree) {
+  // An empty fleet (and empty shards merged into it) must not divide by a
+  // zero device count anywhere: every percentile stays a finite zero.
+  FleetStats stats;
+  FleetStats empty_shard;
+  stats.merge(empty_shard);
+  stats.merge(FleetStats{});
+  const FleetStats::Summary s = stats.summarize();
+  EXPECT_EQ(s.devices, 0u);
+  EXPECT_DOUBLE_EQ(s.fraction_self_sustaining, 0.0);
+  expect_finite(s.final_soc);
+  expect_finite(s.min_soc);
+  expect_finite(s.detections_per_min);
+  expect_finite(s.intake_uw);
+  EXPECT_FALSE(stats.serialize().empty());
+}
+
+TEST(FleetStats, SingleDeviceCollapsesPercentiles) {
+  // With one device every percentile of every metric is that device's value
+  // (interpolation over a single sample must not index out of range).
+  FleetStats stats;
+  stats.add(outcome(7, 0.65, true, 50));
+  const FleetStats::Summary s = stats.summarize();
+  EXPECT_EQ(s.devices, 1u);
+  EXPECT_DOUBLE_EQ(s.fraction_self_sustaining, 1.0);
+  EXPECT_DOUBLE_EQ(s.final_soc.p5, 0.65);
+  EXPECT_DOUBLE_EQ(s.final_soc.p50, 0.65);
+  EXPECT_DOUBLE_EQ(s.final_soc.p95, 0.65);
+  EXPECT_DOUBLE_EQ(s.min_soc.p25, 0.325);
+  EXPECT_DOUBLE_EQ(s.min_soc.p75, 0.325);
+  expect_finite(s.detections_per_min);
+  expect_finite(s.intake_uw);
+}
+
+TEST(FleetStats, PercentilesNaNFreeUnderMergeOrderPermutations) {
+  // Three shards (one of them empty) merged in every order: the summary must
+  // be NaN-free and bit-identical regardless of merge order, because all
+  // derived values come from the id-sorted outcome table.
+  std::vector<DeviceOutcome> all;
+  for (std::uint64_t id = 0; id < 7; ++id) {
+    all.push_back(outcome(id, 0.15 + 0.1 * static_cast<double>(id), id % 2 == 0,
+                          10 + id));
+  }
+  FleetStats shards[3];
+  for (std::uint64_t id = 0; id < 3; ++id) shards[0].add(all[id]);
+  for (std::uint64_t id = 3; id < 7; ++id) shards[1].add(all[id]);
+  // shards[2] stays empty.
+
+  std::array<int, 3> order{0, 1, 2};
+  std::string reference;
+  do {
+    FleetStats merged;
+    for (const int shard : order) merged.merge(shards[shard]);
+    const FleetStats::Summary s = merged.summarize();
+    EXPECT_EQ(s.devices, all.size());
+    expect_finite(s.final_soc);
+    expect_finite(s.min_soc);
+    expect_finite(s.detections_per_min);
+    expect_finite(s.intake_uw);
+    const std::string serialized = merged.serialize();
+    if (reference.empty()) {
+      reference = serialized;
+    } else {
+      EXPECT_EQ(serialized, reference);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
 }
 
 }  // namespace

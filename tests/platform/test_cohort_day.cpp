@@ -1,0 +1,348 @@
+// The cohort kernel's contract: CohortDayState::run_day is bit-identical,
+// lane by lane, to the scalar fast path (and transitively to the
+// discrete-event engine, which test_fast_day.cpp pins) on the same inputs —
+// for any cohort size, any mix of configs/profiles/policies in one cohort,
+// and regardless of what else shares the cohort or how warm its caches are.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fleet/scenario.hpp"
+#include "platform/cohort_day.hpp"
+#include "platform/detection_cost.hpp"
+#include "platform/device.hpp"
+#include "platform/fast_day.hpp"
+#include "platform/scheduler.hpp"
+
+namespace iw::platform {
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+void expect_bit_identical(const DaySimulationResult& oracle,
+                          const DaySimulationResult& cohort,
+                          const std::string& context) {
+  EXPECT_EQ(oracle.detections_attempted, cohort.detections_attempted) << context;
+  EXPECT_EQ(oracle.detections_completed, cohort.detections_completed) << context;
+  EXPECT_EQ(oracle.detections_skipped, cohort.detections_skipped) << context;
+  EXPECT_EQ(bits(oracle.harvested_j), bits(cohort.harvested_j)) << context;
+  EXPECT_EQ(bits(oracle.consumed_j), bits(cohort.consumed_j)) << context;
+  EXPECT_EQ(bits(oracle.initial_soc), bits(cohort.initial_soc)) << context;
+  EXPECT_EQ(bits(oracle.final_soc), bits(cohort.final_soc)) << context;
+  EXPECT_EQ(bits(oracle.min_soc), bits(cohort.min_soc)) << context;
+
+  const std::vector<std::string> channels = oracle.trace.channel_names();
+  ASSERT_EQ(channels, cohort.trace.channel_names()) << context;
+  for (const std::string& name : channels) {
+    const sim::TraceChannel& a = oracle.trace.channel(name);
+    const sim::TraceChannel& b = cohort.trace.channel(name);
+    ASSERT_EQ(a.times.size(), b.times.size()) << context << " channel " << name;
+    for (std::size_t i = 0; i < a.times.size(); ++i) {
+      ASSERT_EQ(bits(a.times[i]), bits(b.times[i]))
+          << context << " channel " << name << " sample " << i;
+      ASSERT_EQ(bits(a.values[i]), bits(b.values[i]))
+          << context << " channel " << name << " sample " << i;
+    }
+  }
+}
+
+/// One device-day the suite can both run through a cohort and replay through
+/// the scalar oracle. Owns its inputs so member pointers stay valid.
+struct Case {
+  DeviceConfig config;
+  hv::DayProfile profile;
+  const DetectionPolicy* policy = nullptr;
+  std::string context;
+};
+
+const hv::DualSourceHarvester& shared_harvester() {
+  static const hv::DualSourceHarvester harvester =
+      hv::DualSourceHarvester::calibrated();
+  return harvester;
+}
+
+DaySimulationResult run_oracle(const Case& c) {
+  return c.policy != nullptr
+             ? simulate_day_fast_with_policy(c.config, shared_harvester(),
+                                             c.profile, *c.policy)
+             : simulate_day_fast(c.config, shared_harvester(), c.profile);
+}
+
+/// Runs `cases` through one CohortDayState in cohorts of `cohort_size` and
+/// pins every lane against the scalar oracle.
+void check_cohorts(const std::vector<Case>& cases, std::size_t cohort_size) {
+  CohortDayState cohort;
+  std::vector<DaySimulationResult> results(cases.size());
+  std::vector<CohortMember> members;
+  for (std::size_t begin = 0; begin < cases.size(); begin += cohort_size) {
+    const std::size_t end = std::min(begin + cohort_size, cases.size());
+    members.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      members.push_back(CohortMember{&cases[i].config, &shared_harvester(),
+                                     &cases[i].profile, cases[i].policy,
+                                     &results[i]});
+    }
+    cohort.run_day(members);
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    expect_bit_identical(run_oracle(cases[i]), results[i],
+                         cases[i].context + " cohort_size " +
+                             std::to_string(cohort_size));
+  }
+}
+
+std::vector<Case> fleet_case_pool(int lux_factors_per_archetype) {
+  // The fleet's own worlds: every wearer archetype under every scheduling
+  // mode, across seeded day-to-day lux factors. Tracing on so event times
+  // and order are compared sample by sample.
+  static const FixedRatePolicy fixed(60.0);
+  static const SocProportionalPolicy soc_prop(0.5, 4.0);
+  static const EnergyNeutralPolicy neutral;
+  const std::vector<const DetectionPolicy*> policies{nullptr, &fixed, &soc_prop,
+                                                     &neutral};
+  std::vector<Case> cases;
+  Rng rng(0xc0407da1ULL);
+  for (int p = 0; p < fleet::kNumWearerProfiles; ++p) {
+    fleet::Scenario scenario = fleet::sample_scenario(2020, 100 + p);
+    scenario.profile = static_cast<fleet::WearerProfile>(p);
+    const hv::DayProfile base = fleet::build_day_profile(scenario);
+    for (int f = 0; f < lux_factors_per_archetype; ++f) {
+      const double lux_factor = std::exp(rng.normal(0.0, scenario.lux_sigma_day));
+      for (std::size_t i = 0; i < policies.size(); ++i) {
+        Case c;
+        c.config.detection = make_detection_cost({});
+        c.config.detection_period_s = scenario.detection_period_s;
+        c.config.initial_soc = scenario.initial_soc;
+        c.config.record_trace = true;
+        c.profile = scale_profile_lux(base, lux_factor);
+        c.policy = policies[i];
+        c.context = "archetype " + std::string(fleet::to_string(scenario.profile)) +
+                    " policy " + std::to_string(i) + " lux " + std::to_string(f);
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+TEST(CohortDay, AllArchetypesAllPoliciesLuxSweepAcrossCohortSizes) {
+  const std::vector<Case> cases = fleet_case_pool(4);  // 5 x 4 x 4 = 80 lanes
+  // 1 (degenerate cohort), 2, a size that is neither a divisor of the pool
+  // nor a multiple of any internal tile, and one larger than a fleet chunk.
+  for (std::size_t cohort_size : {std::size_t{1}, std::size_t{2}, std::size_t{13},
+                                  std::size_t{64}}) {
+    check_cohorts(cases, cohort_size);
+  }
+}
+
+TEST(CohortDay, HeterogeneousClocksAndShapesInOneCohort) {
+  // Lanes with different harvest ticks, horizons and segment layouts land in
+  // different clock groups / shape tables of the same run_day call.
+  hv::Environment bright;
+  bright.lux = 5000.0;
+  hv::Environment dark;
+  std::vector<Case> cases;
+  const double ticks[] = {60.0, 30.0, 97.0};
+  const double hours[] = {24.0, 6.0, 5.5};
+  for (double tick : ticks) {
+    for (double h : hours) {
+      Case c;
+      c.config.detection = make_detection_cost({});
+      c.config.harvest_tick_s = tick;
+      c.config.detection_period_s = 90.0;
+      c.config.record_trace = true;
+      c.profile = {{h * 1800.0, bright}, {h * 1800.0, dark}};
+      c.context = "tick " + std::to_string(tick) + " hours " + std::to_string(h);
+      cases.push_back(std::move(c));
+    }
+  }
+  check_cohorts(cases, cases.size());  // one cohort holding all of them
+}
+
+TEST(CohortDay, ResultsIndependentOfCohortComposition) {
+  // The same device-day must produce the same bits alone, first-in-cohort,
+  // and last-in-cohort — lanes share caches, never state.
+  const std::vector<Case> cases = fleet_case_pool(2);
+  std::vector<DaySimulationResult> alone(cases.size());
+  CohortDayState solo;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CohortMember m{&cases[i].config, &shared_harvester(), &cases[i].profile,
+                         cases[i].policy, &alone[i]};
+    solo.run_day({&m, 1});
+  }
+  std::vector<DaySimulationResult> grouped(cases.size());
+  std::vector<CohortMember> members;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    members.push_back(CohortMember{&cases[i].config, &shared_harvester(),
+                                   &cases[i].profile, cases[i].policy,
+                                   &grouped[i]});
+  }
+  CohortDayState together;
+  together.run_day(members);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    expect_bit_identical(alone[i], grouped[i], cases[i].context + " composition");
+  }
+}
+
+TEST(CohortDay, WarmCachesReplayIdentically) {
+  // A second run_day on the same members must hit the shape and gate caches
+  // (no growth) and reproduce the first run bit for bit.
+  const std::vector<Case> cases = fleet_case_pool(1);
+  std::vector<DaySimulationResult> first(cases.size());
+  std::vector<DaySimulationResult> second(cases.size());
+  CohortDayState cohort;
+  std::vector<CohortMember> members;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    members.push_back(CohortMember{&cases[i].config, &shared_harvester(),
+                                   &cases[i].profile, cases[i].policy, &first[i]});
+  }
+  cohort.run_day(members);
+  const std::size_t shapes = cohort.shape_cache_size();
+  const std::size_t gates = cohort.gate_cache_size();
+  EXPECT_GE(shapes, 1u);
+  EXPECT_EQ(gates, 1u);  // one battery spec + detection cost in the pool
+  for (std::size_t i = 0; i < cases.size(); ++i) members[i].result = &second[i];
+  cohort.run_day(members);
+  EXPECT_EQ(cohort.shape_cache_size(), shapes);
+  EXPECT_EQ(cohort.gate_cache_size(), gates);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    expect_bit_identical(first[i], second[i], cases[i].context + " warm replay");
+  }
+}
+
+TEST(CohortDay, StructuralEdgeCases) {
+  // The fast-day suite's edge worlds, all sharing one cohort: zero-length
+  // segments, batteries pinned empty and full, sleep drain with horizons
+  // shorter than / equal to / astride the harvest tick, and a policy whose
+  // first interval overshoots the horizon (stream retires immediately).
+  static const SocProportionalPolicy soc_prop(0.5, 4.0);
+  static const EnergyNeutralPolicy neutral;
+  struct OneShotPolicy final : DetectionPolicy {
+    std::string name() const override { return "one-shot"; }
+    double next_interval_s(const SchedulerState&) const override { return 1e9; }
+  };
+  static const OneShotPolicy one_shot;
+
+  hv::Environment bright;
+  bright.lux = 5000.0;
+  hv::Environment dark;
+  hv::Environment dead;
+  dead.worn = false;
+  hv::Environment blazing;
+  blazing.lux = 60000.0;
+  hv::Environment dim;
+  dim.lux = 150.0;
+
+  std::vector<Case> cases;
+  {
+    Case c;
+    c.config.detection = make_detection_cost({});
+    c.config.record_trace = true;
+    c.profile = {{0.0, bright}, {3600.0, dark}, {0.0, dark}, {1800.0, bright},
+                 {0.0, bright}};
+    c.context = "zero-length segments";
+    cases.push_back(c);
+    c.policy = &neutral;
+    c.context += " + policy";
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.config.detection = make_detection_cost({});
+    c.config.initial_soc = 0.0;
+    c.config.record_trace = true;
+    c.profile = {{4.0 * 3600.0, dead}};
+    c.context = "empty battery";
+    cases.push_back(c);
+    c.policy = &soc_prop;
+    c.context += " + policy";
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.config.detection = make_detection_cost({});
+    c.config.initial_soc = 1.0;
+    c.config.detection_period_s = 300.0;
+    c.config.record_trace = true;
+    c.profile = {{4.0 * 3600.0, blazing}};
+    c.context = "full battery";
+    cases.push_back(std::move(c));
+  }
+  for (double seconds : {30.0, 60.0, 3601.0, 5430.5}) {
+    Case c;
+    c.config.detection = make_detection_cost({});
+    c.config.sleep_power_w = 20e-6;
+    c.config.record_trace = true;
+    c.profile = {{seconds, dim}};
+    c.context = "horizon " + std::to_string(seconds);
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.config.detection = make_detection_cost({});
+    c.config.record_trace = true;
+    c.profile = {{7200.0, dim}};
+    c.policy = &one_shot;
+    c.context = "one-shot policy";
+    cases.push_back(std::move(c));
+  }
+  check_cohorts(cases, cases.size());
+  check_cohorts(cases, 3);
+}
+
+TEST(CohortDay, RejectsBadMembersLikeScalarPaths) {
+  const hv::DayProfile profile{{3600.0, hv::Environment{}}};
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  DaySimulationResult result;
+  CohortDayState cohort;
+
+  CohortMember null_config{nullptr, &shared_harvester(), &profile, nullptr,
+                           &result};
+  EXPECT_THROW(cohort.run_day({&null_config, 1}), Error);
+
+  config.detection_period_s = 0.0;
+  CohortMember bad_period{&config, &shared_harvester(), &profile, nullptr,
+                          &result};
+  EXPECT_THROW(cohort.run_day({&bad_period, 1}), Error);
+
+  config.detection_period_s = 60.0;
+  config.harvest_tick_s = -1.0;
+  CohortMember bad_tick{&config, &shared_harvester(), &profile, nullptr, &result};
+  EXPECT_THROW(cohort.run_day({&bad_tick, 1}), Error);
+
+  config.harvest_tick_s = 60.0;
+  const hv::DayProfile empty;
+  CohortMember empty_profile{&config, &shared_harvester(), &empty, nullptr,
+                             &result};
+  EXPECT_THROW(cohort.run_day({&empty_profile, 1}), Error);
+}
+
+TEST(CohortDay, TraceOffMatchesScalarsAndStaysEmpty) {
+  fleet::Scenario scenario = fleet::sample_scenario(7, 3);
+  const hv::DayProfile profile = fleet::build_day_profile(scenario);
+  DeviceConfig config;
+  config.detection = make_detection_cost({});
+  config.detection_period_s = scenario.detection_period_s;
+  config.initial_soc = scenario.initial_soc;
+  DaySimulationResult result;
+  CohortDayState cohort;
+  const CohortMember m{&config, &shared_harvester(), &profile, nullptr, &result};
+  cohort.run_day({&m, 1});
+  expect_bit_identical(simulate_day_fast(config, shared_harvester(), profile),
+                       result, "trace off");
+  EXPECT_TRUE(result.trace.channel_names().empty());
+}
+
+}  // namespace
+}  // namespace iw::platform
