@@ -24,6 +24,10 @@ echo "== iw_lint (static analysis of every reference kernel, all profiles) =="
 ./build/tools/iw_lint --kernels
 
 echo
+echo "== iw_fleetd smoke (longitudinal determinism self-check) =="
+./build/tools/iw_fleetd --smoke
+
+echo
 echo "== clang-tidy (skipped automatically when not installed) =="
 scripts/tidy.sh
 
@@ -31,7 +35,8 @@ echo
 echo "== UBSan pass (platform + fleet suites) =="
 cmake -B build-ubsan -S . -DIW_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)" \
-  --target test_platform test_fast_day test_cohort_day test_fleet test_fleet_cohort
+  --target test_platform test_fast_day test_cohort_day test_fleet \
+  test_fleet_cohort test_fleet_long
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_platform
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
@@ -42,15 +47,20 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fleet
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fleet_cohort
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_fleet_long
 echo
 echo "== TSan pass (fleet + platform suites) =="
 cmake -B build-tsan -S . -DIW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" \
-  --target test_platform test_fast_day test_cohort_day test_fleet test_fleet_cohort
+  --target test_platform test_fast_day test_cohort_day test_fleet \
+  test_fleet_cohort test_fleet_long
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_fleet
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_fleet_cohort
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_fleet_long
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_platform
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \

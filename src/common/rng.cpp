@@ -37,6 +37,23 @@ Rng Rng::substream(std::uint64_t stream_id) const {
   return Rng(child);
 }
 
+RngSnapshot Rng::snapshot() const {
+  RngSnapshot snap;
+  for (std::size_t i = 0; i < snap.state.size(); ++i) snap.state[i] = state_[i];
+  snap.seed = seed_;
+  snap.cached_normal = cached_normal_;
+  snap.has_cached_normal = has_cached_normal_;
+  return snap;
+}
+
+Rng Rng::from_snapshot(const RngSnapshot& snap) {
+  Rng rng(snap.seed);
+  for (std::size_t i = 0; i < snap.state.size(); ++i) rng.state_[i] = snap.state[i];
+  rng.cached_normal_ = snap.cached_normal;
+  rng.has_cached_normal_ = snap.has_cached_normal;
+  return rng;
+}
+
 std::uint64_t Rng::next() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

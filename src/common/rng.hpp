@@ -5,10 +5,24 @@
 // that experiments are reproducible bit-for-bit across runs given a seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace iw {
+
+/// Complete draw-position state of an Rng ("RNG cursor"). Restoring a
+/// snapshot resumes the stream mid-sequence with every subsequent draw
+/// bit-identical — including a Box-Muller pair split across the snapshot
+/// (the cached second variate travels with the state). This is what lets a
+/// fleet checkpoint cut a device's multi-month random stream at a day
+/// boundary and splice it back together on resume.
+struct RngSnapshot {
+  std::array<std::uint64_t, 4> state{};
+  std::uint64_t seed = 0;
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
 
 /// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
 /// Satisfies UniformRandomBitGenerator so it can also drive <random>
@@ -32,6 +46,11 @@ class Rng {
   /// and distinct stream ids give decorrelated sequences. This is what makes
   /// per-device RNG in the fleet engine independent of worker scheduling.
   Rng substream(std::uint64_t stream_id) const;
+
+  /// Captures the full generator state at the current draw position.
+  RngSnapshot snapshot() const;
+  /// Reconstructs a generator that continues exactly where `snap` was taken.
+  static Rng from_snapshot(const RngSnapshot& snap);
 
   /// Raw 64 random bits.
   std::uint64_t next();

@@ -31,6 +31,9 @@ FleetResult FleetEngine::run() const {
   // One stats shard per *chunk* (not per worker): which thread simulates a
   // chunk then no longer matters, because shards are merged by chunk index.
   std::vector<FleetStats> shards(num_chunks);
+  if (!config_.record_outcomes) {
+    for (FleetStats& shard : shards) shard.set_record_outcomes(false);
+  }
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -111,6 +114,7 @@ FleetResult FleetEngine::run() const {
   if (first_error) std::rethrow_exception(first_error);
 
   FleetResult result;
+  if (!config_.record_outcomes) result.stats.set_record_outcomes(false);
   // Deterministic reduction: chunk order, which is device-id order.
   for (const FleetStats& shard : shards) result.stats.merge(shard);
   result.devices = n;

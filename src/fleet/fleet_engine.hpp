@@ -56,6 +56,12 @@ struct FleetConfig {
   /// back to the per-device scalar fast path, kept for regression tests and
   /// as the baseline for the cohort throughput benchmark.
   bool cohort_day = true;
+  /// Retain one DeviceOutcome row per device in the result's FleetStats (see
+  /// FleetStats::set_record_outcomes). On (the default) keeps today's full
+  /// per-device table — byte-identical output to a build without the toggle.
+  /// Off folds each device into running counters and drops the row, making
+  /// the aggregate O(1) in fleet size (percentile summaries read as zero).
+  bool record_outcomes = true;
 };
 
 struct FleetResult {

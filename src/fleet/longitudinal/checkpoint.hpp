@@ -1,0 +1,72 @@
+// Compact, byte-stable per-device checkpoints for longitudinal fleet runs.
+//
+// A device's cross-day state at a day boundary is tiny: the battery SoC bits
+// carried into the next day, the RNG cursor (which also carries a split
+// Box-Muller pair — see RngSnapshot), and the running outcome accumulators
+// (detection counters, energy totals, SoC extremes, and the app-window
+// classification counts). Everything else — scenario, day profile, policy,
+// detection gate, intake smoother — is a pure function of (fleet seed,
+// device id) and is rebuilt on resume exactly as an uninterrupted run would
+// rebuild it at that day boundary, so checkpoint -> resume is bit-identical
+// to never having stopped.
+//
+// Records serialize to a fixed kDeviceCheckpointBytes little-endian layout,
+// which makes a population checkpoint file shard-addressable: any contiguous
+// shard of devices can be restored by seeking straight to its records, so
+// resuming keeps memory O(active shard), never O(population).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "fleet/device_instance.hpp"
+
+namespace iw::fleet {
+
+/// Cross-day state of one device at a day boundary.
+struct DeviceCheckpoint {
+  /// Battery SoC carried into the next day — exact bits of the previous
+  /// day's final_soc (can sit a rounding ulp outside [0, 1], and must
+  /// round-trip exactly; see LipoBattery::restore_soc).
+  double soc = 0.5;
+  /// Simulated days completed for this device.
+  std::uint32_t days_run = 0;
+  /// Draw cursor of the device's day-to-day stream (lux factors + window
+  /// picks), including the cached Box-Muller variate.
+  RngSnapshot rng;
+  /// Running accumulators, including the device id (which resume validates
+  /// against the re-sampled scenario).
+  DeviceOutcome outcome;
+};
+
+/// Fixed serialized size of one DeviceCheckpoint record.
+inline constexpr std::size_t kDeviceCheckpointBytes = 188;
+
+void save_device_checkpoint(const DeviceCheckpoint& cp, ByteWriter& out);
+DeviceCheckpoint load_device_checkpoint(ByteReader& in);
+
+/// Population checkpoint file header. The file layout is:
+///   [header: kCheckpointHeaderBytes]
+///   [LongitudinalStats blob: stats_bytes  — aggregates for days 1..day]
+///   [num_devices x kDeviceCheckpointBytes  — records in device-id order]
+/// so device i's record lives at a computable offset.
+struct CheckpointHeader {
+  std::uint64_t fleet_seed = 0;
+  std::uint64_t first_device = 0;
+  std::uint64_t num_devices = 0;
+  std::uint32_t days_total = 0;
+  /// Days completed at save time (the resume point).
+  std::uint32_t day = 0;
+  std::uint32_t soc_bins = 0;
+  /// Size of the LongitudinalStats blob that follows the header.
+  std::uint64_t stats_bytes = 0;
+};
+
+inline constexpr std::size_t kCheckpointHeaderBytes = 60;
+
+void save_checkpoint_header(const CheckpointHeader& header, ByteWriter& out);
+CheckpointHeader load_checkpoint_header(ByteReader& in);
+
+}  // namespace iw::fleet

@@ -1,0 +1,104 @@
+// Streaming, mergeable population aggregates over simulated time.
+//
+// FleetStats retains one DeviceOutcome per device — O(devices) memory and
+// fine for a thousand devices, fatal for millions. LongitudinalStats is the
+// longitudinal fleet's replacement: fixed-bin SoC histograms and exact
+// integer counters per (simulated day, wearer archetype), so memory is
+// O(days x archetypes x bins) no matter how many devices stream through it.
+//
+// Merge determinism: every field is an integer (counts, histogram bins, and
+// energy totals quantized to a fixed 2^-16 J grid at record time), so merging
+// is exact integer addition — commutative and associative down to the last
+// bit. Two runs that record the same device-days produce byte-identical
+// aggregates regardless of shard order, thread count, or how the population
+// was split into checkpoint/resume legs. Continuous queries (quantiles,
+// fractions) are pure functions of those integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "fleet/device_instance.hpp"
+
+namespace iw::fleet {
+
+class LongitudinalStats {
+ public:
+  /// 128 bins over SoC [0, 1]: ~0.8 %-SoC quantile resolution.
+  static constexpr int kDefaultSocBins = 128;
+
+  /// Empty shell (days() == 0); merging anything into it adopts that shape.
+  LongitudinalStats() = default;
+  explicit LongitudinalStats(int days, int soc_bins = kDefaultSocBins);
+
+  int days() const { return days_; }
+  int soc_bins() const { return soc_bins_; }
+
+  /// Deterministic energy quantization: joules onto a 2^-16 J (~15 uJ) grid.
+  /// Each device-day's contribution is quantized identically no matter where
+  /// or when it is recorded, which is what keeps energy totals mergeable in
+  /// any order.
+  static std::int64_t quantize_j(double j);
+  static double dequantize_j(std::int64_t q);
+
+  /// Records one device's state at the end of simulated day `day` (1-based),
+  /// from its running outcome accumulator after that day was folded in.
+  /// Deltas (that day's detections/energy) are derived at query time from
+  /// consecutive days' cumulative counters.
+  void record_device_day(int day, const DeviceOutcome& outcome);
+
+  /// Exact integer fold of another aggregate (commutative, associative).
+  void merge(const LongitudinalStats& other);
+
+  /// Cumulative population counters at the end of `day` (summed over devices
+  /// recorded for that day). Energy fields are on the quantized grid.
+  struct DayCounters {
+    std::uint64_t devices = 0;
+    std::uint64_t self_sustaining = 0;
+    std::uint64_t detections_attempted = 0;
+    std::uint64_t detections_completed = 0;
+    std::uint64_t detections_skipped = 0;
+    std::uint64_t classified = 0;
+    std::int64_t harvested_qj = 0;
+    std::int64_t consumed_qj = 0;
+  };
+  DayCounters day_counters(int day) const;
+  DayCounters day_counters(int day, WearerProfile profile) const;
+
+  /// Fraction of devices whose run was still self-sustaining at day N.
+  double fraction_self_sustaining(int day) const;
+
+  /// End-of-day SoC quantile (q in [0, 1]) from the day's histogram: the
+  /// midpoint of the bin holding the floor(q * (n - 1))-th order statistic.
+  /// Resolution is 1 / soc_bins; the estimate is a pure function of the bin
+  /// counts, hence merge-order independent.
+  double soc_quantile(int day, double q) const;
+  double soc_quantile(int day, double q, WearerProfile profile) const;
+
+  /// Canonical text form: shape, then per-day counters, quantiles, and a
+  /// per-(day, archetype) digest of the raw bins. Two aggregates agree
+  /// bit-for-bit iff their serializations are byte-identical — what the
+  /// shard-order / thread-count / checkpoint-split tests compare.
+  std::string serialize() const;
+
+  /// Byte-stable binary form (checkpoint files). The size depends only on
+  /// (days, soc_bins).
+  void save(ByteWriter& out) const;
+  static LongitudinalStats load(ByteReader& in);
+
+ private:
+  std::size_t cell_index(int day, int profile) const;
+  std::size_t bin_base(int day, int profile) const;
+  int bin_of(double soc) const;
+
+  int days_ = 0;
+  int soc_bins_ = 0;
+  /// Per (day, archetype) exact counters; day-major, archetype-minor.
+  std::vector<DayCounters> cells_;
+  /// Per (day, archetype) SoC histograms, flattened day-major.
+  std::vector<std::uint64_t> bins_;
+};
+
+}  // namespace iw::fleet

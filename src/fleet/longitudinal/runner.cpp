@@ -1,0 +1,487 @@
+#include "fleet/longitudinal/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "nn/network.hpp"
+#include "platform/detection_cost.hpp"
+#include "platform/scheduler.hpp"
+
+namespace iw::fleet {
+
+// ---------------------------------------------------------------------------
+// ShardSimulator
+//
+// The day loop is the fleet engine's cohort path (fleet/cohort_runner.cpp)
+// re-timed for longitudinal use: identical per-lane setup, identical RNG draw
+// order (lux factor for day d, then day d's window picks, then day d+1), and
+// the same shared helpers (accumulate_day_outcome, draw_day_picks, the
+// cohort day kernel), so per device the bits match the fleet engine on the
+// same scenarios. What changes is control: days are advanced one step_day()
+// at a time so the runner can cut (checkpoint) or splice (resume) the run at
+// any day boundary, and each advanced day can stream into LongitudinalStats.
+// ---------------------------------------------------------------------------
+
+ShardSimulator::ShardSimulator(const core::StressDetectionApp* app,
+                               nn::FixedBatch* batch, bool batched_classification)
+    : app_(app), batch_(batch), use_batching_(batched_classification) {
+  if (app_ != nullptr) build_windows_by_level(*app_, windows_by_level_);
+}
+
+const platform::DetectionPolicy* ShardSimulator::policy_for(
+    const Scenario& scenario) {
+  // Fixed-rate devices run the kernel's plain periodic stream, exactly like
+  // the fleet engine's cohort path.
+  if (scenario.policy == PolicyKind::kFixedRate) return nullptr;
+  for (const PooledPolicy& p : policies_) {
+    if (p.kind == scenario.policy && p.period_s == scenario.detection_period_s) {
+      return p.policy.get();
+    }
+  }
+  policies_.push_back(PooledPolicy{scenario.policy, scenario.detection_period_s,
+                                   make_policy(scenario)});
+  return policies_.back().policy.get();
+}
+
+void ShardSimulator::setup(std::span<const Scenario> scenarios) {
+  const std::size_t n = scenarios.size();
+  ensure(n > 0, "ShardSimulator: need at least one scenario");
+  scenarios_.assign(scenarios.begin(), scenarios.end());
+  rngs_.clear();
+  base_profiles_.resize(std::max(base_profiles_.size(), n));
+  scaled_profiles_.resize(std::max(scaled_profiles_.size(), n));
+  configs_.resize(std::max(configs_.size(), n));
+  results_.resize(std::max(results_.size(), n));
+  lane_policy_.resize(std::max(lane_policy_.size(), n));
+  outcomes_.resize(std::max(outcomes_.size(), n));
+  socs_.resize(std::max(socs_.size(), n));
+  cohort_.reserve_lanes(n);
+
+  day_ = 0;
+  max_days_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Scenario& s = scenarios_[i];
+    ensure(s.days >= 1, "ShardSimulator: scenario needs at least one day");
+    max_days_ = std::max(max_days_, s.days);
+    rngs_.emplace_back(s.rng_seed);
+    build_day_profile_into(s, base_profiles_[i]);
+    platform::DeviceConfig& config = configs_[i];
+    config = platform::DeviceConfig{};
+    config.detection = platform::make_detection_cost({});
+    config.detection_period_s = s.detection_period_s;
+    config.initial_soc = s.initial_soc;
+    lane_policy_[i] = policy_for(s);
+    DeviceOutcome& outcome = outcomes_[i];
+    outcome = DeviceOutcome{};
+    outcome.device_id = s.device_id;
+    outcome.profile = s.profile;
+    outcome.policy = s.policy;
+    outcome.initial_soc = s.initial_soc;
+    outcome.final_soc = s.initial_soc;
+    socs_[i] = s.initial_soc;
+  }
+}
+
+void ShardSimulator::begin(std::span<const Scenario> scenarios) {
+  setup(scenarios);
+}
+
+void ShardSimulator::resume(std::span<const Scenario> scenarios,
+                            std::span<const DeviceCheckpoint> checkpoints) {
+  setup(scenarios);
+  ensure(checkpoints.size() == scenarios_.size(),
+         "ShardSimulator::resume: checkpoint/scenario count mismatch");
+  int resumed_day = 0;
+  for (const DeviceCheckpoint& cp : checkpoints) {
+    resumed_day = std::max(resumed_day, static_cast<int>(cp.days_run));
+  }
+  ensure(resumed_day <= max_days_,
+         "ShardSimulator::resume: checkpoint is past the scenario horizon");
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    const DeviceCheckpoint& cp = checkpoints[i];
+    const Scenario& s = scenarios_[i];
+    ensure(cp.outcome.device_id == s.device_id,
+           "ShardSimulator::resume: checkpoint is for a different device");
+    ensure(cp.rng.seed == s.rng_seed,
+           "ShardSimulator::resume: checkpoint RNG does not match the scenario");
+    // A lane is either at the shard clock or was already done when saved.
+    ensure(static_cast<int>(cp.days_run) == std::min(resumed_day, s.days),
+           "ShardSimulator::resume: inconsistent per-device day counts");
+    socs_[i] = cp.soc;
+    rngs_[i] = Rng::from_snapshot(cp.rng);
+    outcomes_[i] = cp.outcome;
+  }
+  day_ = resumed_day;
+}
+
+bool ShardSimulator::step_day(LongitudinalStats* sink) {
+  if (day_ >= max_days_) return false;
+  const int day = day_ + 1;
+  const std::size_t n = scenarios_.size();
+  members_.clear();
+  active_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (day > scenarios_[i].days) continue;
+    // Day-to-day weather/behaviour variation, from this device's own stream —
+    // drawn in the same per-device order as the fleet engine.
+    const double lux_factor =
+        std::exp(rngs_[i].normal(0.0, scenarios_[i].lux_sigma_day));
+    platform::scale_profile_lux_into(base_profiles_[i], lux_factor,
+                                     scaled_profiles_[i]);
+    configs_[i].initial_soc = socs_[i];
+    members_.push_back(platform::CohortMember{&configs_[i], &harvester_,
+                                              &scaled_profiles_[i],
+                                              lane_policy_[i], &results_[i]});
+    active_.push_back(i);
+  }
+  cohort_.run_day(members_);
+
+  picks_.clear();
+  pick_lane_.clear();
+  for (const std::size_t i : active_) {
+    const platform::DaySimulationResult& result = results_[i];
+    socs_[i] = result.final_soc;
+    accumulate_day_outcome(outcomes_[i], result, day);
+    if (app_ != nullptr) {
+      draw_day_picks(rngs_[i], scenarios_[i], windows_by_level_,
+                     result.detections_completed, lane_picks_);
+      for (const std::size_t pick : lane_picks_) {
+        picks_.push_back(pick);
+        pick_lane_.push_back(i);
+      }
+    }
+  }
+  classify_staged();
+
+  if (sink != nullptr) {
+    // Stream after classification so the day's app-window counts are in.
+    for (const std::size_t i : active_) sink->record_device_day(day, outcomes_[i]);
+  }
+  day_ = day;
+  return day_ < max_days_;
+}
+
+void ShardSimulator::classify_staged() {
+  if (picks_.empty()) return;
+  const nn::Dataset& test = app_->test_set();
+  if (use_batching_) {
+    if (batch_ == nullptr) {
+      owned_batch_ = std::make_unique<nn::FixedBatch>(app_->quantized());
+      batch_ = owned_batch_.get();
+    }
+    // One batched call covering every cohort device's windows for the day —
+    // bit-exact per row, so pooling rows across devices changes nothing.
+    rows_.clear();
+    for (const std::size_t pick : picks_) rows_.push_back(test.inputs[pick].data());
+    labels_.resize(picks_.size());
+    batch_->classify(rows_, labels_);
+    for (std::size_t j = 0; j < picks_.size(); ++j) {
+      DeviceOutcome& outcome = outcomes_[pick_lane_[j]];
+      ++outcome.class_counts[std::min<std::size_t>(labels_[j], 2)];
+      ++outcome.classified;
+    }
+  } else {
+    for (std::size_t j = 0; j < picks_.size(); ++j) {
+      const std::size_t predicted = app_->quantized().classify(test.inputs[picks_[j]]);
+      DeviceOutcome& outcome = outcomes_[pick_lane_[j]];
+      ++outcome.class_counts[std::min<std::size_t>(predicted, 2)];
+      ++outcome.classified;
+    }
+  }
+}
+
+std::span<const DeviceOutcome> ShardSimulator::outcomes() const {
+  return std::span<const DeviceOutcome>(outcomes_.data(), scenarios_.size());
+}
+
+void ShardSimulator::save_checkpoints(std::vector<DeviceCheckpoint>& out) const {
+  out.clear();
+  out.reserve(scenarios_.size());
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    DeviceCheckpoint cp;
+    cp.soc = socs_[i];
+    cp.days_run = static_cast<std::uint32_t>(std::min(day_, scenarios_[i].days));
+    cp.rng = rngs_[i].snapshot();
+    cp.outcome = outcomes_[i];
+    out.push_back(cp);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LongitudinalRunner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// RAII FILE handle (workers each own their read handle; the save handle is
+/// shared behind a mutex).
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(const char* path, const char* mode) : f(std::fopen(path, mode)) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+void seek_to(std::FILE* f, std::uint64_t offset) {
+  ensure(std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0,
+         "checkpoint file: seek failed");
+}
+
+/// Serialized LongitudinalStats size for a shape — fixed given (days, bins),
+/// which is what makes the checkpoint's device table offset computable
+/// before any stats exist.
+std::uint64_t stats_blob_bytes(int days, int soc_bins) {
+  ByteWriter probe;
+  LongitudinalStats(days, soc_bins).save(probe);
+  return probe.size();
+}
+
+}  // namespace
+
+LongitudinalRunner::LongitudinalRunner(LongitudinalConfig config)
+    : config_(std::move(config)) {
+  ensure(config_.num_devices > 0, "LongitudinalRunner: need at least one device");
+  ensure(config_.days >= 1, "LongitudinalRunner: need at least one day");
+  ensure(config_.shard_size > 0, "LongitudinalRunner: shard size must be positive");
+  ensure(config_.threads >= 1, "LongitudinalRunner: need at least one thread");
+  ensure(config_.soc_bins >= 2, "LongitudinalRunner: need at least two SoC bins");
+  if (!config_.checkpoint_path.empty()) {
+    ensure(config_.checkpoint_day >= 1 && config_.checkpoint_day <= config_.days,
+           "LongitudinalRunner: checkpoint_day must be in [1, days]");
+  } else {
+    ensure(config_.checkpoint_day == 0,
+           "LongitudinalRunner: checkpoint_day needs a checkpoint_path");
+  }
+}
+
+LongitudinalResult LongitudinalRunner::run() const {
+  const LongitudinalConfig& cfg = config_;
+
+  // --- Resume header + banked aggregates -----------------------------------
+  int start_day = 0;
+  LongitudinalStats banked(cfg.days, cfg.soc_bins);
+  std::uint64_t resume_table_off = 0;
+  const bool resuming = !cfg.resume_path.empty();
+  if (resuming) {
+    File in(cfg.resume_path.c_str(), "rb");
+    ensure(in.f != nullptr, "LongitudinalRunner: cannot open resume checkpoint");
+    std::vector<std::uint8_t> head(kCheckpointHeaderBytes);
+    ensure(std::fread(head.data(), 1, head.size(), in.f) == head.size(),
+           "LongitudinalRunner: truncated checkpoint header");
+    ByteReader head_reader(head);
+    const CheckpointHeader header = load_checkpoint_header(head_reader);
+    ensure(header.fleet_seed == cfg.fleet_seed &&
+               header.first_device == cfg.first_device &&
+               header.num_devices == cfg.num_devices,
+           "LongitudinalRunner: checkpoint is for a different population");
+    ensure(header.days_total == static_cast<std::uint32_t>(cfg.days) &&
+               header.soc_bins == static_cast<std::uint32_t>(cfg.soc_bins),
+           "LongitudinalRunner: checkpoint shape does not match the config");
+    std::vector<std::uint8_t> blob(header.stats_bytes);
+    ensure(std::fread(blob.data(), 1, blob.size(), in.f) == blob.size(),
+           "LongitudinalRunner: truncated checkpoint aggregates");
+    ByteReader blob_reader(blob);
+    banked = LongitudinalStats::load(blob_reader);
+    ensure(banked.days() == cfg.days && banked.soc_bins() == cfg.soc_bins,
+           "LongitudinalRunner: checkpoint aggregates shape mismatch");
+    start_day = static_cast<int>(header.day);
+    resume_table_off = kCheckpointHeaderBytes + header.stats_bytes;
+  }
+
+  const int stop_day = cfg.checkpoint_day > 0 ? cfg.checkpoint_day : cfg.days;
+  ensure(start_day < stop_day,
+         "LongitudinalRunner: nothing to simulate (resume day >= stop day)");
+
+  // --- Checkpoint output file ----------------------------------------------
+  const bool saving = !cfg.checkpoint_path.empty();
+  std::uint64_t save_table_off = 0;
+  std::unique_ptr<File> save_file;
+  std::mutex save_mutex;
+  if (saving) {
+    save_table_off =
+        kCheckpointHeaderBytes + stats_blob_bytes(cfg.days, cfg.soc_bins);
+    save_file = std::make_unique<File>(cfg.checkpoint_path.c_str(), "wb");
+    ensure(save_file->f != nullptr,
+           "LongitudinalRunner: cannot create checkpoint file");
+  }
+
+  // --- Sharded run ----------------------------------------------------------
+  const std::uint64_t n = cfg.num_devices;
+  const std::uint64_t shard = cfg.shard_size;
+  const std::uint64_t num_shards = (n + shard - 1) / shard;
+  const int threads = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(cfg.threads), num_shards));
+
+  // Worker-local streamed aggregates: merged after the join. The merge is
+  // exact integer addition, so the reduction is byte-identical no matter how
+  // shards were distributed across workers or in what order they finished.
+  std::vector<LongitudinalStats> worker_stats;
+  worker_stats.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) worker_stats.emplace_back(cfg.days, cfg.soc_bins);
+
+  // Per-shard outcome rows (only populated under record_outcomes), merged in
+  // shard order — the fleet engine's deterministic-reduction pattern.
+  std::vector<FleetStats> outcome_shards(
+      cfg.record_outcomes ? static_cast<std::size_t>(num_shards) : 0);
+
+  std::atomic<std::uint64_t> next_shard{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&](int worker_id) {
+    try {
+      std::unique_ptr<nn::FixedBatch> batch;
+      if (cfg.app != nullptr && cfg.batched_classification) {
+        batch = std::make_unique<nn::FixedBatch>(cfg.app->quantized());
+      }
+      ShardSimulator sim(cfg.app, batch.get(), cfg.batched_classification);
+      LongitudinalStats& local = worker_stats[static_cast<std::size_t>(worker_id)];
+
+      std::unique_ptr<File> resume_file;
+      if (resuming) {
+        resume_file = std::make_unique<File>(cfg.resume_path.c_str(), "rb");
+        ensure(resume_file->f != nullptr,
+               "LongitudinalRunner: cannot reopen resume checkpoint");
+      }
+
+      std::vector<Scenario> scenarios;
+      std::vector<DeviceCheckpoint> checkpoints;
+      std::vector<std::uint8_t> record_buf;
+      ByteWriter record_writer;
+      scenarios.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(shard, n)));
+
+      while (true) {
+        const std::uint64_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+        if (s >= num_shards || failed.load(std::memory_order_relaxed)) break;
+        const std::uint64_t begin = cfg.first_device + s * shard;
+        const std::uint64_t end =
+            std::min(cfg.first_device + n, begin + shard);
+        const std::size_t count = static_cast<std::size_t>(end - begin);
+
+        // Shard generation: re-sampled from the substream, never stored.
+        scenarios.clear();
+        for (std::uint64_t id = begin; id < end; ++id) {
+          Scenario scenario = sample_scenario(cfg.fleet_seed, id);
+          scenario.days = cfg.days;
+          scenarios.push_back(scenario);
+        }
+
+        if (resuming) {
+          const std::uint64_t off =
+              resume_table_off +
+              (begin - cfg.first_device) * kDeviceCheckpointBytes;
+          record_buf.resize(count * kDeviceCheckpointBytes);
+          seek_to(resume_file->f, off);
+          ensure(std::fread(record_buf.data(), 1, record_buf.size(),
+                            resume_file->f) == record_buf.size(),
+                 "LongitudinalRunner: truncated checkpoint records");
+          ByteReader reader(record_buf);
+          checkpoints.clear();
+          checkpoints.reserve(count);
+          for (std::size_t i = 0; i < count; ++i) {
+            checkpoints.push_back(load_device_checkpoint(reader));
+          }
+          sim.resume(scenarios, checkpoints);
+        } else {
+          sim.begin(scenarios);
+        }
+
+        for (int d = start_day; d < stop_day; ++d) sim.step_day(&local);
+
+        if (saving) {
+          sim.save_checkpoints(checkpoints);
+          record_writer.clear();
+          for (const DeviceCheckpoint& cp : checkpoints) {
+            save_device_checkpoint(cp, record_writer);
+          }
+          const std::uint64_t off =
+              save_table_off +
+              (begin - cfg.first_device) * kDeviceCheckpointBytes;
+          std::lock_guard<std::mutex> lock(save_mutex);
+          seek_to(save_file->f, off);
+          ensure(std::fwrite(record_writer.data().data(), 1, record_writer.size(),
+                             save_file->f) == record_writer.size(),
+                 "LongitudinalRunner: checkpoint record write failed");
+        }
+
+        if (cfg.record_outcomes) {
+          FleetStats& rows = outcome_shards[static_cast<std::size_t>(s)];
+          for (const DeviceOutcome& outcome : sim.outcomes()) rows.add(outcome);
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker, i);
+    for (std::thread& t : pool) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+
+  LongitudinalResult result;
+  result.stats = std::move(banked);
+  for (const LongitudinalStats& local : worker_stats) result.stats.merge(local);
+
+  if (saving) {
+    CheckpointHeader header;
+    header.fleet_seed = cfg.fleet_seed;
+    header.first_device = cfg.first_device;
+    header.num_devices = cfg.num_devices;
+    header.days_total = static_cast<std::uint32_t>(cfg.days);
+    header.day = static_cast<std::uint32_t>(stop_day);
+    header.soc_bins = static_cast<std::uint32_t>(cfg.soc_bins);
+    ByteWriter head;
+    ByteWriter blob;
+    result.stats.save(blob);
+    header.stats_bytes = blob.size();
+    save_checkpoint_header(header, head);
+    ensure(kCheckpointHeaderBytes + blob.size() == save_table_off,
+           "LongitudinalRunner: checkpoint header size drifted");
+    seek_to(save_file->f, 0);
+    ensure(std::fwrite(head.data().data(), 1, head.size(), save_file->f) ==
+               head.size(),
+           "LongitudinalRunner: checkpoint header write failed");
+    ensure(std::fwrite(blob.data().data(), 1, blob.size(), save_file->f) ==
+               blob.size(),
+           "LongitudinalRunner: checkpoint aggregate write failed");
+    save_file.reset();  // flush + close before the caller resumes from it
+  }
+
+  if (cfg.record_outcomes) {
+    for (const FleetStats& rows : outcome_shards) result.outcomes.merge(rows);
+  }
+
+  result.devices = static_cast<std::size_t>(n);
+  result.start_day = start_day;
+  result.end_day = stop_day;
+  result.threads_used = threads;
+  result.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const double device_days =
+      static_cast<double>(n) * static_cast<double>(stop_day - start_day);
+  result.device_days_per_sec =
+      result.wall_s > 0.0 ? device_days / result.wall_s : 0.0;
+  return result;
+}
+
+}  // namespace iw::fleet

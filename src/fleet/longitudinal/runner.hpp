@@ -1,0 +1,204 @@
+// Longitudinal fleet service: checkpointable multi-month populations.
+//
+// Scales the fleet from "N devices x 1 day, fully materialized" to "millions
+// of devices x months" by combining three pieces:
+//
+//   * Sharded generation — the population [first_device, first_device +
+//     num_devices) is cut into contiguous shards; each shard's scenarios are
+//     re-sampled on demand from Rng::substream(fleet_seed, device_id), so any
+//     shard is reproducible in isolation and no per-device state exists
+//     outside the shard currently being simulated. Peak memory is O(shard),
+//     never O(population).
+//   * Multi-day lockstep advance — a shard's devices step day-by-day through
+//     the cohort day kernel (platform::CohortDayState), so the per-shard
+//     setup (scenario sampling, profile build, policy pooling, gate/shape
+//     caches) amortizes over every simulated day, not just one.
+//   * Streaming aggregation — results fold into LongitudinalStats (fixed-bin
+//     histograms + exact integer counters per day x archetype), whose merge
+//     is exactly commutative: aggregates are byte-identical across shard
+//     order, thread count, and checkpoint/resume splits.
+//
+// Checkpointing cuts the run at a day boundary: every device's cross-day
+// state (SoC bits, RNG cursor, outcome accumulators — see DeviceCheckpoint)
+// plus the aggregates so far go into one shard-addressable file. Resuming
+// replays the exact setup an uninterrupted run would perform on that day,
+// so checkpoint -> resume is bit-identical to never having stopped.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/app.hpp"
+#include "fleet/device_instance.hpp"
+#include "fleet/fleet_stats.hpp"
+#include "fleet/longitudinal/checkpoint.hpp"
+#include "fleet/longitudinal/long_stats.hpp"
+#include "fleet/scenario.hpp"
+#include "nn/batch.hpp"
+#include "platform/cohort_day.hpp"
+
+namespace iw::fleet {
+
+struct LongitudinalConfig {
+  /// Population: devices [first_device, first_device + num_devices), each
+  /// sampled from (fleet_seed, device_id). first_device lets a sub-population
+  /// be simulated in isolation — the same devices produce the same bits they
+  /// would inside the full population (the shard-isolation property).
+  std::uint64_t num_devices = 1000;
+  std::uint64_t first_device = 0;
+  std::uint64_t fleet_seed = 0x1f2e2020ULL;
+  /// Simulated days per device.
+  int days = 30;
+  /// Devices simulated together per shard — the memory knob. Also the unit
+  /// of work claimed by worker threads.
+  std::size_t shard_size = 4096;
+  /// Worker threads; 1 runs inline on the calling thread.
+  int threads = 1;
+  /// SoC histogram resolution of the streamed aggregates.
+  int soc_bins = LongitudinalStats::kDefaultSocBins;
+  /// Optional shared stress-detection app (const access only; must outlive
+  /// the run). When set, completed detections classify through its deployed
+  /// fixed-point network, batched per cohort-day.
+  const core::StressDetectionApp* app = nullptr;
+  bool batched_classification = true;
+  /// Retain one DeviceOutcome row per device in LongitudinalResult::outcomes
+  /// (O(population) memory — for oracle comparisons and small runs only; the
+  /// streamed LongitudinalStats is the scalable product).
+  bool record_outcomes = false;
+  /// Non-empty: resume from this checkpoint file. Its header must match the
+  /// population spec above (seed, range, days, soc_bins) exactly.
+  std::string resume_path;
+  /// Non-empty: write a checkpoint at the end of day `checkpoint_day` and
+  /// stop there (resume later to continue). Requires 0 < checkpoint_day <=
+  /// days, and checkpoint_day greater than a resumed file's day.
+  std::string checkpoint_path;
+  int checkpoint_day = 0;
+};
+
+struct LongitudinalResult {
+  LongitudinalStats stats;
+  /// Per-device rows; empty unless LongitudinalConfig::record_outcomes.
+  FleetStats outcomes;
+  std::size_t devices = 0;
+  /// Days already banked by the resumed checkpoint (0 for a fresh run) and
+  /// the day this run stopped at (== days, or checkpoint_day).
+  int start_day = 0;
+  int end_day = 0;
+  int threads_used = 1;
+  double wall_s = 0.0;
+  /// Device-days simulated by *this* run (excludes resumed days) per second.
+  double device_days_per_sec = 0.0;
+};
+
+/// Multi-day lockstep simulator for one shard of explicit scenarios: the
+/// building block under LongitudinalRunner, public so tests and tools can
+/// drive crafted populations (e.g. battery-empty/full edge states) through
+/// the exact production day loop. Per device, outcomes are bit-identical to
+/// the fleet engine's cohort path on the same scenarios.
+///
+/// One simulator per worker thread; buffers and caches are reused across
+/// begin()/resume() cycles and are not thread-safe.
+class ShardSimulator {
+ public:
+  /// `app` may be null (energy/duty-cycle simulation only); when set it must
+  /// outlive the simulator. `batch` optionally supplies the worker's shared
+  /// batch workspace (lazily built when null and batching is on).
+  explicit ShardSimulator(const core::StressDetectionApp* app = nullptr,
+                          nn::FixedBatch* batch = nullptr,
+                          bool batched_classification = true);
+
+  /// Binds a fresh shard at day 0.
+  void begin(std::span<const Scenario> scenarios);
+
+  /// Binds a shard restored from checkpoints (parallel to `scenarios`; device
+  /// ids, RNG seeds and day counts are validated against the scenarios).
+  void resume(std::span<const Scenario> scenarios,
+              std::span<const DeviceCheckpoint> checkpoints);
+
+  /// Advances every unfinished lane one day; when `sink` is non-null, records
+  /// each advanced device's end-of-day state into it. Returns false once all
+  /// lanes have reached their scenario's day count.
+  bool step_day(LongitudinalStats* sink = nullptr);
+
+  /// Days completed (the lockstep clock; lanes with fewer scenario days stop
+  /// early and keep their last state).
+  int day() const { return day_; }
+  int max_days() const { return max_days_; }
+  bool done() const { return day_ >= max_days_; }
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// Running outcome accumulators, parallel to the bound scenarios.
+  std::span<const DeviceOutcome> outcomes() const;
+
+  /// Snapshots every lane's cross-day state at the current day boundary.
+  void save_checkpoints(std::vector<DeviceCheckpoint>& out) const;
+
+ private:
+  void setup(std::span<const Scenario> scenarios);
+  const platform::DetectionPolicy* policy_for(const Scenario& scenario);
+  void classify_staged();
+
+  const core::StressDetectionApp* app_;
+  nn::FixedBatch* batch_ = nullptr;
+  std::unique_ptr<nn::FixedBatch> owned_batch_;
+  bool use_batching_ = true;
+
+  /// Every device uses the same calibrated physics, so sharing one instance
+  /// is bit-identical to each device fitting its own.
+  hv::DualSourceHarvester harvester_ = hv::DualSourceHarvester::calibrated();
+  platform::CohortDayState cohort_;
+
+  /// Scheduling policies pooled by (kind, period) — stateless const objects,
+  /// so lanes sharing one is bit-identical to each owning one.
+  struct PooledPolicy {
+    PolicyKind kind;
+    double period_s;
+    std::unique_ptr<platform::DetectionPolicy> policy;
+  };
+  std::vector<PooledPolicy> policies_;
+
+  std::array<std::vector<std::size_t>, 3> windows_by_level_;
+
+  // Per-lane state, parallel to scenarios_; buffers reused across shards.
+  std::vector<Scenario> scenarios_;
+  std::vector<Rng> rngs_;
+  std::vector<hv::DayProfile> base_profiles_;
+  std::vector<hv::DayProfile> scaled_profiles_;
+  std::vector<platform::DeviceConfig> configs_;
+  std::vector<platform::DaySimulationResult> results_;
+  std::vector<const platform::DetectionPolicy*> lane_policy_;
+  std::vector<DeviceOutcome> outcomes_;
+  std::vector<double> socs_;
+  std::vector<platform::CohortMember> members_;
+  std::vector<std::size_t> active_;
+
+  // Cross-device per-day classification staging.
+  std::vector<std::size_t> lane_picks_;
+  std::vector<std::size_t> picks_;
+  std::vector<std::size_t> pick_lane_;
+  std::vector<const float*> rows_;
+  std::vector<std::size_t> labels_;
+
+  int day_ = 0;
+  int max_days_ = 0;
+};
+
+class LongitudinalRunner {
+ public:
+  explicit LongitudinalRunner(LongitudinalConfig config);
+
+  const LongitudinalConfig& config() const { return config_; }
+
+  /// Simulates the population (or the resumed remainder) and reduces the
+  /// streamed aggregates. Thread-safe to call from one thread at a time.
+  LongitudinalResult run() const;
+
+ private:
+  LongitudinalConfig config_;
+};
+
+}  // namespace iw::fleet

@@ -55,6 +55,21 @@ const CohortDayState::Shape& CohortDayState::shape_for(const hv::DayProfile& pro
   return *shapes_.back();
 }
 
+void CohortDayState::reserve_lanes(std::size_t n) {
+  lanes_.reserve(n);
+  policy_.reserve(n);
+  policy_eval_.reserve(n);
+  seg_table_.reserve(n);
+  intake_store_.reserve(n);
+  intake_table_.reserve(n);
+  reg_ok_.reserve(n);
+  detect_t_.reserve(n);
+  detect_seq_.reserve(n);
+  harvest_seq_.reserve(n);
+  next_seq_.reserve(n);
+  detect_alive_.reserve(n);
+}
+
 void CohortDayState::run_day(std::span<const CohortMember> members) {
   const std::size_t n = members.size();
   lanes_.resize(std::max(lanes_.size(), n));

@@ -68,6 +68,13 @@ class CohortDayState {
   /// sharing a tick grid (harvest tick, horizon) advance in lockstep.
   void run_day(std::span<const CohortMember> members);
 
+  /// Pre-sizes every per-lane array for cohorts of up to `n` members, so a
+  /// long-running driver (the longitudinal shard runner advances the same
+  /// cohort for months of simulated days) pays the growth once up front
+  /// instead of across its first day's run_day calls. Purely an allocation
+  /// hint: run_day grows the arrays on demand regardless.
+  void reserve_lanes(std::size_t n);
+
   /// Cache introspection (tests / diagnostics).
   std::size_t shape_cache_size() const { return shapes_.size(); }
   std::size_t gate_cache_size() const { return gate_cache_.size(); }

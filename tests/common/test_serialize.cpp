@@ -1,0 +1,102 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace iw {
+namespace {
+
+TEST(Serialize, RoundTripsEveryFieldType) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.141592653589793);
+  const std::uint8_t raw[3] = {1, 2, 3};
+  w.bytes(raw, sizeof raw);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  std::uint8_t back[3] = {};
+  r.bytes(back, sizeof back);
+  EXPECT_EQ(back[0], 1);
+  EXPECT_EQ(back[1], 2);
+  EXPECT_EQ(back[2], 3);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialize, LittleEndianLayoutIsStable) {
+  // The encoding is the file format — pin the exact bytes so a future
+  // "cleanup" cannot silently break every checkpoint on disk.
+  ByteWriter w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[1], 0x03);
+  EXPECT_EQ(w.data()[2], 0x02);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serialize, F64IsBitExactForSpecialValues) {
+  const double values[] = {0.0,
+                           -0.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           1.0 + std::numeric_limits<double>::epsilon()};
+  ByteWriter w;
+  for (const double v : values) w.f64(v);
+  ByteReader r(w.data());
+  for (const double v : values) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(Serialize, ReaderRejectsTruncatedInput) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.data());
+  r.u8();
+  r.u8();
+  EXPECT_THROW(r.u32(), Error);
+}
+
+TEST(Serialize, ReaderTracksOffsetAndSkips) {
+  ByteWriter w;
+  w.u64(1);
+  w.u64(2);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.offset(), 0u);
+  r.skip(8);
+  EXPECT_EQ(r.offset(), 8u);
+  EXPECT_EQ(r.u64(), 2u);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.skip(1), Error);
+}
+
+TEST(Serialize, WriterClearResets) {
+  ByteWriter w;
+  w.u64(99);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.u8(5);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.data()[0], 5);
+}
+
+}  // namespace
+}  // namespace iw

@@ -1,0 +1,201 @@
+// LongitudinalStats: the streamed aggregate under the longitudinal fleet.
+// The load-bearing property is exact mergeability — any partition of the
+// same device-days, merged in any order, yields byte-identical aggregates —
+// plus byte-stable binary save/load (it rides inside checkpoint files).
+#include "fleet/longitudinal/long_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace iw::fleet {
+namespace {
+
+DeviceOutcome outcome_for(Rng& rng, std::uint64_t id) {
+  DeviceOutcome o;
+  o.device_id = id;
+  o.profile = static_cast<WearerProfile>(rng.uniform_int(kNumWearerProfiles));
+  o.policy = static_cast<PolicyKind>(rng.uniform_int(kNumPolicyKinds));
+  o.detections_attempted = static_cast<std::uint64_t>(rng.uniform_int(500));
+  o.detections_completed = o.detections_attempted / 2;
+  o.detections_skipped = o.detections_attempted - o.detections_completed;
+  o.harvested_j = rng.uniform(0.0, 40.0);
+  o.consumed_j = rng.uniform(0.0, 40.0);
+  o.final_soc = rng.uniform();
+  o.self_sustaining = rng.bernoulli(0.7);
+  o.classified = static_cast<std::uint64_t>(rng.uniform_int(8));
+  return o;
+}
+
+TEST(LongitudinalStats, MergeIsOrderAndPartitionInvariant) {
+  constexpr int kDays = 5;
+  constexpr int kDevices = 400;
+  Rng rng(123);
+  std::vector<std::vector<DeviceOutcome>> by_day(kDays);
+  for (int d = 0; d < kDays; ++d) {
+    for (int i = 0; i < kDevices; ++i) {
+      by_day[static_cast<std::size_t>(d)].push_back(
+          outcome_for(rng, static_cast<std::uint64_t>(i)));
+    }
+  }
+
+  // Reference: one aggregate, devices recorded in order.
+  LongitudinalStats reference(kDays);
+  for (int d = 0; d < kDays; ++d) {
+    for (const DeviceOutcome& o : by_day[static_cast<std::size_t>(d)]) {
+      reference.record_device_day(d + 1, o);
+    }
+  }
+  const std::string expected = reference.serialize();
+
+  // Partition devices into uneven shards, record shards independently, merge
+  // in reversed order: must be byte-identical.
+  const int splits[] = {0, 7, 50, 128, 301, kDevices};
+  std::vector<LongitudinalStats> shards;
+  for (std::size_t s = 0; s + 1 < std::size(splits); ++s) {
+    LongitudinalStats shard(kDays);
+    for (int d = 0; d < kDays; ++d) {
+      for (int i = splits[s]; i < splits[s + 1]; ++i) {
+        shard.record_device_day(d + 1,
+                                by_day[static_cast<std::size_t>(d)]
+                                      [static_cast<std::size_t>(i)]);
+      }
+    }
+    shards.push_back(std::move(shard));
+  }
+  LongitudinalStats merged(kDays);
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) merged.merge(*it);
+  EXPECT_EQ(expected, merged.serialize());
+
+  // Merging into an empty shell adopts the shape.
+  LongitudinalStats shell;
+  for (const LongitudinalStats& shard : shards) shell.merge(shard);
+  EXPECT_EQ(expected, shell.serialize());
+}
+
+TEST(LongitudinalStats, CountersAccumulateExactly) {
+  LongitudinalStats stats(2, 8);
+  DeviceOutcome o;
+  o.profile = WearerProfile::kAthlete;
+  o.detections_attempted = 10;
+  o.detections_completed = 7;
+  o.detections_skipped = 3;
+  o.harvested_j = 1.5;
+  o.consumed_j = 0.25;
+  o.final_soc = 0.5;
+  o.self_sustaining = true;
+  stats.record_device_day(1, o);
+  o.self_sustaining = false;
+  stats.record_device_day(1, o);
+
+  const auto c = stats.day_counters(1);
+  EXPECT_EQ(c.devices, 2u);
+  EXPECT_EQ(c.self_sustaining, 1u);
+  EXPECT_EQ(c.detections_attempted, 20u);
+  EXPECT_EQ(c.detections_completed, 14u);
+  EXPECT_EQ(c.harvested_qj, 2 * LongitudinalStats::quantize_j(1.5));
+  EXPECT_DOUBLE_EQ(LongitudinalStats::dequantize_j(c.harvested_qj), 3.0);
+  EXPECT_DOUBLE_EQ(stats.fraction_self_sustaining(1), 0.5);
+  EXPECT_EQ(stats.day_counters(2).devices, 0u);
+  EXPECT_EQ(stats.day_counters(1, WearerProfile::kAthlete).devices, 2u);
+  EXPECT_EQ(stats.day_counters(1, WearerProfile::kHomebody).devices, 0u);
+}
+
+TEST(LongitudinalStats, QuantilesReadTheHistogram) {
+  LongitudinalStats stats(1, 10);  // bins of width 0.1, midpoints 0.05..0.95
+  DeviceOutcome o;
+  o.profile = WearerProfile::kOfficeWorker;
+  // 200 devices at SoC ~0.15, 50 at ~0.95: p50 sits in the low bin, p99
+  // (rank 246 of 250) in the top one.
+  for (int i = 0; i < 200; ++i) {
+    o.final_soc = 0.12;
+    stats.record_device_day(1, o);
+  }
+  for (int i = 0; i < 50; ++i) {
+    o.final_soc = 0.97;
+    stats.record_device_day(1, o);
+  }
+  EXPECT_DOUBLE_EQ(stats.soc_quantile(1, 0.5), 0.15);
+  EXPECT_DOUBLE_EQ(stats.soc_quantile(1, 0.99), 0.95);
+  EXPECT_DOUBLE_EQ(stats.soc_quantile(1, 0.0), 0.15);
+  EXPECT_DOUBLE_EQ(stats.soc_quantile(1, 1.0), 0.95);
+  // Per-archetype view of an archetype with no devices: defined zero.
+  EXPECT_DOUBLE_EQ(stats.soc_quantile(1, 0.5, WearerProfile::kHomebody), 0.0);
+}
+
+TEST(LongitudinalStats, EdgeSocsLandInEdgeBins) {
+  LongitudinalStats stats(1, 4);
+  DeviceOutcome o;
+  o.profile = WearerProfile::kHomebody;
+  // Carry-over SoC can sit an ulp outside [0, 1]; both belong in edge bins.
+  for (double soc : {-1e-12, 0.0, 1.0, 1.0 + 1e-12}) {
+    o.final_soc = soc;
+    stats.record_device_day(1, o);
+  }
+  EXPECT_DOUBLE_EQ(stats.soc_quantile(1, 0.0), 0.125);   // bin 0 midpoint
+  EXPECT_DOUBLE_EQ(stats.soc_quantile(1, 1.0), 0.875);   // top bin midpoint
+}
+
+TEST(LongitudinalStats, BinarySaveLoadRoundTripsBytes) {
+  Rng rng(99);
+  LongitudinalStats stats(3, 16);
+  for (int d = 1; d <= 3; ++d) {
+    for (int i = 0; i < 50; ++i) {
+      stats.record_device_day(d, outcome_for(rng, static_cast<std::uint64_t>(i)));
+    }
+  }
+  ByteWriter w;
+  stats.save(w);
+  ByteReader r(w.data());
+  const LongitudinalStats loaded = LongitudinalStats::load(r);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(stats.serialize(), loaded.serialize());
+  // And the reserialized bytes match too (save is a pure function of state).
+  ByteWriter w2;
+  loaded.save(w2);
+  EXPECT_EQ(w.data(), w2.data());
+}
+
+TEST(LongitudinalStats, SaveSizeDependsOnlyOnShape) {
+  Rng rng(7);
+  LongitudinalStats empty(4, 32);
+  LongitudinalStats full(4, 32);
+  for (int d = 1; d <= 4; ++d) {
+    for (int i = 0; i < 30; ++i) {
+      full.record_device_day(d, outcome_for(rng, static_cast<std::uint64_t>(i)));
+    }
+  }
+  ByteWriter we, wf;
+  empty.save(we);
+  full.save(wf);
+  EXPECT_EQ(we.size(), wf.size());
+}
+
+TEST(LongitudinalStats, MergeRejectsShapeMismatch) {
+  LongitudinalStats a(2, 8);
+  LongitudinalStats b(3, 8);
+  LongitudinalStats c(2, 16);
+  EXPECT_THROW(a.merge(b), Error);
+  EXPECT_THROW(a.merge(c), Error);
+}
+
+TEST(LongitudinalStats, LoadRejectsCorruptHeader) {
+  LongitudinalStats stats(1, 4);
+  ByteWriter w;
+  stats.save(w);
+  std::vector<std::uint8_t> bytes = w.data();
+  bytes[0] ^= 0xFF;  // break the magic
+  ByteReader r(bytes);
+  EXPECT_THROW(LongitudinalStats::load(r), Error);
+  // Truncated body.
+  std::vector<std::uint8_t> cut(w.data().begin(), w.data().end() - 5);
+  ByteReader rc(cut);
+  EXPECT_THROW(LongitudinalStats::load(rc), Error);
+}
+
+}  // namespace
+}  // namespace iw::fleet

@@ -1,0 +1,231 @@
+// iw_fleetd — longitudinal fleet service CLI.
+//
+// Runs a reproducible device population (sampled from a fleet seed) for a
+// number of simulated days through the sharded longitudinal runner and
+// answers the product questions the streamed aggregates exist for:
+//
+//   * "what fraction of the fleet is self-sustaining at day N?"
+//   * "what is the SoC p50/p99, per wearer archetype, over time?"
+//
+// Memory is O(shard), so populations far past RAM-resident fleet sizes run
+// fine: 100k devices x 30 days needs only the active shard plus the
+// days x archetypes x bins aggregate. A run can be cut at a day boundary
+// (--checkpoint/--checkpoint-day) and continued later (--resume); the
+// continued run's aggregates are byte-identical to never having stopped.
+//
+//   iw_fleetd --devices 100000 --days 30 --threads 8 --json fleet30.json
+//   iw_fleetd --devices 50000 --days 60 --checkpoint mid.ckpt --checkpoint-day 30
+//   iw_fleetd --devices 50000 --days 60 --resume mid.ckpt --json days60.json
+//   iw_fleetd --smoke        # self-check: determinism across threads,
+//                            # shard sizes, and a checkpoint/resume split
+//
+// JSON goes through the shared bench report layer (flat key -> number), so
+// downstream tooling reads fleet trajectories and bench trajectories the
+// same way.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fleet/longitudinal/runner.hpp"
+#include "report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--devices N] [--first N] [--seed S] [--days N]\n"
+      "          [--shard N] [--threads N] [--bins N] [--query-day N]\n"
+      "          [--every N] [--json PATH]\n"
+      "          [--checkpoint PATH --checkpoint-day N] [--resume PATH]\n"
+      "          [--smoke]\n",
+      argv0);
+  return 2;
+}
+
+/// Self-check: one small population, simulated four ways that must agree to
+/// the byte — baseline, different thread count, different shard size (which
+/// also permutes shard claim order), and a checkpoint/resume split.
+int run_smoke() {
+  using iw::fleet::LongitudinalConfig;
+  using iw::fleet::LongitudinalRunner;
+
+  LongitudinalConfig base;
+  base.num_devices = 600;
+  base.days = 8;
+  base.shard_size = 128;
+  base.threads = 1;
+  std::printf("iw_fleetd smoke: %llu devices x %d days\n",
+              static_cast<unsigned long long>(base.num_devices), base.days);
+
+  const std::string reference = LongitudinalRunner(base).run().stats.serialize();
+
+  LongitudinalConfig threaded = base;
+  threaded.threads = 4;
+  const bool threads_ok =
+      LongitudinalRunner(threaded).run().stats.serialize() == reference;
+  std::printf("  threads=4           %s\n", threads_ok ? "ok" : "MISMATCH");
+
+  LongitudinalConfig resharded = base;
+  resharded.shard_size = 57;
+  resharded.threads = 2;
+  const bool shard_ok =
+      LongitudinalRunner(resharded).run().stats.serialize() == reference;
+  std::printf("  shard=57 threads=2  %s\n", shard_ok ? "ok" : "MISMATCH");
+
+  const std::string ckpt = "iw_fleetd_smoke.ckpt";
+  LongitudinalConfig leg1 = base;
+  leg1.checkpoint_path = ckpt;
+  leg1.checkpoint_day = 3;
+  LongitudinalRunner(leg1).run();
+  LongitudinalConfig leg2 = base;
+  leg2.resume_path = ckpt;
+  leg2.threads = 2;
+  const bool resume_ok =
+      LongitudinalRunner(leg2).run().stats.serialize() == reference;
+  std::remove(ckpt.c_str());
+  std::printf("  checkpoint@3+resume %s\n", resume_ok ? "ok" : "MISMATCH");
+
+  const bool ok = threads_ok && shard_ok && resume_ok;
+  std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iw::fleet::LongitudinalConfig config;
+  config.num_devices = 10000;
+  int query_day = 0;
+  int every = 0;
+  std::string json_path;
+  bool smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const bool more = i + 1 < argc;
+    if (std::strcmp(argv[i], "--devices") == 0 && more) {
+      config.num_devices = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--first") == 0 && more) {
+      config.first_device = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && more) {
+      config.fleet_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--days") == 0 && more) {
+      config.days = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shard") == 0 && more) {
+      config.shard_size =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && more) {
+      config.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--bins") == 0 && more) {
+      config.soc_bins = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--query-day") == 0 && more) {
+      query_day = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--every") == 0 && more) {
+      every = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && more) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && more) {
+      config.checkpoint_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-day") == 0 && more) {
+      config.checkpoint_day = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--resume") == 0 && more) {
+      config.resume_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (smoke) return run_smoke();
+  if (config.num_devices == 0 || config.days <= 0 || config.threads <= 0 ||
+      config.shard_size == 0 || config.soc_bins < 2) {
+    return usage(argv[0]);
+  }
+  if (query_day <= 0 || query_day > config.days) query_day = config.days;
+  // Day-table stride: by default print ~12 rows regardless of horizon.
+  if (every <= 0) every = config.days <= 12 ? 1 : (config.days + 11) / 12;
+
+  try {
+    const iw::fleet::LongitudinalRunner runner(config);
+    const iw::fleet::LongitudinalResult result = runner.run();
+    const iw::fleet::LongitudinalStats& stats = result.stats;
+    const int last_day = result.end_day;
+
+    std::printf("fleet: %llu devices (ids %llu..%llu), days %d..%d, "
+                "shard %zu, %d thread%s\n",
+                static_cast<unsigned long long>(config.num_devices),
+                static_cast<unsigned long long>(config.first_device),
+                static_cast<unsigned long long>(config.first_device +
+                                                config.num_devices - 1),
+                result.start_day, last_day, config.shard_size,
+                result.threads_used, result.threads_used == 1 ? "" : "s");
+    std::printf("wall: %.2f s  (%.0f device-days/sec)\n\n", result.wall_s,
+                result.device_days_per_sec);
+
+    std::printf("%5s %10s %9s %9s %9s\n", "day", "devices", "frac_ss",
+                "soc_p50", "soc_p99");
+    for (int day = 1; day <= last_day; ++day) {
+      if (day % every != 0 && day != last_day && day != query_day) continue;
+      const auto c = stats.day_counters(day);
+      std::printf("%5d %10llu %9.4f %9.4f %9.4f\n", day,
+                  static_cast<unsigned long long>(c.devices),
+                  stats.fraction_self_sustaining(day),
+                  stats.soc_quantile(day, 0.50), stats.soc_quantile(day, 0.99));
+    }
+
+    std::printf("\nself-sustaining at day %d: %.4f\n", query_day,
+                stats.fraction_self_sustaining(query_day));
+    std::printf("\nSoC by archetype at day %d:\n", last_day);
+    std::printf("%16s %10s %9s %9s\n", "archetype", "devices", "soc_p50",
+                "soc_p99");
+    for (int p = 0; p < iw::fleet::kNumWearerProfiles; ++p) {
+      const auto profile = static_cast<iw::fleet::WearerProfile>(p);
+      const auto c = stats.day_counters(last_day, profile);
+      std::printf("%16s %10llu %9.4f %9.4f\n", iw::fleet::to_string(profile),
+                  static_cast<unsigned long long>(c.devices),
+                  stats.soc_quantile(last_day, 0.50, profile),
+                  stats.soc_quantile(last_day, 0.99, profile));
+    }
+
+    if (!config.checkpoint_path.empty()) {
+      std::printf("\ncheckpoint written: %s (day %d)\n",
+                  config.checkpoint_path.c_str(), last_day);
+    }
+
+    if (!json_path.empty()) {
+      iw::bench::JsonReport json(json_path);
+      json.add("devices", static_cast<double>(config.num_devices));
+      json.add("first_device", static_cast<double>(config.first_device));
+      json.add("start_day", result.start_day);
+      json.add("end_day", last_day);
+      json.add("threads", result.threads_used);
+      json.add("shard_size", static_cast<double>(config.shard_size));
+      json.add("soc_bins", config.soc_bins);
+      json.add("wall_s", result.wall_s);
+      json.add("device_days_per_sec", result.device_days_per_sec);
+      json.add("query_day", query_day);
+      json.add("frac_self_sustaining_query_day",
+               stats.fraction_self_sustaining(query_day));
+      for (int day = 1; day <= last_day; ++day) {
+        const std::string prefix = "day" + std::to_string(day);
+        json.add(prefix + "_frac_self_sustaining",
+                 stats.fraction_self_sustaining(day));
+        json.add(prefix + "_soc_p50", stats.soc_quantile(day, 0.50));
+        json.add(prefix + "_soc_p99", stats.soc_quantile(day, 0.99));
+        for (int p = 0; p < iw::fleet::kNumWearerProfiles; ++p) {
+          const auto profile = static_cast<iw::fleet::WearerProfile>(p);
+          json.add(prefix + "_soc_p50_" + iw::fleet::to_string(profile),
+                   stats.soc_quantile(day, 0.50, profile));
+          json.add(prefix + "_soc_p99_" + iw::fleet::to_string(profile),
+                   stats.soc_quantile(day, 0.99, profile));
+        }
+      }
+      json.write();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iw_fleetd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
