@@ -1,11 +1,18 @@
-// Host-side interpreter throughput: simulated MIPS (millions of simulated
+// Host-side simulator throughput: simulated MIPS (millions of simulated
 // instructions per wall-clock second) for the Table III kernels on all four
-// execution targets. This tracks how fast the rvsim interpreter itself runs
+// execution targets, in both execution modes — the plain interpreter and the
+// superblock-trace engine (rvsim/trace.hpp). This tracks how fast rvsim runs
 // on the host — the ceiling on sweeps, ablations, and day-long traces — so
-// interpreter changes show up in the bench trajectory (BENCH_sim_throughput.json).
+// simulator changes show up in the bench trajectory (BENCH_sim_throughput.json).
+//
+// The two modes must be bit-identical: every (target, network) pair is run
+// once in each mode and the simulated cycles, instruction counts and network
+// outputs are cross-checked before any rate is reported. `--smoke` runs only
+// that cross-check (one rep per pair, no JSON) for CI.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -14,6 +21,7 @@
 #include "kernels/runner.hpp"
 #include "nn/presets.hpp"
 #include "nn/quantize.hpp"
+#include "rvsim/trace.hpp"
 
 namespace {
 
@@ -42,11 +50,13 @@ struct Measurement {
 };
 
 /// Repeats the kernel until enough wall time accumulates to trust the rate.
-Measurement measure(const Workload& w, Target target) {
+/// The trace mode applies to the Machines/Clusters the runner constructs.
+Measurement measure(const Workload& w, Target target, bool traces) {
   using clock = std::chrono::steady_clock;
   constexpr double kMinWallS = 0.25;
   constexpr int kMaxReps = 400;
 
+  iw::rv::set_default_trace_mode(traces);
   Measurement m;
   // Warm-up run, also the source of the per-inference simulated counts.
   const auto first = iw::kernels::run_fixed_mlp(w.net, w.input, target);
@@ -75,12 +85,37 @@ std::string target_key(Target target) {
   return "?";
 }
 
+/// One inference per mode; returns false (and prints why) unless the trace
+/// engine reproduced the interpreter bit for bit.
+bool check_identity(const Workload& w, Target target) {
+  iw::rv::set_default_trace_mode(false);
+  const auto interp = iw::kernels::run_fixed_mlp(w.net, w.input, target);
+  iw::rv::set_default_trace_mode(true);
+  const auto traced = iw::kernels::run_fixed_mlp(w.net, w.input, target);
+
+  bool ok = interp.cycles == traced.cycles &&
+            interp.instructions == traced.instructions &&
+            interp.outputs_fixed == traced.outputs_fixed;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL %s/%s: interp cycles=%llu instrs=%llu vs trace "
+                 "cycles=%llu instrs=%llu%s\n",
+                 target_key(target).c_str(), w.name.c_str(),
+                 static_cast<unsigned long long>(interp.cycles),
+                 static_cast<unsigned long long>(interp.instructions),
+                 static_cast<unsigned long long>(traced.cycles),
+                 static_cast<unsigned long long>(traced.instructions),
+                 interp.outputs_fixed == traced.outputs_fixed
+                     ? ""
+                     : " (outputs differ)");
+  }
+  return ok;
+}
+
 }  // namespace
 
-int main() {
-  iw::bench::print_header("Interpreter host throughput (simulated MIPS)");
-  std::printf("%-34s %-10s %12s %14s %14s %6s\n", "target", "network",
-              "host MIPS", "cycles/inf", "instrs/inf", "reps");
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
 
   iw::Rng rng_a(1);
   iw::Rng rng_b(2);
@@ -91,18 +126,48 @@ int main() {
   const Target targets[] = {Target::kCortexM4, Target::kIbex,
                             Target::kRi5cySingle, Target::kRi5cyMulti};
 
+  // Interpreter-vs-trace bit-identity gate: cheap, and it keeps the speedup
+  // numbers honest — a fast trace engine that drifts from the interpreter's
+  // cycle accounting would invalidate every table built on top of it.
+  bool identical = true;
+  for (const Target target : targets) {
+    for (const Workload& w : workloads) {
+      identical = check_identity(w, target) && identical;
+    }
+  }
+  if (!identical) {
+    std::fprintf(stderr, "bench_sim_throughput: trace/interp divergence\n");
+    return 1;
+  }
+  if (smoke) {
+    std::printf("bench_sim_throughput --smoke: trace engine bit-identical to "
+                "interpreter on all %zu target/network pairs\n",
+                std::size(targets) * std::size(workloads));
+    return 0;
+  }
+
+  iw::bench::print_header("Simulator host throughput (simulated MIPS)");
+  std::printf("%-34s %-10s %12s %12s %8s %14s %14s\n", "target", "network",
+              "interp MIPS", "trace MIPS", "speedup", "cycles/inf",
+              "instrs/inf");
+
   iw::bench::JsonReport json("BENCH_sim_throughput.json");
   for (const Target target : targets) {
     for (const Workload& w : workloads) {
-      const Measurement m = measure(w, target);
-      std::printf("%-34s %-10s %12.2f %14llu %14llu %6d\n",
+      const Measurement interp = measure(w, target, false);
+      const Measurement traced = measure(w, target, true);
+      const double speedup = traced.mips / interp.mips;
+      std::printf("%-34s %-10s %12.2f %12.2f %7.2fx %14llu %14llu\n",
                   iw::kernels::target_name(target).c_str(), w.name.c_str(),
-                  m.mips, static_cast<unsigned long long>(m.cycles),
-                  static_cast<unsigned long long>(m.instructions), m.reps);
+                  interp.mips, traced.mips, speedup,
+                  static_cast<unsigned long long>(interp.cycles),
+                  static_cast<unsigned long long>(interp.instructions));
       const std::string key = target_key(target) + "." + w.name;
-      json.add(key + ".mips", m.mips);
-      json.add(key + ".cycles", static_cast<double>(m.cycles));
-      json.add(key + ".instructions", static_cast<double>(m.instructions));
+      json.add(key + ".interp.mips", interp.mips);
+      json.add(key + ".trace.mips", traced.mips);
+      json.add(key + ".trace.speedup", speedup);
+      json.add(key + ".cycles", static_cast<double>(interp.cycles));
+      json.add(key + ".instructions", static_cast<double>(interp.instructions));
     }
   }
   json.write();

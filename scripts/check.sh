@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Pre-PR gate: the tier-1 test suite, the iw_lint static-analysis matrix
-# over every assembled reference kernel, an UndefinedBehaviorSanitizer pass
-# over the platform/fleet suites (the ones exercising the fast-path day
-# kernel and the per-worker scratch reuse, where a stale-pointer or
-# aliasing bug would live), a ThreadSanitizer pass over the concurrent
-# fleet/platform layers, and clang-tidy when available.
+# over every assembled reference kernel, the trace/interpreter bit-identity
+# smoke, an UndefinedBehaviorSanitizer pass over the platform/fleet suites
+# and the superblock-trace suite (the fast-path day kernel, per-worker
+# scratch reuse and the direct-threaded trace executor are where a
+# stale-pointer or aliasing bug would live), a ThreadSanitizer pass over the
+# concurrent fleet/platform layers, and clang-tidy when available.
 #
 # Usage: scripts/check.sh            # from the repository root
 #
@@ -28,15 +29,21 @@ echo "== iw_fleetd smoke (longitudinal determinism self-check) =="
 ./build/tools/iw_fleetd --smoke
 
 echo
+echo "== trace engine smoke (interpreter bit-identity on all targets) =="
+./build/bench/bench_sim_throughput --smoke
+
+echo
 echo "== clang-tidy (skipped automatically when not installed) =="
 scripts/tidy.sh
 
 echo
-echo "== UBSan pass (platform + fleet suites) =="
+echo "== UBSan pass (platform + fleet + trace suites) =="
 cmake -B build-ubsan -S . -DIW_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)" \
   --target test_platform test_fast_day test_cohort_day test_fleet \
-  test_fleet_cohort test_fleet_long
+  test_fleet_cohort test_fleet_long test_trace
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_trace
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_platform
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \

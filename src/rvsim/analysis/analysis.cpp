@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "rvsim/predecode.hpp"
+#include "rvsim/trace.hpp"
 #include "rvsim/verify_hook.hpp"
 
 namespace iw::rv::analysis {
@@ -791,6 +792,32 @@ void verify_or_throw(Memory& mem, std::uint32_t entry,
   fail(os.str());
 }
 
-void install_load_verifier() { set_program_verifier(&verify_or_throw); }
+CodeCertificate certify(Memory& mem, std::uint32_t entry,
+                        const TimingProfile& profile) {
+  CodeCertificate cert;
+  try {
+    const AnalysisReport report = analyze(mem, entry, profile);
+    cert.ok = report.ok();
+    if (!cert.ok) return cert;
+    // Merge the (sorted) blocks into disjoint code ranges; adjacent blocks
+    // fuse so a superblock can run straight-line across block boundaries.
+    for (const BasicBlock& b : report.blocks) {
+      if (!cert.ranges.empty() && b.start <= cert.ranges.back().second) {
+        if (b.end > cert.ranges.back().second) cert.ranges.back().second = b.end;
+      } else {
+        cert.ranges.emplace_back(b.start, b.end);
+      }
+    }
+    for (const HwLoopRegion& r : report.loops) cert.loop_ends.push_back(r.end);
+  } catch (...) {
+    cert = CodeCertificate{};  // analysis failure: nothing is certified
+  }
+  return cert;
+}
+
+void install_load_verifier() {
+  set_program_verifier(&verify_or_throw);
+  set_code_analyzer(&certify);
+}
 
 }  // namespace iw::rv::analysis

@@ -44,8 +44,11 @@
 #include "rvsim/isa.hpp"
 #include "rvsim/memory.hpp"
 #include "rvsim/timing.hpp"
+#include "rvsim/trace.hpp"
 
 namespace iw::rv::analysis {
+
+using iw::rv::CodeCertificate;
 
 /// Diagnostic catalogue. Every kind is an error except kIndirectJump, which
 /// is a note by default (the analyzer cannot follow the jump, so downstream
@@ -143,8 +146,18 @@ AnalysisReport analyze(Memory& mem, std::uint32_t entry,
 void verify_or_throw(Memory& mem, std::uint32_t entry,
                      const TimingProfile& profile);
 
+/// Trace-compiler adapter: analyzes from `entry` and condenses the report
+/// into the CodeCertificate the superblock compiler consumes (merged code
+/// ranges + statically known hardware-loop end pcs). Not-ok on any error
+/// diagnostic or analysis failure, which disables trace compilation for the
+/// image. Installed as the rv::set_code_analyzer hook by
+/// install_load_verifier().
+CodeCertificate certify(Memory& mem, std::uint32_t entry,
+                        const TimingProfile& profile);
+
 /// Installs verify_or_throw as the global rv::Machine / rv::Cluster
-/// verify_on_load hook (idempotent).
+/// verify_on_load hook and certify() as the trace-compiler analyzer hook
+/// (idempotent).
 void install_load_verifier();
 
 }  // namespace iw::rv::analysis

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "rvsim/trace_exec.hpp"
 #include "rvsim/verify_hook.hpp"
 
 namespace iw::rv {
@@ -15,31 +16,161 @@ namespace {
 /// the same deterministic order the previous O(num_cores) scan produced, at
 /// O(log n) per schedule step. Every kRunning core is in the heap exactly
 /// once; halted and barrier-parked cores are simply absent.
+///
+/// Entries are packed as (time << kCoreBits) | core, so the lexicographic
+/// (time, index) order is plain integer order and the scheduler's hottest
+/// operation — push_pop, one fused sift-down — moves single registers. The
+/// packing is exact while time < 2^58, far beyond any simulated run.
 class ReadyHeap {
  public:
+  static constexpr unsigned kCoreBits = 6;  // num_cores <= 32 < 2^6
+  static constexpr std::uint64_t kCoreMask = (1u << kCoreBits) - 1;
+
+  static std::uint64_t pack(std::uint64_t time, int core) {
+    return (time << kCoreBits) | static_cast<std::uint64_t>(core);
+  }
+  static std::uint64_t entry_time(std::uint64_t e) { return e >> kCoreBits; }
+  static int entry_core(std::uint64_t e) { return static_cast<int>(e & kCoreMask); }
+
   explicit ReadyHeap(int capacity) { slots_.reserve(static_cast<std::size_t>(capacity)); }
 
   bool empty() const { return slots_.empty(); }
 
   void push(std::uint64_t time, int core) {
-    slots_.emplace_back(time, core);
-    std::push_heap(slots_.begin(), slots_.end(), kLater);
+    slots_.push_back(pack(time, core));
+    std::size_t i = slots_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (slots_[parent] <= slots_[i]) break;
+      std::swap(slots_[parent], slots_[i]);
+      i = parent;
+    }
   }
 
-  std::pair<std::uint64_t, int> pop() {
-    std::pop_heap(slots_.begin(), slots_.end(), kLater);
-    const std::pair<std::uint64_t, int> top = slots_.back();
+  std::uint64_t pop() {
+    const std::uint64_t top = slots_.front();
+    slots_.front() = slots_.back();
     slots_.pop_back();
+    if (!slots_.empty()) sift_down();
     return top;
   }
 
+  /// Re-queues one entry and extracts the new minimum in one sift-down: the
+  /// per-instruction schedule step of a lockstep cluster.
+  std::uint64_t push_pop(std::uint64_t time, int core) {
+    const std::uint64_t entry = pack(time, core);
+    if (slots_.empty() || entry < slots_.front()) return entry;
+    const std::uint64_t top = slots_.front();
+    slots_.front() = entry;
+    sift_down();
+    return top;
+  }
+
+  /// Smallest packed (time, index) without removing it. Valid when !empty().
+  std::uint64_t peek() const { return slots_.front(); }
+
  private:
-  // std::push_heap keeps the *largest* element on top, so order by "later".
-  static constexpr auto kLater = [](const std::pair<std::uint64_t, int>& a,
-                                    const std::pair<std::uint64_t, int>& b) {
-    return a > b;
-  };
-  std::vector<std::pair<std::uint64_t, int>> slots_;
+  void sift_down() {
+    const std::size_t n = slots_.size();
+    const std::uint64_t value = slots_[0];
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && slots_[child + 1] < slots_[child]) ++child;
+      if (value <= slots_[child]) break;
+      slots_[i] = slots_[child];
+      i = child;
+    }
+    slots_[i] = value;
+  }
+
+  std::vector<std::uint64_t> slots_;
+};
+
+/// Trace-execution env for the cluster scheduler: per record it applies TCDM
+/// bank arbitration and advances the core's local time. Every record that
+/// touches memory (and thus the shared image, the banks, DMA or the barrier)
+/// executes only while the core is the lexicographically smallest
+/// (time, index) among runnables — exactly the one-instruction-at-a-time
+/// schedule. Once the window closes, the core may still *run ahead* through
+/// records that touch no memory at all: those update nothing but its private
+/// registers and counters, so executing them early commutes with every
+/// operation another core can canonically interleave in between. The env is
+/// built once per core per run; the driver refreshes only the per-burst
+/// fields before each resume.
+struct ClusterTraceEnv {
+  /// Bounds run-ahead past the burst window (and with it the span over which
+  /// a racing cross-core code store could, in principle, be observed late;
+  /// see DESIGN.md §14 on the self-modifying-code contract).
+  static constexpr std::uint32_t kAheadCap = 64;
+
+  Core& core;
+  std::uint64_t& my_time;
+  std::uint64_t* bank_free;
+  std::uint64_t& bank_conflict_stalls;
+  std::uint64_t& executed;
+  std::uint64_t max_instructions;
+  std::uint32_t tcdm_base;
+  std::uint32_t tcdm_size;
+  std::uint32_t num_banks;
+  std::uint32_t bank_mask;  // num_banks - 1 when a power of two, else 0
+  std::uint32_t dma_base;
+  std::uint32_t barrier_addr;
+  std::uint32_t special_lo;   // min(dma trigger, dma wait, barrier) address
+  std::uint32_t special_len;  // max special address - special_lo
+  int self;
+
+  // Per-burst state, refreshed by the driver before each run_trace call.
+  std::uint64_t limit = 0;  // packed (limit_time, limit_index), see ReadyHeap
+  std::uint32_t ahead = 0;      // records executed past the window so far
+  std::uint32_t ahead_cap = 0;  // 0 disables run-ahead (image not clean)
+  bool budget_stop = false;
+  bool special = false;  // a store hit a DMA register or the barrier
+  std::uint32_t special_addr = 0;
+
+  bool pre(const TraceOp& t) {
+    if (ahead != 0 &&
+        (t.flags & (TraceOp::kIsLoad | TraceOp::kIsStore)) != 0) {
+      // Out of the burst window: memory-touching records wait until this
+      // core is the canonical minimum again.
+      return false;
+    }
+    if (executed == max_instructions) {
+      // Let the interpreted path raise the budget error with the exact
+      // counter state the one-at-a-time loop would have.
+      budget_stop = true;
+      return false;
+    }
+    ++executed;
+    return true;
+  }
+
+  bool post(int cycles, bool mem_valid, bool mem_is_store, std::uint32_t addr) {
+    std::uint64_t cost = static_cast<std::uint64_t>(cycles);
+    if (mem_valid && (addr - tcdm_base) < tcdm_size) {
+      const std::uint32_t word_index = (addr - tcdm_base) >> 2;
+      const std::size_t bank =
+          bank_mask != 0 ? (word_index & bank_mask) : (word_index % num_banks);
+      const std::uint64_t served_at = std::max(bank_free[bank], my_time);
+      const std::uint64_t stall = served_at - my_time;
+      bank_free[bank] = served_at + 1;
+      if (stall > 0) {
+        core.add_stall(stall);
+        bank_conflict_stalls += stall;
+        cost += stall;
+      }
+    }
+    my_time += cost;
+    if (mem_is_store && addr - special_lo <= special_len &&
+        (addr == dma_base + 12 || addr == dma_base + 16 || addr == barrier_addr)) {
+      special = true;
+      special_addr = addr;
+      return false;
+    }
+    if (ReadyHeap::pack(my_time, self) < limit) return true;
+    return ++ahead <= ahead_cap;
+  }
 };
 
 }  // namespace
@@ -52,6 +183,18 @@ Cluster::Cluster(TimingProfile profile, ClusterConfig config)
   cores_.reserve(static_cast<std::size_t>(config_.num_cores));
   for (int i = 0; i < config_.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(profile, mem_, static_cast<std::uint32_t>(i)));
+  }
+  if (default_trace_mode()) set_trace_mode(true);
+}
+
+void Cluster::set_trace_mode(bool enabled) {
+  if (enabled == (tspace_ != nullptr)) return;
+  if (enabled) {
+    tspace_ = std::make_unique<TraceSpace>(mem_, cores_.front()->profile());
+    for (auto& core : cores_) core->set_trace_space(tspace_.get());
+  } else {
+    for (auto& core : cores_) core->set_trace_space(nullptr);
+    tspace_.reset();
   }
 }
 
@@ -73,6 +216,8 @@ ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instruction
   std::vector<std::uint64_t> time(static_cast<std::size_t>(n), 0);
   // Per-bank time at which the bank becomes free again.
   std::vector<std::uint64_t> bank_free(static_cast<std::size_t>(config_.num_banks), 0);
+  const std::uint32_t banks = static_cast<std::uint32_t>(config_.num_banks);
+  const std::uint32_t bank_mask = (banks & (banks - 1)) == 0 ? banks - 1 : 0;
 
   ReadyHeap ready(n);
   for (int i = 0; i < n; ++i) {
@@ -88,41 +233,14 @@ ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instruction
   int halted_cores = 0;
   int parked_cores = 0;  // cores waiting at the barrier
 
-  while (halted_cores < n) {
-    if (ready.empty()) {
-      // No core can run but not all halted: every live core is parked at the
-      // barrier waiting for a halted core -> deadlock.
-      fail("Cluster::run: barrier deadlock (a core halted before the barrier)");
-    }
-    const int pick = ready.pop().second;
-
-    Core& core = *cores_[static_cast<std::size_t>(pick)];
+  /// DMA-register / barrier store handling, shared by the interpreted path
+  /// and the trace path. Returns true when the core parked at the barrier
+  /// (it must not be re-queued; the release loop pushes it).
+  const auto handle_special_store = [&](int pick, std::uint32_t addr) -> bool {
     const std::size_t p = static_cast<std::size_t>(pick);
-    if (++executed > max_instructions) {
-      fail("Cluster::run: instruction budget exhausted (runaway program?)");
-    }
-
-    const Core::StepResult step = core.step();
-    std::uint64_t cost = static_cast<std::uint64_t>(step.cycles);
-
-    if (step.access.valid && in_tcdm(step.access.addr)) {
-      const std::uint32_t word_index = (step.access.addr - config_.tcdm_base) >> 2;
-      const std::size_t bank = word_index % static_cast<std::uint32_t>(config_.num_banks);
-      const std::uint64_t request_at = time[p];
-      const std::uint64_t served_at = std::max(bank_free[bank], request_at);
-      const std::uint64_t stall = served_at - request_at;
-      bank_free[bank] = served_at + 1;
-      if (stall > 0) {
-        core.add_stall(stall);
-        result.bank_conflict_stalls += stall;
-        cost += stall;
-      }
-    }
-    time[p] += cost;
-
+    Core& core = *cores_[p];
     // DMA engine: trigger and wait are stores to the mapped registers.
-    if (step.access.valid && step.access.is_store &&
-        step.access.addr == config_.dma_base + 12) {
+    if (addr == config_.dma_base + 12) {
       const std::uint32_t src = mem_.load32(config_.dma_base);
       const std::uint32_t dst = mem_.load32(config_.dma_base + 4);
       const std::uint32_t len = mem_.load32(config_.dma_base + 8);
@@ -138,8 +256,7 @@ ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instruction
       dma_done_at = std::max(dma_done_at, time[p]) + busy;
       ++result.dma_transfers;
       result.dma_words += len;
-    } else if (step.access.valid && step.access.is_store &&
-               step.access.addr == config_.dma_base + 16) {
+    } else if (addr == config_.dma_base + 16) {
       if (time[p] < dma_done_at) {
         const std::uint64_t wait = dma_done_at - time[p];
         core.add_stall(wait);
@@ -147,38 +264,152 @@ ClusterRunResult Cluster::run(std::uint32_t entry, std::uint64_t max_instruction
         time[p] = dma_done_at;
       }
     }
+    if (addr != config_.barrier_addr) return false;
 
-    if (step.halted) {
-      state[p] = CoreState::kHalted;
-      ++halted_cores;
-    } else if (step.access.valid && step.access.is_store &&
-               step.access.addr == config_.barrier_addr) {
-      state[p] = CoreState::kAtBarrier;
-      ++parked_cores;
-      // Release when every non-halted core has arrived.
-      if (parked_cores + halted_cores == n) {
-        std::uint64_t release_at = 0;
-        for (int i = 0; i < n; ++i) {
-          if (state[static_cast<std::size_t>(i)] == CoreState::kAtBarrier) {
-            release_at = std::max(release_at, time[static_cast<std::size_t>(i)]);
-          }
+    state[p] = CoreState::kAtBarrier;
+    ++parked_cores;
+    // Release when every non-halted core has arrived.
+    if (parked_cores + halted_cores == n) {
+      std::uint64_t release_at = 0;
+      for (int i = 0; i < n; ++i) {
+        if (state[static_cast<std::size_t>(i)] == CoreState::kAtBarrier) {
+          release_at = std::max(release_at, time[static_cast<std::size_t>(i)]);
         }
-        release_at += static_cast<std::uint64_t>(config_.barrier_wakeup_cycles);
-        for (int i = 0; i < n; ++i) {
-          const std::size_t q = static_cast<std::size_t>(i);
-          if (state[q] == CoreState::kAtBarrier) {
-            const std::uint64_t wait = release_at - time[q];
-            cores_[q]->add_stall(wait);
-            result.barrier_wait_cycles += wait;
-            time[q] = release_at;
-            state[q] = CoreState::kRunning;
-            ready.push(release_at, i);
-          }
-        }
-        parked_cores = 0;
       }
-    } else {
-      ready.push(time[p], pick);
+      release_at += static_cast<std::uint64_t>(config_.barrier_wakeup_cycles);
+      for (int i = 0; i < n; ++i) {
+        const std::size_t q = static_cast<std::size_t>(i);
+        if (state[q] == CoreState::kAtBarrier) {
+          const std::uint64_t wait = release_at - time[q];
+          cores_[q]->add_stall(wait);
+          result.barrier_wait_cycles += wait;
+          time[q] = release_at;
+          state[q] = CoreState::kRunning;
+          ready.push(release_at, i);
+        }
+      }
+      parked_cores = 0;
+    }
+    return true;
+  };
+
+  // One env per core, built once: the hot resume path refreshes only the
+  // per-burst fields.
+  std::vector<ClusterTraceEnv> envs;
+  envs.reserve(static_cast<std::size_t>(n));
+  const std::uint32_t special_lo =
+      std::min(config_.dma_base + 12, config_.barrier_addr);
+  const std::uint32_t special_len =
+      std::max(config_.dma_base + 16, config_.barrier_addr) - special_lo;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t q = static_cast<std::size_t>(i);
+    envs.push_back(ClusterTraceEnv{*cores_[q], time[q], bank_free.data(),
+                                   result.bank_conflict_stalls, executed,
+                                   max_instructions, config_.tcdm_base,
+                                   config_.tcdm_size, banks, bank_mask,
+                                   config_.dma_base, config_.barrier_addr,
+                                   special_lo, special_len, i});
+  }
+
+  bool have_next = false;
+  std::uint64_t next = 0;
+  while (halted_cores < n) {
+    if (!have_next) {
+      if (ready.empty()) {
+        // No core can run but not all halted: every live core is parked at
+        // the barrier waiting for a halted core -> deadlock.
+        fail("Cluster::run: barrier deadlock (a core halted before the barrier)");
+      }
+      next = ready.pop();
+    }
+    have_next = false;
+    const int pick = ReadyHeap::entry_core(next);
+    const std::size_t p = static_cast<std::size_t>(pick);
+    Core& core = *cores_[p];
+
+    // Burst window: `pick` may keep executing while it stays the strictly
+    // smallest (time, index) against the best other runnable core. The heap
+    // is untouched during the burst, so the executed interleaving is exactly
+    // the one the one-instruction-at-a-time scheduler would produce
+    // (memory-touching work; see ClusterTraceEnv for the private-register
+    // run-ahead past the window).
+    const std::uint64_t limit =
+        ready.empty() ? std::numeric_limits<std::uint64_t>::max() : ready.peek();
+    const auto within_burst = [&] { return ReadyHeap::pack(time[p], pick) < limit; };
+
+    ClusterTraceEnv& env = envs[p];
+    env.limit = limit;
+    env.ahead = 0;
+    env.ahead_cap =
+        tspace_ != nullptr && tspace_->clean() ? ClusterTraceEnv::kAheadCap : 0;
+    env.budget_stop = false;
+
+    bool requeue = true;
+    bool force_interp = false;
+    for (;;) {
+      if (!force_interp && core.trace_active()) {
+        env.special = false;
+        core.run_trace(env);
+        if (env.special) {
+          if (handle_special_store(pick, env.special_addr)) {
+            requeue = false;
+            break;
+          }
+          if (within_burst()) continue;
+          break;
+        }
+        if (env.budget_stop) {
+          force_interp = true;  // the interpreted path raises the budget error
+          continue;
+        }
+        if (core.trace_active()) break;  // parked: the burst window closed
+        // Trace exited (fell off / uncovered target): fall back to the
+        // interpreter — or a chained trace — while still inside the window.
+        if (!within_burst()) break;
+        continue;
+      }
+
+      // Interpreted instruction (also the error-raising path).
+      if (++executed > max_instructions) {
+        fail("Cluster::run: instruction budget exhausted (runaway program?)");
+      }
+      const Core::StepResult step = core.step();
+      std::uint64_t cost = static_cast<std::uint64_t>(step.cycles);
+
+      if (step.access.valid && in_tcdm(step.access.addr)) {
+        const std::uint32_t word_index = (step.access.addr - config_.tcdm_base) >> 2;
+        const std::size_t bank =
+            bank_mask != 0 ? (word_index & bank_mask) : (word_index % banks);
+        const std::uint64_t request_at = time[p];
+        const std::uint64_t served_at = std::max(bank_free[bank], request_at);
+        const std::uint64_t stall = served_at - request_at;
+        bank_free[bank] = served_at + 1;
+        if (stall > 0) {
+          core.add_stall(stall);
+          result.bank_conflict_stalls += stall;
+          cost += stall;
+        }
+      }
+      time[p] += cost;
+
+      if (step.halted) {
+        state[p] = CoreState::kHalted;
+        ++halted_cores;
+        requeue = false;
+        break;
+      }
+      if (step.access.valid && step.access.is_store &&
+          handle_special_store(pick, step.access.addr)) {
+        requeue = false;
+        break;
+      }
+      force_interp = false;
+      if (!within_burst()) break;
+    }
+
+    if (requeue) {
+      next = ready.push_pop(time[p], pick);
+      have_next = true;
     }
   }
 

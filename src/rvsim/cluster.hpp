@@ -83,6 +83,16 @@ class Cluster {
   void set_verify_on_load(bool enabled) { verify_on_load_ = enabled; }
   bool verify_on_load() const { return verify_on_load_; }
 
+  /// Enables or disables superblock trace execution on all cores (default:
+  /// the process default, see set_default_trace_mode). The cores share one
+  /// TraceSpace — they execute the same image under the same profile, and
+  /// hart-dependent state (mhartid, hardware loops) lives in the core, not
+  /// in the compiled records. Results are bit-identical either way.
+  void set_trace_mode(bool enabled);
+  bool trace_mode() const { return tspace_ != nullptr; }
+  /// The cluster's shared trace store, or nullptr when trace mode is off.
+  TraceSpace* trace_space() { return tspace_.get(); }
+
   /// Starts all cores at `entry` and runs until every core executed ecall.
   /// Each core sees its hart id in CSR mhartid.
   ClusterRunResult run(std::uint32_t entry, std::uint64_t max_instructions = 500'000'000);
@@ -97,6 +107,7 @@ class Cluster {
   ClusterConfig config_;
   Memory mem_;
   std::vector<std::unique_ptr<Core>> cores_;
+  std::unique_ptr<TraceSpace> tspace_;
   bool verify_on_load_ = false;
 };
 

@@ -6,32 +6,35 @@
 
 #include "common/error.hpp"
 #include "rvsim/encoding.hpp"
+#include "rvsim/trace_exec.hpp"
 
 namespace iw::rv {
 
+using trace_detail::bits_float;
+using trace_detail::fcvt_w_s;
+using trace_detail::float_bits;
+using trace_detail::s;
+using trace_detail::u;
+
 namespace {
 
-std::int32_t s(std::uint32_t v) { return static_cast<std::int32_t>(v); }
-std::uint32_t u(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+/// Env for the public single-instruction step(): executes exactly one trace
+/// record and captures its StepResult.
+struct SingleStepEnv {
+  Core::StepResult result;
+  bool executed = false;
 
-std::uint32_t float_bits(float f) {
-  std::uint32_t b;
-  std::memcpy(&b, &f, 4);
-  return b;
-}
-
-float bits_float(std::uint32_t b) {
-  float f;
-  std::memcpy(&f, &b, 4);
-  return f;
-}
-
-std::int32_t fcvt_w_s(float f) {
-  if (std::isnan(f)) return std::numeric_limits<std::int32_t>::max();
-  if (f >= 2147483648.0f) return std::numeric_limits<std::int32_t>::max();
-  if (f <= -2147483904.0f) return std::numeric_limits<std::int32_t>::min();
-  return static_cast<std::int32_t>(f);  // truncation toward zero
-}
+  bool pre(const TraceOp&) { return true; }
+  bool post(int cycles, bool mem_valid, bool mem_is_store, std::uint32_t addr) {
+    result.cycles = cycles;
+    result.access.valid = mem_valid;
+    result.access.is_store = mem_is_store;
+    result.access.addr = addr;
+    result.halted = false;  // traces never contain ecall
+    executed = true;
+    return false;
+  }
+};
 
 }  // namespace
 
@@ -40,6 +43,35 @@ Core::Core(TimingProfile profile, Memory& memory, std::uint32_t hart_id)
       mem_(memory),
       hart_id_(hart_id),
       cache_(profile_, memory) {}
+
+Core::~Core() = default;
+
+void Core::set_trace_space(TraceSpace* tspace) {
+  tspace_ = tspace;
+  if (tspace_ == nullptr) trace_.reset();
+}
+
+void Core::maybe_attach(std::uint32_t target) {
+  const std::shared_ptr<Trace>* found = tspace_->lookup(target, cache_);
+  if (found == nullptr) return;
+  const Trace& tr = **found;
+  // Armed-loop guard: if a live hardware loop ends inside the trace at a
+  // record the compiler did not flag (the arming was invisible to the
+  // analysis and to this trace), executing sequentially through that record
+  // would skip the back edge — stay interpreted instead.
+  const std::uint32_t len = 4u * static_cast<std::uint32_t>(tr.ops.size());
+  for (const HwLoop& loop : loops_) {
+    if (loop.count == 0) continue;
+    const std::uint32_t off = loop.end - tr.start;  // wraps when end < start
+    if (off >= 4u && off <= len &&
+        (tr.ops[(off >> 2) - 1].flags & TraceOp::kMaybeLoopEnd) == 0) {
+      return;
+    }
+  }
+  trace_ = *found;
+  trace_cursor_ = 0;
+  trace_dyn_ = true;
+}
 
 void Core::reset(std::uint32_t pc, std::uint32_t sp) {
   for (auto& r : x_) r = 0;
@@ -54,6 +86,11 @@ void Core::reset(std::uint32_t pc, std::uint32_t sp) {
   prev_was_load_ = false;
   taken_branches_ = 0;
   load_use_stalls_ = 0;
+  trace_.reset();
+  trace_cursor_ = 0;
+  trace_dyn_ = true;
+  trace_instructions_ = 0;
+  if (tspace_ != nullptr) tspace_->set_entry(pc);
 }
 
 std::uint32_t Core::reg(int index) const {
@@ -78,6 +115,12 @@ void Core::set_freg(int index, float value) {
 
 Core::StepResult Core::step() {
   if (halted_) fail("Core::step on halted core");
+  if (trace_ != nullptr) {
+    SingleStepEnv env;
+    run_trace(env);
+    if (env.executed) return env.result;
+    // The trace was invalidated before executing anything: interpret.
+  }
   const DecodedEx& e = cache_.entry(pc_);
   if (e.status != DecodeCache::kOk) cache_.raise_unsupported(e, pc_);
 
@@ -97,22 +140,13 @@ Core::StepResult Core::step() {
   // nonzero only for loads.
   if (prev_was_load_) cycles += e.load_seq_extra;
 
-  std::uint32_t next_pc = pc_ + 4;
+  const std::uint32_t seq_pc = pc_ + 4;
+  std::uint32_t next_pc = seq_pc;
   MemAccess access;
   cycles += execute(e.d, next_pc, access);
 
   // Hardware-loop handling: zero-overhead back edge. Inner loop (0) first.
-  for (auto& loop : loops_) {
-    if (loop.count > 0 && next_pc == loop.end) {
-      if (loop.count > 1) {
-        --loop.count;
-        next_pc = loop.start;
-      } else {
-        loop.count = 0;
-      }
-      break;
-    }
-  }
+  hwloop_advance(next_pc);
 
   pending_load_reg_ = e.load_dest;
   prev_was_load_ = e.is_load;
@@ -121,6 +155,9 @@ Core::StepResult Core::step() {
   cycles_ += static_cast<std::uint64_t>(cycles);
   ++instructions_;
   if (histogram_ != nullptr) histogram_->record(e.d.op);
+
+  // Control transfers feed the trace table: hot targets compile and attach.
+  if (tspace_ != nullptr && next_pc != seq_pc && !halted_) maybe_attach(next_pc);
 
   StepResult result;
   result.cycles = cycles;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "rvsim/isa.hpp"
 #include "rvsim/memory.hpp"
@@ -10,6 +11,9 @@
 #include "rvsim/timing.hpp"
 
 namespace iw::rv {
+
+struct Trace;
+class TraceSpace;
 
 /// Executes instructions against a Memory and accumulates a cycle count
 /// according to a TimingProfile. The cluster wraps several cores and adds
@@ -36,6 +40,7 @@ class Core {
   };
 
   Core(TimingProfile profile, Memory& memory, std::uint32_t hart_id = 0);
+  ~Core();
 
   // The decode cache registers itself with the memory: not copyable.
   Core(const Core&) = delete;
@@ -45,8 +50,25 @@ class Core {
   void reset(std::uint32_t pc, std::uint32_t sp);
 
   /// Executes one instruction. Throws iw::Error on illegal instructions or
-  /// instructions the profile does not support.
+  /// instructions the profile does not support. When a compiled trace is
+  /// attached, the instruction executes from its trace record (bit-identical
+  /// to the interpreter path).
   StepResult step();
+
+  /// Attaches the shared superblock trace store (nullptr = pure interpreter,
+  /// the default). Not owned; must outlive the core.
+  void set_trace_space(TraceSpace* tspace);
+  TraceSpace* trace_space() const { return tspace_; }
+  /// True when the next instruction will execute from a compiled trace.
+  bool trace_active() const { return trace_ != nullptr; }
+  /// How many of instructions() were executed from trace records.
+  std::uint64_t trace_instructions() const { return trace_instructions_; }
+
+  /// Runs the attached trace until the driver Env stops it, the program
+  /// leaves the trace, or the trace is invalidated. Defined in
+  /// trace_exec.hpp; Env is one of the Machine/Cluster/step drivers.
+  template <class Env>
+  void run_trace(Env& env);
 
   /// Folds externally computed stall cycles (bank conflicts, barriers) into
   /// this core's cycle counter.
@@ -80,6 +102,28 @@ class Core {
 
   int execute(const Decoded& d, std::uint32_t& next_pc, MemAccess& access);
 
+  /// Hardware-loop back edge: redirects `next_pc` when it hits an armed loop
+  /// end (inner loop first), decrementing or retiring the loop. Shared by
+  /// the interpreter epilogue and the trace executor.
+  void hwloop_advance(std::uint32_t& next_pc) {
+    for (auto& loop : loops_) {
+      if (loop.count > 0 && next_pc == loop.end) {
+        if (loop.count > 1) {
+          --loop.count;
+          next_pc = loop.start;
+        } else {
+          loop.count = 0;
+        }
+        break;
+      }
+    }
+  }
+
+  /// Control-transfer hook: consults the trace table for `target` (bumping
+  /// its hotness) and attaches the trace when one exists and the armed-loop
+  /// guard admits it.
+  void maybe_attach(std::uint32_t target);
+
   /// Register write on the execute path: decode() guarantees rd < 32, so
   /// only the x0 sink needs handling.
   void write_x(std::uint8_t reg, std::uint32_t value) {
@@ -103,6 +147,16 @@ class Core {
   std::uint64_t taken_branches_ = 0;
   std::uint64_t load_use_stalls_ = 0;
   InstructionHistogram* histogram_ = nullptr;
+
+  // Superblock trace execution state. `trace_` is the attached trace (next
+  // instruction executes from `trace_cursor_`); `trace_dyn_` marks that the
+  // cursor record was entered via a control transfer, so its stall cycles
+  // must be recomputed from live state instead of the folded constants.
+  TraceSpace* tspace_ = nullptr;
+  std::shared_ptr<const Trace> trace_;
+  std::uint32_t trace_cursor_ = 0;
+  bool trace_dyn_ = true;
+  std::uint64_t trace_instructions_ = 0;
 };
 
 }  // namespace iw::rv

@@ -1,12 +1,43 @@
 #include "rvsim/machine.hpp"
 
 #include "common/error.hpp"
+#include "rvsim/trace_exec.hpp"
 #include "rvsim/verify_hook.hpp"
 
 namespace iw::rv {
 
+namespace {
+
+/// Env for the bulk run loop: no per-record bookkeeping beyond the
+/// instruction budget, so trace records execute back to back.
+struct MachineRunEnv {
+  std::uint64_t budget;
+
+  bool pre(const TraceOp&) {
+    if (budget == 0) return false;
+    --budget;
+    return true;
+  }
+  bool post(int, bool, bool, std::uint32_t) { return true; }
+};
+
+}  // namespace
+
 Machine::Machine(TimingProfile profile, std::size_t mem_bytes)
-    : mem_(mem_bytes), core_(std::move(profile), mem_) {}
+    : mem_(mem_bytes), core_(std::move(profile), mem_) {
+  if (default_trace_mode()) set_trace_mode(true);
+}
+
+void Machine::set_trace_mode(bool enabled) {
+  if (enabled == (tspace_ != nullptr)) return;
+  if (enabled) {
+    tspace_ = std::make_unique<TraceSpace>(mem_, core_.profile());
+    core_.set_trace_space(tspace_.get());
+  } else {
+    core_.set_trace_space(nullptr);
+    tspace_.reset();
+  }
+}
 
 void Machine::load_program(std::span<const std::uint32_t> words, std::uint32_t base) {
   mem_.write_words(base, words);
@@ -17,13 +48,18 @@ RunResult Machine::run(std::uint32_t entry, std::uint64_t max_instructions) {
   const std::uint32_t sp = static_cast<std::uint32_t>(mem_.size()) & ~15u;
   core_.reset(entry, sp);
   std::uint64_t budget = max_instructions;
-  bool halted = false;
-  while (!halted) {
+  while (!core_.halted()) {
     if (budget == 0) {
       fail("Machine::run: instruction budget exhausted (runaway program?)");
     }
-    --budget;
-    halted = core_.step().halted;
+    if (core_.trace_active()) {
+      MachineRunEnv env{budget};
+      core_.run_trace(env);
+      budget = env.budget;
+    } else {
+      --budget;
+      core_.step();
+    }
   }
   return RunResult{core_.cycles(), core_.instructions()};
 }

@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "rvsim/core.hpp"
 #include "rvsim/memory.hpp"
+#include "rvsim/trace.hpp"
 
 namespace iw::rv {
 
@@ -39,6 +41,14 @@ class Machine {
   void set_verify_on_load(bool enabled) { verify_on_load_ = enabled; }
   bool verify_on_load() const { return verify_on_load_; }
 
+  /// Enables or disables superblock trace execution (default: the process
+  /// default, see set_default_trace_mode). Results are bit-identical either
+  /// way; off forces the pure interpreter (the bench's baseline axis).
+  void set_trace_mode(bool enabled);
+  bool trace_mode() const { return core_.trace_space() != nullptr; }
+  /// The machine's trace store, or nullptr when trace mode is off.
+  TraceSpace* trace_space() { return tspace_.get(); }
+
   /// Resets the core and runs from `entry` until ecall. Throws if the
   /// instruction budget is exhausted (runaway program).
   RunResult run(std::uint32_t entry, std::uint64_t max_instructions = 200'000'000);
@@ -46,6 +56,7 @@ class Machine {
  private:
   Memory mem_;
   Core core_;
+  std::unique_ptr<TraceSpace> tspace_;
   bool verify_on_load_ = false;
 };
 

@@ -93,6 +93,21 @@ DecodeCache::DecodeCache(const TimingProfile& profile, Memory& memory)
 
 DecodeCache::~DecodeCache() { mem_.remove_write_observer(this); }
 
+const DecodedEx* DecodeCache::try_entry(std::uint32_t pc) {
+  const std::uint32_t idx = pc >> 2;
+  if ((pc & 3u) != 0 || idx >= max_words_) return nullptr;
+  if (idx >= entries_.size()) grow(idx);
+  DecodedEx& e = entries_[idx];
+  if (e.status == kEmpty) {
+    try {
+      fill(e, pc);
+    } catch (...) {
+      return nullptr;  // illegal word: leave the record empty
+    }
+  }
+  return &e;
+}
+
 void DecodeCache::raise_unsupported(const DecodedEx& e, std::uint32_t pc) const {
   fail(unsupported_instruction_message(profile_.name, pc, e.d));
 }

@@ -77,6 +77,12 @@ class DecodeCache final : public Memory::WriteObserver {
     return e;
   }
 
+  /// Non-throwing variant for speculative probes (the trace compiler walking
+  /// past the hot head): returns nullptr instead of raising on a misaligned,
+  /// out-of-bounds, or illegal word. The returned pointer is invalidated by
+  /// the next entry()/try_entry() call (the backing vector may grow).
+  const DecodedEx* try_entry(std::uint32_t pc);
+
   /// Throws the profile's unsupported-instruction error for `e`, naming the
   /// faulting pc and disassembled instruction.
   [[noreturn]] void raise_unsupported(const DecodedEx& e, std::uint32_t pc) const;

@@ -1,0 +1,284 @@
+#include "rvsim/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace iw::rv {
+
+namespace {
+
+// Process-wide hooks/toggles, atomic so concurrent fleet workers creating
+// Machines on different threads read them race-free (they are set once,
+// before simulation starts, like the verifier hook).
+std::atomic<CodeAnalyzer> g_code_analyzer{nullptr};
+std::atomic<bool> g_default_trace_mode{true};
+
+std::uint32_t u32(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+}  // namespace
+
+void set_code_analyzer(CodeAnalyzer analyzer) {
+  g_code_analyzer.store(analyzer, std::memory_order_release);
+}
+
+CodeAnalyzer code_analyzer() {
+  return g_code_analyzer.load(std::memory_order_acquire);
+}
+
+void set_default_trace_mode(bool enabled) {
+  g_default_trace_mode.store(enabled, std::memory_order_release);
+}
+
+bool default_trace_mode() {
+  return g_default_trace_mode.load(std::memory_order_acquire);
+}
+
+TraceSpace::TraceSpace(Memory& memory, const TimingProfile& profile)
+    : mem_(memory), profile_(profile), slots_(kSlotCount) {}
+
+TraceSpace::~TraceSpace() {
+  if (watch_hi_ != 0) mem_.remove_write_observer(this);
+}
+
+void TraceSpace::watch_at_least(std::uint32_t hi) {
+  if (hi <= watch_hi_) return;
+  if (watch_hi_ == 0) {
+    mem_.add_write_observer(this, 0, hi);
+  } else {
+    mem_.set_observed_range(this, 0, hi);
+  }
+  watch_hi_ = hi;
+}
+
+void TraceSpace::set_entry(std::uint32_t entry) {
+  // Reset time is a safe point to re-arm run-ahead: no core has executed
+  // anything of the new run yet, so a reloaded (rewritten) image starts
+  // clean again until its first in-run code store.
+  clean_ = true;
+  if (have_entry_ && entry_ == entry) return;
+  entry_ = entry;
+  have_entry_ = true;
+  // The certificate is derived from (entry, code); a new entry may certify
+  // blocks the old one never reached. Compiled traces stay: their soundness
+  // rests on the per-record flags and the attach-time hwloop guard, not on
+  // which entry's analysis discovered them.
+  cert_valid_ = false;
+  cert_ = CodeCertificate{};
+  for (Slot& s : slots_) {
+    if (!s.trace) s.count = 0;  // let declined heads retry under the new entry
+  }
+}
+
+void TraceSpace::invalidate_all() {
+  for (Slot& s : slots_) {
+    if (s.trace) {
+      s.trace->valid = false;
+      s.trace.reset();
+      ++stats_.invalidated;
+    }
+    s.pc = 0;
+    s.count = 0;
+  }
+  cert_valid_ = false;
+  cert_ = CodeCertificate{};
+}
+
+void TraceSpace::on_write(std::uint32_t addr, std::uint32_t len) {
+  // Any observed write lands inside the analyzed code range: the image
+  // changed, so the cached certificate is stale no matter which byte moved.
+  clean_ = false;
+  cert_valid_ = false;
+  cert_ = CodeCertificate{};
+  const std::uint32_t lo = addr;
+  const std::uint32_t hi = addr + len;
+  for (Slot& s : slots_) {
+    if (s.trace) {
+      if (lo < s.trace->end && hi > s.trace->start) {
+        s.trace->valid = false;
+        s.trace.reset();
+        s.count = 0;
+        ++stats_.invalidated;
+      }
+    } else if (s.count != 0 && s.pc >= lo && s.pc < hi) {
+      s.count = 0;  // overwritten head: drop hotness and any never-compile mark
+    }
+  }
+}
+
+bool TraceSpace::ensure_certificate() {
+  if (cert_valid_) return cert_.ok;
+  cert_valid_ = true;
+  cert_ = CodeCertificate{};
+  const CodeAnalyzer analyzer = code_analyzer();
+  if (analyzer == nullptr || !have_entry_) return false;
+  cert_ = analyzer(mem_, entry_, profile_);
+  if (cert_.ok && !cert_.ranges.empty()) {
+    std::sort(cert_.ranges.begin(), cert_.ranges.end());
+    std::sort(cert_.loop_ends.begin(), cert_.loop_ends.end());
+    // Watch the whole certified code span: every future trace lives inside
+    // it, and stores above it (TCDM buffers, stacks) skip observer dispatch.
+    watch_at_least(cert_.ranges.back().second);
+  }
+  return cert_.ok;
+}
+
+const std::shared_ptr<Trace>* TraceSpace::lookup(std::uint32_t pc,
+                                                 DecodeCache& cache) {
+  Slot& s = slot(pc);
+  if (s.trace) {
+    if (s.pc == pc) return &s.trace;
+    return nullptr;  // direct-mapped collision: keep the compiled trace
+  }
+  if (s.pc != pc) {
+    s.pc = pc;
+    s.count = 1;
+    return nullptr;
+  }
+  if (s.count == kNever) return nullptr;
+  if (++s.count < kHotThreshold) return nullptr;
+  std::shared_ptr<Trace> compiled = compile(pc, cache);
+  if (!compiled) {
+    s.count = kNever;
+    ++stats_.declined;
+    return nullptr;
+  }
+  s.trace = std::move(compiled);
+  ++stats_.compiled;
+  return &s.trace;
+}
+
+std::shared_ptr<Trace> TraceSpace::compile(std::uint32_t pc,
+                                           DecodeCache& cache) {
+  if (!ensure_certificate()) return nullptr;
+  // Find the certified range containing pc; the trace may not cross its end.
+  auto it = std::upper_bound(
+      cert_.ranges.begin(), cert_.ranges.end(), pc,
+      [](std::uint32_t v, const std::pair<std::uint32_t, std::uint32_t>& r) {
+        return v < r.first;
+      });
+  if (it == cert_.ranges.begin()) return nullptr;
+  --it;
+  if (pc < it->first || pc >= it->second) return nullptr;
+  const std::uint32_t range_end = it->second;
+
+  std::vector<TraceOp> ops;
+  std::vector<std::uint32_t> loop_ends;  // ends armed by in-trace lp.setup*
+  std::uint32_t q = pc;
+  for (; q < range_end && ops.size() < kMaxTraceOps; q += 4) {
+    const DecodedEx* e = cache.try_entry(q);
+    if (e == nullptr || e->status != DecodeCache::kOk) break;
+    const Decoded& d = e->d;
+    // Trace-terminating ops: ecall halts, jalr's target is data-dependent,
+    // and p.clip with a degenerate shift would make the compile-time bound
+    // computation undefined (the interpreter evaluates it lazily).
+    if (d.op == Op::kEcall || d.op == Op::kJalr) break;
+    if (d.op == Op::kPClip && (d.imm < 1 || d.imm > 31)) break;
+
+    TraceOp t;
+    t.op = d.op;
+    t.rd = static_cast<std::uint8_t>(d.rd);
+    t.rs1 = static_cast<std::uint8_t>(d.rs1);
+    t.rs2 = static_cast<std::uint8_t>(d.rs2);
+    t.rs3 = static_cast<std::uint8_t>(d.rs3);
+    t.imm = d.imm;
+    if (e->is_load) t.flags |= TraceOp::kIsLoad;
+    if (e->cls == OpClass::kStore) t.flags |= TraceOp::kIsStore;
+    t.base_cost = static_cast<std::int16_t>(e->base_cost);
+    t.load_seq_extra = static_cast<std::int16_t>(e->load_seq_extra);
+    t.load_dest = static_cast<std::int16_t>(e->load_dest);
+    for (int r = 0; r < 3; ++r) t.reads[r] = static_cast<std::int16_t>(e->reads[r]);
+
+    switch (d.op) {
+      case Op::kLui:
+        t.aux = u32(d.imm) << 12;
+        break;
+      case Op::kAuipc:
+        t.aux = q + (u32(d.imm) << 12);
+        break;
+      case Op::kJal:
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu:
+        t.aux = q + u32(d.imm);
+        break;
+      case Op::kLpSetup:
+      case Op::kLpSetupi:
+        t.rs3 = static_cast<std::uint8_t>(d.extra & 1u);  // loop index
+        t.aux = q + 4u * u32(d.imm2);
+        loop_ends.push_back(t.aux);
+        break;
+      case Op::kPClip:
+        t.aux = (1u << (u32(d.imm) - 1)) - 1u;  // hi bound; lo = -hi - 1
+        break;
+      case Op::kCsrrw:
+      case Op::kCsrrs:
+        t.aux = d.extra;
+        break;
+      default:
+        break;
+    }
+    ops.push_back(t);
+  }
+  if (ops.size() < kMinTraceOps) return nullptr;
+
+  auto trace = std::make_shared<Trace>();
+  trace->start = pc;
+  trace->end = pc + 4u * static_cast<std::uint32_t>(ops.size());
+
+  // kMaybeLoopEnd: record i is flagged when the pc *after* it (start+4(i+1))
+  // is a hardware-loop end known statically — from the whole-image analysis
+  // or from an lp.setup/lp.setupi inside this very trace. The attach-time
+  // guard in Core rejects attaching under an armed loop whose end is inside
+  // the trace but unflagged (arming the analyzer could not see).
+  std::vector<std::uint32_t> ends(cert_.loop_ends);
+  ends.insert(ends.end(), loop_ends.begin(), loop_ends.end());
+  std::sort(ends.begin(), ends.end());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const std::uint32_t next = pc + 4u * static_cast<std::uint32_t>(i + 1);
+    if (std::binary_search(ends.begin(), ends.end(), next)) {
+      ops[i].flags |= TraceOp::kMaybeLoopEnd;
+    }
+  }
+
+  // Fold the sequential-entry cost: base plus the load-use stall implied by
+  // the previous record's load destination and the back-to-back-load extra.
+  // Record 0 is only ever entered dynamically, so its folded fields are
+  // never consumed.
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    const TraceOp& prev = ops[i - 1];
+    TraceOp& cur = ops[i];
+    std::int32_t cost = cur.base_cost;
+    if (prev.load_dest >= 0) {
+      for (const std::int16_t r : cur.reads) {
+        if (r == prev.load_dest) {
+          cost += profile_.load_use_stall;
+          cur.seq_stall = 1;
+          break;
+        }
+      }
+    }
+    if ((prev.flags & TraceOp::kIsLoad) != 0) cost += cur.load_seq_extra;
+    cur.seq_cost = static_cast<std::int16_t>(cost);
+  }
+  ops[0].seq_cost = ops[0].base_cost;
+
+  trace->ops = std::move(ops);
+  watch_at_least(trace->end);
+  return trace;
+}
+
+std::vector<const Trace*> TraceSpace::traces() const {
+  std::vector<const Trace*> out;
+  for (const Slot& s : slots_) {
+    if (s.trace && s.trace->valid) out.push_back(s.trace.get());
+  }
+  std::sort(out.begin(), out.end(), [](const Trace* a, const Trace* b) {
+    return a->start < b->start;
+  });
+  return out;
+}
+
+}  // namespace iw::rv

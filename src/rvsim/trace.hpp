@@ -1,0 +1,190 @@
+// Superblock trace compiler for the rvsim interpreter.
+//
+// When a control-transfer target gets hot, the contiguous run of certified
+// instructions starting there is compiled into a *trace*: an array of
+// pre-resolved TraceOp records whose per-record cost is folded at compile
+// time (base cost + the load-use stall and back-to-back-load extra that are
+// statically implied by the sequential predecessor). Core then executes
+// records straight out of the array — no per-step decode-cache probe, no
+// read-set scan, no hardware-loop sweep on records that provably cannot sit
+// at an armed loop end — while staying bit-identical to the interpreter:
+// cycles, instruction counts, penalty counters, registers, memory and
+// exception state all match step() exactly (the Table-III exact-golden tests
+// and the trace differential fuzz are the gate).
+//
+// Eligibility and fallback: a trace only covers instructions inside blocks
+// the static analyzer recovered on a diagnostic-free image (the analyzer is
+// reached through the CodeAnalyzer hook below, mirroring verify_hook.hpp so
+// iw_rvsim does not depend on iw_rvsim_analysis). Traces end before ecall,
+// jalr (indirect target), and any word the profile cannot execute; executing
+// cores fall back to the interpreter there. Taken branches whose target lies
+// inside the trace continue in-trace (with dynamic stall recomputation at
+// the landing record); all other transfers exit.
+//
+// Invalidation: the TraceSpace observes memory writes over the analyzed code
+// range. Any overlapping store — from simulated code, DMA, or host-side
+// reloads — marks overlapped traces invalid (executing cores detach at the
+// next record boundary and re-execute through the interpreter), resets the
+// hotness state for overwritten heads, and drops the cached analysis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rvsim/isa.hpp"
+#include "rvsim/memory.hpp"
+#include "rvsim/predecode.hpp"
+#include "rvsim/timing.hpp"
+
+namespace iw::rv {
+
+/// One pre-resolved trace record (32 bytes). Costs are folded for the
+/// *sequential* entry from the previous record; records entered via a
+/// control transfer (trace attach, in-trace taken branch, hardware-loop back
+/// edge) recompute the dynamic penalties from the raw fields instead.
+struct TraceOp {
+  enum Flags : std::uint8_t {
+    kIsLoad = 1,       // load class (updates prev_was_load_)
+    kIsStore = 2,      // store class (may invalidate traces)
+    kMaybeLoopEnd = 4, // sequential next pc can be an armed hwloop end
+  };
+
+  Op op = Op::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t rs3 = 0;  // fmadd rs3, or the hardware-loop index for lp.*
+  std::uint8_t flags = 0;
+  /// 1 when the folded sequential cost includes a load-use stall (the
+  /// load_use_stalls_ counter must advance with it), else 0.
+  std::uint8_t seq_stall = 0;
+  std::uint8_t pad = 0;
+  std::int16_t base_cost = 0;
+  /// base_cost + statically-implied load-use stall + back-to-back-load extra
+  /// when entered sequentially from the previous record.
+  std::int16_t seq_cost = 0;
+  std::int16_t load_seq_extra = 0;
+  std::int16_t load_dest = -1;
+  std::int16_t reads[3] = {-1, -1, -1};
+  std::int16_t pad2 = 0;
+  std::int32_t imm = 0;
+  /// Pre-resolved pc-dependent constant: lui/auipc result, jal/branch target,
+  /// hwloop end address, p.clip upper bound, or the CSR number.
+  std::uint32_t aux = 0;
+};
+
+/// A compiled superblock: the contiguous certified range [start, end) as
+/// ready-to-execute records. `valid` flips to false when any overlapping
+/// memory write lands; executing cores detach at the next record boundary.
+struct Trace {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;  // exclusive
+  bool valid = true;
+  std::vector<TraceOp> ops;
+};
+
+/// What the trace compiler needs from the static analyzer: the certified
+/// code ranges, every statically-known hardware-loop end address (for the
+/// kMaybeLoopEnd flags), and whether the image analyzed clean.
+struct CodeCertificate {
+  bool ok = false;
+  /// Merged, sorted, disjoint [start, end) byte ranges of analyzed blocks.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  /// Hardware-loop end addresses (the back-edge pcs) visible to the analyzer.
+  std::vector<std::uint32_t> loop_ends;
+};
+
+/// Analyzer hook in the style of verify_hook.hpp: iw_rvsim_analysis installs
+/// an adapter (see analysis::install_load_verifier), keeping the dependency
+/// edge pointing from the analysis library into the simulator core.
+using CodeAnalyzer = CodeCertificate (*)(Memory& mem, std::uint32_t entry,
+                                         const TimingProfile& profile);
+void set_code_analyzer(CodeAnalyzer analyzer);
+CodeAnalyzer code_analyzer();
+
+/// Process-wide default for whether new Machine/Cluster instances execute
+/// through traces (true). The bench's interp-vs-trace axis flips this.
+void set_default_trace_mode(bool enabled);
+bool default_trace_mode();
+
+/// Per-memory trace store shared by every core executing the same image (a
+/// Cluster's cores share one; a Machine owns one). Tracks hotness of
+/// control-transfer targets, compiles traces on threshold, serves the
+/// pc -> trace table, and invalidates on overlapping writes. Single-threaded
+/// like the rest of the simulator.
+class TraceSpace final : public Memory::WriteObserver {
+ public:
+  /// Transfers to a pc before its trace compiles (must allow a few warm-up
+  /// iterations so compile cost only hits loops that repay it).
+  static constexpr std::uint32_t kHotThreshold = 8;
+  static constexpr std::uint32_t kMinTraceOps = 4;
+  static constexpr std::uint32_t kMaxTraceOps = 4096;
+
+  /// `memory` and `profile` must outlive the space.
+  TraceSpace(Memory& memory, const TimingProfile& profile);
+  ~TraceSpace() override;
+
+  TraceSpace(const TraceSpace&) = delete;
+  TraceSpace& operator=(const TraceSpace&) = delete;
+
+  /// Called on Core::reset: traces survive (they are entry-independent), but
+  /// the cached analysis is keyed by entry and re-derived on demand.
+  void set_entry(std::uint32_t entry);
+
+  /// Hot-path hook for a control transfer to `pc`: returns the compiled
+  /// trace headed there, or bumps the hotness counter (compiling on
+  /// threshold through `cache`) and returns nullptr.
+  const std::shared_ptr<Trace>* lookup(std::uint32_t pc, DecodeCache& cache);
+
+  /// Memory::WriteObserver: invalidates overlapped traces and hotness state.
+  void on_write(std::uint32_t addr, std::uint32_t len) override;
+
+  /// Drops every compiled trace and hotness counter.
+  void invalidate_all();
+
+  struct Stats {
+    std::uint64_t compiled = 0;
+    std::uint64_t invalidated = 0;
+    std::uint64_t declined = 0;  // heads marked never-compile
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Sticky: false once any store has landed in the observed code window
+  /// (self-modifying code). The cluster scheduler only lets a core run ahead
+  /// of the canonical interleave on private-register records while the image
+  /// is clean, so code that rewrites itself keeps strict (time, index) order.
+  bool clean() const { return clean_; }
+
+  /// Live traces, sorted by start address (iw_lint --traces).
+  std::vector<const Trace*> traces() const;
+
+ private:
+  static constexpr std::uint32_t kSlotCount = 1024;  // power of two
+  static constexpr std::uint32_t kNever = 0xFFFF'FFFF;
+
+  struct Slot {
+    std::uint32_t pc = 0;
+    std::uint32_t count = 0;
+    std::shared_ptr<Trace> trace;
+  };
+
+  Slot& slot(std::uint32_t pc) { return slots_[(pc >> 2) & (kSlotCount - 1)]; }
+  bool ensure_certificate();
+  std::shared_ptr<Trace> compile(std::uint32_t pc, DecodeCache& cache);
+  void watch_at_least(std::uint32_t hi);
+
+  Memory& mem_;
+  const TimingProfile& profile_;
+  std::uint32_t entry_ = 0;
+  bool have_entry_ = false;
+  bool cert_valid_ = false;
+  CodeCertificate cert_;
+  std::vector<Slot> slots_;
+  std::uint32_t watch_hi_ = 0;
+  bool clean_ = true;
+  Stats stats_;
+};
+
+}  // namespace iw::rv

@@ -1,0 +1,447 @@
+// Direct-threaded trace executor (definition of Core::run_trace).
+//
+// Included by the translation units that drive cores (core.cpp, machine.cpp,
+// cluster.cpp) so each driver gets its own fully inlined instantiation. The
+// Env parameter is the driver contract:
+//
+//   bool pre(const TraceOp& t)     — called before each record (which it may
+//                                    inspect, e.g. for memory-access flags);
+//                                    false stops the run *before* executing
+//                                    it (cursor parked, resumable).
+//   bool post(int cycles,          — called after each record with its cycle
+//             bool mem_valid,        cost and data-memory access (for TCDM
+//             bool mem_is_store,     bank arbitration); false stops the run
+//             std::uint32_t addr)    after this record.
+//
+// Equivalence to the interpreter is maintained record by record: every
+// architectural update (registers, memory, pc, hardware loops) and every
+// counter (cycles, instructions, taken branches, load-use stalls, histogram)
+// is applied in the same order with the same values as Core::step, so a
+// memory fault, an env stop, or a trace invalidation at any record boundary
+// leaves state indistinguishable from having interpreted every instruction.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "rvsim/core.hpp"
+#include "rvsim/trace.hpp"
+
+namespace iw::rv {
+
+namespace trace_detail {
+
+inline std::int32_t s(std::uint32_t v) { return static_cast<std::int32_t>(v); }
+inline std::uint32_t u(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+inline std::uint32_t float_bits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+inline float bits_float(std::uint32_t b) {
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+/// fcvt.w.s semantics shared with the interpreter: NaN and overflow clamp to
+/// the integer limits, otherwise truncate toward zero.
+inline std::int32_t fcvt_w_s(float f) {
+  if (std::isnan(f)) return std::numeric_limits<std::int32_t>::max();
+  if (f >= 2147483648.0f) return std::numeric_limits<std::int32_t>::max();
+  if (f <= -2147483904.0f) return std::numeric_limits<std::int32_t>::min();
+  return static_cast<std::int32_t>(f);  // truncation toward zero
+}
+
+}  // namespace trace_detail
+
+template <class Env>
+void Core::run_trace(Env& env) {
+  using trace_detail::bits_float;
+  using trace_detail::fcvt_w_s;
+  using trace_detail::float_bits;
+  using trace_detail::s;
+  using trace_detail::u;
+
+  const Trace& tr = *trace_;
+  const TraceOp* const ops = tr.ops.data();
+  const std::uint32_t n = static_cast<std::uint32_t>(tr.ops.size());
+  std::uint32_t i = trace_cursor_;
+  bool dyn = trace_dyn_;
+
+  try {
+    for (;;) {
+      if (!tr.valid) {
+        // A store invalidated this trace: detach, re-fetch through the
+        // (also invalidated) decode cache via the interpreter.
+        trace_.reset();
+        return;
+      }
+      const TraceOp& t = ops[i];
+      if (!env.pre(t)) {
+        trace_cursor_ = i;
+        trace_dyn_ = dyn;
+        return;
+      }
+
+      int cycles;
+      if (dyn) {
+        // Record entered via a control transfer: the sequential predecessor
+        // is unknown statically, so recompute the stalls from live state
+        // (exactly the interpreter's computation).
+        cycles = t.base_cost;
+        if (pending_load_reg_ >= 0) {
+          for (const std::int16_t r : t.reads) {
+            if (r == pending_load_reg_) {
+              cycles += profile_.load_use_stall;
+              ++load_use_stalls_;
+              break;
+            }
+          }
+        }
+        if (prev_was_load_) cycles += t.load_seq_extra;
+        dyn = false;
+      } else {
+        cycles = t.seq_cost;
+        load_use_stalls_ += t.seq_stall;
+      }
+
+      std::uint32_t next_pc = pc_ + 4;
+      bool transfer = false;
+      bool m_valid = false;
+      bool m_store = false;
+      std::uint32_t m_addr = 0;
+      const std::uint32_t rs1 = x_[t.rs1];
+      const std::uint32_t rs2 = x_[t.rs2];
+
+      switch (t.op) {
+        case Op::kLui: write_x(t.rd, t.aux); break;
+        case Op::kAuipc: write_x(t.rd, t.aux); break;
+        case Op::kJal:
+          write_x(t.rd, pc_ + 4);
+          next_pc = t.aux;
+          transfer = true;
+          break;
+        case Op::kBeq:
+        case Op::kBne:
+        case Op::kBlt:
+        case Op::kBge:
+        case Op::kBltu:
+        case Op::kBgeu: {
+          bool taken = false;
+          switch (t.op) {
+            case Op::kBeq: taken = rs1 == rs2; break;
+            case Op::kBne: taken = rs1 != rs2; break;
+            case Op::kBlt: taken = s(rs1) < s(rs2); break;
+            case Op::kBge: taken = s(rs1) >= s(rs2); break;
+            case Op::kBltu: taken = rs1 < rs2; break;
+            default: taken = rs1 >= rs2; break;  // kBgeu
+          }
+          if (taken) {
+            next_pc = t.aux;
+            cycles += profile_.branch_taken_extra;
+            ++taken_branches_;
+            transfer = true;
+          }
+          break;
+        }
+        case Op::kLb: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_addr = a;
+          write_x(t.rd, u(static_cast<std::int8_t>(mem_.load8(a))));
+          break;
+        }
+        case Op::kLh: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_addr = a;
+          write_x(t.rd, u(static_cast<std::int16_t>(mem_.load16(a))));
+          break;
+        }
+        case Op::kLw: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_addr = a;
+          write_x(t.rd, mem_.load32(a));
+          break;
+        }
+        case Op::kLbu: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_addr = a;
+          write_x(t.rd, mem_.load8(a));
+          break;
+        }
+        case Op::kLhu: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_addr = a;
+          write_x(t.rd, mem_.load16(a));
+          break;
+        }
+        case Op::kSb: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_store = true;
+          m_addr = a;
+          mem_.store8(a, static_cast<std::uint8_t>(rs2));
+          break;
+        }
+        case Op::kSh: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_store = true;
+          m_addr = a;
+          mem_.store16(a, static_cast<std::uint16_t>(rs2));
+          break;
+        }
+        case Op::kSw: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_store = true;
+          m_addr = a;
+          mem_.store32(a, rs2);
+          break;
+        }
+        // Post-increment accesses: pre-increment address, then bump the base
+        // (base bump last, so rd == rs1 resolves exactly like the
+        // interpreter: the bump wins).
+        case Op::kPLbPost:
+          m_valid = true;
+          m_addr = rs1;
+          write_x(t.rd, u(static_cast<std::int8_t>(mem_.load8(rs1))));
+          write_x(t.rs1, rs1 + u(t.imm));
+          break;
+        case Op::kPLhPost:
+          m_valid = true;
+          m_addr = rs1;
+          write_x(t.rd, u(static_cast<std::int16_t>(mem_.load16(rs1))));
+          write_x(t.rs1, rs1 + u(t.imm));
+          break;
+        case Op::kPLwPost:
+          m_valid = true;
+          m_addr = rs1;
+          write_x(t.rd, mem_.load32(rs1));
+          write_x(t.rs1, rs1 + u(t.imm));
+          break;
+        case Op::kPSbPost:
+          m_valid = true;
+          m_store = true;
+          m_addr = rs1;
+          mem_.store8(rs1, static_cast<std::uint8_t>(rs2));
+          write_x(t.rs1, rs1 + u(t.imm));
+          break;
+        case Op::kPShPost:
+          m_valid = true;
+          m_store = true;
+          m_addr = rs1;
+          mem_.store16(rs1, static_cast<std::uint16_t>(rs2));
+          write_x(t.rs1, rs1 + u(t.imm));
+          break;
+        case Op::kPSwPost:
+          m_valid = true;
+          m_store = true;
+          m_addr = rs1;
+          mem_.store32(rs1, rs2);
+          write_x(t.rs1, rs1 + u(t.imm));
+          break;
+        case Op::kAddi: write_x(t.rd, rs1 + u(t.imm)); break;
+        case Op::kSlti: write_x(t.rd, s(rs1) < t.imm ? 1 : 0); break;
+        case Op::kSltiu: write_x(t.rd, rs1 < u(t.imm) ? 1 : 0); break;
+        case Op::kXori: write_x(t.rd, rs1 ^ u(t.imm)); break;
+        case Op::kOri: write_x(t.rd, rs1 | u(t.imm)); break;
+        case Op::kAndi: write_x(t.rd, rs1 & u(t.imm)); break;
+        case Op::kSlli: write_x(t.rd, rs1 << (t.imm & 31)); break;
+        case Op::kSrli: write_x(t.rd, rs1 >> (t.imm & 31)); break;
+        case Op::kSrai: write_x(t.rd, u(s(rs1) >> (t.imm & 31))); break;
+        case Op::kAdd: write_x(t.rd, rs1 + rs2); break;
+        case Op::kSub: write_x(t.rd, rs1 - rs2); break;
+        case Op::kSll: write_x(t.rd, rs1 << (rs2 & 31)); break;
+        case Op::kSlt: write_x(t.rd, s(rs1) < s(rs2) ? 1 : 0); break;
+        case Op::kSltu: write_x(t.rd, rs1 < rs2 ? 1 : 0); break;
+        case Op::kXor: write_x(t.rd, rs1 ^ rs2); break;
+        case Op::kSrl: write_x(t.rd, rs1 >> (rs2 & 31)); break;
+        case Op::kSra: write_x(t.rd, u(s(rs1) >> (rs2 & 31))); break;
+        case Op::kOr: write_x(t.rd, rs1 | rs2); break;
+        case Op::kAnd: write_x(t.rd, rs1 & rs2); break;
+        case Op::kMul: write_x(t.rd, rs1 * rs2); break;
+        case Op::kMulh:
+          write_x(t.rd, static_cast<std::uint32_t>(
+                            (static_cast<std::int64_t>(s(rs1)) * s(rs2)) >> 32));
+          break;
+        case Op::kMulhsu:
+          write_x(t.rd,
+                  static_cast<std::uint32_t>(
+                      (static_cast<std::int64_t>(s(rs1)) *
+                       static_cast<std::uint64_t>(rs2)) >>
+                      32));
+          break;
+        case Op::kMulhu:
+          write_x(t.rd, static_cast<std::uint32_t>(
+                            (static_cast<std::uint64_t>(rs1) * rs2) >> 32));
+          break;
+        case Op::kDiv:
+          if (rs2 == 0) write_x(t.rd, ~0u);
+          else if (s(rs1) == std::numeric_limits<std::int32_t>::min() && s(rs2) == -1)
+            write_x(t.rd, rs1);
+          else write_x(t.rd, u(s(rs1) / s(rs2)));
+          break;
+        case Op::kDivu: write_x(t.rd, rs2 == 0 ? ~0u : rs1 / rs2); break;
+        case Op::kRem:
+          if (rs2 == 0) write_x(t.rd, rs1);
+          else if (s(rs1) == std::numeric_limits<std::int32_t>::min() && s(rs2) == -1)
+            write_x(t.rd, 0);
+          else write_x(t.rd, u(s(rs1) % s(rs2)));
+          break;
+        case Op::kRemu: write_x(t.rd, rs2 == 0 ? rs1 : rs1 % rs2); break;
+        case Op::kCsrrw:
+        case Op::kCsrrs: {
+          std::uint32_t value = 0;
+          if (t.aux == kCsrMhartid) value = hart_id_;
+          else if (t.aux == kCsrMcycle) value = static_cast<std::uint32_t>(cycles_);
+          write_x(t.rd, value);
+          break;
+        }
+        case Op::kPMac: write_x(t.rd, x_[t.rd] + rs1 * rs2); break;
+        case Op::kPClip: {
+          const std::int32_t hi = s(t.aux);
+          const std::int32_t lo = -hi - 1;
+          const std::int32_t v = s(rs1);
+          write_x(t.rd, u(v < lo ? lo : (v > hi ? hi : v)));
+          break;
+        }
+        case Op::kPAbs:
+          write_x(t.rd, s(rs1) < 0 ? static_cast<std::uint32_t>(0) - rs1 : rs1);
+          break;
+        case Op::kPMin: write_x(t.rd, s(rs1) < s(rs2) ? rs1 : rs2); break;
+        case Op::kPMax: write_x(t.rd, s(rs1) > s(rs2) ? rs1 : rs2); break;
+        case Op::kPExths: write_x(t.rd, u(static_cast<std::int16_t>(rs1 & 0xFFFF))); break;
+        case Op::kPExtbs: write_x(t.rd, u(static_cast<std::int8_t>(rs1 & 0xFF))); break;
+        case Op::kPvDotspH:
+        case Op::kPvSdotspH: {
+          const std::int32_t lo = static_cast<std::int16_t>(rs1 & 0xFFFF) *
+                                  static_cast<std::int16_t>(rs2 & 0xFFFF);
+          const std::int32_t hi = static_cast<std::int16_t>(rs1 >> 16) *
+                                  static_cast<std::int16_t>(rs2 >> 16);
+          const std::int32_t acc = (t.op == Op::kPvSdotspH) ? s(x_[t.rd]) : 0;
+          write_x(t.rd, u(acc + lo + hi));
+          break;
+        }
+        case Op::kLpSetup: {
+          HwLoop& loop = loops_[t.rs3];
+          loop.start = pc_ + 4;
+          loop.end = t.aux;
+          loop.count = rs1 == 0 ? 1 : rs1;
+          break;
+        }
+        case Op::kLpSetupi: {
+          HwLoop& loop = loops_[t.rs3];
+          loop.start = pc_ + 4;
+          loop.end = t.aux;
+          loop.count = u(t.imm);
+          break;
+        }
+        case Op::kFlw: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_addr = a;
+          f_[t.rd] = bits_float(mem_.load32(a));
+          break;
+        }
+        case Op::kFsw: {
+          const std::uint32_t a = rs1 + u(t.imm);
+          m_valid = true;
+          m_store = true;
+          m_addr = a;
+          mem_.store32(a, float_bits(f_[t.rs2]));
+          break;
+        }
+        case Op::kFaddS: f_[t.rd] = f_[t.rs1] + f_[t.rs2]; break;
+        case Op::kFsubS: f_[t.rd] = f_[t.rs1] - f_[t.rs2]; break;
+        case Op::kFmulS: f_[t.rd] = f_[t.rs1] * f_[t.rs2]; break;
+        case Op::kFdivS: f_[t.rd] = f_[t.rs1] / f_[t.rs2]; break;
+        case Op::kFmaddS: f_[t.rd] = f_[t.rs1] * f_[t.rs2] + f_[t.rs3]; break;
+        case Op::kFsgnjS:
+          f_[t.rd] = bits_float((float_bits(f_[t.rs1]) & 0x7FFFFFFF) |
+                                (float_bits(f_[t.rs2]) & 0x80000000));
+          break;
+        case Op::kFsgnjnS:
+          f_[t.rd] = bits_float((float_bits(f_[t.rs1]) & 0x7FFFFFFF) |
+                                (~float_bits(f_[t.rs2]) & 0x80000000));
+          break;
+        case Op::kFcvtSW: f_[t.rd] = static_cast<float>(s(rs1)); break;
+        case Op::kFcvtWS: write_x(t.rd, u(fcvt_w_s(f_[t.rs1]))); break;
+        case Op::kFmvXW: write_x(t.rd, float_bits(f_[t.rs1])); break;
+        case Op::kFmvWX: f_[t.rd] = bits_float(rs1); break;
+        case Op::kFeqS: write_x(t.rd, f_[t.rs1] == f_[t.rs2] ? 1 : 0); break;
+        case Op::kFltS: write_x(t.rd, f_[t.rs1] < f_[t.rs2] ? 1 : 0); break;
+        case Op::kFleS: write_x(t.rd, f_[t.rs1] <= f_[t.rs2] ? 1 : 0); break;
+        default:
+          // ecall/jalr/illegal never compile into traces.
+          fail("Core::run_trace: uncompilable op in trace");
+      }
+
+      // Hardware loops: the interpreter scans every post-execute next_pc.
+      // Sequential records provably not at an armed loop end (no
+      // kMaybeLoopEnd flag, guaranteed by the compile-time flags plus the
+      // attach-time guard) skip the scan.
+      if (transfer) {
+        hwloop_advance(next_pc);
+      } else if ((t.flags & TraceOp::kMaybeLoopEnd) != 0) {
+        hwloop_advance(next_pc);
+        transfer = next_pc != pc_ + 4;
+      }
+
+      pending_load_reg_ = t.load_dest;
+      prev_was_load_ = (t.flags & TraceOp::kIsLoad) != 0;
+      pc_ = next_pc;
+      cycles_ += static_cast<std::uint64_t>(cycles);
+      ++instructions_;
+      ++trace_instructions_;
+      if (histogram_ != nullptr) histogram_->record(t.op);
+
+      const bool cont = env.post(cycles, m_valid, m_store, m_addr);
+
+      if (!transfer) {
+        if (++i == n) {
+          // Fell off the trace end onto the sequential successor.
+          trace_.reset();
+          return;
+        }
+      } else {
+        const std::uint32_t off = next_pc - tr.start;
+        if (off < 4u * n && (off & 3u) == 0) {
+          // In-trace transfer (taken branch / hwloop back edge): re-enter
+          // dynamically at the landing record.
+          i = off >> 2;
+          dyn = true;
+        } else {
+          // Exit edge. Chain: the target may head another compiled trace.
+          trace_.reset();
+          if (tspace_ != nullptr) maybe_attach(next_pc);
+          return;
+        }
+      }
+      if (!cont) {
+        trace_cursor_ = i;
+        trace_dyn_ = dyn;
+        return;
+      }
+    }
+  } catch (...) {
+    // Memory fault mid-record: all state was updated in interpreter order
+    // before the throw, so parking the cursor on the faulting record (with
+    // dynamic re-entry, which recomputes the same stalls) makes a resumed
+    // core bit-identical to an interpreted one.
+    trace_cursor_ = i;
+    trace_dyn_ = true;
+    throw;
+  }
+}
+
+}  // namespace iw::rv

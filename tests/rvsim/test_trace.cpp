@@ -1,0 +1,259 @@
+// Superblock trace engine (rvsim/trace.hpp): behavioral tests for the parts
+// the golden-count suites cannot pin — invalidation under self-modifying
+// stores mid-run, hardware-loop re-arm inside a compiled trace, trace-table
+// survival across Machine reset/reload, and budget exhaustion while a trace
+// is executing. Every test's oracle is the pure interpreter: the same
+// program with traces off must produce bit-identical cycles, instruction
+// counts and architectural state.
+#include "rvsim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asmx/assembler.hpp"
+#include "common/error.hpp"
+#include "rvsim/analysis/analysis.hpp"
+#include "rvsim/machine.hpp"
+
+namespace iw::rv {
+namespace {
+
+struct RunOutcome {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint32_t s0 = 0;
+  std::uint64_t trace_instructions = 0;
+  std::uint64_t compiled = 0;
+  std::uint64_t invalidated = 0;
+};
+
+RunOutcome run_once(const asmx::Program& program, bool traces,
+                    std::uint64_t budget = 10'000'000) {
+  analysis::install_load_verifier();
+  Machine machine(ri5cy());
+  machine.set_trace_mode(traces);
+  machine.load_program(std::span<const std::uint32_t>(program.words),
+                       program.base);
+  const RunResult r = machine.run(program.symbol("main"), budget);
+  RunOutcome out;
+  out.cycles = r.cycles;
+  out.instructions = r.instructions;
+  out.s0 = machine.core().reg(8);
+  out.trace_instructions = machine.core().trace_instructions();
+  if (machine.trace_space() != nullptr) {
+    out.compiled = machine.trace_space()->stats().compiled;
+    out.invalidated = machine.trace_space()->stats().invalidated;
+  }
+  return out;
+}
+
+TEST(Trace, HotLoopCompilesAndMatchesInterpreter) {
+  const asmx::Program program = asmx::assemble(R"(
+      main:
+        li s0, 0
+        li s1, 100
+      loop:
+        addi s0, s0, 3
+        xori s0, s0, 5
+        addi s1, s1, -1
+        bne s1, zero, loop
+        ecall
+  )");
+  const RunOutcome interp = run_once(program, false);
+  const RunOutcome traced = run_once(program, true);
+  EXPECT_EQ(interp.cycles, traced.cycles);
+  EXPECT_EQ(interp.instructions, traced.instructions);
+  EXPECT_EQ(interp.s0, traced.s0);
+  EXPECT_GE(traced.compiled, 1u);
+  EXPECT_GT(traced.trace_instructions, 0u);
+  EXPECT_EQ(interp.trace_instructions, 0u);
+}
+
+TEST(Trace, SelfModifyingStoreInvalidatesMidRun) {
+  // The loop body's first instruction (addi s0, s0, 1) is overwritten with
+  // addi s0, s0, 2 by the loop itself at iteration 100 of 200 — after the
+  // body's trace has long been hot and compiled. The store must invalidate
+  // the trace at a record boundary and the remaining iterations must run the
+  // new instruction.
+  const std::uint32_t patch_word =
+      asmx::assemble("addi s0, s0, 2").words.at(0);
+  // DATA[0] holds the replacement encoding, DATA[1] the address to patch
+  // (labels cannot appear as li immediates, so the host supplies it).
+  const std::string source = R"(
+      .equ DATA, 0x10000
+      main:
+        li s0, 0
+        li s1, 200
+        li s2, DATA
+        lw s3, 4(s2)
+        li s4, 100
+      loop:
+      patchme:
+        addi s0, s0, 1
+        bne s1, s4, skip
+        lw t1, 0(s2)
+        sw t1, 0(s3)
+      skip:
+        addi s1, s1, -1
+        bne s1, zero, loop
+        ecall
+  )";
+  const asmx::Program program = asmx::assemble(source);
+
+  analysis::install_load_verifier();
+  RunOutcome results[2];
+  for (const bool traces : {false, true}) {
+    Machine machine(ri5cy());
+    machine.set_trace_mode(traces);
+    machine.load_program(std::span<const std::uint32_t>(program.words),
+                         program.base);
+    machine.memory().store32(0x10000, patch_word);
+    machine.memory().store32(0x10004, program.symbol("patchme"));
+    const RunResult r = machine.run(program.symbol("main"));
+    RunOutcome& out = results[traces ? 1 : 0];
+    out.cycles = r.cycles;
+    out.instructions = r.instructions;
+    out.s0 = machine.core().reg(8);
+    if (traces) {
+      out.trace_instructions = machine.core().trace_instructions();
+      out.compiled = machine.trace_space()->stats().compiled;
+      out.invalidated = machine.trace_space()->stats().invalidated;
+    }
+  }
+  // The patch lands mid-iteration at s1 == 100, after that iteration's addi
+  // already ran as +1: iterations s1 = 200..100 add 1 (101 of them), the
+  // remaining s1 = 99..1 add 2 (99 of them).
+  EXPECT_EQ(results[0].cycles, results[1].cycles);
+  EXPECT_EQ(results[0].instructions, results[1].instructions);
+  EXPECT_EQ(results[0].s0, results[1].s0);
+  EXPECT_EQ(results[1].s0, 101u * 1u + 99u * 2u);
+  EXPECT_GE(results[1].compiled, 1u);
+  EXPECT_GE(results[1].invalidated, 1u);
+  EXPECT_GT(results[1].trace_instructions, 0u);
+}
+
+TEST(Trace, HwloopReArmsInsideTrace) {
+  // The outer loop head goes hot, so the compiled trace contains lp.setupi
+  // itself: every outer iteration re-arms hardware loop 0 from inside the
+  // trace and the loop body's back edges execute under trace records flagged
+  // kMaybeLoopEnd. The hwend label marks the first instruction after the
+  // hardware-loop body (the three addis), which runs 8 times per outer trip.
+  const asmx::Program program = asmx::assemble(R"(
+      main:
+        li s0, 0
+        li s1, 40
+      outer:
+        lp.setupi 0, 8, hwend
+        addi s0, s0, 1
+        addi s0, s0, 1
+        addi s0, s0, 1
+      hwend:
+        addi s0, s0, 1
+        addi s1, s1, -1
+        bne s1, zero, outer
+        ecall
+  )");
+  const RunOutcome interp = run_once(program, false);
+  const RunOutcome traced = run_once(program, true);
+  EXPECT_EQ(interp.cycles, traced.cycles);
+  EXPECT_EQ(interp.instructions, traced.instructions);
+  EXPECT_EQ(interp.s0, traced.s0);
+  EXPECT_EQ(traced.s0, 40u * (8u * 3u + 1u));
+  EXPECT_GE(traced.compiled, 1u);
+  EXPECT_GT(traced.trace_instructions, 0u);
+}
+
+TEST(Trace, TableSurvivesResetAndInvalidatesOnReload) {
+  const asmx::Program prog_a = asmx::assemble(R"(
+      main:
+        li s0, 0
+        li s1, 64
+      loop:
+        addi s0, s0, 7
+        xori s0, s0, 21
+        addi s1, s1, -1
+        bne s1, zero, loop
+        ecall
+  )");
+  const asmx::Program prog_b = asmx::assemble(R"(
+      main:
+        li s0, 0
+        li s1, 32
+      loop:
+        slli t0, s1, 1
+        add s0, s0, t0
+        addi s1, s1, -1
+        bne s1, zero, loop
+        ecall
+  )");
+  analysis::install_load_verifier();
+
+  Machine machine(ri5cy());
+  machine.set_trace_mode(true);
+  machine.load_program(std::span<const std::uint32_t>(prog_a.words));
+  const RunResult first = machine.run(prog_a.symbol("main"));
+  const std::uint64_t compiled_after_first =
+      machine.trace_space()->stats().compiled;
+  EXPECT_GE(compiled_after_first, 1u);
+
+  // Re-run without reloading: Core::reset re-keys the cached analysis but
+  // compiled traces survive and are reused, with identical results.
+  const RunResult second = machine.run(prog_a.symbol("main"));
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.instructions, second.instructions);
+  EXPECT_EQ(machine.trace_space()->stats().compiled, compiled_after_first);
+  EXPECT_EQ(machine.trace_space()->stats().invalidated, 0u);
+
+  // Reloading a different image overwrites the watched code range: every
+  // overlapped trace must die, and the new program must run (and trace)
+  // exactly like a fresh interpreter machine.
+  machine.load_program(std::span<const std::uint32_t>(prog_b.words));
+  EXPECT_GE(machine.trace_space()->stats().invalidated, 1u);
+  const RunResult reloaded = machine.run(prog_b.symbol("main"));
+  EXPECT_EQ(machine.core().reg(8), 32u * 33u);  // 2 * sum(1..32)
+
+  const RunOutcome fresh = run_once(prog_b, false);
+  EXPECT_EQ(fresh.cycles, reloaded.cycles);
+  EXPECT_EQ(fresh.instructions, reloaded.instructions);
+  EXPECT_EQ(fresh.s0, machine.core().reg(8));
+}
+
+TEST(Trace, BudgetExhaustionInsideTraceMatchesInterpreter) {
+  const asmx::Program program = asmx::assemble(R"(
+      main:
+        li s0, 0
+        li s1, 100000
+      loop:
+        addi s0, s0, 1
+        slli t0, s0, 1
+        addi s1, s1, -1
+        bne s1, zero, loop
+        ecall
+  )");
+  analysis::install_load_verifier();
+  constexpr std::uint64_t kBudget = 5000;  // trips deep inside the hot loop
+
+  std::uint64_t cycles[2];
+  std::uint64_t instructions[2];
+  std::uint32_t s0[2];
+  for (const bool traces : {false, true}) {
+    Machine machine(ri5cy());
+    machine.set_trace_mode(traces);
+    machine.load_program(std::span<const std::uint32_t>(program.words));
+    EXPECT_THROW(machine.run(program.symbol("main"), kBudget), iw::Error);
+    cycles[traces ? 1 : 0] = machine.core().cycles();
+    instructions[traces ? 1 : 0] = machine.core().instructions();
+    s0[traces ? 1 : 0] = machine.core().reg(8);
+    if (traces) {
+      EXPECT_GT(machine.core().trace_instructions(), 0u);
+    }
+  }
+  EXPECT_EQ(instructions[0], kBudget);
+  EXPECT_EQ(instructions[1], kBudget);
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(s0[0], s0[1]);
+}
+
+}  // namespace
+}  // namespace iw::rv

@@ -1,0 +1,212 @@
+// Differential fuzz for the superblock trace engine: structured random
+// programs (counted loops around random ALU/memory/branch bodies, plus
+// RI5CY hardware loops) run twice on a Machine — traces on and traces off —
+// and the full observable state must match bit for bit: cycles, instruction
+// counts, penalty counters, every x register, the data region, the final pc
+// and the per-opcode retire histogram. Loops are hot enough that the trace
+// path genuinely engages (asserted in aggregate per profile).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asmx/assembler.hpp"
+#include "common/rng.hpp"
+#include "rvsim/analysis/analysis.hpp"
+#include "rvsim/machine.hpp"
+#include "rvsim/profile_stats.hpp"
+#include "rvsim/trace.hpp"
+
+namespace iw::rv {
+namespace {
+
+constexpr std::uint32_t kDataBase = 0x8000;
+constexpr std::uint32_t kDataWords = 64;
+
+/// Scratch registers the random bodies may read/write freely.
+const char* const kScratch[] = {"t0", "t1", "t2", "t3", "t4",
+                                "a0", "a1", "a2", "a3", "a4"};
+constexpr int kNumScratch = 10;
+
+const char* pick_reg(Rng& rng) {
+  return kScratch[rng.uniform_int(kNumScratch)];
+}
+
+/// One random body instruction. `mem` allows loads/stores (off inside
+/// hardware loops, whose bodies the analyzer wants branch- and simple).
+void emit_op(std::ostringstream& os, Rng& rng, bool mem) {
+  const char* rd = pick_reg(rng);
+  const char* rs1 = pick_reg(rng);
+  const char* rs2 = pick_reg(rng);
+  switch (rng.uniform_int(mem ? 14 : 10)) {
+    case 0: os << "  add " << rd << ", " << rs1 << ", " << rs2 << "\n"; break;
+    case 1: os << "  sub " << rd << ", " << rs1 << ", " << rs2 << "\n"; break;
+    case 2: os << "  xor " << rd << ", " << rs1 << ", " << rs2 << "\n"; break;
+    case 3: os << "  and " << rd << ", " << rs1 << ", " << rs2 << "\n"; break;
+    case 4: os << "  or " << rd << ", " << rs1 << ", " << rs2 << "\n"; break;
+    case 5: os << "  mul " << rd << ", " << rs1 << ", " << rs2 << "\n"; break;
+    case 6:
+      os << "  slli " << rd << ", " << rs1 << ", " << rng.uniform_int(31) << "\n";
+      break;
+    case 7:
+      os << "  srai " << rd << ", " << rs1 << ", " << rng.uniform_int(31) << "\n";
+      break;
+    case 8:
+      os << "  addi " << rd << ", " << rs1 << ", "
+         << static_cast<int>(rng.uniform_int(2048)) - 1024 << "\n";
+      break;
+    case 9: os << "  sltu " << rd << ", " << rs1 << ", " << rs2 << "\n"; break;
+    case 10:
+      os << "  lw " << rd << ", " << 4 * rng.uniform_int(kDataWords) << "(s2)\n";
+      break;
+    case 11:
+      os << "  sw " << rs1 << ", " << 4 * rng.uniform_int(kDataWords) << "(s2)\n";
+      break;
+    case 12:
+      os << "  lbu " << rd << ", " << rng.uniform_int(4 * kDataWords) << "(s2)\n";
+      break;
+    case 13:
+      os << "  sh " << rs1 << ", " << 2 * rng.uniform_int(2 * kDataWords)
+         << "(s2)\n";
+      break;
+  }
+}
+
+/// A counted loop (or, when allowed, a hardware loop) hot enough to compile.
+void emit_loop(std::ostringstream& os, Rng& rng, int index, bool hwloops) {
+  const int trip = 16 + static_cast<int>(rng.uniform_int(33));  // 16..48
+  if (hwloops && rng.bernoulli(0.3)) {
+    const int body = 2 + static_cast<int>(rng.uniform_int(4));
+    os << "  lp.setupi 0, " << trip << ", Lhwend" << index << "\n";
+    for (int i = 0; i < body; ++i) emit_op(os, rng, false);
+    os << "Lhwend" << index << ":\n";
+    emit_op(os, rng, false);
+    return;
+  }
+  os << "  li s1, " << trip << "\n";
+  os << "Lloop" << index << ":\n";
+  const int body = 2 + static_cast<int>(rng.uniform_int(7));
+  for (int i = 0; i < body; ++i) {
+    if (rng.bernoulli(0.2)) {
+      // Forward skip over a short run: in-trace taken/untaken branches.
+      os << "  " << (rng.bernoulli(0.5) ? "beq" : "bne") << " " << pick_reg(rng)
+         << ", " << pick_reg(rng) << ", Lskip" << index << "_" << i << "\n";
+      emit_op(os, rng, true);
+      emit_op(os, rng, true);
+      os << "Lskip" << index << "_" << i << ":\n";
+    } else {
+      emit_op(os, rng, true);
+    }
+  }
+  os << "  addi s1, s1, -1\n";
+  os << "  bne s1, zero, Lloop" << index << "\n";
+}
+
+std::string generate_program(Rng& rng, bool hwloops) {
+  std::ostringstream os;
+  os << "main:\n";
+  os << "  li s2, " << kDataBase << "\n";
+  for (int r = 0; r < kNumScratch; ++r) {
+    os << "  li " << kScratch[r] << ", "
+       << static_cast<std::int64_t>(rng.uniform_int(1u << 16)) - (1 << 15)
+       << "\n";
+  }
+  const int loops = 1 + static_cast<int>(rng.uniform_int(3));
+  for (int l = 0; l < loops; ++l) emit_loop(os, rng, l, hwloops);
+  os << "  ecall\n";
+  return os.str();
+}
+
+struct FullState {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t load_use_stalls = 0;
+  std::uint32_t pc = 0;
+  bool halted = false;
+  std::array<std::uint32_t, 32> x{};
+  std::vector<std::uint32_t> data;
+  std::array<std::uint64_t, kOpCount> histogram{};
+  std::uint64_t trace_instructions = 0;
+};
+
+FullState run_one(const asmx::Program& program, const TimingProfile& profile,
+                  std::uint64_t data_seed, bool traces) {
+  Machine machine(profile, 1u << 17);
+  machine.set_trace_mode(traces);
+  machine.load_program(std::span<const std::uint32_t>(program.words));
+  Rng data_rng(data_seed);
+  for (std::uint32_t w = 0; w < kDataWords; ++w) {
+    machine.memory().store32(kDataBase + 4 * w,
+                             static_cast<std::uint32_t>(data_rng()));
+  }
+  InstructionHistogram hist;
+  machine.core().set_histogram(&hist);
+  machine.run(program.symbol("main"), 2'000'000);
+
+  FullState s;
+  s.cycles = machine.core().cycles();
+  s.instructions = machine.core().instructions();
+  s.taken_branches = machine.core().taken_branches();
+  s.load_use_stalls = machine.core().load_use_stalls();
+  s.pc = machine.core().pc();
+  s.halted = machine.core().halted();
+  for (int r = 0; r < 32; ++r) s.x[static_cast<std::size_t>(r)] = machine.core().reg(r);
+  for (std::uint32_t w = 0; w < kDataWords; ++w) {
+    s.data.push_back(machine.memory().load32(kDataBase + 4 * w));
+  }
+  for (std::size_t op = 0; op < kOpCount; ++op) {
+    s.histogram[op] = hist.count(static_cast<Op>(op));
+  }
+  s.trace_instructions = machine.core().trace_instructions();
+  return s;
+}
+
+void expect_identical(const FullState& a, const FullState& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.cycles, b.cycles) << context;
+  EXPECT_EQ(a.instructions, b.instructions) << context;
+  EXPECT_EQ(a.taken_branches, b.taken_branches) << context;
+  EXPECT_EQ(a.load_use_stalls, b.load_use_stalls) << context;
+  EXPECT_EQ(a.pc, b.pc) << context;
+  EXPECT_EQ(a.halted, b.halted) << context;
+  EXPECT_EQ(a.x, b.x) << context;
+  EXPECT_EQ(a.data, b.data) << context;
+  EXPECT_EQ(a.histogram, b.histogram) << context;
+}
+
+void fuzz_profile(const TimingProfile& profile, bool hwloops,
+                  std::uint64_t seed_base) {
+  analysis::install_load_verifier();
+  std::uint64_t total_traced = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    Rng rng(seed);
+    const std::string source = generate_program(rng, hwloops);
+    asmx::Program program;
+    ASSERT_NO_THROW(program = asmx::assemble(source))
+        << "seed " << seed << "\n" << source;
+    const std::string context =
+        profile.name + " seed " + std::to_string(seed);
+    FullState interp, traced;
+    ASSERT_NO_THROW(interp = run_one(program, profile, seed, false)) << context;
+    ASSERT_NO_THROW(traced = run_one(program, profile, seed, true)) << context;
+    expect_identical(interp, traced, context);
+    EXPECT_EQ(interp.trace_instructions, 0u) << context;
+    total_traced += traced.trace_instructions;
+  }
+  // The fuzz is only meaningful if the trace path actually ran.
+  EXPECT_GT(total_traced, 0u) << profile.name;
+}
+
+TEST(TraceFuzz, Ri5cy) { fuzz_profile(ri5cy(), true, 1000); }
+
+TEST(TraceFuzz, CortexM4F) { fuzz_profile(cortex_m4f(), false, 2000); }
+
+TEST(TraceFuzz, Ibex) { fuzz_profile(ibex(), false, 3000); }
+
+}  // namespace
+}  // namespace iw::rv

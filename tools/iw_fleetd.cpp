@@ -16,8 +16,17 @@
 //   iw_fleetd --devices 100000 --days 30 --threads 8 --json fleet30.json
 //   iw_fleetd --devices 50000 --days 60 --checkpoint mid.ckpt --checkpoint-day 30
 //   iw_fleetd --devices 50000 --days 60 --resume mid.ckpt --json days60.json
+//   iw_fleetd --devices 5000 --days 7 --app   # energy + NN classification
 //   iw_fleetd --smoke        # self-check: determinism across threads,
 //                            # shard sizes, and a checkpoint/resume split
+//
+// With --app, a stress-detection pipeline (dataset synthesis, training,
+// quantization — see core/app.hpp) is built once up front and shared
+// read-only by every shard worker: each device-day then classifies its
+// completed detection windows and the `classified` column/JSON keys report
+// the population totals. --app-subjects/--app-minutes/--app-epochs size the
+// training run (the defaults build in a few seconds; accuracy is secondary
+// to duty-cycle realism here).
 //
 // JSON goes through the shared bench report layer (flat key -> number), so
 // downstream tooling reads fleet trajectories and bench trajectories the
@@ -25,8 +34,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "core/app.hpp"
 #include "fleet/longitudinal/runner.hpp"
 #include "report.hpp"
 
@@ -38,6 +49,7 @@ int usage(const char* argv0) {
       "usage: %s [--devices N] [--first N] [--seed S] [--days N]\n"
       "          [--shard N] [--threads N] [--bins N] [--query-day N]\n"
       "          [--every N] [--json PATH]\n"
+      "          [--app] [--app-subjects N] [--app-minutes F] [--app-epochs N]\n"
       "          [--checkpoint PATH --checkpoint-day N] [--resume PATH]\n"
       "          [--smoke]\n",
       argv0);
@@ -101,6 +113,13 @@ int main(int argc, char** argv) {
   int every = 0;
   std::string json_path;
   bool smoke = false;
+  bool with_app = false;
+  iw::core::AppConfig app_config;
+  // CLI training defaults lean small: fleet runs want the classification
+  // plumbing and duty-cycle costs, not leaderboard accuracy.
+  app_config.dataset.subjects = 2;
+  app_config.dataset.minutes_per_level = 2.0;
+  app_config.training.max_epochs = 40;
 
   for (int i = 1; i < argc; ++i) {
     const bool more = i + 1 < argc;
@@ -125,6 +144,19 @@ int main(int argc, char** argv) {
       every = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0 && more) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--app") == 0) {
+      with_app = true;
+    } else if (std::strcmp(argv[i], "--app-subjects") == 0 && more) {
+      with_app = true;
+      app_config.dataset.subjects =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--app-minutes") == 0 && more) {
+      with_app = true;
+      app_config.dataset.minutes_per_level = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--app-epochs") == 0 && more) {
+      with_app = true;
+      app_config.training.max_epochs =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--checkpoint") == 0 && more) {
       config.checkpoint_path = argv[++i];
     } else if (std::strcmp(argv[i], "--checkpoint-day") == 0 && more) {
@@ -147,6 +179,17 @@ int main(int argc, char** argv) {
   if (every <= 0) every = config.days <= 12 ? 1 : (config.days + 11) / 12;
 
   try {
+    std::optional<iw::core::StressDetectionApp> app;
+    if (with_app) {
+      app.emplace(iw::core::StressDetectionApp::build(app_config));
+      config.app = &*app;
+      std::printf("app: %d subjects x %.1f min/level, %d epochs; "
+                  "test accuracy float %.3f / fixed %.3f\n",
+                  app_config.dataset.subjects,
+                  app_config.dataset.minutes_per_level,
+                  app_config.training.max_epochs, app->float_test_accuracy(),
+                  app->fixed_test_accuracy());
+    }
     const iw::fleet::LongitudinalRunner runner(config);
     const iw::fleet::LongitudinalResult result = runner.run();
     const iw::fleet::LongitudinalStats& stats = result.stats;
@@ -163,15 +206,16 @@ int main(int argc, char** argv) {
     std::printf("wall: %.2f s  (%.0f device-days/sec)\n\n", result.wall_s,
                 result.device_days_per_sec);
 
-    std::printf("%5s %10s %9s %9s %9s\n", "day", "devices", "frac_ss",
-                "soc_p50", "soc_p99");
+    std::printf("%5s %10s %9s %9s %9s %12s\n", "day", "devices", "frac_ss",
+                "soc_p50", "soc_p99", "classified");
     for (int day = 1; day <= last_day; ++day) {
       if (day % every != 0 && day != last_day && day != query_day) continue;
       const auto c = stats.day_counters(day);
-      std::printf("%5d %10llu %9.4f %9.4f %9.4f\n", day,
+      std::printf("%5d %10llu %9.4f %9.4f %9.4f %12llu\n", day,
                   static_cast<unsigned long long>(c.devices),
                   stats.fraction_self_sustaining(day),
-                  stats.soc_quantile(day, 0.50), stats.soc_quantile(day, 0.99));
+                  stats.soc_quantile(day, 0.50), stats.soc_quantile(day, 0.99),
+                  static_cast<unsigned long long>(c.classified));
     }
 
     std::printf("\nself-sustaining at day %d: %.4f\n", query_day,
@@ -207,12 +251,19 @@ int main(int argc, char** argv) {
       json.add("query_day", query_day);
       json.add("frac_self_sustaining_query_day",
                stats.fraction_self_sustaining(query_day));
+      json.add("app_enabled", with_app ? 1 : 0);
+      if (with_app) {
+        json.add("app_float_accuracy", app->float_test_accuracy());
+        json.add("app_fixed_accuracy", app->fixed_test_accuracy());
+      }
       for (int day = 1; day <= last_day; ++day) {
         const std::string prefix = "day" + std::to_string(day);
         json.add(prefix + "_frac_self_sustaining",
                  stats.fraction_self_sustaining(day));
         json.add(prefix + "_soc_p50", stats.soc_quantile(day, 0.50));
         json.add(prefix + "_soc_p99", stats.soc_quantile(day, 0.99));
+        json.add(prefix + "_classified",
+                 static_cast<double>(stats.day_counters(day).classified));
         for (int p = 0; p < iw::fleet::kNumWearerProfiles; ++p) {
           const auto profile = static_cast<iw::fleet::WearerProfile>(p);
           json.add(prefix + "_soc_p50_" + iw::fleet::to_string(profile),

@@ -1,6 +1,6 @@
 // iw_lint: static analysis front end for rvsim program images.
 //
-// Two modes:
+// Three modes:
 //
 //   iw_lint --kernels [--json]
 //       Self-check over every kernel shipped in src/kernels: each image is
@@ -8,6 +8,17 @@
 //       a kernel has any error under its intended profile, if a kernel that
 //       needs Xpulp/FPU features is NOT rejected under the IBEX profile, or
 //       if any profile reports a structural (non-ISA) error anywhere.
+//
+//   iw_lint --traces [--json]
+//       Superblock-trace report over the same kernels (DESIGN.md §14): per
+//       kernel, the certified basic-block and hardware-loop counts, the
+//       static cycle floor, and — from running the bare image on a budgeted
+//       Machine — how many traces compiled and what fraction of the dynamic
+//       instruction stream they covered. Bare images carry no weights or
+//       sensor data, so kernels that chase zeroed config pointers fault out
+//       of bounds and cluster kernels can spin at the open barrier until the
+//       budget trips; such rows are marked `partial` and still report the
+//       coverage seen up to the stop.
 //
 //   iw_lint [--asm] [--profile NAME] [--entry SYM|ADDR] [--mem BYTES]
 //           [--strict-indirect] [--json] FILE
@@ -27,8 +38,10 @@
 #include "common/error.hpp"
 #include "kernels/runner.hpp"
 #include "rvsim/analysis/analysis.hpp"
+#include "rvsim/machine.hpp"
 #include "rvsim/memory.hpp"
 #include "rvsim/timing.hpp"
+#include "rvsim/trace.hpp"
 
 namespace {
 
@@ -39,6 +52,7 @@ using iw::rv::analysis::Severity;
 int usage() {
   std::fprintf(stderr,
                "usage: iw_lint --kernels [--json]\n"
+               "       iw_lint --traces [--json]\n"
                "       iw_lint [--asm] [--profile cortex-m4f|ibex|ri5cy] "
                "[--entry SYM|ADDR]\n"
                "               [--mem BYTES] [--strict-indirect] [--json] FILE\n");
@@ -138,6 +152,73 @@ int lint_kernels(bool json) {
   return failed ? 1 : 0;
 }
 
+int lint_traces(bool json) {
+  iw::rv::analysis::install_load_verifier();
+  const std::vector<iw::kernels::KernelImage> images =
+      iw::kernels::reference_kernel_images();
+  // Enough budget for every well-formed kernel to halt on a bare image.
+  constexpr std::uint64_t kBudget = 20'000'000;
+
+  if (!json) {
+    std::printf("%-20s %-12s %7s %8s %11s %7s %12s %7s %8s\n", "kernel",
+                "profile", "blocks", "hwloops", "min_cycles", "traces",
+                "instrs", "cov%", "run");
+  }
+  std::ostringstream js;
+  js << "[";
+  bool first = true;
+  for (const iw::kernels::KernelImage& image : images) {
+    const AnalysisReport report = analyze_image(
+        image.program, image.entry, image.profile, image.mem_bytes, false);
+
+    iw::rv::Machine machine(image.profile, image.mem_bytes);
+    machine.set_trace_mode(true);
+    machine.load_program(std::span<const std::uint32_t>(image.program.words),
+                         image.program.base);
+    bool completed = true;
+    try {
+      machine.run(image.entry, kBudget);
+    } catch (const iw::Error&) {
+      // Budget trip or a bare-image fault (zeroed config pointers): the
+      // counters still describe everything executed up to the stop.
+      completed = false;
+    }
+    const std::uint64_t instructions = machine.core().instructions();
+    const std::uint64_t traced = machine.core().trace_instructions();
+    const double coverage =
+        instructions == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(traced) / static_cast<double>(instructions);
+    const std::uint64_t compiled =
+        machine.trace_space() != nullptr ? machine.trace_space()->stats().compiled : 0;
+
+    if (json) {
+      if (!first) js << ",";
+      first = false;
+      js << "{\"kernel\":\"" << image.name << "\",\"profile\":\""
+         << image.profile.name << "\",\"blocks\":" << report.blocks.size()
+         << ",\"hwloops\":" << report.loops.size()
+         << ",\"min_cycles\":" << report.min_cycles
+         << ",\"traces_compiled\":" << compiled
+         << ",\"instructions\":" << instructions
+         << ",\"trace_instructions\":" << traced << ",\"coverage_pct\":"
+         << coverage << ",\"completed\":" << (completed ? "true" : "false")
+         << "}";
+    } else {
+      std::printf("%-20s %-12s %7zu %8zu %11llu %7llu %12llu %6.1f%% %8s\n",
+                  image.name.c_str(), image.profile.name.c_str(),
+                  report.blocks.size(), report.loops.size(),
+                  static_cast<unsigned long long>(report.min_cycles),
+                  static_cast<unsigned long long>(compiled),
+                  static_cast<unsigned long long>(instructions), coverage,
+                  completed ? "halted" : "partial");
+    }
+  }
+  js << "]";
+  if (json) std::printf("%s\n", js.str().c_str());
+  return 0;
+}
+
 bool looks_like_asm(const std::string& path) {
   const auto dot = path.rfind('.');
   if (dot == std::string::npos) return false;
@@ -196,6 +277,7 @@ int lint_file(const std::string& path, bool force_asm, const std::string& profil
 
 int main(int argc, char** argv) {
   bool kernels = false;
+  bool traces = false;
   bool json = false;
   bool force_asm = false;
   bool strict_indirect = false;
@@ -207,6 +289,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--kernels") kernels = true;
+    else if (arg == "--traces") traces = true;
     else if (arg == "--json") json = true;
     else if (arg == "--asm") force_asm = true;
     else if (arg == "--strict-indirect") strict_indirect = true;
@@ -225,6 +308,7 @@ int main(int argc, char** argv) {
 
   try {
     if (kernels) return lint_kernels(json);
+    if (traces) return lint_traces(json);
     if (file.empty()) return usage();
     return lint_file(file, force_asm, profile_name, entry_spec, mem_bytes,
                      strict_indirect, json);
