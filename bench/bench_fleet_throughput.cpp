@@ -1,64 +1,154 @@
 // Fleet engine throughput: device-days/sec across the three day simulators,
-// and thread-scaling efficiency.
+// the SIMD dispatch tiers of the cohort kernel, and thread-scaling
+// efficiency.
 //
 // Simulates a 1000-device fleet for one day (override with `--devices N
-// --days N`), once per mode at 1/2/4/8 worker threads each:
+// --days N --chunk N`), once per mode at 1/2/4/8 worker threads each:
 //   engine  discrete-event engine per device-day (the oracle, replaying the
 //           pre-fast-path fleet loop including its always-on trace recording)
 //   fast    allocation-free fast-path segment integrator, one device at a time
 //   cohort  structure-of-arrays cohort kernel (the default): each chunk of
 //           devices advances in lockstep, sharing segment tables, the
 //           detection-gate window and policy objects across the cohort
-// Reports device-days/sec, the fast-vs-engine and cohort-vs-fast speedups,
-// and per-mode thread scaling; cross-checks both determinism invariants
-// (aggregate FleetStats byte-identical at every thread count, and
-// byte-identical across all three day simulators). Results land in
-// BENCH_fleet_throughput.json.
+// then sweeps the cohort kernel across every SIMD tier this build + host can
+// run (off / array / sse2 / avx2) at one thread. Reports device-days/sec, the
+// fast-vs-engine / cohort-vs-fast / simd-vs-scalar speedups, and per-mode
+// thread scaling; cross-checks the determinism invariants in-run (aggregate
+// FleetStats byte-identical at every thread count, across all three day
+// simulators, and across every SIMD tier — each compared against the engine
+// oracle's serialization). Results land in BENCH_fleet_throughput.json along
+// with the host CPU model and ISA features that produced them.
+//
+// `--smoke` replaces the sweep with a seconds-scale cross-check (64 devices x
+// 1 day through every path, tier and 2 threads), prints a digest of the
+// canonical serialization for cross-build comparison (the digest depends only
+// on the simulated results, never on chunking, threads or tier), and exits
+// nonzero on any mismatch. scripts/check.sh runs it on every build, and
+// compares digests between the SIMD and the -DIW_SIMD=OFF portable build.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/hostinfo.hpp"
+#include "common/simd.hpp"
 #include "fleet/fleet_engine.hpp"
 #include "report.hpp"
+
+namespace {
+
+// FNV-1a over the canonical FleetStats serialization: two runs agree
+// bit-for-bit iff their digests match (modulo collisions, which a follow-up
+// byte compare of the serializations would catch — the bench itself always
+// compares the full strings and uses the digest only for cross-build output).
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<iw::simd::Tier> runnable_tiers() {
+  std::vector<iw::simd::Tier> tiers = {iw::simd::Tier::kOff};
+  for (iw::simd::Tier t : {iw::simd::Tier::kArray, iw::simd::Tier::kSse2,
+                           iw::simd::Tier::kAvx2}) {
+    if (iw::simd::tier_usable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::size_t devices = 1000;
   int days = 1;
+  std::size_t chunk = iw::fleet::FleetConfig{}.chunk_size;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const bool more = i + 1 < argc;
     if (std::strcmp(argv[i], "--devices") == 0 && more) {
       devices = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--days") == 0 && more) {
       days = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && more) {
+      chunk = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--devices N] [--days N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--devices N] [--days N] [--chunk N] [--smoke]\n",
+                   argv[0]);
       return 2;
     }
   }
-  if (devices == 0 || days <= 0) {
-    std::fprintf(stderr, "need --devices >= 1 and --days >= 1\n");
+  if (devices == 0 || days <= 0 || chunk == 0) {
+    std::fprintf(stderr, "need --devices >= 1, --days >= 1 and --chunk >= 1\n");
     return 2;
+  }
+
+  iw::fleet::FleetConfig config;
+  config.fleet_seed = 2020;
+  config.chunk_size = chunk;
+  const std::vector<iw::simd::Tier> tiers = runnable_tiers();
+
+  if (smoke) {
+    // Seconds-scale cross-build check: every day simulator, every SIMD tier
+    // and a threaded run must serialize to the same bytes.
+    config.num_devices = 64;
+    config.days = 1;
+    iw::bench::print_header("Fleet throughput smoke (64 devices x 1 day)");
+    config.fast_day = false;
+    config.cohort_day = false;
+    config.threads = 1;
+    const std::string reference =
+        iw::fleet::FleetEngine(config).run().stats.serialize();
+    bool ok = true;
+    const auto check = [&](const std::string& label, const std::string& got) {
+      const bool same = got == reference;
+      std::printf("  %-28s %s\n", label.c_str(),
+                  same ? "matches engine oracle" : "MISMATCH");
+      ok = ok && same;
+    };
+    config.fast_day = true;
+    check("fast t1", iw::fleet::FleetEngine(config).run().stats.serialize());
+    config.cohort_day = true;
+    for (iw::simd::Tier tier : tiers) {
+      iw::simd::override_tier(tier);
+      check(std::string("cohort t1 tier=") + iw::simd::tier_name(tier),
+            iw::fleet::FleetEngine(config).run().stats.serialize());
+    }
+    iw::simd::clear_override();
+    config.threads = 2;
+    check("cohort t2", iw::fleet::FleetEngine(config).run().stats.serialize());
+    std::printf("  smoke digest: %016llx\n",
+                static_cast<unsigned long long>(fnv1a(reference)));
+    iw::bench::print_note(ok ? "smoke cross-check passed"
+                             : "SMOKE FAILURE: paths disagree");
+    return ok ? 0 : 1;
   }
 
   iw::bench::print_header("Fleet throughput (" + std::to_string(devices) +
                           " devices x " + std::to_string(days) + " day" +
                           (days == 1 ? "" : "s") + ")");
 
-  iw::fleet::FleetConfig config;
   config.num_devices = devices;
-  config.fleet_seed = 2020;
   config.days = days;
-  config.chunk_size = 16;
 
   iw::bench::JsonReport json("BENCH_fleet_throughput.json");
   json.add("devices", static_cast<double>(config.num_devices));
   json.add("days", config.days);
+  json.add("chunk_size", static_cast<double>(config.chunk_size));
   json.add("hardware_concurrency",
            static_cast<double>(std::thread::hardware_concurrency()));
+  json.add("cpu_model", iw::hostinfo::cpu_model());
+  json.add("cpu_simd_features", iw::hostinfo::cpu_simd_features());
+  json.add("simd_tier", iw::simd::tier_name(iw::simd::active_tier()));
 
-  std::printf("%8s %8s %16s %10s %12s\n", "path", "threads", "dev-days/sec",
+  std::printf("%16s %8s %16s %10s %12s\n", "path", "threads", "dev-days/sec",
               "speedup", "efficiency");
 
   struct Mode {
@@ -67,7 +157,8 @@ int main(int argc, char** argv) {
     bool cohort_day;
   };
   // `fast` pins cohort_day off to isolate the per-device scalar baseline;
-  // `cohort` is the shipping default (both flags on).
+  // `cohort` is the shipping default (both flags on) at the default
+  // (widest usable) SIMD tier.
   constexpr Mode kModes[] = {{"engine", false, false},
                              {"fast", true, false},
                              {"cohort", true, true}};
@@ -105,7 +196,7 @@ int main(int argc, char** argv) {
       const double speedup =
           base_ddps > 0.0 ? result.device_days_per_sec / base_ddps : 0.0;
       const double efficiency = speedup / threads;
-      std::printf("%8s %8d %16.1f %9.2fx %11.1f%%\n", mode.name, threads,
+      std::printf("%16s %8d %16.1f %9.2fx %11.1f%%\n", mode.name, threads,
                   result.device_days_per_sec, speedup, 100.0 * efficiency);
 
       const std::string prefix =
@@ -117,29 +208,69 @@ int main(int argc, char** argv) {
     }
   }
 
+  // SIMD tier axis: the cohort kernel at one thread, once per tier this
+  // build + host can run, each run's aggregate compared byte-for-byte
+  // against the engine oracle captured above.
+  config.fast_day = true;
+  config.cohort_day = true;
+  config.threads = 1;
+  bool tiers_identical = true;
+  double tier_off_ddps = 0.0;
+  double tier_best_ddps = 0.0;
+  for (iw::simd::Tier tier : tiers) {
+    iw::simd::override_tier(tier);
+    const iw::fleet::FleetResult result = iw::fleet::FleetEngine(config).run();
+    if (result.stats.serialize() != reference) tiers_identical = false;
+    if (tier == iw::simd::Tier::kOff) tier_off_ddps = result.device_days_per_sec;
+    tier_best_ddps = result.device_days_per_sec;  // tiers iterate narrow->wide
+    const std::string label =
+        std::string("cohort tier=") + iw::simd::tier_name(tier);
+    const double speedup = tier_off_ddps > 0.0
+                               ? result.device_days_per_sec / tier_off_ddps
+                               : 0.0;
+    std::printf("%16s %8d %16.1f %9.2fx %12s\n", label.c_str(), 1,
+                result.device_days_per_sec, speedup, "");
+    json.add("cohort_tier_" + std::string(iw::simd::tier_name(tier)) +
+                 "_t1_device_days_per_sec",
+             result.device_days_per_sec);
+  }
+  iw::simd::clear_override();
+
   const double fast_speedup =
       engine_t1_ddps > 0.0 ? fast_t1_ddps / engine_t1_ddps : 0.0;
   const double cohort_speedup =
       fast_t1_ddps > 0.0 ? cohort_t1_ddps / fast_t1_ddps : 0.0;
+  const double simd_speedup =
+      tier_off_ddps > 0.0 ? tier_best_ddps / tier_off_ddps : 0.0;
   std::printf("\n  fast path vs engine path (1 thread): %.2fx\n", fast_speedup);
   std::printf("  cohort kernel vs fast path (1 thread): %.2fx\n",
               cohort_speedup);
+  std::printf("  cohort SIMD vs scalar kernel (1 thread): %.2fx\n",
+              simd_speedup);
   json.add("fast_vs_engine_speedup_t1", fast_speedup);
   json.add("cohort_vs_fast_speedup_t1", cohort_speedup);
+  json.add("cohort_simd_vs_scalar_speedup_t1", simd_speedup);
   json.add("deterministic_across_threads_and_paths", deterministic ? 1.0 : 0.0);
+  json.add("identical_across_simd_tiers", tiers_identical ? 1.0 : 0.0);
   json.add("fleet_completed_detections",
            static_cast<double>(summary.detections_completed));
   json.add("fleet_fraction_self_sustaining", summary.fraction_self_sustaining);
   json.add("fleet_final_soc_p50", summary.final_soc.p50);
+  json.add("peak_rss_bytes",
+           static_cast<double>(iw::hostinfo::peak_rss_bytes()));
 
   iw::bench::print_note(
       deterministic
           ? "aggregate FleetStats byte-identical across thread counts and all "
             "three day simulators"
           : "DETERMINISM VIOLATION: stats differ across thread counts or paths");
+  iw::bench::print_note(
+      tiers_identical
+          ? "cohort FleetStats byte-identical across SIMD tiers vs engine oracle"
+          : "SIMD TIER VIOLATION: a tier's stats differ from the engine oracle");
   iw::bench::print_note("speedup is bounded by the host's available cores (" +
                         std::to_string(std::thread::hardware_concurrency()) +
                         " here)");
   json.write();
-  return deterministic ? 0 : 1;
+  return deterministic && tiers_identical ? 0 : 1;
 }

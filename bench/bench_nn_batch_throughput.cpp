@@ -7,14 +7,20 @@
 // bit-exact with the per-sample paths, so the speedup is pure engineering:
 // no per-call allocation, weight rows streamed once per tile instead of once
 // per sample, contiguous inner loops over samples. Also reports the
-// fleet-level win: devices/sec with batched classification on vs off.
+// fleet-level win: devices/sec with batched classification on vs off, and the
+// SIMD tier axis for the 16-bit path (Fixed16Batch re-measured at every
+// runnable tier with a byte-identity check against the per-sample oracle —
+// the process exits non-zero if any tier's outputs differ).
 // Results land in BENCH_nn_batch_throughput.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/hostinfo.hpp"
+#include "common/simd.hpp"
 #include "core/app.hpp"
 #include "fleet/fleet_engine.hpp"
 #include "nn/batch.hpp"
@@ -91,7 +97,18 @@ NetInputs make_inputs(const iw::nn::Network& net,
 /// Keeps the optimizer honest: every measured loop folds its outputs in here.
 volatile double g_sink = 0.0;
 
-void bench_network(const char* tag, const iw::nn::Network& net,
+std::vector<iw::simd::Tier> runnable_tiers() {
+  std::vector<iw::simd::Tier> tiers = {iw::simd::Tier::kOff};
+  for (iw::simd::Tier t : {iw::simd::Tier::kArray, iw::simd::Tier::kSse2,
+                           iw::simd::Tier::kAvx2}) {
+    if (iw::simd::tier_usable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// Returns false when any SIMD tier's Fixed16Batch outputs differ from the
+/// per-sample oracle (they never should: the tiers are bit-exact).
+bool bench_network(const char* tag, const iw::nn::Network& net,
                    iw::bench::JsonReport& json) {
   const iw::nn::QuantizedNetwork qn = iw::nn::QuantizedNetwork::from(net);
   const iw::nn::QuantizedNetwork16 q16 = iw::nn::QuantizedNetwork16::from(net);
@@ -165,6 +182,46 @@ void bench_network(const char* tag, const iw::nn::Network& net,
     json.add(prefix + "_q16_ips", bq16);
     json.add(prefix + "_q16_speedup", bq16 / ps_q16);
   }
+
+  // SIMD tier axis for the 16-bit path: re-measure the full-tile batch at
+  // every runnable tier in this one process (override_tier is the test hook
+  // the cohort kernel uses for the same purpose), byte-comparing each tier's
+  // outputs against the per-sample oracle computed above the batch engines.
+  std::vector<std::int16_t> ref(kMaxBatch * n_out);
+  for (std::size_t s = 0; s < kMaxBatch; ++s) {
+    const auto out = q16.infer_fixed(std::span<const std::int16_t>(
+        in.packed_q16.data() + s * width, width));
+    std::copy(out.begin(), out.end(), ref.begin() + s * n_out);
+  }
+  std::printf("  q16 SIMD tier axis (batch %zu)\n", kMaxBatch);
+  bool tiers_ok = true;
+  double ips_off = 0.0;
+  double ips_active = 0.0;
+  for (const iw::simd::Tier tier : runnable_tiers()) {
+    iw::simd::override_tier(tier);
+    const double ips = measure_ips(kMaxBatch, [&] {
+      hb.infer_fixed(
+          std::span<const std::int16_t>(in.packed_q16.data(), kMaxBatch * width),
+          std::span<std::int16_t>(out_q16.data(), kMaxBatch * n_out));
+      g_sink = static_cast<double>(out_q16[0]);
+    });
+    const bool same = std::equal(out_q16.begin(), out_q16.end(), ref.begin());
+    tiers_ok = tiers_ok && same;
+    if (tier == iw::simd::Tier::kOff) ips_off = ips;
+    if (tier == iw::simd::active_tier()) ips_active = ips;
+    std::printf("  %5s %12.0f %6.2fx vs off   %s\n", iw::simd::tier_name(tier),
+                ips, ips_off > 0.0 ? ips / ips_off : 0.0,
+                same ? "matches per-sample oracle" : "MISMATCH");
+    json.add(std::string(tag) + "_q16_tier_" + iw::simd::tier_name(tier) +
+                 "_ips",
+             ips);
+  }
+  iw::simd::clear_override();
+  json.add(std::string(tag) + "_q16_simd_vs_scalar_speedup",
+           ips_off > 0.0 ? ips_active / ips_off : 0.0);
+  json.add(std::string(tag) + "_q16_identical_across_simd_tiers",
+           tiers_ok ? 1.0 : 0.0);
+  return tiers_ok;
 }
 
 void bench_fleet_delta(iw::bench::JsonReport& json) {
@@ -210,16 +267,20 @@ int main() {
   iw::bench::print_header(
       "Batched vs per-sample NN inference (bit-exact engines)");
   iw::bench::JsonReport json("BENCH_nn_batch_throughput.json");
+  json.add("cpu_model", iw::hostinfo::cpu_model());
+  json.add("cpu_simd_features", iw::hostinfo::cpu_simd_features());
+  json.add("simd_tier", iw::simd::tier_name(iw::simd::active_tier()));
 
   iw::Rng rng_a(42);
   const iw::nn::Network net_a = iw::nn::make_network_a(rng_a);
-  bench_network("netA", net_a, json);
+  bool ok = bench_network("netA", net_a, json);
 
   iw::Rng rng_b(47);
   const iw::nn::Network net_b = iw::nn::make_network_b(rng_b);
-  bench_network("netB", net_b, json);
+  ok = bench_network("netB", net_b, json) && ok;
 
   bench_fleet_delta(json);
+  json.add("peak_rss_bytes", static_cast<double>(iw::hostinfo::peak_rss_bytes()));
   json.write();
-  return 0;
+  return ok ? 0 : 1;
 }

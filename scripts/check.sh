@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
 # Pre-PR gate: the tier-1 test suite, the iw_lint static-analysis matrix
 # over every assembled reference kernel, the trace/interpreter bit-identity
-# smoke, an UndefinedBehaviorSanitizer pass over the platform/fleet suites
-# and the superblock-trace suite (the fast-path day kernel, per-worker
-# scratch reuse and the direct-threaded trace executor are where a
-# stale-pointer or aliasing bug would live), a ThreadSanitizer pass over the
-# concurrent fleet/platform layers, and clang-tidy when available.
+# smoke, the fleet SIMD-tier bit-identity smoke (plus a portable
+# -DIW_SIMD=OFF build whose smoke digest must match the SIMD build's — the
+# cross-build half of the bit-exactness contract), an
+# UndefinedBehaviorSanitizer pass over the platform/fleet suites, the
+# SIMD parity suites and the superblock-trace suite (the fast-path day
+# kernel, per-worker scratch reuse, the intrinsic packs and the
+# direct-threaded trace executor are where a stale-pointer or aliasing bug
+# would live), a ThreadSanitizer pass over the concurrent fleet/platform
+# layers, and clang-tidy when available.
 #
 # Usage: scripts/check.sh            # from the repository root
 #
-# Build trees: ./build (plain, reused if present), ./build-ubsan
-# (IW_SANITIZE=undefined) and ./build-tsan (IW_SANITIZE=thread). All are
-# incremental across runs.
+# Build trees: ./build (plain, reused if present), ./build-nosimd
+# (IW_SIMD=OFF), ./build-ubsan (IW_SANITIZE=undefined) and ./build-tsan
+# (IW_SANITIZE=thread). All are incremental across runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +37,23 @@ echo "== trace engine smoke (interpreter bit-identity on all targets) =="
 ./build/bench/bench_sim_throughput --smoke
 
 echo
+echo "== fleet SIMD smoke (every day path and dispatch tier, one build) =="
+./build/bench/bench_fleet_throughput --smoke | tee /tmp/iw_smoke_simd.txt
+
+echo
+echo "== portable build (-DIW_SIMD=OFF) must reproduce the same bytes =="
+cmake -B build-nosimd -S . -DIW_SIMD=OFF >/dev/null
+cmake --build build-nosimd -j "$(nproc)" --target bench_fleet_throughput
+./build-nosimd/bench/bench_fleet_throughput --smoke | tee /tmp/iw_smoke_nosimd.txt
+digest_simd=$(grep -o 'smoke digest: [0-9a-f]*' /tmp/iw_smoke_simd.txt)
+digest_nosimd=$(grep -o 'smoke digest: [0-9a-f]*' /tmp/iw_smoke_nosimd.txt)
+if [ "$digest_simd" != "$digest_nosimd" ]; then
+  echo "FAIL: SIMD and portable builds disagree ($digest_simd vs $digest_nosimd)"
+  exit 1
+fi
+echo "portable build matches SIMD build ($digest_simd)"
+
+echo
 echo "== clang-tidy (skipped automatically when not installed) =="
 scripts/tidy.sh
 
@@ -40,8 +61,8 @@ echo
 echo "== UBSan pass (platform + fleet + trace suites) =="
 cmake -B build-ubsan -S . -DIW_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)" \
-  --target test_platform test_fast_day test_cohort_day test_fleet \
-  test_fleet_cohort test_fleet_long test_trace
+  --target test_platform test_fast_day test_cohort_day test_cohort_simd \
+  test_fleet test_fleet_cohort test_fleet_simd test_fleet_long test_trace
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_trace
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
@@ -51,23 +72,31 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_cohort_day
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_cohort_simd
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fleet
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fleet_cohort
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_fleet_simd
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_fleet_long
 echo
 echo "== TSan pass (fleet + platform suites) =="
 cmake -B build-tsan -S . -DIW_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" \
-  --target test_platform test_fast_day test_cohort_day test_fleet \
-  test_fleet_cohort test_fleet_long
+  --target test_platform test_fast_day test_cohort_day test_cohort_simd \
+  test_fleet test_fleet_cohort test_fleet_simd test_fleet_long
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_fleet
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_fleet_cohort
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_fleet_simd
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_fleet_long
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ./build-tsan/tests/test_cohort_simd
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
   ./build-tsan/tests/test_platform
 TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \

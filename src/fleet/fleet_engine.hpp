@@ -28,8 +28,13 @@ struct FleetConfig {
   int threads = 1;
   /// Simulated days per device.
   int days = 1;
-  /// Devices per work-queue chunk (load-balancing granularity).
-  std::size_t chunk_size = 16;
+  /// Devices per work-queue chunk (load-balancing granularity). In cohort
+  /// mode a chunk is also one lockstep cohort: larger chunks give the day
+  /// kernel longer same-policy, same-period lane runs to sort into full SIMD
+  /// packs, which is where the vector tier's throughput comes from. 256
+  /// balances that against load-balancing granularity. Chunking is a work
+  /// partition only — per-device results never depend on it.
+  std::size_t chunk_size = 256;
   /// Optional shared stress-detection app (const access only). When set,
   /// completed detections are classified through its deployed fixed-point
   /// network. Must outlive the run.

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/fixed_point.hpp"
+#include "nn/batch_simd.hpp"
 
 namespace iw::nn {
 
@@ -406,9 +407,17 @@ const std::int16_t* Fixed16Batch::run_tile(std::size_t t) {
       const std::size_t padded = net_->num_inputs() + (net_->num_inputs() % 2);
       zero_lane_tail(in_.data(), padded, tile_, t);
     }
-    return tile_ == kDefaultBatchTile
-               ? run_fixed16_tile<kDefaultBatchTile>(*net_, in_.data(), out_.data())
-               : run_fixed16_tile<kMaxBatchTile>(*net_, in_.data(), out_.data());
+    if (tile_ == kMaxBatchTile) {
+      // 16 lanes is the SIMD tier's tile width; nullptr means the active
+      // tier has no dedicated kernel (bit-exact either way — see
+      // batch_simd.hpp).
+      if (const std::int16_t* r =
+              detail::run_fixed16_tile16_simd(*net_, in_.data(), out_.data())) {
+        return r;
+      }
+      return run_fixed16_tile<kMaxBatchTile>(*net_, in_.data(), out_.data());
+    }
+    return run_fixed16_tile<kDefaultBatchTile>(*net_, in_.data(), out_.data());
   }
   std::int16_t* cur = in_.data();
   std::int16_t* nxt = out_.data();

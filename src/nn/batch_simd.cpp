@@ -1,0 +1,29 @@
+// Runtime dispatcher for the packed 16-bit batch kernel's SIMD tiers.
+#include "nn/batch_simd.hpp"
+
+#include "common/simd.hpp"
+
+namespace iw::nn::detail {
+
+const std::int16_t* run_fixed16_tile16_simd(const QuantizedNetwork16& net,
+                                            std::int16_t* cur,
+                                            std::int16_t* nxt) {
+#if defined(IW_SIMD_ENABLED)
+  switch (simd::active_tier()) {
+    case simd::Tier::kAvx2:
+      return run_fixed16_tile16_avx2(net, cur, nxt);
+    case simd::Tier::kSse2:
+      return run_fixed16_tile16_sse2(net, cur, nxt);
+    case simd::Tier::kArray:
+    case simd::Tier::kOff:
+      break;
+  }
+#else
+  (void)net;
+  (void)cur;
+  (void)nxt;
+#endif
+  return nullptr;
+}
+
+}  // namespace iw::nn::detail

@@ -1,0 +1,53 @@
+// Explicit SIMD tier for the packed 16-bit batch kernel (DESIGN.md §15).
+//
+// The Fixed16Batch tile kernel's hot loop is a widening int16 MAC: two int16
+// products accumulated into an int32 per lane, mirroring pv.sdotsp.h. That is
+// exactly the shape of PMADDWD: interleaving the two pair columns with
+// unpacklo/hi_epi16 and broadcasting the weight pair as a packed int32 makes
+// one madd_epi16 compute `w0*col0[s] + w1*col1[s]` for every lane.
+//
+// Bit-exactness is by construction: integer addition is associative mod 2^32,
+// so folding the scalar kernel's two separate `acc += w*c` statements into
+// one `acc += (w0*c0 + w1*c1)` cannot change any accumulator bit (the format
+// selection in quantize16.cpp guarantees the scalar chain never overflows, so
+// madd's lone saturation case — all four operands -32768 — cannot arise with
+// a live accumulator near the rail either; even there PMADDWD's 0x80000000
+// equals the mod-2^32 sum). The bias/shift/clamp/tanh tail stays scalar: the
+// tanh table lookup is a gather, and running the tail verbatim keeps the
+// whole output path the same arithmetic statement for statement.
+//
+// Per-tier translation units follow the cohort kernel's pattern
+// (platform/cohort_simd.hpp): the AVX2 body lives in its own TU compiled with
+// -mavx2 so the baseline TUs stay uncontaminated, and a tier compiled on a
+// target lacking the ISA defines its symbol as a nullptr stub the dispatcher
+// never selects.
+#pragma once
+
+#include <cstdint>
+
+namespace iw::nn {
+
+class QuantizedNetwork16;
+
+namespace detail {
+
+/// Runs the whole network for one 16-lane tile (the Fixed16Batch default)
+/// through the widest active SIMD tier. Returns the output buffer (`cur` or
+/// `nxt`, like run_fixed16_tile), or nullptr when the active tier has no
+/// dedicated kernel — the caller then falls back to the scalar template. The
+/// array tier maps to nullptr on purpose: the portable proof form of an
+/// integer MAC *is* the scalar template (no FP ordering to pin down).
+const std::int16_t* run_fixed16_tile16_simd(const QuantizedNetwork16& net,
+                                            std::int16_t* cur,
+                                            std::int16_t* nxt);
+
+/// Per-tier entry points (one TU each; see src/nn/CMakeLists.txt).
+const std::int16_t* run_fixed16_tile16_sse2(const QuantizedNetwork16& net,
+                                            std::int16_t* cur,
+                                            std::int16_t* nxt);
+const std::int16_t* run_fixed16_tile16_avx2(const QuantizedNetwork16& net,
+                                            std::int16_t* cur,
+                                            std::int16_t* nxt);
+
+}  // namespace detail
+}  // namespace iw::nn

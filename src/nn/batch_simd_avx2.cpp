@@ -1,0 +1,94 @@
+// AVX2 tier of the packed 16-bit batch MAC: 16 lanes per tile held in two
+// 256-bit int32 accumulators. See batch_simd.hpp for the bit-exactness
+// argument; the statement-level mapping to run_fixed16_tile<16> is annotated
+// inline. Compiled with -mavx2 in its own TU (see src/nn/CMakeLists.txt).
+#include "nn/batch_simd.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "nn/quantize16.hpp"
+
+namespace iw::nn::detail {
+
+namespace {
+constexpr std::size_t kT = 16;  // kDefaultBatchTile16: one tile = 16 lanes
+}  // namespace
+
+const std::int16_t* run_fixed16_tile16_avx2(const QuantizedNetwork16& net,
+                                            std::int16_t* cur,
+                                            std::int16_t* nxt) {
+  const std::int32_t range = net.tanh_table().range_fixed();
+  const int frac = net.frac_bits();
+  for (const QuantizedLayer16& layer : net.layers()) {
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      const std::int16_t* row = layer.weights.data() + o * 2 * layer.row_pairs;
+      // acc[s] = 0. vpunpck interleaves within each 128-bit half, so the
+      // int32 lane order is permuted until the end of the row:
+      //   acc_lo holds lanes {0..3, 8..11}, acc_hi holds {4..7, 12..15}.
+      __m256i acc_lo = _mm256_setzero_si256();
+      __m256i acc_hi = _mm256_setzero_si256();
+      for (std::size_t p = 0; p < layer.row_pairs; ++p) {
+        // Weight pair broadcast as one int32: w0 in the low half, w1 high,
+        // matching madd's (even, odd) element pairing after the unpacks.
+        const std::uint32_t pair =
+            (static_cast<std::uint32_t>(static_cast<std::uint16_t>(
+                 row[2 * p + 1]))
+             << 16) |
+            static_cast<std::uint16_t>(row[2 * p]);
+        const __m256i wv = _mm256_set1_epi32(static_cast<int>(pair));
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cur + (2 * p) * kT));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cur + (2 * p + 1) * kT));
+        // unpack interleaves (col0[s], col1[s]); madd then yields
+        // w0*col0[s] + w1*col1[s] per int32 lane — the scalar kernel's two
+        // adds folded into one exact mod-2^32 sum.
+        acc_lo = _mm256_add_epi32(
+            acc_lo, _mm256_madd_epi16(_mm256_unpacklo_epi16(a, b), wv));
+        acc_hi = _mm256_add_epi32(
+            acc_hi, _mm256_madd_epi16(_mm256_unpackhi_epi16(a, b), wv));
+      }
+      // Undo the half-lane permutation once per output row.
+      alignas(32) std::int32_t acc[kT];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 0),
+                         _mm256_permute2x128_si256(acc_lo, acc_hi, 0x20));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 8),
+                         _mm256_permute2x128_si256(acc_lo, acc_hi, 0x31));
+      // Scalar tail, verbatim from run_fixed16_tile: the tanh table lookup is
+      // a gather, so vectorizing the shift/clamp alone buys nothing.
+      const std::int32_t bias = layer.biases[o];
+      std::int16_t* dst = nxt + o * kT;
+      for (std::size_t s = 0; s < kT; ++s) {
+        const std::int32_t shifted = (acc[s] + bias) >> frac;
+        const std::int32_t clamped = std::clamp(shifted, -range, range - 1);
+        dst[s] = static_cast<std::int16_t>(net.tanh_table().eval(clamped));
+      }
+    }
+    if (layer.n_out % 2 != 0) {
+      std::int16_t* pad = nxt + layer.n_out * kT;
+      for (std::size_t s = 0; s < kT; ++s) pad[s] = 0;
+    }
+    std::swap(cur, nxt);
+  }
+  return cur;
+}
+
+}  // namespace iw::nn::detail
+
+#else
+
+namespace iw::nn::detail {
+// Built without -mavx2 (compiler lacks the flag): the dispatcher never
+// selects this tier (tier_compiled is false), but the symbol must exist.
+const std::int16_t* run_fixed16_tile16_avx2(const QuantizedNetwork16&,
+                                            std::int16_t*, std::int16_t*) {
+  return nullptr;
+}
+}  // namespace iw::nn::detail
+
+#endif

@@ -1,0 +1,99 @@
+// SSE2 tier of the packed 16-bit batch MAC: 16 lanes per tile held in four
+// 128-bit int32 accumulators. See batch_simd.hpp for the bit-exactness
+// argument; the statement-level mapping to run_fixed16_tile<16> is annotated
+// inline.
+#include "nn/batch_simd.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "nn/quantize16.hpp"
+
+namespace iw::nn::detail {
+
+namespace {
+constexpr std::size_t kT = 16;  // kDefaultBatchTile16: one tile = 16 lanes
+
+inline __m128i load8(const std::int16_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+}  // namespace
+
+const std::int16_t* run_fixed16_tile16_sse2(const QuantizedNetwork16& net,
+                                            std::int16_t* cur,
+                                            std::int16_t* nxt) {
+  const std::int32_t range = net.tanh_table().range_fixed();
+  const int frac = net.frac_bits();
+  for (const QuantizedLayer16& layer : net.layers()) {
+    for (std::size_t o = 0; o < layer.n_out; ++o) {
+      const std::int16_t* row = layer.weights.data() + o * 2 * layer.row_pairs;
+      // acc[s] = 0 — lanes 0..3 / 4..7 / 8..11 / 12..15.
+      __m128i acc0 = _mm_setzero_si128();
+      __m128i acc1 = _mm_setzero_si128();
+      __m128i acc2 = _mm_setzero_si128();
+      __m128i acc3 = _mm_setzero_si128();
+      for (std::size_t p = 0; p < layer.row_pairs; ++p) {
+        // Weight pair broadcast as one int32: w0 in the low half, w1 high,
+        // matching madd's (even, odd) element pairing after the unpacks.
+        const std::uint32_t pair =
+            (static_cast<std::uint32_t>(static_cast<std::uint16_t>(
+                 row[2 * p + 1]))
+             << 16) |
+            static_cast<std::uint16_t>(row[2 * p]);
+        const __m128i wv = _mm_set1_epi32(static_cast<int>(pair));
+        const std::int16_t* col0 = cur + (2 * p) * kT;
+        const std::int16_t* col1 = cur + (2 * p + 1) * kT;
+        const __m128i a0 = load8(col0);      // col0 lanes 0..7
+        const __m128i a1 = load8(col0 + 8);  // col0 lanes 8..15
+        const __m128i b0 = load8(col1);      // col1 lanes 0..7
+        const __m128i b1 = load8(col1 + 8);  // col1 lanes 8..15
+        // unpack interleaves (col0[s], col1[s]); madd then yields
+        // w0*col0[s] + w1*col1[s] per int32 lane — the scalar kernel's two
+        // adds folded into one exact mod-2^32 sum.
+        acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(_mm_unpacklo_epi16(a0, b0), wv));
+        acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(_mm_unpackhi_epi16(a0, b0), wv));
+        acc2 = _mm_add_epi32(acc2, _mm_madd_epi16(_mm_unpacklo_epi16(a1, b1), wv));
+        acc3 = _mm_add_epi32(acc3, _mm_madd_epi16(_mm_unpackhi_epi16(a1, b1), wv));
+      }
+      alignas(16) std::int32_t acc[kT];
+      _mm_store_si128(reinterpret_cast<__m128i*>(acc + 0), acc0);
+      _mm_store_si128(reinterpret_cast<__m128i*>(acc + 4), acc1);
+      _mm_store_si128(reinterpret_cast<__m128i*>(acc + 8), acc2);
+      _mm_store_si128(reinterpret_cast<__m128i*>(acc + 12), acc3);
+      // Scalar tail, verbatim from run_fixed16_tile: the tanh table lookup is
+      // a gather, so vectorizing the shift/clamp alone buys nothing.
+      const std::int32_t bias = layer.biases[o];
+      std::int16_t* dst = nxt + o * kT;
+      for (std::size_t s = 0; s < kT; ++s) {
+        const std::int32_t shifted = (acc[s] + bias) >> frac;
+        const std::int32_t clamped = std::clamp(shifted, -range, range - 1);
+        dst[s] = static_cast<std::int16_t>(net.tanh_table().eval(clamped));
+      }
+    }
+    if (layer.n_out % 2 != 0) {
+      std::int16_t* pad = nxt + layer.n_out * kT;
+      for (std::size_t s = 0; s < kT; ++s) pad[s] = 0;
+    }
+    std::swap(cur, nxt);
+  }
+  return cur;
+}
+
+}  // namespace iw::nn::detail
+
+#else
+
+namespace iw::nn::detail {
+// Non-x86 target: the dispatcher never selects this tier (tier_usable is
+// false), but the symbol must exist.
+const std::int16_t* run_fixed16_tile16_sse2(const QuantizedNetwork16&,
+                                            std::int16_t*, std::int16_t*) {
+  return nullptr;
+}
+}  // namespace iw::nn::detail
+
+#endif

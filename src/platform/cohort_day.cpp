@@ -148,15 +148,28 @@ void CohortDayState::run_day(std::span<const CohortMember> members) {
     if (group.lanes.empty()) continue;
     // Partition register-eligible lanes first, then sweep same-policy lanes
     // back to back: the drain loop's dispatch and interval arithmetic take
-    // the same branches in runs instead of alternating per lane. Pure
+    // the same branches in runs instead of alternating per lane. Null-policy
+    // lanes (the fixed periodic stream) sort before everything else and
+    // cluster by period, so the SIMD tier's packs of adjacent lanes share
+    // one lockstep detection clock and drain as whole vectors. Policy lanes
+    // cluster by period too: a policy's rate band derives from its period,
+    // so same-period packs attempt at similar rates and the masked due
+    // rounds run near-full instead of idling on the slow lanes (detect_t_
+    // is seeded to the period at this point — see the member init above). Pure
     // processing-order change — lanes are mutually independent, so each
     // lane's own event sequence (and therefore its bits) is untouched; the
     // stable sort keeps it deterministic.
     std::stable_sort(group.lanes.begin(), group.lanes.end(),
                      [&](std::size_t a, std::size_t b) {
                        if (reg_ok_[a] != reg_ok_[b]) return reg_ok_[a] > reg_ok_[b];
-                       return static_cast<int>(policy_eval_[a].kind) <
-                              static_cast<int>(policy_eval_[b].kind);
+                       const int ka = policy_[a] == nullptr
+                                          ? -1
+                                          : static_cast<int>(policy_eval_[a].kind);
+                       const int kb = policy_[b] == nullptr
+                                          ? -1
+                                          : static_cast<int>(policy_eval_[b].kind);
+                       if (ka != kb) return ka < kb;
+                       return detect_t_[a] < detect_t_[b];
                      });
     std::size_t num_reg = 0;
     while (num_reg < group.lanes.size() && reg_ok_[group.lanes[num_reg]] != 0) {

@@ -1,0 +1,26 @@
+#include "platform/cohort_simd.hpp"
+
+#include "common/simd.hpp"
+#include "platform/day_kernel.hpp"
+
+namespace iw::platform::detail {
+
+std::size_t run_cohort_group_simd(const CohortGroupRefs& refs) {
+#if defined(IW_SIMD_ENABLED)
+  switch (simd::active_tier()) {
+    case simd::Tier::kAvx2:
+      return run_cohort_group_simd_avx2(refs);
+    case simd::Tier::kSse2:
+      return run_cohort_group_simd_sse2(refs);
+    case simd::Tier::kArray:
+      return run_cohort_group_simd_array(refs);
+    case simd::Tier::kOff:
+      break;
+  }
+#else
+  (void)refs;
+#endif
+  return 0;
+}
+
+}  // namespace iw::platform::detail

@@ -1,0 +1,13 @@
+// Scalar-array tier of the SIMD cohort kernel: the portable instantiation of
+// the wrapper kernel (width 4, plain doubles). Proves the kernel's lane
+// logic independently of any ISA, and serves targets without SSE2/AVX2.
+#include "platform/cohort_simd.hpp"
+#include "platform/cohort_simd_impl.hpp"
+
+namespace iw::platform::detail {
+
+std::size_t run_cohort_group_simd_array(const CohortGroupRefs& refs) {
+  return run_cohort_simd_ladder<simd::f64xn<4>>(refs);
+}
+
+}  // namespace iw::platform::detail

@@ -1,0 +1,19 @@
+// AVX2 tier of the SIMD cohort kernel (width 4). This TU — and only this TU —
+// is compiled with -mavx2 (plus -ffp-contract=off like every tier TU); the
+// dispatcher selects it only after __builtin_cpu_supports("avx2") passes.
+#include "platform/cohort_simd.hpp"
+#include "platform/cohort_simd_impl.hpp"
+
+namespace iw::platform::detail {
+
+#if defined(__AVX2__)
+std::size_t run_cohort_group_simd_avx2(const CohortGroupRefs& refs) {
+  return run_cohort_simd_ladder<simd::f64x4>(refs);
+}
+#else
+// Compiler lacked -mavx2 support: the dispatcher never selects this tier
+// (tier_compiled is false), but the symbol must exist.
+std::size_t run_cohort_group_simd_avx2(const CohortGroupRefs&) { return 0; }
+#endif
+
+}  // namespace iw::platform::detail

@@ -1,0 +1,17 @@
+// SSE2 tier of the SIMD cohort kernel (x86-64 baseline, width 2).
+#include "platform/cohort_simd.hpp"
+#include "platform/cohort_simd_impl.hpp"
+
+namespace iw::platform::detail {
+
+#if defined(__SSE2__)
+std::size_t run_cohort_group_simd_sse2(const CohortGroupRefs& refs) {
+  return run_cohort_simd_ladder<simd::f64x2>(refs);
+}
+#else
+// Non-x86 target: the dispatcher never selects this tier (tier_usable is
+// false), but the symbol must exist.
+std::size_t run_cohort_group_simd_sse2(const CohortGroupRefs&) { return 0; }
+#endif
+
+}  // namespace iw::platform::detail

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "platform/cohort_simd.hpp"
 #include "platform/day_kernel.hpp"
 #include "platform/scheduler.hpp"
 
@@ -438,10 +439,12 @@ void run_cohort_reg_lanes(const CohortGroupRefs& refs, const std::size_t* ids) {
 }  // namespace
 
 void run_cohort_group(const CohortGroupRefs& refs) {
-  // Register-eligible prefix in pairs, each pair advancing a whole day: two
-  // lanes are enough to cover the FP latency chains (a wider block spills the
-  // register state back to the stack, forfeiting the point of the kernel).
-  std::size_t j = 0;
+  // SIMD tier first: consumes a prefix of the register-eligible lanes in
+  // vector blocks when a tier is active (see cohort_simd.hpp), bit-identical
+  // to the scalar ladder below by construction. Returns 0 when SIMD is off,
+  // excluded from the build, or unsupported by the host.
+  std::size_t j = run_cohort_group_simd(refs);
+  // Scalar register ladder for the remaining register-eligible lanes.
   for (; j + 16 <= refs.num_reg_lanes; j += 16) {
     run_cohort_reg_lanes<16>(refs, refs.lane_ids + j);
   }

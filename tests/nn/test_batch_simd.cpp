@@ -1,0 +1,119 @@
+// SIMD tier parity for the packed 16-bit batch engine (DESIGN.md §15): every
+// runnable tier must produce byte-identical Fixed16Batch outputs — the madd
+// kernels are bit-exact with the scalar template by integer associativity,
+// and this suite pins that across layer shapes (odd widths exercising the
+// pad pair), batch sizes straddling the 16-lane tile boundary (partial tiles
+// take the zero-lane path), and the paper's network presets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "nn/batch.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize16.hpp"
+
+namespace iw::nn {
+namespace {
+
+std::vector<simd::Tier> usable_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (simd::Tier t :
+       {simd::Tier::kArray, simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    if (simd::tier_usable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// Restores the process-default dispatch however a test exits.
+struct TierGuard {
+  ~TierGuard() { simd::clear_override(); }
+};
+
+void expect_tier_parity(const Network& net, std::size_t n, std::uint64_t seed) {
+  const QuantizedNetwork16 q16 = QuantizedNetwork16::from(net);
+  const std::size_t width = net.num_inputs();
+  const std::size_t n_out = net.num_outputs();
+  Rng rng(seed);
+  std::vector<std::int16_t> packed(n * width);
+  std::vector<float> row(width);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (float& v : row) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const std::vector<std::int16_t> q = q16.quantize_input(row);
+    std::copy(q.begin(), q.end(), packed.begin() + s * width);
+  }
+
+  TierGuard guard;
+  Fixed16Batch batch(q16);
+  std::vector<std::int16_t> ref(n * n_out);
+  std::vector<std::int16_t> got(n * n_out);
+  simd::override_tier(simd::Tier::kOff);
+  batch.infer_fixed(packed, ref);
+  for (const simd::Tier tier : usable_tiers()) {
+    simd::override_tier(tier);
+    batch.infer_fixed(packed, got);
+    EXPECT_EQ(ref, got) << "tier " << simd::tier_name(tier) << " n " << n
+                        << " seed " << seed;
+  }
+}
+
+// Batch sizes cover a lone partial tile (1), both sides of the 16-lane tile
+// boundary (15/16/17), a multi-tile run with a partial tail (33), and a
+// longer stream (100).
+const std::vector<std::size_t> kBatchSizes = {1, 15, 16, 17, 33, 100};
+
+TEST(BatchSimd, Fixed16TiersMatchScalarAcrossShapes) {
+  const std::vector<std::vector<std::size_t>> shapes = {
+      {3, 2},        // odd input width -> Q16 input pad
+      {5, 1, 4},     // single-neuron hidden layer
+      {4, 3, 1},     // single-neuron (odd) output
+      {6, 8, 4},     // all even
+      {7, 5, 3, 2},  // chain of odd widths
+  };
+  Rng rng(0x51b3d001ULL);
+  for (const auto& shape : shapes) {
+    const Network net = Network::create(shape, rng);
+    for (const std::size_t n : kBatchSizes) {
+      expect_tier_parity(net, n, 0x9000u + n);
+    }
+  }
+}
+
+TEST(BatchSimd, Fixed16TiersMatchScalarOnPresets) {
+  Rng rng_a(42);
+  const Network net_a = make_network_a(rng_a);
+  expect_tier_parity(net_a, 64, 7001);
+  Rng rng_b(47);
+  const Network net_b = make_network_b(rng_b);
+  expect_tier_parity(net_b, 64, 7002);
+}
+
+TEST(BatchSimd, OffOverrideMatchesProcessDefault) {
+  // Whatever tier the environment selected for this process, forcing kOff
+  // must not change a single output byte (the IW_SIMD=off contract).
+  Rng rng(0x0ff0ULL);
+  const Network net = Network::create({5, 9, 3}, rng);
+  const QuantizedNetwork16 q16 = QuantizedNetwork16::from(net);
+  const std::size_t width = net.num_inputs();
+  Rng in_rng(123);
+  std::vector<std::int16_t> packed(33 * width);
+  std::vector<float> row(width);
+  for (std::size_t s = 0; s < 33; ++s) {
+    for (float& v : row) v = static_cast<float>(in_rng.uniform(-1.0, 1.0));
+    const std::vector<std::int16_t> q = q16.quantize_input(row);
+    std::copy(q.begin(), q.end(), packed.begin() + s * width);
+  }
+  Fixed16Batch batch(q16);
+  std::vector<std::int16_t> by_default(33 * net.num_outputs());
+  std::vector<std::int16_t> forced_off(33 * net.num_outputs());
+  batch.infer_fixed(packed, by_default);
+  TierGuard guard;
+  simd::override_tier(simd::Tier::kOff);
+  batch.infer_fixed(packed, forced_off);
+  EXPECT_EQ(by_default, forced_off);
+}
+
+}  // namespace
+}  // namespace iw::nn

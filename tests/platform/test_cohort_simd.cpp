@@ -1,0 +1,199 @@
+// SIMD tier parity for the cohort day kernel (DESIGN.md §15): every runnable
+// tier must reproduce the scalar oracle bit for bit, lane by lane — across
+// cohort sizes straddling every pack width (1, W-1, W, W+1 for W in {2, 4},
+// plus 15/17/31/33 around the larger block sizes), across the policy mix
+// that selects each drain mode (lockstep, vectorized rounds, scalar), and
+// with register-ineligible lanes (trace recording) interleaved so the SIMD
+// prefix/general-sweep split itself is exercised.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "fleet/scenario.hpp"
+#include "platform/cohort_day.hpp"
+#include "platform/detection_cost.hpp"
+#include "platform/device.hpp"
+#include "platform/fast_day.hpp"
+#include "platform/scheduler.hpp"
+
+namespace iw::platform {
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+void expect_bit_identical(const DaySimulationResult& oracle,
+                          const DaySimulationResult& cohort,
+                          const std::string& context) {
+  EXPECT_EQ(oracle.detections_attempted, cohort.detections_attempted) << context;
+  EXPECT_EQ(oracle.detections_completed, cohort.detections_completed) << context;
+  EXPECT_EQ(oracle.detections_skipped, cohort.detections_skipped) << context;
+  EXPECT_EQ(bits(oracle.harvested_j), bits(cohort.harvested_j)) << context;
+  EXPECT_EQ(bits(oracle.consumed_j), bits(cohort.consumed_j)) << context;
+  EXPECT_EQ(bits(oracle.initial_soc), bits(cohort.initial_soc)) << context;
+  EXPECT_EQ(bits(oracle.final_soc), bits(cohort.final_soc)) << context;
+  EXPECT_EQ(bits(oracle.min_soc), bits(cohort.min_soc)) << context;
+  const std::vector<std::string> channels = oracle.trace.channel_names();
+  ASSERT_EQ(channels, cohort.trace.channel_names()) << context;
+  for (const std::string& name : channels) {
+    const sim::TraceChannel& a = oracle.trace.channel(name);
+    const sim::TraceChannel& b = cohort.trace.channel(name);
+    ASSERT_EQ(a.times.size(), b.times.size()) << context << " channel " << name;
+    for (std::size_t i = 0; i < a.times.size(); ++i) {
+      ASSERT_EQ(bits(a.times[i]), bits(b.times[i]))
+          << context << " channel " << name << " sample " << i;
+      ASSERT_EQ(bits(a.values[i]), bits(b.values[i]))
+          << context << " channel " << name << " sample " << i;
+    }
+  }
+}
+
+struct Case {
+  DeviceConfig config;
+  hv::DayProfile profile;
+  const DetectionPolicy* policy = nullptr;
+  std::string context;
+};
+
+const hv::DualSourceHarvester& shared_harvester() {
+  static const hv::DualSourceHarvester harvester =
+      hv::DualSourceHarvester::calibrated();
+  return harvester;
+}
+
+DaySimulationResult run_oracle(const Case& c) {
+  return c.policy != nullptr
+             ? simulate_day_fast_with_policy(c.config, shared_harvester(),
+                                             c.profile, *c.policy)
+             : simulate_day_fast(c.config, shared_harvester(), c.profile);
+}
+
+std::vector<simd::Tier> usable_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (simd::Tier t :
+       {simd::Tier::kArray, simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    if (simd::tier_usable(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+struct TierGuard {
+  ~TierGuard() { simd::clear_override(); }
+};
+
+/// The fleet's own worlds with tracing OFF, so every lane is eligible for
+/// the register ladder the SIMD tier accelerates. All four policy slots are
+/// present: null (lockstep drain), the built-ins (vectorized rounds), and —
+/// once sorted lanes cross a policy boundary mid-pack — the scalar drain.
+std::vector<Case> eligible_case_pool(int lux_factors_per_archetype) {
+  static const FixedRatePolicy fixed(60.0);
+  static const SocProportionalPolicy soc_prop(0.5, 4.0);
+  static const EnergyNeutralPolicy neutral;
+  const std::vector<const DetectionPolicy*> policies{nullptr, &fixed, &soc_prop,
+                                                     &neutral};
+  std::vector<Case> cases;
+  Rng rng(0x51c0407dULL);
+  for (int p = 0; p < fleet::kNumWearerProfiles; ++p) {
+    fleet::Scenario scenario = fleet::sample_scenario(2020, 300 + p);
+    scenario.profile = static_cast<fleet::WearerProfile>(p);
+    const hv::DayProfile base = fleet::build_day_profile(scenario);
+    for (int f = 0; f < lux_factors_per_archetype; ++f) {
+      const double lux_factor =
+          std::exp(rng.normal(0.0, scenario.lux_sigma_day));
+      for (std::size_t i = 0; i < policies.size(); ++i) {
+        Case c;
+        c.config.detection = make_detection_cost({});
+        c.config.detection_period_s = scenario.detection_period_s;
+        c.config.initial_soc = scenario.initial_soc;
+        c.config.record_trace = false;
+        c.profile = scale_profile_lux(base, lux_factor);
+        c.policy = policies[i];
+        c.context = "archetype " +
+                    std::string(fleet::to_string(scenario.profile)) +
+                    " policy " + std::to_string(i) + " lux " + std::to_string(f);
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+void run_cohorts(const std::vector<Case>& cases, std::size_t cohort_size,
+                 std::vector<DaySimulationResult>& results) {
+  CohortDayState cohort;
+  std::vector<CohortMember> members;
+  for (std::size_t begin = 0; begin < cases.size(); begin += cohort_size) {
+    const std::size_t end = std::min(begin + cohort_size, cases.size());
+    members.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      members.push_back(CohortMember{&cases[i].config, &shared_harvester(),
+                                     &cases[i].profile, cases[i].policy,
+                                     &results[i]});
+    }
+    cohort.run_day(members);
+  }
+}
+
+TEST(CohortSimd, TiersMatchOracleAcrossPackBoundarySizes) {
+  const std::vector<Case> cases = eligible_case_pool(2);  // 5 x 2 x 4 = 40
+  std::vector<DaySimulationResult> oracle(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) oracle[i] = run_oracle(cases[i]);
+
+  TierGuard guard;
+  std::vector<DaySimulationResult> results(cases.size());
+  for (const std::size_t size : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                 std::size_t{4}, std::size_t{5}, std::size_t{15},
+                                 std::size_t{17}, std::size_t{31},
+                                 std::size_t{33}}) {
+    std::vector<simd::Tier> tiers = {simd::Tier::kOff};
+    for (simd::Tier t : usable_tiers()) tiers.push_back(t);
+    for (const simd::Tier tier : tiers) {
+      simd::override_tier(tier);
+      run_cohorts(cases, size, results);
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        expect_bit_identical(oracle[i], results[i],
+                             cases[i].context + " cohort_size " +
+                                 std::to_string(size) + " tier " +
+                                 simd::tier_name(tier));
+      }
+    }
+  }
+}
+
+TEST(CohortSimd, MixedEligibleAndIneligibleLanesInOneCohort) {
+  // Alternate trace-recording (register-ineligible) and plain lanes so every
+  // cohort splits between the SIMD prefix and the general sweep; the split
+  // must not change either side's bits.
+  std::vector<Case> cases = eligible_case_pool(1);  // 20 lanes
+  for (std::size_t i = 0; i < cases.size(); i += 2) {
+    cases[i].config.record_trace = true;
+    cases[i].context += " traced";
+  }
+  std::vector<DaySimulationResult> oracle(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) oracle[i] = run_oracle(cases[i]);
+
+  TierGuard guard;
+  std::vector<DaySimulationResult> results(cases.size());
+  std::vector<simd::Tier> tiers = {simd::Tier::kOff};
+  for (simd::Tier t : usable_tiers()) tiers.push_back(t);
+  for (const simd::Tier tier : tiers) {
+    simd::override_tier(tier);
+    run_cohorts(cases, cases.size(), results);  // one cohort holds them all
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      expect_bit_identical(oracle[i], results[i],
+                           cases[i].context + " mixed tier " +
+                               simd::tier_name(tier));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iw::platform

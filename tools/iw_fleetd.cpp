@@ -37,6 +37,7 @@
 #include <optional>
 #include <string>
 
+#include "common/hostinfo.hpp"
 #include "core/app.hpp"
 #include "fleet/longitudinal/runner.hpp"
 #include "report.hpp"
@@ -183,7 +184,7 @@ int main(int argc, char** argv) {
     if (with_app) {
       app.emplace(iw::core::StressDetectionApp::build(app_config));
       config.app = &*app;
-      std::printf("app: %d subjects x %.1f min/level, %d epochs; "
+      std::printf("app: %d subjects x %.1f min/level, %zu epochs; "
                   "test accuracy float %.3f / fixed %.3f\n",
                   app_config.dataset.subjects,
                   app_config.dataset.minutes_per_level,
@@ -203,8 +204,10 @@ int main(int argc, char** argv) {
                                                 config.num_devices - 1),
                 result.start_day, last_day, config.shard_size,
                 result.threads_used, result.threads_used == 1 ? "" : "s");
-    std::printf("wall: %.2f s  (%.0f device-days/sec)\n\n", result.wall_s,
-                result.device_days_per_sec);
+    std::printf("wall: %.2f s  (%.0f device-days/sec, peak rss %.1f MiB)\n\n",
+                result.wall_s, result.device_days_per_sec,
+                static_cast<double>(iw::hostinfo::peak_rss_bytes()) /
+                    (1024.0 * 1024.0));
 
     std::printf("%5s %10s %9s %9s %9s %12s\n", "day", "devices", "frac_ss",
                 "soc_p50", "soc_p99", "classified");
@@ -248,6 +251,8 @@ int main(int argc, char** argv) {
       json.add("soc_bins", config.soc_bins);
       json.add("wall_s", result.wall_s);
       json.add("device_days_per_sec", result.device_days_per_sec);
+      json.add("peak_rss_bytes",
+               static_cast<double>(iw::hostinfo::peak_rss_bytes()));
       json.add("query_day", query_day);
       json.add("frac_self_sustaining_query_day",
                stats.fraction_self_sustaining(query_day));
