@@ -35,7 +35,8 @@ int main() {
       {"ARM Cortex-M4", 30210, iw::pwr::nordic_m4()},
       {"Mr. Wolf IBEX", 40661, iw::pwr::mr_wolf_ibex()},
       {"Mr. Wolf 1x RI5CY", 22772, iw::pwr::mr_wolf_cluster_single()},
-      {"Mr. Wolf 8x RI5CY", 6126, iw::pwr::mr_wolf_cluster_multi8()},
+      {"Mr. Wolf 8x RI5CY", iw::platform::kPaperClassificationCyclesMulti8,
+       iw::pwr::mr_wolf_cluster_multi8()},
   };
   for (const Alt& alt : alts) {
     DetectionCostParams params;

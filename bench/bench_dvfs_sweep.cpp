@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "../bench/report.hpp"
+#include "platform/detection_cost.hpp"
 #include "power/dvfs.hpp"
 
 int main() {
@@ -14,7 +15,8 @@ int main() {
   iw::bench::print_header("Mr. Wolf DVFS sweep (cluster, 8 cores)");
   std::printf("%10s %8s %10s %14s %14s %12s\n", "f [MHz]", "V", "P [mW]",
               "pJ/cycle", "NetA uJ", "NetA us");
-  constexpr double kNetACycles = 6126.0;
+  constexpr double kNetACycles =
+      static_cast<double>(iw::platform::kPaperClassificationCyclesMulti8);
   for (double mhz : {25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 450.0}) {
     const double f = mhz * 1e6;
     const double e_cycle = model.energy_per_cycle_j(f);

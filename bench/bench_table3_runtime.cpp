@@ -8,6 +8,7 @@
 
 #include "../bench/report.hpp"
 #include "common/rng.hpp"
+#include "platform/detection_cost.hpp"
 #include "kernels/runner.hpp"
 #include "nn/presets.hpp"
 #include "nn/quantize.hpp"
@@ -67,7 +68,8 @@ int main() {
   const iw::nn::Network net_a = iw::nn::make_network_a(rng_a);
   const iw::nn::Network net_b = iw::nn::make_network_b(rng_b);
 
-  run_network("Network A (5-50-50-3)", net_a, {30210, 40661, 22772, 6126});
+  run_network("Network A (5-50-50-3)", net_a,
+              {30210, 40661, 22772, iw::platform::kPaperClassificationCyclesMulti8});
   run_network("Network B (100..8, 24 hidden)", net_b, {902763, 955588, 519354, 108316});
   return 0;
 }

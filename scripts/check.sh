@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Pre-PR gate: the tier-1 test suite, the iw_lint static-analysis matrix
-# over every assembled reference kernel, the trace/interpreter bit-identity
+# over every assembled reference kernel, the iw_lint --wcet certification
+# gate (floor <= dynamic <= ceiling for every kernel), a determinism grep
+# over shipped sources, the trace/interpreter bit-identity
 # smoke, the fleet SIMD-tier bit-identity smoke (plus a portable
 # -DIW_SIMD=OFF build whose smoke digest must match the SIMD build's — the
 # cross-build half of the bit-exactness contract), an
@@ -27,6 +29,36 @@ ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 echo
 echo "== iw_lint (static analysis of every reference kernel, all profiles) =="
 ./build/tools/iw_lint --kernels
+
+echo
+echo "== iw_lint --wcet (static energy certification of the kernel suite) =="
+./build/tools/iw_lint --wcet
+if ! ./build/tools/iw_lint --wcet --json | grep -q '"all_sound":true'; then
+  echo "FAIL: iw_lint --wcet --json did not report all_sound:true"
+  exit 1
+fi
+
+echo
+echo "== determinism lint (no wall-clock or libc randomness in src/tools) =="
+# The whole repo is replay-deterministic by contract (fleet checkpoints,
+# cohort bit-exactness, pinned Table III cycle counts); these sources of
+# nondeterminism must never appear in shipped code. Tests may use them.
+if grep -rn --include='*.cpp' --include='*.hpp' \
+    -e 'std::rand\b' -e 'time(nullptr)' -e 'time(NULL)' \
+    -e 'std::random_device' -e 'system_clock' \
+    src/ tools/ bench/ 2>/dev/null; then
+  echo "FAIL: nondeterministic time/randomness source in shipped code"
+  exit 1
+fi
+# Iterating an unordered container in the fleet merge/stats paths would make
+# merged statistics order-dependent; the deterministic layers use ordered
+# containers only.
+if grep -rn --include='*.cpp' --include='*.hpp' 'std::unordered_' \
+    src/fleet src/platform 2>/dev/null; then
+  echo "FAIL: unordered container in a determinism-critical layer"
+  exit 1
+fi
+echo "determinism lint clean"
 
 echo
 echo "== iw_fleetd smoke (longitudinal determinism self-check) =="
@@ -62,7 +94,12 @@ echo "== UBSan pass (platform + fleet + trace suites) =="
 cmake -B build-ubsan -S . -DIW_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$(nproc)" \
   --target test_platform test_fast_day test_cohort_day test_cohort_simd \
-  test_fleet test_fleet_cohort test_fleet_simd test_fleet_long test_trace
+  test_fleet test_fleet_cohort test_fleet_simd test_fleet_long test_trace \
+  test_analysis test_wcet_fuzz
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_analysis
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ./build-ubsan/tests/test_wcet_fuzz
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ./build-ubsan/tests/test_trace
 UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \

@@ -147,9 +147,23 @@ HrvKernelResult run_hrv_kernel(std::span<const std::int32_t> rr_ms) {
                                std::span<const std::int32_t>(rr_ms.data(), rr_ms.size()));
   rv::analysis::install_load_verifier();
   machine.set_verify_on_load(true);
-  const rv::RunResult run = machine.run(program.symbol("main"));
 
   HrvKernelResult result;
+  {
+    // The difference loop runs exactly n-1 times; the isqrt loops bound
+    // themselves (shift-countdown pattern).
+    rv::analysis::AnalyzeOptions options;
+    options.loop_bounds[program.symbol("diff_end")] =
+        static_cast<std::uint64_t>(rr_ms.size()) - 1;
+    const rv::analysis::AnalysisReport report = rv::analysis::analyze(
+        machine.memory(), program.symbol("main"), machine.core().profile(), options);
+    ensure(report.ok(), "run_hrv_kernel: static analysis rejected the kernel");
+    result.static_min_cycles = report.min_cycles;
+    result.static_max_cycles = report.max_cycles;
+    result.static_stack_bytes = report.stack_bytes;
+  }
+  const rv::RunResult run = machine.run(program.symbol("main"));
+
   result.values.rmssd_q4_ms = static_cast<std::int32_t>(machine.memory().load32(kOutAddr));
   result.values.sdsd_q4_ms =
       static_cast<std::int32_t>(machine.memory().load32(kOutAddr + 4));
@@ -306,9 +320,23 @@ GsrKernelResult run_gsr_kernel(std::span<const std::int32_t> samples_q8,
       kGsrDataAddr, std::span<const std::int32_t>(samples_q8.data(), samples_q8.size()));
   rv::analysis::install_load_verifier();
   machine.set_verify_on_load(true);
-  const rv::RunResult run = machine.run(program.symbol("main"));
 
   GsrKernelResult result;
+  {
+    // The sample loop runs exactly n-4 times (the first four samples prime
+    // the boxcar before the loop is entered).
+    rv::analysis::AnalyzeOptions options;
+    options.loop_bounds[program.symbol("sample_loop")] =
+        static_cast<std::uint64_t>(samples_q8.size()) - 4;
+    const rv::analysis::AnalysisReport report = rv::analysis::analyze(
+        machine.memory(), program.symbol("main"), machine.core().profile(), options);
+    ensure(report.ok(), "run_gsr_kernel: static analysis rejected the kernel");
+    result.static_min_cycles = report.min_cycles;
+    result.static_max_cycles = report.max_cycles;
+    result.static_stack_bytes = report.stack_bytes;
+  }
+  const rv::RunResult run = machine.run(program.symbol("main"));
+
   result.values.slope_count =
       static_cast<std::int32_t>(machine.memory().load32(kGsrOutAddr));
   result.values.total_height_q8 =

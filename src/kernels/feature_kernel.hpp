@@ -37,6 +37,12 @@ struct HrvKernelResult {
   HrvFixedValues values;
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;
+  /// Static cycle bounds from iw_rvsim_analysis, with the difference loop
+  /// annotated at the actual input length: min <= cycles <= max.
+  std::uint64_t static_min_cycles = 0;
+  std::uint64_t static_max_cycles = 0;
+  /// Static maximum stack depth in bytes (the kernel is stackless: 0).
+  std::uint64_t static_stack_bytes = 0;
   /// Wall-clock at the cluster's 100 MHz operating point.
   double time_s(double freq_hz = 100e6) const {
     return static_cast<double>(cycles) / freq_hz;
@@ -71,6 +77,12 @@ struct GsrKernelResult {
   GsrFixedValues values;
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;
+  /// Static cycle bounds from iw_rvsim_analysis, with the sample loop
+  /// annotated at the actual input length: min <= cycles <= max.
+  std::uint64_t static_min_cycles = 0;
+  std::uint64_t static_max_cycles = 0;
+  /// Static maximum stack depth in bytes (the kernel is stackless: 0).
+  std::uint64_t static_stack_bytes = 0;
   double time_s(double freq_hz = 100e6) const {
     return static_cast<double>(cycles) / freq_hz;
   }

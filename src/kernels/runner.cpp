@@ -1,6 +1,9 @@
 #include "kernels/runner.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "asmx/assembler.hpp"
 #include "common/error.hpp"
@@ -79,16 +82,72 @@ Flavor flavor_for(Target target) {
   fail("flavor_for: bad target");
 }
 
-/// Arms the Machine/Cluster load-time verification gate and returns the
-/// image's static cycle floor. The explicit analyze() call harvests
-/// min_cycles; run() then re-verifies through the verify_on_load hook so the
-/// gate itself stays exercised on every kernel run.
-std::uint64_t arm_verifier_and_floor(rv::Memory& mem, std::uint32_t entry,
-                                     const rv::TimingProfile& profile) {
+/// Arms the Machine/Cluster load-time verification gate and records the
+/// image's static cycle floor, WCET ceiling and stack bound in `result`. The
+/// explicit analyze() call harvests the bounds; run() then re-verifies
+/// through the verify_on_load hook so the gate itself stays exercised on
+/// every kernel run.
+void arm_verifier_and_bounds(rv::Memory& mem, std::uint32_t entry,
+                             const rv::TimingProfile& profile,
+                             const rv::analysis::AnalyzeOptions& options,
+                             KernelRunResult& result) {
   rv::analysis::install_load_verifier();
-  const rv::analysis::AnalysisReport report = rv::analysis::analyze(mem, entry, profile);
+  const rv::analysis::AnalysisReport report =
+      rv::analysis::analyze(mem, entry, profile, options);
   ensure(report.ok(), "kernel runner: static analysis rejected the kernel image");
-  return report.min_cycles;
+  result.static_min_cycles = report.min_cycles;
+  result.static_max_cycles = report.max_cycles;
+  result.static_stack_bytes = report.stack_bytes;
+}
+
+/// Loop-bound annotations for a generated MLP kernel: the dot-product inner
+/// loop ("inner" in the branchy flavors, "inner_end" for the hardware-loop
+/// flavors) and the per-layer neuron loop, both data-dependent (counts are
+/// loaded from the layer table), bounded by the largest layer. The outer
+/// layer loop needs no annotation: its `li NLAYERS` countdown is proven by
+/// the analyzer's constant propagation.
+std::map<std::uint32_t, std::uint64_t> mlp_loop_bounds(const asmx::Program& program,
+                                                       std::uint64_t inner_iters,
+                                                       std::uint64_t neuron_iters) {
+  std::map<std::uint32_t, std::uint64_t> bounds;
+  if (program.symbols.count("inner")) bounds[program.symbol("inner")] = inner_iters;
+  if (program.symbols.count("inner_end")) {
+    bounds[program.symbol("inner_end")] = inner_iters;
+  }
+  bounds[program.symbol("neuron_loop")] = neuron_iters;
+  return bounds;
+}
+
+/// Length of one dot-product pass for a layer: word count for the 32-bit
+/// kernels, packed pair count for the SIMD ones.
+std::uint64_t loop_rows(const nn::Layer& layer) { return layer.n_in; }
+std::uint64_t loop_rows(const nn::QuantizedLayer& layer) { return layer.n_in; }
+std::uint64_t loop_rows(const nn::QuantizedLayer16& layer) { return layer.row_pairs; }
+
+/// Largest dot-product length (n_in or row_pairs) and neuron count over the
+/// network's layers; `cores` > 1 divides the neuron count the way the
+/// parallel kernels split rows (ceil(n_out / cores)).
+template <typename LayerRange>
+std::pair<std::uint64_t, std::uint64_t> mlp_loop_iters(const LayerRange& layers,
+                                                       int cores = 1) {
+  std::uint64_t inner = 1;
+  std::uint64_t neurons = 1;
+  for (const auto& layer : layers) {
+    const std::uint64_t rows = loop_rows(layer);
+    const std::uint64_t n_out = static_cast<std::uint64_t>(layer.n_out);
+    inner = std::max(inner, rows);
+    neurons = std::max(
+        neurons, (n_out + static_cast<std::uint64_t>(cores) - 1) /
+                     static_cast<std::uint64_t>(cores));
+  }
+  return {inner, neurons};
+}
+
+rv::analysis::AnalyzeOptions cluster_analyze_options(const rv::ClusterConfig& cfg) {
+  rv::analysis::AnalyzeOptions options;
+  options.cluster_cores = cfg.num_cores;
+  options.barrier_wakeup_cycles = cfg.barrier_wakeup_cycles;
+  return options;
 }
 
 rv::ClusterConfig cluster_config(int num_cores = Layout::kClusterCores) {
@@ -141,7 +200,8 @@ KernelRunResult run_fixed_mlp(const nn::QuantizedNetwork& net,
 
   KernelRunResult result;
   if (target == Target::kRi5cyMulti) {
-    rv::Cluster cluster(profile_for(target), cluster_config());
+    const rv::ClusterConfig cfg = cluster_config();
+    rv::Cluster cluster(profile_for(target), cfg);
     cluster.load_program(program.words);
     write_fixed_network(cluster.memory(), net, placement);
     cluster.memory().write_words(Layout::kAct0,
@@ -150,8 +210,11 @@ KernelRunResult run_fixed_mlp(const nn::QuantizedNetwork& net,
       cluster.core(c).set_histogram(&result.histogram);
     }
     cluster.set_verify_on_load(true);
-    result.static_min_cycles = arm_verifier_and_floor(
-        cluster.memory(), program.symbol("main"), cluster.core(0).profile());
+    rv::analysis::AnalyzeOptions options = cluster_analyze_options(cfg);
+    const auto [inner, neurons] = mlp_loop_iters(net.layers(), cfg.num_cores);
+    options.loop_bounds = mlp_loop_bounds(program, inner, neurons);
+    arm_verifier_and_bounds(cluster.memory(), program.symbol("main"),
+                            cluster.core(0).profile(), options, result);
     const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
     result.cycles = run.cycles;
     result.instructions = run.total_instructions;
@@ -167,8 +230,11 @@ KernelRunResult run_fixed_mlp(const nn::QuantizedNetwork& net,
                                  std::span<const std::int32_t>(input.data(), input.size()));
     machine.core().set_histogram(&result.histogram);
     machine.set_verify_on_load(true);
-    result.static_min_cycles = arm_verifier_and_floor(
-        machine.memory(), program.symbol("main"), machine.core().profile());
+    rv::analysis::AnalyzeOptions options;
+    const auto [inner, neurons] = mlp_loop_iters(net.layers());
+    options.loop_bounds = mlp_loop_bounds(program, inner, neurons);
+    arm_verifier_and_bounds(machine.memory(), program.symbol("main"),
+                            machine.core().profile(), options, result);
     const rv::RunResult run = machine.run(program.symbol("main"));
     result.cycles = run.cycles;
     result.instructions = run.instructions;
@@ -197,8 +263,11 @@ KernelRunResult run_fixed_mlp_custom(const nn::QuantizedNetwork& net,
   KernelRunResult result;
   machine.core().set_histogram(&result.histogram);
   machine.set_verify_on_load(true);
-  result.static_min_cycles = arm_verifier_and_floor(
-      machine.memory(), program.symbol("main"), machine.core().profile());
+  rv::analysis::AnalyzeOptions options;
+  const auto [inner, neurons] = mlp_loop_iters(net.layers());
+  options.loop_bounds = mlp_loop_bounds(program, inner, neurons);
+  arm_verifier_and_bounds(machine.memory(), program.symbol("main"),
+                          machine.core().profile(), options, result);
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -220,7 +289,8 @@ KernelRunResult run_fixed_mlp_parallel(const nn::QuantizedNetwork& net,
   ensure(program.end_address() <= Layout::kTanhTable,
          "run_fixed_mlp_parallel: program overflows layout");
 
-  rv::Cluster cluster(rv::ri5cy(), cluster_config(num_cores));
+  const rv::ClusterConfig cfg = cluster_config(num_cores);
+  rv::Cluster cluster(rv::ri5cy(), cfg);
   cluster.load_program(program.words);
   write_fixed_network(cluster.memory(), net, placement);
   cluster.memory().write_words(Layout::kAct0,
@@ -228,8 +298,11 @@ KernelRunResult run_fixed_mlp_parallel(const nn::QuantizedNetwork& net,
   KernelRunResult result;
   for (int c = 0; c < num_cores; ++c) cluster.core(c).set_histogram(&result.histogram);
   cluster.set_verify_on_load(true);
-  result.static_min_cycles = arm_verifier_and_floor(
-      cluster.memory(), program.symbol("main"), cluster.core(0).profile());
+  rv::analysis::AnalyzeOptions options = cluster_analyze_options(cfg);
+  const auto [inner, neurons] = mlp_loop_iters(net.layers(), num_cores);
+  options.loop_bounds = mlp_loop_bounds(program, inner, neurons);
+  arm_verifier_and_bounds(cluster.memory(), program.symbol("main"),
+                          cluster.core(0).profile(), options, result);
   const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -339,8 +412,11 @@ KernelRunResult run_simd_mlp(const nn::QuantizedNetwork16& net,
   KernelRunResult result;
   machine.core().set_histogram(&result.histogram);
   machine.set_verify_on_load(true);
-  result.static_min_cycles = arm_verifier_and_floor(
-      machine.memory(), program.symbol("main"), machine.core().profile());
+  rv::analysis::AnalyzeOptions options;
+  const auto [inner, neurons] = mlp_loop_iters(net.layers());
+  options.loop_bounds = mlp_loop_bounds(program, inner, neurons);
+  arm_verifier_and_bounds(machine.memory(), program.symbol("main"),
+                          machine.core().profile(), options, result);
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -363,15 +439,19 @@ KernelRunResult run_simd_mlp_parallel(const nn::QuantizedNetwork16& net,
   ensure(program.end_address() <= Layout::kTanhTable,
          "run_simd_mlp_parallel: program overflows layout");
 
-  rv::Cluster cluster(rv::ri5cy(), cluster_config(num_cores));
+  const rv::ClusterConfig cfg = cluster_config(num_cores);
+  rv::Cluster cluster(rv::ri5cy(), cfg);
   cluster.load_program(program.words);
   write_simd_network(cluster.memory(), net, placement, input);
 
   KernelRunResult result;
   for (int c = 0; c < num_cores; ++c) cluster.core(c).set_histogram(&result.histogram);
   cluster.set_verify_on_load(true);
-  result.static_min_cycles = arm_verifier_and_floor(
-      cluster.memory(), program.symbol("main"), cluster.core(0).profile());
+  rv::analysis::AnalyzeOptions options = cluster_analyze_options(cfg);
+  const auto [inner, neurons] = mlp_loop_iters(net.layers(), num_cores);
+  options.loop_bounds = mlp_loop_bounds(program, inner, neurons);
+  arm_verifier_and_bounds(cluster.memory(), program.symbol("main"),
+                          cluster.core(0).profile(), options, result);
   const rv::ClusterRunResult run = cluster.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -403,8 +483,11 @@ KernelRunResult run_float_mlp(const nn::Network& net, std::span<const float> inp
   KernelRunResult result;
   machine.core().set_histogram(&result.histogram);
   machine.set_verify_on_load(true);
-  result.static_min_cycles = arm_verifier_and_floor(
-      machine.memory(), program.symbol("main"), machine.core().profile());
+  rv::analysis::AnalyzeOptions options;
+  const auto [inner, neurons] = mlp_loop_iters(net.layers());
+  options.loop_bounds = mlp_loop_bounds(program, inner, neurons);
+  arm_verifier_and_bounds(machine.memory(), program.symbol("main"),
+                          machine.core().profile(), options, result);
   const rv::RunResult run = machine.run(program.symbol("main"));
 
   result.cycles = run.cycles;
@@ -427,10 +510,18 @@ std::vector<KernelImage> reference_kernel_images() {
   const SimdPlacement simd_placement = place_simd_layers(qn16);
   const FixedKernelParams sparams = simd_params(qn16);
 
+  const auto [fixed_inner, fixed_neurons] = mlp_loop_iters(qn.layers());
+  const auto [par_inner, par_neurons] =
+      mlp_loop_iters(qn.layers(), Layout::kClusterCores);
+  const auto [simd_inner, simd_neurons] = mlp_loop_iters(qn16.layers());
+  const auto [simd_par_inner, simd_par_neurons] =
+      mlp_loop_iters(qn16.layers(), Layout::kClusterCores);
+
   std::vector<KernelImage> images;
   const auto add = [&images](std::string name, rv::TimingProfile profile,
                              const std::string& source, std::size_t mem_bytes,
-                             bool xpulp) {
+                             bool xpulp, std::uint64_t inner_iters,
+                             std::uint64_t neuron_iters, bool cluster = false) {
     KernelImage image;
     image.name = std::move(name);
     image.profile = std::move(profile);
@@ -438,32 +529,64 @@ std::vector<KernelImage> reference_kernel_images() {
     image.entry = image.program.symbol("main");
     image.mem_bytes = mem_bytes;
     image.expect_reject_on_ibex = xpulp;
+    image.analyze_options.loop_bounds =
+        mlp_loop_bounds(image.program, inner_iters, neuron_iters);
+    if (cluster) {
+      const rv::analysis::AnalyzeOptions cluster_opts =
+          cluster_analyze_options(cluster_config());
+      image.analyze_options.cluster_cores = cluster_opts.cluster_cores;
+      image.analyze_options.barrier_wakeup_cycles =
+          cluster_opts.barrier_wakeup_cycles;
+    }
     images.push_back(std::move(image));
   };
 
   add("mlp-fixed-generic", rv::ibex(),
       fixed_kernel_source(Flavor::kGeneric, params, placement.layer_table),
-      Layout::kMemBytes, false);
+      Layout::kMemBytes, false, fixed_inner, fixed_neurons);
   add("mlp-fixed-m4", rv::cortex_m4f(),
       fixed_kernel_source(Flavor::kM4, params, placement.layer_table),
-      Layout::kMemBytes, true);
+      Layout::kMemBytes, true, fixed_inner, fixed_neurons);
   add("mlp-fixed-ri5cy", rv::ri5cy(),
       fixed_kernel_source(Flavor::kRi5cy, params, placement.layer_table),
-      Layout::kMemBytes, true);
+      Layout::kMemBytes, true, fixed_inner, fixed_neurons);
   add("mlp-fixed-parallel", rv::ri5cy(),
       parallel_kernel_source(params, placement.layer_table), Layout::kMemBytes,
-      true);
+      true, par_inner, par_neurons, /*cluster=*/true);
   add("mlp-float-m4f", rv::cortex_m4f(),
       float_kernel_source(static_cast<int>(net.num_layers()), placement.layer_table),
-      Layout::kMemBytes, true);
+      Layout::kMemBytes, true, fixed_inner, fixed_neurons);
   add("mlp-simd-ri5cy", rv::ri5cy(),
       simd_kernel_source(sparams, simd_placement.layer_table), Layout::kMemBytes,
-      true);
+      true, simd_inner, simd_neurons);
   add("mlp-simd-parallel", rv::ri5cy(),
       parallel_simd_kernel_source(sparams, simd_placement.layer_table),
-      Layout::kMemBytes, true);
-  add("hrv-ri5cy", rv::ri5cy(), hrv_kernel_source(), std::size_t{1} << 16, true);
-  add("gsr-ri5cy", rv::ri5cy(), gsr_kernel_source(), std::size_t{1} << 16, true);
+      Layout::kMemBytes, true, simd_par_inner, simd_par_neurons, /*cluster=*/true);
+
+  // The feature kernels' data-dependent loops are annotated at the runner's
+  // layout caps (<= 2000 RR intervals, <= 12000 GSR samples).
+  {
+    KernelImage image;
+    image.name = "hrv-ri5cy";
+    image.profile = rv::ri5cy();
+    image.program = asmx::assemble(hrv_kernel_source());
+    image.entry = image.program.symbol("main");
+    image.mem_bytes = std::size_t{1} << 16;
+    image.expect_reject_on_ibex = true;
+    image.analyze_options.loop_bounds[image.program.symbol("diff_end")] = 1999;
+    images.push_back(std::move(image));
+  }
+  {
+    KernelImage image;
+    image.name = "gsr-ri5cy";
+    image.profile = rv::ri5cy();
+    image.program = asmx::assemble(gsr_kernel_source());
+    image.entry = image.program.symbol("main");
+    image.mem_bytes = std::size_t{1} << 16;
+    image.expect_reject_on_ibex = true;
+    image.analyze_options.loop_bounds[image.program.symbol("sample_loop")] = 11996;
+    images.push_back(std::move(image));
+  }
   return images;
 }
 

@@ -17,6 +17,7 @@
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
 #include "nn/quantize16.hpp"
+#include "rvsim/analysis/analysis.hpp"
 #include "rvsim/profile_stats.hpp"
 #include "rvsim/timing.hpp"
 
@@ -44,6 +45,15 @@ struct KernelRunResult {
   /// Whole-program static cycle lower bound from iw_rvsim_analysis, computed
   /// on the loaded image before the run. Always <= cycles.
   std::uint64_t static_min_cycles = 0;
+  /// Whole-program static cycle upper bound (WCET) from the same analysis,
+  /// using the kernel generator's own loop-bound annotations (layer sizes)
+  /// and, for cluster runs, the cluster's bank/barrier pessimism. Always
+  /// >= cycles, or rv::analysis::kUnboundedCycles when no finite bound
+  /// exists.
+  std::uint64_t static_max_cycles = rv::analysis::kUnboundedCycles;
+  /// Static maximum stack depth in bytes (the kernels are stackless, so 0),
+  /// or rv::analysis::kUnboundedCycles when the stack pointer is untracked.
+  std::uint64_t static_stack_bytes = 0;
 };
 
 /// Runs fixed-point inference of `net` on `target`. `input` must already be
@@ -91,6 +101,10 @@ struct KernelImage {
   /// Uses extensions the IBEX profile lacks; the analyzer must reject the
   /// image there with an unsupported-instruction diagnostic.
   bool expect_reject_on_ibex = false;
+  /// Analysis options for a WCET pass under the intended profile: the
+  /// generator's loop-bound annotations plus cluster pessimism for the
+  /// parallel kernels. Lint-only passes can ignore this.
+  rv::analysis::AnalyzeOptions analyze_options;
 };
 
 /// Assembles every kernel shipped in src/kernels — the Table-III MLP kernels

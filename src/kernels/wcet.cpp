@@ -1,0 +1,193 @@
+#include "kernels/wcet.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "kernels/feature_kernel.hpp"
+#include "kernels/runner.hpp"
+#include "nn/network.hpp"
+#include "nn/presets.hpp"
+#include "nn/quantize.hpp"
+#include "nn/quantize16.hpp"
+#include "rvsim/analysis/analysis.hpp"
+#include "rvsim/timing.hpp"
+
+namespace iw::kernels {
+
+namespace {
+
+using rv::analysis::kUnboundedCycles;
+
+WcetRow make_row(std::string name, std::string profile_name,
+                 std::uint64_t floor_cycles, std::uint64_t dynamic_cycles,
+                 std::uint64_t ceiling_cycles, std::uint64_t stack_bytes) {
+  WcetRow row;
+  row.name = std::move(name);
+  row.profile_name = std::move(profile_name);
+  row.floor_cycles = floor_cycles;
+  row.dynamic_cycles = dynamic_cycles;
+  row.ceiling_cycles = ceiling_cycles;
+  row.stack_bytes = stack_bytes;
+  row.sound = floor_cycles > 0 && floor_cycles <= dynamic_cycles &&
+              ceiling_cycles != kUnboundedCycles &&
+              dynamic_cycles <= ceiling_cycles;
+  return row;
+}
+
+WcetRow row_of(std::string name, std::string profile_name,
+               const KernelRunResult& r) {
+  return make_row(std::move(name), std::move(profile_name), r.static_min_cycles,
+                  r.cycles, r.static_max_cycles, r.static_stack_bytes);
+}
+
+std::vector<float> deterministic_input(std::size_t n, std::uint64_t seed) {
+  iw::Rng rng(seed);
+  std::vector<float> input(n);
+  for (float& v : input) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return input;
+}
+
+}  // namespace
+
+std::vector<WcetRow> certified_kernel_rows() {
+  // The same representative network reference_kernel_images() assembles, so
+  // the certified images match the linted ones.
+  iw::Rng rng(5);
+  const nn::Network net = nn::Network::create({4, 6, 2}, rng);
+  const nn::QuantizedNetwork qn = nn::QuantizedNetwork::from(net);
+  const nn::QuantizedNetwork16 qn16 = nn::QuantizedNetwork16::from(net);
+  const std::vector<float> in = deterministic_input(4, 17);
+  const auto input = qn.quantize_input(in);
+  const auto input16 = qn16.quantize_input(in);
+
+  std::vector<WcetRow> rows;
+  rows.push_back(row_of("mlp-fixed-generic", rv::ibex().name,
+                        run_fixed_mlp(qn, input, Target::kIbex)));
+  rows.push_back(row_of("mlp-fixed-m4", rv::cortex_m4f().name,
+                        run_fixed_mlp(qn, input, Target::kCortexM4)));
+  rows.push_back(row_of("mlp-fixed-ri5cy", rv::ri5cy().name,
+                        run_fixed_mlp(qn, input, Target::kRi5cySingle)));
+  rows.push_back(row_of("mlp-fixed-parallel", rv::ri5cy().name,
+                        run_fixed_mlp(qn, input, Target::kRi5cyMulti)));
+  rows.push_back(
+      row_of("mlp-float-m4f", rv::cortex_m4f().name, run_float_mlp(net, in)));
+  rows.push_back(
+      row_of("mlp-simd-ri5cy", rv::ri5cy().name, run_simd_mlp(qn16, input16)));
+  rows.push_back(row_of("mlp-simd-parallel", rv::ri5cy().name,
+                        run_simd_mlp_parallel(qn16, input16, 8)));
+
+  {
+    iw::Rng hrv_rng(23);
+    std::vector<std::int32_t> rr(64);
+    for (std::int32_t& v : rr) {
+      v = 700 + static_cast<std::int32_t>(hrv_rng.uniform(0.0, 200.0));
+    }
+    const HrvKernelResult hrv = run_hrv_kernel(rr);
+    rows.push_back(make_row("hrv-ri5cy", rv::ri5cy().name, hrv.static_min_cycles,
+                            hrv.cycles, hrv.static_max_cycles,
+                            hrv.static_stack_bytes));
+  }
+  {
+    iw::Rng gsr_rng(29);
+    std::vector<std::int32_t> samples(256);
+    std::int32_t level = 2 << 8;
+    for (std::int32_t& v : samples) {
+      level += static_cast<std::int32_t>(gsr_rng.uniform(-8.0, 10.0));
+      v = level;
+    }
+    const GsrKernelResult gsr = run_gsr_kernel(samples);
+    rows.push_back(make_row("gsr-ri5cy", rv::ri5cy().name, gsr.static_min_cycles,
+                            gsr.cycles, gsr.static_max_cycles,
+                            gsr.static_stack_bytes));
+  }
+  return rows;
+}
+
+std::string wcet_table_text(const std::vector<WcetRow>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(20) << "kernel" << std::setw(12) << "profile"
+     << std::right << std::setw(10) << "floor" << std::setw(10) << "dynamic"
+     << std::setw(12) << "ceiling" << std::setw(8) << "stack"
+     << "  verdict\n";
+  for (const WcetRow& row : rows) {
+    os << std::left << std::setw(20) << row.name << std::setw(12)
+       << row.profile_name << std::right << std::setw(10) << row.floor_cycles
+       << std::setw(10) << row.dynamic_cycles << std::setw(12);
+    if (row.ceiling_cycles == kUnboundedCycles) {
+      os << "unbounded";
+    } else {
+      os << row.ceiling_cycles;
+    }
+    os << std::setw(8);
+    if (row.stack_bytes == kUnboundedCycles) {
+      os << "?";
+    } else {
+      os << row.stack_bytes;
+    }
+    os << "  " << (row.sound ? "certified" : "UNSOUND") << "\n";
+  }
+  return os.str();
+}
+
+std::string wcet_table_json(const std::vector<WcetRow>& rows) {
+  std::ostringstream os;
+  os << "{\"rows\":[";
+  bool first = true;
+  for (const WcetRow& row : rows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"kernel\":\"" << row.name << "\",\"profile\":\"" << row.profile_name
+       << "\",\"floor_cycles\":" << row.floor_cycles
+       << ",\"dynamic_cycles\":" << row.dynamic_cycles << ",\"ceiling_cycles\":";
+    if (row.ceiling_cycles == kUnboundedCycles) {
+      os << "null";
+    } else {
+      os << row.ceiling_cycles;
+    }
+    os << ",\"stack_bytes\":";
+    if (row.stack_bytes == kUnboundedCycles) {
+      os << "null";
+    } else {
+      os << row.stack_bytes;
+    }
+    os << ",\"sound\":" << (row.sound ? "true" : "false") << "}";
+  }
+  os << "],\"all_sound\":" << (all_sound(rows) ? "true" : "false") << "}";
+  return os.str();
+}
+
+bool all_sound(const std::vector<WcetRow>& rows) {
+  if (rows.empty()) return false;
+  for (const WcetRow& row : rows) {
+    if (!row.sound) return false;
+  }
+  return true;
+}
+
+namespace {
+
+NetACertificate certify_net_a(Target target) {
+  // The exact Network A reproduction the Table III regression pins:
+  // seed 1 for the weights, seed 2020 for the input.
+  iw::Rng rng(1);
+  const nn::Network net = nn::make_network_a(rng);
+  const nn::QuantizedNetwork qn = nn::QuantizedNetwork::from(net);
+  const auto fixed = qn.quantize_input(deterministic_input(5, 2020));
+  const KernelRunResult r = run_fixed_mlp(qn, fixed, target);
+  NetACertificate cert;
+  cert.floor_cycles = r.static_min_cycles;
+  cert.dynamic_cycles = r.cycles;
+  cert.ceiling_cycles = r.static_max_cycles;
+  return cert;
+}
+
+}  // namespace
+
+NetACertificate certify_net_a_multi8() {
+  return certify_net_a(Target::kRi5cyMulti);
+}
+
+NetACertificate certify_net_a_m4() { return certify_net_a(Target::kCortexM4); }
+
+}  // namespace iw::kernels

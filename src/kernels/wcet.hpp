@@ -1,0 +1,62 @@
+// Static energy certification of the kernel suite (`iw_lint --wcet`).
+//
+// For every shipped kernel this module runs the static analyzer's
+// interprocedural WCET pass next to one dynamic reference execution and
+// reports the certified sandwich
+//
+//     floor (static min) <= dynamic cycles <= ceiling (static WCET)
+//
+// plus the composed maximum stack depth. The ceiling is what turns the
+// paper's per-classification energies (1.2-5.1 uJ, Table IV) from point
+// measurements into certified upper bounds: ceiling_cycles x the target
+// processor's energy-per-cycle bounds the energy of *every* execution, not
+// just the measured one. Rows whose sandwich fails (or whose intended
+// profile produces error diagnostics) are marked unsound and fail the
+// check.sh gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iw::kernels {
+
+/// One certified kernel: the static sandwich around a reference execution.
+struct WcetRow {
+  std::string name;          // kernel name (matches reference_kernel_images)
+  std::string profile_name;  // intended timing profile
+  std::uint64_t floor_cycles = 0;    // static min
+  std::uint64_t dynamic_cycles = 0;  // one reference execution
+  std::uint64_t ceiling_cycles = 0;  // static WCET (kUnboundedCycles = none)
+  std::uint64_t stack_bytes = 0;     // composed max stack depth
+  bool sound = false;  // floor <= dynamic <= ceiling, ceiling finite
+};
+
+/// Certifies the whole reference kernel suite: the seven generated MLP
+/// kernels (representative small network) plus the HRV/GSR feature kernels,
+/// each executed once under its intended profile. Deterministic.
+std::vector<WcetRow> certified_kernel_rows();
+
+/// Human-readable certification table.
+std::string wcet_table_text(const std::vector<WcetRow>& rows);
+/// Machine-readable certification table (stable keys, one JSON object).
+std::string wcet_table_json(const std::vector<WcetRow>& rows);
+/// True when every row is sound.
+bool all_sound(const std::vector<WcetRow>& rows);
+
+/// Static certificate for the paper's Network A (5-50-50-3) classification
+/// kernel on one execution target, for the platform energy budget:
+/// floor <= dynamic <= ceiling always holds on the reproduced kernels.
+struct NetACertificate {
+  std::uint64_t floor_cycles = 0;
+  std::uint64_t dynamic_cycles = 0;
+  std::uint64_t ceiling_cycles = 0;
+};
+
+/// Network A on the 8-core RI5CY cluster (the paper's 6126-cycle / 1.2 uJ
+/// operating point).
+NetACertificate certify_net_a_multi8();
+/// Network A on the Cortex-M4 (the paper's 30210-cycle / 5.1 uJ baseline).
+NetACertificate certify_net_a_m4();
+
+}  // namespace iw::kernels

@@ -11,13 +11,16 @@ DetectionCost make_detection_cost(const DetectionCostParams& params) {
   cost.acquisition_j = params.acquisition.energy_j();
   cost.feature_extraction_j =
       params.feature_extraction_s * params.feature_processor.active_power_w;
+  const std::uint64_t classification_cycles = params.certificate.valid()
+                                                  ? params.certificate.ceiling_cycles
+                                                  : params.classification_cycles;
   cost.classification_j =
-      params.classification_processor.energy_j(params.classification_cycles);
+      params.classification_processor.energy_j(classification_cycles);
   if (params.notification_bytes > 0.0) {
     cost.notification_j = ble::BleLink().notification_energy_j(params.notification_bytes);
   }
   cost.duration_s = params.acquisition.duration_s + params.feature_extraction_s +
-                    params.classification_processor.time_s(params.classification_cycles);
+                    params.classification_processor.time_s(classification_cycles);
   return cost;
 }
 

@@ -25,14 +25,35 @@ struct DetectionCost {
   double duration_s = 3.0;
 };
 
+/// Paper-reported cycle count for one MLP classification on the 8-core
+/// cluster (61.26 us at 100 MHz => 1.2 uJ at ~19.6 mW). The simulator's own
+/// dynamic reproduction of that kernel lands within ~0.1% (see the
+/// table3 regression test); the platform energy budget pins the published
+/// figure so Table IV stays bit-identical to the paper.
+inline constexpr std::uint64_t kPaperClassificationCyclesMulti8 = 6126;
+
+/// A statically certified classification cost from the iw_lint WCET pass:
+/// floor <= every dynamic run <= ceiling (cycles on the classification
+/// processor). Default-constructed (all zero) means "no certificate".
+struct CertifiedKernelCost {
+  std::uint64_t floor_cycles = 0;
+  std::uint64_t ceiling_cycles = 0;
+  bool valid() const { return ceiling_cycles > 0 && floor_cycles <= ceiling_cycles; }
+};
+
 struct DetectionCostParams {
   sensors::AcquisitionPlan acquisition = sensors::stress_detection_acquisition();
   /// Feature extraction: 50 us on the parallel cluster (paper).
   double feature_extraction_s = 50e-6;
   pwr::ProcessorPowerModel feature_processor = pwr::mr_wolf_cluster_multi8();
   /// Classification runtime in cycles on the chosen processor.
-  std::uint64_t classification_cycles = 6126;
+  std::uint64_t classification_cycles = kPaperClassificationCyclesMulti8;
   pwr::ProcessorPowerModel classification_processor = pwr::mr_wolf_cluster_multi8();
+  /// Optional static certificate. When valid(), the classification energy
+  /// and duration are budgeted at the certified worst case (ceiling_cycles
+  /// x the processor's energy per cycle) instead of classification_cycles,
+  /// so the platform budget is an upper bound rather than a point estimate.
+  CertifiedKernelCost certificate;
   /// Result notification over BLE (0 bytes = stay silent).
   double notification_bytes = 0.0;
 };

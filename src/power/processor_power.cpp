@@ -14,6 +14,11 @@ double ProcessorPowerModel::energy_j(std::uint64_t cycles) const {
   return time_s(cycles) * active_power_w;
 }
 
+double ProcessorPowerModel::energy_per_cycle_j() const {
+  ensure(freq_hz > 0.0, "ProcessorPowerModel: no frequency set");
+  return active_power_w / freq_hz;
+}
+
 ProcessorPowerModel nordic_m4() {
   return {"nRF52832 Cortex-M4 @ 64 MHz", 64e6, units::from_mw(10.8),
           units::from_uw(3.0)};

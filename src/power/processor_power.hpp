@@ -28,6 +28,9 @@ struct ProcessorPowerModel {
   double time_s(std::uint64_t cycles) const;
   /// Active energy of a run.
   double energy_j(std::uint64_t cycles) const;
+  /// Active energy of a single cycle (active_power_w / freq_hz). The unit
+  /// factor that turns a static cycle bound into a certified energy bound.
+  double energy_per_cycle_j() const;
 };
 
 /// Nordic nRF52832, ARM Cortex-M4F @ 64 MHz.

@@ -10,6 +10,10 @@
 //  * the recovered control-flow graph (basic blocks; direct branches, jumps,
 //    hardware-loop back edges and fallthroughs; indirect jumps conservatively
 //    flagged and treated as CFG sinks),
+//  * an interprocedural call graph: `jal` with a link register is a call
+//    whose fallthrough is the continuation, `jalr x0, ra, 0` is a return
+//    (a function sink, not an unknown indirect), and recursion is detected
+//    and reported (recursive functions get unbounded worst-case bounds),
 //  * per-profile ISA lint: every reachable word is checked against the
 //    TimingProfile's resolved support table, so e.g. an Xpulp op in an
 //    IBEX-profile image is reported with its address and disassembly using
@@ -21,23 +25,49 @@
 //  * out-of-image or misaligned memory accesses whose address is statically
 //    known (block-local constant propagation over lui/auipc/addi/add chains),
 //  * per-basic-block guaranteed cycle costs and a whole-program static cycle
-//    lower bound (see below), asserted <= the dynamic count in tests.
+//    lower bound (see below), asserted <= the dynamic count in tests,
+//  * per-basic-block worst-case cycle costs and a whole-program static cycle
+//    upper bound (WCET), asserted >= the dynamic count in tests,
+//  * a static maximum stack depth per function, composed over the call
+//    graph, with statically-provable overflow reported as an error.
 //
-// Cycle-bound semantics: a block's `min_cycles` sums the per-profile base
-// costs plus only those dynamic penalties that are *guaranteed* to occur
+// Cycle-bound semantics (floor): a block's `min_cycles` sums the per-profile
+// base costs plus only those dynamic penalties that are *guaranteed* to occur
 // (intra-block load-use stalls on a proven dependency; back-to-back-load
 // extras when positive and proven, pessimistically applied to every load when
 // negative, as on the Cortex-M4F where pipelined loads get a discount). Taken
 // -branch refill penalties, bank conflicts and barrier waits are excluded —
 // they only ever add cycles. The whole-program bound is the cheapest
-// entry-to-halt path through the CFG, with well-formed hardware loops whose
-// iteration count is a static immediate (lp.setupi) charged
-// (count - 1) * (cheapest body iteration) on their setup block, innermost
-// first. Every component is a lower bound on what any execution pays, so the
-// total is too.
+// entry-to-halt path through the CFG (call blocks charge the callee's own
+// floor), with well-formed hardware loops whose iteration count is statically
+// known (an lp.setupi immediate, or an lp.setup count register proven by the
+// block-local constprop) charged (count - 1) * (cheapest body iteration) on
+// their setup block, innermost first. Every component is a lower bound on
+// what any execution pays, so the total is too.
+//
+// Cycle-bound semantics (ceiling / WCET): a block's `max_cycles` is the
+// max-penalty dual — every load pessimistically pays the load-use stall of
+// its dependent successor and any positive back-to-back extra, every
+// conditional branch pays the taken-branch penalty, and under a cluster
+// analysis (AnalyzeOptions::cluster_cores > 1) every memory access pays the
+// worst bank-conflict stall (cores - 1; the arbiter serves one conflicting
+// access per cycle) and every store pays the barrier wakeup latency. The
+// whole-program bound is the *longest* entry-to-sink path over the
+// back-edge-free CFG, with every loop charged (bound - 1) extra copies of
+// its longest single iteration, innermost first, and composed bottom-up over
+// the call graph. Loop bounds come from lp.setupi immediates, constprop-known
+// lp.setup counts, a monotone-counter pattern match (a countdown `addi`/
+// `srli` that is the sole writer of the branch register), or trusted
+// flow-fact annotations (AnalyzeOptions::loop_bounds). A loop with no bound,
+// an unknown indirect jump, or recursion makes the bound kUnboundedCycles —
+// still sound, never silently finite. For cluster images the bound assumes
+// the SPMD model the kernels use (every core runs the same image from the
+// same entry; barriers release at the latest arrival plus the wakeup
+// latency) and does not model DMA (the reference kernels do not use it).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -50,9 +80,14 @@ namespace iw::rv::analysis {
 
 using iw::rv::CodeCertificate;
 
-/// Diagnostic catalogue. Every kind is an error except kIndirectJump, which
-/// is a note by default (the analyzer cannot follow the jump, so downstream
-/// code is simply not analyzed) and upgradable via AnalyzeOptions.
+/// Sentinel for "no finite static bound" (unbounded loop, recursion, unknown
+/// indirect control flow, or an unknowable stack pointer).
+inline constexpr std::uint64_t kUnboundedCycles = ~std::uint64_t{0};
+
+/// Diagnostic catalogue. Every kind is an error except the notes:
+/// kIndirectJump (upgradable via AnalyzeOptions), kRecursiveCall,
+/// kUnboundedLoop and kUnknownStackPointer, which only widen the static
+/// bounds to kUnboundedCycles instead of failing the report.
 enum class DiagKind : std::uint8_t {
   kIllegalWord,            // reachable word does not decode
   kUnsupportedInstruction, // decodes, but the profile cannot execute it
@@ -67,6 +102,10 @@ enum class DiagKind : std::uint8_t {
   kStaticAccessOutOfImage, // statically-known data address out of image
   kStaticAccessMisaligned, // statically-known data address misaligned
   kIndirectJump,           // jalr: target unknown, CFG truncated here
+  kRecursiveCall,          // function can re-enter itself: WCET/stack unbounded
+  kUnboundedLoop,          // no static iteration bound for this loop
+  kStackOverflow,          // provable max stack depth exceeds the stack limit
+  kUnknownStackPointer,    // sp escapes the tracked adjustment idioms
 };
 
 enum class Severity : std::uint8_t { kError, kNote };
@@ -85,13 +124,20 @@ struct BasicBlock {
   std::uint32_t start = 0;
   std::uint32_t end = 0;  // exclusive
   /// Successor block start addresses (fallthrough, branch targets, hwloop
-  /// back edges). Empty for halting / indirect / dead-end blocks.
+  /// back edges; a call block's successor is its continuation). Empty for
+  /// halting / returning / indirect / dead-end blocks.
   std::vector<std::uint32_t> successors;
   /// Guaranteed cycles for one execution of the block (plus any hardware-loop
-  /// surcharge attached to a contained lp.setupi, see file comment).
+  /// surcharge attached to a contained lp.setup*, see file comment).
   std::uint64_t min_cycles = 0;
+  /// Worst-case cycles for one execution of the block (max-penalty dual;
+  /// loop surcharges are applied during per-function composition, not here).
+  std::uint64_t max_cycles = 0;
   bool halts = false;         // contains ecall
-  bool has_indirect = false;  // ends in jalr
+  bool has_indirect = false;  // ends in a non-return jalr
+  bool is_return = false;     // ends in `jalr x0, ra, 0` (function sink)
+  bool has_call = false;      // ends in `jal` with a link register
+  std::uint32_t call_target = 0;  // valid when has_call
 };
 
 struct HwLoopRegion {
@@ -100,9 +146,25 @@ struct HwLoopRegion {
   std::uint32_t end = 0;    // exclusive body end (the hwloop back-edge pc)
   int index = 0;            // hardware loop slot (0 or 1)
   /// Guaranteed iteration count: the lp.setupi immediate (clamped to >= 1,
-  /// matching Core), or 1 for lp.setup (register count, >= 1 at runtime).
+  /// matching Core), a constprop-proven lp.setup register count, or 1.
   std::uint32_t static_count = 1;
+  /// Exact iteration count when statically known (lp.setupi immediate or a
+  /// constprop-proven lp.setup count), else 0 (unknown: the WCET pass falls
+  /// back to AnalyzeOptions::loop_bounds annotations).
+  std::uint32_t exact_count = 0;
   bool well_formed = true;
+};
+
+/// Per-function summary of the interprocedural composition.
+struct FunctionSummary {
+  std::uint32_t entry = 0;
+  std::uint64_t min_cycles = 0;
+  /// Worst-case cycles from entry to any return/halt, callees included.
+  std::uint64_t max_cycles = kUnboundedCycles;
+  /// Maximum stack depth in bytes, callees included (kUnboundedCycles when
+  /// the stack pointer escapes the tracked idioms or the function recurses).
+  std::uint64_t stack_bytes = 0;
+  bool recursive = false;
 };
 
 struct AnalysisReport {
@@ -111,17 +173,26 @@ struct AnalysisReport {
   std::size_t words_analyzed = 0;  // reachable instruction words
   std::vector<BasicBlock> blocks;  // sorted by start address
   std::vector<HwLoopRegion> loops; // sorted by setup pc
+  std::vector<FunctionSummary> functions;  // sorted by entry address
   std::vector<Diagnostic> diagnostics;
   /// Whole-program static cycle lower bound from entry to the cheapest halt
   /// (or CFG sink). Always <= the dynamic cycle count of any core run from
   /// `entry` on a diagnostic-free image.
   std::uint64_t min_cycles = 0;
+  /// Whole-program static cycle upper bound (WCET) from entry until the
+  /// entry function halts or returns, or kUnboundedCycles when no sound
+  /// finite bound exists. Always >= the dynamic cycle count of any core run
+  /// from `entry` on a diagnostic-free image that halts.
+  std::uint64_t max_cycles = kUnboundedCycles;
+  /// Static maximum stack depth of the entry function in bytes, callees
+  /// included (kUnboundedCycles when unknown).
+  std::uint64_t stack_bytes = 0;
 
   std::size_t error_count() const;
   /// True when no error-severity diagnostics were produced.
   bool ok() const { return error_count() == 0; }
 
-  /// Human-readable report (diagnostics, CFG summary, cycle bound).
+  /// Human-readable report (diagnostics, CFG summary, cycle bounds).
   std::string to_text() const;
   /// Machine-readable report (stable keys; one object, no trailing newline).
   std::string to_json() const;
@@ -132,6 +203,18 @@ struct AnalyzeOptions {
   bool indirect_jump_is_error = false;
   /// Safety cap on reachable instruction words.
   std::size_t max_words = 1u << 20;
+  /// Trusted flow facts: maximum iteration count per loop, keyed by the loop
+  /// head pc, the tail branch pc, or (hardware loops) the setup pc or end pc.
+  /// Only ever used for the upper bound — the floor stays annotation-free.
+  std::map<std::uint32_t, std::uint64_t> loop_bounds;
+  /// Cluster pessimism for the WCET: when > 1, every memory access is
+  /// charged the worst bank-conflict stall (cluster_cores - 1) and every
+  /// store the barrier wakeup latency.
+  int cluster_cores = 1;
+  int barrier_wakeup_cycles = 6;
+  /// When > 0, a provable entry-function stack depth above this limit is a
+  /// kStackOverflow error.
+  std::uint64_t stack_limit_bytes = 0;
 };
 
 /// Statically analyzes the program in `mem` reachable from `entry` under

@@ -94,6 +94,31 @@ bool is_fp(Op op) {
   }
 }
 
+bool writes_int_rd(Op op) {
+  switch (op) {
+    case Op::kLui: case Op::kAuipc: case Op::kJal: case Op::kJalr:
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai:
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+    case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+    case Op::kOr: case Op::kAnd:
+    case Op::kCsrrw: case Op::kCsrrs:
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+    case Op::kFcvtWS: case Op::kFmvXW:
+    case Op::kFeqS: case Op::kFltS: case Op::kFleS:
+    case Op::kPLbPost: case Op::kPLhPost: case Op::kPLwPost:
+    case Op::kPMac: case Op::kPClip: case Op::kPAbs: case Op::kPMin:
+    case Op::kPMax: case Op::kPExths: case Op::kPExtbs:
+    case Op::kPvDotspH: case Op::kPvSdotspH:
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string mnemonic(Op op) {
   switch (op) {
     case Op::kIllegal: return "illegal";

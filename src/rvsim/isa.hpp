@@ -91,6 +91,13 @@ bool is_xpulp(Op op);
 /// True for F-extension instructions.
 bool is_fp(Op op);
 
+/// True when the instruction writes the *integer* register named by rd.
+/// False for branches, stores, ecall, float-destination ops (flw, float
+/// arithmetic, fcvt.s.w, fmv.w.x — their rd names an f-reg), post-increment
+/// stores (they update rs1, not rd), and the hardware-loop setups. Used by
+/// the static analyzer to track writes to sp and loop counters exactly.
+bool writes_int_rd(Op op);
+
 /// Mnemonic for an opcode (e.g. "p.lw" for kPLwPost).
 std::string mnemonic(Op op);
 

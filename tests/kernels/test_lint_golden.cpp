@@ -1,0 +1,92 @@
+// Golden-shape snapshot for the machine-readable lint surfaces that CI and
+// downstream tooling parse:
+//
+//   * the per-image AnalysisReport JSON emitted by `iw_lint --kernels --json`
+//     (one report per kernel x profile cell), and
+//   * the certification table emitted by `iw_lint --wcet --json`.
+//
+// Values (cycle counts, block layouts) are allowed to drift as the analyzer
+// tightens; the KEY SET and nesting are the contract. A key rename or removal
+// must fail here before it breaks a consumer.
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernels/runner.hpp"
+#include "kernels/wcet.hpp"
+#include "rvsim/analysis/analysis.hpp"
+#include "rvsim/memory.hpp"
+
+namespace iw::kernels {
+namespace {
+
+/// Asserts `needle` occurs in `hay` at or after `from` and returns the index
+/// just past the match, so callers can pin key ORDER as well as presence.
+std::size_t expect_after(const std::string& hay, std::size_t from,
+                         const std::string& needle) {
+  const std::size_t at = hay.find(needle, from);
+  EXPECT_NE(at, std::string::npos) << "missing '" << needle << "' after index "
+                                   << from << " in:\n" << hay;
+  return at == std::string::npos ? from : at + needle.size();
+}
+
+TEST(LintGolden, AnalysisReportJsonShapeIsStable) {
+  const std::vector<KernelImage> images = reference_kernel_images();
+  ASSERT_FALSE(images.empty());
+  for (const KernelImage& image : images) {
+    rv::Memory mem(image.mem_bytes);
+    mem.write_words(image.program.base,
+                    std::span<const std::uint32_t>(image.program.words));
+    const rv::analysis::AnalysisReport report = rv::analysis::analyze(
+        mem, image.entry, image.profile, image.analyze_options);
+    const std::string js = report.to_json();
+    SCOPED_TRACE(image.name);
+
+    std::size_t at = 0;
+    for (const char* key :
+         {"{\"profile\":", "\"entry\":", "\"words_analyzed\":", "\"min_cycles\":",
+          "\"max_cycles\":", "\"stack_bytes\":", "\"ok\":", "\"errors\":",
+          "\"blocks\":[", "\"hwloops\":[", "\"functions\":[",
+          "\"diagnostics\":["}) {
+      at = expect_after(js, at, key);
+    }
+    // Every kernel has at least one block and one recovered function, so the
+    // nested shapes are exercised too.
+    std::size_t block = expect_after(js, 0, "\"blocks\":[{");
+    for (const char* key : {"\"start\":", "\"end\":", "\"min_cycles\":",
+                            "\"max_cycles\":", "\"halts\":", "\"indirect\":",
+                            "\"successors\":["}) {
+      block = expect_after(js, block, key);
+    }
+    std::size_t fn = expect_after(js, 0, "\"functions\":[{");
+    for (const char* key : {"\"entry\":", "\"min_cycles\":", "\"max_cycles\":",
+                            "\"stack_bytes\":", "\"recursive\":"}) {
+      fn = expect_after(js, fn, key);
+    }
+  }
+}
+
+TEST(LintGolden, WcetTableJsonShapeIsStable) {
+  const std::vector<WcetRow> rows = certified_kernel_rows();
+  ASSERT_EQ(rows.size(), 9u);  // 7 MLP flavors + HRV + GSR
+  const std::string js = wcet_table_json(rows);
+
+  std::size_t at = expect_after(js, 0, "{\"rows\":[");
+  for (const WcetRow& row : rows) {
+    at = expect_after(js, at, "{\"kernel\":\"" + row.name + "\"");
+    at = expect_after(js, at, "\"profile\":\"" + row.profile_name + "\"");
+    for (const char* key : {"\"floor_cycles\":", "\"dynamic_cycles\":",
+                            "\"ceiling_cycles\":", "\"stack_bytes\":",
+                            "\"sound\":"}) {
+      at = expect_after(js, at, key);
+    }
+  }
+  expect_after(js, at, "\"all_sound\":");
+  EXPECT_TRUE(all_sound(rows)) << js;
+}
+
+}  // namespace
+}  // namespace iw::kernels

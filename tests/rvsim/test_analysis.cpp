@@ -13,6 +13,7 @@
 #include "asmx/assembler.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "kernels/feature_kernel.hpp"
 #include "kernels/runner.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
@@ -72,8 +73,12 @@ main:
     EXPECT_EQ(r.words_analyzed, 4u) << profile.name;
     ASSERT_EQ(r.blocks.size(), 1u) << profile.name;
     EXPECT_TRUE(r.blocks[0].halts);
+    const std::uint64_t dyn = dynamic_cycles(src, profile);
     EXPECT_GT(r.min_cycles, 0u);
-    EXPECT_LE(r.min_cycles, dynamic_cycles(src, profile)) << profile.name;
+    EXPECT_LE(r.min_cycles, dyn) << profile.name;
+    EXPECT_NE(r.max_cycles, kUnboundedCycles) << profile.name;
+    EXPECT_GE(r.max_cycles, dyn) << profile.name;
+    EXPECT_EQ(r.stack_bytes, 0u) << profile.name;
   }
 }
 
@@ -90,10 +95,15 @@ loop:
   for (const TimingProfile& profile : {cortex_m4f(), ibex(), ri5cy()}) {
     const AnalysisReport r = analyze_asm(src, profile);
     EXPECT_TRUE(r.ok()) << profile.name << "\n" << r.to_text();
-    // The static bound must not charge the nine taken back edges: it is the
+    // The floor must not charge the nine taken back edges: it is the
     // cheapest entry-to-halt path (one loop pass), so well below dynamic.
+    // The ceiling recognizes the countdown pattern (`addi t0, t0, -1` is the
+    // sole writer of the branch register, init proven 10) and charges all ten.
+    const std::uint64_t dyn = dynamic_cycles(src, profile);
     EXPECT_GT(r.min_cycles, 0u);
-    EXPECT_LE(r.min_cycles, dynamic_cycles(src, profile)) << profile.name;
+    EXPECT_LE(r.min_cycles, dyn) << profile.name;
+    EXPECT_NE(r.max_cycles, kUnboundedCycles) << profile.name;
+    EXPECT_GE(r.max_cycles, dyn) << profile.name;
   }
 }
 
@@ -113,9 +123,13 @@ loop_end:
   EXPECT_TRUE(r.ok()) << r.to_text();
   ASSERT_EQ(r.loops.size(), 1u);
   EXPECT_EQ(r.loops[0].static_count, 8u);
+  EXPECT_EQ(r.loops[0].exact_count, 8u);
   EXPECT_TRUE(r.loops[0].well_formed);
+  const std::uint64_t dyn = dynamic_cycles(src, ri5cy());
   EXPECT_GE(r.min_cycles, 16u);  // 8 iterations x 2 single-cycle ALU ops
-  EXPECT_LE(r.min_cycles, dynamic_cycles(src, ri5cy()));
+  EXPECT_LE(r.min_cycles, dyn);
+  EXPECT_NE(r.max_cycles, kUnboundedCycles);
+  EXPECT_GE(r.max_cycles, dyn);
 }
 
 // ---------------------------------------------------------------------------
@@ -293,9 +307,12 @@ main:
 }
 
 TEST(Analysis, DiagIndirectJumpIsNoteByDefault) {
+  // A computed jump (`jr a0` = jalr x0, a0, 0) has a genuinely unknown
+  // target: a note by default, an error under strict options, and a CFG
+  // sink with an unbounded worst-case bound.
   const std::string src = R"(
 main:
-    ret
+    jr a0
 )";
   const AnalysisReport r = analyze_asm(src, ri5cy());
   const Diagnostic* d = find_diag(r, DiagKind::kIndirectJump);
@@ -305,6 +322,7 @@ main:
   ASSERT_EQ(r.blocks.size(), 1u);
   EXPECT_TRUE(r.blocks[0].has_indirect);
   EXPECT_TRUE(r.blocks[0].successors.empty());
+  EXPECT_EQ(r.max_cycles, kUnboundedCycles);
 
   AnalyzeOptions strict;
   strict.indirect_jump_is_error = true;
@@ -313,14 +331,226 @@ main:
   EXPECT_FALSE(rs.ok());
 }
 
+TEST(Analysis, ReturnIsAFunctionSinkNotAnIndirectJump) {
+  const std::string src = R"(
+main:
+    ret
+)";
+  const AnalysisReport r = analyze_asm(src, ri5cy());
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  EXPECT_EQ(find_diag(r, DiagKind::kIndirectJump), nullptr) << r.to_text();
+  ASSERT_EQ(r.blocks.size(), 1u);
+  EXPECT_FALSE(r.blocks[0].has_indirect);
+  EXPECT_TRUE(r.blocks[0].is_return);
+  EXPECT_TRUE(r.blocks[0].successors.empty());
+  // A bare return is a complete (trivial) function: finite bounds.
+  EXPECT_NE(r.max_cycles, kUnboundedCycles);
+  EXPECT_GE(r.max_cycles, r.min_cycles);
+}
+
 TEST(Analysis, DiagKindNamesAreStableAndUnique) {
   std::set<std::string> names;
-  for (int k = 0; k <= static_cast<int>(DiagKind::kIndirectJump); ++k) {
+  for (int k = 0; k <= static_cast<int>(DiagKind::kUnknownStackPointer); ++k) {
     const char* name = diag_kind_name(static_cast<DiagKind>(k));
     ASSERT_NE(name, nullptr);
     EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
   }
-  EXPECT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.size(), 17u);
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural WCET and stack-depth composition.
+
+TEST(Analysis, CallCompositionSandwichesDynamicCycles) {
+  // main calls a leaf helper twice; both bounds must compose the callee's
+  // bounds into the caller and sandwich the dynamic count.
+  const std::string src = R"(
+main:
+    addi a0, zero, 0
+    call helper
+    call helper
+    ecall
+helper:
+    addi a0, a0, 1
+    addi a0, a0, 2
+    ret
+)";
+  for (const TimingProfile& profile : {cortex_m4f(), ibex(), ri5cy()}) {
+    const AnalysisReport r = analyze_asm(src, profile);
+    EXPECT_TRUE(r.ok()) << profile.name << "\n" << r.to_text();
+    ASSERT_EQ(r.functions.size(), 2u) << profile.name;
+    EXPECT_EQ(r.functions[0].entry, 0u);
+    EXPECT_FALSE(r.functions[0].recursive);
+    EXPECT_NE(r.functions[1].max_cycles, kUnboundedCycles) << profile.name;
+    const std::uint64_t dyn = dynamic_cycles(src, profile);
+    EXPECT_GT(r.min_cycles, 0u);
+    EXPECT_LE(r.min_cycles, dyn) << profile.name;
+    EXPECT_NE(r.max_cycles, kUnboundedCycles) << profile.name;
+    EXPECT_GE(r.max_cycles, dyn) << profile.name;
+    EXPECT_EQ(r.stack_bytes, 0u) << profile.name;
+  }
+}
+
+TEST(Analysis, RecursionIsANoteWithUnboundedCeiling) {
+  const std::string src = R"(
+main:
+    call rec
+    ecall
+rec:
+    beq  a0, zero, done
+    addi a0, a0, -1
+    call rec
+done:
+    ret
+)";
+  const AnalysisReport r = analyze_asm(src, ri5cy());
+  EXPECT_TRUE(r.ok()) << r.to_text();  // recursion is a note, not an error
+  const Diagnostic* d = find_diag(r, DiagKind::kRecursiveCall);
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_EQ(r.max_cycles, kUnboundedCycles);
+  EXPECT_EQ(r.stack_bytes, kUnboundedCycles);
+  bool saw_recursive = false;
+  for (const FunctionSummary& f : r.functions) {
+    if (f.recursive) {
+      saw_recursive = true;
+      EXPECT_EQ(f.max_cycles, kUnboundedCycles);
+      EXPECT_EQ(f.stack_bytes, kUnboundedCycles);
+    }
+  }
+  EXPECT_TRUE(saw_recursive);
+  // The floor stays sound and finite.
+  EXPECT_GT(r.min_cycles, 0u);
+}
+
+TEST(Analysis, UnboundedLoopIsANoteWithUnboundedCeiling) {
+  // The countdown pattern needs a statically-known initial value; a0 is
+  // unknown at entry, so this loop has no static bound.
+  const std::string src = R"(
+main:
+loop:
+    addi a0, a0, -1
+    bne  a0, zero, loop
+    ecall
+)";
+  const AnalysisReport r = analyze_asm(src, ri5cy());
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  const Diagnostic* d = find_diag(r, DiagKind::kUnboundedLoop);
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_EQ(r.max_cycles, kUnboundedCycles);
+  EXPECT_GT(r.min_cycles, 0u);
+}
+
+TEST(Analysis, LoopBoundAnnotationMakesCeilingFinite) {
+  const std::string src = R"(
+main:
+loop:
+    addi a0, a0, -1
+    bne  a0, zero, loop
+    ecall
+)";
+  AnalyzeOptions options;
+  options.loop_bounds[0] = 10;  // keyed by the loop head pc
+  const AnalysisReport r = analyze_asm(src, ri5cy(), options);
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  EXPECT_EQ(find_diag(r, DiagKind::kUnboundedLoop), nullptr) << r.to_text();
+  EXPECT_NE(r.max_cycles, kUnboundedCycles);
+  EXPECT_GE(r.max_cycles, r.min_cycles);
+  // Ten iterations of a two-instruction body: at least 20 cycles.
+  EXPECT_GE(r.max_cycles, 20u);
+}
+
+TEST(Analysis, ShiftLoopPatternBoundsIterations) {
+  // srli as the sole writer of the branch register halves it every pass, so
+  // the loop runs at most 32 + 2 iterations even with an unknown input.
+  const std::string src = R"(
+main:
+loop:
+    srli a0, a0, 1
+    bne  a0, zero, loop
+    ecall
+)";
+  const AnalysisReport r = analyze_asm(src, ri5cy());
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  EXPECT_EQ(find_diag(r, DiagKind::kUnboundedLoop), nullptr) << r.to_text();
+  const std::uint64_t dyn = dynamic_cycles(src, ri5cy());
+  EXPECT_NE(r.max_cycles, kUnboundedCycles);
+  EXPECT_GE(r.max_cycles, dyn);
+  EXPECT_LE(r.min_cycles, dyn);
+}
+
+TEST(Analysis, LpSetupRegisterCountProvenByConstprop) {
+  const std::string src = R"(
+main:
+    addi t0, zero, 5
+    lp.setup 0, t0, loop_end
+    addi a0, a0, 1
+    addi a1, a1, 1
+loop_end:
+    ecall
+)";
+  const AnalysisReport r = analyze_asm(src, ri5cy());
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  ASSERT_EQ(r.loops.size(), 1u);
+  EXPECT_EQ(r.loops[0].static_count, 5u);
+  EXPECT_EQ(r.loops[0].exact_count, 5u);
+  const std::uint64_t dyn = dynamic_cycles(src, ri5cy());
+  EXPECT_GE(r.min_cycles, 10u);  // 5 iterations x 2 single-cycle ALU ops
+  EXPECT_LE(r.min_cycles, dyn);
+  EXPECT_NE(r.max_cycles, kUnboundedCycles);
+  EXPECT_GE(r.max_cycles, dyn);
+}
+
+TEST(Analysis, StackDepthComposesOverCalls) {
+  const std::string src = R"(
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    call helper
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+helper:
+    addi sp, sp, -32
+    sw   s0, 28(sp)
+    lw   s0, 28(sp)
+    addi sp, sp, 32
+    ret
+)";
+  const AnalysisReport r = analyze_asm(src, ri5cy());
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  EXPECT_EQ(r.stack_bytes, 48u);  // 16 (main) + 32 (helper)
+  ASSERT_EQ(r.functions.size(), 2u);
+  EXPECT_EQ(r.functions[0].stack_bytes, 48u);
+  EXPECT_EQ(r.functions[1].stack_bytes, 32u);
+  EXPECT_NE(r.max_cycles, kUnboundedCycles);
+
+  AnalyzeOptions tight;
+  tight.stack_limit_bytes = 32;
+  const AnalysisReport rt = analyze_asm(src, ri5cy(), tight);
+  EXPECT_TRUE(has_error(rt, DiagKind::kStackOverflow)) << rt.to_text();
+  EXPECT_FALSE(rt.ok());
+
+  AnalyzeOptions roomy;
+  roomy.stack_limit_bytes = 48;
+  EXPECT_TRUE(analyze_asm(src, ri5cy(), roomy).ok());
+}
+
+TEST(Analysis, RebuiltStackPointerIsANote) {
+  const std::string src = R"(
+main:
+    mv   sp, a0
+    ret
+)";
+  const AnalysisReport r = analyze_asm(src, ri5cy());
+  EXPECT_TRUE(r.ok()) << r.to_text();
+  const Diagnostic* d = find_diag(r, DiagKind::kUnknownStackPointer);
+  ASSERT_NE(d, nullptr) << r.to_text();
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_EQ(r.stack_bytes, kUnboundedCycles);
+  // The cycle bounds are unaffected by an untracked stack pointer.
+  EXPECT_NE(r.max_cycles, kUnboundedCycles);
 }
 
 // ---------------------------------------------------------------------------
@@ -389,7 +619,18 @@ std::vector<float> random_input(std::size_t n, iw::Rng& rng) {
   return input;
 }
 
-TEST(Analysis, StaticBoundAtMostDynamicOnTable3Kernels) {
+/// floor <= dynamic <= ceiling, with a finite ceiling.
+void expect_sandwich(const kernels::KernelRunResult& r, const std::string& label) {
+  EXPECT_GT(r.static_min_cycles, 0u) << label;
+  EXPECT_LE(r.static_min_cycles, r.cycles) << label;
+  EXPECT_NE(r.static_max_cycles, kUnboundedCycles) << label;
+  EXPECT_GE(r.static_max_cycles, r.cycles)
+      << label << ": dynamic " << r.cycles << " exceeds static ceiling "
+      << r.static_max_cycles;
+  EXPECT_EQ(r.static_stack_bytes, 0u) << label;  // the kernels are stackless
+}
+
+TEST(Analysis, StaticBoundsSandwichDynamicOnTable3Kernels) {
   iw::Rng rng(7);
   const nn::Network net = nn::Network::create({4, 6, 2}, rng);
   const std::vector<float> in = random_input(4, rng);
@@ -399,28 +640,45 @@ TEST(Analysis, StaticBoundAtMostDynamicOnTable3Kernels) {
   for (const kernels::Target target :
        {kernels::Target::kCortexM4, kernels::Target::kIbex,
         kernels::Target::kRi5cySingle, kernels::Target::kRi5cyMulti}) {
-    const kernels::KernelRunResult r = kernels::run_fixed_mlp(qn, input, target);
-    EXPECT_GT(r.static_min_cycles, 0u) << kernels::target_name(target);
-    EXPECT_LE(r.static_min_cycles, r.cycles) << kernels::target_name(target);
+    expect_sandwich(kernels::run_fixed_mlp(qn, input, target),
+                    kernels::target_name(target));
   }
 
-  const kernels::KernelRunResult par = kernels::run_fixed_mlp_parallel(qn, input, 2);
-  EXPECT_GT(par.static_min_cycles, 0u);
-  EXPECT_LE(par.static_min_cycles, par.cycles);
+  expect_sandwich(kernels::run_fixed_mlp_parallel(qn, input, 2), "parallel-2");
 
   const nn::QuantizedNetwork16 qn16 = nn::QuantizedNetwork16::from(net);
   const auto input16 = qn16.quantize_input(in);
-  const kernels::KernelRunResult simd = kernels::run_simd_mlp(qn16, input16);
-  EXPECT_GT(simd.static_min_cycles, 0u);
-  EXPECT_LE(simd.static_min_cycles, simd.cycles);
-  const kernels::KernelRunResult simd_par =
-      kernels::run_simd_mlp_parallel(qn16, input16, 4);
-  EXPECT_GT(simd_par.static_min_cycles, 0u);
-  EXPECT_LE(simd_par.static_min_cycles, simd_par.cycles);
+  expect_sandwich(kernels::run_simd_mlp(qn16, input16), "simd");
+  expect_sandwich(kernels::run_simd_mlp_parallel(qn16, input16, 4), "simd-parallel-4");
 
-  const kernels::KernelRunResult fl = kernels::run_float_mlp(net, in);
-  EXPECT_GT(fl.static_min_cycles, 0u);
-  EXPECT_LE(fl.static_min_cycles, fl.cycles);
+  expect_sandwich(kernels::run_float_mlp(net, in), "float-m4f");
+}
+
+TEST(Analysis, StaticBoundsSandwichDynamicOnFeatureKernels) {
+  iw::Rng rng(11);
+  std::vector<std::int32_t> rr(64);
+  for (std::int32_t& v : rr) {
+    v = 700 + static_cast<std::int32_t>(rng.uniform(0.0, 200.0));
+  }
+  const kernels::HrvKernelResult hrv = kernels::run_hrv_kernel(rr);
+  EXPECT_GT(hrv.static_min_cycles, 0u);
+  EXPECT_LE(hrv.static_min_cycles, hrv.cycles);
+  EXPECT_NE(hrv.static_max_cycles, kUnboundedCycles);
+  EXPECT_GE(hrv.static_max_cycles, hrv.cycles);
+  EXPECT_EQ(hrv.static_stack_bytes, 0u);
+
+  std::vector<std::int32_t> gsr(256);
+  std::int32_t level = 2 << 8;
+  for (std::int32_t& v : gsr) {
+    level += static_cast<std::int32_t>(rng.uniform(-8.0, 10.0));
+    v = level;
+  }
+  const kernels::GsrKernelResult g = kernels::run_gsr_kernel(gsr);
+  EXPECT_GT(g.static_min_cycles, 0u);
+  EXPECT_LE(g.static_min_cycles, g.cycles);
+  EXPECT_NE(g.static_max_cycles, kUnboundedCycles);
+  EXPECT_GE(g.static_max_cycles, g.cycles);
+  EXPECT_EQ(g.static_stack_bytes, 0u);
 }
 
 // ---------------------------------------------------------------------------

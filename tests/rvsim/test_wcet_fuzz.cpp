@@ -1,0 +1,146 @@
+// Structured WCET fuzz: random-but-well-formed programs (countdown loops,
+// hardware loops on Xpulp profiles, acyclic call chains with real 16-byte
+// stack frames) are analyzed and then executed, and every case must satisfy
+// the certification sandwich
+//
+//     0 < static floor <= dynamic cycles <= static ceiling (finite)
+//
+// plus an exact interprocedural stack-depth prediction. Seeds are fixed so
+// the suite is deterministic; the generator is the adversary.
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asmx/assembler.hpp"
+#include "common/rng.hpp"
+#include "rvsim/analysis/analysis.hpp"
+#include "rvsim/machine.hpp"
+#include "rvsim/memory.hpp"
+#include "rvsim/timing.hpp"
+
+namespace iw::rv::analysis {
+namespace {
+
+constexpr std::size_t kMem = 4096;
+
+struct GenProgram {
+  std::string src;
+  std::uint64_t expected_stack = 0;  // bytes: one 16-byte frame per chain level
+  std::size_t functions = 0;         // main + helpers
+};
+
+/// Emits one function body feature. Loops keep their counter in t0 and are
+/// always preceded (immediately) by the `li` that proves the bound; calls may
+/// appear anywhere, including right before a loop's `li`.
+void emit_feature(std::ostringstream& os, iw::Rng& rng, bool xpulp, int fn,
+                  int feat, bool& used_hwloop) {
+  const int kind = static_cast<int>(rng.uniform(0.0, xpulp ? 3.0 : 2.0));
+  if (kind == 0) {
+    const int n = 1 + static_cast<int>(rng.uniform(0.0, 3.0));
+    for (int i = 0; i < n; ++i) {
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        os << "    addi a0, a0, " << (1 + static_cast<int>(rng.uniform(0.0, 7.0)))
+           << "\n";
+      } else {
+        os << "    add  a1, a1, a0\n";
+      }
+    }
+  } else if (kind == 1) {
+    const int bound = 1 + static_cast<int>(rng.uniform(0.0, 7.0));
+    const int body = static_cast<int>(rng.uniform(0.0, 2.0));
+    os << "    addi t0, zero, " << bound << "\n";
+    os << "cd_" << fn << "_" << feat << ":\n";
+    for (int i = 0; i < body; ++i) os << "    addi a0, a0, 1\n";
+    os << "    addi t0, t0, -1\n";
+    os << "    bne  t0, zero, cd_" << fn << "_" << feat << "\n";
+  } else {
+    // One hardware loop per function keeps the two loop slots honest even
+    // when features repeat.
+    if (used_hwloop) {
+      os << "    addi a0, a0, 1\n";
+      return;
+    }
+    used_hwloop = true;
+    const int count = 1 + static_cast<int>(rng.uniform(0.0, 7.0));
+    os << "    lp.setupi 0, " << count << ", hw_" << fn << "_" << feat << "\n";
+    os << "    addi a0, a0, 1\n";
+    os << "    addi a1, a1, 2\n";
+    os << "hw_" << fn << "_" << feat << ":\n";
+  }
+}
+
+/// A random program shaped like real firmware: `main` plus a strict call
+/// chain of helpers (f1 -> f2 -> ...), every function owning a 16-byte frame
+/// and saving `ra` iff it calls further down.
+GenProgram generate(iw::Rng& rng, bool xpulp) {
+  const int helpers = static_cast<int>(rng.uniform(0.0, 3.0));  // 0..2
+  std::ostringstream os;
+  for (int fn = 0; fn <= helpers; ++fn) {
+    const bool calls = fn < helpers;
+    if (fn == 0) {
+      os << "main:\n";
+    } else {
+      os << "helper" << fn << ":\n";
+    }
+    os << "    addi sp, sp, -16\n";
+    if (calls) os << "    sw   ra, 12(sp)\n";
+    const int features = 2 + static_cast<int>(rng.uniform(0.0, 2.0));
+    const int call_count = calls ? 1 + static_cast<int>(rng.uniform(0.0, 2.0)) : 0;
+    const int call_slot = calls ? static_cast<int>(rng.uniform(
+                                      0.0, static_cast<double>(features)))
+                                : -1;
+    bool used_hwloop = false;
+    for (int feat = 0; feat < features; ++feat) {
+      if (feat == call_slot) {
+        for (int c = 0; c < call_count; ++c) {
+          os << "    call helper" << fn + 1 << "\n";
+        }
+      }
+      emit_feature(os, rng, xpulp, fn, feat, used_hwloop);
+    }
+    if (calls) os << "    lw   ra, 12(sp)\n";
+    os << "    addi sp, sp, 16\n";
+    os << (fn == 0 ? "    ecall\n" : "    ret\n");
+  }
+  GenProgram g;
+  g.src = os.str();
+  g.expected_stack = 16u * static_cast<std::uint64_t>(helpers + 1);
+  g.functions = static_cast<std::size_t>(helpers + 1);
+  return g;
+}
+
+TEST(WcetFuzz, SandwichHoldsOnStructuredRandomPrograms) {
+  const TimingProfile profiles[] = {cortex_m4f(), ibex(), ri5cy()};
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    for (const TimingProfile& profile : profiles) {
+      const bool xpulp = profile.has_hwloop;
+      iw::Rng rng(seed * 977u + (xpulp ? 7u : 0u));
+      const GenProgram g = generate(rng, xpulp);
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " profile=" + profile.name +
+                   "\n" + g.src);
+
+      const asmx::Program p = asmx::assemble(g.src);
+      Memory mem(kMem);
+      mem.write_words(p.base, std::span<const std::uint32_t>(p.words));
+      const AnalysisReport r = analyze(mem, p.symbol("main"), profile);
+      ASSERT_TRUE(r.ok()) << r.to_text();
+      EXPECT_EQ(r.functions.size(), g.functions);
+
+      Machine machine(profile, kMem);
+      machine.load_program(std::span<const std::uint32_t>(p.words), p.base);
+      const std::uint64_t dyn = machine.run(p.symbol("main")).cycles;
+
+      EXPECT_GT(r.min_cycles, 0u);
+      EXPECT_LE(r.min_cycles, dyn);
+      ASSERT_NE(r.max_cycles, kUnboundedCycles) << r.to_text();
+      EXPECT_GE(r.max_cycles, dyn);
+      EXPECT_EQ(r.stack_bytes, g.expected_stack) << r.to_text();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iw::rv::analysis

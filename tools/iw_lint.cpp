@@ -9,6 +9,14 @@
 //       needs Xpulp/FPU features is NOT rejected under the IBEX profile, or
 //       if any profile reports a structural (non-ISA) error anywhere.
 //
+//   iw_lint --wcet [--json]
+//       Static energy certification (DESIGN.md §16): every shipped kernel is
+//       analyzed interprocedurally AND executed once under its intended
+//       profile, and the tool reports the sandwich
+//           floor (static min) <= dynamic cycles <= ceiling (static WCET)
+//       plus the composed maximum stack depth. Exit 1 unless every row is
+//       sound (finite ceiling, sandwich holds).
+//
 //   iw_lint --traces [--json]
 //       Superblock-trace report over the same kernels (DESIGN.md §14): per
 //       kernel, the certified basic-block and hardware-loop counts, the
@@ -37,6 +45,7 @@
 #include "asmx/assembler.hpp"
 #include "common/error.hpp"
 #include "kernels/runner.hpp"
+#include "kernels/wcet.hpp"
 #include "rvsim/analysis/analysis.hpp"
 #include "rvsim/machine.hpp"
 #include "rvsim/memory.hpp"
@@ -52,6 +61,7 @@ using iw::rv::analysis::Severity;
 int usage() {
   std::fprintf(stderr,
                "usage: iw_lint --kernels [--json]\n"
+               "       iw_lint --wcet [--json]\n"
                "       iw_lint --traces [--json]\n"
                "       iw_lint [--asm] [--profile cortex-m4f|ibex|ri5cy] "
                "[--entry SYM|ADDR]\n"
@@ -150,6 +160,37 @@ int lint_kernels(bool json) {
                                           "intended profiles");
   }
   return failed ? 1 : 0;
+}
+
+int lint_wcet(bool json) {
+  const std::vector<iw::kernels::WcetRow> rows =
+      iw::kernels::certified_kernel_rows();
+  if (json) {
+    std::printf("%s\n", iw::kernels::wcet_table_json(rows).c_str());
+  } else {
+    std::printf("%s", iw::kernels::wcet_table_text(rows).c_str());
+  }
+  const bool sound = iw::kernels::all_sound(rows);
+  if (!sound) {
+    for (const iw::kernels::WcetRow& row : rows) {
+      if (row.sound) continue;
+      const std::string ceiling =
+          row.ceiling_cycles == iw::rv::analysis::kUnboundedCycles
+              ? "unbounded"
+              : std::to_string(row.ceiling_cycles);
+      std::fprintf(stderr,
+                   "FAIL: %s (%s) is not certified: floor=%llu dynamic=%llu "
+                   "ceiling=%s\n",
+                   row.name.c_str(), row.profile_name.c_str(),
+                   static_cast<unsigned long long>(row.floor_cycles),
+                   static_cast<unsigned long long>(row.dynamic_cycles),
+                   ceiling.c_str());
+    }
+  } else if (!json) {
+    std::printf("ok: every kernel's dynamic cycle count sits inside its "
+                "static [floor, ceiling] certificate\n");
+  }
+  return sound ? 0 : 1;
 }
 
 int lint_traces(bool json) {
@@ -277,6 +318,7 @@ int lint_file(const std::string& path, bool force_asm, const std::string& profil
 
 int main(int argc, char** argv) {
   bool kernels = false;
+  bool wcet = false;
   bool traces = false;
   bool json = false;
   bool force_asm = false;
@@ -289,6 +331,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--kernels") kernels = true;
+    else if (arg == "--wcet") wcet = true;
     else if (arg == "--traces") traces = true;
     else if (arg == "--json") json = true;
     else if (arg == "--asm") force_asm = true;
@@ -308,6 +351,7 @@ int main(int argc, char** argv) {
 
   try {
     if (kernels) return lint_kernels(json);
+    if (wcet) return lint_wcet(json);
     if (traces) return lint_traces(json);
     if (file.empty()) return usage();
     return lint_file(file, force_asm, profile_name, entry_spec, mem_bytes,
